@@ -1,0 +1,106 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. halo overlap (interior/boundary decomposition, §IV-A) on vs off —
+//!    executed on the real code paths;
+//! 2. batch-norm statistics scope: local vs aggregated (§III-B);
+//! 3. redistribution (§III-C shuffle) cost on the wire;
+//! 4. strategy-optimizer evaluation cost (model-side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_comm::{run_ranks, Communicator};
+use fg_core::layers::{dist_bn_forward, BnMode};
+use fg_core::overlap::forward_overlapped;
+use fg_core::DistConv2d;
+use fg_kernels::conv::ConvGeometry;
+use fg_perf::{Platform, StrategyOptimizer};
+use fg_tensor::shuffle::redistribute;
+use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+
+fn tensor(shape: Shape4) -> Tensor {
+    Tensor::from_fn(shape, |n, c, h, w| ((n * 11 + c * 7 + h * 3 + w) % 13) as f32 * 0.1)
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_overlap");
+    group.sample_size(10);
+    let geom = ConvGeometry::square(96, 96, 5, 1, 2);
+    let grid = ProcGrid::spatial(2, 2);
+    let conv = DistConv2d::new(1, 8, 8, geom, grid);
+    let x = tensor(Shape4::new(1, 8, 96, 96));
+    let w = tensor(Shape4::new(8, 8, 5, 5));
+    group.bench_function("monolithic", |b| {
+        b.iter(|| {
+            run_ranks(4, |comm| {
+                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                conv.forward(comm, &xs, &w, None).0.owned_tensor().sum()
+            })
+        })
+    });
+    group.bench_function("interior_boundary_overlap", |b| {
+        b.iter(|| {
+            run_ranks(4, |comm| {
+                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                forward_overlapped(&conv, comm, &xs, &w, None).0.owned_tensor().sum()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_bn_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_bn");
+    group.sample_size(10);
+    let shape = Shape4::new(4, 32, 32, 32);
+    let dist = TensorDist::new(shape, ProcGrid::hybrid(2, 2, 1));
+    let x = tensor(shape);
+    let gamma = vec![1.0f32; 32];
+    let beta = vec![0.0f32; 32];
+    for (name, mode) in [("local", BnMode::Local), ("aggregated", BnMode::Aggregated)] {
+        group.bench_with_input(BenchmarkId::new("bn_forward", name), &(), |b, _| {
+            b.iter(|| {
+                run_ranks(4, |comm| {
+                    let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let (y, _stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, mode);
+                    y.owned_tensor().sum()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_redistribution");
+    group.sample_size(10);
+    let shape = Shape4::new(4, 16, 64, 64);
+    let from = TensorDist::new(shape, ProcGrid::sample(4));
+    let to = TensorDist::new(shape, ProcGrid::spatial(2, 2));
+    let x = tensor(shape);
+    group.bench_function("sample_to_spatial_4ranks", |b| {
+        b.iter(|| {
+            run_ranks(4, |comm| {
+                let src = DistTensor::from_global(from, comm.rank(), &x, [0; 4], [0; 4]);
+                redistribute(comm, &src, to, [0; 4], [0; 4]).owned_tensor().sum()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_strategy_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_strategy");
+    group.sample_size(10);
+    let platform = Platform::lassen_like();
+    let mesh = fg_models::mesh_model(fg_models::MeshSize::OneK);
+    group.bench_function("optimize_mesh1k_16ranks", |b| {
+        b.iter(|| StrategyOptimizer::new(&platform, &mesh, 4, 16).optimize())
+    });
+    let resnet = fg_models::resnet50();
+    group.bench_function("optimize_resnet50_16ranks", |b| {
+        b.iter(|| StrategyOptimizer::new(&platform, &resnet, 64, 16).optimize())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap, bench_bn_modes, bench_shuffle, bench_strategy_optimizer);
+criterion_main!(benches);

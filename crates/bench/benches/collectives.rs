@@ -1,0 +1,66 @@
+//! Collective-algorithm ablation: ring vs recursive-doubling vs
+//! Rabenseifner allreduce at gradient-like message sizes, on the
+//! thread-simulated communicator.
+//!
+//! Wall time here reflects algorithmic step counts and memory movement
+//! (one CPU core executes all ranks); the α–β *model* comparison of the
+//! same algorithms lives in `fg_perf::collective_model`. The paper's
+//! `AR(p, n)` terms assume exactly these algorithms (§II-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_comm::{run_ranks, AllreduceAlgorithm, Collectives, Communicator, ReduceOp};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_allreduce");
+    group.sample_size(10);
+    // A mesh-model conv gradient is F·C·K² ≈ 128·128·9 ≈ 147k floats;
+    // bench a small and a gradient-sized vector.
+    for &elems in &[1024usize, 147_456] {
+        for (name, alg) in [
+            ("ring", AllreduceAlgorithm::Ring),
+            ("recursive_doubling", AllreduceAlgorithm::RecursiveDoubling),
+            ("rabenseifner", AllreduceAlgorithm::Rabenseifner),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{elems}elems_8ranks")),
+                &elems,
+                |b, &elems| {
+                    b.iter(|| {
+                        run_ranks(8, |comm| {
+                            let data = vec![comm.rank() as f32; elems];
+                            comm.allreduce_with(&data, ReduceOp::Sum, alg)
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_other_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    group.bench_function("reduce_scatter_64k_8ranks", |b| {
+        b.iter(|| {
+            run_ranks(8, |comm| {
+                comm.reduce_scatter(&vec![1.0f32; 65536], ReduceOp::Sum)
+            })
+        })
+    });
+    group.bench_function("allgather_64k_8ranks", |b| {
+        b.iter(|| run_ranks(8, |comm| comm.allgather_concat(vec![1.0f32; 8192])))
+    });
+    group.bench_function("alltoallv_64k_8ranks", |b| {
+        b.iter(|| {
+            run_ranks(8, |comm| {
+                let sends: Vec<Vec<f32>> = (0..8).map(|_| vec![0.5f32; 8192]).collect();
+                comm.alltoallv(sends)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_other_collectives);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Executed counterpart of Fig. 2: distributed forward/backward of
+//! ResNet-50-style layers under the parallelization schemes, on the
+//! thread-simulated communicator at reduced scale.
+//!
+//! One CPU core runs all ranks, so wall time measures *total* work +
+//! communication overhead rather than parallel speedup; what the bench
+//! demonstrates is the per-scheme overhead structure (halo packing,
+//! message counts) on the real code paths. The modeled Fig. 2 series at
+//! V100 scale comes from `repro -- fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_comm::{run_ranks, Communicator};
+use fg_core::DistConv2d;
+use fg_kernels::conv::ConvGeometry;
+use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor};
+
+fn tensor(shape: Shape4) -> Tensor {
+    Tensor::from_fn(shape, |n, c, h, w| ((n * 13 + c * 5 + h * 3 + w) % 11) as f32 * 0.1)
+}
+
+/// Scaled conv1: 56×56 input (1/4 scale), K=7, S=2.
+fn conv1_like(grid: ProcGrid) -> (DistConv2d, Tensor, Tensor) {
+    let geom = ConvGeometry::square(56, 56, 7, 2, 3);
+    let conv = DistConv2d::new(grid.n, 3, 16, geom, grid);
+    (conv, tensor(Shape4::new(grid.n, 3, 56, 56)), tensor(Shape4::new(16, 3, 7, 7)))
+}
+
+/// res3b_branch2a-like: 14×14, K=1 — no halo at all.
+fn res3b_like(grid: ProcGrid) -> (DistConv2d, Tensor, Tensor) {
+    let geom = ConvGeometry::square(14, 14, 1, 1, 0);
+    let conv = DistConv2d::new(grid.n, 64, 32, geom, grid);
+    (conv, tensor(Shape4::new(grid.n, 64, 14, 14)), tensor(Shape4::new(32, 64, 1, 1)))
+}
+
+fn bench_layer(
+    c: &mut Criterion,
+    group_name: &str,
+    make: fn(ProcGrid) -> (DistConv2d, Tensor, Tensor),
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (scheme, grid) in [
+        ("1gpu_per_sample", ProcGrid::sample(4)),
+        ("2gpu_per_sample", ProcGrid::hybrid(2, 2, 1)),
+        ("4gpu_per_sample", ProcGrid::spatial(2, 2)),
+    ] {
+        let (conv, x, w) = make(grid);
+        group.bench_with_input(BenchmarkId::new("fp", scheme), &(), |b, _| {
+            b.iter(|| {
+                run_ranks(4, |comm| {
+                    let xs =
+                        DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let (y, _win) = conv.forward(comm, &xs, &w, None);
+                    y.owned_tensor().sum()
+                })
+            })
+        });
+        let (conv, x, w) = make(grid);
+        let dy = tensor(Shape4::new(
+            conv.out_dist.shape.n,
+            conv.out_dist.shape.c,
+            conv.out_dist.shape.h,
+            conv.out_dist.shape.w,
+        ));
+        group.bench_with_input(BenchmarkId::new("bp", scheme), &(), |b, _| {
+            b.iter(|| {
+                run_ranks(4, |comm| {
+                    let xs =
+                        DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let (_y, win) = conv.forward(comm, &xs, &w, None);
+                    let dys =
+                        DistTensor::from_global(conv.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                    let dx = conv.backward_data(comm, &dys, &w);
+                    let (dw, _db) = conv.backward_filter(comm, &win, &dys, false);
+                    dx.owned_tensor().sum() + dw.sum()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    bench_layer(c, "fig2_conv1_like", conv1_like);
+    bench_layer(c, "fig2_res3b_like", res3b_like);
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

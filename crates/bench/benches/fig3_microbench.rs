@@ -1,0 +1,62 @@
+//! Executed counterpart of Fig. 3: the mesh-model layers (large spatial
+//! domain `conv1_1`, deep small-domain `conv6_1`) run distributed on the
+//! thread-simulated communicator at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_comm::{run_ranks, Communicator};
+use fg_core::DistConv2d;
+use fg_kernels::conv::ConvGeometry;
+use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor};
+
+fn tensor(shape: Shape4) -> Tensor {
+    Tensor::from_fn(shape, |n, c, h, w| ((n * 13 + c * 5 + h * 3 + w) % 9) as f32 * 0.2 - 0.8)
+}
+
+/// conv1_1 at 1/16 scale: 128×128 input, 18 channels, K=5, S=2.
+fn conv1_1_like(grid: ProcGrid) -> (DistConv2d, Tensor, Tensor) {
+    let geom = ConvGeometry::square(128, 128, 5, 2, 2);
+    let conv = DistConv2d::new(grid.n, 18, 16, geom, grid);
+    (conv, tensor(Shape4::new(grid.n, 18, 128, 128)), tensor(Shape4::new(16, 18, 5, 5)))
+}
+
+/// conv6_1-like: 16×16 input, many channels, K=3, S=2.
+fn conv6_1_like(grid: ProcGrid) -> (DistConv2d, Tensor, Tensor) {
+    let geom = ConvGeometry::square(16, 16, 3, 2, 1);
+    let conv = DistConv2d::new(grid.n, 96, 32, geom, grid);
+    (conv, tensor(Shape4::new(grid.n, 96, 16, 16)), tensor(Shape4::new(32, 96, 3, 3)))
+}
+
+fn bench_layer(
+    c: &mut Criterion,
+    group_name: &str,
+    make: fn(ProcGrid) -> (DistConv2d, Tensor, Tensor),
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (scheme, grid) in [
+        ("1gpu_per_sample", ProcGrid::sample(4)),
+        ("2gpu_per_sample", ProcGrid::hybrid(2, 2, 1)),
+        ("4gpu_per_sample", ProcGrid::spatial(2, 2)),
+    ] {
+        let (conv, x, w) = make(grid);
+        group.bench_with_input(BenchmarkId::new("fp", scheme), &(), |b, _| {
+            b.iter(|| {
+                run_ranks(4, |comm| {
+                    let xs =
+                        DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let (y, _win) = conv.forward(comm, &xs, &w, None);
+                    y.owned_tensor().sum()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    bench_layer(c, "fig3_conv1_1_like", conv1_1_like);
+    bench_layer(c, "fig3_conv6_1_like", conv6_1_like);
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Compute-kernel benchmarks, including the conv-algorithm ablation
+//! (direct loops vs im2col+GEMM) that mirrors cuDNN's algorithm choice —
+//! the effect behind the paper's res3b anomaly (§VI-A) and its
+//! empirical-timing methodology (§V-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_kernels::conv::{conv2d_backward_data, conv2d_backward_filter, conv2d_forward, ConvGeometry};
+use fg_kernels::im2col::{conv2d_backward_data_gemm, conv2d_forward_gemm};
+use fg_tensor::{Shape4, Tensor};
+
+fn tensor(shape: Shape4) -> Tensor {
+    Tensor::from_fn(shape, |n, c, h, w| ((n * 31 + c * 7 + h * 3 + w) % 17) as f32 * 0.1 - 0.8)
+}
+
+/// Scaled-down analogues of the paper's benchmark layers.
+fn cases() -> Vec<(&'static str, Shape4, Shape4, ConvGeometry)> {
+    vec![
+        // conv1-like: large spatial, few channels, big kernel.
+        (
+            "conv1_like_56x56_k7",
+            Shape4::new(1, 3, 56, 56),
+            Shape4::new(16, 3, 7, 7),
+            ConvGeometry::square(56, 56, 7, 2, 3),
+        ),
+        // res3b-like: small spatial, many channels, 1x1 kernel.
+        (
+            "res3b_like_14x14_k1",
+            Shape4::new(1, 128, 14, 14),
+            Shape4::new(32, 128, 1, 1),
+            ConvGeometry::square(14, 14, 1, 1, 0),
+        ),
+        // mesh-like: medium spatial, 3x3.
+        (
+            "mesh_like_32x32_k3",
+            Shape4::new(1, 16, 32, 32),
+            Shape4::new(16, 16, 3, 3),
+            ConvGeometry::square(32, 32, 3, 1, 1),
+        ),
+    ]
+}
+
+fn bench_conv_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_conv_kernel");
+    group.sample_size(10);
+    for (name, xs, wsz, geom) in cases() {
+        let x = tensor(xs);
+        let w = tensor(wsz);
+        group.bench_with_input(BenchmarkId::new("direct_fwd", name), &(), |b, _| {
+            b.iter(|| conv2d_forward(&x, &w, None, &geom))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_fwd", name), &(), |b, _| {
+            b.iter(|| conv2d_forward_gemm(&x, &w, None, &geom))
+        });
+        let dy = tensor(Shape4::new(xs.n, wsz.n, geom.out_h(), geom.out_w()));
+        group.bench_with_input(BenchmarkId::new("direct_bwd_data", name), &(), |b, _| {
+            b.iter(|| conv2d_backward_data(&dy, &w, &geom))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_bwd_data", name), &(), |b, _| {
+            b.iter(|| conv2d_backward_data_gemm(&dy, &w, &geom))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_bwd_filter", name), &(), |b, _| {
+            b.iter(|| conv2d_backward_filter(&x, &dy, &geom))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--md] <experiment>...
+//!
+//! experiments:
+//!   fig2      ResNet-50 layer microbenchmarks (conv1, res3b_branch2a)
+//!   fig3      2K mesh layer microbenchmarks (conv1_1, conv6_1)
+//!   fig4      mesh model weak scaling, 4..2048 GPUs
+//!   tab1      1K mesh strong scaling
+//!   tab2      2K mesh strong scaling
+//!   tab3      ResNet-50 strong scaling
+//!   modelval  performance-model validation (kernel fit + traffic)
+//!   strategy  strategy optimizer demonstration
+//!   ext       extensions: channel/filter, 3-D, memory mechanisms
+//!   all       everything above
+//! ```
+//!
+//! Timed results come from the calibrated Lassen-like performance model
+//! (the same model the paper validates in §VI-B3); `modelval` grounds
+//! the model against real execution on the thread-simulated
+//! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
+
+use fg_bench::experiments::{extensions, microbench, modelval, resnet, scaling, strategy};
+use fg_bench::table::Table;
+use fg_models::MeshSize;
+use fg_perf::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let md = args.iter().any(|a| a == "--md");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        vec!["fig2", "fig3", "fig4", "tab1", "tab2", "tab3", "modelval", "strategy", "ext"]
+    } else {
+        wanted
+    };
+    let platform = Platform::lassen_like();
+
+    let mut tables: Vec<Table> = Vec::new();
+    for exp in &wanted {
+        match *exp {
+            "fig2" => tables.extend(microbench::fig2(&platform)),
+            "fig3" => tables.extend(microbench::fig3(&platform)),
+            "fig4" => {
+                tables.push(scaling::fig4(&platform, MeshSize::OneK));
+                tables.push(scaling::fig4(&platform, MeshSize::TwoK));
+            }
+            "tab1" => tables.push(scaling::table1(&platform)),
+            "tab2" => tables.push(scaling::table2(&platform)),
+            "tab3" => tables.push(resnet::table3(&platform)),
+            "modelval" => tables.extend(modelval::modelval(&platform)),
+            "strategy" => tables.push(strategy::strategy_report(&platform)),
+            "ext" => tables.extend(extensions::extensions(&platform)),
+            other => {
+                eprintln!("unknown experiment '{other}'; see --help in the module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    for t in &tables {
+        if md {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{}", t.to_text());
+        }
+    }
+}

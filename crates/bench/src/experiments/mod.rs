@@ -1,0 +1,66 @@
+//! Experiment implementations, one module per paper artifact.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`microbench`] | Fig. 2 (ResNet-50 layers), Fig. 3 (2K mesh layers) |
+//! | [`scaling`] | Table I, Table II (mesh strong scaling), Fig. 4 (weak scaling) |
+//! | [`resnet`] | Table III (ResNet-50 strong scaling) |
+//! | [`modelval`] | §VI-B3 model validation |
+//! | [`strategy`] | §V-C strategy optimizer demonstration |
+//! | [`extensions`] | channel/filter, 3-D, memory-pressure extensions |
+
+pub mod extensions;
+pub mod microbench;
+pub mod modelval;
+pub mod resnet;
+pub mod scaling;
+pub mod strategy;
+
+use fg_tensor::ProcGrid;
+
+/// Lassen's size in the paper's experiments.
+pub const MAX_WORLD: usize = 2048;
+
+/// The paper's spatial decompositions for k GPUs/sample: near-square
+/// `ph × pw` factorizations.
+pub fn spatial_split(k: usize) -> (usize, usize) {
+    match k {
+        1 => (1, 1),
+        2 => (2, 1),
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        _ => {
+            // General: near-square split with powers of two.
+            let ph = 1 << (k.trailing_zeros() / 2 + k.trailing_zeros() % 2);
+            (ph, k / ph)
+        }
+    }
+}
+
+/// Hybrid grid: `groups` sample groups, each `k` GPUs/sample.
+pub fn hybrid_grid(groups: usize, k: usize) -> ProcGrid {
+    let (ph, pw) = spatial_split(k);
+    ProcGrid::hybrid(groups, ph, pw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_splits_match_paper_configurations() {
+        assert_eq!(spatial_split(1), (1, 1));
+        assert_eq!(spatial_split(2), (2, 1));
+        assert_eq!(spatial_split(4), (2, 2));
+        assert_eq!(spatial_split(8), (4, 2));
+        assert_eq!(spatial_split(16), (4, 4));
+    }
+
+    #[test]
+    fn hybrid_grid_sizes() {
+        assert_eq!(hybrid_grid(4, 4).size(), 16);
+        assert_eq!(hybrid_grid(128, 16).size(), 2048);
+        assert_eq!(hybrid_grid(8, 1), ProcGrid::sample(8));
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for communicator construction and use.
+//!
+//! Runtime message-passing bugs (tag type mismatches, out-of-range ranks)
+//! are programming errors and panic; recoverable configuration problems
+//! surface as [`CommError`].
+
+use std::fmt;
+
+/// Errors arising from invalid communicator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A world or group of zero ranks was requested.
+    EmptyWorld,
+    /// A rank index was outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator size.
+        size: usize,
+    },
+    /// A sub-communicator group referenced a rank not in the parent.
+    InvalidGroup {
+        /// The offending parent rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::EmptyWorld => write!(f, "communicator must have at least one rank"),
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::InvalidGroup { rank } => {
+                write!(f, "group references rank {rank} not present in parent communicator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

@@ -1,0 +1,160 @@
+//! Point-to-point messaging primitives and the [`Communicator`] trait.
+//!
+//! Semantics mirror MPI two-sided communication:
+//!
+//! * messages between a fixed (source, destination) pair are delivered in
+//!   send order (per-pair FIFO, one unbounded channel per ordered pair);
+//! * receives match on `(source, tag)`; non-matching messages are stashed
+//!   and re-examined by later receives, so out-of-order tag consumption
+//!   works exactly as with MPI message envelopes;
+//! * sends never block (the channel is unbounded), which models eager /
+//!   buffered MPI sends and makes `sendrecv` cycles deadlock-free.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::stats::OpClass;
+
+/// Message tag. User tags must be below [`Tag::RESERVED_BASE`]; the
+/// collective implementations draw tags from the reserved space.
+pub type Tag = u64;
+
+/// First tag value reserved for internal (collective) protocol use.
+pub const RESERVED_TAG_BASE: Tag = 1 << 62;
+
+/// Scalar element types that can travel through the communicator.
+///
+/// The bound is deliberately broad: payloads are moved as boxed `Vec<T>`
+/// within the process, so no serialization is involved and any `'static`
+/// `Copy` type qualifies. `WIDTH` is the wire width in bytes used for
+/// traffic accounting (and hence for α–β time modeling).
+pub trait CommScalar: Copy + Send + 'static {
+    /// Bytes per element on the modeled wire.
+    const WIDTH: usize = std::mem::size_of::<Self>();
+}
+
+impl CommScalar for f32 {}
+impl CommScalar for f64 {}
+impl CommScalar for u8 {}
+impl CommScalar for u32 {}
+impl CommScalar for u64 {}
+impl CommScalar for i32 {}
+impl CommScalar for i64 {}
+impl CommScalar for usize {}
+impl CommScalar for (usize, usize) {}
+
+/// A message in flight: tag, payload (a boxed `Vec<T>`), its modeled
+/// wire size in bytes, and its virtual-time arrival stamp.
+pub(crate) struct Envelope {
+    pub tag: Tag,
+    pub payload: Box<dyn Any + Send>,
+    /// Modeled wire size; accounted on the send side (MPI convention),
+    /// carried for debugging.
+    #[allow(dead_code)]
+    pub bytes: usize,
+    /// Virtual time at which the message arrives at the receiver
+    /// (sender clock at send + modeled link time); 0 when the world is
+    /// not running under a virtual clock.
+    pub arrival: f64,
+}
+
+/// Per-source stash of messages received ahead of a matching `recv`.
+#[derive(Default)]
+pub(crate) struct Stash {
+    pending: VecDeque<Envelope>,
+}
+
+impl Stash {
+    /// Remove and return the first stashed envelope with `tag`, if any.
+    pub fn take(&mut self, tag: Tag) -> Option<Envelope> {
+        let idx = self.pending.iter().position(|e| e.tag == tag)?;
+        self.pending.remove(idx)
+    }
+
+    /// Stash an envelope that did not match the current receive.
+    pub fn put(&mut self, env: Envelope) {
+        self.pending.push_back(env);
+    }
+
+    /// Number of stashed messages (used by shutdown assertions in tests).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Two-sided message passing within a group of ranks.
+///
+/// Implemented by [`crate::WorldComm`] (the whole world) and
+/// [`crate::SubComm`] (an `MPI_Comm_split`-style subgroup). All collective
+/// operations ([`crate::Collectives`]) are provided generically on top of
+/// this trait, so they work identically on worlds and subgroups.
+pub trait Communicator {
+    /// This rank's index within the communicator, in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Send `data` to `dst` with `tag`. Never blocks.
+    fn send<T: CommScalar>(&self, dst: usize, tag: Tag, data: Vec<T>);
+
+    /// Blockingly receive a message from `src` carrying `tag`.
+    ///
+    /// # Panics
+    /// Panics if the matching message's element type is not `T`; that is
+    /// a protocol bug on the caller's side.
+    fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T>;
+
+    /// Record a collective's contribution to this rank's traffic stats.
+    fn record(&self, class: OpClass, messages: u64, bytes: u64);
+
+    /// Combined send + receive, deadlock-free because sends are eager.
+    ///
+    /// Sends `data` to `dst` and receives one message from `src`, both
+    /// under `tag`. This is the workhorse of halo exchanges and the ring
+    /// and recursive-doubling collectives.
+    fn sendrecv<T: CommScalar>(&self, dst: usize, src: usize, tag: Tag, data: Vec<T>) -> Vec<T> {
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    /// Allocate a fresh tag in the reserved space for one collective call.
+    ///
+    /// All ranks of a communicator must invoke collectives in the same
+    /// order (the usual MPI requirement), so per-rank counters agree.
+    fn next_collective_tag(&self) -> Tag;
+
+    /// Run `f` with sends attributed to `class` in the traffic stats.
+    /// The default implementation performs no attribution; the world
+    /// communicator overrides it, and sub-communicators delegate to their
+    /// parent.
+    fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R
+    where
+        Self: Sized,
+    {
+        let _ = class;
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stash_matches_by_tag_in_fifo_order() {
+        let mut s = Stash::default();
+        s.put(Envelope { tag: 7, payload: Box::new(vec![1f32]), bytes: 4, arrival: 0.0 });
+        s.put(Envelope { tag: 9, payload: Box::new(vec![2f32]), bytes: 4, arrival: 0.0 });
+        s.put(Envelope { tag: 7, payload: Box::new(vec![3f32]), bytes: 4, arrival: 0.0 });
+        let first = s.take(7).expect("tag 7 present");
+        assert_eq!(*first.payload.downcast::<Vec<f32>>().unwrap(), vec![1f32]);
+        let nine = s.take(9).expect("tag 9 present");
+        assert_eq!(*nine.payload.downcast::<Vec<f32>>().unwrap(), vec![2f32]);
+        let second = s.take(7).expect("second tag 7 present");
+        assert_eq!(*second.payload.downcast::<Vec<f32>>().unwrap(), vec![3f32]);
+        assert!(s.take(7).is_none());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The world runtime: spawns one thread per rank and wires up channels.
+//!
+//! [`run_ranks`] is the entry point used throughout the workspace: it
+//! builds a fully-connected mesh of unbounded channels (one per ordered
+//! rank pair, preserving per-pair FIFO order exactly like MPI), runs the
+//! given closure on every rank concurrently, and returns the per-rank
+//! results in rank order.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::p2p::{CommScalar, Communicator, Envelope, Stash, Tag, RESERVED_TAG_BASE};
+use crate::stats::{OpClass, TrafficStats};
+
+/// Virtual-time link model: seconds for `bytes` to travel from rank
+/// `src` to rank `dst`. Injected by [`run_ranks_timed`].
+pub type LinkModel = Arc<dyn Fn(usize, usize, usize) -> f64 + Send + Sync>;
+
+/// A rank's handle onto the world communicator.
+///
+/// One `WorldComm` exists per rank and lives on that rank's thread. It is
+/// `Send` (it is moved into the thread at spawn) but deliberately not
+/// `Sync`: a rank is single-threaded, like an MPI process.
+pub struct WorldComm {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` is the sending end of the (self → d) channel.
+    senders: Vec<Sender<Envelope>>,
+    /// `receivers[s]` is the receiving end of the (s → self) channel.
+    receivers: Vec<Receiver<Envelope>>,
+    /// Out-of-order stash, one per source rank.
+    stashes: RefCell<Vec<Stash>>,
+    stats: RefCell<TrafficStats>,
+    /// Operation class attributed to subsequent sends.
+    class: Cell<OpClass>,
+    collective_counter: Cell<u64>,
+    /// Virtual clock (seconds); advances on [`WorldComm::advance`] and on
+    /// receives under a timed run.
+    clock: Cell<f64>,
+    /// Link model for virtual time; `None` in untimed runs.
+    link: Option<LinkModel>,
+}
+
+impl WorldComm {
+    /// Snapshot of this rank's traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset traffic counters (e.g. after a warmup iteration).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = TrafficStats::default();
+    }
+
+}
+
+impl Communicator for WorldComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send<T: CommScalar>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        assert!(dst < self.size, "send to rank {dst} in world of {}", self.size);
+        let bytes = data.len() * T::WIDTH;
+        self.stats.borrow_mut().record(self.class.get(), 1, bytes as u64);
+        // Under a virtual clock, stamp the arrival time: departure now,
+        // plus the modeled link time (α + β·n in the usual models).
+        let arrival = match &self.link {
+            Some(link) => self.clock.get() + link(self.rank, dst, bytes),
+            None => 0.0,
+        };
+        let env = Envelope { tag, payload: Box::new(data), bytes, arrival };
+        // Receiver ends live as long as the scoped threads; a send error
+        // means a rank panicked, which the scope will propagate anyway.
+        let _ = self.senders[dst].send(env);
+    }
+
+    fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+        assert!(src < self.size, "recv from rank {src} in world of {}", self.size);
+        if let Some(env) = self.stashes.borrow_mut()[src].take(tag) {
+            self.observe_arrival(&env);
+            return downcast_payload(env, src, tag);
+        }
+        loop {
+            let env = self.receivers[src]
+                .recv()
+                .unwrap_or_else(|_| panic!("rank {src} hung up while rank {} waits on tag {tag}", self.rank));
+            if env.tag == tag {
+                self.observe_arrival(&env);
+                return downcast_payload(env, src, tag);
+            }
+            self.stashes.borrow_mut()[src].put(env);
+        }
+    }
+
+    fn record(&self, class: OpClass, messages: u64, bytes: u64) {
+        self.stats.borrow_mut().record(class, messages, bytes);
+    }
+
+    fn next_collective_tag(&self) -> Tag {
+        let c = self.collective_counter.get();
+        self.collective_counter.set(c + 1);
+        RESERVED_TAG_BASE + c
+    }
+
+    /// Attribute sends issued inside `f` to `class`, restoring the
+    /// previous class afterwards. Used by collectives and halo exchange.
+    fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R {
+        let prev = self.class.replace(class);
+        let r = f();
+        self.class.set(prev);
+        r
+    }
+}
+
+impl WorldComm {
+    /// This rank's virtual time, seconds (always 0 in untimed runs
+    /// unless [`WorldComm::advance`] was called).
+    pub fn now(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Advance this rank's virtual clock by `dt` seconds of modeled
+    /// local work (e.g. a kernel time from a device model).
+    pub fn advance(&self, dt: f64) {
+        debug_assert!(dt >= 0.0, "time moves forward");
+        self.clock.set(self.clock.get() + dt);
+    }
+}
+
+impl WorldComm {
+    /// A blocking receive completes no earlier than the message's
+    /// arrival: the virtual clock jumps to `max(now, arrival)`.
+    fn observe_arrival(&self, env: &Envelope) {
+        if self.link.is_some() {
+            self.clock.set(self.clock.get().max(env.arrival));
+        }
+    }
+}
+
+fn downcast_payload<T: CommScalar>(env: Envelope, src: usize, tag: Tag) -> Vec<T> {
+    *env.payload
+        .downcast::<Vec<T>>()
+        .unwrap_or_else(|_| panic!("message from rank {src} tag {tag} has unexpected element type"))
+}
+
+/// Build the channel mesh for a world of `size` ranks.
+fn build_world(size: usize) -> Vec<WorldComm> {
+    build_world_with_link(size, None)
+}
+
+/// Build the channel mesh, optionally with a virtual-time link model.
+fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm> {
+    assert!(size > 0, "world must have at least one rank");
+    // channels[s][d] = channel carrying s → d traffic.
+    let mut senders: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(size);
+    let mut receivers: Vec<Vec<Option<Receiver<Envelope>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    for s in 0..size {
+        let mut row = Vec::with_capacity(size);
+        for d in 0..size {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            receivers[d][s] = Some(rx);
+        }
+        senders.push(row);
+    }
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (tx_row, rx_row))| WorldComm {
+            rank,
+            size,
+            senders: tx_row,
+            receivers: rx_row.into_iter().map(|r| r.expect("receiver wired")).collect(),
+            stashes: RefCell::new((0..size).map(|_| Stash::default()).collect()),
+            stats: RefCell::new(TrafficStats::default()),
+            class: Cell::new(OpClass::P2p),
+            collective_counter: Cell::new(0),
+            clock: Cell::new(0.0),
+            link: link.clone(),
+        })
+        .collect()
+}
+
+/// Run `f` on `size` ranks concurrently; returns per-rank results in rank
+/// order. Panics in any rank propagate (fail the test / abort the run).
+///
+/// The closure receives a reference to the rank's [`WorldComm`]; anything
+/// the caller wants back out (results, traffic stats) is returned from
+/// the closure.
+pub fn run_ranks<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&WorldComm) -> R + Send + Sync,
+{
+    let comms = build_world(size);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// Run `f` on `size` ranks under a **virtual clock**: sends stamp their
+/// arrival as `sender_now + link(src, dst, bytes)`, receives advance the
+/// receiver's clock to the arrival, and [`WorldComm::advance`] accounts
+/// modeled local work. The per-rank results and final clocks come back
+/// in rank order — a discrete-event simulation whose event order is the
+/// real execution's message order.
+pub fn run_ranks_timed<R, F>(size: usize, link: LinkModel, f: F) -> Vec<(R, f64)>
+where
+    R: Send,
+    F: Fn(&WorldComm) -> R + Send + Sync,
+{
+    let comms = build_world_with_link(size, Some(link));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || {
+                    let r = f(&comm);
+                    (r, comm.now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// Like [`run_ranks`], additionally returning each rank's traffic stats.
+pub fn run_ranks_with_stats<R, F>(size: usize, f: F) -> Vec<(R, TrafficStats)>
+where
+    R: Send,
+    F: Fn(&WorldComm) -> R + Send + Sync,
+{
+    run_ranks(size, |comm| {
+        let r = f(comm);
+        let stats = comm.stats();
+        (r, stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let out = run_ranks(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42usize
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn ring_pass_delivers_in_rank_order() {
+        let out = run_ranks(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, vec![comm.rank() as u32]);
+            comm.recv::<u32>(prev, 1)[0]
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_pair_fifo_is_preserved() {
+        let out = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u32 {
+                    comm.send(1, 3, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| comm.recv::<u32>(0, 3)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let out = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1.0f32]);
+                comm.send(1, 20, vec![2.0f32]);
+                comm.send(1, 30, vec![3.0f32]);
+                0.0
+            } else {
+                // Consume in reverse tag order.
+                let c = comm.recv::<f32>(0, 30)[0];
+                let b = comm.recv::<f32>(0, 20)[0];
+                let a = comm.recv::<f32>(0, 10)[0];
+                a * 100.0 + b * 10.0 + c
+            }
+        });
+        assert_eq!(out[1], 123.0);
+    }
+
+    #[test]
+    fn sendrecv_cycle_does_not_deadlock() {
+        let out = run_ranks(4, |comm| {
+            let next = (comm.rank() + 1) % 4;
+            let prev = (comm.rank() + 3) % 4;
+            comm.sendrecv(next, prev, 9, vec![comm.rank() as u64])[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let stats = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0f32; 16]);
+            } else {
+                let _ = comm.recv::<f32>(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(stats[0].messages(OpClass::P2p), 1);
+        assert_eq!(stats[0].bytes(OpClass::P2p), 64);
+        assert_eq!(stats[1].total_messages(), 0);
+    }
+
+    #[test]
+    fn with_class_attributes_and_restores() {
+        let stats = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.with_class(OpClass::Halo, || comm.send(1, 1, vec![0u8; 7]));
+                comm.send(1, 2, vec![0u8; 3]);
+            } else {
+                let _ = comm.recv::<u8>(0, 1);
+                let _ = comm.recv::<u8>(0, 2);
+            }
+            comm.stats()
+        });
+        assert_eq!(stats[0].bytes(OpClass::Halo), 7);
+        assert_eq!(stats[0].bytes(OpClass::P2p), 3);
+    }
+
+    #[test]
+    fn mixed_payload_types_coexist() {
+        let out = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1u32, 2, 3]);
+                comm.send(1, 2, vec![1.5f64]);
+                0.0
+            } else {
+                let ints = comm.recv::<u32>(0, 1);
+                let floats = comm.recv::<f64>(0, 2);
+                ints.iter().sum::<u32>() as f64 + floats[0]
+            }
+        });
+        assert_eq!(out[1], 7.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-rank traffic accounting.
+//!
+//! Every send records one message and its modeled wire size under the
+//! *operation class* that is currently active on the sending rank.
+//! Collectives activate their own class for the duration of the call, so
+//! after a run you can ask "how many bytes did rank 3 move for halo
+//! exchanges vs. allreduces?" — the numbers an α–β model needs.
+
+/// Classification of traffic by the logical operation that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Direct user point-to-point traffic.
+    P2p,
+    /// Halo exchange for spatial partitioning.
+    Halo,
+    /// Gradient / statistics allreduce.
+    Allreduce,
+    /// Reduce-scatter phase traffic.
+    ReduceScatter,
+    /// Allgather phase traffic.
+    Allgather,
+    /// Broadcast.
+    Bcast,
+    /// Barrier (zero-byte messages).
+    Barrier,
+    /// All-to-all(v) exchange.
+    AllToAll,
+    /// Gather/scatter to/from a root.
+    GatherScatter,
+    /// Inter-layer data redistribution (Section III-C shuffles).
+    Shuffle,
+}
+
+impl OpClass {
+    /// All classes, in index order.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::P2p,
+        OpClass::Halo,
+        OpClass::Allreduce,
+        OpClass::ReduceScatter,
+        OpClass::Allgather,
+        OpClass::Bcast,
+        OpClass::Barrier,
+        OpClass::AllToAll,
+        OpClass::GatherScatter,
+        OpClass::Shuffle,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class listed in ALL")
+    }
+}
+
+/// Message and byte counters for one rank, broken down by [`OpClass`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    messages: [u64; 10],
+    bytes: [u64; 10],
+}
+
+impl TrafficStats {
+    /// Record `messages` sends totalling `bytes` under `class`.
+    pub fn record(&mut self, class: OpClass, messages: u64, bytes: u64) {
+        let i = class.index();
+        self.messages[i] += messages;
+        self.bytes[i] += bytes;
+    }
+
+    /// Messages sent under `class`.
+    pub fn messages(&self, class: OpClass) -> u64 {
+        self.messages[class.index()]
+    }
+
+    /// Bytes sent under `class`.
+    pub fn bytes(&self, class: OpClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total messages sent across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Total bytes sent across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Merge another rank's counters into this one (for world aggregates).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..self.messages.len() {
+            self.messages[i] += other.messages[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query_by_class() {
+        let mut s = TrafficStats::default();
+        s.record(OpClass::Halo, 2, 100);
+        s.record(OpClass::Allreduce, 1, 64);
+        s.record(OpClass::Halo, 1, 28);
+        assert_eq!(s.messages(OpClass::Halo), 3);
+        assert_eq!(s.bytes(OpClass::Halo), 128);
+        assert_eq!(s.messages(OpClass::Allreduce), 1);
+        assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.total_bytes(), 192);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats::default();
+        a.record(OpClass::P2p, 1, 10);
+        let mut b = TrafficStats::default();
+        b.record(OpClass::P2p, 2, 20);
+        b.record(OpClass::Bcast, 1, 5);
+        a.merge(&b);
+        assert_eq!(a.messages(OpClass::P2p), 3);
+        assert_eq!(a.bytes(OpClass::P2p), 30);
+        assert_eq!(a.bytes(OpClass::Bcast), 5);
+    }
+}

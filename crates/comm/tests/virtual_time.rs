@@ -1,0 +1,147 @@
+//! Virtual-time simulation tests: the executed collective algorithms,
+//! run under the discrete-event clock, must take exactly the time the
+//! Thakur et al. closed forms predict — because both count the same
+//! message chains. This closes the loop between the *executed* system
+//! and the *analytic* performance model.
+
+use std::sync::Arc;
+
+use fg_comm::{run_ranks_timed, AllreduceAlgorithm, Collectives, Communicator, LinkModel, ReduceOp};
+
+fn uniform_link(alpha: f64, beta: f64) -> LinkModel {
+    Arc::new(move |_src, _dst, bytes| alpha + beta * bytes as f64)
+}
+
+const ALPHA: f64 = 5e-6;
+const BETA: f64 = 1e-9;
+
+#[test]
+fn ring_allreduce_virtual_time_matches_thakur_exactly() {
+    for p in [2usize, 4, 8] {
+        let n = 4096usize; // divisible by every p
+        let out = run_ranks_timed(p, uniform_link(ALPHA, BETA), |comm| {
+            let data = vec![1.0f32; n];
+            comm.allreduce_with(&data, ReduceOp::Sum, AllreduceAlgorithm::Ring)
+        });
+        // 2(P−1) lockstep rounds, each bounded by one chunk transfer.
+        let chunk_bytes = (n / p * 4) as f64;
+        let want = 2.0 * (p as f64 - 1.0) * (ALPHA + BETA * chunk_bytes);
+        for (_r, t) in &out {
+            assert!(
+                (t - want).abs() < 1e-12,
+                "P={p}: virtual time {t} vs Thakur {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recursive_doubling_virtual_time_matches_thakur() {
+    for p in [2usize, 4, 8, 16] {
+        let n = 1000usize;
+        let out = run_ranks_timed(p, uniform_link(ALPHA, BETA), |comm| {
+            let data = vec![1.0f32; n];
+            comm.allreduce_with(&data, ReduceOp::Sum, AllreduceAlgorithm::RecursiveDoubling)
+        });
+        let lg = (p as f64).log2();
+        let want = lg * (ALPHA + BETA * (n * 4) as f64);
+        for (_r, t) in &out {
+            assert!((t - want).abs() < 1e-12, "P={p}: {t} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn barrier_virtual_time_is_log_rounds() {
+    for p in [2usize, 4, 8] {
+        let out = run_ranks_timed(p, uniform_link(ALPHA, BETA), |comm| comm.barrier());
+        let want = (p as f64).log2().ceil() * ALPHA; // empty payloads
+        for (_r, t) in &out {
+            assert!((t - want).abs() < 1e-12, "P={p}: {t} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn communication_hides_under_advanced_compute() {
+    // The §IV-A overlap semantics, distilled: receiver computes while the
+    // message is in flight; total time is max(compute, transfer), not
+    // the sum.
+    let link = uniform_link(10e-6, 0.0);
+    let out = run_ranks_timed(2, link, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, vec![1.0f32; 100]);
+        } else {
+            comm.advance(25e-6); // interior compute: longer than the 10 µs link
+            let _ = comm.recv::<f32>(0, 1);
+        }
+        comm.now()
+    });
+    // Rank 1's clock: max(25 µs, 10 µs) = 25 µs — fully hidden.
+    assert!((out[1].1 - 25e-6).abs() < 1e-12, "overlap broken: {}", out[1].1);
+
+    let link = uniform_link(10e-6, 0.0);
+    let out = run_ranks_timed(2, link, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, vec![1.0f32; 100]);
+        } else {
+            comm.advance(4e-6); // too little compute to hide the link
+            let _ = comm.recv::<f32>(0, 1);
+        }
+        comm.now()
+    });
+    assert!((out[1].1 - 10e-6).abs() < 1e-12, "exposed latency wrong: {}", out[1].1);
+}
+
+#[test]
+fn sender_clock_gates_arrival() {
+    // A late sender delays the receiver: arrival = sender_now + link.
+    let link = uniform_link(1e-6, 0.0);
+    let out = run_ranks_timed(2, link, |comm| {
+        if comm.rank() == 0 {
+            comm.advance(50e-6); // busy before sending
+            comm.send(1, 1, vec![0u8; 8]);
+        } else {
+            let _ = comm.recv::<u8>(0, 1);
+        }
+        comm.now()
+    });
+    assert!((out[1].1 - 51e-6).abs() < 1e-12, "receiver must wait for the sender: {}", out[1].1);
+}
+
+#[test]
+fn heterogeneous_links_use_per_pair_times() {
+    // Ranks 0,1 on one "node" (fast), rank 2 remote (slow): a pipeline
+    // 0→1→2 accumulates the right per-hop times.
+    let link: LinkModel = Arc::new(|src, dst, _bytes| {
+        if src / 2 == dst / 2 {
+            1e-6
+        } else {
+            20e-6
+        }
+    });
+    let out = run_ranks_timed(3, link, |comm| {
+        match comm.rank() {
+            0 => comm.send(1, 1, vec![1u8]),
+            1 => {
+                let _ = comm.recv::<u8>(0, 1);
+                comm.send(2, 1, vec![1u8]);
+            }
+            _ => {
+                let _ = comm.recv::<u8>(1, 1);
+            }
+        }
+        comm.now()
+    });
+    assert!((out[1].1 - 1e-6).abs() < 1e-12);
+    assert!((out[2].1 - 21e-6).abs() < 1e-12);
+}
+
+#[test]
+fn untimed_runs_keep_zero_clocks() {
+    let out = fg_comm::run_ranks(3, |comm| {
+        let _ = comm.allreduce(&[1.0f32], ReduceOp::Sum);
+        comm.now()
+    });
+    assert!(out.iter().all(|&t| t == 0.0));
+}

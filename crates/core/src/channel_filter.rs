@@ -1,0 +1,294 @@
+//! Channel and filter parallelism for convolution (paper §III-D).
+//!
+//! The paper sketches these decompositions and defers implementation to
+//! future work; we implement the natural 1-D variant the sketch
+//! describes, over a group of `P` ranks:
+//!
+//! * the input `x` is partitioned on its **channel** dimension
+//!   (`x_loc = x[:, c_block(r), :, :]`);
+//! * the output `y` is partitioned on its **filter** dimension —
+//!   "if the input x to a layer is partitioned on its C dimension, the
+//!   output y is partitioned on its F dimension";
+//! * weights are stored in two shards per rank — `w_c = w[:, c_block]`
+//!   (used forward) and `w_f = w[f_block, :]` (used backward-data) —
+//!   so each rank holds `2/P` of the weights.
+//!
+//! Communication, matching the paper's analysis:
+//!
+//! * **forward**: local partial over owned channels for *all* filters,
+//!   then a reduce-scatter over the group completes the channel sum and
+//!   leaves each rank its filter block;
+//! * **backward-data**: symmetric — local partial from owned filters for
+//!   all channels, reduce-scatter onto channel blocks;
+//! * **backward-filter**: `dL/dw[f, c]` needs `x[c]` and `dy[f]`
+//!   co-located ("may require data to be gathered"): the group
+//!   allgathers `dy`, each rank computes `dw[:, c_block]`, and an
+//!   all-to-all of filter-block slices assembles `dw[f_block, :]`.
+
+use fg_comm::{Collectives, Communicator, ReduceOp};
+use fg_kernels::conv::{
+    conv2d_backward_data, conv2d_backward_filter, conv2d_forward, ConvGeometry,
+};
+use fg_tensor::{Box4, Shape4, Tensor};
+
+/// A convolution layer parallelized over channels and filters across a
+/// 1-D group of ranks. Spatial and sample dimensions stay local (compose
+/// with other parallelism at a higher level).
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelFilterConv2d {
+    /// Convolution geometry.
+    pub geom: ConvGeometry,
+    /// Mini-batch size.
+    pub n: usize,
+    /// Global input channels.
+    pub c: usize,
+    /// Global filters.
+    pub f: usize,
+    /// Group size P.
+    pub parts: usize,
+}
+
+impl ChannelFilterConv2d {
+    /// Create the layer; both `c` and `f` must be divisible into
+    /// non-empty blocks over `parts`.
+    pub fn new(n: usize, c: usize, f: usize, geom: ConvGeometry, parts: usize) -> Self {
+        assert!(c >= parts && f >= parts, "channel/filter blocks would be empty");
+        ChannelFilterConv2d { geom, n, c, f, parts }
+    }
+
+    /// Channel block of `rank`.
+    pub fn c_block(&self, rank: usize) -> std::ops::Range<usize> {
+        fg_comm::collectives::block_range(self.c, self.parts, rank)
+    }
+
+    /// Filter block of `rank`.
+    pub fn f_block(&self, rank: usize) -> std::ops::Range<usize> {
+        fg_comm::collectives::block_range(self.f, self.parts, rank)
+    }
+
+    /// Extract this rank's weight shards `(w_c, w_f)` from full weights
+    /// (for initialization/testing).
+    pub fn shard_weights(&self, w: &Tensor, rank: usize) -> (Tensor, Tensor) {
+        assert_eq!(w.shape(), Shape4::new(self.f, self.c, self.geom.kh, self.geom.kw));
+        let cb = self.c_block(rank);
+        let fb = self.f_block(rank);
+        let w_c = w.slice_box(&Box4::new(
+            [0, cb.start, 0, 0],
+            [self.f, cb.end, self.geom.kh, self.geom.kw],
+        ));
+        let w_f = w.slice_box(&Box4::new(
+            [fb.start, 0, 0, 0],
+            [fb.end, self.c, self.geom.kh, self.geom.kw],
+        ));
+        (w_c, w_f)
+    }
+
+    /// Forward: `x_loc (N, C_loc, H, W)` with `w_c (F, C_loc, K, K)` →
+    /// `y_loc (N, F_loc, OH, OW)`. Collective over the group.
+    pub fn forward<C: Communicator>(&self, comm: &C, x_loc: &Tensor, w_c: &Tensor) -> Tensor {
+        debug_assert_eq!(comm.size(), self.parts);
+        // Local partial for all filters over owned channels (Eq. 1's
+        // channel sum restricted to I_p^(C)).
+        let partial = conv2d_forward(x_loc, w_c, None, &self.geom);
+        // Reduce-scatter the filter dimension across the group.
+        self.reduce_scatter_dim_c(comm, &partial, self.f)
+    }
+
+    /// Backward-data: `dy_loc (N, F_loc, OH, OW)` with
+    /// `w_f (F_loc, C, K, K)` → `dx_loc (N, C_loc, H, W)`.
+    pub fn backward_data<C: Communicator>(&self, comm: &C, dy_loc: &Tensor, w_f: &Tensor) -> Tensor {
+        debug_assert_eq!(comm.size(), self.parts);
+        // Local partial over owned filters for all channels (Eq. 3's
+        // filter sum restricted to I_p^(F)).
+        let partial = conv2d_backward_data(dy_loc, w_f, &self.geom);
+        self.reduce_scatter_dim_c(comm, &partial, self.c)
+    }
+
+    /// Backward-filter: returns this rank's gradient shards
+    /// `(dw_c, dw_f)` (matching `shard_weights`' layout), with the
+    /// channel/filter sums completed inside the group. A cross-group
+    /// (sample) allreduce composes on top, as with replicated weights.
+    pub fn backward_filter<C: Communicator>(
+        &self,
+        comm: &C,
+        x_loc: &Tensor,
+        dy_loc: &Tensor,
+    ) -> (Tensor, Tensor) {
+        debug_assert_eq!(comm.size(), self.parts);
+        let rank = comm.rank();
+        // Gather the full error signal (partitioned on F) into the group.
+        let dy_parts = comm.allgatherv(dy_loc.as_slice().to_vec());
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let mut dy_full = Tensor::zeros(Shape4::new(self.n, self.f, oh, ow));
+        for (r, data) in dy_parts.iter().enumerate() {
+            let fb = self.f_block(r);
+            dy_full.unpack_box(&Box4::new([0, fb.start, 0, 0], [self.n, fb.end, oh, ow]), data);
+        }
+        // dw over my channel block, all filters.
+        let (dw_c, _db) = conv2d_backward_filter(x_loc, &dy_full, &self.geom);
+        // Exchange filter-block slices so each rank also assembles
+        // dw[f_block, :] (the w_f shard's gradient).
+        let sends: Vec<Vec<f32>> = (0..self.parts)
+            .map(|r| {
+                let fb = self.f_block(r);
+                let cb = self.c_block(rank);
+                dw_c.pack_box(&Box4::new(
+                    [fb.start, 0, 0, 0],
+                    [fb.end, cb.len(), self.geom.kh, self.geom.kw],
+                ))
+            })
+            .collect();
+        let recvs = comm.alltoallv(sends);
+        let fb = self.f_block(rank);
+        let mut dw_f = Tensor::zeros(Shape4::new(fb.len(), self.c, self.geom.kh, self.geom.kw));
+        for (r, data) in recvs.iter().enumerate() {
+            let cb = self.c_block(r);
+            dw_f.unpack_box(
+                &Box4::new([0, cb.start, 0, 0], [fb.len(), cb.end, self.geom.kh, self.geom.kw]),
+                data,
+            );
+        }
+        (dw_c, dw_f)
+    }
+
+    /// Reduce-scatter a locally complete tensor partitioned on its C
+    /// dimension: every rank contributes a full `(N, dim, H', W')`
+    /// partial; rank `r` receives the summed block `dim_block(r)`.
+    fn reduce_scatter_dim_c<C: Communicator>(&self, comm: &C, partial: &Tensor, dim: usize) -> Tensor {
+        let s = partial.shape();
+        debug_assert_eq!(s.c, dim);
+        // Pack per-destination blocks and exchange pairwise, then sum —
+        // a reduce-scatter with tensor-aware chunking.
+        let sends: Vec<Vec<f32>> = (0..self.parts)
+            .map(|r| {
+                let b = fg_comm::collectives::block_range(dim, self.parts, r);
+                partial.pack_box(&Box4::new([0, b.start, 0, 0], [s.n, b.end, s.h, s.w]))
+            })
+            .collect();
+        let recvs = comm.alltoallv(sends);
+        let my = fg_comm::collectives::block_range(dim, self.parts, comm.rank());
+        let mut out = vec![0.0f32; s.n * my.len() * s.h * s.w];
+        // Deterministic order: contributions summed by source rank.
+        for data in &recvs {
+            debug_assert_eq!(data.len(), out.len());
+            for (o, v) in out.iter_mut().zip(data) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(Shape4::new(s.n, my.len(), s.h, s.w), out)
+    }
+}
+
+/// Convenience used by tests and the perf model: the per-rank traffic of
+/// one forward reduce-scatter in elements (every rank sends P−1 blocks).
+pub fn forward_rs_elements(layer: &ChannelFilterConv2d) -> usize {
+    let per_block =
+        layer.n * layer.geom.out_h() * layer.geom.out_w() * (layer.f / layer.parts);
+    per_block * (layer.parts - 1)
+}
+
+// Re-export for the allreduce used when composing with sample groups.
+#[allow(unused_imports)]
+use ReduceOp as _ReduceOpUsed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_kernels::conv::{conv2d_backward_data as serial_bd, conv2d_backward_filter as serial_bf, conv2d_forward as serial_fwd};
+    use fg_tensor::Shape4;
+
+    fn pattern(shape: Shape4, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            (((n * 19 + c * 11 + h * 5 + w * 3 + seed) % 23) as f32) * 0.25 - 2.0
+        })
+    }
+
+    fn check(n: usize, c: usize, f: usize, geom: ConvGeometry, parts: usize) {
+        let layer = ChannelFilterConv2d::new(n, c, f, geom, parts);
+        let x = pattern(Shape4::new(n, c, geom.in_h, geom.in_w), 1);
+        let w = pattern(Shape4::new(f, c, geom.kh, geom.kw), 2);
+        let y_serial = serial_fwd(&x, &w, None, &geom);
+        let dy = pattern(y_serial.shape(), 3);
+        let dx_serial = serial_bd(&dy, &w, &geom);
+        let (dw_serial, _db) = serial_bf(&x, &dy, &geom);
+
+        let outs = run_ranks(parts, |comm| {
+            let r = comm.rank();
+            let cb = layer.c_block(r);
+            let fb = layer.f_block(r);
+            let x_loc = x.slice_box(&Box4::new([0, cb.start, 0, 0], [n, cb.end, geom.in_h, geom.in_w]));
+            let (w_c, w_f) = layer.shard_weights(&w, r);
+            let y_loc = layer.forward(comm, &x_loc, &w_c);
+            let dy_loc = dy.slice_box(&Box4::new(
+                [0, fb.start, 0, 0],
+                [n, fb.end, geom.out_h(), geom.out_w()],
+            ));
+            let dx_loc = layer.backward_data(comm, &dy_loc, &w_f);
+            let (dw_c, dw_f) = layer.backward_filter(comm, &x_loc, &dy_loc);
+            (y_loc, dx_loc, dw_c, dw_f)
+        });
+
+        for (r, (y_loc, dx_loc, dw_c, dw_f)) in outs.iter().enumerate() {
+            let fb = layer.f_block(r);
+            let cb = layer.c_block(r);
+            // Forward: y block matches serial.
+            let want_y = y_serial.slice_box(&Box4::new(
+                [0, fb.start, 0, 0],
+                [n, fb.end, geom.out_h(), geom.out_w()],
+            ));
+            y_loc.assert_close(&want_y, 1e-4);
+            // Backward-data: dx block matches serial.
+            let want_dx = dx_serial.slice_box(&Box4::new(
+                [0, cb.start, 0, 0],
+                [n, cb.end, geom.in_h, geom.in_w],
+            ));
+            dx_loc.assert_close(&want_dx, 1e-4);
+            // Filter gradients: both shards match serial slices.
+            let want_dw_c = dw_serial.slice_box(&Box4::new(
+                [0, cb.start, 0, 0],
+                [f, cb.end, geom.kh, geom.kw],
+            ));
+            dw_c.assert_close(&want_dw_c, 1e-4);
+            let want_dw_f = dw_serial.slice_box(&Box4::new(
+                [fb.start, 0, 0, 0],
+                [fb.end, c, geom.kh, geom.kw],
+            ));
+            dw_f.assert_close(&want_dw_f, 1e-4);
+        }
+    }
+
+    #[test]
+    fn two_way_channel_filter_matches_serial() {
+        check(2, 4, 6, ConvGeometry::square(6, 6, 3, 1, 1), 2);
+    }
+
+    #[test]
+    fn four_way_matches_serial() {
+        check(1, 8, 8, ConvGeometry::square(8, 8, 3, 1, 1), 4);
+    }
+
+    #[test]
+    fn strided_and_1x1_cases() {
+        check(2, 4, 4, ConvGeometry::square(8, 8, 3, 2, 1), 2);
+        check(1, 6, 9, ConvGeometry::square(5, 5, 1, 1, 0), 3);
+    }
+
+    #[test]
+    fn uneven_blocks_match_serial() {
+        // 5 channels / 7 filters over 2 ranks: blocks (3,2) and (4,3).
+        check(1, 5, 7, ConvGeometry::square(6, 6, 3, 1, 1), 2);
+    }
+
+    #[test]
+    fn weight_shards_cover_memory_claim() {
+        // Each rank holds F·C_loc + F_loc·C kernels ≈ 2/P of the weights.
+        let geom = ConvGeometry::square(8, 8, 3, 1, 1);
+        let layer = ChannelFilterConv2d::new(1, 8, 8, geom, 4);
+        let w = pattern(Shape4::new(8, 8, 3, 3), 9);
+        let (w_c, w_f) = layer.shard_weights(&w, 1);
+        assert_eq!(w_c.shape(), Shape4::new(8, 2, 3, 3));
+        assert_eq!(w_f.shape(), Shape4::new(2, 8, 3, 3));
+        assert_eq!(w_c.len() + w_f.len(), w.len() / 2); // 2/P with P=4
+    }
+}

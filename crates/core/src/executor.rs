@@ -1,0 +1,804 @@
+//! Distributed network execution under a parallel execution strategy.
+//!
+//! [`DistExecutor`] runs an `fg-nn` network spec across the ranks of a
+//! communicator, with each layer parallelized according to its
+//! [`crate::Strategy`] grid. It glues together the pieces of §III:
+//!
+//! * convolution / pooling layers run their halo-exchanging distributed
+//!   forms ([`crate::DistConv2d`], [`crate::DistPool2d`]);
+//! * when adjacent layers use different grids, activations (forward) and
+//!   error signals (backward) are shuffled with the §III-C all-to-all
+//!   redistribution;
+//! * after global average pooling, data switches to a *per-sample
+//!   replicated* representation (each sample group's ranks hold
+//!   identical `(n_loc, C, 1, 1)` tensors), which FC layers and
+//!   classification losses consume — the spatial ranks compute
+//!   redundantly, and cross-section subgroups keep reductions from
+//!   double-counting;
+//! * weight gradients finish with the allreduces of §III-A, after which
+//!   every rank applies the same optimizer step to its replicated
+//!   parameters ("SGD can proceed independently on each processor").
+//!
+//! The end-to-end invariant, tested below: a distributed training run
+//! produces the same losses and parameters as `fg_nn::Network` on a
+//! single device (exactly, up to floating-point reduction order).
+
+use fg_comm::{Collectives, Communicator, ReduceOp};
+use fg_kernels::batchnorm::BnStats;
+use fg_kernels::conv::ConvGeometry;
+use fg_kernels::loss::Labels;
+use fg_nn::network::{fc_backward, fc_forward};
+use fg_nn::{LayerKind, LayerParams, NetworkSpec, Sgd, BN_EPS};
+use fg_tensor::shuffle::redistribute;
+use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+
+use crate::distconv::DistConv2d;
+use crate::layers::{
+    cross_section_group, dist_add, dist_bn_backward, dist_bn_forward, dist_global_avg_pool,
+    dist_global_avg_pool_backward, dist_relu_backward, dist_relu_forward,
+    dist_softmax_xent_per_sample, dist_softmax_xent_shard, DistPool2d,
+};
+use crate::strategy::{Strategy, StrategyError};
+
+/// A distributed activation: either a shard of a global tensor, or a
+/// per-sample-replicated tensor (identical across a sample group).
+#[derive(Debug, Clone)]
+pub enum Act {
+    /// Standard sharded representation.
+    Shard(DistTensor),
+    /// `(n_loc, C, 1, 1)`, replicated across the spatial/channel ranks
+    /// of the sample group.
+    PerSample(Tensor),
+}
+
+impl Act {
+    fn shard(&self) -> &DistTensor {
+        match self {
+            Act::Shard(dt) => dt,
+            Act::PerSample(_) => panic!("expected a sharded activation"),
+        }
+    }
+
+    fn per_sample(&self) -> &Tensor {
+        match self {
+            Act::PerSample(t) => t,
+            Act::Shard(_) => panic!("expected a per-sample activation"),
+        }
+    }
+}
+
+/// Per-layer implementation objects precomputed from spec + strategy.
+#[derive(Debug, Clone)]
+enum LayerImpl {
+    Input { dist: TensorDist },
+    Conv(DistConv2d),
+    Pool(DistPool2d),
+    PointwiseShard { dist: TensorDist },
+    Gap,
+    Fc,
+    LossShard,
+    LossPerSample,
+}
+
+/// Saved state of one distributed forward pass.
+#[derive(Debug, Clone)]
+pub struct DistPass {
+    /// Output activation per layer.
+    pub acts: Vec<Act>,
+    /// The (possibly redistributed) input each layer consumed.
+    pub inputs: Vec<Vec<Act>>,
+    /// Haloed input windows kept by conv/pool layers.
+    pub windows: Vec<Option<DistTensor>>,
+    /// Batch-norm statistics.
+    pub bn_stats: Vec<Option<BnStats>>,
+    /// Global mean loss (identical on all ranks), if computed.
+    pub loss: Option<f64>,
+    /// ∂loss/∂logits in the loss layer's representation.
+    pub loss_grad: Option<Act>,
+}
+
+/// Distributed executor bound to a network, strategy, and batch size.
+#[derive(Debug, Clone)]
+pub struct DistExecutor {
+    /// The network architecture.
+    pub spec: NetworkSpec,
+    /// The parallel execution strategy.
+    pub strategy: Strategy,
+    /// Global mini-batch size.
+    pub batch: usize,
+    impls: Vec<LayerImpl>,
+    /// Per-layer batched global output shapes.
+    shapes: Vec<Shape4>,
+}
+
+impl DistExecutor {
+    /// Validate and prepare the executor.
+    pub fn new(spec: NetworkSpec, strategy: Strategy, batch: usize) -> Result<Self, StrategyError> {
+        strategy.validate(&spec, batch)?;
+        let per_sample = spec.shapes();
+        let shapes: Vec<Shape4> = per_sample
+            .iter()
+            .map(|&(c, h, w)| Shape4::new(batch, c, h, w))
+            .collect();
+        let mut impls = Vec::with_capacity(spec.len());
+        for (id, l) in spec.layers().iter().enumerate() {
+            let grid = strategy.grids[id];
+            let imp = match &l.kind {
+                LayerKind::Input { .. } => {
+                    LayerImpl::Input { dist: TensorDist::new(shapes[id], grid) }
+                }
+                LayerKind::Conv { filters, kernel, stride, pad, .. } => {
+                    let p = shapes[l.parents[0]];
+                    let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
+                    LayerImpl::Conv(DistConv2d::new(batch, p.c, *filters, geom, grid))
+                }
+                LayerKind::Pool { kind, kernel, stride, pad } => {
+                    let p = shapes[l.parents[0]];
+                    let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
+                    LayerImpl::Pool(DistPool2d::new(*kind, batch, p.c, geom, grid))
+                }
+                LayerKind::BatchNorm | LayerKind::Relu | LayerKind::Add => {
+                    LayerImpl::PointwiseShard { dist: TensorDist::new(shapes[id], grid) }
+                }
+                LayerKind::GlobalAvgPool => LayerImpl::Gap,
+                LayerKind::Fc { .. } => LayerImpl::Fc,
+                LayerKind::SoftmaxCrossEntropy => {
+                    // Per-sample only when the parent actually produces
+                    // the replicated representation (GAP/FC); a conv that
+                    // happens to emit a 1×1 map is still sharded.
+                    if matches!(impls[l.parents[0]], LayerImpl::Gap | LayerImpl::Fc) {
+                        LayerImpl::LossPerSample
+                    } else {
+                        LayerImpl::LossShard
+                    }
+                }
+            };
+            impls.push(imp);
+        }
+        Ok(DistExecutor { spec, strategy, batch, impls, shapes })
+    }
+
+    /// Fetch a parent activation as a shard in `want` distribution,
+    /// inserting a §III-C redistribution if the grids differ.
+    fn fetch_shard<C: Communicator>(&self, comm: &C, act: &Act, want: TensorDist) -> DistTensor {
+        let dt = act.shard();
+        if *dt.dist() == want {
+            dt.clone()
+        } else {
+            redistribute(comm, dt, want, [0; 4], [0; 4])
+        }
+    }
+
+    /// Forward pass. `x` is the full global input replicated on every
+    /// rank; for large samples prefer [`DistExecutor::forward_sharded`],
+    /// which never materializes the global tensor.
+    pub fn forward<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x: &Tensor,
+        labels: Option<&Labels>,
+    ) -> DistPass {
+        let input = match &self.impls[0] {
+            LayerImpl::Input { dist } => {
+                assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
+                Act::Shard(DistTensor::from_global(*dist, comm.rank(), x, [0; 4], [0; 4]))
+            }
+            _ => unreachable!("layer 0 is the input layer"),
+        };
+        self.forward_impl(comm, params, input, labels)
+    }
+
+    /// Forward pass from a pre-sharded input (distributed data loading):
+    /// each rank supplies only its owned block of the input, in the
+    /// input layer's distribution. This is how samples that exceed one
+    /// device's memory actually enter the pipeline.
+    pub fn forward_sharded<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x_shard: DistTensor,
+        labels: Option<&Labels>,
+    ) -> DistPass {
+        match &self.impls[0] {
+            LayerImpl::Input { dist } => {
+                assert_eq!(x_shard.dist(), dist, "shard does not match the input distribution");
+                assert_eq!(x_shard.rank(), comm.rank(), "shard belongs to a different rank");
+            }
+            _ => unreachable!("layer 0 is the input layer"),
+        }
+        self.forward_impl(comm, params, Act::Shard(x_shard), labels)
+    }
+
+    /// Sharded-input counterpart of [`DistExecutor::loss_and_grads`].
+    pub fn loss_and_grads_sharded<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x_shard: DistTensor,
+        labels: &Labels,
+    ) -> (f64, Vec<LayerParams>) {
+        let pass = self.forward_sharded(comm, params, x_shard, Some(labels));
+        let loss = pass.loss.expect("network must end in a loss layer");
+        let grads = self.backward(comm, params, &pass);
+        (loss, grads)
+    }
+
+    /// Distributed inference: batch-norm layers normalize with the
+    /// provided running statistics (indexed like the network's layers)
+    /// instead of batch statistics — no BN communication at all, and
+    /// outputs are independent of batch composition. Matches
+    /// [`fg_nn::Network::forward_inference`] bitwise.
+    pub fn forward_inference<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x: &Tensor,
+        bn_stats: &[Option<BnStats>],
+    ) -> DistPass {
+        assert_eq!(bn_stats.len(), self.spec.len(), "stats must align with layers");
+        let input = match &self.impls[0] {
+            LayerImpl::Input { dist } => {
+                assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
+                Act::Shard(DistTensor::from_global(*dist, comm.rank(), x, [0; 4], [0; 4]))
+            }
+            _ => unreachable!("layer 0 is the input layer"),
+        };
+        self.forward_with_bn(comm, params, input, None, Some(bn_stats))
+    }
+
+    fn forward_impl<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        input: Act,
+        labels: Option<&Labels>,
+    ) -> DistPass {
+        self.forward_with_bn(comm, params, input, labels, None)
+    }
+
+    fn forward_with_bn<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        input: Act,
+        labels: Option<&Labels>,
+        bn_override: Option<&[Option<BnStats>]>,
+    ) -> DistPass {
+        assert_eq!(comm.size(), self.strategy.world_size(), "communicator does not match strategy");
+        let n_layers = self.spec.len();
+        let mut pass = DistPass {
+            acts: Vec::with_capacity(n_layers),
+            inputs: vec![Vec::new(); n_layers],
+            windows: vec![None; n_layers],
+            bn_stats: vec![None; n_layers],
+            loss: None,
+            loss_grad: None,
+        };
+
+        for (id, l) in self.spec.layers().iter().enumerate() {
+            let grid = self.strategy.grids[id];
+            let act = match (&self.impls[id], &l.kind) {
+                (LayerImpl::Input { .. }, _) => input.clone(),
+                (LayerImpl::Conv(conv), LayerKind::Conv { .. }) => {
+                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], conv.in_dist);
+                    let (w, b) = conv_params(&params[id]);
+                    // §IV-A: overlap halo exchange with interior compute
+                    // (bitwise-identical results either way).
+                    let (y, win) = if self.strategy.overlap_halo {
+                        crate::overlap::forward_overlapped(conv, comm, &xin, w, b)
+                    } else {
+                        conv.forward(comm, &xin, w, b)
+                    };
+                    pass.inputs[id].push(Act::Shard(xin));
+                    pass.windows[id] = Some(win);
+                    Act::Shard(y)
+                }
+                (LayerImpl::Pool(pool), _) => {
+                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], pool.in_dist);
+                    let (y, win) = pool.forward(comm, &xin);
+                    pass.inputs[id].push(Act::Shard(xin));
+                    pass.windows[id] = Some(win);
+                    Act::Shard(y)
+                }
+                (LayerImpl::PointwiseShard { dist }, LayerKind::BatchNorm) => {
+                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], *dist);
+                    let (gamma, beta) = bn_params(&params[id]);
+                    let (y, stats) = match bn_override.and_then(|o| o[id].as_ref()) {
+                        // Inference: fixed statistics, purely local.
+                        Some(st) => {
+                            let y_local = fg_kernels::batchnorm::bn_forward_with_stats(
+                                &xin.owned_tensor(),
+                                st,
+                                gamma,
+                                beta,
+                                BN_EPS,
+                            );
+                            let mut y = DistTensor::new_unpadded(*xin.dist(), xin.rank());
+                            y.set_owned(&y_local);
+                            (y, st.clone())
+                        }
+                        None => {
+                            dist_bn_forward(comm, &xin, gamma, beta, BN_EPS, self.strategy.bn_mode)
+                        }
+                    };
+                    pass.inputs[id].push(Act::Shard(xin));
+                    pass.bn_stats[id] = Some(stats);
+                    Act::Shard(y)
+                }
+                (LayerImpl::PointwiseShard { dist }, LayerKind::Relu) => {
+                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], *dist);
+                    let y = dist_relu_forward(&xin);
+                    pass.inputs[id].push(Act::Shard(xin));
+                    Act::Shard(y)
+                }
+                (LayerImpl::PointwiseShard { dist }, LayerKind::Add) => {
+                    let shards: Vec<DistTensor> = l
+                        .parents
+                        .iter()
+                        .map(|&p| self.fetch_shard(comm, &pass.acts[p], *dist))
+                        .collect();
+                    let refs: Vec<&DistTensor> = shards.iter().collect();
+                    let y = dist_add(&refs);
+                    for s in shards {
+                        pass.inputs[id].push(Act::Shard(s));
+                    }
+                    Act::Shard(y)
+                }
+                (LayerImpl::Gap, _) => {
+                    let xin = pass.acts[l.parents[0]].shard().clone();
+                    let y = dist_global_avg_pool(comm, &xin);
+                    pass.inputs[id].push(Act::Shard(xin));
+                    Act::PerSample(y)
+                }
+                (LayerImpl::Fc, LayerKind::Fc { out_features }) => {
+                    let xin = pass.acts[l.parents[0]].per_sample().clone();
+                    let (w, b) = fc_params(&params[id]);
+                    let y = fc_forward(&xin, w, b, *out_features);
+                    pass.inputs[id].push(Act::PerSample(xin));
+                    Act::PerSample(y)
+                }
+                (LayerImpl::LossShard, _) => {
+                    let logits = pass.acts[l.parents[0]].shard().clone();
+                    if let Some(labels) = labels {
+                        let (loss, dl) = dist_softmax_xent_shard(comm, &logits, labels);
+                        pass.loss = Some(loss);
+                        pass.loss_grad = Some(Act::Shard(dl));
+                    }
+                    Act::Shard(logits)
+                }
+                (LayerImpl::LossPerSample, _) => {
+                    let logits = pass.acts[l.parents[0]].per_sample().clone();
+                    if let Some(labels) = labels {
+                        let local = self.slice_labels(comm, grid, labels);
+                        let (loss, dl) =
+                            dist_softmax_xent_per_sample(comm, grid, &logits, &local);
+                        pass.loss = Some(loss);
+                        pass.loss_grad = Some(Act::PerSample(dl));
+                    }
+                    Act::PerSample(logits)
+                }
+                (imp, kind) => unreachable!("impl {imp:?} does not match kind {kind:?}"),
+            };
+            pass.acts.push(act);
+        }
+        pass
+    }
+
+    /// Slice global classification labels to this rank's sample block.
+    fn slice_labels<C: Communicator>(&self, comm: &C, grid: ProcGrid, labels: &Labels) -> Labels {
+        assert_eq!(labels.n, self.batch, "labels do not match the batch");
+        let coords = grid.coords(comm.rank());
+        let nb = fg_comm::collectives::block_range(self.batch, grid.n, coords[0]);
+        Labels::per_sample(labels.data[nb].to_vec())
+    }
+
+    /// Backward pass; returns per-layer parameter gradients, identical
+    /// on every rank (ready for the replicated optimizer step).
+    pub fn backward<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        pass: &DistPass,
+    ) -> Vec<LayerParams> {
+        let n_layers = self.spec.len();
+        let mut grads: Vec<LayerParams> = params.iter().map(|p| p.zeros_like()).collect();
+        let mut dout: Vec<Option<Act>> = vec![None; n_layers];
+
+        for id in (0..n_layers).rev() {
+            let l = self.spec.layer(id);
+            if matches!(l.kind, LayerKind::SoftmaxCrossEntropy) {
+                let g = pass.loss_grad.clone().expect("backward requires labels in forward");
+                accumulate(&mut dout[l.parents[0]], g);
+                continue;
+            }
+            let Some(dy) = dout[id].take() else { continue };
+            match (&self.impls[id], &l.kind) {
+                (LayerImpl::Input { .. }, _) => {}
+                (LayerImpl::Conv(conv), LayerKind::Conv { .. }) => {
+                    let dy = dy.shard();
+                    let (w, b) = conv_params(&params[id]);
+                    let win = pass.windows[id].as_ref().expect("window saved in forward");
+                    // §IV-A: the dy halo exchange hides inside the
+                    // (halo-free) filter convolution when overlapping.
+                    let (dx, dw, db) = if self.strategy.overlap_halo {
+                        crate::overlap::backward_overlapped(conv, comm, win, dy, w, b.is_some())
+                    } else {
+                        let dx = conv.backward_data(comm, dy, w);
+                        let (dw, db) = conv.backward_filter(comm, win, dy, b.is_some());
+                        (dx, dw, db)
+                    };
+                    grads[id] = LayerParams::Conv { w: dw, b: db };
+                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
+                }
+                (LayerImpl::Pool(pool), _) => {
+                    let dy = dy.shard();
+                    let win = pass.windows[id].as_ref().expect("window saved in forward");
+                    let dx = pool.backward(comm, win, dy);
+                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
+                }
+                (LayerImpl::PointwiseShard { .. }, LayerKind::BatchNorm) => {
+                    let dy = dy.shard();
+                    let xin = pass.inputs[id][0].shard();
+                    let stats = pass.bn_stats[id].as_ref().expect("BN stats saved");
+                    let (gamma, _beta) = bn_params(&params[id]);
+                    let (dx, dgamma, dbeta) = dist_bn_backward(
+                        comm,
+                        xin,
+                        dy,
+                        stats,
+                        gamma,
+                        BN_EPS,
+                        self.strategy.bn_mode,
+                    );
+                    grads[id] = LayerParams::Bn { gamma: dgamma, beta: dbeta };
+                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
+                }
+                (LayerImpl::PointwiseShard { .. }, LayerKind::Relu) => {
+                    let dy = dy.shard();
+                    let xin = pass.inputs[id][0].shard();
+                    let dx = dist_relu_backward(xin, dy);
+                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
+                }
+                (LayerImpl::PointwiseShard { .. }, LayerKind::Add) => {
+                    let dy = dy.shard();
+                    for &p in &l.parents {
+                        self.push_to_parent(comm, &mut dout, p, dy.clone());
+                    }
+                }
+                (LayerImpl::Gap, _) => {
+                    let dy = dy.per_sample();
+                    let xin = pass.inputs[id][0].shard();
+                    let dx = dist_global_avg_pool_backward(xin, dy);
+                    // GAP's parent shares its grid (per-sample validation),
+                    // so no redistribution is needed, but route uniformly.
+                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
+                }
+                (LayerImpl::Fc, _) => {
+                    let dy = dy.per_sample();
+                    let xin = pass.inputs[id][0].per_sample();
+                    let (w, _b) = fc_params(&params[id]);
+                    let (dx, dw, db) = fc_backward(xin, w, dy);
+                    // Sum FC gradients over distinct sample blocks only
+                    // (replicas within a sample group hold identical
+                    // partials).
+                    let group = cross_section_group(comm, self.strategy.grids[id]);
+                    let mut flat = dw.as_slice().to_vec();
+                    flat.extend_from_slice(&db);
+                    let flat = group.allreduce(&flat, ReduceOp::Sum);
+                    let dw_len = dw.len();
+                    grads[id] = LayerParams::Fc {
+                        w: Tensor::from_vec(dw.shape(), flat[..dw_len].to_vec()),
+                        b: flat[dw_len..].to_vec(),
+                    };
+                    accumulate(&mut dout[l.parents[0]], Act::PerSample(dx));
+                }
+                (LayerImpl::LossShard | LayerImpl::LossPerSample, _) => unreachable!(),
+                (imp, kind) => unreachable!("impl {imp:?} does not match kind {kind:?}"),
+            }
+        }
+        grads
+    }
+
+    /// Route a sharded error signal to a parent, redistributing back to
+    /// the parent's grid when it differs (backward §III-C shuffle).
+    fn push_to_parent<C: Communicator>(
+        &self,
+        comm: &C,
+        dout: &mut [Option<Act>],
+        parent: usize,
+        dx: DistTensor,
+    ) {
+        let want = TensorDist::new(self.shapes[parent], self.strategy.grids[parent]);
+        let routed = if *dx.dist() == want {
+            dx
+        } else {
+            redistribute(comm, &dx, want, [0; 4], [0; 4])
+        };
+        accumulate(&mut dout[parent], Act::Shard(routed));
+    }
+
+    /// Forward + backward; returns `(loss, grads)`.
+    pub fn loss_and_grads<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x: &Tensor,
+        labels: &Labels,
+    ) -> (f64, Vec<LayerParams>) {
+        let pass = self.forward(comm, params, x, Some(labels));
+        let loss = pass.loss.expect("network must end in a loss layer");
+        let grads = self.backward(comm, params, &pass);
+        (loss, grads)
+    }
+
+    /// One training step: forward, backward, replicated SGD update.
+    pub fn train_step<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &mut [LayerParams],
+        opt: &mut Sgd,
+        x: &Tensor,
+        labels: &Labels,
+    ) -> f64 {
+        let (loss, grads) = self.loss_and_grads(comm, params, x, labels);
+        opt.step(params, &grads);
+        loss
+    }
+}
+
+fn accumulate(slot: &mut Option<Act>, g: Act) {
+    match (slot.as_mut(), g) {
+        (None, g) => *slot = Some(g),
+        (Some(Act::Shard(acc)), Act::Shard(g)) => {
+            assert_eq!(acc.dist(), g.dist(), "accumulating mismatched shards");
+            let mut sum = acc.owned_tensor();
+            sum.add_assign(&g.owned_tensor());
+            acc.set_owned(&sum);
+        }
+        (Some(Act::PerSample(acc)), Act::PerSample(g)) => acc.add_assign(&g),
+        _ => panic!("accumulating mismatched activation representations"),
+    }
+}
+
+fn conv_params(p: &LayerParams) -> (&Tensor, Option<&[f32]>) {
+    match p {
+        LayerParams::Conv { w, b } => (w, b.as_deref()),
+        other => panic!("expected conv params, found {other:?}"),
+    }
+}
+
+fn bn_params(p: &LayerParams) -> (&[f32], &[f32]) {
+    match p {
+        LayerParams::Bn { gamma, beta } => (gamma, beta),
+        other => panic!("expected bn params, found {other:?}"),
+    }
+}
+
+fn fc_params(p: &LayerParams) -> (&Tensor, &[f32]) {
+    match p {
+        LayerParams::Fc { w, b } => (w, b),
+        other => panic!("expected fc params, found {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_nn::Network;
+
+    /// A miniature mesh-tangling style segmentation model: conv-bn-relu
+    /// blocks with a final prediction conv and per-pixel loss (§VI).
+    fn mini_mesh_net() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("data", 3, 16, 16);
+        let c1 = net.conv("conv1_1", i, 4, 3, 1, 1);
+        let b1 = net.batchnorm("bn1_1", c1);
+        let r1 = net.relu("relu1_1", b1);
+        let c2 = net.conv("conv1_2", r1, 4, 3, 2, 1); // downsample
+        let b2 = net.batchnorm("bn1_2", c2);
+        let r2 = net.relu("relu1_2", b2);
+        let c3 = net.conv("conv2_1", r2, 4, 3, 1, 1);
+        let r3 = net.relu("relu2_1", c3);
+        let pred = net.conv("pred", r3, 2, 1, 1, 0);
+        net.loss("loss", pred);
+        net
+    }
+
+    /// A miniature ResNet-style classification model with a residual
+    /// join, max pool, GAP and FC.
+    fn mini_resnet() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("data", 3, 16, 16);
+        let c1 = net.conv("conv1", i, 4, 3, 1, 1);
+        let b1 = net.batchnorm("bn1", c1);
+        let r1 = net.relu("relu1", b1);
+        let p1 = net.maxpool("pool1", r1, 3, 2, 1);
+        let c2a = net.conv("res_branch2a", p1, 4, 3, 1, 1);
+        let r2a = net.relu("res_relu", c2a);
+        let c2b = net.conv("res_branch2b", r2a, 4, 3, 1, 1);
+        let j = net.add_join("res_add", &[c2b, p1]);
+        let r2 = net.relu("relu2", j);
+        let g = net.global_avg_pool("gap", r2);
+        let f = net.fc("fc", g, 5);
+        net.loss("loss", f);
+        net
+    }
+
+    fn seg_batch(n: usize, h: usize, w: usize) -> (Tensor, Labels) {
+        let x = Tensor::from_fn(Shape4::new(n, 3, h, w), |k, c, i, j| {
+            (((k * 13 + c * 7 + i * 3 + j) % 11) as f32) * 0.3 - 1.5
+        });
+        let labels = Labels::per_pixel(
+            n,
+            h / 2,
+            w / 2,
+            (0..n * (h / 2) * (w / 2)).map(|i| (i % 2) as u32).collect(),
+        );
+        (x, labels)
+    }
+
+    fn cls_batch(n: usize) -> (Tensor, Labels) {
+        let x = Tensor::from_fn(Shape4::new(n, 3, 16, 16), |k, c, i, j| {
+            (((k * 17 + c * 5 + i * 3 + j) % 9) as f32) * 0.25 - 1.0
+        });
+        let labels = Labels::per_sample((0..n as u32).map(|k| k % 5).collect());
+        (x, labels)
+    }
+
+    /// Distributed training (several steps) must track serial training.
+    fn check_training_equivalence(
+        spec: NetworkSpec,
+        grid: ProcGrid,
+        x: Tensor,
+        labels: Labels,
+        steps: usize,
+        tol: f64,
+    ) {
+        let batch = x.shape().n;
+        let serial = Network::init(spec.clone(), 99);
+        let mut serial_net = serial.clone();
+        let mut serial_losses = Vec::new();
+        let mut opt = Sgd::new(0.02, 0.9, 1e-4, &serial_net.params);
+        for _ in 0..steps {
+            let (loss, grads) = serial_net.loss_and_grads(&x, &labels);
+            opt.step(&mut serial_net.params, &grads);
+            serial_losses.push(loss);
+        }
+
+        let strategy = Strategy::uniform(&spec, grid);
+        let exec = DistExecutor::new(spec, strategy, batch).expect("strategy valid");
+        let dist_losses = run_ranks(grid.size(), |comm| {
+            let mut params = serial.params.clone();
+            let mut opt = Sgd::new(0.02, 0.9, 1e-4, &params);
+            let mut losses = Vec::new();
+            for _ in 0..steps {
+                losses.push(exec.train_step(comm, &mut params, &mut opt, &x, &labels));
+            }
+            losses
+        });
+        // All ranks agree exactly.
+        for l in &dist_losses {
+            assert_eq!(l, &dist_losses[0], "ranks disagree on losses");
+        }
+        for (s, d) in serial_losses.iter().zip(&dist_losses[0]) {
+            assert!(
+                (s - d).abs() <= tol * s.abs().max(1.0),
+                "losses diverged: serial {serial_losses:?} vs dist {:?}",
+                dist_losses[0]
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_net_spatial_matches_serial() {
+        let (x, labels) = seg_batch(2, 16, 16);
+        check_training_equivalence(mini_mesh_net(), ProcGrid::spatial(2, 2), x, labels, 3, 1e-3);
+    }
+
+    #[test]
+    fn mesh_net_hybrid_matches_serial() {
+        let (x, labels) = seg_batch(4, 16, 16);
+        check_training_equivalence(mini_mesh_net(), ProcGrid::hybrid(2, 2, 1), x, labels, 3, 1e-3);
+    }
+
+    #[test]
+    fn mesh_net_sample_matches_serial() {
+        let (x, labels) = seg_batch(4, 16, 16);
+        check_training_equivalence(mini_mesh_net(), ProcGrid::sample(4), x, labels, 3, 1e-3);
+    }
+
+    #[test]
+    fn resnet_hybrid_matches_serial() {
+        let (x, labels) = cls_batch(4);
+        check_training_equivalence(mini_resnet(), ProcGrid::hybrid(2, 1, 2), x, labels, 3, 2e-3);
+    }
+
+    #[test]
+    fn resnet_spatial_matches_serial() {
+        let (x, labels) = cls_batch(2);
+        check_training_equivalence(mini_resnet(), ProcGrid::spatial(2, 2), x, labels, 2, 2e-3);
+    }
+
+    #[test]
+    fn mixed_strategy_with_redistribution_matches_serial() {
+        // First conv spatial (2x2), rest sample-parallel: exercises the
+        // §III-C shuffles in both directions.
+        let spec = mini_mesh_net();
+        let (x, labels) = seg_batch(4, 16, 16);
+        let serial = Network::init(spec.clone(), 7);
+        let (serial_loss, serial_grads) = serial.loss_and_grads(&x, &labels);
+
+        let mut strategy = Strategy::uniform(&spec, ProcGrid::sample(4));
+        for name in ["data", "conv1_1", "bn1_1", "relu1_1"] {
+            strategy.grids[spec.find(name).unwrap()] = ProcGrid::spatial(2, 2);
+        }
+        let exec = DistExecutor::new(spec, strategy, 4).expect("strategy valid");
+        let outs = run_ranks(4, |comm| exec.loss_and_grads(comm, &serial.params, &x, &labels));
+        for (loss, grads) in &outs {
+            assert!((loss - serial_loss).abs() < 1e-6, "{loss} vs {serial_loss}");
+            for (g_d, g_s) in grads.iter().zip(&serial_grads) {
+                let fd = g_d.to_flat();
+                let fs = g_s.to_flat();
+                for (a, b) in fd.iter().zip(&fs) {
+                    assert!(
+                        (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                        "gradient mismatch {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_identical_across_ranks() {
+        let spec = mini_resnet();
+        let (x, labels) = cls_batch(4);
+        let net = Network::init(spec.clone(), 3);
+        let strategy = Strategy::uniform(&spec, ProcGrid::hybrid(2, 2, 1));
+        let exec = DistExecutor::new(spec, strategy, 4).unwrap();
+        let outs = run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x, &labels));
+        for (_, grads) in &outs {
+            for (a, b) in grads.iter().zip(&outs[0].1) {
+                assert_eq!(a.to_flat(), b.to_flat(), "ranks must hold identical gradients");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_mode_is_bitwise_identical() {
+        let spec = mini_mesh_net();
+        let (x, labels) = seg_batch(2, 16, 16);
+        let net = Network::init(spec.clone(), 21);
+        let grid = ProcGrid::spatial(2, 2);
+        let with = DistExecutor::new(
+            spec.clone(),
+            Strategy::uniform(&spec, grid).with_overlap(true),
+            2,
+        )
+        .unwrap();
+        let without = DistExecutor::new(
+            spec.clone(),
+            Strategy::uniform(&spec, grid).with_overlap(false),
+            2,
+        )
+        .unwrap();
+        let a = run_ranks(4, |comm| with.loss_and_grads(comm, &net.params, &x, &labels));
+        let b = run_ranks(4, |comm| without.loss_and_grads(comm, &net.params, &x, &labels));
+        for ((la, ga), (lb, gb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb, "overlap changed the loss");
+            for (x, y) in ga.iter().zip(gb) {
+                assert_eq!(x.to_flat(), y.to_flat(), "overlap changed gradients");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_rejects_invalid_strategies() {
+        let spec = mini_resnet();
+        let s = Strategy::sample_parallel(&spec, 8);
+        // Batch 4 cannot feed 8 sample-parallel ranks.
+        assert!(DistExecutor::new(spec, s, 4).is_err());
+    }
+}

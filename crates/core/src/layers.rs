@@ -1,0 +1,632 @@
+//! Distributed versions of the non-convolution layers (paper §III-B).
+//!
+//! * **Pooling** — partitioned like convolution, with halo exchanges
+//!   sized from the pooling window.
+//! * **Batch normalization** — two variants, as discussed in the paper:
+//!   [`BnMode::Local`] (statistics over the local shard only; no
+//!   communication, different numerics from a single device) and
+//!   [`BnMode::Aggregated`] (partial moments allreduced, exactly
+//!   replicating single-device training).
+//! * **ReLU / Add** — elementwise; "parallelize trivially regardless of
+//!   distribution".
+//! * **Global average pooling** — spatial-partial sums reduced within
+//!   each sample's spatial group, producing a *per-sample replicated*
+//!   activation (the representation FC layers and classification losses
+//!   consume).
+//! * **Softmax cross-entropy** — per-position over shards (semantic
+//!   segmentation) or per-sample over replicated activations
+//!   (classification).
+
+use fg_comm::{Collectives, Communicator, ReduceOp, SubComm};
+use fg_kernels::batchnorm::{
+    bn_backward_apply, bn_backward_partials, bn_forward_with_stats, bn_partial_moments,
+    BnPartials, BnStats,
+};
+use fg_kernels::conv::ConvGeometry;
+use fg_kernels::loss::{softmax_cross_entropy, Labels};
+use fg_kernels::pool::{pool2d_backward_region, pool2d_forward_region, PoolKind};
+use fg_tensor::halo::exchange_halo;
+use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist, NDIMS};
+
+/// Batch-norm statistics scope under data decomposition (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BnMode {
+    /// Statistics over the whole mini-batch (allreduced); bit-comparable
+    /// to single-device training.
+    #[default]
+    Aggregated,
+    /// Purely local statistics; no communication (the "typically
+    /// computed locally" variant).
+    Local,
+}
+
+/// A distributed 2-D pooling layer.
+#[derive(Debug, Clone)]
+pub struct DistPool2d {
+    /// Pooling kind.
+    pub kind: PoolKind,
+    /// Window geometry (reuses the convolution geometry container).
+    pub geom: ConvGeometry,
+    /// Input distribution.
+    pub in_dist: TensorDist,
+    /// Output distribution.
+    pub out_dist: TensorDist,
+    x_margins: ([usize; NDIMS], [usize; NDIMS]),
+    dy_margins: ([usize; NDIMS], [usize; NDIMS]),
+}
+
+impl DistPool2d {
+    /// Create a pooling layer over `grid` (channel extent must be 1).
+    pub fn new(kind: PoolKind, n: usize, c: usize, geom: ConvGeometry, grid: ProcGrid) -> Self {
+        assert_eq!(grid.c, 1, "pooling does not partition channels");
+        let in_shape = Shape4::new(n, c, geom.in_h, geom.in_w);
+        let out_shape = Shape4::new(n, c, geom.out_h(), geom.out_w());
+        let in_dist = TensorDist::new(in_shape, grid);
+        let out_dist = TensorDist::new(out_shape, grid);
+        assert!(
+            in_dist.is_fully_populated() && out_dist.is_fully_populated(),
+            "grid {grid} leaves ranks without work for pooling on {in_shape}"
+        );
+        // The x window must cover forward taps of the owned output block
+        // AND (for backward) the taps of every output contributing to the
+        // owned input block. Take the elementwise max of the two needs.
+        let h = margin_max(grid.h, in_shape.h, out_shape.h, |o0, o1| {
+            geom.input_rows_for_output(o0, o1)
+        }, |i0, i1| geom.output_rows_for_input(i0, i1));
+        let w = margin_max(grid.w, in_shape.w, out_shape.w, |o0, o1| {
+            geom.input_cols_for_output(o0, o1)
+        }, |i0, i1| geom.output_cols_for_input(i0, i1));
+        let x_margins = ([0, 0, h.0 .0, w.0 .0], [0, 0, h.0 .1, w.0 .1]);
+        let dy_margins = ([0, 0, h.1 .0, w.1 .0], [0, 0, h.1 .1, w.1 .1]);
+        DistPool2d { kind, geom, in_dist, out_dist, x_margins, dy_margins }
+    }
+
+    /// Forward pooling; returns `(y, x_window)`.
+    pub fn forward<C: Communicator>(&self, comm: &C, x: &DistTensor) -> (DistTensor, DistTensor) {
+        debug_assert_eq!(*x.dist(), self.in_dist);
+        let mut win =
+            DistTensor::new(self.in_dist, comm.rank(), self.x_margins.0, self.x_margins.1);
+        win.set_owned(&x.owned_tensor());
+        exchange_halo(comm, &mut win);
+        let mut y = DistTensor::new_unpadded(self.out_dist, comm.rank());
+        let ob = y.own_box();
+        let local = pool2d_forward_region(
+            self.kind,
+            win.local(),
+            (win.origin()[2], win.origin()[3]),
+            &self.geom,
+            (ob.lo[2], ob.hi[2]),
+            (ob.lo[3], ob.hi[3]),
+        );
+        y.set_owned(&local);
+        (y, win)
+    }
+
+    /// Backward pooling: error signal for the parent.
+    pub fn backward<C: Communicator>(
+        &self,
+        comm: &C,
+        x_window: &DistTensor,
+        dy: &DistTensor,
+    ) -> DistTensor {
+        debug_assert_eq!(*dy.dist(), self.out_dist);
+        let mut dyw =
+            DistTensor::new(self.out_dist, comm.rank(), self.dy_margins.0, self.dy_margins.1);
+        dyw.set_owned(&dy.owned_tensor());
+        exchange_halo(comm, &mut dyw);
+        let mut dx = DistTensor::new_unpadded(self.in_dist, comm.rank());
+        let ib = dx.own_box();
+        let local = pool2d_backward_region(
+            self.kind,
+            x_window.local(),
+            (x_window.origin()[2], x_window.origin()[3]),
+            dyw.local(),
+            (dyw.origin()[2], dyw.origin()[3]),
+            &self.geom,
+            (ib.lo[2], ib.hi[2]),
+            (ib.lo[3], ib.hi[3]),
+        );
+        dx.set_owned(&local);
+        dx
+    }
+}
+
+/// For one dimension, compute `(x_margins, dy_margins)` as
+/// `((lo, hi), (lo, hi))` covering both forward and backward needs.
+#[allow(clippy::type_complexity)]
+fn margin_max(
+    parts: usize,
+    in_total: usize,
+    out_total: usize,
+    in_for_out: impl Fn(usize, usize) -> (i64, i64),
+    out_for_in: impl Fn(usize, usize) -> (usize, usize),
+) -> ((usize, usize), (usize, usize)) {
+    let mut x_lo = 0i64;
+    let mut x_hi = 0i64;
+    let mut d_lo = 0i64;
+    let mut d_hi = 0i64;
+    for g in 0..parts {
+        let ib = fg_comm::collectives::block_range(in_total, parts, g);
+        let ob = fg_comm::collectives::block_range(out_total, parts, g);
+        // Forward: x needed for own output block.
+        let (lo, hi) = in_for_out(ob.start, ob.end);
+        x_lo = x_lo.max(ib.start as i64 - lo);
+        x_hi = x_hi.max(hi - ib.end as i64);
+        // Backward: outputs touching own input block...
+        let (q0, q1) = out_for_in(ib.start, ib.end);
+        d_lo = d_lo.max(ob.start as i64 - q0 as i64);
+        d_hi = d_hi.max(q1 as i64 - ob.end as i64);
+        // ...and the x taps of those outputs (the backward kernel walks
+        // each contributing window over x).
+        if q0 < q1 {
+            let (lo, hi) = in_for_out(q0, q1);
+            x_lo = x_lo.max(ib.start as i64 - lo);
+            x_hi = x_hi.max(hi - ib.end as i64);
+        }
+    }
+    (
+        (x_lo.max(0) as usize, x_hi.max(0) as usize),
+        (d_lo.max(0) as usize, d_hi.max(0) as usize),
+    )
+}
+
+/// Distributed batch-norm forward on an unpadded shard. Returns
+/// `(y, stats)`; in aggregated mode the stats equal single-device batch
+/// statistics.
+pub fn dist_bn_forward<C: Communicator>(
+    comm: &C,
+    x: &DistTensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    mode: BnMode,
+) -> (DistTensor, BnStats) {
+    let owned = x.owned_tensor();
+    let partials = bn_partial_moments(&owned);
+    let stats = match mode {
+        BnMode::Local => partials.finalize(),
+        BnMode::Aggregated => {
+            let summed = comm.allreduce(&partials.to_flat(), ReduceOp::Sum);
+            BnPartials::from_flat(&summed, owned.shape().c).finalize()
+        }
+    };
+    let y_local = bn_forward_with_stats(&owned, &stats, gamma, beta, eps);
+    let mut y = DistTensor::new_unpadded(*x.dist(), x.rank());
+    y.set_owned(&y_local);
+    (y, stats)
+}
+
+/// Distributed batch-norm backward. Returns `(dx, dgamma, dbeta)` with
+/// parameter gradients already globally summed (identical on all ranks).
+pub fn dist_bn_backward<C: Communicator>(
+    comm: &C,
+    x: &DistTensor,
+    dy: &DistTensor,
+    stats: &BnStats,
+    gamma: &[f32],
+    eps: f32,
+    mode: BnMode,
+) -> (DistTensor, Vec<f32>, Vec<f32>) {
+    let x_owned = x.owned_tensor();
+    let dy_owned = dy.owned_tensor();
+    let (sum_dy, sum_dy_xhat) = bn_backward_partials(&x_owned, &dy_owned, stats, eps);
+    let c = x_owned.shape().c;
+    match mode {
+        BnMode::Aggregated => {
+            // One allreduce carries both partials plus the local count.
+            let mut flat = sum_dy.clone();
+            flat.extend_from_slice(&sum_dy_xhat);
+            flat.push((x_owned.shape().n * x_owned.shape().h * x_owned.shape().w) as f64);
+            let summed = comm.allreduce(&flat, ReduceOp::Sum);
+            let g_sum_dy = &summed[..c];
+            let g_sum_dy_xhat = &summed[c..2 * c];
+            let total = summed[2 * c];
+            let dx_local = bn_backward_apply(
+                &x_owned, &dy_owned, stats, gamma, g_sum_dy, g_sum_dy_xhat, total, eps,
+            );
+            let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+            dx.set_owned(&dx_local);
+            let dgamma: Vec<f32> = g_sum_dy_xhat.iter().map(|&v| v as f32).collect();
+            let dbeta: Vec<f32> = g_sum_dy.iter().map(|&v| v as f32).collect();
+            (dx, dgamma, dbeta)
+        }
+        BnMode::Local => {
+            let total = (x_owned.shape().n * x_owned.shape().h * x_owned.shape().w) as f64;
+            let dx_local = bn_backward_apply(
+                &x_owned, &dy_owned, stats, gamma, &sum_dy, &sum_dy_xhat, total, eps,
+            );
+            let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+            dx.set_owned(&dx_local);
+            // Parameters are replicated, so their gradients still sum
+            // over all shards even when statistics were local.
+            let mut flat = sum_dy_xhat;
+            flat.extend_from_slice(&sum_dy);
+            let summed = comm.allreduce(&flat, ReduceOp::Sum);
+            let dgamma: Vec<f32> = summed[..c].iter().map(|&v| v as f32).collect();
+            let dbeta: Vec<f32> = summed[c..].iter().map(|&v| v as f32).collect();
+            (dx, dgamma, dbeta)
+        }
+    }
+}
+
+/// Distributed ReLU: elementwise on the owned region.
+pub fn dist_relu_forward(x: &DistTensor) -> DistTensor {
+    let mut y = DistTensor::new_unpadded(*x.dist(), x.rank());
+    y.set_owned(&fg_kernels::relu::relu_forward(&x.owned_tensor()));
+    y
+}
+
+/// Distributed ReLU backward.
+pub fn dist_relu_backward(x: &DistTensor, dy: &DistTensor) -> DistTensor {
+    let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+    dx.set_owned(&fg_kernels::relu::relu_backward(&x.owned_tensor(), &dy.owned_tensor()));
+    dx
+}
+
+/// Distributed elementwise add (residual join); shards must share a
+/// distribution.
+pub fn dist_add(parts: &[&DistTensor]) -> DistTensor {
+    assert!(!parts.is_empty());
+    let mut acc = parts[0].owned_tensor();
+    for p in &parts[1..] {
+        assert_eq!(p.dist(), parts[0].dist(), "residual join requires matching distributions");
+        acc.add_assign(&p.owned_tensor());
+    }
+    let mut y = DistTensor::new_unpadded(*parts[0].dist(), parts[0].rank());
+    y.set_owned(&acc);
+    y
+}
+
+/// The spatial subgroup of `rank` under `grid`: ranks sharing its sample
+/// (and channel) coordinates. Collectives in this group aggregate over
+/// one sample block's spatial shards.
+pub fn spatial_group<'a, C: Communicator>(comm: &'a C, grid: ProcGrid) -> SubComm<'a, C> {
+    let fixed = [true, true, false, false];
+    let members = grid.group_of(comm.rank(), fixed);
+    let id = grid.group_id(comm.rank(), fixed);
+    SubComm::new(comm, members, id).expect("spatial group is valid")
+}
+
+/// The cross-section subgroup: ranks sharing this rank's spatial/channel
+/// position across all sample groups. Collectives here sum per-sample
+/// partials into whole-batch values without double-counting replicas.
+pub fn cross_section_group<'a, C: Communicator>(comm: &'a C, grid: ProcGrid) -> SubComm<'a, C> {
+    let fixed = [false, true, true, true];
+    let members = grid.group_of(comm.rank(), fixed);
+    let id = grid.group_id(comm.rank(), fixed) + (1 << 20); // distinct salt space
+    SubComm::new(comm, members, id).expect("cross-section group is valid")
+}
+
+/// Distributed global average pooling: shard → per-sample replicated
+/// `(n_loc, C, 1, 1)` tensor (identical on all ranks of a sample group).
+pub fn dist_global_avg_pool<C: Communicator>(comm: &C, x: &DistTensor) -> Tensor {
+    let shape = x.dist().shape;
+    let grid = x.dist().grid;
+    let own = x.own_box();
+    let n_loc = own.hi[0] - own.lo[0];
+    let owned = x.owned_tensor();
+    // Local spatial partial sums, already scaled by the global plane size.
+    let s = owned.shape();
+    let scale = 1.0f32 / (shape.h * shape.w) as f32;
+    let mut partial = vec![0.0f32; n_loc * shape.c];
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = s.offset(n, c, 0, 0);
+            let sum: f32 = owned.as_slice()[base..base + s.h * s.w].iter().sum();
+            partial[n * shape.c + c] = sum * scale;
+        }
+    }
+    let group = spatial_group(comm, grid);
+    let total = group.allreduce(&partial, ReduceOp::Sum);
+    Tensor::from_vec(Shape4::new(n_loc, shape.c, 1, 1), total)
+}
+
+/// Backward of [`dist_global_avg_pool`]: per-sample replicated `dy`
+/// broadcast over the owned spatial region.
+pub fn dist_global_avg_pool_backward(x: &DistTensor, dy: &Tensor) -> DistTensor {
+    let shape = x.dist().shape;
+    let scale = 1.0f32 / (shape.h * shape.w) as f32;
+    let own = x.own_box();
+    let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+    let mut local = Tensor::zeros(own.shape());
+    let s = local.shape();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let g = dy.at(n, c, 0, 0) * scale;
+            let base = s.offset(n, c, 0, 0);
+            for v in &mut local.as_mut_slice()[base..base + s.h * s.w] {
+                *v = g;
+            }
+        }
+    }
+    dx.set_owned(&local);
+    dx
+}
+
+/// Distributed per-position softmax cross-entropy on a shard
+/// (semantic segmentation). Returns `(global mean loss, local dlogits)`.
+///
+/// Labels are globally replicated; each rank slices its owned positions.
+pub fn dist_softmax_xent_shard<C: Communicator>(
+    comm: &C,
+    logits: &DistTensor,
+    labels: &Labels,
+) -> (f64, DistTensor) {
+    let shape = logits.dist().shape;
+    assert_eq!((labels.n, labels.h, labels.w), (shape.n, shape.h, shape.w));
+    let own = logits.own_box();
+    let owned = logits.owned_tensor();
+    // Slice labels to the owned positions.
+    let mut local_labels = Vec::with_capacity((own.hi[0] - own.lo[0]) * (own.hi[2] - own.lo[2]) * (own.hi[3] - own.lo[3]));
+    for n in own.lo[0]..own.hi[0] {
+        for h in own.lo[2]..own.hi[2] {
+            for w in own.lo[3]..own.hi[3] {
+                local_labels.push(labels.at(n, h, w));
+            }
+        }
+    }
+    let local_lab = Labels::per_pixel(
+        own.hi[0] - own.lo[0],
+        own.hi[2] - own.lo[2],
+        own.hi[3] - own.lo[3],
+        local_labels,
+    );
+    let (mean_local, mut grad_local) = softmax_cross_entropy(&owned, &local_lab);
+    let local_positions = (local_lab.n * local_lab.h * local_lab.w) as f64;
+    let global_positions = (shape.n * shape.h * shape.w) as f64;
+    // Convert the local mean into a global mean and rescale the gradient.
+    let sums = comm.allreduce(&[mean_local * local_positions], ReduceOp::Sum);
+    grad_local.scale((local_positions / global_positions) as f32);
+    let mut dlogits = DistTensor::new_unpadded(*logits.dist(), logits.rank());
+    dlogits.set_owned(&grad_local);
+    (sums[0] / global_positions, dlogits)
+}
+
+/// Classification softmax cross-entropy on per-sample replicated logits
+/// `(n_loc, C, 1, 1)`. Returns `(global mean loss, dlogits)` with the
+/// gradient scaled by the global batch size.
+pub fn dist_softmax_xent_per_sample<C: Communicator>(
+    comm: &C,
+    grid: ProcGrid,
+    logits: &Tensor,
+    labels_local: &Labels,
+) -> (f64, Tensor) {
+    let n_loc = logits.shape().n;
+    assert_eq!(labels_local.n, n_loc, "labels must match the local sample block");
+    let (mean_local, mut grad) = softmax_cross_entropy(logits, labels_local);
+    // Sum distinct sample blocks only: replicas within a sample group
+    // hold identical values, so reduce across the cross-section.
+    let group = cross_section_group(comm, grid);
+    let sums = group.allreduce(&[mean_local * n_loc as f64, n_loc as f64], ReduceOp::Sum);
+    let global_n = sums[1];
+    grad.scale((n_loc as f64 / global_n) as f32);
+    (sums[0] / global_n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_kernels::batchnorm::{bn_backward, bn_forward};
+    use fg_kernels::pool::{pool2d_backward, pool2d_forward};
+    use fg_tensor::gather::gather_to_root;
+
+    fn pattern(shape: Shape4, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            (((n * 29 + c * 13 + h * 7 + w * 3 + seed) % 17) as f32) * 0.4 - 3.0
+        })
+    }
+
+    fn check_pool(kind: PoolKind, n: usize, c: usize, geom: ConvGeometry, grid: ProcGrid) {
+        let x = pattern(Shape4::new(n, c, geom.in_h, geom.in_w), 1);
+        let y_serial = pool2d_forward(kind, &x, &geom);
+        let dy = pattern(y_serial.shape(), 2);
+        let dx_serial = pool2d_backward(kind, &x, &dy, &geom);
+        let layer = DistPool2d::new(kind, n, c, geom, grid);
+        let outs = run_ranks(grid.size(), |comm| {
+            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let (y, win) = layer.forward(comm, &xs);
+            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dx = layer.backward(comm, &win, &dys);
+            (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0))
+        });
+        assert_eq!(outs[0].0.as_ref().unwrap(), &y_serial, "pool fwd {kind:?} grid {grid}");
+        assert_eq!(outs[0].1.as_ref().unwrap(), &dx_serial, "pool bwd {kind:?} grid {grid}");
+    }
+
+    #[test]
+    fn max_pool_resnet_style_spatial() {
+        // 3x3 stride-2 pad-1 (ResNet's pool after conv1), overlapping
+        // windows crossing shard borders.
+        check_pool(PoolKind::Max, 2, 2, ConvGeometry::square(8, 8, 3, 2, 1), ProcGrid::spatial(2, 2));
+    }
+
+    #[test]
+    fn avg_pool_spatial_and_hybrid() {
+        check_pool(PoolKind::Avg, 2, 3, ConvGeometry::square(8, 8, 2, 2, 0), ProcGrid::spatial(2, 2));
+        check_pool(PoolKind::Avg, 4, 1, ConvGeometry::square(6, 6, 3, 1, 1), ProcGrid::hybrid(2, 2, 1));
+    }
+
+    #[test]
+    fn pool_uneven_blocks() {
+        check_pool(PoolKind::Max, 1, 1, ConvGeometry::square(10, 10, 3, 2, 1), ProcGrid::spatial(3, 1));
+    }
+
+    #[test]
+    fn aggregated_bn_matches_serial() {
+        let shape = Shape4::new(4, 3, 8, 8);
+        let x = pattern(shape, 3);
+        let gamma = vec![1.5, 0.5, 1.0];
+        let beta = vec![0.1, -0.2, 0.0];
+        let (y_serial, stats_serial) = bn_forward(&x, &gamma, &beta, 1e-5);
+        let dy = pattern(shape, 4);
+        let (dx_serial, dg_serial, db_serial) = bn_backward(&x, &dy, &stats_serial, &gamma, 1e-5);
+
+        let grid = ProcGrid::hybrid(2, 2, 1);
+        let dist = TensorDist::new(shape, grid);
+        let outs = run_ranks(4, |comm| {
+            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let (y, stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, BnMode::Aggregated);
+            let dys = DistTensor::from_global(dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let (dx, dg, db) =
+                dist_bn_backward(comm, &xs, &dys, &stats, &gamma, 1e-5, BnMode::Aggregated);
+            (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0), dg, db, stats)
+        });
+        outs[0].0.as_ref().unwrap().assert_close(&y_serial, 1e-4);
+        outs[0].1.as_ref().unwrap().assert_close(&dx_serial, 1e-3);
+        for (dg, db) in outs.iter().map(|o| (&o.2, &o.3)) {
+            for (a, b) in dg.iter().zip(&dg_serial) {
+                assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "dgamma {a} vs {b}");
+            }
+            for (a, b) in db.iter().zip(&db_serial) {
+                assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "dbeta {a} vs {b}");
+            }
+        }
+        // Aggregated statistics equal serial batch statistics.
+        for c in 0..3 {
+            assert!((outs[0].4.mean[c] - stats_serial.mean[c]).abs() < 1e-5);
+            assert!((outs[0].4.var[c] - stats_serial.var[c]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn local_bn_differs_from_serial_but_is_consistent() {
+        let shape = Shape4::new(4, 2, 4, 4);
+        let x = pattern(shape, 5);
+        let gamma = vec![1.0, 1.0];
+        let beta = vec![0.0, 0.0];
+        let (y_serial, _stats) = bn_forward(&x, &gamma, &beta, 1e-5);
+        let grid = ProcGrid::sample(4);
+        let dist = TensorDist::new(shape, grid);
+        let ys = run_ranks(4, |comm| {
+            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let (y, _stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, BnMode::Local);
+            gather_to_root(comm, &y, 0)
+        });
+        let y_local = ys[0].as_ref().unwrap();
+        // Local statistics genuinely differ from batch statistics here.
+        assert!(y_local.max_abs_diff(&y_serial) > 1e-3, "local BN should differ from serial");
+        // But each local shard is itself normalized (mean ~ 0 per shard).
+        let p = fg_kernels::batchnorm::bn_partial_moments(
+            &y_local.slice_box(&fg_tensor::Box4::new([0, 0, 0, 0], [1, 2, 4, 4])),
+        )
+        .finalize();
+        assert!(p.mean.iter().all(|m| m.abs() < 1e-4));
+    }
+
+    #[test]
+    fn relu_and_add_preserve_distribution_equivalence() {
+        let shape = Shape4::new(2, 2, 6, 6);
+        let a = pattern(shape, 6);
+        let b = pattern(shape, 7);
+        let grid = ProcGrid::spatial(2, 2);
+        let dist = TensorDist::new(shape, grid);
+        let outs = run_ranks(4, |comm| {
+            let da = DistTensor::from_global(dist, comm.rank(), &a, [0; 4], [0; 4]);
+            let db = DistTensor::from_global(dist, comm.rank(), &b, [0; 4], [0; 4]);
+            let sum = dist_add(&[&da, &db]);
+            let r = dist_relu_forward(&sum);
+            let dy = DistTensor::from_global(dist, comm.rank(), &b, [0; 4], [0; 4]);
+            let dx = dist_relu_backward(&sum, &dy);
+            (gather_to_root(comm, &r, 0), gather_to_root(comm, &dx, 0))
+        });
+        let mut sum_serial = a.clone();
+        sum_serial.add_assign(&b);
+        let r_serial = fg_kernels::relu::relu_forward(&sum_serial);
+        let dx_serial = fg_kernels::relu::relu_backward(&sum_serial, &b);
+        assert_eq!(outs[0].0.as_ref().unwrap(), &r_serial);
+        assert_eq!(outs[0].1.as_ref().unwrap(), &dx_serial);
+    }
+
+    #[test]
+    fn global_avg_pool_replicates_within_sample_groups() {
+        let shape = Shape4::new(4, 3, 6, 6);
+        let x = pattern(shape, 8);
+        let grid = ProcGrid::hybrid(2, 2, 1);
+        let dist = TensorDist::new(shape, grid);
+        let serial = fg_nn::network::global_avg_pool(&x);
+        let outs = run_ranks(4, |comm| {
+            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            dist_global_avg_pool(comm, &xs)
+        });
+        // Ranks 0,1 share sample block 0..2; ranks 2,3 share 2..4.
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[2], outs[3]);
+        for n in 0..2 {
+            for c in 0..3 {
+                assert!((outs[0].at(n, c, 0, 0) - serial.at(n, c, 0, 0)).abs() < 1e-5);
+                assert!((outs[2].at(n, c, 0, 0) - serial.at(n + 2, c, 0, 0)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_backward_matches_serial() {
+        let shape = Shape4::new(2, 2, 4, 4);
+        let x = pattern(shape, 9);
+        let grid = ProcGrid::spatial(2, 2);
+        let dist = TensorDist::new(shape, grid);
+        let dy = pattern(Shape4::new(2, 2, 1, 1), 10);
+        let serial = fg_nn::network::global_avg_pool_backward(&x, &dy);
+        let outs = run_ranks(4, |comm| {
+            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let dx = dist_global_avg_pool_backward(&xs, &dy);
+            gather_to_root(comm, &dx, 0)
+        });
+        assert_eq!(outs[0].as_ref().unwrap(), &serial);
+    }
+
+    #[test]
+    fn shard_loss_matches_serial() {
+        let shape = Shape4::new(2, 3, 4, 4);
+        let logits = pattern(shape, 11);
+        let labels = Labels::per_pixel(
+            2,
+            4,
+            4,
+            (0..32).map(|i| (i % 3) as u32).collect(),
+        );
+        let (loss_serial, grad_serial) = softmax_cross_entropy(&logits, &labels);
+        let grid = ProcGrid::spatial(2, 2);
+        let dist = TensorDist::new(shape, grid);
+        let outs = run_ranks(4, |comm| {
+            let ls = DistTensor::from_global(dist, comm.rank(), &logits, [0; 4], [0; 4]);
+            let (loss, dl) = dist_softmax_xent_shard(comm, &ls, &labels);
+            (loss, gather_to_root(comm, &dl, 0))
+        });
+        for (loss, _) in &outs {
+            assert!((loss - loss_serial).abs() < 1e-9, "{loss} vs {loss_serial}");
+        }
+        outs[0].1.as_ref().unwrap().assert_close(&grad_serial, 1e-5);
+    }
+
+    #[test]
+    fn per_sample_loss_sums_across_sample_groups_only() {
+        // 2 sample groups × 2 replicas. Each group sees its own samples;
+        // the loss must average over the 4 distinct samples once.
+        let grid = ProcGrid::hybrid(2, 2, 1);
+        let all_logits = pattern(Shape4::new(4, 3, 1, 1), 12);
+        let all_labels: Vec<u32> = vec![0, 1, 2, 1];
+        let (serial_loss, serial_grad) =
+            softmax_cross_entropy(&all_logits, &Labels::per_sample(all_labels.clone()));
+        let outs = run_ranks(4, |comm| {
+            let coords = grid.coords(comm.rank());
+            let nb = fg_comm::collectives::block_range(4, 2, coords[0]);
+            let local_logits = all_logits.slice_box(&fg_tensor::Box4::new(
+                [nb.start, 0, 0, 0],
+                [nb.end, 3, 1, 1],
+            ));
+            let local_labels = Labels::per_sample(all_labels[nb.clone()].to_vec());
+            dist_softmax_xent_per_sample(comm, grid, &local_logits, &local_labels)
+        });
+        for (loss, _) in &outs {
+            assert!((loss - serial_loss).abs() < 1e-9, "{loss} vs {serial_loss}");
+        }
+        // Gradients: rank 0 holds samples 0..2 scaled by 1/4 globally.
+        let g0 = &outs[0].1;
+        for c in 0..3 {
+            assert!((g0.at(0, c, 0, 0) - serial_grad.at(0, c, 0, 0)).abs() < 1e-6);
+            assert!((g0.at(1, c, 0, 0) - serial_grad.at(1, c, 0, 0)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # fg-core — fine-grained parallel convolution and CNN training
+//!
+//! The reproduction of the paper's primary contribution: distributed-
+//! memory algorithms for convolutional layers that exploit parallelism
+//! beyond the sample dimension, and a distributed training executor that
+//! runs whole CNNs under per-layer *parallel execution strategies*.
+//!
+//! * [`distconv`] — sample / spatial / hybrid convolution with halo
+//!   exchange (§III-A), bitwise-equivalent to single-device execution;
+//! * [`layers`] — distributed pooling, batch norm (local and aggregated,
+//!   §III-B), ReLU, residual joins, global average pooling, and losses;
+//! * [`channel_filter`] — channel and filter parallelism (§III-D);
+//! * [`mp_fc`] — model-parallel fully-connected layers (§III-B);
+//! * [`executor`] — runs an `fg-nn` [`fg_nn::NetworkSpec`] under a
+//!   [`strategy::Strategy`], inserting halo exchanges, redistributions
+//!   (§III-C) and gradient allreduces where the strategy demands them;
+//! * [`overlap`] — interior/boundary decomposition so halo exchange
+//!   overlaps interior compute (§IV-A);
+//! * [`strategy`] — strategy containers and validation.
+
+pub mod channel_filter;
+pub mod distconv;
+pub mod executor;
+pub mod layers;
+pub mod mp_fc;
+pub mod overlap;
+pub mod spatial3d;
+pub mod strategy;
+
+pub use channel_filter::ChannelFilterConv2d;
+pub use distconv::DistConv2d;
+pub use mp_fc::ModelParallelFc;
+pub use executor::{Act, DistExecutor, DistPass};
+pub use layers::{BnMode, DistPool2d};
+pub use strategy::{Strategy, StrategyError};

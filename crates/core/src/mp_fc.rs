@@ -1,0 +1,186 @@
+//! Model-parallel fully-connected layers (paper §II-A / §III-B).
+//!
+//! The paper's FC layers use LBANN's model-parallel formulation based on
+//! distributed matrix products. We implement the 1-D row-partitioned
+//! variant: the weight matrix `W (out × in)` is split by rows (output
+//! features) across a group; activations are replicated per sample
+//! block.
+//!
+//! * **forward**: `y_loc = x · W_locᵀ + b_loc` — local GEMM producing
+//!   the owned output features; an allgather assembles the full `y`
+//!   (needed because the softmax that follows couples all features);
+//! * **backward**: `dx = Σ_r dy[:, rows_r] · W_r` — each rank computes
+//!   its partial from its rows, completed by an allreduce;
+//!   `dW_loc = dy[:, rows]ᵀ · x` is entirely local (no gradient
+//!   allreduce for model-parallel FC — the paper notes exactly this:
+//!   "model-parallel FC layers do not need such an allreduce").
+
+use fg_comm::{Collectives, Communicator, ReduceOp};
+use fg_kernels::gemm::{sgemm_acc, sgemm_at_acc, sgemm_bt_acc};
+use fg_tensor::{Shape4, Tensor};
+
+/// A row-partitioned model-parallel FC layer over a group of `parts`
+/// ranks.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParallelFc {
+    /// Input features.
+    pub in_features: usize,
+    /// Global output features.
+    pub out_features: usize,
+    /// Group size.
+    pub parts: usize,
+}
+
+impl ModelParallelFc {
+    /// Create the layer; every rank must own at least one output row.
+    pub fn new(in_features: usize, out_features: usize, parts: usize) -> Self {
+        assert!(out_features >= parts, "output rows would be empty on some ranks");
+        ModelParallelFc { in_features, out_features, parts }
+    }
+
+    /// Output rows owned by `rank`.
+    pub fn rows(&self, rank: usize) -> std::ops::Range<usize> {
+        fg_comm::collectives::block_range(self.out_features, self.parts, rank)
+    }
+
+    /// Slice full weights/bias into this rank's shard (for tests).
+    pub fn shard(&self, w: &Tensor, b: &[f32], rank: usize) -> (Tensor, Vec<f32>) {
+        let r = self.rows(rank);
+        let w_loc = w.slice_box(&fg_tensor::Box4::new(
+            [r.start, 0, 0, 0],
+            [r.end, self.in_features, 1, 1],
+        ));
+        (w_loc, b[r].to_vec())
+    }
+
+    /// Forward: replicated `x (n, in)` → full `y (n, out)` via local GEMM
+    /// + allgather of feature blocks.
+    pub fn forward<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &Tensor,
+        w_loc: &Tensor,
+        b_loc: &[f32],
+    ) -> Tensor {
+        debug_assert_eq!(comm.size(), self.parts);
+        let n = x.shape().n;
+        let rows = self.rows(comm.rank());
+        let mut y_loc = vec![0.0f32; n * rows.len()];
+        // y_loc (n × rows) = x (n × in) · W_locᵀ (in × rows).
+        sgemm_bt_acc(n, self.in_features, rows.len(), x.as_slice(), w_loc.as_slice(), &mut y_loc);
+        for k in 0..n {
+            for (j, b) in b_loc.iter().enumerate() {
+                y_loc[k * rows.len() + j] += b;
+            }
+        }
+        // Assemble the full feature vector on every rank.
+        let parts = comm.allgatherv(y_loc);
+        let mut y = Tensor::zeros(Shape4::new(n, self.out_features, 1, 1));
+        for (r, data) in parts.iter().enumerate() {
+            let rows = self.rows(r);
+            for k in 0..n {
+                for (j, f) in rows.clone().enumerate() {
+                    *y.at_mut(k, f, 0, 0) = data[k * rows.len() + j];
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward: full `dy (n, out)` → `(dx, dW_loc, db_loc)`. `dx` is
+    /// completed with an allreduce; weight gradients stay local.
+    pub fn backward<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &Tensor,
+        w_loc: &Tensor,
+        dy: &Tensor,
+    ) -> (Tensor, Tensor, Vec<f32>) {
+        debug_assert_eq!(comm.size(), self.parts);
+        let n = x.shape().n;
+        let rows = self.rows(comm.rank());
+        // Slice my rows of dy into (n × rows).
+        let mut dy_loc = vec![0.0f32; n * rows.len()];
+        for k in 0..n {
+            for (j, f) in rows.clone().enumerate() {
+                dy_loc[k * rows.len() + j] = dy.at(k, f, 0, 0);
+            }
+        }
+        // Partial dx (n × in) = dy_loc (n × rows) · W_loc (rows × in).
+        let mut dx = vec![0.0f32; n * self.in_features];
+        sgemm_acc(n, rows.len(), self.in_features, &dy_loc, w_loc.as_slice(), &mut dx);
+        let dx = comm.allreduce(&dx, ReduceOp::Sum);
+        // dW_loc (rows × in) = dy_locᵀ (rows × n) · x (n × in); local.
+        let mut dw = vec![0.0f32; rows.len() * self.in_features];
+        sgemm_at_acc(rows.len(), n, self.in_features, &dy_loc, x.as_slice(), &mut dw);
+        let mut db = vec![0.0f32; rows.len()];
+        for k in 0..n {
+            for j in 0..rows.len() {
+                db[j] += dy_loc[k * rows.len() + j];
+            }
+        }
+        (
+            Tensor::from_vec(x.shape(), dx),
+            Tensor::from_vec(Shape4::new(rows.len(), self.in_features, 1, 1), dw),
+            db,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_nn::network::{fc_backward, fc_forward};
+
+    fn pattern(shape: Shape4, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            (((n * 13 + c * 7 + h + w + seed) % 11) as f32) * 0.4 - 2.0
+        })
+    }
+
+    fn check(n: usize, in_f: usize, out_f: usize, parts: usize) {
+        let layer = ModelParallelFc::new(in_f, out_f, parts);
+        let x = pattern(Shape4::new(n, in_f, 1, 1), 1);
+        let w = pattern(Shape4::new(out_f, in_f, 1, 1), 2);
+        let b: Vec<f32> = (0..out_f).map(|i| i as f32 * 0.1 - 0.3).collect();
+        let y_serial = fc_forward(&x, &w, &b, out_f);
+        let dy = pattern(y_serial.shape(), 3);
+        let (dx_serial, dw_serial, db_serial) = fc_backward(&x, &w, &dy);
+
+        let outs = run_ranks(parts, |comm| {
+            let (w_loc, b_loc) = layer.shard(&w, &b, comm.rank());
+            let y = layer.forward(comm, &x, &w_loc, &b_loc);
+            let (dx, dw_loc, db_loc) = layer.backward(comm, &x, &w_loc, &dy);
+            (y, dx, dw_loc, db_loc)
+        });
+        for (r, (y, dx, dw_loc, db_loc)) in outs.iter().enumerate() {
+            y.assert_close(&y_serial, 1e-4);
+            dx.assert_close(&dx_serial, 1e-4);
+            let rows = layer.rows(r);
+            let want_dw = dw_serial.slice_box(&fg_tensor::Box4::new(
+                [rows.start, 0, 0, 0],
+                [rows.end, in_f, 1, 1],
+            ));
+            dw_loc.assert_close(&want_dw, 1e-4);
+            for (a, bb) in db_loc.iter().zip(&db_serial[rows]) {
+                assert!((a - bb).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_matches_serial() {
+        check(3, 8, 10, 2);
+    }
+
+    #[test]
+    fn four_way_uneven_rows() {
+        check(2, 5, 7, 4);
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_serial() {
+        check(2, 4, 4, 1);
+    }
+}

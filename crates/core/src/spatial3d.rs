@@ -1,0 +1,410 @@
+//! 3-D spatial parallelism (the paper's conclusion: "spatial
+//! parallelism … can be easily extended to 3D").
+//!
+//! A volumetric sample is partitioned over a `pd × ph × pw` grid of
+//! ranks, with halo exchanges on all six faces (plus edges/corners,
+//! handled uniformly by the generalized box exchange, as in the 2-D
+//! implementation). Forward convolution is bitwise-identical to a
+//! single device, by the same window construction as [`crate::distconv`].
+//!
+//! The payoff the paper predicts — "more advantageous, due to the more
+//! favorable surface-to-volume ratio" — is quantified in
+//! `fg_perf::volume` and asserted in its tests.
+
+use fg_comm::{Communicator, OpClass};
+use fg_kernels::conv3d::{conv3d_forward_region, Conv3dGeometry, Tensor5};
+
+/// A 3-D process grid over (depth, height, width) of a single sample
+/// (compose with sample groups at a higher level, as in 2-D hybrids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Ranks along depth.
+    pub d: usize,
+    /// Ranks along height.
+    pub h: usize,
+    /// Ranks along width.
+    pub w: usize,
+}
+
+impl Grid3 {
+    /// Total ranks.
+    pub const fn size(&self) -> usize {
+        self.d * self.h * self.w
+    }
+
+    /// Grid coordinates of a rank (W fastest).
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        let w = rank % self.w;
+        let rest = rank / self.w;
+        [rest / self.h, rest % self.h, w]
+    }
+}
+
+/// Half-open 3-D box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Box3 {
+    lo: [i64; 3],
+    hi: [i64; 3],
+}
+
+impl Box3 {
+    fn intersect(&self, o: &Box3) -> Box3 {
+        let mut lo = [0i64; 3];
+        let mut hi = [0i64; 3];
+        for i in 0..3 {
+            lo[i] = self.lo[i].max(o.lo[i]);
+            hi[i] = self.hi[i].min(o.hi[i]).max(lo[i]);
+        }
+        Box3 { lo, hi }
+    }
+
+    fn is_empty(&self) -> bool {
+        (0..3).any(|i| self.hi[i] <= self.lo[i])
+    }
+
+    fn len(&self) -> usize {
+        (0..3).map(|i| (self.hi[i] - self.lo[i]).max(0) as usize).product()
+    }
+}
+
+/// A distributed 3-D convolution layer over a [`Grid3`].
+#[derive(Debug, Clone, Copy)]
+pub struct DistConv3d {
+    /// Convolution geometry (global extents).
+    pub geom: Conv3dGeometry,
+    /// Spatial grid.
+    pub grid: Grid3,
+    /// Samples (kept whole on every rank of the grid).
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Filters.
+    pub f: usize,
+}
+
+impl DistConv3d {
+    /// Create the layer; the grid must populate input and output.
+    pub fn new(n: usize, c: usize, f: usize, geom: Conv3dGeometry, grid: Grid3) -> Self {
+        for (total_in, total_out, parts) in [
+            (geom.in_d, geom.out_d(), grid.d),
+            (geom.in_h, geom.out_h(), grid.h),
+            (geom.in_w, geom.out_w(), grid.w),
+        ] {
+            assert!(
+                total_in >= parts && total_out >= parts,
+                "grid leaves ranks without work"
+            );
+        }
+        DistConv3d { geom, grid, n, c, f }
+    }
+
+    /// This rank's owned global input box.
+    pub fn in_box(&self, rank: usize) -> ([usize; 3], [usize; 3]) {
+        self.block(rank, [self.geom.in_d, self.geom.in_h, self.geom.in_w])
+    }
+
+    /// This rank's owned global output box.
+    pub fn out_box(&self, rank: usize) -> ([usize; 3], [usize; 3]) {
+        self.block(rank, [self.geom.out_d(), self.geom.out_h(), self.geom.out_w()])
+    }
+
+    fn block(&self, rank: usize, totals: [usize; 3]) -> ([usize; 3], [usize; 3]) {
+        let coords = self.grid.coords(rank);
+        let parts = [self.grid.d, self.grid.h, self.grid.w];
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for i in 0..3 {
+            let r = fg_comm::collectives::block_range(totals[i], parts[i], coords[i]);
+            lo[i] = r.start;
+            hi[i] = r.end;
+        }
+        (lo, hi)
+    }
+
+    /// The window (origin + extents) rank needs: input coverage of its
+    /// owned output box, unclamped (out-of-bounds = virtual padding).
+    fn window(&self, rank: usize) -> ([i64; 3], [usize; 3]) {
+        let (olo, ohi) = self.out_box(rank);
+        let mut org = [0i64; 3];
+        let mut ext = [0usize; 3];
+        for i in 0..3 {
+            let (lo, hi) = self.geom.input_range_for_output(olo[i], ohi[i]);
+            org[i] = lo;
+            ext[i] = (hi - lo) as usize;
+        }
+        (org, ext)
+    }
+
+    /// Distributed forward pass: takes this rank's owned input shard
+    /// `(n, c, d_loc, h_loc, w_loc)`, exchanges halos with every
+    /// overlapping neighbor (faces, edges and corners fall out of the
+    /// generalized box exchange), and computes the owned output block.
+    ///
+    /// Collective over `comm` (size = grid size). Bitwise-identical to
+    /// [`fg_kernels::conv3d::conv3d_forward`] on the gathered data.
+    pub fn forward<C: Communicator>(&self, comm: &C, x_shard: &Tensor5, wt: &Tensor5) -> Tensor5 {
+        debug_assert_eq!(comm.size(), self.grid.size());
+        let rank = comm.rank();
+        let (my_lo, my_hi) = self.in_box(rank);
+        assert_eq!(
+            (x_shard.d, x_shard.h, x_shard.w),
+            (my_hi[0] - my_lo[0], my_hi[1] - my_lo[1], my_hi[2] - my_lo[2]),
+            "input shard does not match the owned block"
+        );
+        // Build the window and copy the owned block in.
+        let (org, ext) = self.window(rank);
+        let mut win = Tensor5::zeros(self.n, self.c, ext[0], ext[1], ext[2]);
+        copy_box(
+            &mut win,
+            [
+                (my_lo[0] as i64 - org[0]) as usize,
+                (my_lo[1] as i64 - org[1]) as usize,
+                (my_lo[2] as i64 - org[2]) as usize,
+            ],
+            x_shard,
+            [0, 0, 0],
+            [x_shard.d, x_shard.h, x_shard.w],
+        );
+
+        // Generalized 3-D box halo exchange: send own ∩ peer-needed,
+        // receive peer-own ∩ my-needed.
+        comm.with_class(OpClass::Halo, || {
+            let tag = comm.next_collective_tag();
+            let my_own = Box3 {
+                lo: [my_lo[0] as i64, my_lo[1] as i64, my_lo[2] as i64],
+                hi: [my_hi[0] as i64, my_hi[1] as i64, my_hi[2] as i64],
+            };
+            let my_need = Box3 {
+                lo: org,
+                hi: [org[0] + ext[0] as i64, org[1] + ext[1] as i64, org[2] + ext[2] as i64],
+            };
+            // Sends first (eager).
+            for peer in 0..comm.size() {
+                if peer == rank {
+                    continue;
+                }
+                let (porg, pext) = self.window(peer);
+                let peer_need = Box3 {
+                    lo: porg,
+                    hi: [
+                        porg[0] + pext[0] as i64,
+                        porg[1] + pext[1] as i64,
+                        porg[2] + pext[2] as i64,
+                    ],
+                };
+                let send = peer_need.intersect(&my_own);
+                if !send.is_empty() {
+                    let payload = pack_box(x_shard, &send, my_lo);
+                    comm.send(peer, tag, payload);
+                }
+            }
+            for peer in 0..comm.size() {
+                if peer == rank {
+                    continue;
+                }
+                let (plo, phi) = self.in_box(peer);
+                let peer_own = Box3 {
+                    lo: [plo[0] as i64, plo[1] as i64, plo[2] as i64],
+                    hi: [phi[0] as i64, phi[1] as i64, phi[2] as i64],
+                };
+                let recv = my_need.intersect(&peer_own);
+                if !recv.is_empty() {
+                    let data = comm.recv::<f32>(peer, tag);
+                    unpack_box(&mut win, &recv, org, &data);
+                }
+            }
+        });
+
+        let (olo, ohi) = self.out_box(rank);
+        conv3d_forward_region(
+            &win,
+            (org[0], org[1], org[2]),
+            wt,
+            &self.geom,
+            (olo[0], ohi[0]),
+            (olo[1], ohi[1]),
+            (olo[2], ohi[2]),
+        )
+    }
+}
+
+/// Copy a spatial box between two tensors (all samples/channels).
+fn copy_box(
+    dst: &mut Tensor5,
+    dst_lo: [usize; 3],
+    src: &Tensor5,
+    src_lo: [usize; 3],
+    extents: [usize; 3],
+) {
+    debug_assert_eq!((dst.n, dst.c), (src.n, src.c));
+    for n in 0..src.n {
+        for c in 0..src.c {
+            for d in 0..extents[0] {
+                for h in 0..extents[1] {
+                    let s = src.offset(n, c, src_lo[0] + d, src_lo[1] + h, src_lo[2]);
+                    let t = dst.offset(n, c, dst_lo[0] + d, dst_lo[1] + h, dst_lo[2]);
+                    let w = extents[2];
+                    let row = src.as_slice()[s..s + w].to_vec();
+                    dst.as_mut_slice()[t..t + w].copy_from_slice(&row);
+                }
+            }
+        }
+    }
+}
+
+/// Pack a global box of a shard (whose origin is `shard_lo`).
+fn pack_box(shard: &Tensor5, b: &Box3, shard_lo: [usize; 3]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(shard.n * shard.c * b.len());
+    for n in 0..shard.n {
+        for c in 0..shard.c {
+            for d in b.lo[0]..b.hi[0] {
+                for h in b.lo[1]..b.hi[1] {
+                    let base = shard.offset(
+                        n,
+                        c,
+                        d as usize - shard_lo[0],
+                        h as usize - shard_lo[1],
+                        b.lo[2] as usize - shard_lo[2],
+                    );
+                    out.extend_from_slice(
+                        &shard.as_slice()[base..base + (b.hi[2] - b.lo[2]) as usize],
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unpack into a window whose global origin is `org`.
+fn unpack_box(win: &mut Tensor5, b: &Box3, org: [i64; 3], data: &[f32]) {
+    let row = (b.hi[2] - b.lo[2]) as usize;
+    let mut src = 0usize;
+    for n in 0..win.n {
+        for c in 0..win.c {
+            for d in b.lo[0]..b.hi[0] {
+                for h in b.lo[1]..b.hi[1] {
+                    let base = win.offset(
+                        n,
+                        c,
+                        (d - org[0]) as usize,
+                        (h - org[1]) as usize,
+                        (b.lo[2] - org[2]) as usize,
+                    );
+                    win.as_mut_slice()[base..base + row].copy_from_slice(&data[src..src + row]);
+                    src += row;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(src, data.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_kernels::conv3d::conv3d_forward;
+
+    fn t(n: usize, c: usize, d: usize, h: usize, w: usize, seed: usize) -> Tensor5 {
+        Tensor5::from_fn(n, c, d, h, w, |ni, ci, di, hi, wi| {
+            ((ni * 29 + ci * 23 + di * 13 + hi * 7 + wi * 3 + seed) % 17) as f32 * 0.3 - 2.0
+        })
+    }
+
+    fn check(geom: Conv3dGeometry, grid: Grid3, n: usize, c: usize, f: usize) {
+        let x = t(n, c, geom.in_d, geom.in_h, geom.in_w, 1);
+        let wt = t(f, c, geom.k, geom.k, geom.k, 2);
+        let serial = conv3d_forward(&x, &wt, &geom);
+        let layer = DistConv3d::new(n, c, f, geom, grid);
+        let outs = run_ranks(grid.size(), |comm| {
+            let (lo, hi) = layer.in_box(comm.rank());
+            let mut shard =
+                Tensor5::zeros(n, c, hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]);
+            copy_box(&mut shard, [0, 0, 0], &x_sub(&x, lo, hi), [0, 0, 0], [
+                hi[0] - lo[0],
+                hi[1] - lo[1],
+                hi[2] - lo[2],
+            ]);
+            let y = layer.forward(comm, &shard, &wt);
+            (layer.out_box(comm.rank()), y)
+        });
+        // Reassemble and compare bitwise.
+        for ((olo, ohi), y) in &outs {
+            for ni in 0..n {
+                for fi in 0..f {
+                    for d in olo[0]..ohi[0] {
+                        for h in olo[1]..ohi[1] {
+                            for w in olo[2]..ohi[2] {
+                                assert_eq!(
+                                    y.at(ni, fi, d - olo[0], h - olo[1], w - olo[2]),
+                                    serial.at(ni, fi, d, h, w),
+                                    "mismatch at ({d},{h},{w}) grid {grid:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn x_sub(x: &Tensor5, lo: [usize; 3], hi: [usize; 3]) -> Tensor5 {
+        Tensor5::from_fn(x.n, x.c, hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2], |n, c, d, h, w| {
+            x.at(n, c, lo[0] + d, lo[1] + h, lo[2] + w)
+        })
+    }
+
+    #[test]
+    fn depth_partition_matches_serial() {
+        check(
+            Conv3dGeometry { in_d: 8, in_h: 6, in_w: 6, k: 3, s: 1, p: 1 },
+            Grid3 { d: 2, h: 1, w: 1 },
+            1,
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn full_3d_partition_matches_serial() {
+        // 8 ranks, 2×2×2 — faces, edges AND corners exchanged.
+        check(
+            Conv3dGeometry { in_d: 8, in_h: 8, in_w: 8, k: 3, s: 1, p: 1 },
+            Grid3 { d: 2, h: 2, w: 2 },
+            1,
+            1,
+            2,
+        );
+    }
+
+    #[test]
+    fn strided_3d_matches_serial() {
+        check(
+            Conv3dGeometry { in_d: 9, in_h: 8, in_w: 10, k: 3, s: 2, p: 1 },
+            Grid3 { d: 2, h: 2, w: 1 },
+            2,
+            1,
+            1,
+        );
+    }
+
+    #[test]
+    fn k1_needs_no_halo_traffic() {
+        use fg_comm::TrafficStats;
+        let geom = Conv3dGeometry { in_d: 4, in_h: 4, in_w: 4, k: 1, s: 1, p: 0 };
+        let grid = Grid3 { d: 2, h: 2, w: 1 };
+        let layer = DistConv3d::new(1, 2, 2, geom, grid);
+        let x = t(1, 2, 4, 4, 4, 3);
+        let wt = t(2, 2, 1, 1, 1, 4);
+        let stats: Vec<TrafficStats> = run_ranks(4, |comm| {
+            let (lo, hi) = layer.in_box(comm.rank());
+            let shard = x_sub(&x, lo, hi);
+            let _ = layer.forward(comm, &shard, &wt);
+            comm.stats()
+        });
+        for s in &stats {
+            assert_eq!(s.messages(OpClass::Halo), 0, "1x1x1 conv must not exchange halos");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Parallel execution strategies: a distribution per layer (§V-C).
+//!
+//! A [`Strategy`] assigns every layer of a network a [`ProcGrid`] —
+//! "an assignment of distributions to each layer" in the paper's words —
+//! plus global execution knobs (batch-norm statistics scope). The
+//! executor consumes a validated strategy; the optimizer in `fg-perf`
+//! produces one.
+
+use fg_nn::{LayerKind, NetworkSpec};
+use fg_tensor::{ProcGrid, Shape4, TensorDist};
+
+use crate::layers::BnMode;
+
+/// A parallel execution strategy for a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy {
+    /// Process grid per layer (same world size everywhere).
+    pub grids: Vec<ProcGrid>,
+    /// Batch-norm statistics scope.
+    pub bn_mode: BnMode,
+    /// Overlap halo exchanges with interior compute (§IV-A). On by
+    /// default, as in the paper's measurements; results are bitwise
+    /// identical either way.
+    pub overlap_halo: bool,
+}
+
+/// Why a strategy cannot execute a given network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// grids.len() != number of layers.
+    LengthMismatch {
+        /// Layers in the network.
+        layers: usize,
+        /// Entries in the strategy.
+        grids: usize,
+    },
+    /// A layer's grid has a different total size than the first layer's.
+    WorldSizeMismatch {
+        /// Offending layer.
+        layer: usize,
+    },
+    /// Channel partitioning requested on a layer the executor runs with
+    /// replicated channels (use `channel_filter` for §III-D parallelism).
+    ChannelPartitionUnsupported {
+        /// Offending layer.
+        layer: usize,
+    },
+    /// The distribution leaves at least one rank without data.
+    Unpopulated {
+        /// Offending layer.
+        layer: usize,
+    },
+    /// Per-sample layers (global pool, FC, classification loss) must
+    /// keep their parent's grid; insert redistributions upstream instead.
+    PerSampleGridMismatch {
+        /// Offending layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::LengthMismatch { layers, grids } => {
+                write!(f, "strategy has {grids} grids for {layers} layers")
+            }
+            StrategyError::WorldSizeMismatch { layer } => {
+                write!(f, "layer {layer}: grid world size differs from the rest of the strategy")
+            }
+            StrategyError::ChannelPartitionUnsupported { layer } => {
+                write!(f, "layer {layer}: executor does not partition channels (see channel_filter)")
+            }
+            StrategyError::Unpopulated { layer } => {
+                write!(f, "layer {layer}: distribution leaves ranks without data")
+            }
+            StrategyError::PerSampleGridMismatch { layer } => {
+                write!(f, "layer {layer}: per-sample layers must inherit their parent's grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+impl Strategy {
+    /// Same grid for every layer — the configuration the paper's
+    /// end-to-end experiments use ("the same data decomposition for
+    /// every layer in a given configuration", §VI-B).
+    pub fn uniform(spec: &NetworkSpec, grid: ProcGrid) -> Strategy {
+        Strategy { grids: vec![grid; spec.len()], bn_mode: BnMode::default(), overlap_halo: true }
+    }
+
+    /// Pure sample parallelism over `p` ranks (the baseline).
+    pub fn sample_parallel(spec: &NetworkSpec, p: usize) -> Strategy {
+        Strategy::uniform(spec, ProcGrid::sample(p))
+    }
+
+    /// Select the batch-norm scope.
+    pub fn with_bn_mode(mut self, mode: BnMode) -> Strategy {
+        self.bn_mode = mode;
+        self
+    }
+
+    /// Enable or disable interior/boundary halo overlapping.
+    pub fn with_overlap(mut self, overlap: bool) -> Strategy {
+        self.overlap_halo = overlap;
+        self
+    }
+
+    /// World size the strategy targets.
+    pub fn world_size(&self) -> usize {
+        self.grids.first().map_or(0, |g| g.size())
+    }
+
+    /// Check the strategy against a network and batch size; returns the
+    /// detailed reason on failure.
+    pub fn validate(&self, spec: &NetworkSpec, batch: usize) -> Result<(), StrategyError> {
+        if self.grids.len() != spec.len() {
+            return Err(StrategyError::LengthMismatch {
+                layers: spec.len(),
+                grids: self.grids.len(),
+            });
+        }
+        let world = self.world_size();
+        let shapes = spec.shapes();
+        for (id, l) in spec.layers().iter().enumerate() {
+            let grid = self.grids[id];
+            if grid.size() != world {
+                return Err(StrategyError::WorldSizeMismatch { layer: id });
+            }
+            match &l.kind {
+                LayerKind::GlobalAvgPool | LayerKind::Fc { .. } => {
+                    if grid != self.grids[l.parents[0]] {
+                        return Err(StrategyError::PerSampleGridMismatch { layer: id });
+                    }
+                }
+                LayerKind::SoftmaxCrossEntropy => {
+                    // Both shard (segmentation) and per-sample losses
+                    // inherit the parent's layout.
+                    if grid != self.grids[l.parents[0]] {
+                        return Err(StrategyError::PerSampleGridMismatch { layer: id });
+                    }
+                    // A sharded loss (parent is not GAP/FC) must populate
+                    // every rank with positions.
+                    let parent_kind = &spec.layer(l.parents[0]).kind;
+                    if !matches!(parent_kind, LayerKind::GlobalAvgPool | LayerKind::Fc { .. }) {
+                        let (c, h, w) = shapes[id];
+                        let dist = TensorDist::new(Shape4::new(batch, c, h, w), grid);
+                        if !dist.is_fully_populated() {
+                            return Err(StrategyError::Unpopulated { layer: id });
+                        }
+                    }
+                }
+                _ => {
+                    if grid.c != 1 {
+                        return Err(StrategyError::ChannelPartitionUnsupported { layer: id });
+                    }
+                    let (c, h, w) = shapes[id];
+                    let dist = TensorDist::new(Shape4::new(batch, c, h, w), grid);
+                    // Per-sample representations (H = W = 1 after GAP) are
+                    // replicated, not sharded, so only sharded layers need
+                    // the populated check.
+                    if !per_sample_shape(shapes[id]) && !dist.is_fully_populated() {
+                        return Err(StrategyError::Unpopulated { layer: id });
+                    }
+                    // Input to conv/pool must also populate.
+                    if matches!(l.kind, LayerKind::Conv { .. } | LayerKind::Pool { .. }) {
+                        let (pc, ph, pw) = shapes[l.parents[0]];
+                        let pdist = TensorDist::new(Shape4::new(batch, pc, ph, pw), grid);
+                        if !pdist.is_fully_populated() {
+                            return Err(StrategyError::Unpopulated { layer: id });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's "GPUs per sample" for a layer's grid.
+    pub fn ranks_per_sample(&self, layer: usize) -> usize {
+        self.grids[layer].ranks_per_sample()
+    }
+}
+
+/// Is this per-sample data (no spatial extent), handled in replicated
+/// per-sample form by the executor?
+pub fn per_sample_shape(shape: (usize, usize, usize)) -> bool {
+    shape.1 == 1 && shape.2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_net() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("x", 3, 16, 16);
+        let c = net.conv("c1", i, 8, 3, 1, 1);
+        let b = net.batchnorm("bn", c);
+        let r = net.relu("r", b);
+        let g = net.global_avg_pool("gap", r);
+        let f = net.fc("fc", g, 4);
+        net.loss("loss", f);
+        net
+    }
+
+    #[test]
+    fn uniform_strategy_validates() {
+        let net = toy_net();
+        let s = Strategy::uniform(&net, ProcGrid::spatial(2, 2));
+        assert_eq!(s.validate(&net, 2), Ok(()));
+        let s = Strategy::sample_parallel(&net, 4);
+        assert_eq!(s.validate(&net, 8), Ok(()));
+    }
+
+    #[test]
+    fn length_and_world_size_checks() {
+        let net = toy_net();
+        let mut s = Strategy::uniform(&net, ProcGrid::sample(4));
+        s.grids.pop();
+        assert!(matches!(s.validate(&net, 8), Err(StrategyError::LengthMismatch { .. })));
+        let mut s = Strategy::uniform(&net, ProcGrid::sample(4));
+        s.grids[2] = ProcGrid::sample(2);
+        assert!(matches!(s.validate(&net, 8), Err(StrategyError::WorldSizeMismatch { layer: 2 })));
+    }
+
+    #[test]
+    fn unpopulated_detected() {
+        let net = toy_net();
+        // 8-way sample parallelism on a batch of 4: empty ranks.
+        let s = Strategy::sample_parallel(&net, 8);
+        assert!(matches!(s.validate(&net, 4), Err(StrategyError::Unpopulated { .. })));
+    }
+
+    #[test]
+    fn channel_partition_rejected_by_executor_strategy() {
+        let net = toy_net();
+        let s = Strategy::uniform(&net, ProcGrid::new(1, 4, 1, 1));
+        assert!(matches!(
+            s.validate(&net, 4),
+            Err(StrategyError::ChannelPartitionUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn per_sample_layers_must_inherit_grid() {
+        let net = toy_net();
+        let mut s = Strategy::uniform(&net, ProcGrid::spatial(2, 2));
+        let fc = net.find("fc").unwrap();
+        s.grids[fc] = ProcGrid::sample(4);
+        assert!(matches!(
+            s.validate(&net, 2),
+            Err(StrategyError::PerSampleGridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_per_layer_strategy_validates() {
+        // Spatial for the big early conv, sample for the rest — the
+        // §III-C motivating case with a redistribution in between.
+        let net = toy_net();
+        let mut s = Strategy::uniform(&net, ProcGrid::sample(4));
+        s.grids[net.find("c1").unwrap()] = ProcGrid::spatial(2, 2);
+        s.grids[net.find("x").unwrap()] = ProcGrid::spatial(2, 2);
+        // bn onwards keep sample(4); gap/fc/loss inherit sample(4). Batch
+        // must be ≥ 4 for the sample-parallel layers.
+        assert_eq!(s.validate(&net, 4), Ok(()));
+    }
+}

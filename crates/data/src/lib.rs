@@ -1,0 +1,18 @@
+//! # fg-data — synthetic datasets
+//!
+//! Stand-ins for the data the paper trains on but we cannot have:
+//!
+//! * [`mesh::MeshDataset`] — the proprietary LLNL hydrodynamics
+//!   mesh-tangling data (1024²/2048² × 18 channels, per-pixel labels);
+//!   the paper itself uses synthetic data for performance runs;
+//! * [`imagenet::ImageDataset`] — ImageNet-1K-shaped classification
+//!   samples with a learnable class signal.
+//!
+//! Both are fully deterministic given a seed, so distributed and serial
+//! runs consume identical batches.
+
+pub mod imagenet;
+pub mod mesh;
+
+pub use imagenet::ImageDataset;
+pub use mesh::MeshDataset;

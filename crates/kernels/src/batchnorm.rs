@@ -1,0 +1,341 @@
+//! Batch normalization, factored for distributed aggregation.
+//!
+//! The paper (§III-B) notes that batch normalization under spatial
+//! partitioning can either be computed *locally* on each shard (changing
+//! the statistics but not the structure — the common multi-GPU practice)
+//! or *aggregated* over the ranks sharing a sample's spatial shards.
+//! To support both, the kernel is split into:
+//!
+//! 1. [`bn_partial_moments`] — per-channel partial sums over local data;
+//! 2. a (possibly allreduced) combination into [`BnStats`];
+//! 3. [`bn_forward_with_stats`] — normalization with given statistics;
+//!
+//! and symmetrically for backward: [`bn_backward_partials`] →
+//! (allreduce) → [`bn_backward_apply`]. The serial wrappers chain the
+//! pieces without communication.
+
+use fg_tensor::Tensor;
+
+/// Per-channel mean and (biased) variance used for normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnStats {
+    /// Per-channel mean.
+    pub mean: Vec<f32>,
+    /// Per-channel biased variance.
+    pub var: Vec<f32>,
+}
+
+/// Per-channel partial sums: `(Σx, Σx², count)`. f64 accumulators keep
+/// the subsequent variance subtraction stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnPartials {
+    /// Per-channel Σx.
+    pub sum: Vec<f64>,
+    /// Per-channel Σx².
+    pub sumsq: Vec<f64>,
+    /// Elements per channel contributing to the sums.
+    pub count: f64,
+}
+
+impl BnPartials {
+    /// Finalize partial sums into mean/variance.
+    pub fn finalize(&self) -> BnStats {
+        let mean: Vec<f32> = self.sum.iter().map(|s| (s / self.count) as f32).collect();
+        let var: Vec<f32> = self
+            .sumsq
+            .iter()
+            .zip(&self.sum)
+            .map(|(sq, s)| {
+                let m = s / self.count;
+                ((sq / self.count) - m * m).max(0.0) as f32
+            })
+            .collect();
+        BnStats { mean, var }
+    }
+
+    /// Flatten to a single vector for an allreduce (sums then sumsqs then
+    /// count).
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(2 * self.sum.len() + 1);
+        v.extend_from_slice(&self.sum);
+        v.extend_from_slice(&self.sumsq);
+        v.push(self.count);
+        v
+    }
+
+    /// Inverse of [`BnPartials::to_flat`].
+    pub fn from_flat(flat: &[f64], channels: usize) -> Self {
+        assert_eq!(flat.len(), 2 * channels + 1, "flattened BN partials length mismatch");
+        BnPartials {
+            sum: flat[..channels].to_vec(),
+            sumsq: flat[channels..2 * channels].to_vec(),
+            count: flat[2 * channels],
+        }
+    }
+}
+
+/// Compute per-channel partial moments of `x` over (N, H, W).
+pub fn bn_partial_moments(x: &Tensor) -> BnPartials {
+    let s = x.shape();
+    let mut sum = vec![0.0f64; s.c];
+    let mut sumsq = vec![0.0f64; s.c];
+    let xs = x.as_slice();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = s.offset(n, c, 0, 0);
+            let plane = &xs[base..base + s.h * s.w];
+            let mut a = 0.0f64;
+            let mut b = 0.0f64;
+            for &v in plane {
+                a += v as f64;
+                b += (v as f64) * (v as f64);
+            }
+            sum[c] += a;
+            sumsq[c] += b;
+        }
+    }
+    BnPartials { sum, sumsq, count: (s.n * s.h * s.w) as f64 }
+}
+
+/// Normalize `x` with the given statistics: `y = γ·x̂ + β` where
+/// `x̂ = (x − μ) / √(σ² + ε)`.
+pub fn bn_forward_with_stats(
+    x: &Tensor,
+    stats: &BnStats,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Tensor {
+    let s = x.shape();
+    assert_eq!(stats.mean.len(), s.c, "stats channel mismatch");
+    assert_eq!(gamma.len(), s.c, "gamma channel mismatch");
+    assert_eq!(beta.len(), s.c, "beta channel mismatch");
+    let mut y = Tensor::zeros(s);
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let invstd = 1.0 / (stats.var[c] + eps).sqrt();
+            let (g, b, m) = (gamma[c], beta[c], stats.mean[c]);
+            let base = s.offset(n, c, 0, 0);
+            for i in base..base + s.h * s.w {
+                ys[i] = g * (xs[i] - m) * invstd + b;
+            }
+        }
+    }
+    y
+}
+
+/// Per-channel backward partial sums `(Σdy, Σdy·x̂)` over local data.
+/// These are exactly the quantities that must be summed across ranks for
+/// aggregated distributed BN.
+pub fn bn_backward_partials(x: &Tensor, dy: &Tensor, stats: &BnStats, eps: f32) -> (Vec<f64>, Vec<f64>) {
+    let s = x.shape();
+    assert_eq!(dy.shape(), s, "dy shape mismatch");
+    let mut sum_dy = vec![0.0f64; s.c];
+    let mut sum_dy_xhat = vec![0.0f64; s.c];
+    let xs = x.as_slice();
+    let dys = dy.as_slice();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let invstd = 1.0f64 / ((stats.var[c] + eps) as f64).sqrt();
+            let m = stats.mean[c] as f64;
+            let base = s.offset(n, c, 0, 0);
+            let mut a = 0.0f64;
+            let mut b = 0.0f64;
+            for i in base..base + s.h * s.w {
+                let g = dys[i] as f64;
+                a += g;
+                b += g * ((xs[i] as f64) - m) * invstd;
+            }
+            sum_dy[c] += a;
+            sum_dy_xhat[c] += b;
+        }
+    }
+    (sum_dy, sum_dy_xhat)
+}
+
+/// Apply the BN backward formula given the (globally summed) partials:
+///
+/// `dx = γ/√(σ²+ε) · (dy − Σdy/M − x̂ · Σ(dy·x̂)/M)`
+///
+/// where `M` is the total element count per channel. Returns `dx`;
+/// `dγ = Σ(dy·x̂)` and `dβ = Σdy` are already in the caller's hands.
+#[allow(clippy::too_many_arguments)]
+pub fn bn_backward_apply(
+    x: &Tensor,
+    dy: &Tensor,
+    stats: &BnStats,
+    gamma: &[f32],
+    sum_dy: &[f64],
+    sum_dy_xhat: &[f64],
+    total_count: f64,
+    eps: f32,
+) -> Tensor {
+    let s = x.shape();
+    let mut dx = Tensor::zeros(s);
+    let xs = x.as_slice();
+    let dys = dy.as_slice();
+    let dxs = dx.as_mut_slice();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let invstd = 1.0f64 / ((stats.var[c] + eps) as f64).sqrt();
+            let m = stats.mean[c] as f64;
+            let g = gamma[c] as f64;
+            let mean_dy = sum_dy[c] / total_count;
+            let mean_dy_xhat = sum_dy_xhat[c] / total_count;
+            let base = s.offset(n, c, 0, 0);
+            for i in base..base + s.h * s.w {
+                let xhat = ((xs[i] as f64) - m) * invstd;
+                dxs[i] = (g * invstd * ((dys[i] as f64) - mean_dy - xhat * mean_dy_xhat)) as f32;
+            }
+        }
+    }
+    dx
+}
+
+/// Serial training-mode BN forward: returns `(y, stats)` with batch
+/// statistics.
+pub fn bn_forward(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Tensor, BnStats) {
+    let stats = bn_partial_moments(x).finalize();
+    let y = bn_forward_with_stats(x, &stats, gamma, beta, eps);
+    (y, stats)
+}
+
+/// Serial BN backward: returns `(dx, dgamma, dbeta)`.
+pub fn bn_backward(
+    x: &Tensor,
+    dy: &Tensor,
+    stats: &BnStats,
+    gamma: &[f32],
+    eps: f32,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let s = x.shape();
+    let (sum_dy, sum_dy_xhat) = bn_backward_partials(x, dy, stats, eps);
+    let total = (s.n * s.h * s.w) as f64;
+    let dx = bn_backward_apply(x, dy, stats, gamma, &sum_dy, &sum_dy_xhat, total, eps);
+    let dgamma: Vec<f32> = sum_dy_xhat.iter().map(|&v| v as f32).collect();
+    let dbeta: Vec<f32> = sum_dy.iter().map(|&v| v as f32).collect();
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::Shape4;
+
+    const EPS: f32 = 1e-5;
+
+    fn t(shape: Shape4, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            ((n * 41 + c * 23 + h * 13 + w * 7 + seed) % 31) as f32 * 0.3 - 4.0
+        })
+    }
+
+    #[test]
+    fn forward_normalizes_each_channel() {
+        let x = t(Shape4::new(3, 2, 4, 4), 1);
+        let gamma = vec![1.0, 1.0];
+        let beta = vec![0.0, 0.0];
+        let (y, _stats) = bn_forward(&x, &gamma, &beta, EPS);
+        // Per-channel mean ~0, var ~1.
+        let p = bn_partial_moments(&y);
+        let s = p.finalize();
+        for c in 0..2 {
+            assert!(s.mean[c].abs() < 1e-4, "mean {} not ~0", s.mean[c]);
+            assert!((s.var[c] - 1.0).abs() < 1e-3, "var {} not ~1", s.var[c]);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let x = t(Shape4::new(2, 2, 3, 3), 2);
+        let (y, _s) = bn_forward(&x, &[2.0, 0.5], &[1.0, -1.0], EPS);
+        let p = bn_partial_moments(&y).finalize();
+        assert!((p.mean[0] - 1.0).abs() < 1e-4);
+        assert!((p.mean[1] + 1.0).abs() < 1e-4);
+        assert!((p.var[0] - 4.0).abs() < 1e-2);
+        assert!((p.var[1] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn partials_merge_like_a_sum() {
+        // Moments of the whole equal merged moments of two halves —
+        // the property distributed aggregation relies on.
+        let x = t(Shape4::new(4, 3, 4, 4), 3);
+        let whole = bn_partial_moments(&x).finalize();
+        let top = x.slice_box(&fg_tensor::Box4::new([0, 0, 0, 0], [2, 3, 4, 4]));
+        let bot = x.slice_box(&fg_tensor::Box4::new([2, 0, 0, 0], [4, 3, 4, 4]));
+        let p1 = bn_partial_moments(&top);
+        let p2 = bn_partial_moments(&bot);
+        let merged = BnPartials {
+            sum: p1.sum.iter().zip(&p2.sum).map(|(a, b)| a + b).collect(),
+            sumsq: p1.sumsq.iter().zip(&p2.sumsq).map(|(a, b)| a + b).collect(),
+            count: p1.count + p2.count,
+        }
+        .finalize();
+        for c in 0..3 {
+            assert!((whole.mean[c] - merged.mean[c]).abs() < 1e-5);
+            assert!((whole.var[c] - merged.var[c]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let x = t(Shape4::new(2, 5, 3, 3), 4);
+        let p = bn_partial_moments(&x);
+        let q = BnPartials::from_flat(&p.to_flat(), 5);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn backward_gradcheck() {
+        let shape = Shape4::new(2, 2, 3, 3);
+        let x = t(shape, 5);
+        let gamma = vec![1.3, 0.7];
+        let beta = vec![0.2, -0.4];
+        let q = t(shape, 6);
+        let loss = |x: &Tensor, gamma: &[f32], beta: &[f32]| -> f64 {
+            let (y, _s) = bn_forward(x, gamma, beta, EPS);
+            y.as_slice().iter().zip(q.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum()
+        };
+        let (_y, stats) = bn_forward(&x, &gamma, &beta, EPS);
+        let (dx, dgamma, dbeta) = bn_backward(&x, &q, &stats, &gamma, EPS);
+
+        let eps_fd = 1e-3f32;
+        for (n, c, h, w) in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)] {
+            let mut xp = x.clone();
+            *xp.at_mut(n, c, h, w) += eps_fd;
+            let mut xm = x.clone();
+            *xm.at_mut(n, c, h, w) -= eps_fd;
+            let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps_fd as f64);
+            let an = dx.at(n, c, h, w) as f64;
+            assert!((fd - an).abs() < 2e-2 * fd.abs().max(1.0), "dx[{n},{c},{h},{w}]: {an} vs {fd}");
+        }
+        for c in 0..2 {
+            let mut gp = gamma.clone();
+            gp[c] += eps_fd;
+            let mut gm = gamma.clone();
+            gm[c] -= eps_fd;
+            let fd = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps_fd as f64);
+            assert!((fd - dgamma[c] as f64).abs() < 1e-2 * fd.abs().max(1.0), "dgamma[{c}]");
+            let mut bp = beta.clone();
+            bp[c] += eps_fd;
+            let mut bm = beta.clone();
+            bm[c] -= eps_fd;
+            let fd = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps_fd as f64);
+            assert!((fd - dbeta[c] as f64).abs() < 1e-2 * fd.abs().max(1.0), "dbeta[{c}]");
+        }
+    }
+
+    #[test]
+    fn degenerate_constant_channel_is_safe() {
+        // Zero variance: invstd = 1/sqrt(eps), finite; no NaNs.
+        let x = Tensor::full(Shape4::new(2, 1, 2, 2), 3.0);
+        let (y, stats) = bn_forward(&x, &[1.0], &[0.0], EPS);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-3));
+        let (dx, _dg, _db) = bn_backward(&x, &Tensor::full(x.shape(), 1.0), &stats, &[1.0], EPS);
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,369 @@
+//! 3-D convolution over volumetric NCDHW tensors.
+//!
+//! The paper's conclusion: "as 3D data becomes more widespread, spatial
+//! parallelism, which can be easily extended to 3D, becomes critical,
+//! and more advantageous, due to the more favorable surface-to-volume
+//! ratio." This module provides that extension's compute substrate:
+//! a minimal dense 5-D tensor and direct 3-D convolution kernels in the
+//! same *region/window* form as [`crate::conv`], so the distributed
+//! layer (`fg_core::spatial3d`) can partition depth, height and width
+//! with halo exchanges exactly as in the 2-D case.
+
+/// A dense, owned, row-major NCDHW tensor of `f32` (W fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor5 {
+    /// Samples.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Depth.
+    pub d: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor5 {
+    /// Zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, d: usize, h: usize, w: usize) -> Self {
+        Tensor5 { n, c, d, h, w, data: vec![0.0; n * c * d * h * w] }
+    }
+
+    /// Build from a function of the NCDHW index.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        d: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * c * d * h * w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for di in 0..d {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            data.push(f(ni, ci, di, hi, wi));
+                        }
+                    }
+                }
+            }
+        }
+        Tensor5 { n, c, d, h, w, data }
+    }
+
+    /// Linear offset of `(n, c, d, h, w)`.
+    #[inline(always)]
+    pub fn offset(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> usize {
+        (((n * self.c + c) * self.d + d) * self.h + h) * self.w + w
+    }
+
+    /// Read an element.
+    #[inline(always)]
+    pub fn at(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset(n, c, d, h, w)]
+    }
+
+    /// Mutable element access.
+    #[inline(always)]
+    pub fn at_mut(&mut self, n: usize, c: usize, d: usize, h: usize, w: usize) -> &mut f32 {
+        let o = self.offset(n, c, d, h, w);
+        &mut self.data[o]
+    }
+
+    /// Raw backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Maximum absolute difference (for tests).
+    pub fn max_abs_diff(&self, other: &Tensor5) -> f32 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// Geometry of a cubic-kernel 3-D convolution with symmetric padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv3dGeometry {
+    /// Global input depth.
+    pub in_d: usize,
+    /// Global input height.
+    pub in_h: usize,
+    /// Global input width.
+    pub in_w: usize,
+    /// Kernel size K (cubic).
+    pub k: usize,
+    /// Stride S (isotropic).
+    pub s: usize,
+    /// Zero padding P (isotropic).
+    pub p: usize,
+}
+
+impl Conv3dGeometry {
+    /// Output depth.
+    pub const fn out_d(&self) -> usize {
+        (self.in_d + 2 * self.p - self.k) / self.s + 1
+    }
+    /// Output height.
+    pub const fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.p - self.k) / self.s + 1
+    }
+    /// Output width.
+    pub const fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.p - self.k) / self.s + 1
+    }
+
+    /// Input range `[lo, hi)` (unclamped) read by output range
+    /// `[o0, o1)` along any dimension.
+    pub fn input_range_for_output(&self, o0: usize, o1: usize) -> (i64, i64) {
+        debug_assert!(o0 < o1);
+        let lo = o0 as i64 * self.s as i64 - self.p as i64;
+        let hi = (o1 - 1) as i64 * self.s as i64 - self.p as i64 + self.k as i64;
+        (lo, hi)
+    }
+}
+
+/// Forward 3-D convolution over an output region, reading a window with
+/// materialized padding addressed by `origin` (d, h, w in global,
+/// possibly negative coordinates). Weights are `(F, C, K, K, K)` packed
+/// in a [`Tensor5`] with `n = F`, `d = h = w = K`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d_forward_region(
+    x: &Tensor5,
+    origin: (i64, i64, i64),
+    weights: &Tensor5,
+    geom: &Conv3dGeometry,
+    out_d: (usize, usize),
+    out_h: (usize, usize),
+    out_w: (usize, usize),
+) -> Tensor5 {
+    let f_out = weights.n;
+    let c_in = weights.c;
+    assert_eq!(c_in, x.c, "channels do not match weights");
+    assert_eq!((weights.d, weights.h, weights.w), (geom.k, geom.k, geom.k));
+    // Window coverage checks per dimension.
+    for (dim, (o0, o1), (org, ext)) in [
+        (0, out_d, (origin.0, x.d)),
+        (1, out_h, (origin.1, x.h)),
+        (2, out_w, (origin.2, x.w)),
+    ] {
+        assert!(o0 < o1, "empty output region on dim {dim}");
+        let (lo, hi) = geom.input_range_for_output(o0, o1);
+        assert!(
+            lo >= org && hi <= org + ext as i64,
+            "dim {dim}: window [{org}, {}) does not cover [{lo}, {hi})",
+            org + ext as i64
+        );
+    }
+    let (dd, hh, ww) = (out_d.1 - out_d.0, out_h.1 - out_h.0, out_w.1 - out_w.0);
+    let mut y = Tensor5::zeros(x.n, f_out, dd, hh, ww);
+    for ni in 0..x.n {
+        for fi in 0..f_out {
+            for od in out_d.0..out_d.1 {
+                for oh in out_h.0..out_h.1 {
+                    for ow in out_w.0..out_w.1 {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c_in {
+                            for kd in 0..geom.k {
+                                let ld = (od as i64 * geom.s as i64 - geom.p as i64 + kd as i64
+                                    - origin.0) as usize;
+                                for kh in 0..geom.k {
+                                    let lh = (oh as i64 * geom.s as i64 - geom.p as i64
+                                        + kh as i64
+                                        - origin.1)
+                                        as usize;
+                                    let x_base = x.offset(
+                                        ni,
+                                        ci,
+                                        ld,
+                                        lh,
+                                        (ow as i64 * geom.s as i64 - geom.p as i64 - origin.2)
+                                            as usize,
+                                    );
+                                    let w_base = weights.offset(fi, ci, kd, kh, 0);
+                                    for kw in 0..geom.k {
+                                        acc += x.as_slice()[x_base + kw]
+                                            * weights.as_slice()[w_base + kw];
+                                    }
+                                }
+                            }
+                        }
+                        *y.at_mut(ni, fi, od - out_d.0, oh - out_h.0, ow - out_w.0) = acc;
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Serial 3-D forward convolution with symmetric zero padding.
+pub fn conv3d_forward(x: &Tensor5, weights: &Tensor5, geom: &Conv3dGeometry) -> Tensor5 {
+    let padded = pad_window3d(x, geom.p);
+    conv3d_forward_region(
+        &padded,
+        (-(geom.p as i64), -(geom.p as i64), -(geom.p as i64)),
+        weights,
+        geom,
+        (0, geom.out_d()),
+        (0, geom.out_h()),
+        (0, geom.out_w()),
+    )
+}
+
+/// Copy `x` into a zero-filled buffer with `p` margins on every spatial
+/// side.
+pub fn pad_window3d(x: &Tensor5, p: usize) -> Tensor5 {
+    if p == 0 {
+        return x.clone();
+    }
+    let mut out = Tensor5::zeros(x.n, x.c, x.d + 2 * p, x.h + 2 * p, x.w + 2 * p);
+    for ni in 0..x.n {
+        for ci in 0..x.c {
+            for di in 0..x.d {
+                for hi in 0..x.h {
+                    let src = x.offset(ni, ci, di, hi, 0);
+                    let dst = out.offset(ni, ci, di + p, hi + p, p);
+                    let w = x.w;
+                    let (src_row, dst_start) = (&x.as_slice()[src..src + w], dst);
+                    out.as_mut_slice()[dst_start..dst_start + w].copy_from_slice(src_row);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: usize, c: usize, d: usize, h: usize, w: usize, seed: usize) -> Tensor5 {
+        Tensor5::from_fn(n, c, d, h, w, |ni, ci, di, hi, wi| {
+            ((ni * 31 + ci * 17 + di * 13 + hi * 7 + wi * 3 + seed) % 19) as f32 * 0.25 - 2.0
+        })
+    }
+
+    /// Naive Eq. 1 extended to 3-D, with bounds checks.
+    fn reference(x: &Tensor5, wt: &Tensor5, g: &Conv3dGeometry) -> Tensor5 {
+        let mut y = Tensor5::zeros(x.n, wt.n, g.out_d(), g.out_h(), g.out_w());
+        for ni in 0..x.n {
+            for fi in 0..wt.n {
+                for od in 0..g.out_d() {
+                    for oh in 0..g.out_h() {
+                        for ow in 0..g.out_w() {
+                            let mut acc = 0.0;
+                            for ci in 0..x.c {
+                                for kd in 0..g.k {
+                                    for kh in 0..g.k {
+                                        for kw in 0..g.k {
+                                            let id = (od * g.s + kd) as i64 - g.p as i64;
+                                            let ih = (oh * g.s + kh) as i64 - g.p as i64;
+                                            let iw = (ow * g.s + kw) as i64 - g.p as i64;
+                                            if id >= 0
+                                                && ih >= 0
+                                                && iw >= 0
+                                                && (id as usize) < x.d
+                                                && (ih as usize) < x.h
+                                                && (iw as usize) < x.w
+                                            {
+                                                acc += x.at(
+                                                    ni, ci, id as usize, ih as usize, iw as usize,
+                                                ) * wt.at(fi, ci, kd, kh, kw);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            *y.at_mut(ni, fi, od, oh, ow) = acc;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        for (geom, c, f) in [
+            (Conv3dGeometry { in_d: 6, in_h: 6, in_w: 6, k: 3, s: 1, p: 1 }, 2, 3),
+            (Conv3dGeometry { in_d: 7, in_h: 5, in_w: 6, k: 3, s: 2, p: 1 }, 1, 2),
+            (Conv3dGeometry { in_d: 4, in_h: 4, in_w: 4, k: 1, s: 1, p: 0 }, 3, 2),
+        ] {
+            let x = t(2, c, geom.in_d, geom.in_h, geom.in_w, 1);
+            let wt = t(f, c, geom.k, geom.k, geom.k, 2);
+            let got = conv3d_forward(&x, &wt, &geom);
+            let want = reference(&x, &wt, &geom);
+            assert!(got.max_abs_diff(&want) < 1e-4, "geom {geom:?}");
+        }
+    }
+
+    #[test]
+    fn region_matches_full() {
+        let geom = Conv3dGeometry { in_d: 8, in_h: 8, in_w: 8, k: 3, s: 1, p: 1 };
+        let x = t(1, 2, 8, 8, 8, 3);
+        let wt = t(2, 2, 3, 3, 3, 4);
+        let full = conv3d_forward(&x, &wt, &geom);
+        let padded = pad_window3d(&x, 1);
+        let region = conv3d_forward_region(
+            &padded,
+            (-1, -1, -1),
+            &wt,
+            &geom,
+            (2, 6),
+            (0, 8),
+            (3, 7),
+        );
+        for fi in 0..2 {
+            for od in 2..6 {
+                for oh in 0..8 {
+                    for ow in 3..7 {
+                        assert_eq!(
+                            region.at(0, fi, od - 2, oh, ow - 3),
+                            full.at(0, fi, od, oh, ow)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_shapes() {
+        let g = Conv3dGeometry { in_d: 16, in_h: 32, in_w: 32, k: 3, s: 2, p: 1 };
+        assert_eq!((g.out_d(), g.out_h(), g.out_w()), (8, 16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn undersized_window_rejected() {
+        let geom = Conv3dGeometry { in_d: 6, in_h: 6, in_w: 6, k: 3, s: 1, p: 1 };
+        let x = t(1, 1, 6, 6, 6, 5);
+        let wt = t(1, 1, 3, 3, 3, 6);
+        let _ = conv3d_forward_region(&x, (0, 0, 0), &wt, &geom, (0, 6), (0, 6), (0, 6));
+    }
+}

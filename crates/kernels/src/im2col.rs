@@ -1,0 +1,222 @@
+//! im2col + GEMM convolution path.
+//!
+//! cuDNN selects among several convolution algorithms at runtime (the
+//! paper's §V-A models this empirically, and §VI-B1 attributes a
+//! performance anomaly to algorithm selection). We reproduce the
+//! algorithmic dimension with two interchangeable implementations: the
+//! direct loops in [`crate::conv`] and this GEMM-based lowering. The
+//! ablation bench `ablate_conv_kernel` compares them.
+
+use fg_tensor::{Shape4, Tensor};
+
+use crate::conv::ConvGeometry;
+use crate::gemm::{sgemm_acc, sgemm_at_acc};
+
+/// Lower the receptive fields of one sample into a `(C·kh·kw) × (OH·OW)`
+/// matrix. `x` is the sample's window with materialized padding and
+/// origin `x_origin`.
+pub fn im2col(
+    x: &Tensor,
+    sample: usize,
+    x_origin: (i64, i64),
+    geom: &ConvGeometry,
+) -> Vec<f32> {
+    let s = x.shape();
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut col = vec![0.0f32; s.c * geom.kh * geom.kw * oh * ow];
+    let xs = x.as_slice();
+    let mut row = 0usize;
+    for c in 0..s.c {
+        for r in 0..geom.kh {
+            for t in 0..geom.kw {
+                for o_h in 0..oh {
+                    let ih = (o_h * geom.stride_h + r) as i64 - geom.pad_h as i64;
+                    let lh = (ih - x_origin.0) as usize;
+                    let x_base = s.offset(sample, c, lh, 0);
+                    let dst = row * oh * ow + o_h * ow;
+                    for o_w in 0..ow {
+                        let iw = (o_w * geom.stride_w + t) as i64 - geom.pad_w as i64;
+                        let lw = (iw - x_origin.1) as usize;
+                        col[dst + o_w] = xs[x_base + lw];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    col
+}
+
+/// Forward convolution via im2col + GEMM; numerically equivalent to
+/// [`crate::conv::conv2d_forward`] up to summation order.
+pub fn conv2d_forward_gemm(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    geom: &ConvGeometry,
+) -> Tensor {
+    let padded = crate::conv::pad_window(x, geom.pad_h, geom.pad_w);
+    let origin = (-(geom.pad_h as i64), -(geom.pad_w as i64));
+    let xs = x.shape();
+    let wsh = w.shape();
+    let (f_out, c_in) = (wsh.n, wsh.c);
+    assert_eq!(c_in, xs.c, "input channels do not match weights");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = c_in * geom.kh * geom.kw;
+
+    let mut y = Tensor::zeros(Shape4::new(xs.n, f_out, oh, ow));
+    for sample in 0..xs.n {
+        let col = im2col(&padded, sample, origin, geom);
+        let y_base = y.shape().offset(sample, 0, 0, 0);
+        let y_block = &mut y.as_mut_slice()[y_base..y_base + f_out * oh * ow];
+        // (F × k) · (k × OH·OW)
+        sgemm_acc(f_out, k, oh * ow, w.as_slice(), &col, y_block);
+        if let Some(b) = bias {
+            for f in 0..f_out {
+                for v in &mut y_block[f * oh * ow..(f + 1) * oh * ow] {
+                    *v += b[f];
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Backward-filter via GEMM: `dW = dY · colᵀ` accumulated over samples.
+pub fn conv2d_backward_filter_gemm(
+    x: &Tensor,
+    dy: &Tensor,
+    geom: &ConvGeometry,
+) -> (Tensor, Vec<f32>) {
+    let padded = crate::conv::pad_window(x, geom.pad_h, geom.pad_w);
+    let origin = (-(geom.pad_h as i64), -(geom.pad_w as i64));
+    let xs = x.shape();
+    let dysh = dy.shape();
+    let f_out = dysh.c;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!((dysh.h, dysh.w), (oh, ow), "dy does not match geometry");
+    let k = xs.c * geom.kh * geom.kw;
+
+    let mut dw_flat = vec![0.0f32; f_out * k];
+    let mut db = vec![0.0f32; f_out];
+    for sample in 0..xs.n {
+        let col = im2col(&padded, sample, origin, geom);
+        let dy_base = dysh.offset(sample, 0, 0, 0);
+        let dy_block = &dy.as_slice()[dy_base..dy_base + f_out * oh * ow];
+        // (F × OH·OW) · (OH·OW × k): col is (k × OH·OW) so use Bᵀ form via
+        // sgemm with swapped roles: dW += dY · colᵀ. colᵀ is (OH·OW × k),
+        // stored as col (k × OH·OW) — i.e. multiply by stored-transposed B.
+        crate::gemm::sgemm_bt_acc(f_out, oh * ow, k, dy_block, &col, &mut dw_flat);
+        for f in 0..f_out {
+            db[f] += dy_block[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+        }
+    }
+    (Tensor::from_vec(Shape4::new(f_out, xs.c, geom.kh, geom.kw), dw_flat), db)
+}
+
+/// Backward-data via GEMM + col2im: `col = Wᵀ · dY`, then scatter.
+pub fn conv2d_backward_data_gemm(dy: &Tensor, w: &Tensor, geom: &ConvGeometry) -> Tensor {
+    let dysh = dy.shape();
+    let wsh = w.shape();
+    let (f_out, c_in) = (wsh.n, wsh.c);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = c_in * geom.kh * geom.kw;
+    let mut dx = Tensor::zeros(Shape4::new(dysh.n, c_in, geom.in_h, geom.in_w));
+    for sample in 0..dysh.n {
+        let dy_base = dysh.offset(sample, 0, 0, 0);
+        let dy_block = &dy.as_slice()[dy_base..dy_base + f_out * oh * ow];
+        // (k × F) · (F × OH·OW) with W stored (F × k): Aᵀ form.
+        let mut col = vec![0.0f32; k * oh * ow];
+        sgemm_at_acc(k, f_out, oh * ow, w.as_slice(), dy_block, &mut col);
+        col2im_acc(&col, sample, geom, c_in, &mut dx);
+    }
+    dx
+}
+
+/// Scatter-accumulate a column matrix back into the input gradient.
+fn col2im_acc(col: &[f32], sample: usize, geom: &ConvGeometry, c_in: usize, dx: &mut Tensor) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let s = dx.shape();
+    let dxs = dx.as_mut_slice();
+    let mut row = 0usize;
+    for c in 0..c_in {
+        for r in 0..geom.kh {
+            for t in 0..geom.kw {
+                for o_h in 0..oh {
+                    let ih = (o_h * geom.stride_h + r) as i64 - geom.pad_h as i64;
+                    if ih < 0 || ih as usize >= geom.in_h {
+                        continue;
+                    }
+                    let base = s.offset(sample, c, ih as usize, 0);
+                    let src = row * oh * ow + o_h * ow;
+                    for o_w in 0..ow {
+                        let iw = (o_w * geom.stride_w + t) as i64 - geom.pad_w as i64;
+                        if iw < 0 || iw as usize >= geom.in_w {
+                            continue;
+                        }
+                        dxs[base + iw as usize] += col[src + o_w];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d_backward_data, conv2d_backward_filter, conv2d_forward};
+
+    fn test_tensor(shape: Shape4, seed: u32) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            ((n * 31 + c * 17 + h * 7 + w * 3 + seed as usize) % 19) as f32 * 0.5 - 4.0
+        })
+    }
+
+    fn cases() -> Vec<(Shape4, Shape4, ConvGeometry)> {
+        vec![
+            (Shape4::new(2, 3, 8, 8), Shape4::new(4, 3, 3, 3), ConvGeometry::square(8, 8, 3, 1, 1)),
+            (Shape4::new(1, 2, 9, 7), Shape4::new(3, 2, 3, 3), ConvGeometry::square(9, 7, 3, 2, 1)),
+            (Shape4::new(1, 4, 5, 5), Shape4::new(2, 4, 1, 1), ConvGeometry::square(5, 5, 1, 1, 0)),
+            (Shape4::new(2, 1, 11, 11), Shape4::new(2, 1, 5, 5), ConvGeometry::square(11, 11, 5, 2, 2)),
+        ]
+    }
+
+    #[test]
+    fn gemm_forward_matches_direct() {
+        for (xs, wsz, g) in cases() {
+            let x = test_tensor(xs, 1);
+            let w = test_tensor(wsz, 2);
+            let bias: Vec<f32> = (0..wsz.n).map(|f| 0.1 * f as f32).collect();
+            let direct = conv2d_forward(&x, &w, Some(&bias), &g);
+            let gemm = conv2d_forward_gemm(&x, &w, Some(&bias), &g);
+            gemm.assert_close(&direct, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_backward_filter_matches_direct() {
+        for (xs, wsz, g) in cases() {
+            let x = test_tensor(xs, 3);
+            let dy = test_tensor(Shape4::new(xs.n, wsz.n, g.out_h(), g.out_w()), 4);
+            let (dw_d, db_d) = conv2d_backward_filter(&x, &dy, &g);
+            let (dw_g, db_g) = conv2d_backward_filter_gemm(&x, &dy, &g);
+            dw_g.assert_close(&dw_d, 1e-3);
+            for (a, b) in db_g.iter().zip(&db_d) {
+                assert!((a - b).abs() < 1e-3 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_backward_data_matches_direct() {
+        for (xs, wsz, g) in cases() {
+            let w = test_tensor(wsz, 5);
+            let dy = test_tensor(Shape4::new(xs.n, wsz.n, g.out_h(), g.out_w()), 6);
+            let direct = conv2d_backward_data(&dy, &w, &g);
+            let gemm = conv2d_backward_data_gemm(&dy, &w, &g);
+            gemm.assert_close(&direct, 1e-3);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # fg-models — the networks the paper evaluates
+//!
+//! * [`resnet50`] — ResNet-50 with Caffe layer names, for the
+//!   ImageNet-1K strong-scaling study (Table III) and the Fig. 2 layer
+//!   microbenchmarks (`conv1`, `res3b_branch2a`);
+//! * [`mesh`] — the 1K/2K mesh-tangling semantic-segmentation models
+//!   (Tables I–II, Figs. 3–4), VGG-style conv–BN–ReLU blocks pinned to
+//!   the published `conv1_1`/`conv6_1` shapes.
+
+pub mod mesh;
+pub mod resnet50;
+
+pub use mesh::{mesh_model, mesh_model_custom, mesh_model_scaled, MeshSize, BLOCK_FILTERS, MESH_CHANNELS};
+pub use resnet50::{resnet50, resnet50_with, IMAGENET_CLASSES, IMAGENET_HW};

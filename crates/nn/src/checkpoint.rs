@@ -1,0 +1,204 @@
+//! Activation recomputation (gradient checkpointing).
+//!
+//! The paper's related work (§VII, "Memory pressure") lists approaches
+//! that "utilize recomputation to avoid keeping intermediate values"
+//! (Chen et al., sublinear memory cost) as the other main alternative to
+//! spatial parallelism. We implement segment-wise recomputation for line
+//! networks (the mesh models are lines): the forward pass stores
+//! activations only at segment boundaries; the backward pass recomputes
+//! each segment's interior activations from its boundary checkpoint,
+//! trading one extra forward per segment for `O(L/s + s)` instead of
+//! `O(L)` stored activations.
+//!
+//! The comparison the paper implies — recomputation costs *time*,
+//! spatial parallelism costs *communication* — falls out of the returned
+//! statistics and is asserted in the tests.
+
+use fg_kernels::loss::Labels;
+use fg_tensor::Tensor;
+
+use crate::graph::NetworkSpec;
+use crate::layer::{LayerKind, LayerParams};
+use crate::network::Network;
+
+/// Memory/recompute statistics of a checkpointed pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Maximum number of activations materialized at any time
+    /// (checkpoints + the active segment's interior).
+    pub peak_live_activations: usize,
+    /// Activations a plain pass would keep (all of them).
+    pub full_activations: usize,
+    /// Layers whose forward ran twice (the recomputation overhead).
+    pub recomputed_layers: usize,
+}
+
+/// True if the spec is a "line": layer `i > 0` has exactly `[i-1]` as
+/// parents (the mesh models satisfy this; ResNet does not).
+pub fn is_line_network(spec: &NetworkSpec) -> bool {
+    spec.layers().iter().enumerate().all(|(id, l)| {
+        if id == 0 {
+            l.parents.is_empty()
+        } else {
+            l.parents.as_slice() == [id - 1]
+        }
+    })
+}
+
+/// Build the sub-network for layers `(from, to]` of a line network,
+/// with an input layer standing in for layer `from`'s activation.
+fn segment_network(net: &Network, from: usize, to: usize, act_from: &Tensor) -> Network {
+    let mut spec = NetworkSpec::new();
+    let s = act_from.shape();
+    let mut prev = spec.add(
+        "__ckpt_input",
+        LayerKind::Input { channels: s.c, height: s.h, width: s.w },
+        &[],
+    );
+    let mut params = vec![LayerParams::None];
+    for id in from + 1..=to {
+        let l = net.spec.layer(id);
+        prev = spec.add(l.name.clone(), l.kind.clone(), &[prev]);
+        params.push(net.params[id].clone());
+    }
+    Network { spec, params }
+}
+
+/// Loss and gradients with segment-wise activation recomputation.
+///
+/// `segment` is the checkpoint spacing in layers. Returns the loss, the
+/// per-layer gradients (aligned with `net.params`), and the memory /
+/// recompute statistics. Results equal [`Network::loss_and_grads`]
+/// exactly (same kernels, same order — bitwise for the loss).
+pub fn checkpointed_loss_and_grads(
+    net: &Network,
+    x: &Tensor,
+    labels: &Labels,
+    segment: usize,
+) -> (f64, Vec<LayerParams>, CheckpointStats) {
+    assert!(segment >= 1);
+    assert!(is_line_network(&net.spec), "checkpointing requires a line network");
+    let n_layers = net.spec.len();
+
+    // Checkpoint layer ids: 0, segment, 2·segment, …, always < last.
+    let mut checkpoints: Vec<usize> = (0..n_layers - 1).step_by(segment).collect();
+    if *checkpoints.last().unwrap() != n_layers - 1 {
+        checkpoints.push(n_layers - 1);
+    }
+
+    // Forward: walk segments, keeping only the boundary activations.
+    let mut boundary_acts: Vec<Tensor> = Vec::with_capacity(checkpoints.len());
+    boundary_acts.push(x.clone()); // activation of layer 0 (Input) == x
+    let mut recomputed = 0usize;
+    for w in checkpoints.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let seg = segment_network(net, a, b, boundary_acts.last().unwrap());
+        let pass = seg.forward(boundary_acts.last().unwrap(), Some(labels));
+        boundary_acts.push(pass.activations.last().unwrap().clone());
+        recomputed += b - a; // these layers will run again in backward
+    }
+
+    // The final segment owns the loss layer; run it fully and backward.
+    let mut grads: Vec<LayerParams> = net.params.iter().map(|p| p.zeros_like()).collect();
+    let mut loss = f64::NAN;
+    let mut upstream: Option<Tensor> = None;
+    let mut peak_live = checkpoints.len();
+
+    for (si, w) in checkpoints.windows(2).enumerate().rev() {
+        let (a, b) = (w[0], w[1]);
+        let seg = segment_network(net, a, b, &boundary_acts[si]);
+        let pass = seg.forward(&boundary_acts[si], Some(labels));
+        peak_live = peak_live.max(checkpoints.len() + (b - a));
+        let (seg_grads, input_grad) = if si == checkpoints.len() - 2 {
+            // Last segment: start from the loss head.
+            loss = pass.loss.expect("network must end in a loss layer");
+            seg.backward_with_input_grad(&pass)
+        } else {
+            let seed = upstream.take().expect("seed from downstream segment");
+            seg.backward_seeded(&pass, seed)
+        };
+        // Scatter segment gradients into the global vector (segment
+        // layer j corresponds to global layer a + j).
+        for (j, g) in seg_grads.into_iter().enumerate().skip(1) {
+            grads[a + j] = g;
+        }
+        upstream = input_grad;
+    }
+
+    let stats = CheckpointStats {
+        peak_live_activations: peak_live,
+        full_activations: n_layers,
+        recomputed_layers: recomputed,
+    };
+    (loss, grads, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::Shape4;
+
+    fn line_net() -> Network {
+        let mut spec = NetworkSpec::new();
+        let i = spec.input("x", 3, 16, 16);
+        let c1 = spec.conv("c1", i, 8, 5, 2, 2);
+        let b1 = spec.batchnorm("b1", c1);
+        let r1 = spec.relu("r1", b1);
+        let c2 = spec.conv("c2", r1, 8, 3, 1, 1);
+        let r2 = spec.relu("r2", c2);
+        let c3 = spec.conv("c3", r2, 8, 3, 2, 1);
+        let r3 = spec.relu("r3", c3);
+        let p = spec.conv("pred", r3, 2, 1, 1, 0);
+        spec.loss("loss", p);
+        Network::init(spec, 77)
+    }
+
+    fn batch() -> (Tensor, Labels) {
+        let x = Tensor::from_fn(Shape4::new(2, 3, 16, 16), |n, c, h, w| {
+            ((n * 11 + c * 7 + h * 3 + w) % 13) as f32 * 0.2 - 1.2
+        });
+        let labels = Labels::per_pixel(2, 4, 4, (0..32).map(|i| (i % 2) as u32).collect());
+        (x, labels)
+    }
+
+    #[test]
+    fn line_detection() {
+        assert!(is_line_network(&line_net().spec));
+        let mut spec = NetworkSpec::new();
+        let i = spec.input("x", 1, 4, 4);
+        let a = spec.relu("a", i);
+        let b = spec.relu("b", a);
+        spec.add_join("j", &[b, i]);
+        assert!(!is_line_network(&spec));
+    }
+
+    #[test]
+    fn checkpointing_is_exact_for_every_segment_size() {
+        let net = line_net();
+        let (x, labels) = batch();
+        let (full_loss, full_grads) = net.loss_and_grads(&x, &labels);
+        for segment in [1usize, 2, 3, 4, 9, 100] {
+            let (loss, grads, _stats) = checkpointed_loss_and_grads(&net, &x, &labels, segment);
+            assert_eq!(loss, full_loss, "segment={segment}");
+            for (a, b) in grads.iter().zip(&full_grads) {
+                assert_eq!(a.to_flat(), b.to_flat(), "segment={segment}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_time_tradeoff_is_visible() {
+        let net = line_net();
+        let (x, labels) = batch();
+        let (_l, _g, fine) = checkpointed_loss_and_grads(&net, &x, &labels, 2);
+        let (_l, _g, coarse) = checkpointed_loss_and_grads(&net, &x, &labels, 100);
+        // Fine checkpointing stores fewer live activations…
+        assert!(
+            fine.peak_live_activations < coarse.peak_live_activations,
+            "fine {fine:?} vs coarse {coarse:?}"
+        );
+        // …and both recompute (time cost); a plain pass recomputes none.
+        assert!(fine.recomputed_layers > 0);
+        assert!(fine.peak_live_activations < fine.full_activations);
+    }
+}

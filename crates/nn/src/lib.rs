@@ -1,0 +1,32 @@
+//! # fg-nn — single-device CNN training pipeline
+//!
+//! The serial substrate of the reproduction: declarative network specs
+//! ([`NetworkSpec`]), a reference executor ([`Network`]) implementing
+//! forward/backward over the DAG (including residual joins), parameter
+//! initialization and SGD. The distributed executor in `fg-core` runs
+//! the *same spec* under a parallel execution strategy and is tested for
+//! equivalence against this one — the paper's "exactly replicates
+//! convolution as if performed on a single GPU" property, extended to
+//! whole networks.
+
+pub mod checkpoint;
+pub mod graph;
+pub mod inference;
+pub mod init;
+pub mod microbatch;
+pub mod layer;
+pub mod network;
+pub mod optimizer;
+pub mod params_io;
+pub mod schedule;
+
+pub use graph::{LayerId, NetworkSpec};
+pub use inference::RunningStats;
+pub use init::init_params;
+pub use layer::{LayerKind, LayerParams, LayerSpec};
+pub use network::{ForwardPass, Network, BN_EPS};
+pub use checkpoint::{checkpointed_loss_and_grads, CheckpointStats};
+pub use microbatch::microbatched_loss_and_grads;
+pub use optimizer::Sgd;
+pub use params_io::{load_params, load_params_file, save_params, save_params_file};
+pub use schedule::{linear_scaled_lr, Schedule};

@@ -1,0 +1,105 @@
+//! SGD with momentum and weight decay.
+//!
+//! In the paper's setting the optimizer runs redundantly on every rank
+//! after the gradient allreduce ("SGD can proceed independently on each
+//! processor", §III-A); the update must therefore be deterministic given
+//! identical gradients, which this plain implementation is.
+
+use crate::layer::LayerParams;
+
+/// Stochastic gradient descent with classical momentum:
+///
+/// `v ← μ·v + (g + λ·p)`, `p ← p − η·v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum μ.
+    pub momentum: f32,
+    /// Weight decay λ (L2).
+    pub weight_decay: f32,
+    velocity: Vec<LayerParams>,
+}
+
+impl Sgd {
+    /// Create an optimizer with velocity buffers shaped like `params`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32, params: &[LayerParams]) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: params.iter().map(|p| p.zeros_like()).collect() }
+    }
+
+    /// Apply one update step.
+    pub fn step(&mut self, params: &mut [LayerParams], grads: &[LayerParams]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "optimizer bound to different network");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            if p.is_empty() {
+                continue;
+            }
+            // v = μ v + g (+ λ p), elementwise via flat views.
+            let mut vf = v.to_flat();
+            let gf = g.to_flat();
+            let pf = p.to_flat();
+            for i in 0..vf.len() {
+                vf[i] = self.momentum * vf[i] + gf[i] + self.weight_decay * pf[i];
+            }
+            v.assign_flat(&vf);
+            p.add_scaled(v, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::{Shape4, Tensor};
+
+    fn one_param(v: f32) -> Vec<LayerParams> {
+        vec![LayerParams::Conv { w: Tensor::full(Shape4::new(1, 1, 1, 1), v), b: None }]
+    }
+
+    fn value(p: &[LayerParams]) -> f32 {
+        p[0].to_flat()[0]
+    }
+
+    #[test]
+    fn plain_sgd_descends_quadratic() {
+        // f(w) = w², g = 2w; minimizes to 0.
+        let mut p = one_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0, &p);
+        for _ in 0..50 {
+            let g = one_param(2.0 * value(&p));
+            opt.step(&mut p, &g);
+        }
+        assert!(value(&p).abs() < 1e-4);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = one_param(0.0);
+        let mut opt = Sgd::new(1.0, 0.5, 0.0, &p);
+        let g = one_param(1.0);
+        opt.step(&mut p, &g);
+        assert_eq!(value(&p), -1.0); // v=1
+        opt.step(&mut p, &g);
+        assert_eq!(value(&p), -2.5); // v=1.5
+        opt.step(&mut p, &g);
+        assert_eq!(value(&p), -4.25); // v=1.75
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut p = one_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.5, &p);
+        let g = one_param(0.0);
+        opt.step(&mut p, &g);
+        assert!((value(&p) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_params_are_skipped() {
+        let mut p = vec![LayerParams::None];
+        let g = vec![LayerParams::None];
+        let mut opt = Sgd::new(0.1, 0.9, 0.1, &p);
+        opt.step(&mut p, &g); // must not panic
+    }
+}

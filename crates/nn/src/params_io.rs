@@ -1,0 +1,225 @@
+//! Saving and loading network parameters.
+//!
+//! A deliberately simple, self-describing binary format (no external
+//! serialization dependency): magic, version, per-layer tag + shape +
+//! little-endian f32 payload. Checkpointing trained models is table
+//! stakes for a training library, and in the distributed setting it
+//! composes trivially: parameters are replicated, so any single rank's
+//! copy is the checkpoint.
+
+use std::io::{self, Read, Write};
+
+use fg_tensor::{Shape4, Tensor};
+
+use crate::layer::LayerParams;
+
+const MAGIC: &[u8; 8] = b"FGPARAM1";
+
+/// Write all layer parameters to `w`.
+pub fn save_params<W: Write>(w: &mut W, params: &[LayerParams]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u64(w, params.len() as u64)?;
+    for p in params {
+        match p {
+            LayerParams::None => {
+                w.write_all(&[0u8])?;
+            }
+            LayerParams::Conv { w: wt, b } => {
+                w.write_all(&[1u8])?;
+                write_tensor(w, wt)?;
+                match b {
+                    Some(b) => {
+                        w.write_all(&[1u8])?;
+                        write_f32s(w, b)?;
+                    }
+                    None => w.write_all(&[0u8])?,
+                }
+            }
+            LayerParams::Bn { gamma, beta } => {
+                w.write_all(&[2u8])?;
+                write_f32s(w, gamma)?;
+                write_f32s(w, beta)?;
+            }
+            LayerParams::Fc { w: wt, b } => {
+                w.write_all(&[3u8])?;
+                write_tensor(w, wt)?;
+                write_f32s(w, b)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read parameters written by [`save_params`].
+pub fn load_params<R: Read>(r: &mut R) -> io::Result<Vec<LayerParams>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn parameter file"));
+    }
+    let count = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = read_u8(r)?;
+        out.push(match tag {
+            0 => LayerParams::None,
+            1 => {
+                let w = read_tensor(r)?;
+                let has_bias = read_u8(r)? == 1;
+                let b = if has_bias { Some(read_f32s(r)?) } else { None };
+                LayerParams::Conv { w, b }
+            }
+            2 => LayerParams::Bn { gamma: read_f32s(r)?, beta: read_f32s(r)? },
+            3 => LayerParams::Fc { w: read_tensor(r)?, b: read_f32s(r)? },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown parameter tag {other}"),
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Save to a file path.
+pub fn save_params_file(path: &std::path::Path, params: &[LayerParams]) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_params(&mut f, params)
+}
+
+/// Load from a file path.
+pub fn load_params_file(path: &std::path::Path) -> io::Result<Vec<LayerParams>> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_params(&mut f)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn write_f32s<W: Write>(w: &mut W, v: &[f32]) -> io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
+    let s = t.shape();
+    for d in [s.n, s.c, s.h, s.w] {
+        write_u64(w, d as u64)?;
+    }
+    write_f32s(w, t.as_slice())
+}
+
+fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
+    let n = read_u64(r)? as usize;
+    let c = read_u64(r)? as usize;
+    let h = read_u64(r)? as usize;
+    let w = read_u64(r)? as usize;
+    let data = read_f32s(r)?;
+    let shape = Shape4::new(n, c, h, w);
+    if data.len() != shape.len() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor payload length mismatch"));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkSpec;
+    use crate::network::Network;
+
+    fn demo_net() -> Network {
+        let mut spec = NetworkSpec::new();
+        let i = spec.input("x", 3, 8, 8);
+        let c = spec.conv("c", i, 4, 3, 1, 1);
+        let cb = spec.conv_bias("cb", c, 4, 1, 1, 0);
+        let b = spec.batchnorm("b", cb);
+        let r = spec.relu("r", b);
+        let g = spec.global_avg_pool("g", r);
+        let f = spec.fc("f", g, 5);
+        spec.loss("l", f);
+        Network::init(spec, 99)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_parameter_bitwise() {
+        let net = demo_net();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &net.params).unwrap();
+        let loaded = load_params(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, net.params);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let net = demo_net();
+        let path = std::env::temp_dir().join("fg_params_io_test.bin");
+        save_params_file(&path, &net.params).unwrap();
+        let loaded = load_params_file(&path).unwrap();
+        assert_eq!(loaded, net.params);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        save_params(&mut buf, &demo_net().params).unwrap();
+        buf[0] = b'X';
+        let err = load_params(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut buf = Vec::new();
+        save_params(&mut buf, &demo_net().params).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn loaded_params_drive_identical_inference() {
+        use fg_kernels::loss::Labels;
+        use fg_tensor::{Shape4, Tensor};
+        let net = demo_net();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &net.params).unwrap();
+        let mut net2 = demo_net();
+        net2.params = load_params(&mut buf.as_slice()).unwrap();
+        let x = Tensor::from_fn(Shape4::new(2, 3, 8, 8), |n, c, h, w| {
+            (n + c + h + w) as f32 * 0.1
+        });
+        let labels = Labels::per_sample(vec![0, 1]);
+        let (l1, _) = net.loss_and_grads(&x, &labels);
+        let (l2, _) = net2.loss_and_grads(&x, &labels);
+        assert_eq!(l1, l2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Learning-rate schedules for large-batch and strong-scaled training.
+//!
+//! The paper contrasts its strong scaling with large-mini-batch weak
+//! scaling, which relies on "linear scaling of learning rates [Goyal et
+//! al.] or layer-wise adaptive learning rates" (§VII) — and notes that
+//! strong scaling's advantage is precisely that "the learning process
+//! does not change" (§VI-B). This module provides the standard schedule
+//! pieces so both regimes can be expressed:
+//!
+//! * [`linear_scaled_lr`] — Goyal et al.'s rule: `lr = base · batch/256`;
+//! * [`Schedule`] — gradual warmup over the first epochs followed by
+//!   step decay, the exact recipe of that paper.
+
+/// Goyal et al.'s linear scaling rule: the reference learning rate for a
+/// global mini-batch, relative to `base_lr` at `base_batch`.
+pub fn linear_scaled_lr(base_lr: f32, base_batch: usize, batch: usize) -> f32 {
+    base_lr * batch as f32 / base_batch as f32
+}
+
+/// Warmup + step-decay schedule over training steps.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Target learning rate after warmup.
+    pub peak_lr: f32,
+    /// Steps of linear warmup from `warmup_from` to `peak_lr`.
+    pub warmup_steps: usize,
+    /// Warmup starting point (Goyal et al. start from the base lr).
+    pub warmup_from: f32,
+    /// Steps at which the rate is multiplied by `decay` (sorted).
+    pub milestones: Vec<usize>,
+    /// Multiplicative decay at each milestone (0.1 in the recipe).
+    pub decay: f32,
+}
+
+impl Schedule {
+    /// The Goyal et al. recipe for a given global batch: warm up from
+    /// the base rate to the linearly scaled rate, then decay 10× at the
+    /// milestones.
+    pub fn goyal(base_lr: f32, base_batch: usize, batch: usize, steps_per_epoch: usize) -> Self {
+        Schedule {
+            peak_lr: linear_scaled_lr(base_lr, base_batch, batch),
+            warmup_steps: 5 * steps_per_epoch,
+            warmup_from: base_lr,
+            milestones: vec![30 * steps_per_epoch, 60 * steps_per_epoch, 80 * steps_per_epoch],
+            decay: 0.1,
+        }
+    }
+
+    /// A constant schedule (strong scaling: "the learning process does
+    /// not change").
+    pub fn constant(lr: f32) -> Self {
+        Schedule { peak_lr: lr, warmup_steps: 0, warmup_from: lr, milestones: vec![], decay: 1.0 }
+    }
+
+    /// Learning rate at a (0-indexed) step.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        let mut lr = if self.warmup_steps > 0 && step < self.warmup_steps {
+            let t = step as f32 / self.warmup_steps as f32;
+            self.warmup_from + t * (self.peak_lr - self.warmup_from)
+        } else {
+            self.peak_lr
+        };
+        for &m in &self.milestones {
+            if step >= m {
+                lr *= self.decay;
+            }
+        }
+        lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scaling_rule() {
+        // Goyal et al.: lr 0.1 at batch 256 → 3.2 at batch 8192.
+        assert_eq!(linear_scaled_lr(0.1, 256, 8192), 3.2);
+        assert_eq!(linear_scaled_lr(0.1, 256, 256), 0.1);
+        // Strong scaling keeps the batch, hence the rate.
+        assert_eq!(linear_scaled_lr(0.1, 256, 256), linear_scaled_lr(0.1, 256, 256));
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let s = Schedule {
+            peak_lr: 1.0,
+            warmup_steps: 10,
+            warmup_from: 0.2,
+            milestones: vec![],
+            decay: 0.1,
+        };
+        assert_eq!(s.lr_at(0), 0.2);
+        assert!((s.lr_at(5) - 0.6).abs() < 1e-6);
+        assert_eq!(s.lr_at(10), 1.0);
+        assert_eq!(s.lr_at(1000), 1.0);
+        // Monotone during warmup.
+        for t in 1..10 {
+            assert!(s.lr_at(t) >= s.lr_at(t - 1));
+        }
+    }
+
+    #[test]
+    fn milestones_decay_multiplicatively() {
+        let s = Schedule {
+            peak_lr: 1.0,
+            warmup_steps: 0,
+            warmup_from: 1.0,
+            milestones: vec![10, 20],
+            decay: 0.1,
+        };
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn goyal_recipe_structure() {
+        let s = Schedule::goyal(0.1, 256, 2048, 100);
+        assert_eq!(s.peak_lr, 0.8);
+        assert_eq!(s.warmup_steps, 500);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(500), 0.8);
+        assert!((s.lr_at(3000) - 0.08).abs() < 1e-6); // after epoch 30
+    }
+
+    #[test]
+    fn constant_schedule_never_moves() {
+        let s = Schedule::constant(0.05);
+        for t in [0usize, 1, 100, 100000] {
+            assert_eq!(s.lr_at(t), 0.05);
+        }
+    }
+
+    #[test]
+    fn schedule_drives_sgd() {
+        use crate::layer::LayerParams;
+        use crate::optimizer::Sgd;
+        use fg_tensor::{Shape4, Tensor};
+        // One scalar parameter descending a quadratic with a decaying
+        // schedule still converges.
+        let mut p = vec![LayerParams::Conv {
+            w: Tensor::full(Shape4::new(1, 1, 1, 1), 1.0),
+            b: None,
+        }];
+        let mut opt = Sgd::new(0.0, 0.0, 0.0, &p);
+        let s = Schedule {
+            peak_lr: 0.2,
+            warmup_steps: 5,
+            warmup_from: 0.02,
+            milestones: vec![30],
+            decay: 0.1,
+        };
+        for step in 0..60 {
+            opt.lr = s.lr_at(step);
+            let g = vec![LayerParams::Conv {
+                w: Tensor::full(Shape4::new(1, 1, 1, 1), 2.0 * p[0].to_flat()[0]),
+                b: None,
+            }];
+            opt.step(&mut p, &g);
+        }
+        assert!(p[0].to_flat()[0].abs() < 1e-2);
+    }
+}

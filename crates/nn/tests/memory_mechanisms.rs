@@ -1,0 +1,95 @@
+//! Integration of the memory-pressure mechanisms (§VII): micro-batching
+//! and activation recomputation must compose with each other and with
+//! plain training, preserving gradients exactly on BN-free networks.
+
+use fg_kernels::loss::Labels;
+use fg_nn::checkpoint::checkpointed_loss_and_grads;
+use fg_nn::microbatch::{microbatched_loss_and_grads, split_batch};
+use fg_nn::{Network, NetworkSpec, Sgd};
+use fg_tensor::{Shape4, Tensor};
+
+fn line_net() -> Network {
+    let mut spec = NetworkSpec::new();
+    let i = spec.input("x", 3, 16, 16);
+    let c1 = spec.conv("c1", i, 6, 5, 2, 2);
+    let r1 = spec.relu("r1", c1);
+    let c2 = spec.conv("c2", r1, 6, 3, 1, 1);
+    let r2 = spec.relu("r2", c2);
+    let c3 = spec.conv("c3", r2, 6, 3, 2, 1);
+    let p = spec.conv("pred", c3, 2, 1, 1, 0);
+    spec.loss("loss", p);
+    Network::init(spec, 123)
+}
+
+fn batch(n: usize) -> (Tensor, Labels) {
+    let x = Tensor::from_fn(Shape4::new(n, 3, 16, 16), |k, c, h, w| {
+        ((k * 13 + c * 5 + h * 3 + w) % 17) as f32 * 0.15 - 1.1
+    });
+    let labels = Labels::per_pixel(n, 4, 4, (0..n * 16).map(|i| (i % 2) as u32).collect());
+    (x, labels)
+}
+
+#[test]
+fn microbatching_composed_with_checkpointing_is_exact() {
+    // Recompute activations inside each micro-batch: both savings at
+    // once, still exactly the full-batch gradient (BN-free network).
+    let net = line_net();
+    let (x, labels) = batch(4);
+    let (full_loss, full_grads) = net.loss_and_grads(&x, &labels);
+
+    let pieces = split_batch(&x, &labels, 2);
+    let total_pos: f64 = pieces.iter().map(|(_, l)| (l.n * l.h * l.w) as f64).sum();
+    let mut grads: Vec<_> = net.params.iter().map(|p| p.zeros_like()).collect();
+    let mut loss_sum = 0.0;
+    for (xb, lb) in &pieces {
+        let (loss, g, stats) = checkpointed_loss_and_grads(&net, xb, lb, 3);
+        assert!(stats.peak_live_activations < stats.full_activations);
+        let weight = ((lb.n * lb.h * lb.w) as f64 / total_pos) as f32;
+        loss_sum += loss * (lb.n * lb.h * lb.w) as f64;
+        for (acc, gi) in grads.iter_mut().zip(&g) {
+            acc.add_scaled(gi, weight);
+        }
+    }
+    let loss = loss_sum / total_pos;
+    assert!((loss - full_loss).abs() < 1e-9 * full_loss.abs().max(1.0));
+    for (a, b) in grads.iter().zip(&full_grads) {
+        for (ga, gb) in a.to_flat().iter().zip(b.to_flat()) {
+            assert!(
+                (ga - gb).abs() < 1e-5 * gb.abs().max(1e-3),
+                "composed mechanisms changed the gradient: {ga} vs {gb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn training_with_either_mechanism_matches_plain_sgd() {
+    let (x, labels) = batch(4);
+    let train = |mode: &str| -> Vec<f64> {
+        let mut net = line_net();
+        let mut opt = Sgd::new(0.05, 0.9, 0.0, &net.params);
+        (0..4)
+            .map(|_| {
+                let (loss, grads) = match mode {
+                    "plain" => net.loss_and_grads(&x, &labels),
+                    "micro" => microbatched_loss_and_grads(&net, &x, &labels, 1),
+                    "ckpt" => {
+                        let (l, g, _) = checkpointed_loss_and_grads(&net, &x, &labels, 2);
+                        (l, g)
+                    }
+                    _ => unreachable!(),
+                };
+                opt.step(&mut net.params, &grads);
+                loss
+            })
+            .collect()
+    };
+    let plain = train("plain");
+    let micro = train("micro");
+    let ckpt = train("ckpt");
+    for ((p, m), c) in plain.iter().zip(&micro).zip(&ckpt) {
+        assert!((p - m).abs() < 1e-6 * p.abs(), "micro-batched SGD diverged: {p} vs {m}");
+        assert_eq!(p, c, "checkpointed SGD must be bit-exact");
+    }
+    assert!(plain.last().unwrap() < plain.first().unwrap(), "training must make progress");
+}

@@ -1,0 +1,149 @@
+//! Analytic cost models for collective operations.
+//!
+//! From Thakur, Rabenseifner & Gropp (IJHPCA 2005), the models the paper
+//! adopts for its `AR(p, n)` terms (§II-B, §V-A). `n` is in **bytes**;
+//! reduction arithmetic (the γ term) is folded into an effective per-byte
+//! compute cost. Multi-node collectives use the bottleneck link level
+//! (flat approximation), consistent with NCCL ring behaviour on
+//! fat-tree networks.
+
+use crate::platform::{Link, Platform};
+
+/// Per-byte cost of the local reduction arithmetic (γ in Thakur et al.):
+/// f32 addition at memory-bandwidth-bound rates (~300 GB/s effective).
+const GAMMA: f64 = 1.0 / 300e9;
+
+/// Ring allreduce: `2(p−1)α + 2((p−1)/p)nβ + ((p−1)/p)nγ`.
+pub fn allreduce_ring(link: Link, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    2.0 * (pf - 1.0) * link.alpha
+        + 2.0 * ((pf - 1.0) / pf) * bytes * link.beta
+        + ((pf - 1.0) / pf) * bytes * GAMMA
+}
+
+/// Recursive doubling: `⌈log₂p⌉(α + nβ + nγ)`.
+pub fn allreduce_recursive_doubling(link: Link, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let lg = (p as f64).log2().ceil();
+    lg * (link.alpha + bytes * (link.beta + GAMMA))
+}
+
+/// Rabenseifner: `2⌈log₂p⌉α + 2((p−1)/p)nβ + ((p−1)/p)nγ`.
+pub fn allreduce_rabenseifner(link: Link, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    2.0 * pf.log2().ceil() * link.alpha
+        + 2.0 * ((pf - 1.0) / pf) * bytes * link.beta
+        + ((pf - 1.0) / pf) * bytes * GAMMA
+}
+
+/// `AR(p, n)`: the best algorithm for the size, mirroring MPICH's
+/// switchover (recursive doubling for short vectors, Rabenseifner for
+/// long) — "allreduces use different algorithms for different n and p,
+/// so its performance cannot be directly deduced from point-to-point
+/// performance" (§V-A).
+pub fn allreduce_time(platform: &Platform, p: usize, bytes: f64) -> f64 {
+    let link = platform.group_link(p);
+    if bytes <= 8192.0 {
+        allreduce_recursive_doubling(link, p, bytes)
+    } else {
+        allreduce_rabenseifner(link, p, bytes).min(allreduce_ring(link, p, bytes))
+    }
+}
+
+/// Reduce-scatter: `(p−1)α + ((p−1)/p)n(β + γ)` (pairwise exchange).
+pub fn reduce_scatter_time(link: Link, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    (pf - 1.0) * link.alpha + ((pf - 1.0) / pf) * bytes * (link.beta + GAMMA)
+}
+
+/// Allgather (ring): `(p−1)α + ((p−1)/p)nβ`.
+pub fn allgather_time(link: Link, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    (pf - 1.0) * link.alpha + ((pf - 1.0) / pf) * bytes * link.beta
+}
+
+/// All-to-all (pairwise): `(p−1)α + ((p−1)/p)nβ` with `n` the total
+/// bytes a rank exchanges.
+pub fn alltoall_time(link: Link, p: usize, bytes: f64) -> f64 {
+    allgather_time(link, p, bytes)
+}
+
+/// `SR(n)` of §V-A: one send+receive of `n` bytes between neighbors
+/// (full-duplex, so one α+βn covers the pair).
+pub fn sendrecv_time(link: Link, bytes: f64) -> f64 {
+    link.ptp(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link { alpha: 5e-6, beta: 1.0 / 10e9 }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert_eq!(allreduce_ring(link(), 1, 1e6), 0.0);
+        assert_eq!(allreduce_recursive_doubling(link(), 1, 1e6), 0.0);
+        assert_eq!(allreduce_rabenseifner(link(), 1, 1e6), 0.0);
+    }
+
+    #[test]
+    fn ring_wins_for_large_messages_rd_for_small() {
+        let p = 16;
+        // Large message: ring ≈ 2nβ beats RD ≈ 4nβ·log p.
+        let big = 100e6;
+        assert!(allreduce_ring(link(), p, big) < allreduce_recursive_doubling(link(), p, big));
+        // Small message: RD's log p latency beats ring's 2(p−1).
+        let small = 64.0;
+        assert!(
+            allreduce_recursive_doubling(link(), p, small) < allreduce_ring(link(), p, small)
+        );
+    }
+
+    #[test]
+    fn rabenseifner_combines_best_of_both() {
+        let p = 64;
+        let n = 10e6;
+        let rab = allreduce_rabenseifner(link(), p, n);
+        // Bandwidth term like ring, latency term like recursive doubling.
+        assert!(rab < allreduce_ring(link(), p, n));
+        assert!(rab < allreduce_recursive_doubling(link(), p, n));
+    }
+
+    #[test]
+    fn allreduce_time_is_monotone_in_p_and_n() {
+        let plat = crate::platform::Platform::lassen_like();
+        let mut prev = 0.0;
+        for p in [2, 4, 8, 16, 64, 256, 2048] {
+            let t = allreduce_time(&plat, p, 1e6);
+            assert!(t >= prev, "allreduce time must grow with p");
+            prev = t;
+        }
+        assert!(allreduce_time(&plat, 16, 2e6) > allreduce_time(&plat, 16, 1e6));
+    }
+
+    #[test]
+    fn bandwidth_terms_scale_linearly() {
+        let t1 = reduce_scatter_time(link(), 8, 8e6);
+        let t2 = reduce_scatter_time(link(), 8, 16e6);
+        // Doubling bytes roughly doubles the β+γ part.
+        assert!(t2 > 1.8 * t1 - 8.0 * link().alpha);
+        assert!(allgather_time(link(), 8, 8e6) < t1, "allgather has no γ term");
+    }
+}

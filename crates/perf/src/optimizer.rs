@@ -1,0 +1,420 @@
+//! Parallel execution strategy selection (§V-C).
+//!
+//! Given a platform, network, batch size and world size, pick a
+//! distribution per layer:
+//!
+//! 1. generate load-balanced candidate grids per layer
+//!    ([`crate::candidates`]);
+//! 2. for a **line** network, build the layered graph — a vertex per
+//!    (layer, candidate), edges weighted
+//!    `Cost_D(ℓ_i) + Shuffle(D_i, D_j)` — and take the shortest path
+//!    (dynamic programming over the DAG, linear time);
+//! 3. for **branching** networks (ResNets), repeatedly extract the
+//!    longest (most expensive) unoptimized path, run the line algorithm
+//!    over it with already-fixed layers pinned, and fix its choices,
+//!    "to guarantee maximum flexibility in distribution choice" for the
+//!    heavy chain;
+//! 4. per-sample layers (global pool, FC, loss heads) inherit their
+//!    parent's distribution, matching the executor's contract.
+
+use fg_core::{BnMode, Strategy};
+use fg_nn::{LayerId, LayerKind, NetworkSpec};
+use fg_tensor::{ProcGrid, Shape4};
+
+use crate::candidates::layer_candidates;
+use crate::cost::{layer_cost, network_cost, shuffle_cost, CostBreakdown, CostOptions};
+use crate::memory::{layer_activation_bytes, layer_param_bytes, strategy_memory_bytes};
+use crate::platform::Platform;
+
+/// Strategy optimizer bound to a problem instance.
+#[derive(Debug, Clone)]
+pub struct StrategyOptimizer<'a> {
+    /// Target platform.
+    pub platform: &'a Platform,
+    /// Network under optimization.
+    pub spec: &'a NetworkSpec,
+    /// Global mini-batch size.
+    pub batch: usize,
+    /// World size (number of ranks).
+    pub world: usize,
+    /// Cost-model options.
+    pub opts: CostOptions,
+    /// Per-rank device memory limit (§V: strategies are selected
+    /// "accounting for memory requirements"). `None` = unconstrained.
+    pub memory_limit: Option<usize>,
+}
+
+impl<'a> StrategyOptimizer<'a> {
+    /// Create an optimizer with default cost options.
+    pub fn new(platform: &'a Platform, spec: &'a NetworkSpec, batch: usize, world: usize) -> Self {
+        StrategyOptimizer {
+            platform,
+            spec,
+            batch,
+            world,
+            opts: CostOptions::default(),
+            memory_limit: None,
+        }
+    }
+
+    /// Constrain strategies to fit `bytes` of device memory per rank.
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Run the optimization; returns the strategy and its modeled
+    /// mini-batch cost.
+    pub fn optimize(&self) -> (Strategy, CostBreakdown) {
+        let n = self.spec.len();
+        let mut candidates: Vec<Vec<ProcGrid>> =
+            (0..n).map(|id| layer_candidates(self.spec, self.batch, self.world, id)).collect();
+        // Memory constraint (§V): the footprint is a sum of per-layer
+        // terms, so allot each layer a share of the budget proportional
+        // to its serial footprint and reject candidates that blow it.
+        // A slack factor keeps the heuristic from over-pruning; the final
+        // strategy is re-checked against the exact total.
+        if let Some(limit) = self.memory_limit {
+            let shapes = self.spec.shapes();
+            let param_total: usize = (0..n).map(|id| layer_param_bytes(self.spec, id)).sum();
+            let act_budget = limit.saturating_sub(param_total) as f64;
+            let serial: Vec<usize> = (0..n)
+                .map(|id| {
+                    layer_activation_bytes(self.batch, shapes[id], ProcGrid::sample(self.world), 0)
+                })
+                .collect();
+            let serial_total: f64 = serial.iter().sum::<usize>() as f64;
+            const SLACK: f64 = 1.5;
+            for id in 0..n {
+                if serial_total == 0.0 {
+                    break;
+                }
+                let share = act_budget * serial[id] as f64 / serial_total * SLACK;
+                let halo = match &self.spec.layer(id).kind {
+                    fg_nn::LayerKind::Conv { kernel, .. }
+                    | fg_nn::LayerKind::Pool { kernel, .. } => kernel / 2,
+                    _ => 0,
+                };
+                candidates[id].retain(|g| {
+                    (layer_activation_bytes(self.batch, shapes[id], *g, halo) as f64) <= share
+                });
+            }
+        }
+        // Layer weight for longest-path extraction: cheapest-candidate
+        // total cost (heavy layers anchor the first path).
+        let min_cost: Vec<f64> = (0..n)
+            .map(|id| {
+                candidates[id]
+                    .iter()
+                    .map(|g| layer_cost(self.platform, self.spec, self.batch, id, *g, &self.opts).total())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        let mut assigned: Vec<Option<ProcGrid>> = vec![None; n];
+        // Longest-path loop (§V-C): optimize the most expensive chain
+        // first, then the next, until every layer has a distribution.
+        for _ in 0..n {
+            if assigned
+                .iter()
+                .enumerate()
+                .all(|(id, a)| a.is_some() || candidates[id].is_empty())
+            {
+                break;
+            }
+            let avoid: Vec<bool> = assigned.iter().map(|a| a.is_some()).collect();
+            let path = self.spec.longest_path(
+                |id| if min_cost[id].is_finite() { min_cost[id].max(1e-12) } else { 1e-12 },
+                &avoid,
+            );
+            self.solve_path(&path, &candidates, &mut assigned);
+        }
+        // Sweep up anything the paths missed and pin per-sample layers
+        // to their parents.
+        let mut grids = Vec::with_capacity(n);
+        for (id, l) in self.spec.layers().iter().enumerate() {
+            let g = match &l.kind {
+                LayerKind::GlobalAvgPool | LayerKind::Fc { .. } | LayerKind::SoftmaxCrossEntropy => {
+                    grids[l.parents[0]]
+                }
+                _ => assigned[id].unwrap_or_else(|| {
+                    // Not on any path (rare side branch): inherit parent,
+                    // or sample-parallel for sources.
+                    l.parents.first().map(|&p| grids[p]).unwrap_or(ProcGrid::sample(self.world))
+                }),
+            };
+            grids.push(g);
+        }
+        let strategy = Strategy { grids, bn_mode: BnMode::default(), overlap_halo: true };
+        if let Some(limit) = self.memory_limit {
+            debug_assert!(
+                strategy_memory_bytes(self.spec, self.batch, &strategy) <= limit * 2,
+                "memory heuristic produced a grossly oversized strategy"
+            );
+        }
+        let cost = network_cost(self.platform, self.spec, self.batch, &strategy, &self.opts);
+        (strategy, cost)
+    }
+
+    /// Shortest-path DP along one path of layers; pinned layers keep
+    /// their assignment, per-sample layers inherit the running grid.
+    fn solve_path(
+        &self,
+        path: &[LayerId],
+        candidates: &[Vec<ProcGrid>],
+        assigned: &mut [Option<ProcGrid>],
+    ) {
+        let shapes = self.spec.shapes();
+        // states: per path position, (grid, best cost so far, predecessor state idx)
+        // Tie-breaker implementing the paper's "prefer cheaper
+        // partitioning methods (i.e. sample over spatial parallelism)
+        // when possible": an epsilon far below any modeled time that
+        // only decides exact cost ties.
+        let tie_bias = |g: ProcGrid| 1e-12 * (g.ranks_per_sample() - 1) as f64;
+        let mut states: Vec<Vec<(ProcGrid, f64, usize)>> = Vec::with_capacity(path.len());
+        for (pos, &id) in path.iter().enumerate() {
+            let opts: Vec<ProcGrid> = if let Some(g) = assigned[id] {
+                vec![g]
+            } else if candidates[id].is_empty() {
+                // Inherit: resolved per predecessor state below.
+                Vec::new()
+            } else {
+                candidates[id].clone()
+            };
+            let mut level: Vec<(ProcGrid, f64, usize)> = Vec::new();
+            if pos == 0 {
+                let opts = if opts.is_empty() { vec![ProcGrid::sample(self.world)] } else { opts };
+                for g in opts {
+                    let c = layer_cost(self.platform, self.spec, self.batch, id, g, &self.opts)
+                        .total()
+                        + tie_bias(g);
+                    level.push((g, c, usize::MAX));
+                }
+            } else {
+                let prev_id = path[pos - 1];
+                let (pc, ph, pw) = shapes[prev_id];
+                let between = Shape4::new(self.batch, pc, ph, pw);
+                let prev = &states[pos - 1];
+                let mut best: std::collections::HashMap<u64, (ProcGrid, f64, usize)> =
+                    std::collections::HashMap::new();
+                for (pi, &(pg, pcost, _)) in prev.iter().enumerate() {
+                    let my_opts = if opts.is_empty() { vec![pg] } else { opts.clone() };
+                    for g in my_opts {
+                        let mut c = pcost
+                            + layer_cost(self.platform, self.spec, self.batch, id, g, &self.opts)
+                                .total()
+                            + tie_bias(g);
+                        if g != pg && (ph > 1 || pw > 1) {
+                            // Forward + backward shuffles.
+                            c += 2.0 * shuffle_cost(self.platform, between, pg, g);
+                        }
+                        let key = grid_key(g);
+                        match best.get(&key) {
+                            Some(&(_, bc, _)) if bc <= c => {}
+                            _ => {
+                                best.insert(key, (g, c, pi));
+                            }
+                        }
+                    }
+                }
+                level = best.into_values().collect();
+                level.sort_by(|a, b| grid_key(a.0).cmp(&grid_key(b.0)));
+            }
+            states.push(level);
+        }
+        // Trace back the cheapest final state.
+        let mut pos = path.len() - 1;
+        let mut idx = states[pos]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .expect("path has at least one state");
+        loop {
+            let (g, _, pred) = states[pos][idx];
+            assigned[path[pos]] = Some(g);
+            if pos == 0 {
+                break;
+            }
+            // Predecessor index refers into the previous level.
+            idx = if pred == usize::MAX { 0 } else { pred };
+            pos -= 1;
+        }
+    }
+}
+
+fn grid_key(g: ProcGrid) -> u64 {
+    ((g.n as u64) << 48) | ((g.c as u64) << 32) | ((g.h as u64) << 16) | g.w as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::network_cost;
+
+    fn platform() -> Platform {
+        Platform::lassen_like()
+    }
+
+    /// Small mesh-like line network (huge spatial early layers).
+    fn mesh_net() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("data", 18, 512, 512);
+        let mut prev = net.conv("conv1_1", i, 64, 5, 2, 2);
+        prev = net.batchnorm("bn1", prev);
+        prev = net.relu("relu1", prev);
+        prev = net.conv("conv2_1", prev, 64, 3, 2, 1);
+        prev = net.relu("relu2", prev);
+        let pred = net.conv("pred", prev, 2, 1, 1, 0);
+        net.loss("loss", pred);
+        net
+    }
+
+    /// Classification net with a residual branch.
+    fn branchy_net() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("data", 3, 64, 64);
+        let c1 = net.conv("conv1", i, 16, 3, 1, 1);
+        let r1 = net.relu("relu1", c1);
+        let c2 = net.conv("branch2a", r1, 16, 3, 1, 1);
+        let c3 = net.conv("branch2b", c2, 16, 3, 1, 1);
+        let j = net.add_join("add", &[c3, r1]);
+        let r2 = net.relu("relu2", j);
+        let g = net.global_avg_pool("gap", r2);
+        let f = net.fc("fc", g, 10);
+        net.loss("loss", f);
+        net
+    }
+
+    #[test]
+    fn optimized_strategy_is_valid() {
+        let p = platform();
+        for (spec, batch, world) in
+            [(mesh_net(), 1, 4), (mesh_net(), 8, 8), (branchy_net(), 16, 8), (branchy_net(), 4, 4)]
+        {
+            let opt = StrategyOptimizer::new(&p, &spec, batch, world);
+            let (strategy, _cost) = opt.optimize();
+            assert_eq!(
+                strategy.validate(&spec, batch),
+                Ok(()),
+                "invalid strategy for batch={batch} world={world}: {:?}",
+                strategy.grids
+            );
+        }
+    }
+
+    #[test]
+    fn batch_one_forces_spatial_parallelism() {
+        // The memory-motivated case: one huge sample, 4 ranks — only
+        // spatial decomposition is possible, and the optimizer finds it.
+        let p = platform();
+        let spec = mesh_net();
+        let opt = StrategyOptimizer::new(&p, &spec, 1, 4);
+        let (strategy, _) = opt.optimize();
+        let conv1 = spec.find("conv1_1").unwrap();
+        assert_eq!(strategy.grids[conv1].n, 1);
+        assert_eq!(strategy.grids[conv1].ranks_per_sample(), 4);
+    }
+
+    #[test]
+    fn large_batch_prefers_sample_parallelism_for_small_layers() {
+        // Plenty of samples and a small spatial domain: sample
+        // parallelism is cheapest (no halos) — the paper's heuristic.
+        let p = platform();
+        let mut net = NetworkSpec::new();
+        let i = net.input("data", 64, 14, 14);
+        let c = net.conv("conv", i, 64, 3, 1, 1);
+        let pred = net.conv("pred", c, 2, 1, 1, 0);
+        net.loss("loss", pred);
+        let opt = StrategyOptimizer::new(&p, &net, 32, 8);
+        let (strategy, _) = opt.optimize();
+        let conv = net.find("conv").unwrap();
+        assert_eq!(strategy.grids[conv], ProcGrid::sample(8), "{:?}", strategy.grids);
+    }
+
+    #[test]
+    fn line_dp_beats_or_matches_every_uniform_strategy() {
+        let p = platform();
+        let spec = mesh_net();
+        let batch = 4;
+        let world = 8;
+        let opt = StrategyOptimizer::new(&p, &spec, batch, world);
+        let (strategy, cost) = opt.optimize();
+        let opts = CostOptions::default();
+        for grid in
+            [ProcGrid::sample(8), ProcGrid::hybrid(4, 2, 1), ProcGrid::hybrid(2, 2, 2), ProcGrid::hybrid(1, 2, 4)]
+        {
+            let uniform = Strategy::uniform(&spec, grid);
+            if uniform.validate(&spec, batch).is_err() {
+                continue;
+            }
+            let uc = network_cost(&p, &spec, batch, &uniform, &opts).total();
+            assert!(
+                cost.total() <= uc * 1.0001,
+                "optimizer ({}) worse than uniform {grid} ({uc}); strategy {:?}",
+                cost.total(),
+                strategy.grids
+            );
+        }
+    }
+
+    #[test]
+    fn per_sample_layers_inherit_parent_grid() {
+        let p = platform();
+        let spec = branchy_net();
+        let opt = StrategyOptimizer::new(&p, &spec, 8, 8);
+        let (strategy, _) = opt.optimize();
+        let gap = spec.find("gap").unwrap();
+        let fc = spec.find("fc").unwrap();
+        let loss = spec.find("loss").unwrap();
+        let parent_of_gap = spec.layer(gap).parents[0];
+        assert_eq!(strategy.grids[gap], strategy.grids[parent_of_gap]);
+        assert_eq!(strategy.grids[fc], strategy.grids[gap]);
+        assert_eq!(strategy.grids[loss], strategy.grids[fc]);
+    }
+
+    #[test]
+    fn memory_limit_forces_spatial_decomposition() {
+        // The paper's defining scenario: the 2K mesh model cannot fit one
+        // sample per GPU; with a V100 memory limit the optimizer must
+        // choose spatial decomposition for the huge layers, and the
+        // resulting strategy must actually fit.
+        use crate::memory::{strategy_fits, V100_BYTES};
+        let p = platform();
+        let spec = fg_models::mesh_model(fg_models::MeshSize::TwoK);
+        let (unconstrained, _) = StrategyOptimizer::new(&p, &spec, 4, 16).optimize();
+        // Unconstrained, the model may happily pick sample parallelism…
+        let (constrained, _) = StrategyOptimizer::new(&p, &spec, 4, 16)
+            .with_memory_limit(V100_BYTES)
+            .optimize();
+        assert_eq!(constrained.validate(&spec, 4), Ok(()));
+        assert!(
+            strategy_fits(&spec, 4, &constrained, V100_BYTES),
+            "constrained strategy must fit a V100"
+        );
+        // The early (huge) conv layers must be spatially decomposed.
+        let conv1_1 = spec.find("conv1_1").unwrap();
+        assert!(
+            constrained.grids[conv1_1].ranks_per_sample() >= 4,
+            "conv1_1 needs ≥4-way spatial under the memory limit, got {}",
+            constrained.grids[conv1_1]
+        );
+        // And the constraint is the binding difference from the
+        // unconstrained plan (which keeps more sample parallelism early).
+        assert!(
+            constrained.grids[conv1_1].ranks_per_sample()
+                >= unconstrained.grids[conv1_1].ranks_per_sample()
+        );
+    }
+
+    #[test]
+    fn predicted_cost_is_positive_and_decomposed() {
+        let p = platform();
+        let spec = mesh_net();
+        let opt = StrategyOptimizer::new(&p, &spec, 4, 8);
+        let (_s, cost) = opt.optimize();
+        assert!(cost.fp > 0.0);
+        assert!(cost.bp_compute > 0.0);
+        assert!(cost.total() >= cost.fp + cost.bp_compute);
+    }
+}

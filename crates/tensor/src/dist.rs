@@ -1,0 +1,201 @@
+//! Blocked tensor distributions (the paper's §II-C formalism).
+//!
+//! A [`TensorDist`] assigns every index of a global [`Shape4`] to exactly
+//! one rank of a [`ProcGrid`] by blocking each dimension: grid coordinate
+//! `g` on a dimension of extent `I` owns the balanced block
+//! `block_range(I, parts, g)`. Blocked distribution of the spatial
+//! dimensions is a *requirement* of the paper's algorithms (§III):
+//! convolution at a point needs spatially adjacent data, so a cyclic
+//! distribution would need wholesale communication.
+//!
+//! The paper's index-set notation maps directly:
+//! `I_p(D)` → [`TensorDist::local_box`], `|I_p^(m)|` → the box extents,
+//! and `P_p(D^(m0), …)` → [`ProcGrid::group_of`].
+
+use fg_comm::collectives::block_range;
+
+use crate::procgrid::ProcGrid;
+use crate::shape::{Box4, Shape4, NDIMS};
+
+/// A blocked distribution of a 4-D tensor over a process grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorDist {
+    /// Global tensor shape.
+    pub shape: Shape4,
+    /// Process grid factorization (extent 1 = dimension not partitioned).
+    pub grid: ProcGrid,
+}
+
+impl TensorDist {
+    /// Create a distribution of `shape` over `grid`.
+    pub const fn new(shape: Shape4, grid: ProcGrid) -> Self {
+        TensorDist { shape, grid }
+    }
+
+    /// Number of ranks in the underlying grid.
+    pub const fn world_size(&self) -> usize {
+        self.grid.size()
+    }
+
+    /// The global index box owned by `rank` (possibly empty when a
+    /// dimension has fewer indices than grid parts).
+    pub fn local_box(&self, rank: usize) -> Box4 {
+        let coords = self.grid.coords(rank);
+        let dims = self.shape.dims();
+        let parts = self.grid.dims();
+        let mut lo = [0; NDIMS];
+        let mut hi = [0; NDIMS];
+        for d in 0..NDIMS {
+            let r = block_range(dims[d], parts[d], coords[d]);
+            lo[d] = r.start;
+            hi[d] = r.end;
+        }
+        Box4::new(lo, hi)
+    }
+
+    /// Shape of the local shard of `rank`.
+    pub fn local_shape(&self, rank: usize) -> Shape4 {
+        self.local_box(rank).shape()
+    }
+
+    /// The unique owner of global index `idx`.
+    pub fn owner_of(&self, idx: [usize; NDIMS]) -> usize {
+        let dims = self.shape.dims();
+        let parts = self.grid.dims();
+        let mut coords = [0; NDIMS];
+        for d in 0..NDIMS {
+            debug_assert!(idx[d] < dims[d], "index out of bounds");
+            coords[d] = owner_in_dim(dims[d], parts[d], idx[d]);
+        }
+        self.grid.rank_of(coords)
+    }
+
+    /// All `(rank, intersection)` pairs whose owned boxes overlap
+    /// `region`; used by redistribution and generalized halo exchange.
+    pub fn ranks_overlapping(&self, region: &Box4) -> Vec<(usize, Box4)> {
+        // Walk only the grid coordinate ranges that can intersect.
+        let dims = self.shape.dims();
+        let parts = self.grid.dims();
+        let mut per_dim: [Vec<usize>; NDIMS] = [vec![], vec![], vec![], vec![]];
+        for d in 0..NDIMS {
+            if region.hi[d] <= region.lo[d] {
+                return Vec::new();
+            }
+            let first = owner_in_dim(dims[d], parts[d], region.lo[d]);
+            let last = owner_in_dim(dims[d], parts[d], region.hi[d] - 1);
+            per_dim[d] = (first..=last).collect();
+        }
+        let mut out = Vec::new();
+        for &gn in &per_dim[0] {
+            for &gc in &per_dim[1] {
+                for &gh in &per_dim[2] {
+                    for &gw in &per_dim[3] {
+                        let rank = self.grid.rank_of([gn, gc, gh, gw]);
+                        let inter = self.local_box(rank).intersect(region);
+                        if !inter.is_empty() {
+                            out.push((rank, inter));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when every rank owns a non-empty box (required by layers that
+    /// assume work on all ranks; the strategy generator enforces this).
+    pub fn is_fully_populated(&self) -> bool {
+        let dims = self.shape.dims();
+        let parts = self.grid.dims();
+        (0..NDIMS).all(|d| dims[d] >= parts[d])
+    }
+}
+
+/// Grid coordinate owning `idx` within a dimension of `total` indices
+/// split into `parts` balanced blocks.
+fn owner_in_dim(total: usize, parts: usize, idx: usize) -> usize {
+    debug_assert!(idx < total);
+    let base = total / parts;
+    let rem = total % parts;
+    // The first `rem` blocks have size base+1.
+    let big = (base + 1) * rem;
+    if idx < big {
+        idx / (base + 1)
+    } else {
+        rem + (idx - big) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_in_dim_matches_block_range() {
+        for total in [1usize, 2, 7, 10, 16, 33] {
+            for parts in [1usize, 2, 3, 4, 5, 8] {
+                for part in 0..parts {
+                    for idx in block_range(total, parts, part) {
+                        assert_eq!(
+                            owner_in_dim(total, parts, idx),
+                            part,
+                            "total={total} parts={parts} idx={idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_boxes_tile_the_tensor() {
+        let dist =
+            TensorDist::new(Shape4::new(4, 3, 10, 11), ProcGrid::new(2, 1, 2, 3));
+        let mut counts = vec![0u8; dist.shape.len()];
+        for rank in 0..dist.world_size() {
+            for idx in dist.local_box(rank).iter() {
+                counts[dist.shape.offset(idx[0], idx[1], idx[2], idx[3])] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "each element owned exactly once");
+    }
+
+    #[test]
+    fn owner_of_agrees_with_local_box() {
+        let dist = TensorDist::new(Shape4::new(3, 4, 8, 8), ProcGrid::new(3, 2, 2, 2));
+        for rank in 0..dist.world_size() {
+            for idx in dist.local_box(rank).iter() {
+                assert_eq!(dist.owner_of(idx), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_overlapping_finds_all_intersections() {
+        let dist = TensorDist::new(Shape4::new(1, 1, 8, 8), ProcGrid::spatial(2, 2));
+        // A region straddling all four spatial blocks.
+        let region = Box4::new([0, 0, 2, 2], [1, 1, 6, 6]);
+        let overlaps = dist.ranks_overlapping(&region);
+        assert_eq!(overlaps.len(), 4);
+        let total: usize = overlaps.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, region.len());
+        // A region inside one block.
+        let region = Box4::new([0, 0, 0, 0], [1, 1, 2, 2]);
+        let overlaps = dist.ranks_overlapping(&region);
+        assert_eq!(overlaps.len(), 1);
+        assert_eq!(overlaps[0].0, 0);
+    }
+
+    #[test]
+    fn empty_region_overlaps_nothing() {
+        let dist = TensorDist::new(Shape4::new(1, 1, 8, 8), ProcGrid::spatial(2, 2));
+        let region = Box4::new([0, 0, 4, 4], [1, 1, 4, 8]);
+        assert!(dist.ranks_overlapping(&region).is_empty());
+    }
+
+    #[test]
+    fn fully_populated_detection() {
+        assert!(TensorDist::new(Shape4::new(4, 1, 8, 8), ProcGrid::sample(4)).is_fully_populated());
+        assert!(!TensorDist::new(Shape4::new(2, 1, 8, 8), ProcGrid::sample(4)).is_fully_populated());
+    }
+}

@@ -1,0 +1,54 @@
+//! # fg-tensor — distributed NCHW tensors
+//!
+//! The reproduction of the paper's "small C++ library for distributed
+//! tensor data structures" (§IV): a partitioned global view of 4-D
+//! tensors decomposed over ranks, with the three data-movement primitives
+//! CNN training needs:
+//!
+//! * **halo exchange** between adjacent spatial shards
+//!   ([`halo::exchange_halo`], §III-A / §IV),
+//! * **redistribution** between layer distributions via all-to-all
+//!   ([`shuffle::redistribute`], §III-C),
+//! * **gather/scatter** of full tensors at a root ([`gather`]).
+//!
+//! Distributions are *blocked* per dimension over a [`ProcGrid`]
+//! (§III's requirement: convolution needs spatially contiguous data).
+//! The local shard of a distributed tensor is a *window* onto the global
+//! tensor — owned block plus margins — with the invariant that after a
+//! halo exchange the window matches the global tensor and out-of-bounds
+//! margin cells are zero, doubling as convolution padding.
+//!
+//! ```
+//! use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+//! use fg_tensor::halo::exchange_halo;
+//! use fg_comm::{run_ranks, Communicator};
+//!
+//! // A 1×1×8×8 image spatially partitioned over a 2×2 grid with a
+//! // 1-element halo, as a 3×3 convolution would need.
+//! let dist = TensorDist::new(Shape4::new(1, 1, 8, 8), ProcGrid::spatial(2, 2));
+//! let global = Tensor::from_fn(dist.shape, |_, _, h, w| (h * 8 + w) as f32);
+//! run_ranks(4, |comm| {
+//!     let mut x = DistTensor::from_global(dist, comm.rank(), &global,
+//!                                         [0, 0, 1, 1], [0, 0, 1, 1]);
+//!     exchange_halo(comm, &mut x);
+//!     // Rank 0 now sees row 4 (owned by rank 2) in its margin:
+//!     if comm.rank() == 0 {
+//!         assert_eq!(x.get_global([0, 0, 4, 0]), Some(32.0));
+//!     }
+//! });
+//! ```
+
+pub mod dense;
+pub mod dist;
+pub mod disttensor;
+pub mod gather;
+pub mod halo;
+pub mod procgrid;
+pub mod shape;
+pub mod shuffle;
+
+pub use dense::Tensor;
+pub use dist::TensorDist;
+pub use disttensor::DistTensor;
+pub use procgrid::ProcGrid;
+pub use shape::{Box4, Shape4, NDIMS};

@@ -1,0 +1,166 @@
+//! Process grids: factorizations of the world into per-dimension groups.
+//!
+//! A parallelization scheme for a conv layer assigns grid extents to the
+//! tensor dimensions (paper §II-C / §III): `n` ranks partition samples,
+//! `h`×`w` ranks partition the spatial domain of each sample, and `c`
+//! ranks partition channels (filters). Pure sample parallelism is
+//! `(P, 1, 1, 1)`; the paper's "4 GPUs/sample" hybrid at world size 16 is
+//! `(4, 1, 2, 2)`.
+
+use crate::shape::NDIMS;
+
+/// Extents of the process grid over (N, C, H, W).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcGrid {
+    /// Ranks along the sample dimension.
+    pub n: usize,
+    /// Ranks along the channel (or filter) dimension.
+    pub c: usize,
+    /// Ranks along height.
+    pub h: usize,
+    /// Ranks along width.
+    pub w: usize,
+}
+
+impl ProcGrid {
+    /// Construct a grid; every extent must be ≥ 1.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        ProcGrid { n, c, h, w }
+    }
+
+    /// Pure sample parallelism over `p` ranks.
+    pub const fn sample(p: usize) -> Self {
+        ProcGrid { n: p, c: 1, h: 1, w: 1 }
+    }
+
+    /// Pure spatial parallelism: `ph × pw` ranks per (single) sample.
+    pub const fn spatial(ph: usize, pw: usize) -> Self {
+        ProcGrid { n: 1, c: 1, h: ph, w: pw }
+    }
+
+    /// Hybrid sample/spatial: `pn` sample groups of `ph × pw` ranks.
+    pub const fn hybrid(pn: usize, ph: usize, pw: usize) -> Self {
+        ProcGrid { n: pn, c: 1, h: ph, w: pw }
+    }
+
+    /// Total number of ranks.
+    pub const fn size(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Grid extents as an array in NCHW order.
+    pub const fn dims(&self) -> [usize; NDIMS] {
+        [self.n, self.c, self.h, self.w]
+    }
+
+    /// Grid coordinates of `rank` (row-major, W fastest — matching
+    /// tensor layout so neighboring W ranks are adjacent).
+    pub fn coords(&self, rank: usize) -> [usize; NDIMS] {
+        debug_assert!(rank < self.size(), "rank {rank} outside grid of {}", self.size());
+        let w = rank % self.w;
+        let rest = rank / self.w;
+        let h = rest % self.h;
+        let rest = rest / self.h;
+        let c = rest % self.c;
+        let n = rest / self.c;
+        [n, c, h, w]
+    }
+
+    /// Rank of grid coordinates (inverse of [`ProcGrid::coords`]).
+    pub fn rank_of(&self, coords: [usize; NDIMS]) -> usize {
+        debug_assert!(
+            coords[0] < self.n && coords[1] < self.c && coords[2] < self.h && coords[3] < self.w,
+            "coords outside grid"
+        );
+        ((coords[0] * self.c + coords[1]) * self.h + coords[2]) * self.w + coords[3]
+    }
+
+    /// Number of ranks a single sample is partitioned across (the
+    /// paper's "GPUs/sample").
+    pub const fn ranks_per_sample(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// All ranks that share this rank's coordinates on the dimensions in
+    /// `fixed` (true = must match), i.e. the subgroup that varies only on
+    /// the remaining dimensions. Returned in rank order.
+    pub fn group_of(&self, rank: usize, fixed: [bool; NDIMS]) -> Vec<usize> {
+        let me = self.coords(rank);
+        (0..self.size())
+            .filter(|&r| {
+                let c = self.coords(r);
+                (0..NDIMS).all(|d| !fixed[d] || c[d] == me[d])
+            })
+            .collect()
+    }
+
+    /// Identifier of the group from [`ProcGrid::group_of`] — the rank of
+    /// the group's lexicographically first member, which is shared by all
+    /// members and unique among disjoint groups. Suitable as a
+    /// sub-communicator `group_id`.
+    pub fn group_id(&self, rank: usize, fixed: [bool; NDIMS]) -> u64 {
+        let me = self.coords(rank);
+        let mut first = [0; NDIMS];
+        for d in 0..NDIMS {
+            if fixed[d] {
+                first[d] = me[d];
+            }
+        }
+        self.rank_of(first) as u64
+    }
+}
+
+impl std::fmt::Display for ProcGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(n={}, c={}, h={}, w={})", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = ProcGrid::new(2, 3, 4, 5);
+        assert_eq!(g.size(), 120);
+        for r in 0..g.size() {
+            assert_eq!(g.rank_of(g.coords(r)), r);
+        }
+        // W is fastest.
+        assert_eq!(g.coords(0), [0, 0, 0, 0]);
+        assert_eq!(g.coords(1), [0, 0, 0, 1]);
+        assert_eq!(g.coords(5), [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ProcGrid::sample(8).dims(), [8, 1, 1, 1]);
+        assert_eq!(ProcGrid::spatial(2, 4).dims(), [1, 1, 2, 4]);
+        assert_eq!(ProcGrid::hybrid(4, 2, 2).size(), 16);
+        assert_eq!(ProcGrid::hybrid(4, 2, 2).ranks_per_sample(), 4);
+    }
+
+    #[test]
+    fn group_of_spatial_partners() {
+        // 2 sample groups × (2×2) spatial.
+        let g = ProcGrid::hybrid(2, 2, 2);
+        // Ranks sharing the sample coordinate of rank 5 (n=1): 4..8.
+        let spatial_group = g.group_of(5, [true, true, false, false]);
+        assert_eq!(spatial_group, vec![4, 5, 6, 7]);
+        // Ranks sharing spatial position of rank 5 across samples.
+        let sample_group = g.group_of(5, [false, true, true, true]);
+        assert_eq!(sample_group, vec![1, 5]);
+    }
+
+    #[test]
+    fn group_ids_identify_disjoint_groups() {
+        let g = ProcGrid::hybrid(2, 2, 2);
+        let fixed = [true, true, false, false];
+        // Same group → same id; different groups → different ids.
+        assert_eq!(g.group_id(4, fixed), g.group_id(7, fixed));
+        assert_ne!(g.group_id(0, fixed), g.group_id(4, fixed));
+        // Id is a member rank of the group itself.
+        assert_eq!(g.group_id(5, fixed), 4);
+    }
+}

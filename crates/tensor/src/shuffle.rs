@@ -1,0 +1,146 @@
+//! Data redistribution between distributions (paper §III-C).
+//!
+//! When adjacent layers use different distributions — e.g. a spatially
+//! partitioned conv feeding a sample-parallel conv, or a conv feeding a
+//! model-parallel FC layer — activations (forward) and error signals
+//! (backward) must be shuffled. As in the paper, the shuffle is an
+//! all-to-all where each rank sends the indices it owns under `D_i` but
+//! not under `D_j` and receives the converse. Since the redistribution is
+//! a *permutation* of elements, running it backward is simply a shuffle
+//! with the distributions swapped.
+
+use fg_comm::{Collectives, Communicator, OpClass};
+
+use crate::dist::TensorDist;
+use crate::disttensor::DistTensor;
+use crate::shape::NDIMS;
+
+/// Redistribute `src` into distribution `dst_dist`, allocating the
+/// destination shard with the given margins (unfilled; run a halo
+/// exchange afterwards if needed).
+///
+/// Collective over `comm`; both distributions must cover the same global
+/// shape on the same world size.
+pub fn redistribute<C: Communicator>(
+    comm: &C,
+    src: &DistTensor,
+    dst_dist: TensorDist,
+    margin_lo: [usize; NDIMS],
+    margin_hi: [usize; NDIMS],
+) -> DistTensor {
+    let src_dist = *src.dist();
+    assert_eq!(src_dist.shape, dst_dist.shape, "redistribution cannot change the global shape");
+    assert_eq!(
+        src_dist.world_size(),
+        dst_dist.world_size(),
+        "redistribution across different world sizes is not supported"
+    );
+    debug_assert_eq!(comm.size(), src_dist.world_size());
+
+    let me = comm.rank();
+    let my_old = src.own_box();
+    let mut dst = DistTensor::new(dst_dist, me, margin_lo, margin_hi);
+    let my_new = dst.own_box();
+
+    comm.with_class(OpClass::Shuffle, || {
+        // Payload for each destination rank: my old box ∩ their new box.
+        let mut sends: Vec<Vec<f32>> = (0..comm.size()).map(|_| Vec::new()).collect();
+        for (peer, inter) in dst_dist.ranks_overlapping(&my_old) {
+            let lbox = src.global_to_local_box(&inter);
+            sends[peer] = src.local().pack_box(&lbox);
+        }
+        let recvs = comm.alltoallv(sends);
+        // Unpack: from each source rank, their old box ∩ my new box.
+        for (peer, inter) in src_dist.ranks_overlapping(&my_new) {
+            let lbox = dst.global_to_local_box(&inter);
+            dst.local_mut().unpack_box(&lbox, &recvs[peer]);
+        }
+    });
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Tensor;
+    use crate::procgrid::ProcGrid;
+    use crate::shape::Shape4;
+    use fg_comm::run_ranks;
+
+    fn pattern(shape: Shape4) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| (((n * 7 + c) * 11 + h) * 13 + w) as f32)
+    }
+
+    fn check_roundtrip(shape: Shape4, from: ProcGrid, to: ProcGrid) {
+        assert_eq!(from.size(), to.size());
+        let d_from = TensorDist::new(shape, from);
+        let d_to = TensorDist::new(shape, to);
+        let global = pattern(shape);
+        run_ranks(from.size(), |comm| {
+            let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
+            let mid = redistribute(comm, &src, d_to, [0; 4], [0; 4]);
+            // Every owned element of the new distribution matches the global.
+            for idx in mid.own_box().iter() {
+                assert_eq!(mid.get_global(idx), Some(global.at_idx(idx)));
+            }
+            // And shuffling back restores the original shard exactly.
+            let back = redistribute(comm, &mid, d_from, [0; 4], [0; 4]);
+            assert_eq!(back.owned_tensor(), src.owned_tensor());
+        });
+    }
+
+    #[test]
+    fn sample_to_spatial() {
+        check_roundtrip(Shape4::new(4, 3, 8, 8), ProcGrid::sample(4), ProcGrid::spatial(2, 2));
+    }
+
+    #[test]
+    fn spatial_to_spatial_different_factorization() {
+        check_roundtrip(Shape4::new(2, 2, 12, 12), ProcGrid::spatial(4, 1), ProcGrid::spatial(2, 2));
+    }
+
+    #[test]
+    fn hybrid_to_sample() {
+        check_roundtrip(Shape4::new(8, 2, 8, 8), ProcGrid::hybrid(2, 2, 2), ProcGrid::sample(8));
+    }
+
+    #[test]
+    fn channel_partition_shuffle() {
+        check_roundtrip(Shape4::new(2, 8, 4, 4), ProcGrid::new(2, 2, 1, 1), ProcGrid::new(1, 4, 1, 1));
+    }
+
+    #[test]
+    fn identity_redistribution_preserves_data() {
+        let shape = Shape4::new(2, 2, 6, 6);
+        let grid = ProcGrid::spatial(2, 2);
+        let dist = TensorDist::new(shape, grid);
+        let global = pattern(shape);
+        run_ranks(4, |comm| {
+            let src = DistTensor::from_global(dist, comm.rank(), &global, [0; 4], [0; 4]);
+            let out = redistribute(comm, &src, dist, [0; 4], [0; 4]);
+            assert_eq!(out.owned_tensor(), src.owned_tensor());
+        });
+    }
+
+    #[test]
+    fn redistribute_into_margins_allocates_but_does_not_fill() {
+        let shape = Shape4::new(1, 1, 8, 8);
+        let d_from = TensorDist::new(shape, ProcGrid::spatial(4, 1));
+        let d_to = TensorDist::new(shape, ProcGrid::spatial(1, 4));
+        let global = pattern(shape);
+        run_ranks(4, |comm| {
+            let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
+            let out = redistribute(comm, &src, d_to, [0, 0, 1, 1], [0, 0, 1, 1]);
+            for idx in out.own_box().iter() {
+                assert_eq!(out.get_global(idx), Some(global.at_idx(idx)));
+            }
+            // Margins not filled by the shuffle.
+            let needed = out.needed_box();
+            for idx in needed.iter() {
+                if !out.own_box().contains(idx) {
+                    assert_eq!(out.get_global(idx), Some(0.0));
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests of the distribution machinery: tiling, ownership,
+//! overlap queries and window geometry over random shapes and grids.
+
+use fg_tensor::{Box4, DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = ProcGrid> {
+    (1usize..4, 1usize..3, 1usize..4, 1usize..4)
+        .prop_map(|(n, c, h, w)| ProcGrid::new(n, c, h, w))
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape4> {
+    (1usize..6, 1usize..6, 1usize..12, 1usize..12)
+        .prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn local_boxes_partition_every_element(shape in arb_shape(), grid in arb_grid()) {
+        let dist = TensorDist::new(shape, grid);
+        let mut counts = vec![0u32; shape.len()];
+        for rank in 0..dist.world_size() {
+            for idx in dist.local_box(rank).iter() {
+                counts[shape.offset(idx[0], idx[1], idx[2], idx[3])] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1), "not a partition");
+    }
+
+    #[test]
+    fn owner_of_is_consistent_with_local_box(shape in arb_shape(), grid in arb_grid()) {
+        let dist = TensorDist::new(shape, grid);
+        for rank in 0..dist.world_size() {
+            for idx in dist.local_box(rank).iter() {
+                prop_assert_eq!(dist.owner_of(idx), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_overlapping_is_exact(
+        shape in arb_shape(),
+        grid in arb_grid(),
+        cut in (0usize..4, 0usize..4, 0usize..8, 0usize..8),
+    ) {
+        let dist = TensorDist::new(shape, grid);
+        // A query box derived from the cut, clamped to the shape.
+        let lo = [
+            cut.0.min(shape.n.saturating_sub(1)),
+            cut.1.min(shape.c.saturating_sub(1)),
+            cut.2.min(shape.h.saturating_sub(1)),
+            cut.3.min(shape.w.saturating_sub(1)),
+        ];
+        let hi = [
+            (lo[0] + 2).min(shape.n),
+            (lo[1] + 1).min(shape.c),
+            (lo[2] + 3).min(shape.h),
+            (lo[3] + 3).min(shape.w),
+        ];
+        let region = Box4::new(lo, hi);
+        let overlaps = dist.ranks_overlapping(&region);
+        // No duplicates; union covers the region exactly.
+        let mut total = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for (rank, inter) in &overlaps {
+            prop_assert!(seen.insert(*rank), "duplicate rank in overlaps");
+            prop_assert!(!inter.is_empty());
+            prop_assert_eq!(inter.intersect(&dist.local_box(*rank)), *inter);
+            total += inter.len();
+        }
+        prop_assert_eq!(total, region.len());
+    }
+
+    #[test]
+    fn window_invariant_from_global(
+        shape in arb_shape(),
+        grid in arb_grid(),
+        margins in (0usize..3, 0usize..3),
+        seed in any::<u64>(),
+    ) {
+        let dist = TensorDist::new(shape, grid);
+        let mut state = seed | 1;
+        let global = Tensor::from_fn(shape, |_, _, _, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as f32
+        });
+        let (mh, mw) = margins;
+        for rank in 0..dist.world_size() {
+            let dt = DistTensor::from_global(
+                dist, rank, &global, [0, 0, mh, mw], [0, 0, mh, mw],
+            );
+            // The owned region reads back exactly; margins (in-bounds or
+            // not) are zero before any exchange.
+            for idx in dt.own_box().iter() {
+                prop_assert_eq!(dt.get_global(idx), Some(global.at_idx(idx)));
+            }
+            let needed = dt.needed_box();
+            for idx in needed.iter() {
+                if !dt.own_box().contains(idx) {
+                    prop_assert_eq!(dt.get_global(idx), Some(0.0));
+                }
+            }
+            // Round trip through owned_tensor/set_owned is the identity.
+            let mut dt2 = dt.clone();
+            let owned = dt.owned_tensor();
+            dt2.set_owned(&owned);
+            prop_assert_eq!(dt2.local(), dt.local());
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_random_boxes(
+        shape in arb_shape(),
+        cut in (0usize..4, 0usize..4, 0usize..8, 0usize..8),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let t = Tensor::from_fn(shape, |_, _, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f32
+        });
+        let lo = [
+            cut.0.min(shape.n - 1),
+            cut.1.min(shape.c - 1),
+            cut.2.min(shape.h - 1),
+            cut.3.min(shape.w - 1),
+        ];
+        let hi = [
+            (lo[0] + 2).min(shape.n),
+            (lo[1] + 2).min(shape.c),
+            (lo[2] + 3).min(shape.h),
+            (lo[3] + 3).min(shape.w),
+        ];
+        let b = Box4::new(lo, hi);
+        let packed = t.pack_box(&b);
+        prop_assert_eq!(packed.len(), b.len());
+        let mut u = Tensor::zeros(shape);
+        u.unpack_box(&b, &packed);
+        for idx in b.iter() {
+            prop_assert_eq!(u.at_idx(idx), t.at_idx(idx));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The finer-grained frontiers: channel/filter parallelism (§III-D) and
+//! 3-D spatial parallelism (the paper's conclusion), both executed live
+//! on the simulated communicator and verified against serial kernels.
+//!
+//! ```text
+//! cargo run --release --example finer_grained
+//! ```
+
+use finegrain::comm::{run_ranks, Communicator, OpClass};
+use finegrain::core::channel_filter::ChannelFilterConv2d;
+use finegrain::core::spatial3d::{DistConv3d, Grid3};
+use finegrain::kernels::conv::ConvGeometry;
+use finegrain::kernels::conv3d::{conv3d_forward, Conv3dGeometry, Tensor5};
+use finegrain::tensor::{Box4, Shape4, Tensor};
+
+fn main() {
+    channel_filter_demo();
+    println!();
+    spatial_3d_demo();
+}
+
+/// §III-D: a res5-style layer (many channels, tiny spatial domain) split
+/// over channels/filters across 4 ranks.
+fn channel_filter_demo() {
+    println!("=== channel/filter parallelism (§III-D) ===");
+    let geom = ConvGeometry::square(7, 7, 1, 1, 0);
+    let (n, c, f, parts) = (4usize, 256usize, 128usize, 4usize);
+    let layer = ChannelFilterConv2d::new(n, c, f, geom, parts);
+    let x = Tensor::from_fn(Shape4::new(n, c, 7, 7), |k, ci, h, w| {
+        ((k + ci + h + w) % 7) as f32 * 0.2 - 0.6
+    });
+    let w = Tensor::from_fn(Shape4::new(f, c, 1, 1), |fi, ci, _, _| {
+        ((fi * 3 + ci) % 11) as f32 * 0.05 - 0.25
+    });
+    let serial = finegrain::kernels::conv::conv2d_forward(&x, &w, None, &geom);
+
+    let outs = run_ranks(parts, |comm| {
+        let r = comm.rank();
+        let cb = layer.c_block(r);
+        let (w_c, w_f) = layer.shard_weights(&w, r);
+        let x_loc = x.slice_box(&Box4::new([0, cb.start, 0, 0], [n, cb.end, 7, 7]));
+        let y_loc = layer.forward(comm, &x_loc, &w_c);
+        let _ = w_f; // used by backward-data; forward demo only
+        let bytes = comm.stats().total_bytes();
+        (y_loc, bytes)
+    });
+    // Verify every rank's filter block against the serial result.
+    for (r, (y_loc, bytes)) in outs.iter().enumerate() {
+        let fb = layer.f_block(r);
+        let want = serial.slice_box(&Box4::new([0, fb.start, 0, 0], [n, fb.end, 7, 7]));
+        y_loc.assert_close(&want, 1e-4);
+        println!(
+            "  rank {r}: owns channels {:?} / filters {fb:?}, weights {}+{} of {} elems, moved {} KiB",
+            layer.c_block(r),
+            f * layer.c_block(r).len(),
+            fb.len() * c,
+            w.len(),
+            bytes / 1024
+        );
+    }
+    println!("  every filter block matches serial convolution ✓");
+    println!("  (weights split 2/P per rank — the §III-D memory win)");
+}
+
+/// The conclusion's 3-D claim: partition a volume over a 2×2×2 grid and
+/// show face/edge/corner halo exchange with bitwise-equal results.
+fn spatial_3d_demo() {
+    println!("=== 3-D spatial parallelism (conclusion) ===");
+    let geom = Conv3dGeometry { in_d: 16, in_h: 16, in_w: 16, k: 3, s: 1, p: 1 };
+    let grid = Grid3 { d: 2, h: 2, w: 2 };
+    let (n, c, f) = (1usize, 4usize, 4usize);
+    let layer = DistConv3d::new(n, c, f, geom, grid);
+    let x = Tensor5::from_fn(n, c, 16, 16, 16, |_, ci, d, h, w| {
+        ((ci + d + h + w) % 9) as f32 * 0.3 - 1.2
+    });
+    let wt = Tensor5::from_fn(f, c, 3, 3, 3, |fi, ci, a, b, e| {
+        ((fi + ci + a + b + e) % 5) as f32 * 0.1 - 0.2
+    });
+    let serial = conv3d_forward(&x, &wt, &geom);
+
+    let results = run_ranks(grid.size(), |comm| {
+        let (lo, hi) = layer.in_box(comm.rank());
+        let shard = Tensor5::from_fn(
+            n,
+            c,
+            hi[0] - lo[0],
+            hi[1] - lo[1],
+            hi[2] - lo[2],
+            |ni, ci, d, h, w| x.at(ni, ci, lo[0] + d, lo[1] + h, lo[2] + w),
+        );
+        let y = layer.forward(comm, &shard, &wt);
+        let halos = comm.stats().messages(OpClass::Halo);
+        (y, halos, layer.out_box(comm.rank()))
+    });
+    let mut checked = 0usize;
+    for (y, halos, (olo, ohi)) in &results {
+        for fi in 0..f {
+            for d in olo[0]..ohi[0] {
+                for h in olo[1]..ohi[1] {
+                    for w in olo[2]..ohi[2] {
+                        assert_eq!(
+                            y.at(0, fi, d - olo[0], h - olo[1], w - olo[2]),
+                            serial.at(0, fi, d, h, w)
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        println!("  a rank exchanged {halos} halo messages (3 faces + 3 edges + 1 corner)");
+    }
+    println!("  {checked} output voxels bitwise-identical to serial 3-D convolution ✓");
+}

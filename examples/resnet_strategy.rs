@@ -1,0 +1,79 @@
+//! Strategy optimization demo (§V-C): ask the performance model for good
+//! parallel execution strategies for ResNet-50 and the mesh model on a
+//! Lassen-like machine, and compare against the uniform decompositions
+//! the paper's experiments use.
+//!
+//! ```text
+//! cargo run --release --example resnet_strategy
+//! ```
+
+use finegrain::core::Strategy;
+use finegrain::models::{mesh_model, resnet50, MeshSize};
+use finegrain::nn::NetworkSpec;
+use finegrain::perf::{network_cost, CostOptions, Platform, StrategyOptimizer};
+use finegrain::tensor::ProcGrid;
+
+fn report(platform: &Platform, name: &str, spec: &NetworkSpec, batch: usize, world: usize) {
+    println!("=== {name}: batch {batch} on {world} GPUs ===");
+    let (strategy, cost) = StrategyOptimizer::new(platform, spec, batch, world).optimize();
+    strategy.validate(spec, batch).expect("optimizer emits valid strategies");
+
+    // Summarize the per-layer choices as runs.
+    let mut runs: Vec<(ProcGrid, usize, String)> = Vec::new();
+    for (id, &g) in strategy.grids.iter().enumerate() {
+        match runs.last_mut() {
+            Some((last, count, _)) if *last == g => *count += 1,
+            _ => runs.push((g, 1, spec.layer(id).name.clone())),
+        }
+    }
+    for (g, count, first) in &runs {
+        println!("  from {first:<24} {count:>3} layers on grid {g}");
+    }
+    println!("  predicted mini-batch time: {:.2} ms", cost.total() * 1e3);
+    println!(
+        "    forward {:.2} ms | backward compute {:.2} ms | exposed allreduce {:.2} ms | shuffles {:.2} ms",
+        cost.fp * 1e3,
+        cost.bp_compute * 1e3,
+        cost.bpa_exposed * 1e3,
+        cost.shuffle * 1e3
+    );
+
+    // Compare with uniform strategies.
+    let opts = CostOptions::default();
+    print!("  uniform baselines: ");
+    for k in [1usize, 2, 4, 8, 16] {
+        if world % k != 0 || world / k > batch {
+            continue;
+        }
+        let (ph, pw) = match k {
+            1 => (1, 1),
+            2 => (2, 1),
+            4 => (2, 2),
+            8 => (4, 2),
+            _ => (4, 4),
+        };
+        let uniform = Strategy::uniform(spec, ProcGrid::hybrid(world / k, ph, pw));
+        if uniform.validate(spec, batch).is_err() {
+            continue;
+        }
+        let t = network_cost(platform, spec, batch, &uniform, &opts).total();
+        print!("{k} GPU/sample: {:.2} ms  ", t * 1e3);
+    }
+    println!("\n");
+}
+
+fn main() {
+    let platform = Platform::lassen_like();
+    println!(
+        "platform: {} GPUs/node, intra {:.0} GB/s, inter {:.0} GB/s\n",
+        platform.ranks_per_node,
+        1.0 / platform.intra.beta / 1e9,
+        1.0 / platform.inter.beta / 1e9
+    );
+    let mesh = mesh_model(MeshSize::OneK);
+    report(&platform, "mesh-1K (memory-bound, N=1)", &mesh, 1, 4);
+    report(&platform, "mesh-1K", &mesh, 4, 16);
+    let rn = resnet50();
+    report(&platform, "ResNet-50", &rn, 64, 16);
+    report(&platform, "ResNet-50 (strong-scaled)", &rn, 16, 16);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the distributed substrate: for *random*
+//! layer geometries and process-grid factorizations, the distributed
+//! algorithms must replicate serial execution; redistribution must be a
+//! lossless permutation; collectives must match their sequential
+//! reductions. These are the paper's correctness claims quantified over
+//! the input space rather than at hand-picked points.
+
+use finegrain::comm::{run_ranks, AllreduceAlgorithm, Collectives, Communicator, ReduceOp};
+use finegrain::core::DistConv2d;
+use finegrain::kernels::conv::{conv2d_backward_data, conv2d_forward, ConvGeometry};
+use finegrain::tensor::gather::gather_to_root;
+use finegrain::tensor::shuffle::redistribute;
+use finegrain::tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+use proptest::prelude::*;
+
+fn tensor_from_seed(shape: Shape4, seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    Tensor::from_fn(shape, |_, _, _, _| {
+        // xorshift64 — fast deterministic pseudo-noise.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 1000) as f32) / 250.0 - 2.0
+    })
+}
+
+/// Random-but-valid conv problem + grid.
+fn conv_case() -> impl Strategy<Value = (usize, usize, usize, ConvGeometry, ProcGrid, u64)> {
+    (
+        1usize..3,          // n multiplier
+        1usize..4,          // c
+        1usize..4,          // f
+        prop_oneof![Just(1usize), Just(3), Just(5)], // k
+        1usize..3,          // s
+        8usize..15,         // h
+        8usize..15,         // w
+        prop_oneof![
+            Just(ProcGrid::sample(2)),
+            Just(ProcGrid::spatial(2, 1)),
+            Just(ProcGrid::spatial(1, 2)),
+            Just(ProcGrid::spatial(2, 2)),
+            Just(ProcGrid::hybrid(2, 2, 1)),
+            Just(ProcGrid::spatial(3, 1)),
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(nm, c, f, k, s, h, w, grid, seed)| {
+            let n = grid.n * nm;
+            let geom = ConvGeometry::square(h, w, k, s, k / 2);
+            (n, c, f, geom, grid, seed)
+        })
+        .prop_filter("grid must populate the problem", |(n, c, f, geom, grid, _)| {
+            let in_shape = Shape4::new(*n, *c, geom.in_h, geom.in_w);
+            let out_shape = Shape4::new(*n, *f, geom.out_h(), geom.out_w());
+            TensorDist::new(in_shape, *grid).is_fully_populated()
+                && TensorDist::new(out_shape, *grid).is_fully_populated()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_conv_replicates_serial((n, c, f, geom, grid, seed) in conv_case()) {
+        let x = tensor_from_seed(Shape4::new(n, c, geom.in_h, geom.in_w), seed);
+        let w = tensor_from_seed(Shape4::new(f, c, geom.kh, geom.kw), seed ^ 0xABCD);
+        let y_serial = conv2d_forward(&x, &w, None, &geom);
+        let dy = tensor_from_seed(y_serial.shape(), seed ^ 0x1234);
+        let dx_serial = conv2d_backward_data(&dy, &w, &geom);
+
+        let layer = DistConv2d::new(n, c, f, geom, grid);
+        let outs = run_ranks(grid.size(), |comm| {
+            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let (y, _win) = layer.forward(comm, &xs, &w, None);
+            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dx = layer.backward_data(comm, &dys, &w);
+            (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0))
+        });
+        // Bitwise identity: same inner loops, same windows.
+        prop_assert_eq!(outs[0].0.as_ref().unwrap(), &y_serial);
+        prop_assert_eq!(outs[0].1.as_ref().unwrap(), &dx_serial);
+    }
+
+    #[test]
+    fn redistribution_is_a_lossless_permutation(
+        n in 1usize..5,
+        c in 1usize..4,
+        h in 4usize..12,
+        w in 4usize..12,
+        from_idx in 0usize..4,
+        to_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let grids = [
+            ProcGrid::sample(4),
+            ProcGrid::spatial(2, 2),
+            ProcGrid::spatial(4, 1),
+            ProcGrid::hybrid(2, 1, 2),
+        ];
+        let shape = Shape4::new(n.max(4), c, h, w); // N ≥ 4 so sample(4) populates
+        let from = TensorDist::new(shape, grids[from_idx]);
+        let to = TensorDist::new(shape, grids[to_idx]);
+        prop_assume!(from.is_fully_populated() && to.is_fully_populated());
+        let global = tensor_from_seed(shape, seed);
+        let ok = run_ranks(4, |comm| {
+            let src = DistTensor::from_global(from, comm.rank(), &global, [0; 4], [0; 4]);
+            let mid = redistribute(comm, &src, to, [0; 4], [0; 4]);
+            // Every element still present exactly once, values intact.
+            for idx in mid.own_box().iter() {
+                if mid.get_global(idx) != Some(global.at_idx(idx)) {
+                    return false;
+                }
+            }
+            // Round-trip restores the original shard bit-for-bit.
+            let back = redistribute(comm, &mid, from, [0; 4], [0; 4]);
+            back.owned_tensor() == src.owned_tensor()
+        });
+        prop_assert!(ok.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn allreduce_algorithms_agree_with_sequential_sum(
+        p in 2usize..7,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|r| {
+                (0..len)
+                    .map(|i| {
+                        let v = seed
+                            .wrapping_mul(r as u64 + 1)
+                            .wrapping_add(i as u64 * 7919);
+                        ((v % 2000) as f64) / 100.0 - 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let want: Vec<f64> =
+            (0..len).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        for alg in [
+            AllreduceAlgorithm::Ring,
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::Rabenseifner,
+        ] {
+            let outs = run_ranks(p, |comm| {
+                comm.allreduce_with(&inputs[comm.rank()], ReduceOp::Sum, alg)
+            });
+            for out in &outs {
+                prop_assert_eq!(out.len(), len);
+                for (a, b) in out.iter().zip(&want) {
+                    prop_assert!((a - b).abs() < 1e-9 * b.abs().max(1.0),
+                        "alg {:?}: {} vs {}", alg, a, b);
+                }
+                prop_assert_eq!(out, &outs[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_exchange_establishes_window_invariant(
+        h in 6usize..16,
+        w in 6usize..16,
+        mh in 0usize..3,
+        mw in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape4::new(1, 2, h, w);
+        let grid = ProcGrid::spatial(2, 2);
+        let dist = TensorDist::new(shape, grid);
+        prop_assume!(dist.is_fully_populated());
+        let global = tensor_from_seed(shape, seed);
+        let ok = run_ranks(4, |comm| {
+            let mut dt = DistTensor::from_global(
+                dist, comm.rank(), &global, [0, 0, mh, mw], [0, 0, mh, mw],
+            );
+            finegrain::tensor::halo::exchange_halo(comm, &mut dt);
+            // Every in-bounds window position matches the global tensor.
+            for idx in dt.needed_box().iter() {
+                if dt.get_global(idx) != Some(global.at_idx(idx)) {
+                    return false;
+                }
+            }
+            true
+        });
+        prop_assert!(ok.iter().all(|&v| v));
+    }
+}

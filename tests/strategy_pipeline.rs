@@ -1,0 +1,73 @@
+//! Integration: the full §V pipeline — performance model → strategy
+//! optimizer → distributed executor. The optimizer's plan must not only
+//! look good in the model; it must *execute* and produce single-device
+//! results.
+
+use finegrain::comm::run_ranks;
+use finegrain::core::DistExecutor;
+use finegrain::data::MeshDataset;
+use finegrain::models::{mesh_model_custom, mesh_model_scaled, MeshSize, MESH_CHANNELS};
+use finegrain::nn::Network;
+use finegrain::perf::{network_cost, CostOptions, Platform, StrategyOptimizer};
+
+#[test]
+fn optimized_strategy_executes_and_matches_serial() {
+    let spec = mesh_model_custom(MeshSize::OneK, 128, 8);
+    let batch = 2;
+    let world = 4;
+    let platform = Platform::lassen_like();
+
+    let (strategy, predicted) = StrategyOptimizer::new(&platform, &spec, batch, world).optimize();
+    assert_eq!(strategy.validate(&spec, batch), Ok(()));
+    assert!(predicted.total() > 0.0);
+
+    let net = Network::init(spec.clone(), 4242);
+    let ds = MeshDataset::new(128, 2, MESH_CHANNELS, 31);
+    let (x, labels) = ds.batch(0, batch);
+    let (serial_loss, _) = net.loss_and_grads(&x, &labels);
+
+    let exec = DistExecutor::new(spec, strategy, batch).expect("optimized strategy executes");
+    let losses = run_ranks(world, |comm| exec.loss_and_grads(comm, &net.params, &x, &labels).0);
+    for l in &losses {
+        assert!(
+            (l - serial_loss).abs() < 1e-3 * serial_loss.abs().max(1.0),
+            "optimized strategy changed results: {l} vs {serial_loss}"
+        );
+    }
+}
+
+#[test]
+fn optimizer_prediction_is_consistent_with_direct_model_evaluation() {
+    // The cost the optimizer reports must equal network_cost of the
+    // strategy it returns (no hidden state).
+    let spec = mesh_model_scaled(MeshSize::OneK, 256);
+    let platform = Platform::lassen_like();
+    let (strategy, predicted) = StrategyOptimizer::new(&platform, &spec, 2, 8).optimize();
+    let direct = network_cost(&platform, &spec, 2, &strategy, &CostOptions::default());
+    assert!(
+        (predicted.total() - direct.total()).abs() < 1e-12,
+        "optimizer cost {} vs direct {}",
+        predicted.total(),
+        direct.total()
+    );
+}
+
+#[test]
+fn batch_one_memory_scenario_runs_spatially() {
+    // The paper's motivating scenario: a batch of ONE sample cannot be
+    // sample-parallelized; the optimizer must produce a spatial plan and
+    // that plan must run.
+    let spec = mesh_model_custom(MeshSize::OneK, 128, 8);
+    let platform = Platform::lassen_like();
+    let (strategy, _) = StrategyOptimizer::new(&platform, &spec, 1, 4).optimize();
+    for g in &strategy.grids {
+        assert_eq!(g.n, 1, "no sample partitioning is possible at N=1");
+        assert_eq!(g.ranks_per_sample(), 4);
+    }
+    let net = Network::init(spec.clone(), 5);
+    let ds = MeshDataset::new(128, 2, MESH_CHANNELS, 77);
+    let (x, labels) = ds.batch(0, 1);
+    let exec = DistExecutor::new(spec, strategy, 1).unwrap();
+    let losses = run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x, &labels).0);
+    assert!(losses[0].is_finite());
+}
