@@ -42,11 +42,7 @@ fn bench_other_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");
     group.sample_size(10);
     group.bench_function("reduce_scatter_64k_8ranks", |b| {
-        b.iter(|| {
-            run_ranks(8, |comm| {
-                comm.reduce_scatter(&vec![1.0f32; 65536], ReduceOp::Sum)
-            })
-        })
+        b.iter(|| run_ranks(8, |comm| comm.reduce_scatter(&vec![1.0f32; 65536], ReduceOp::Sum)))
     });
     group.bench_function("allgather_64k_8ranks", |b| {
         b.iter(|| run_ranks(8, |comm| comm.allgather_concat(vec![1.0f32; 8192])))

@@ -4,7 +4,9 @@
 //! empirical-timing methodology (§V-A).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fg_kernels::conv::{conv2d_backward_data, conv2d_backward_filter, conv2d_forward, ConvGeometry};
+use fg_kernels::conv::{
+    conv2d_backward_data, conv2d_backward_filter, conv2d_forward, ConvGeometry,
+};
 use fg_kernels::im2col::{conv2d_backward_data_gemm, conv2d_forward_gemm};
 use fg_tensor::{Shape4, Tensor};
 

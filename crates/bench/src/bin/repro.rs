@@ -13,6 +13,7 @@
 //!   modelval  performance-model validation (kernel fit + traffic)
 //!   strategy  strategy optimizer demonstration
 //!   ext       extensions: channel/filter, 3-D, memory mechanisms
+//!   plancache plan-caching ablation (plan-once vs recompile-per-step)
 //!   all       everything above
 //! ```
 //!
@@ -21,7 +22,9 @@
 //! the model against real execution on the thread-simulated
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
-use fg_bench::experiments::{extensions, microbench, modelval, resnet, scaling, strategy};
+use fg_bench::experiments::{
+    extensions, microbench, modelval, plancache, resnet, scaling, strategy,
+};
 use fg_bench::table::Table;
 use fg_models::MeshSize;
 use fg_perf::Platform;
@@ -29,9 +32,21 @@ use fg_perf::Platform;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let md = args.iter().any(|a| a == "--md");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
-        vec!["fig2", "fig3", "fig4", "tab1", "tab2", "tab3", "modelval", "strategy", "ext"]
+        vec![
+            "fig2",
+            "fig3",
+            "fig4",
+            "tab1",
+            "tab2",
+            "tab3",
+            "modelval",
+            "strategy",
+            "ext",
+            "plancache",
+        ]
     } else {
         wanted
     };
@@ -52,6 +67,7 @@ fn main() {
             "modelval" => tables.extend(modelval::modelval(&platform)),
             "strategy" => tables.push(strategy::strategy_report(&platform)),
             "ext" => tables.extend(extensions::extensions(&platform)),
+            "plancache" => tables.push(plancache::plancache()),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

@@ -23,10 +23,22 @@ use crate::table::{fmt_time, Table};
 /// layers plus a deep-ResNet layer, at 2–16 ranks.
 pub fn chanfilter_table(platform: &Platform) -> Table {
     let layers: Vec<(&str, ConvLayerDesc)> = vec![
-        ("mesh conv1_1 (2048², C18)", ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 }),
-        ("resnet conv1 (224², C3)", ConvLayerDesc { n: 32, c: 3, h: 224, w: 224, f: 64, k: 7, s: 2 }),
-        ("res3b_branch2a (28², C512)", ConvLayerDesc { n: 32, c: 512, h: 28, w: 28, f: 128, k: 1, s: 1 }),
-        ("deep layer (3², C2048)", ConvLayerDesc { n: 32, c: 2048, h: 3, w: 3, f: 2048, k: 1, s: 1 }),
+        (
+            "mesh conv1_1 (2048², C18)",
+            ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 },
+        ),
+        (
+            "resnet conv1 (224², C3)",
+            ConvLayerDesc { n: 32, c: 3, h: 224, w: 224, f: 64, k: 7, s: 2 },
+        ),
+        (
+            "res3b_branch2a (28², C512)",
+            ConvLayerDesc { n: 32, c: 512, h: 28, w: 28, f: 128, k: 1, s: 1 },
+        ),
+        (
+            "deep layer (3², C2048)",
+            ConvLayerDesc { n: 32, c: 2048, h: 3, w: 3, f: 2048, k: 1, s: 1 },
+        ),
     ];
     let mut t = Table::new(
         "Extension: spatial vs channel/filter parallelism (FP+BP time, allreduce excluded)",
@@ -36,10 +48,9 @@ pub fn chanfilter_table(platform: &Platform) -> Table {
         for p in [2usize, 4, 8, 16] {
             let (spatial, channel) = compare_spatial_channel(platform, desc, p);
             let (s_txt, winner) = match spatial {
-                Some(s) => (
-                    format!("{:.3}ms", s * 1e3),
-                    if s <= channel { "spatial" } else { "channel" },
-                ),
+                Some(s) => {
+                    (format!("{:.3}ms", s * 1e3), if s <= channel { "spatial" } else { "channel" })
+                }
                 None => ("infeasible".to_string(), "channel"),
             };
             t.push_row(vec![
@@ -107,11 +118,7 @@ pub fn memory_table() -> Table {
     // Checkpointing every block boundary: ~1/6 of activations live +
     // recompute. (Line network: segment = layers per block ≈ len/6.)
     let seg = spec.len() / 6;
-    let live: usize = shapes
-        .iter()
-        .take(seg)
-        .map(|(c, h, w)| 2 * c * h * w * 4)
-        .sum::<usize>()
+    let live: usize = shapes.iter().take(seg).map(|(c, h, w)| 2 * c * h * w * 4).sum::<usize>()
         + shapes.iter().step_by(seg).map(|(c, h, w)| c * h * w * 4).sum::<usize>();
     t.push_row(vec![
         "recomputation (per-block checkpoints)".into(),

@@ -8,10 +8,12 @@
 //! | [`modelval`] | §VI-B3 model validation |
 //! | [`strategy`] | §V-C strategy optimizer demonstration |
 //! | [`extensions`] | channel/filter, 3-D, memory-pressure extensions |
+//! | [`plancache`] | plan-caching ablation (plan-once vs recompile-per-step) |
 
 pub mod extensions;
 pub mod microbench;
 pub mod modelval;
+pub mod plancache;
 pub mod resnet;
 pub mod scaling;
 pub mod strategy;

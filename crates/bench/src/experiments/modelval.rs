@@ -123,8 +123,8 @@ pub fn measured_traffic(
 ) -> Vec<(u64, u64, u64, u64)> {
     let spec = mini_mesh(input_hw);
     let net = Network::init(spec.clone(), 5);
-    let exec = DistExecutor::new(spec, Strategy::uniform(&net.spec, grid), batch)
-        .expect("valid strategy");
+    let exec =
+        DistExecutor::new(spec, Strategy::uniform(&net.spec, grid), batch).expect("valid strategy");
     let ds = fg_data::MeshDataset::new(input_hw, input_hw / 4, 6, 3);
     let (x, labels) = ds.batch(0, batch);
     run_ranks(grid.size(), |comm| {
@@ -224,8 +224,7 @@ pub fn traffic_validation() -> Table {
         let (halo_pred, ar_pred) = predicted_traffic(grid, batch, hw);
         let halo_meas = measured.iter().map(|m| m.1).max().unwrap() as f64;
         let ar_meas = measured.iter().map(|m| m.3).max().unwrap() as f64;
-        for (class, pred, meas) in
-            [("halo", halo_pred, halo_meas), ("allreduce", ar_pred, ar_meas)]
+        for (class, pred, meas) in [("halo", halo_pred, halo_meas), ("allreduce", ar_pred, ar_meas)]
         {
             let ratio = if meas > 0.0 { pred / meas } else { f64::NAN };
             t.push_row(vec![

@@ -25,7 +25,7 @@ pub fn resnet_minibatch_time(
     batch: usize,
     gpus_per_group: usize,
 ) -> Option<f64> {
-    if batch % SAMPLES_PER_GROUP != 0 {
+    if !batch.is_multiple_of(SAMPLES_PER_GROUP) {
         return None;
     }
     let groups = batch / SAMPLES_PER_GROUP;

@@ -109,7 +109,7 @@ pub fn fig4(platform: &Platform, size: MeshSize) -> Table {
     while gpus <= MAX_WORLD {
         let mut row = vec![gpus.to_string()];
         for &s in schemes {
-            if gpus % s == 0 && gpus / s >= 1 && gpus / s <= max_batch {
+            if gpus.is_multiple_of(s) && gpus / s >= 1 && gpus / s <= max_batch {
                 match mesh_minibatch_time(platform, &spec, gpus / s, s) {
                     Some(time) => row.push(fmt_time(time)),
                     None => row.push("n/a".into()),
@@ -172,10 +172,7 @@ mod tests {
         let spec = mesh_model(MeshSize::OneK);
         let small = mesh_minibatch_time(&p, &spec, 4, 2).unwrap();
         let large = mesh_minibatch_time(&p, &spec, 512, 2).unwrap();
-        assert!(
-            (large / small) < 1.25,
-            "column should be ~flat in N: {small} vs {large}"
-        );
+        assert!((large / small) < 1.25, "column should be ~flat in N: {small} vs {large}");
     }
 
     #[test]

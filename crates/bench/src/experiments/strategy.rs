@@ -32,11 +32,31 @@ pub struct Scenario {
 /// The scenarios reported by the `strategy` experiment.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
-        Scenario { name: "mesh-1K, N=1, 4 GPUs (memory-constrained)", spec: mesh_model(MeshSize::OneK), batch: 1, world: 4 },
-        Scenario { name: "mesh-1K, N=4, 16 GPUs", spec: mesh_model(MeshSize::OneK), batch: 4, world: 16 },
-        Scenario { name: "mesh-1K, N=16, 16 GPUs", spec: mesh_model(MeshSize::OneK), batch: 16, world: 16 },
+        Scenario {
+            name: "mesh-1K, N=1, 4 GPUs (memory-constrained)",
+            spec: mesh_model(MeshSize::OneK),
+            batch: 1,
+            world: 4,
+        },
+        Scenario {
+            name: "mesh-1K, N=4, 16 GPUs",
+            spec: mesh_model(MeshSize::OneK),
+            batch: 4,
+            world: 16,
+        },
+        Scenario {
+            name: "mesh-1K, N=16, 16 GPUs",
+            spec: mesh_model(MeshSize::OneK),
+            batch: 16,
+            world: 16,
+        },
         Scenario { name: "ResNet-50, N=64, 16 GPUs", spec: resnet50(), batch: 64, world: 16 },
-        Scenario { name: "ResNet-50, N=16, 16 GPUs (strong-scaled)", spec: resnet50(), batch: 16, world: 16 },
+        Scenario {
+            name: "ResNet-50, N=16, 16 GPUs (strong-scaled)",
+            spec: resnet50(),
+            batch: 16,
+            world: 16,
+        },
     ]
 }
 
@@ -62,7 +82,11 @@ pub fn strategy_report(platform: &Platform) -> Table {
     for sc in scenarios() {
         let opt = StrategyOptimizer::new(platform, &sc.spec, sc.batch, sc.world);
         let (strategy, cost) = opt.optimize();
-        assert_eq!(strategy.validate(&sc.spec, sc.batch), Ok(()), "optimizer must emit valid plans");
+        assert_eq!(
+            strategy.validate(&sc.spec, sc.batch),
+            Ok(()),
+            "optimizer must emit valid plans"
+        );
 
         // Uniform baselines across the paper's schemes.
         let mut best_uniform = f64::INFINITY;

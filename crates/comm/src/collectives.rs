@@ -378,7 +378,8 @@ pub trait Collectives: Communicator + Sized {
                 let partner = to_real(newrank ^ mask);
                 let mid = lo + (hi - lo) / 2;
                 let i_keep_lower = newrank & mask == 0;
-                let (keep, give) = if i_keep_lower { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+                let (keep, give) =
+                    if i_keep_lower { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
                 let theirs = self.sendrecv(partner, partner, tag, buf[give.0..give.1].to_vec());
                 if i_keep_lower {
                     // Partner has the higher newrank: its data on the right.
@@ -540,7 +541,6 @@ pub trait Collectives: Communicator + Sized {
             recvs.into_iter().map(|x| x.expect("rotation visited all ranks")).collect()
         })
     }
-
 }
 
 impl<C: Communicator> Collectives for C {}
@@ -695,7 +695,8 @@ mod tests {
     fn reduce_to_each_possible_root() {
         let p = 6;
         for root in 0..p {
-            let res = run_ranks(p, |comm| comm.reduce(root, &[comm.rank() as u32, 1], ReduceOp::Sum));
+            let res =
+                run_ranks(p, |comm| comm.reduce(root, &[comm.rank() as u32, 1], ReduceOp::Sum));
             for (rank, r) in res.iter().enumerate() {
                 if rank == root {
                     assert_eq!(r.as_ref().unwrap(), &vec![15, 6]);
@@ -711,8 +712,7 @@ mod tests {
         for p in [1, 2, 3, 5, 8] {
             for root in 0..p {
                 let res = run_ranks(p, |comm| {
-                    let payload =
-                        (comm.rank() == root).then(|| vec![root as u32 * 10, 7]);
+                    let payload = (comm.rank() == root).then(|| vec![root as u32 * 10, 7]);
                     comm.bcast(root, payload)
                 });
                 for r in res {
@@ -732,7 +732,8 @@ mod tests {
             });
             let ranks_sum: f64 = (1..=p).map(|r| r as f64).sum();
             for (rank, got) in res.iter().enumerate() {
-                let want: Vec<f64> = block_range(n, p, rank).map(|i| i as f64 * ranks_sum).collect();
+                let want: Vec<f64> =
+                    block_range(n, p, rank).map(|i| i as f64 * ranks_sum).collect();
                 assert_eq!(got, &want, "p={p} rank={rank}");
             }
         }
@@ -742,7 +743,8 @@ mod tests {
     fn allgatherv_variable_sizes() {
         let p = 4;
         let res = run_ranks(p, |comm| {
-            let mine: Vec<u32> = (0..comm.rank() + 1).map(|i| (comm.rank() * 10 + i) as u32).collect();
+            let mine: Vec<u32> =
+                (0..comm.rank() + 1).map(|i| (comm.rank() * 10 + i) as u32).collect();
             comm.allgatherv(mine)
         });
         for r in res {
@@ -766,11 +768,8 @@ mod tests {
         let p = 5;
         let res = run_ranks(p, |comm| {
             let gathered = comm.gatherv(2, vec![comm.rank() as u64]);
-            let redistributed = comm.scatterv(
-                2,
-                gathered.map(|g| g.into_iter().map(|v| vec![v[0] * 2]).collect()),
-            );
-            redistributed
+
+            comm.scatterv(2, gathered.map(|g| g.into_iter().map(|v| vec![v[0] * 2]).collect()))
         });
         for (rank, r) in res.iter().enumerate() {
             assert_eq!(r, &vec![rank as u64 * 2]);
@@ -781,9 +780,8 @@ mod tests {
     fn alltoallv_exchanges_personalized_data() {
         let p = 4;
         let res = run_ranks(p, |comm| {
-            let sends: Vec<Vec<u32>> = (0..p)
-                .map(|d| vec![(comm.rank() * 100 + d) as u32; comm.rank() + 1])
-                .collect();
+            let sends: Vec<Vec<u32>> =
+                (0..p).map(|d| vec![(comm.rank() * 100 + d) as u32; comm.rank() + 1]).collect();
             comm.alltoallv(sends)
         });
         for (rank, r) in res.iter().enumerate() {

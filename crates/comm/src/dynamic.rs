@@ -1,0 +1,291 @@
+//! Object-safe dynamic dispatch over [`Communicator`].
+//!
+//! The plan-driven executor in `fg-core` stores its layers as
+//! `Box<dyn DistLayer>`, which means layer methods cannot be generic over
+//! the communicator type — generic methods make a trait non-object-safe.
+//! This module closes the loop:
+//!
+//! * [`DynComm`] is the object-safe subset of [`Communicator`], provided
+//!   for **every** concrete communicator by a blanket impl that moves
+//!   payloads as `Box<dyn Any>` (no serialization, same as the channels
+//!   underneath);
+//! * [`ErasedComm`] is a concrete, `Copy` handle wrapping a
+//!   `&dyn DynComm` that implements the full generic [`Communicator`]
+//!   trait again, so halo exchanges, shuffles, sub-communicators and all
+//!   [`crate::Collectives`] algorithms run unchanged on top of it.
+//!
+//! Because every erased send/recv bottoms out in the concrete
+//! communicator's own methods, tag allocation, FIFO ordering, and traffic
+//! accounting are bitwise-identical to direct generic calls; the only
+//! cost is one small box per message.
+
+use std::any::{Any, TypeId};
+
+use crate::p2p::{CommScalar, Communicator, Tag};
+use crate::stats::OpClass;
+
+/// The closed set of scalar types that may cross the type-erased
+/// boundary — exactly the [`CommScalar`] impls in `p2p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarType {
+    F32,
+    F64,
+    U8,
+    U32,
+    U64,
+    I32,
+    I64,
+    Usize,
+    UsizePair,
+}
+
+impl ScalarType {
+    /// The wire-type tag for `T`.
+    ///
+    /// # Panics
+    /// Panics if `T` is a [`CommScalar`] impl this module does not know
+    /// about (adding one requires extending the dispatch tables here).
+    pub fn of<T: CommScalar>() -> ScalarType {
+        let id = TypeId::of::<T>();
+        if id == TypeId::of::<f32>() {
+            ScalarType::F32
+        } else if id == TypeId::of::<f64>() {
+            ScalarType::F64
+        } else if id == TypeId::of::<u8>() {
+            ScalarType::U8
+        } else if id == TypeId::of::<u32>() {
+            ScalarType::U32
+        } else if id == TypeId::of::<u64>() {
+            ScalarType::U64
+        } else if id == TypeId::of::<i32>() {
+            ScalarType::I32
+        } else if id == TypeId::of::<i64>() {
+            ScalarType::I64
+        } else if id == TypeId::of::<usize>() {
+            ScalarType::Usize
+        } else if id == TypeId::of::<(usize, usize)>() {
+            ScalarType::UsizePair
+        } else {
+            panic!("scalar type is not registered with the dynamic communicator");
+        }
+    }
+}
+
+/// Object-safe subset of [`Communicator`], implemented for every concrete
+/// communicator by the blanket impl below. Use [`ErasedComm`] to get the
+/// full generic trait back from a `&dyn DynComm`.
+pub trait DynComm {
+    /// See [`Communicator::rank`].
+    fn erased_rank(&self) -> usize;
+    /// See [`Communicator::size`].
+    fn erased_size(&self) -> usize;
+    /// Type-erased [`Communicator::send`]; `data` must be a `Vec<T>` of a
+    /// [`CommScalar`] wire type.
+    fn send_erased(&self, dst: usize, tag: Tag, data: Box<dyn Any + Send>);
+    /// Type-erased [`Communicator::recv`]; returns a boxed `Vec<T>` of the
+    /// requested wire type.
+    fn recv_erased(&self, src: usize, tag: Tag, ty: ScalarType) -> Box<dyn Any + Send>;
+    /// See [`Communicator::record`].
+    fn erased_record(&self, class: OpClass, messages: u64, bytes: u64);
+    /// See [`Communicator::next_collective_tag`].
+    fn erased_next_collective_tag(&self) -> Tag;
+    /// Object-safe form of [`Communicator::with_class`]: runs `f` once
+    /// with sends attributed to `class`.
+    fn class_scope(&self, class: OpClass, f: &mut dyn FnMut());
+}
+
+impl<C: Communicator> DynComm for C {
+    fn erased_rank(&self) -> usize {
+        Communicator::rank(self)
+    }
+
+    fn erased_size(&self) -> usize {
+        Communicator::size(self)
+    }
+
+    fn send_erased(&self, dst: usize, tag: Tag, data: Box<dyn Any + Send>) {
+        let mut data = data;
+        macro_rules! try_type {
+            ($t:ty) => {
+                data = match data.downcast::<Vec<$t>>() {
+                    Ok(v) => return self.send(dst, tag, *v),
+                    Err(other) => other,
+                };
+            };
+        }
+        try_type!(f32);
+        try_type!(f64);
+        try_type!(u8);
+        try_type!(u32);
+        try_type!(u64);
+        try_type!(i32);
+        try_type!(i64);
+        try_type!(usize);
+        try_type!((usize, usize));
+        let _ = data;
+        panic!("payload is not a Vec of a CommScalar wire type");
+    }
+
+    fn recv_erased(&self, src: usize, tag: Tag, ty: ScalarType) -> Box<dyn Any + Send> {
+        match ty {
+            ScalarType::F32 => Box::new(self.recv::<f32>(src, tag)),
+            ScalarType::F64 => Box::new(self.recv::<f64>(src, tag)),
+            ScalarType::U8 => Box::new(self.recv::<u8>(src, tag)),
+            ScalarType::U32 => Box::new(self.recv::<u32>(src, tag)),
+            ScalarType::U64 => Box::new(self.recv::<u64>(src, tag)),
+            ScalarType::I32 => Box::new(self.recv::<i32>(src, tag)),
+            ScalarType::I64 => Box::new(self.recv::<i64>(src, tag)),
+            ScalarType::Usize => Box::new(self.recv::<usize>(src, tag)),
+            ScalarType::UsizePair => Box::new(self.recv::<(usize, usize)>(src, tag)),
+        }
+    }
+
+    fn erased_record(&self, class: OpClass, messages: u64, bytes: u64) {
+        Communicator::record(self, class, messages, bytes);
+    }
+
+    fn erased_next_collective_tag(&self) -> Tag {
+        Communicator::next_collective_tag(self)
+    }
+
+    fn class_scope(&self, class: OpClass, f: &mut dyn FnMut()) {
+        self.with_class(class, f);
+    }
+}
+
+/// A concrete [`Communicator`] over any [`DynComm`] trait object.
+///
+/// `Copy`, so it can be passed by value or reference anywhere a generic
+/// communicator is expected.
+#[derive(Clone, Copy)]
+pub struct ErasedComm<'a> {
+    inner: &'a dyn DynComm,
+}
+
+impl<'a> ErasedComm<'a> {
+    /// Erase a concrete communicator.
+    pub fn new<C: Communicator>(comm: &'a C) -> ErasedComm<'a> {
+        ErasedComm { inner: comm }
+    }
+
+    /// Wrap an existing trait object.
+    pub fn from_dyn(inner: &'a dyn DynComm) -> ErasedComm<'a> {
+        ErasedComm { inner }
+    }
+}
+
+impl std::fmt::Debug for ErasedComm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErasedComm")
+            .field("rank", &self.inner.erased_rank())
+            .field("size", &self.inner.erased_size())
+            .finish()
+    }
+}
+
+impl Communicator for ErasedComm<'_> {
+    fn rank(&self) -> usize {
+        self.inner.erased_rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.erased_size()
+    }
+
+    fn send<T: CommScalar>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        self.inner.send_erased(dst, tag, Box::new(data));
+    }
+
+    fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+        *self
+            .inner
+            .recv_erased(src, tag, ScalarType::of::<T>())
+            .downcast::<Vec<T>>()
+            .expect("erased receive returned the requested wire type")
+    }
+
+    fn record(&self, class: OpClass, messages: u64, bytes: u64) {
+        self.inner.erased_record(class, messages, bytes);
+    }
+
+    fn next_collective_tag(&self) -> Tag {
+        self.inner.erased_next_collective_tag()
+    }
+
+    fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.inner.class_scope(class, &mut || {
+            out = Some((f.take().expect("class_scope runs its body exactly once"))());
+        });
+        out.expect("class_scope ran its body")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{Collectives, ReduceOp};
+    use crate::runtime::{run_ranks, run_ranks_with_stats};
+    use crate::subcomm::SubComm;
+
+    #[test]
+    fn erased_p2p_roundtrip_all_types() {
+        let out = run_ranks(2, |comm| {
+            let e = ErasedComm::new(comm);
+            if comm.rank() == 0 {
+                e.send(1, 1, vec![1.5f32]);
+                e.send(1, 2, vec![2.5f64]);
+                e.send(1, 3, vec![3u8]);
+                e.send(1, 4, vec![(7usize, 9usize)]);
+                0.0
+            } else {
+                let a = e.recv::<f32>(0, 1)[0] as f64;
+                let b = e.recv::<f64>(0, 2)[0];
+                let c = e.recv::<u8>(0, 3)[0] as f64;
+                let (x, y) = e.recv::<(usize, usize)>(0, 4)[0];
+                a + b + c + (x * y) as f64
+            }
+        });
+        assert_eq!(out[1], 1.5 + 2.5 + 3.0 + 63.0);
+    }
+
+    #[test]
+    fn collectives_run_on_erased_comm() {
+        let out = run_ranks(4, |comm| {
+            let e = ErasedComm::new(comm);
+            e.allreduce(&[comm.rank() as f32], ReduceOp::Sum)[0]
+        });
+        assert_eq!(out, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn subcomm_over_erased_comm() {
+        let out = run_ranks(4, |comm| {
+            let e = ErasedComm::new(comm);
+            let sub = SubComm::split(&e, (comm.rank() % 2) as u64, comm.rank() as u64);
+            sub.allreduce(&[comm.rank() as f64], ReduceOp::Sum)[0]
+        });
+        assert_eq!(out, vec![2.0, 4.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn erased_traffic_matches_direct_traffic() {
+        let run = |erase: bool| {
+            run_ranks_with_stats(4, move |comm| {
+                if erase {
+                    let e = ErasedComm::new(comm);
+                    e.allreduce(&vec![1.0f32; 64], ReduceOp::Sum);
+                } else {
+                    comm.allreduce(&vec![1.0f32; 64], ReduceOp::Sum);
+                }
+            })
+        };
+        let direct = run(false);
+        let erased = run(true);
+        for ((_, d), (_, e)) in direct.iter().zip(&erased) {
+            assert_eq!(d.total_bytes(), e.total_bytes());
+            assert_eq!(d.total_messages(), e.total_messages());
+        }
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod collectives;
+pub mod dynamic;
 pub mod error;
 pub mod p2p;
 pub mod runtime;
@@ -42,8 +43,9 @@ pub mod stats;
 pub mod subcomm;
 
 pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
+pub use dynamic::{DynComm, ErasedComm, ScalarType};
 pub use error::CommError;
 pub use p2p::{CommScalar, Communicator, Tag};
 pub use runtime::{run_ranks, run_ranks_timed, LinkModel, WorldComm};
 pub use stats::{OpClass, TrafficStats};
-pub use subcomm::SubComm;
+pub use subcomm::{SubComm, SubCommLayout};

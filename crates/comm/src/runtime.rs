@@ -53,7 +53,6 @@ impl WorldComm {
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = TrafficStats::default();
     }
-
 }
 
 impl Communicator for WorldComm {
@@ -88,9 +87,9 @@ impl Communicator for WorldComm {
             return downcast_payload(env, src, tag);
         }
         loop {
-            let env = self.receivers[src]
-                .recv()
-                .unwrap_or_else(|_| panic!("rank {src} hung up while rank {} waits on tag {tag}", self.rank));
+            let env = self.receivers[src].recv().unwrap_or_else(|_| {
+                panic!("rank {src} hung up while rank {} waits on tag {tag}", self.rank)
+            });
             if env.tag == tag {
                 self.observe_arrival(&env);
                 return downcast_payload(env, src, tag);
@@ -164,10 +163,10 @@ fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm>
         (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
     for s in 0..size {
         let mut row = Vec::with_capacity(size);
-        for d in 0..size {
+        for dst_rows in receivers.iter_mut() {
             let (tx, rx) = unbounded();
             row.push(tx);
-            receivers[d][s] = Some(rx);
+            dst_rows[s] = Some(rx);
         }
         senders.push(row);
     }

@@ -8,6 +8,7 @@
 //! parent ranks, so every [`crate::Collectives`] algorithm runs unchanged
 //! inside the group.
 
+use std::borrow::Cow;
 use std::cell::Cell;
 
 use crate::error::CommError;
@@ -15,11 +16,72 @@ use crate::p2p::{CommScalar, Communicator, Tag, RESERVED_TAG_BASE};
 use crate::stats::OpClass;
 use crate::Collectives;
 
+/// The pure-geometry half of a [`SubComm`]: the ordered member list, the
+/// tag salt, and this rank's position — with no parent communicator
+/// borrowed.
+///
+/// Compiled communication plans cache layouts and [`SubCommLayout::bind`]
+/// them to a live communicator on every step; binding is O(1) and
+/// allocation-free, whereas [`SubComm::new`] re-validates and re-searches
+/// the member list on each call. A freshly bound group starts its
+/// collective-tag counter at zero, exactly like a freshly constructed
+/// `SubComm`, so bound groups are drop-in bitwise-identical replacements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubCommLayout {
+    /// Parent ranks of the members, indexed by group rank.
+    members: Vec<usize>,
+    /// Tag salt; see [`SubComm::new`].
+    group_id: u64,
+    /// Position of the owning rank within `members`.
+    my_index: usize,
+}
+
+impl SubCommLayout {
+    /// Plan a group layout for rank `me` (a parent rank that must appear
+    /// in `members`). Pure geometry: no communication, no parent borrow.
+    pub fn new(members: Vec<usize>, group_id: u64, me: usize) -> Result<Self, CommError> {
+        if members.is_empty() {
+            return Err(CommError::EmptyWorld);
+        }
+        let my_index =
+            members.iter().position(|&m| m == me).ok_or(CommError::InvalidGroup { rank: me })?;
+        Ok(SubCommLayout { members, group_id, my_index })
+    }
+
+    /// The ordered member list (parent ranks).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Bind the layout to a live parent communicator for one use.
+    ///
+    /// # Panics
+    /// Debug-asserts that `parent.rank()` is the rank the layout was
+    /// planned for and that all members fit in the parent world.
+    pub fn bind<'a, C: Communicator>(&'a self, parent: &'a C) -> SubComm<'a, C> {
+        debug_assert_eq!(
+            self.members[self.my_index],
+            parent.rank(),
+            "sub-communicator layout bound on a rank it was not planned for"
+        );
+        debug_assert!(self.members.iter().all(|&m| m < parent.size()));
+        SubComm {
+            parent,
+            members: Cow::Borrowed(&self.members),
+            my_index: self.my_index,
+            tag_salt: self.group_id,
+            counter: Cell::new(0),
+        }
+    }
+}
+
 /// A communicator over an ordered subset of a parent communicator's ranks.
 pub struct SubComm<'a, C: Communicator> {
     parent: &'a C,
-    /// Parent ranks of the members, indexed by group rank.
-    members: Vec<usize>,
+    /// Parent ranks of the members, indexed by group rank. Owned when the
+    /// group is built ad hoc, borrowed when bound from a cached
+    /// [`SubCommLayout`].
+    members: Cow<'a, [usize]>,
     /// This rank's position within `members`.
     my_index: usize,
     /// Distinguishes tags of different sub-communicators built over the
@@ -53,7 +115,13 @@ impl<'a, C: Communicator> SubComm<'a, C> {
             .iter()
             .position(|&m| m == parent.rank())
             .ok_or(CommError::InvalidGroup { rank: parent.rank() })?;
-        Ok(SubComm { parent, members, my_index, tag_salt: group_id, counter: Cell::new(0) })
+        Ok(SubComm {
+            parent,
+            members: Cow::Owned(members),
+            my_index,
+            tag_salt: group_id,
+            counter: Cell::new(0),
+        })
     }
 
     /// Split the parent by `(color, key)`, like `MPI_Comm_split`: ranks
@@ -198,6 +266,38 @@ mod tests {
             quarter.allreduce(&[comm.rank() as u64], ReduceOp::Sum)[0]
         });
         assert_eq!(out, vec![1, 1, 5, 5, 9, 9, 13, 13]);
+    }
+
+    #[test]
+    fn bound_layout_matches_fresh_subcomm() {
+        // A cached layout bound each "step" must behave exactly like a
+        // SubComm constructed from scratch each step.
+        let out = run_ranks(4, |comm| {
+            let members: Vec<usize> = if comm.rank() % 2 == 0 { vec![0, 2] } else { vec![1, 3] };
+            let layout =
+                SubCommLayout::new(members.clone(), (comm.rank() % 2) as u64, comm.rank()).unwrap();
+            let mut bound_sums = Vec::new();
+            let mut fresh_sums = Vec::new();
+            for step in 0..3 {
+                let sub = layout.bind(comm);
+                bound_sums.push(sub.allreduce(&[(comm.rank() + step) as f64], ReduceOp::Sum)[0]);
+                let fresh = SubComm::new(comm, members.clone(), (comm.rank() % 2) as u64).unwrap();
+                fresh_sums.push(fresh.allreduce(&[(comm.rank() + step) as f64], ReduceOp::Sum)[0]);
+            }
+            (bound_sums, fresh_sums)
+        });
+        for (bound, fresh) in &out {
+            assert_eq!(bound, fresh);
+        }
+    }
+
+    #[test]
+    fn layout_rejects_nonmember_rank() {
+        assert_eq!(
+            SubCommLayout::new(vec![0, 2], 0, 1).err(),
+            Some(CommError::InvalidGroup { rank: 1 })
+        );
+        assert_eq!(SubCommLayout::new(vec![], 0, 0).err(), Some(CommError::EmptyWorld));
     }
 
     #[test]

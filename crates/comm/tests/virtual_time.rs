@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use fg_comm::{run_ranks_timed, AllreduceAlgorithm, Collectives, Communicator, LinkModel, ReduceOp};
+use fg_comm::{
+    run_ranks_timed, AllreduceAlgorithm, Collectives, Communicator, LinkModel, ReduceOp,
+};
 
 fn uniform_link(alpha: f64, beta: f64) -> LinkModel {
     Arc::new(move |_src, _dst, bytes| alpha + beta * bytes as f64)
@@ -27,10 +29,7 @@ fn ring_allreduce_virtual_time_matches_thakur_exactly() {
         let chunk_bytes = (n / p * 4) as f64;
         let want = 2.0 * (p as f64 - 1.0) * (ALPHA + BETA * chunk_bytes);
         for (_r, t) in &out {
-            assert!(
-                (t - want).abs() < 1e-12,
-                "P={p}: virtual time {t} vs Thakur {want}"
-            );
+            assert!((t - want).abs() < 1e-12, "P={p}: virtual time {t} vs Thakur {want}");
         }
     }
 }
@@ -113,13 +112,8 @@ fn sender_clock_gates_arrival() {
 fn heterogeneous_links_use_per_pair_times() {
     // Ranks 0,1 on one "node" (fast), rank 2 remote (slow): a pipeline
     // 0→1→2 accumulates the right per-hop times.
-    let link: LinkModel = Arc::new(|src, dst, _bytes| {
-        if src / 2 == dst / 2 {
-            1e-6
-        } else {
-            20e-6
-        }
-    });
+    let link: LinkModel =
+        Arc::new(|src, dst, _bytes| if src / 2 == dst / 2 { 1e-6 } else { 20e-6 });
     let out = run_ranks_timed(3, link, |comm| {
         match comm.rank() {
             0 => comm.send(1, 1, vec![1u8]),

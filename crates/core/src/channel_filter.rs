@@ -96,7 +96,12 @@ impl ChannelFilterConv2d {
 
     /// Backward-data: `dy_loc (N, F_loc, OH, OW)` with
     /// `w_f (F_loc, C, K, K)` → `dx_loc (N, C_loc, H, W)`.
-    pub fn backward_data<C: Communicator>(&self, comm: &C, dy_loc: &Tensor, w_f: &Tensor) -> Tensor {
+    pub fn backward_data<C: Communicator>(
+        &self,
+        comm: &C,
+        dy_loc: &Tensor,
+        w_f: &Tensor,
+    ) -> Tensor {
         debug_assert_eq!(comm.size(), self.parts);
         // Local partial over owned filters for all channels (Eq. 3's
         // filter sum restricted to I_p^(F)).
@@ -154,7 +159,12 @@ impl ChannelFilterConv2d {
     /// Reduce-scatter a locally complete tensor partitioned on its C
     /// dimension: every rank contributes a full `(N, dim, H', W')`
     /// partial; rank `r` receives the summed block `dim_block(r)`.
-    fn reduce_scatter_dim_c<C: Communicator>(&self, comm: &C, partial: &Tensor, dim: usize) -> Tensor {
+    fn reduce_scatter_dim_c<C: Communicator>(
+        &self,
+        comm: &C,
+        partial: &Tensor,
+        dim: usize,
+    ) -> Tensor {
         let s = partial.shape();
         debug_assert_eq!(s.c, dim);
         // Pack per-destination blocks and exchange pairwise, then sum —
@@ -182,8 +192,7 @@ impl ChannelFilterConv2d {
 /// Convenience used by tests and the perf model: the per-rank traffic of
 /// one forward reduce-scatter in elements (every rank sends P−1 blocks).
 pub fn forward_rs_elements(layer: &ChannelFilterConv2d) -> usize {
-    let per_block =
-        layer.n * layer.geom.out_h() * layer.geom.out_w() * (layer.f / layer.parts);
+    let per_block = layer.n * layer.geom.out_h() * layer.geom.out_w() * (layer.f / layer.parts);
     per_block * (layer.parts - 1)
 }
 
@@ -195,7 +204,10 @@ use ReduceOp as _ReduceOpUsed;
 mod tests {
     use super::*;
     use fg_comm::run_ranks;
-    use fg_kernels::conv::{conv2d_backward_data as serial_bd, conv2d_backward_filter as serial_bf, conv2d_forward as serial_fwd};
+    use fg_kernels::conv::{
+        conv2d_backward_data as serial_bd, conv2d_backward_filter as serial_bf,
+        conv2d_forward as serial_fwd,
+    };
     use fg_tensor::Shape4;
 
     fn pattern(shape: Shape4, seed: usize) -> Tensor {
@@ -217,7 +229,8 @@ mod tests {
             let r = comm.rank();
             let cb = layer.c_block(r);
             let fb = layer.f_block(r);
-            let x_loc = x.slice_box(&Box4::new([0, cb.start, 0, 0], [n, cb.end, geom.in_h, geom.in_w]));
+            let x_loc =
+                x.slice_box(&Box4::new([0, cb.start, 0, 0], [n, cb.end, geom.in_h, geom.in_w]));
             let (w_c, w_f) = layer.shard_weights(&w, r);
             let y_loc = layer.forward(comm, &x_loc, &w_c);
             let dy_loc = dy.slice_box(&Box4::new(
@@ -239,21 +252,15 @@ mod tests {
             ));
             y_loc.assert_close(&want_y, 1e-4);
             // Backward-data: dx block matches serial.
-            let want_dx = dx_serial.slice_box(&Box4::new(
-                [0, cb.start, 0, 0],
-                [n, cb.end, geom.in_h, geom.in_w],
-            ));
+            let want_dx = dx_serial
+                .slice_box(&Box4::new([0, cb.start, 0, 0], [n, cb.end, geom.in_h, geom.in_w]));
             dx_loc.assert_close(&want_dx, 1e-4);
             // Filter gradients: both shards match serial slices.
-            let want_dw_c = dw_serial.slice_box(&Box4::new(
-                [0, cb.start, 0, 0],
-                [f, cb.end, geom.kh, geom.kw],
-            ));
+            let want_dw_c =
+                dw_serial.slice_box(&Box4::new([0, cb.start, 0, 0], [f, cb.end, geom.kh, geom.kw]));
             dw_c.assert_close(&want_dw_c, 1e-4);
-            let want_dw_f = dw_serial.slice_box(&Box4::new(
-                [fb.start, 0, 0, 0],
-                [fb.end, c, geom.kh, geom.kw],
-            ));
+            let want_dw_f =
+                dw_serial.slice_box(&Box4::new([fb.start, 0, 0, 0], [fb.end, c, geom.kh, geom.kw]));
             dw_f.assert_close(&want_dw_f, 1e-4);
         }
     }

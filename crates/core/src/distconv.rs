@@ -21,8 +21,7 @@
 
 use fg_comm::{Collectives, Communicator, ReduceOp};
 use fg_kernels::conv::{
-    conv2d_backward_data_region, conv2d_backward_filter_region, conv2d_forward_region,
-    ConvGeometry,
+    conv2d_backward_data_region, conv2d_backward_filter_region, conv2d_forward_region, ConvGeometry,
 };
 use fg_tensor::halo::{exchange_halo_with_plan, HaloPlan};
 use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist, NDIMS};
@@ -107,13 +106,32 @@ impl DistConv2d {
         self.x_margins.0.iter().any(|&m| m > 0) || self.x_margins.1.iter().any(|&m| m > 0)
     }
 
+    /// The forward halo plan for this rank's input window — pure
+    /// geometry, compiled once per layer by the executor.
+    pub fn x_halo_plan(&self, rank: usize) -> HaloPlan {
+        HaloPlan::for_layout(&self.in_dist, rank, self.x_margins.0, self.x_margins.1)
+    }
+
+    /// The backward-data halo plan for this rank's error-signal window.
+    pub fn dy_halo_plan(&self, rank: usize) -> HaloPlan {
+        HaloPlan::for_layout(&self.out_dist, rank, self.dy_margins.0, self.dy_margins.1)
+    }
+
     /// Build this rank's haloed input window from its unpadded shard.
     pub fn build_x_window<C: Communicator>(&self, comm: &C, x: &DistTensor) -> DistTensor {
+        self.build_x_window_with_plan(comm, x, &self.x_halo_plan(comm.rank()))
+    }
+
+    /// [`DistConv2d::build_x_window`] with a precompiled halo plan.
+    pub fn build_x_window_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        plan: &HaloPlan,
+    ) -> DistTensor {
         debug_assert_eq!(*x.dist(), self.in_dist, "input shard has wrong distribution");
-        let mut win = DistTensor::new(self.in_dist, comm.rank(), self.x_margins.0, self.x_margins.1);
-        win.set_owned(&x.owned_tensor());
-        let plan = HaloPlan::build(&win);
-        exchange_halo_with_plan(comm, &mut win, &plan);
+        let mut win = x.to_window(self.x_margins.0, self.x_margins.1);
+        exchange_halo_with_plan(comm, &mut win, plan);
         win
     }
 
@@ -128,7 +146,19 @@ impl DistConv2d {
         w: &Tensor,
         bias: Option<&[f32]>,
     ) -> (DistTensor, DistTensor) {
-        let win = self.build_x_window(comm, x);
+        self.forward_with_plan(comm, x, w, bias, &self.x_halo_plan(comm.rank()))
+    }
+
+    /// [`DistConv2d::forward`] with a precompiled forward halo plan.
+    pub fn forward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        w: &Tensor,
+        bias: Option<&[f32]>,
+        plan: &HaloPlan,
+    ) -> (DistTensor, DistTensor) {
+        let win = self.build_x_window_with_plan(comm, x, plan);
         let y = self.forward_from_window(comm.rank(), &win, w, bias);
         (y, win)
     }
@@ -165,12 +195,20 @@ impl DistConv2d {
         dy: &DistTensor,
         w: &Tensor,
     ) -> DistTensor {
+        self.backward_data_with_plan(comm, dy, w, &self.dy_halo_plan(comm.rank()))
+    }
+
+    /// [`DistConv2d::backward_data`] with a precompiled dy halo plan.
+    pub fn backward_data_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        dy: &DistTensor,
+        w: &Tensor,
+        plan: &HaloPlan,
+    ) -> DistTensor {
         debug_assert_eq!(*dy.dist(), self.out_dist, "error signal has wrong distribution");
-        let mut dyw =
-            DistTensor::new(self.out_dist, comm.rank(), self.dy_margins.0, self.dy_margins.1);
-        dyw.set_owned(&dy.owned_tensor());
-        let plan = HaloPlan::build(&dyw);
-        exchange_halo_with_plan(comm, &mut dyw, &plan);
+        let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
+        exchange_halo_with_plan(comm, &mut dyw, plan);
 
         let mut dx = DistTensor::new_unpadded(self.in_dist, comm.rank());
         let ib = dx.own_box();

@@ -2,7 +2,14 @@
 //!
 //! [`DistExecutor`] runs an `fg-nn` network spec across the ranks of a
 //! communicator, with each layer parallelized according to its
-//! [`crate::Strategy`] grid. It glues together the pieces of §III:
+//! [`crate::Strategy`] grid. Construction compiles one
+//! [`LayerPlan`] per layer per rank — §III-C shuffle geometry, halo
+//! plans (forward and adjoint), §IV-A interior/boundary decompositions,
+//! and sub-communicator layouts — and the training loop is a thin
+//! scheduler over `Vec<Box<dyn DistLayer>>` executing those plans;
+//! no communication geometry is rebuilt per step.
+//!
+//! The layer semantics (paper §III) live in [`crate::layers`]:
 //!
 //! * convolution / pooling layers run their halo-exchanging distributed
 //!   forms ([`crate::DistConv2d`], [`crate::DistPool2d`]);
@@ -23,25 +30,23 @@
 //! produces the same losses and parameters as `fg_nn::Network` on a
 //! single device (exactly, up to floating-point reduction order).
 
-use fg_comm::{Collectives, Communicator, ReduceOp};
-use fg_kernels::batchnorm::BnStats;
-use fg_kernels::conv::ConvGeometry;
-use fg_kernels::loss::Labels;
-use fg_nn::network::{fc_backward, fc_forward};
-use fg_nn::{LayerKind, LayerParams, NetworkSpec, Sgd, BN_EPS};
-use fg_tensor::shuffle::redistribute;
-use fg_tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
+use std::borrow::Cow;
 
-use crate::distconv::DistConv2d;
-use crate::layers::{
-    cross_section_group, dist_add, dist_bn_backward, dist_bn_forward, dist_global_avg_pool,
-    dist_global_avg_pool_backward, dist_relu_backward, dist_relu_forward,
-    dist_softmax_xent_per_sample, dist_softmax_xent_shard, DistPool2d,
-};
+use fg_comm::{Communicator, ErasedComm};
+use fg_kernels::batchnorm::BnStats;
+use fg_kernels::loss::Labels;
+use fg_nn::{LayerKind, LayerParams, NetworkSpec, Sgd};
+use fg_tensor::{DistTensor, Shape4, Tensor, TensorDist};
+
+use crate::layers::{build_layers, BwdCx, DistLayer, FwdCx, FwdInput, LayerPlan};
 use crate::strategy::{Strategy, StrategyError};
 
 /// A distributed activation: either a shard of a global tensor, or a
 /// per-sample-replicated tensor (identical across a sample group).
+// Variant sizes differ, but activations are moved (never stored in
+// bulk), so boxing the large variant would only add hot-path
+// indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Act {
     /// Standard sharded representation.
@@ -52,32 +57,53 @@ pub enum Act {
 }
 
 impl Act {
-    fn shard(&self) -> &DistTensor {
+    /// The sharded representation, or a panic naming the consuming
+    /// layer.
+    pub fn shard_of(&self, layer: usize, kind: &LayerKind) -> &DistTensor {
         match self {
             Act::Shard(dt) => dt,
-            Act::PerSample(_) => panic!("expected a sharded activation"),
+            Act::PerSample(_) => {
+                panic!("layer {layer} ({kind:?}): expected a sharded activation, found per-sample")
+            }
         }
     }
 
-    fn per_sample(&self) -> &Tensor {
+    /// The per-sample representation, or a panic naming the consuming
+    /// layer.
+    pub fn per_sample_of(&self, layer: usize, kind: &LayerKind) -> &Tensor {
         match self {
             Act::PerSample(t) => t,
-            Act::Shard(_) => panic!("expected a per-sample activation"),
+            Act::Shard(_) => {
+                panic!("layer {layer} ({kind:?}): expected a per-sample activation, found a shard")
+            }
         }
     }
-}
 
-/// Per-layer implementation objects precomputed from spec + strategy.
-#[derive(Debug, Clone)]
-enum LayerImpl {
-    Input { dist: TensorDist },
-    Conv(DistConv2d),
-    Pool(DistPool2d),
-    PointwiseShard { dist: TensorDist },
-    Gap,
-    Fc,
-    LossShard,
-    LossPerSample,
+    /// Owning variant of [`Act::shard_of`].
+    pub fn into_shard_of(self, layer: usize, kind: &LayerKind) -> DistTensor {
+        match self {
+            Act::Shard(dt) => dt,
+            Act::PerSample(_) => {
+                panic!("layer {layer} ({kind:?}): expected a sharded activation, found per-sample")
+            }
+        }
+    }
+
+    /// Owning variant of [`Act::per_sample_of`].
+    pub fn into_per_sample_of(self, layer: usize, kind: &LayerKind) -> Tensor {
+        match self {
+            Act::PerSample(t) => t,
+            Act::Shard(_) => {
+                panic!("layer {layer} ({kind:?}): expected a per-sample activation, found a shard")
+            }
+        }
+    }
+
+    /// Placeholder left behind when the scheduler moves an activation to
+    /// its sole consumer instead of cloning it.
+    fn consumed() -> Act {
+        Act::PerSample(Tensor::zeros(Shape4::new(0, 0, 0, 0)))
+    }
 }
 
 /// Saved state of one distributed forward pass.
@@ -85,8 +111,11 @@ enum LayerImpl {
 pub struct DistPass {
     /// Output activation per layer.
     pub acts: Vec<Act>,
-    /// The (possibly redistributed) input each layer consumed.
-    pub inputs: Vec<Vec<Act>>,
+    /// Per layer, per parent edge: the input the layer consumed, saved
+    /// only when it was privately owned (redistributed) *and* backward
+    /// reads it; `None` means backward borrows the parent's activation
+    /// from [`DistPass::acts`] directly.
+    pub inputs: Vec<Vec<Option<Act>>>,
     /// Haloed input windows kept by conv/pool layers.
     pub windows: Vec<Option<DistTensor>>,
     /// Batch-norm statistics.
@@ -98,7 +127,7 @@ pub struct DistPass {
 }
 
 /// Distributed executor bound to a network, strategy, and batch size.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DistExecutor {
     /// The network architecture.
     pub spec: NetworkSpec,
@@ -106,66 +135,69 @@ pub struct DistExecutor {
     pub strategy: Strategy,
     /// Global mini-batch size.
     pub batch: usize,
-    impls: Vec<LayerImpl>,
-    /// Per-layer batched global output shapes.
-    shapes: Vec<Shape4>,
+    layers: Vec<Box<dyn DistLayer>>,
+    /// Precompiled plans, indexed `[layer][rank]`.
+    plans: Vec<Vec<LayerPlan>>,
 }
 
 impl DistExecutor {
-    /// Validate and prepare the executor.
+    /// Validate the strategy, build the layer objects, and compile every
+    /// rank's per-layer plan (the plan-once phase; the training loop
+    /// performs zero plan construction).
     pub fn new(spec: NetworkSpec, strategy: Strategy, batch: usize) -> Result<Self, StrategyError> {
         strategy.validate(&spec, batch)?;
-        let per_sample = spec.shapes();
-        let shapes: Vec<Shape4> = per_sample
-            .iter()
-            .map(|&(c, h, w)| Shape4::new(batch, c, h, w))
-            .collect();
-        let mut impls = Vec::with_capacity(spec.len());
-        for (id, l) in spec.layers().iter().enumerate() {
-            let grid = strategy.grids[id];
-            let imp = match &l.kind {
-                LayerKind::Input { .. } => {
-                    LayerImpl::Input { dist: TensorDist::new(shapes[id], grid) }
-                }
-                LayerKind::Conv { filters, kernel, stride, pad, .. } => {
-                    let p = shapes[l.parents[0]];
-                    let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
-                    LayerImpl::Conv(DistConv2d::new(batch, p.c, *filters, geom, grid))
-                }
-                LayerKind::Pool { kind, kernel, stride, pad } => {
-                    let p = shapes[l.parents[0]];
-                    let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
-                    LayerImpl::Pool(DistPool2d::new(*kind, batch, p.c, geom, grid))
-                }
-                LayerKind::BatchNorm | LayerKind::Relu | LayerKind::Add => {
-                    LayerImpl::PointwiseShard { dist: TensorDist::new(shapes[id], grid) }
-                }
-                LayerKind::GlobalAvgPool => LayerImpl::Gap,
-                LayerKind::Fc { .. } => LayerImpl::Fc,
-                LayerKind::SoftmaxCrossEntropy => {
-                    // Per-sample only when the parent actually produces
-                    // the replicated representation (GAP/FC); a conv that
-                    // happens to emit a 1×1 map is still sharded.
-                    if matches!(impls[l.parents[0]], LayerImpl::Gap | LayerImpl::Fc) {
-                        LayerImpl::LossPerSample
-                    } else {
-                        LayerImpl::LossShard
-                    }
-                }
-            };
-            impls.push(imp);
+        let mut layers = build_layers(&spec, &strategy, batch);
+
+        // Move analysis: a parent activation may be moved (not cloned)
+        // into a consumer when that consumer is the sole reader, no
+        // shuffle intervenes, and backward never touches the edge.
+        let mut consumers = vec![0usize; layers.len()];
+        for l in &layers {
+            for &p in &l.base().parents {
+                consumers[p] += 1;
+            }
         }
-        Ok(DistExecutor { spec, strategy, batch, impls, shapes })
+        let takeables: Vec<Vec<bool>> = layers
+            .iter()
+            .map(|l| {
+                let b = l.base();
+                b.parents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let no_shuffle = match (b.in_dist, b.parent_dists[i]) {
+                            (Some(want), Some(have)) => want == have,
+                            _ => true,
+                        };
+                        consumers[p] == 1 && no_shuffle && !l.needs_input_for_backward()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (l, takeable) in layers.iter_mut().zip(takeables) {
+            l.base_mut().take_parent = takeable;
+        }
+
+        let world = strategy.world_size();
+        let plans: Vec<Vec<LayerPlan>> =
+            layers.iter().map(|l| (0..world).map(|r| l.compile_plan(r)).collect()).collect();
+        Ok(DistExecutor { spec, strategy, batch, layers, plans })
     }
 
-    /// Fetch a parent activation as a shard in `want` distribution,
-    /// inserting a §III-C redistribution if the grids differ.
-    fn fetch_shard<C: Communicator>(&self, comm: &C, act: &Act, want: TensorDist) -> DistTensor {
-        let dt = act.shard();
-        if *dt.dist() == want {
-            dt.clone()
+    /// The input layer's distribution.
+    fn input_dist(&self) -> TensorDist {
+        self.layers[0].base().out_dist.expect("layer 0 is the sharded input layer")
+    }
+
+    /// This layer's plan for `rank`: borrowed from the cache, or — when
+    /// plan caching is ablated off via
+    /// [`Strategy::with_plan_caching`] — recompiled on the spot
+    /// (identical contents, measurable cost).
+    fn plan_for(&self, id: usize, rank: usize) -> Cow<'_, LayerPlan> {
+        if self.strategy.plan_cache {
+            Cow::Borrowed(&self.plans[id][rank])
         } else {
-            redistribute(comm, dt, want, [0; 4], [0; 4])
+            Cow::Owned(self.layers[id].compile_plan(rank))
         }
     }
 
@@ -179,14 +211,10 @@ impl DistExecutor {
         x: &Tensor,
         labels: Option<&Labels>,
     ) -> DistPass {
-        let input = match &self.impls[0] {
-            LayerImpl::Input { dist } => {
-                assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
-                Act::Shard(DistTensor::from_global(*dist, comm.rank(), x, [0; 4], [0; 4]))
-            }
-            _ => unreachable!("layer 0 is the input layer"),
-        };
-        self.forward_impl(comm, params, input, labels)
+        let dist = self.input_dist();
+        assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
+        let shard = DistTensor::from_global(dist, comm.rank(), x, [0; 4], [0; 4]);
+        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), labels, None)
     }
 
     /// Forward pass from a pre-sharded input (distributed data loading):
@@ -200,14 +228,13 @@ impl DistExecutor {
         x_shard: DistTensor,
         labels: Option<&Labels>,
     ) -> DistPass {
-        match &self.impls[0] {
-            LayerImpl::Input { dist } => {
-                assert_eq!(x_shard.dist(), dist, "shard does not match the input distribution");
-                assert_eq!(x_shard.rank(), comm.rank(), "shard belongs to a different rank");
-            }
-            _ => unreachable!("layer 0 is the input layer"),
-        }
-        self.forward_impl(comm, params, Act::Shard(x_shard), labels)
+        assert_eq!(
+            *x_shard.dist(),
+            self.input_dist(),
+            "shard does not match the input distribution"
+        );
+        assert_eq!(x_shard.rank(), comm.rank(), "shard belongs to a different rank");
+        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(x_shard), labels, None)
     }
 
     /// Sharded-input counterpart of [`DistExecutor::loss_and_grads`].
@@ -237,36 +264,26 @@ impl DistExecutor {
         bn_stats: &[Option<BnStats>],
     ) -> DistPass {
         assert_eq!(bn_stats.len(), self.spec.len(), "stats must align with layers");
-        let input = match &self.impls[0] {
-            LayerImpl::Input { dist } => {
-                assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
-                Act::Shard(DistTensor::from_global(*dist, comm.rank(), x, [0; 4], [0; 4]))
-            }
-            _ => unreachable!("layer 0 is the input layer"),
-        };
-        self.forward_with_bn(comm, params, input, None, Some(bn_stats))
+        let dist = self.input_dist();
+        assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
+        let shard = DistTensor::from_global(dist, comm.rank(), x, [0; 4], [0; 4]);
+        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), None, Some(bn_stats))
     }
 
-    fn forward_impl<C: Communicator>(
+    /// The plan-driven forward scheduler: per layer, execute the
+    /// precompiled input shuffles (or move sole-consumer activations),
+    /// hand the layer its context, and file its outputs into the pass.
+    fn run_forward(
         &self,
-        comm: &C,
-        params: &[LayerParams],
-        input: Act,
-        labels: Option<&Labels>,
-    ) -> DistPass {
-        self.forward_with_bn(comm, params, input, labels, None)
-    }
-
-    fn forward_with_bn<C: Communicator>(
-        &self,
-        comm: &C,
+        comm: &ErasedComm<'_>,
         params: &[LayerParams],
         input: Act,
         labels: Option<&Labels>,
         bn_override: Option<&[Option<BnStats>]>,
     ) -> DistPass {
         assert_eq!(comm.size(), self.strategy.world_size(), "communicator does not match strategy");
-        let n_layers = self.spec.len();
+        let n_layers = self.layers.len();
+        let rank = comm.rank();
         let mut pass = DistPass {
             acts: Vec::with_capacity(n_layers),
             inputs: vec![Vec::new(); n_layers],
@@ -275,122 +292,81 @@ impl DistExecutor {
             loss: None,
             loss_grad: None,
         };
+        let mut external = Some(input);
 
-        for (id, l) in self.spec.layers().iter().enumerate() {
-            let grid = self.strategy.grids[id];
-            let act = match (&self.impls[id], &l.kind) {
-                (LayerImpl::Input { .. }, _) => input.clone(),
-                (LayerImpl::Conv(conv), LayerKind::Conv { .. }) => {
-                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], conv.in_dist);
-                    let (w, b) = conv_params(&params[id]);
-                    // §IV-A: overlap halo exchange with interior compute
-                    // (bitwise-identical results either way).
-                    let (y, win) = if self.strategy.overlap_halo {
-                        crate::overlap::forward_overlapped(conv, comm, &xin, w, b)
-                    } else {
-                        conv.forward(comm, &xin, w, b)
-                    };
-                    pass.inputs[id].push(Act::Shard(xin));
-                    pass.windows[id] = Some(win);
-                    Act::Shard(y)
-                }
-                (LayerImpl::Pool(pool), _) => {
-                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], pool.in_dist);
-                    let (y, win) = pool.forward(comm, &xin);
-                    pass.inputs[id].push(Act::Shard(xin));
-                    pass.windows[id] = Some(win);
-                    Act::Shard(y)
-                }
-                (LayerImpl::PointwiseShard { dist }, LayerKind::BatchNorm) => {
-                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], *dist);
-                    let (gamma, beta) = bn_params(&params[id]);
-                    let (y, stats) = match bn_override.and_then(|o| o[id].as_ref()) {
-                        // Inference: fixed statistics, purely local.
-                        Some(st) => {
-                            let y_local = fg_kernels::batchnorm::bn_forward_with_stats(
-                                &xin.owned_tensor(),
-                                st,
-                                gamma,
-                                beta,
-                                BN_EPS,
-                            );
-                            let mut y = DistTensor::new_unpadded(*xin.dist(), xin.rank());
-                            y.set_owned(&y_local);
-                            (y, st.clone())
-                        }
-                        None => {
-                            dist_bn_forward(comm, &xin, gamma, beta, BN_EPS, self.strategy.bn_mode)
-                        }
-                    };
-                    pass.inputs[id].push(Act::Shard(xin));
-                    pass.bn_stats[id] = Some(stats);
-                    Act::Shard(y)
-                }
-                (LayerImpl::PointwiseShard { dist }, LayerKind::Relu) => {
-                    let xin = self.fetch_shard(comm, &pass.acts[l.parents[0]], *dist);
-                    let y = dist_relu_forward(&xin);
-                    pass.inputs[id].push(Act::Shard(xin));
-                    Act::Shard(y)
-                }
-                (LayerImpl::PointwiseShard { dist }, LayerKind::Add) => {
-                    let shards: Vec<DistTensor> = l
-                        .parents
-                        .iter()
-                        .map(|&p| self.fetch_shard(comm, &pass.acts[p], *dist))
-                        .collect();
-                    let refs: Vec<&DistTensor> = shards.iter().collect();
-                    let y = dist_add(&refs);
-                    for s in shards {
-                        pass.inputs[id].push(Act::Shard(s));
-                    }
-                    Act::Shard(y)
-                }
-                (LayerImpl::Gap, _) => {
-                    let xin = pass.acts[l.parents[0]].shard().clone();
-                    let y = dist_global_avg_pool(comm, &xin);
-                    pass.inputs[id].push(Act::Shard(xin));
-                    Act::PerSample(y)
-                }
-                (LayerImpl::Fc, LayerKind::Fc { out_features }) => {
-                    let xin = pass.acts[l.parents[0]].per_sample().clone();
-                    let (w, b) = fc_params(&params[id]);
-                    let y = fc_forward(&xin, w, b, *out_features);
-                    pass.inputs[id].push(Act::PerSample(xin));
-                    Act::PerSample(y)
-                }
-                (LayerImpl::LossShard, _) => {
-                    let logits = pass.acts[l.parents[0]].shard().clone();
-                    if let Some(labels) = labels {
-                        let (loss, dl) = dist_softmax_xent_shard(comm, &logits, labels);
-                        pass.loss = Some(loss);
-                        pass.loss_grad = Some(Act::Shard(dl));
-                    }
-                    Act::Shard(logits)
-                }
-                (LayerImpl::LossPerSample, _) => {
-                    let logits = pass.acts[l.parents[0]].per_sample().clone();
-                    if let Some(labels) = labels {
-                        let local = self.slice_labels(comm, grid, labels);
-                        let (loss, dl) =
-                            dist_softmax_xent_per_sample(comm, grid, &logits, &local);
-                        pass.loss = Some(loss);
-                        pass.loss_grad = Some(Act::PerSample(dl));
-                    }
-                    Act::PerSample(logits)
-                }
-                (imp, kind) => unreachable!("impl {imp:?} does not match kind {kind:?}"),
+        for id in 0..n_layers {
+            let layer = &self.layers[id];
+            let base = layer.base();
+            let plan = self.plan_for(id, rank);
+
+            // Phase 1: owned inputs — §III-C shuffles, and moves out of
+            // sole-consumer parents (no clone, the parent slot is spent).
+            let mut owned: Vec<Option<Act>> = Vec::with_capacity(base.parents.len());
+            for (i, &p) in base.parents.iter().enumerate() {
+                let o = if let Some(shuffle) = plan.in_shuffles[i].as_ref() {
+                    let src = pass.acts[p].shard_of(id, &base.kind);
+                    Some(Act::Shard(shuffle.execute(comm, src, [0; 4], [0; 4])))
+                } else if base.take_parent[i] {
+                    Some(std::mem::replace(&mut pass.acts[p], Act::consumed()))
+                } else {
+                    None
+                };
+                owned.push(o);
+            }
+            // Phase 2: everything else borrows straight from the pass.
+            let inputs: Vec<Option<FwdInput<'_>>> = owned
+                .into_iter()
+                .zip(&base.parents)
+                .map(|(o, &p)| {
+                    Some(match o {
+                        Some(a) => FwdInput::Owned(a),
+                        None => FwdInput::Borrowed(&pass.acts[p]),
+                    })
+                })
+                .collect();
+
+            let mut cx = FwdCx {
+                plan: &plan,
+                params: &params[id],
+                labels,
+                bn_override: bn_override.and_then(|o| o[id].as_ref()),
+                bn_mode: self.strategy.bn_mode,
+                overlap: self.strategy.overlap_halo,
+                rank,
+                inputs,
+                external: if base.parents.is_empty() { external.take() } else { None },
+                window: None,
+                bn_stats: None,
+                loss: None,
+                loss_grad: None,
             };
+            let act = layer.forward(comm, &mut cx);
+            let FwdCx { inputs, window, bn_stats, loss, loss_grad, .. } = cx;
+
+            // Save privately owned inputs only when backward reads them;
+            // borrowed edges resolve through the parent's activation.
+            pass.inputs[id] = if layer.needs_input_for_backward() {
+                inputs
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Some(FwdInput::Owned(a)) => Some(a),
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                vec![None; base.parents.len()]
+            };
+            pass.windows[id] = window;
+            pass.bn_stats[id] = bn_stats;
+            if let Some(l) = loss {
+                pass.loss = Some(l);
+            }
+            if let Some(g) = loss_grad {
+                pass.loss_grad = Some(g);
+            }
             pass.acts.push(act);
         }
         pass
-    }
-
-    /// Slice global classification labels to this rank's sample block.
-    fn slice_labels<C: Communicator>(&self, comm: &C, grid: ProcGrid, labels: &Labels) -> Labels {
-        assert_eq!(labels.n, self.batch, "labels do not match the batch");
-        let coords = grid.coords(comm.rank());
-        let nb = fg_comm::collectives::block_range(self.batch, grid.n, coords[0]);
-        Labels::per_sample(labels.data[nb].to_vec())
     }
 
     /// Backward pass; returns per-layer parameter gradients, identical
@@ -401,121 +377,60 @@ impl DistExecutor {
         params: &[LayerParams],
         pass: &DistPass,
     ) -> Vec<LayerParams> {
-        let n_layers = self.spec.len();
+        self.run_backward(&ErasedComm::new(comm), params, pass)
+    }
+
+    /// The plan-driven backward scheduler: loss layers seed their parent
+    /// with the saved gradient; every other layer consumes its error
+    /// signal, and its `dx` contributions are routed through the
+    /// precompiled adjoint shuffles and accumulated into the parents.
+    fn run_backward(
+        &self,
+        comm: &ErasedComm<'_>,
+        params: &[LayerParams],
+        pass: &DistPass,
+    ) -> Vec<LayerParams> {
+        let n_layers = self.layers.len();
+        let rank = comm.rank();
         let mut grads: Vec<LayerParams> = params.iter().map(|p| p.zeros_like()).collect();
         let mut dout: Vec<Option<Act>> = vec![None; n_layers];
 
         for id in (0..n_layers).rev() {
-            let l = self.spec.layer(id);
-            if matches!(l.kind, LayerKind::SoftmaxCrossEntropy) {
+            let layer = &self.layers[id];
+            let base = layer.base();
+            if layer.seeds_backward() {
                 let g = pass.loss_grad.clone().expect("backward requires labels in forward");
-                accumulate(&mut dout[l.parents[0]], g);
+                accumulate(&mut dout[base.parents[0]], g);
                 continue;
             }
             let Some(dy) = dout[id].take() else { continue };
-            match (&self.impls[id], &l.kind) {
-                (LayerImpl::Input { .. }, _) => {}
-                (LayerImpl::Conv(conv), LayerKind::Conv { .. }) => {
-                    let dy = dy.shard();
-                    let (w, b) = conv_params(&params[id]);
-                    let win = pass.windows[id].as_ref().expect("window saved in forward");
-                    // §IV-A: the dy halo exchange hides inside the
-                    // (halo-free) filter convolution when overlapping.
-                    let (dx, dw, db) = if self.strategy.overlap_halo {
-                        crate::overlap::backward_overlapped(conv, comm, win, dy, w, b.is_some())
-                    } else {
-                        let dx = conv.backward_data(comm, dy, w);
-                        let (dw, db) = conv.backward_filter(comm, win, dy, b.is_some());
-                        (dx, dw, db)
-                    };
-                    grads[id] = LayerParams::Conv { w: dw, b: db };
-                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
-                }
-                (LayerImpl::Pool(pool), _) => {
-                    let dy = dy.shard();
-                    let win = pass.windows[id].as_ref().expect("window saved in forward");
-                    let dx = pool.backward(comm, win, dy);
-                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
-                }
-                (LayerImpl::PointwiseShard { .. }, LayerKind::BatchNorm) => {
-                    let dy = dy.shard();
-                    let xin = pass.inputs[id][0].shard();
-                    let stats = pass.bn_stats[id].as_ref().expect("BN stats saved");
-                    let (gamma, _beta) = bn_params(&params[id]);
-                    let (dx, dgamma, dbeta) = dist_bn_backward(
-                        comm,
-                        xin,
-                        dy,
-                        stats,
-                        gamma,
-                        BN_EPS,
-                        self.strategy.bn_mode,
-                    );
-                    grads[id] = LayerParams::Bn { gamma: dgamma, beta: dbeta };
-                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
-                }
-                (LayerImpl::PointwiseShard { .. }, LayerKind::Relu) => {
-                    let dy = dy.shard();
-                    let xin = pass.inputs[id][0].shard();
-                    let dx = dist_relu_backward(xin, dy);
-                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
-                }
-                (LayerImpl::PointwiseShard { .. }, LayerKind::Add) => {
-                    let dy = dy.shard();
-                    for &p in &l.parents {
-                        self.push_to_parent(comm, &mut dout, p, dy.clone());
+            if base.parents.is_empty() {
+                continue;
+            }
+            let plan = self.plan_for(id, rank);
+            let cx = BwdCx {
+                plan: &plan,
+                params: &params[id],
+                pass,
+                bn_mode: self.strategy.bn_mode,
+                overlap: self.strategy.overlap_halo,
+                rank,
+            };
+            let out = layer.backward(comm, &cx, dy);
+            if let Some(g) = out.grads {
+                grads[id] = g;
+            }
+            for (i, dact) in out.dparents {
+                let routed = match (plan.back_shuffles[i].as_ref(), dact) {
+                    (Some(shuffle), Act::Shard(dt)) => {
+                        Act::Shard(shuffle.execute(comm, &dt, [0; 4], [0; 4]))
                     }
-                }
-                (LayerImpl::Gap, _) => {
-                    let dy = dy.per_sample();
-                    let xin = pass.inputs[id][0].shard();
-                    let dx = dist_global_avg_pool_backward(xin, dy);
-                    // GAP's parent shares its grid (per-sample validation),
-                    // so no redistribution is needed, but route uniformly.
-                    self.push_to_parent(comm, &mut dout, l.parents[0], dx);
-                }
-                (LayerImpl::Fc, _) => {
-                    let dy = dy.per_sample();
-                    let xin = pass.inputs[id][0].per_sample();
-                    let (w, _b) = fc_params(&params[id]);
-                    let (dx, dw, db) = fc_backward(xin, w, dy);
-                    // Sum FC gradients over distinct sample blocks only
-                    // (replicas within a sample group hold identical
-                    // partials).
-                    let group = cross_section_group(comm, self.strategy.grids[id]);
-                    let mut flat = dw.as_slice().to_vec();
-                    flat.extend_from_slice(&db);
-                    let flat = group.allreduce(&flat, ReduceOp::Sum);
-                    let dw_len = dw.len();
-                    grads[id] = LayerParams::Fc {
-                        w: Tensor::from_vec(dw.shape(), flat[..dw_len].to_vec()),
-                        b: flat[dw_len..].to_vec(),
-                    };
-                    accumulate(&mut dout[l.parents[0]], Act::PerSample(dx));
-                }
-                (LayerImpl::LossShard | LayerImpl::LossPerSample, _) => unreachable!(),
-                (imp, kind) => unreachable!("impl {imp:?} does not match kind {kind:?}"),
+                    (_, a) => a,
+                };
+                accumulate(&mut dout[base.parents[i]], routed);
             }
         }
         grads
-    }
-
-    /// Route a sharded error signal to a parent, redistributing back to
-    /// the parent's grid when it differs (backward §III-C shuffle).
-    fn push_to_parent<C: Communicator>(
-        &self,
-        comm: &C,
-        dout: &mut [Option<Act>],
-        parent: usize,
-        dx: DistTensor,
-    ) {
-        let want = TensorDist::new(self.shapes[parent], self.strategy.grids[parent]);
-        let routed = if *dx.dist() == want {
-            dx
-        } else {
-            redistribute(comm, &dx, want, [0; 4], [0; 4])
-        };
-        accumulate(&mut dout[parent], Act::Shard(routed));
     }
 
     /// Forward + backward; returns `(loss, grads)`.
@@ -561,32 +476,12 @@ fn accumulate(slot: &mut Option<Act>, g: Act) {
     }
 }
 
-fn conv_params(p: &LayerParams) -> (&Tensor, Option<&[f32]>) {
-    match p {
-        LayerParams::Conv { w, b } => (w, b.as_deref()),
-        other => panic!("expected conv params, found {other:?}"),
-    }
-}
-
-fn bn_params(p: &LayerParams) -> (&[f32], &[f32]) {
-    match p {
-        LayerParams::Bn { gamma, beta } => (gamma, beta),
-        other => panic!("expected bn params, found {other:?}"),
-    }
-}
-
-fn fc_params(p: &LayerParams) -> (&Tensor, &[f32]) {
-    match p {
-        LayerParams::Fc { w, b } => (w, b),
-        other => panic!("expected fc params, found {other:?}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use fg_comm::run_ranks;
     use fg_nn::Network;
+    use fg_tensor::ProcGrid;
 
     /// A miniature mesh-tangling style segmentation model: conv-bn-relu
     /// blocks with a final prediction conv and per-pixel loss (§VI).
@@ -772,24 +667,48 @@ mod tests {
         let (x, labels) = seg_batch(2, 16, 16);
         let net = Network::init(spec.clone(), 21);
         let grid = ProcGrid::spatial(2, 2);
-        let with = DistExecutor::new(
-            spec.clone(),
-            Strategy::uniform(&spec, grid).with_overlap(true),
-            2,
-        )
-        .unwrap();
-        let without = DistExecutor::new(
-            spec.clone(),
-            Strategy::uniform(&spec, grid).with_overlap(false),
-            2,
-        )
-        .unwrap();
+        let with =
+            DistExecutor::new(spec.clone(), Strategy::uniform(&spec, grid).with_overlap(true), 2)
+                .unwrap();
+        let without =
+            DistExecutor::new(spec.clone(), Strategy::uniform(&spec, grid).with_overlap(false), 2)
+                .unwrap();
         let a = run_ranks(4, |comm| with.loss_and_grads(comm, &net.params, &x, &labels));
         let b = run_ranks(4, |comm| without.loss_and_grads(comm, &net.params, &x, &labels));
         for ((la, ga), (lb, gb)) in a.iter().zip(&b) {
             assert_eq!(la, lb, "overlap changed the loss");
             for (x, y) in ga.iter().zip(gb) {
                 assert_eq!(x.to_flat(), y.to_flat(), "overlap changed gradients");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_caching_is_bitwise_identical() {
+        // Recompiling plans per invocation (the ablation baseline) must
+        // not change a single bit of losses or gradients.
+        let spec = mini_resnet();
+        let (x, labels) = cls_batch(4);
+        let net = Network::init(spec.clone(), 11);
+        let grid = ProcGrid::hybrid(2, 1, 2);
+        let cached = DistExecutor::new(
+            spec.clone(),
+            Strategy::uniform(&spec, grid).with_plan_caching(true),
+            4,
+        )
+        .unwrap();
+        let fresh = DistExecutor::new(
+            spec.clone(),
+            Strategy::uniform(&spec, grid).with_plan_caching(false),
+            4,
+        )
+        .unwrap();
+        let a = run_ranks(4, |comm| cached.loss_and_grads(comm, &net.params, &x, &labels));
+        let b = run_ranks(4, |comm| fresh.loss_and_grads(comm, &net.params, &x, &labels));
+        for ((la, ga), (lb, gb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb, "plan caching changed the loss");
+            for (x, y) in ga.iter().zip(gb) {
+                assert_eq!(x.to_flat(), y.to_flat(), "plan caching changed gradients");
             }
         }
     }

@@ -1,0 +1,86 @@
+//! [`DistLayer`] driver for distributed convolution
+//! ([`crate::DistConv2d`] holds the math; see `distconv.rs`).
+
+use fg_comm::ErasedComm;
+use fg_nn::LayerParams;
+use fg_tensor::Tensor;
+
+use crate::distconv::DistConv2d;
+use crate::executor::Act;
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::overlap::{backward_overlapped_with_plans, forward_overlapped_with_plans, InteriorPlan};
+
+fn conv_params(p: &LayerParams) -> (&Tensor, Option<&[f32]>) {
+    match p {
+        LayerParams::Conv { w, b } => (w, b.as_deref()),
+        other => panic!("expected conv params, found {other:?}"),
+    }
+}
+
+/// [`DistLayer`] driver for [`DistConv2d`].
+#[derive(Debug)]
+pub struct ConvLayer {
+    base: LayerBase,
+    conv: DistConv2d,
+}
+
+impl ConvLayer {
+    /// Wrap a convolution layer for uniform scheduling.
+    pub fn new(base: LayerBase, conv: DistConv2d) -> Self {
+        ConvLayer { base, conv }
+    }
+}
+
+impl DistLayer for ConvLayer {
+    fn base(&self) -> &LayerBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut LayerBase {
+        &mut self.base
+    }
+
+    fn compile_plan(&self, rank: usize) -> LayerPlan {
+        let mut plan = self.base.compile_io(rank);
+        plan.x_halo = Some(self.conv.x_halo_plan(rank));
+        plan.dy_halo = Some(self.conv.dy_halo_plan(rank));
+        plan.interior = Some(InteriorPlan::build(&self.conv, rank));
+        plan
+    }
+
+    fn forward(&self, comm: &ErasedComm<'_>, cx: &mut FwdCx<'_>) -> Act {
+        let x = cx.input(0).shard_of(self.base.id, &self.base.kind);
+        let (w, b) = conv_params(cx.params);
+        let x_halo = cx.plan.x_halo.as_ref().expect("conv plan has an x halo");
+        // §IV-A: overlap halo exchange with interior compute
+        // (bitwise-identical results either way).
+        let (y, win) = if cx.overlap {
+            let iplan = cx.plan.interior.as_ref().expect("conv plan has an interior plan");
+            forward_overlapped_with_plans(&self.conv, comm, x, w, b, x_halo, iplan)
+        } else {
+            self.conv.forward_with_plan(comm, x, w, b, x_halo)
+        };
+        cx.window = Some(win);
+        Act::Shard(y)
+    }
+
+    fn backward(&self, comm: &ErasedComm<'_>, cx: &BwdCx<'_>, dy: Act) -> BwdOut {
+        let dy = dy.into_shard_of(self.base.id, &self.base.kind);
+        let (w, b) = conv_params(cx.params);
+        let win = cx.window(&self.base);
+        let dy_halo = cx.plan.dy_halo.as_ref().expect("conv plan has a dy halo");
+        // §IV-A: the dy halo exchange hides inside the (halo-free)
+        // filter convolution when overlapping.
+        let (dx, dw, db) = if cx.overlap {
+            backward_overlapped_with_plans(&self.conv, comm, win, &dy, w, b.is_some(), dy_halo)
+        } else {
+            let dx = self.conv.backward_data_with_plan(comm, &dy, w, dy_halo);
+            let (dw, db) = self.conv.backward_filter(comm, win, &dy, b.is_some());
+            (dx, dw, db)
+        };
+        BwdOut {
+            dparents: vec![(0, Act::Shard(dx))],
+            grads: Some(LayerParams::Conv { w: dw, b: db }),
+        }
+    }
+}

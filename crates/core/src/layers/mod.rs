@@ -1,0 +1,129 @@
+//! Distributed layer implementations (paper §III) behind the
+//! plan-once/execute-many [`DistLayer`] interface.
+//!
+//! Each submodule holds one layer family: its distributed math (free
+//! functions and layer structs, exactly as before the refactor) plus its
+//! [`DistLayer`] impl, which the executor drives uniformly:
+//!
+//! * [`plan`] — the [`LayerPlan`]/[`DistLayer`] interface itself;
+//! * [`conv`] — distributed convolution ([`crate::DistConv2d`] driver);
+//! * [`pool`] — distributed pooling ([`DistPool2d`]);
+//! * [`batchnorm`] — batch normalization ([`BnMode`], `dist_bn_*`);
+//! * [`pointwise`] — ReLU and residual add;
+//! * [`gap`] — global average pooling (shard → per-sample replicated);
+//! * [`fc`] — fully connected layers on per-sample activations;
+//! * [`loss`] — softmax cross-entropy (sharded and per-sample);
+//! * [`groups`] — spatial / cross-section sub-communicator layouts;
+//! * [`input`] — the input layer (external activation intake).
+
+pub mod batchnorm;
+pub mod conv;
+pub mod fc;
+pub mod gap;
+pub mod groups;
+pub mod input;
+pub mod loss;
+pub mod plan;
+pub mod pointwise;
+pub mod pool;
+
+pub use batchnorm::{dist_bn_backward, dist_bn_forward, BatchNormLayer, BnMode};
+pub use conv::ConvLayer;
+pub use fc::FcLayer;
+pub use gap::{
+    dist_global_avg_pool, dist_global_avg_pool_backward, dist_global_avg_pool_with_group, GapLayer,
+};
+pub use groups::{
+    cross_section_group, cross_section_group_layout, spatial_group, spatial_group_layout,
+};
+pub use input::InputLayer;
+pub use loss::{
+    dist_softmax_xent_per_sample, dist_softmax_xent_per_sample_with_group, dist_softmax_xent_shard,
+    SoftmaxLossLayer,
+};
+pub use plan::{BwdCx, BwdOut, DistLayer, FwdCx, FwdInput, LayerBase, LayerPlan};
+pub use pointwise::{dist_add, dist_relu_backward, dist_relu_forward, AddLayer, ReluLayer};
+pub use pool::{DistPool2d, PoolLayer};
+
+use fg_kernels::conv::ConvGeometry;
+use fg_nn::{LayerKind, NetworkSpec};
+use fg_tensor::{Shape4, TensorDist};
+
+use crate::distconv::DistConv2d;
+use crate::strategy::Strategy;
+
+/// Build the per-layer [`DistLayer`] objects for a validated
+/// spec/strategy pair. Called once by `DistExecutor::new`; the executor
+/// then schedules these uniformly and never matches on layer kinds.
+pub(crate) fn build_layers(
+    spec: &NetworkSpec,
+    strategy: &Strategy,
+    batch: usize,
+) -> Vec<Box<dyn DistLayer>> {
+    let shapes: Vec<Shape4> =
+        spec.shapes().iter().map(|&(c, h, w)| Shape4::new(batch, c, h, w)).collect();
+    let mut layers: Vec<Box<dyn DistLayer>> = Vec::with_capacity(spec.len());
+    let mut out_dists: Vec<Option<TensorDist>> = Vec::with_capacity(spec.len());
+    for (id, l) in spec.layers().iter().enumerate() {
+        let grid = strategy.grids[id];
+        let parent_dists: Vec<Option<TensorDist>> =
+            l.parents.iter().map(|&p| out_dists[p]).collect();
+        let base = |in_dist: Option<TensorDist>, out_dist: Option<TensorDist>| LayerBase {
+            id,
+            name: l.name.clone(),
+            kind: l.kind.clone(),
+            parents: l.parents.clone(),
+            grid,
+            in_dist,
+            out_dist,
+            parent_dists: parent_dists.clone(),
+            // Filled in by the executor's move analysis once all layers
+            // exist (it needs per-layer consumer counts).
+            take_parent: vec![false; l.parents.len()],
+        };
+        let sharded = TensorDist::new(shapes[id], grid);
+        let layer: Box<dyn DistLayer> = match &l.kind {
+            LayerKind::Input { .. } => Box::new(InputLayer::new(base(None, Some(sharded)))),
+            LayerKind::Conv { filters, kernel, stride, pad, .. } => {
+                let p = shapes[l.parents[0]];
+                let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
+                let conv = DistConv2d::new(batch, p.c, *filters, geom, grid);
+                let b = base(Some(conv.in_dist), Some(conv.out_dist));
+                Box::new(ConvLayer::new(b, conv))
+            }
+            LayerKind::Pool { kind, kernel, stride, pad } => {
+                let p = shapes[l.parents[0]];
+                let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
+                let pool = DistPool2d::new(*kind, batch, p.c, geom, grid);
+                let b = base(Some(pool.in_dist), Some(pool.out_dist));
+                Box::new(PoolLayer::new(b, pool))
+            }
+            LayerKind::BatchNorm => {
+                Box::new(batchnorm::BatchNormLayer::new(base(Some(sharded), Some(sharded))))
+            }
+            LayerKind::Relu => Box::new(ReluLayer::new(base(Some(sharded), Some(sharded)))),
+            LayerKind::Add => Box::new(AddLayer::new(base(Some(sharded), Some(sharded)))),
+            LayerKind::GlobalAvgPool => {
+                let in_dist = TensorDist::new(shapes[l.parents[0]], grid);
+                Box::new(GapLayer::new(base(Some(in_dist), None)))
+            }
+            LayerKind::Fc { out_features } => {
+                Box::new(FcLayer::new(base(None, None), *out_features))
+            }
+            LayerKind::SoftmaxCrossEntropy => {
+                // Per-sample only when the parent actually produces the
+                // replicated representation (GAP/FC); a conv that happens
+                // to emit a 1×1 map is still sharded.
+                let parent_kind = &spec.layer(l.parents[0]).kind;
+                let per_sample =
+                    matches!(parent_kind, LayerKind::GlobalAvgPool | LayerKind::Fc { .. });
+                let b =
+                    if per_sample { base(None, None) } else { base(Some(sharded), Some(sharded)) };
+                Box::new(SoftmaxLossLayer::new(b, per_sample, batch))
+            }
+        };
+        out_dists.push(layer.base().out_dist);
+        layers.push(layer);
+    }
+    layers
+}

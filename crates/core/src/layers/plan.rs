@@ -1,0 +1,279 @@
+//! The plan-once/execute-many layer interface.
+//!
+//! The paper's implementation sets up all communication for a layer when
+//! the network is constructed and reuses it every iteration. Here that
+//! structure is explicit: `DistExecutor::new` compiles one [`LayerPlan`]
+//! per layer per rank — shuffle geometry for mismatched parent grids,
+//! halo plans (forward and adjoint), the interior/boundary decomposition
+//! for overlap mode, and sub-communicator layouts — and the training
+//! loop executes the plans without rebuilding any geometry.
+//!
+//! [`DistLayer`] is the uniform interface the executor schedules:
+//! `compile_plan` runs once at construction, `forward`/`backward` run
+//! every step against an [`FwdCx`]/[`BwdCx`] holding the plan, the
+//! layer's parameters, and its (possibly redistributed) inputs.
+
+use std::ops::Range;
+
+use fg_comm::{ErasedComm, SubCommLayout};
+use fg_kernels::batchnorm::BnStats;
+use fg_kernels::loss::Labels;
+use fg_nn::{LayerKind, LayerParams};
+use fg_tensor::halo::HaloPlan;
+use fg_tensor::shuffle::ShufflePlan;
+use fg_tensor::{DistTensor, ProcGrid, TensorDist};
+
+use crate::executor::{Act, DistPass};
+use crate::layers::BnMode;
+use crate::overlap::InteriorPlan;
+
+/// One rank's precompiled communication/compute geometry for one layer.
+/// Built by [`DistLayer::compile_plan`]; every field a layer does not
+/// use stays `None`/empty.
+#[derive(Debug, Clone, Default)]
+pub struct LayerPlan {
+    /// Per parent edge: the §III-C shuffle bringing the parent's output
+    /// into this layer's input distribution (`None` when they match or
+    /// the edge is per-sample).
+    pub in_shuffles: Vec<Option<ShufflePlan>>,
+    /// Per parent edge: the adjoint shuffle routing this layer's `dx`
+    /// back to the parent's distribution.
+    pub back_shuffles: Vec<Option<ShufflePlan>>,
+    /// Forward halo plan for the input window (conv/pool).
+    pub x_halo: Option<HaloPlan>,
+    /// Adjoint halo plan for the error-signal window (conv/pool).
+    pub dy_halo: Option<HaloPlan>,
+    /// Interior/boundary decomposition for §IV-A overlap mode (conv).
+    pub interior: Option<InteriorPlan>,
+    /// Spatial sub-communicator layout (global average pooling).
+    pub spatial_group: Option<SubCommLayout>,
+    /// Cross-section sub-communicator layout (FC, per-sample loss).
+    pub cross_group: Option<SubCommLayout>,
+    /// This rank's sample block of the global labels (per-sample loss).
+    pub label_range: Option<Range<usize>>,
+}
+
+/// Spec- and strategy-derived identity shared by every layer object.
+#[derive(Debug, Clone)]
+pub struct LayerBase {
+    /// Layer index in the network spec.
+    pub id: usize,
+    /// Layer name from the spec.
+    pub name: String,
+    /// Layer kind (for diagnostics and panic context).
+    pub kind: LayerKind,
+    /// Parent layer indices.
+    pub parents: Vec<usize>,
+    /// This layer's process grid.
+    pub grid: ProcGrid,
+    /// Distribution this layer consumes sharded inputs in (`None` when
+    /// its inputs are per-sample replicated).
+    pub in_dist: Option<TensorDist>,
+    /// Distribution of this layer's own sharded output (`None` for
+    /// per-sample producers: GAP, FC, per-sample loss).
+    pub out_dist: Option<TensorDist>,
+    /// Each parent's `out_dist`, for compiling the backward shuffles.
+    pub parent_dists: Vec<Option<TensorDist>>,
+    /// Per parent edge: may the scheduler *move* the parent's activation
+    /// out of the pass instead of borrowing it? True only when this
+    /// layer is the sole consumer, no shuffle intervenes, and nothing
+    /// reads the parent activation in backward.
+    pub take_parent: Vec<bool>,
+}
+
+impl LayerBase {
+    /// Compile the shuffle geometry shared by all layer kinds: one
+    /// forward and one adjoint [`ShufflePlan`] per parent edge whose
+    /// distributions differ.
+    pub fn compile_io(&self, rank: usize) -> LayerPlan {
+        let mut plan = LayerPlan::default();
+        for pd in &self.parent_dists {
+            let (fwd, back) = match (&self.in_dist, pd) {
+                (Some(want), Some(have)) if want != have => (
+                    Some(ShufflePlan::build(*have, *want, rank)),
+                    Some(ShufflePlan::build(*want, *have, rank)),
+                ),
+                _ => (None, None),
+            };
+            plan.in_shuffles.push(fwd);
+            plan.back_shuffles.push(back);
+        }
+        plan
+    }
+}
+
+/// A uniformly schedulable distributed layer. Object-safe: the executor
+/// holds `Vec<Box<dyn DistLayer>>` and drives plans through
+/// [`ErasedComm`], never matching on layer kinds itself.
+pub trait DistLayer: std::fmt::Debug + Send + Sync {
+    /// The layer's spec/strategy-derived identity.
+    fn base(&self) -> &LayerBase;
+
+    /// Mutable access for the executor's post-construction move
+    /// analysis (fills [`LayerBase::take_parent`]).
+    fn base_mut(&mut self) -> &mut LayerBase;
+
+    /// Compile this rank's plan — pure geometry, no communication.
+    /// Called once per rank in `DistExecutor::new` (or per invocation
+    /// when plan caching is ablated off).
+    fn compile_plan(&self, rank: usize) -> LayerPlan;
+
+    /// Execute the planned forward step; returns the output activation.
+    /// Side outputs (kept windows, BN statistics, losses) go into `cx`.
+    fn forward(&self, comm: &ErasedComm<'_>, cx: &mut FwdCx<'_>) -> Act;
+
+    /// Execute the planned backward step for error signal `dy`;
+    /// `dx` contributions come back in this layer's input distribution
+    /// (the scheduler applies the adjoint shuffles).
+    fn backward(&self, comm: &ErasedComm<'_>, cx: &BwdCx<'_>, dy: Act) -> BwdOut;
+
+    /// Does this layer originate the backward pass (loss layers)? The
+    /// scheduler seeds its parent with the saved loss gradient instead
+    /// of calling [`DistLayer::backward`].
+    fn seeds_backward(&self) -> bool {
+        false
+    }
+
+    /// Does [`DistLayer::backward`] read this layer's forward input
+    /// (via [`BwdCx::input`])? Gates both input saving and the
+    /// move-instead-of-clone analysis.
+    fn needs_input_for_backward(&self) -> bool {
+        false
+    }
+}
+
+/// A forward input slot: borrowed straight from the pass when the
+/// parent's distribution already matches, owned when it was shuffled or
+/// moved in.
+// One slot per parent edge, alive for a single layer invocation;
+// boxing the owned variant would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum FwdInput<'a> {
+    /// Borrowed from the parent's saved activation (zero copies).
+    Borrowed(&'a Act),
+    /// Owned by this layer (redistributed, or moved from a sole-consumer
+    /// parent).
+    Owned(Act),
+}
+
+impl FwdInput<'_> {
+    /// View the activation.
+    pub fn act(&self) -> &Act {
+        match self {
+            FwdInput::Borrowed(a) => a,
+            FwdInput::Owned(a) => a,
+        }
+    }
+}
+
+/// Everything a layer's forward step reads and writes besides its output
+/// activation. Built fresh by the scheduler each step; the `plan` points
+/// at precompiled geometry.
+#[derive(Debug)]
+pub struct FwdCx<'a> {
+    /// This layer's precompiled plan.
+    pub plan: &'a LayerPlan,
+    /// This layer's parameters.
+    pub params: &'a LayerParams,
+    /// Global labels (loss layers; `None` for label-free passes).
+    pub labels: Option<&'a Labels>,
+    /// Fixed statistics for BN inference mode.
+    pub bn_override: Option<&'a BnStats>,
+    /// Batch-norm statistics scope.
+    pub bn_mode: BnMode,
+    /// §IV-A overlap mode.
+    pub overlap: bool,
+    /// This rank.
+    pub rank: usize,
+    /// Input slots, one per parent edge, in parent order. `None` once
+    /// taken via [`FwdCx::take_input`].
+    pub inputs: Vec<Option<FwdInput<'a>>>,
+    /// The externally supplied activation (input layer only).
+    pub external: Option<Act>,
+    /// Out: haloed input window kept for backward (conv/pool).
+    pub window: Option<DistTensor>,
+    /// Out: batch-norm statistics.
+    pub bn_stats: Option<BnStats>,
+    /// Out: global mean loss.
+    pub loss: Option<f64>,
+    /// Out: ∂loss/∂logits in this layer's representation.
+    pub loss_grad: Option<Act>,
+}
+
+impl FwdCx<'_> {
+    /// View input `i`.
+    pub fn input(&self, i: usize) -> &Act {
+        self.inputs[i].as_ref().expect("forward input already taken").act()
+    }
+
+    /// Take ownership of input `i`: moves when owned, clones when
+    /// borrowed. The slot is emptied either way (nothing gets saved).
+    pub fn take_input(&mut self, i: usize) -> Act {
+        match self.inputs[i].take().expect("forward input already taken") {
+            FwdInput::Owned(a) => a,
+            FwdInput::Borrowed(a) => a.clone(),
+        }
+    }
+}
+
+/// Read-only view of the saved pass a layer's backward step runs
+/// against.
+#[derive(Debug)]
+pub struct BwdCx<'a> {
+    /// This layer's precompiled plan.
+    pub plan: &'a LayerPlan,
+    /// This layer's parameters.
+    pub params: &'a LayerParams,
+    /// The saved forward pass.
+    pub pass: &'a DistPass,
+    /// Batch-norm statistics scope.
+    pub bn_mode: BnMode,
+    /// §IV-A overlap mode.
+    pub overlap: bool,
+    /// This rank.
+    pub rank: usize,
+}
+
+impl BwdCx<'_> {
+    /// The activation this layer consumed as input `i` in forward: the
+    /// privately saved copy when one was kept (redistributed inputs),
+    /// otherwise the parent's own activation (which the move analysis
+    /// guarantees is still in the pass).
+    pub fn input(&self, base: &LayerBase, i: usize) -> &Act {
+        self.pass.inputs[base.id][i].as_ref().unwrap_or(&self.pass.acts[base.parents[i]])
+    }
+
+    /// The haloed input window saved in forward.
+    pub fn window(&self, base: &LayerBase) -> &DistTensor {
+        self.pass.windows[base.id].as_ref().unwrap_or_else(|| {
+            panic!("layer {} ({:?}): no window saved in forward", base.id, base.kind)
+        })
+    }
+
+    /// The batch-norm statistics saved in forward.
+    pub fn bn_stats(&self, base: &LayerBase) -> &BnStats {
+        self.pass.bn_stats[base.id].as_ref().unwrap_or_else(|| {
+            panic!("layer {} ({:?}): no BN statistics saved in forward", base.id, base.kind)
+        })
+    }
+}
+
+/// What a layer's backward step produced.
+#[derive(Debug)]
+pub struct BwdOut {
+    /// `(parent edge index, dx)` contributions, each in this layer's
+    /// input distribution; the scheduler applies the adjoint shuffles
+    /// and accumulates into the parents' error slots.
+    pub dparents: Vec<(usize, Act)>,
+    /// Parameter gradients, already globally reduced (identical on all
+    /// ranks), if the layer has parameters.
+    pub grads: Option<LayerParams>,
+}
+
+impl BwdOut {
+    /// No contributions (input layer).
+    pub fn none() -> BwdOut {
+        BwdOut { dparents: Vec::new(), grads: None }
+    }
+}

@@ -1,0 +1,318 @@
+//! Distributed 2-D pooling (paper §III-B): partitioned like convolution,
+//! with halo exchanges sized from the pooling window.
+
+use fg_comm::{Communicator, ErasedComm};
+use fg_kernels::conv::ConvGeometry;
+use fg_kernels::pool::{pool2d_backward_region, pool2d_forward_region, PoolKind};
+use fg_tensor::halo::{exchange_halo_with_plan, HaloPlan};
+use fg_tensor::{DistTensor, ProcGrid, Shape4, TensorDist, NDIMS};
+
+use crate::executor::Act;
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+
+/// A distributed 2-D pooling layer.
+#[derive(Debug, Clone)]
+pub struct DistPool2d {
+    /// Pooling kind.
+    pub kind: PoolKind,
+    /// Window geometry (reuses the convolution geometry container).
+    pub geom: ConvGeometry,
+    /// Input distribution.
+    pub in_dist: TensorDist,
+    /// Output distribution.
+    pub out_dist: TensorDist,
+    x_margins: ([usize; NDIMS], [usize; NDIMS]),
+    dy_margins: ([usize; NDIMS], [usize; NDIMS]),
+}
+
+impl DistPool2d {
+    /// Create a pooling layer over `grid` (channel extent must be 1).
+    pub fn new(kind: PoolKind, n: usize, c: usize, geom: ConvGeometry, grid: ProcGrid) -> Self {
+        assert_eq!(grid.c, 1, "pooling does not partition channels");
+        let in_shape = Shape4::new(n, c, geom.in_h, geom.in_w);
+        let out_shape = Shape4::new(n, c, geom.out_h(), geom.out_w());
+        let in_dist = TensorDist::new(in_shape, grid);
+        let out_dist = TensorDist::new(out_shape, grid);
+        assert!(
+            in_dist.is_fully_populated() && out_dist.is_fully_populated(),
+            "grid {grid} leaves ranks without work for pooling on {in_shape}"
+        );
+        // The x window must cover forward taps of the owned output block
+        // AND (for backward) the taps of every output contributing to the
+        // owned input block. Take the elementwise max of the two needs.
+        let h = margin_max(
+            grid.h,
+            in_shape.h,
+            out_shape.h,
+            |o0, o1| geom.input_rows_for_output(o0, o1),
+            |i0, i1| geom.output_rows_for_input(i0, i1),
+        );
+        let w = margin_max(
+            grid.w,
+            in_shape.w,
+            out_shape.w,
+            |o0, o1| geom.input_cols_for_output(o0, o1),
+            |i0, i1| geom.output_cols_for_input(i0, i1),
+        );
+        let x_margins = ([0, 0, h.0 .0, w.0 .0], [0, 0, h.0 .1, w.0 .1]);
+        let dy_margins = ([0, 0, h.1 .0, w.1 .0], [0, 0, h.1 .1, w.1 .1]);
+        DistPool2d { kind, geom, in_dist, out_dist, x_margins, dy_margins }
+    }
+
+    /// The forward halo plan for this rank's input window.
+    pub fn x_halo_plan(&self, rank: usize) -> HaloPlan {
+        HaloPlan::for_layout(&self.in_dist, rank, self.x_margins.0, self.x_margins.1)
+    }
+
+    /// The backward halo plan for this rank's error-signal window.
+    pub fn dy_halo_plan(&self, rank: usize) -> HaloPlan {
+        HaloPlan::for_layout(&self.out_dist, rank, self.dy_margins.0, self.dy_margins.1)
+    }
+
+    /// Forward pooling; returns `(y, x_window)`.
+    pub fn forward<C: Communicator>(&self, comm: &C, x: &DistTensor) -> (DistTensor, DistTensor) {
+        self.forward_with_plan(comm, x, &self.x_halo_plan(comm.rank()))
+    }
+
+    /// [`DistPool2d::forward`] with a precompiled halo plan.
+    pub fn forward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        plan: &HaloPlan,
+    ) -> (DistTensor, DistTensor) {
+        debug_assert_eq!(*x.dist(), self.in_dist);
+        let mut win = x.to_window(self.x_margins.0, self.x_margins.1);
+        exchange_halo_with_plan(comm, &mut win, plan);
+        let mut y = DistTensor::new_unpadded(self.out_dist, comm.rank());
+        let ob = y.own_box();
+        let local = pool2d_forward_region(
+            self.kind,
+            win.local(),
+            (win.origin()[2], win.origin()[3]),
+            &self.geom,
+            (ob.lo[2], ob.hi[2]),
+            (ob.lo[3], ob.hi[3]),
+        );
+        y.set_owned(&local);
+        (y, win)
+    }
+
+    /// Backward pooling: error signal for the parent.
+    pub fn backward<C: Communicator>(
+        &self,
+        comm: &C,
+        x_window: &DistTensor,
+        dy: &DistTensor,
+    ) -> DistTensor {
+        self.backward_with_plan(comm, x_window, dy, &self.dy_halo_plan(comm.rank()))
+    }
+
+    /// [`DistPool2d::backward`] with a precompiled dy halo plan.
+    pub fn backward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x_window: &DistTensor,
+        dy: &DistTensor,
+        plan: &HaloPlan,
+    ) -> DistTensor {
+        debug_assert_eq!(*dy.dist(), self.out_dist);
+        let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
+        exchange_halo_with_plan(comm, &mut dyw, plan);
+        let mut dx = DistTensor::new_unpadded(self.in_dist, comm.rank());
+        let ib = dx.own_box();
+        let local = pool2d_backward_region(
+            self.kind,
+            x_window.local(),
+            (x_window.origin()[2], x_window.origin()[3]),
+            dyw.local(),
+            (dyw.origin()[2], dyw.origin()[3]),
+            &self.geom,
+            (ib.lo[2], ib.hi[2]),
+            (ib.lo[3], ib.hi[3]),
+        );
+        dx.set_owned(&local);
+        dx
+    }
+}
+
+/// For one dimension, compute `(x_margins, dy_margins)` as
+/// `((lo, hi), (lo, hi))` covering both forward and backward needs.
+#[allow(clippy::type_complexity)]
+fn margin_max(
+    parts: usize,
+    in_total: usize,
+    out_total: usize,
+    in_for_out: impl Fn(usize, usize) -> (i64, i64),
+    out_for_in: impl Fn(usize, usize) -> (usize, usize),
+) -> ((usize, usize), (usize, usize)) {
+    let mut x_lo = 0i64;
+    let mut x_hi = 0i64;
+    let mut d_lo = 0i64;
+    let mut d_hi = 0i64;
+    for g in 0..parts {
+        let ib = fg_comm::collectives::block_range(in_total, parts, g);
+        let ob = fg_comm::collectives::block_range(out_total, parts, g);
+        // Forward: x needed for own output block.
+        let (lo, hi) = in_for_out(ob.start, ob.end);
+        x_lo = x_lo.max(ib.start as i64 - lo);
+        x_hi = x_hi.max(hi - ib.end as i64);
+        // Backward: outputs touching own input block...
+        let (q0, q1) = out_for_in(ib.start, ib.end);
+        d_lo = d_lo.max(ob.start as i64 - q0 as i64);
+        d_hi = d_hi.max(q1 as i64 - ob.end as i64);
+        // ...and the x taps of those outputs (the backward kernel walks
+        // each contributing window over x).
+        if q0 < q1 {
+            let (lo, hi) = in_for_out(q0, q1);
+            x_lo = x_lo.max(ib.start as i64 - lo);
+            x_hi = x_hi.max(hi - ib.end as i64);
+        }
+    }
+    ((x_lo.max(0) as usize, x_hi.max(0) as usize), (d_lo.max(0) as usize, d_hi.max(0) as usize))
+}
+
+/// [`DistLayer`] driver for [`DistPool2d`].
+#[derive(Debug)]
+pub struct PoolLayer {
+    base: LayerBase,
+    pool: DistPool2d,
+}
+
+impl PoolLayer {
+    /// Wrap a pooling layer for uniform scheduling.
+    pub fn new(base: LayerBase, pool: DistPool2d) -> Self {
+        PoolLayer { base, pool }
+    }
+}
+
+impl DistLayer for PoolLayer {
+    fn base(&self) -> &LayerBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut LayerBase {
+        &mut self.base
+    }
+
+    fn compile_plan(&self, rank: usize) -> LayerPlan {
+        let mut plan = self.base.compile_io(rank);
+        plan.x_halo = Some(self.pool.x_halo_plan(rank));
+        plan.dy_halo = Some(self.pool.dy_halo_plan(rank));
+        plan
+    }
+
+    fn forward(&self, comm: &ErasedComm<'_>, cx: &mut FwdCx<'_>) -> Act {
+        let x = cx.input(0).shard_of(self.base.id, &self.base.kind);
+        let x_halo = cx.plan.x_halo.as_ref().expect("pool plan has an x halo");
+        let (y, win) = self.pool.forward_with_plan(comm, x, x_halo);
+        cx.window = Some(win);
+        Act::Shard(y)
+    }
+
+    fn backward(&self, comm: &ErasedComm<'_>, cx: &BwdCx<'_>, dy: Act) -> BwdOut {
+        let dy = dy.into_shard_of(self.base.id, &self.base.kind);
+        let win = cx.window(&self.base);
+        let dy_halo = cx.plan.dy_halo.as_ref().expect("pool plan has a dy halo");
+        let dx = self.pool.backward_with_plan(comm, win, &dy, dy_halo);
+        BwdOut { dparents: vec![(0, Act::Shard(dx))], grads: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_comm::run_ranks;
+    use fg_kernels::pool::{pool2d_backward, pool2d_forward};
+    use fg_tensor::gather::gather_to_root;
+    use fg_tensor::Tensor;
+
+    fn pattern(shape: Shape4, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |n, c, h, w| {
+            (((n * 29 + c * 13 + h * 7 + w * 3 + seed) % 17) as f32) * 0.4 - 3.0
+        })
+    }
+
+    fn check_pool(kind: PoolKind, n: usize, c: usize, geom: ConvGeometry, grid: ProcGrid) {
+        let x = pattern(Shape4::new(n, c, geom.in_h, geom.in_w), 1);
+        let y_serial = pool2d_forward(kind, &x, &geom);
+        let dy = pattern(y_serial.shape(), 2);
+        let dx_serial = pool2d_backward(kind, &x, &dy, &geom);
+        let layer = DistPool2d::new(kind, n, c, geom, grid);
+        let outs = run_ranks(grid.size(), |comm| {
+            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let (y, win) = layer.forward(comm, &xs);
+            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dx = layer.backward(comm, &win, &dys);
+            (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0))
+        });
+        assert_eq!(outs[0].0.as_ref().unwrap(), &y_serial, "pool fwd {kind:?} grid {grid}");
+        assert_eq!(outs[0].1.as_ref().unwrap(), &dx_serial, "pool bwd {kind:?} grid {grid}");
+    }
+
+    #[test]
+    fn max_pool_resnet_style_spatial() {
+        // 3x3 stride-2 pad-1 (ResNet's pool after conv1), overlapping
+        // windows crossing shard borders.
+        check_pool(
+            PoolKind::Max,
+            2,
+            2,
+            ConvGeometry::square(8, 8, 3, 2, 1),
+            ProcGrid::spatial(2, 2),
+        );
+    }
+
+    #[test]
+    fn avg_pool_spatial_and_hybrid() {
+        check_pool(
+            PoolKind::Avg,
+            2,
+            3,
+            ConvGeometry::square(8, 8, 2, 2, 0),
+            ProcGrid::spatial(2, 2),
+        );
+        check_pool(
+            PoolKind::Avg,
+            4,
+            1,
+            ConvGeometry::square(6, 6, 3, 1, 1),
+            ProcGrid::hybrid(2, 2, 1),
+        );
+    }
+
+    #[test]
+    fn pool_uneven_blocks() {
+        check_pool(
+            PoolKind::Max,
+            1,
+            1,
+            ConvGeometry::square(10, 10, 3, 2, 1),
+            ProcGrid::spatial(3, 1),
+        );
+    }
+
+    #[test]
+    fn cached_pool_plans_match_fresh() {
+        // One plan pair, reused across steps, must match per-call builds.
+        let geom = ConvGeometry::square(8, 8, 3, 2, 1);
+        let grid = ProcGrid::spatial(2, 2);
+        let layer = DistPool2d::new(PoolKind::Max, 2, 2, geom, grid);
+        run_ranks(grid.size(), |comm| {
+            let x_plan = layer.x_halo_plan(comm.rank());
+            let dy_plan = layer.dy_halo_plan(comm.rank());
+            for step in 0..2 {
+                let x = pattern(Shape4::new(2, 2, 8, 8), step);
+                let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let (y_fresh, win) = layer.forward(comm, &xs);
+                let (y_cached, _) = layer.forward_with_plan(comm, &xs, &x_plan);
+                assert_eq!(y_fresh, y_cached);
+                let dy = pattern(y_fresh.dist().shape, step + 7);
+                let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                let dx_fresh = layer.backward(comm, &win, &dys);
+                let dx_cached = layer.backward_with_plan(comm, &win, &dys, &dy_plan);
+                assert_eq!(dx_fresh, dx_cached);
+            }
+        });
+    }
+}

@@ -29,7 +29,7 @@ pub mod strategy;
 
 pub use channel_filter::ChannelFilterConv2d;
 pub use distconv::DistConv2d;
-pub use mp_fc::ModelParallelFc;
 pub use executor::{Act, DistExecutor, DistPass};
 pub use layers::{BnMode, DistPool2d};
+pub use mp_fc::ModelParallelFc;
 pub use strategy::{Strategy, StrategyError};

@@ -43,13 +43,18 @@ impl ModelParallelFc {
         fg_comm::collectives::block_range(self.out_features, self.parts, rank)
     }
 
+    /// Compile the row partition once: every rank's output-row range,
+    /// reused across steps instead of recomputing block ranges inside
+    /// the forward-assembly and backward-slicing loops.
+    pub fn row_plan(&self) -> RowPlan {
+        RowPlan { rows: (0..self.parts).map(|r| self.rows(r)).collect() }
+    }
+
     /// Slice full weights/bias into this rank's shard (for tests).
     pub fn shard(&self, w: &Tensor, b: &[f32], rank: usize) -> (Tensor, Vec<f32>) {
         let r = self.rows(rank);
-        let w_loc = w.slice_box(&fg_tensor::Box4::new(
-            [r.start, 0, 0, 0],
-            [r.end, self.in_features, 1, 1],
-        ));
+        let w_loc =
+            w.slice_box(&fg_tensor::Box4::new([r.start, 0, 0, 0], [r.end, self.in_features, 1, 1]));
         (w_loc, b[r].to_vec())
     }
 
@@ -62,9 +67,21 @@ impl ModelParallelFc {
         w_loc: &Tensor,
         b_loc: &[f32],
     ) -> Tensor {
+        self.forward_with_plan(comm, x, w_loc, b_loc, &self.row_plan())
+    }
+
+    /// [`ModelParallelFc::forward`] with a precompiled [`RowPlan`].
+    pub fn forward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &Tensor,
+        w_loc: &Tensor,
+        b_loc: &[f32],
+        plan: &RowPlan,
+    ) -> Tensor {
         debug_assert_eq!(comm.size(), self.parts);
         let n = x.shape().n;
-        let rows = self.rows(comm.rank());
+        let rows = plan.rows[comm.rank()].clone();
         let mut y_loc = vec![0.0f32; n * rows.len()];
         // y_loc (n × rows) = x (n × in) · W_locᵀ (in × rows).
         sgemm_bt_acc(n, self.in_features, rows.len(), x.as_slice(), w_loc.as_slice(), &mut y_loc);
@@ -77,7 +94,7 @@ impl ModelParallelFc {
         let parts = comm.allgatherv(y_loc);
         let mut y = Tensor::zeros(Shape4::new(n, self.out_features, 1, 1));
         for (r, data) in parts.iter().enumerate() {
-            let rows = self.rows(r);
+            let rows = &plan.rows[r];
             for k in 0..n {
                 for (j, f) in rows.clone().enumerate() {
                     *y.at_mut(k, f, 0, 0) = data[k * rows.len() + j];
@@ -96,9 +113,21 @@ impl ModelParallelFc {
         w_loc: &Tensor,
         dy: &Tensor,
     ) -> (Tensor, Tensor, Vec<f32>) {
+        self.backward_with_plan(comm, x, w_loc, dy, &self.row_plan())
+    }
+
+    /// [`ModelParallelFc::backward`] with a precompiled [`RowPlan`].
+    pub fn backward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &Tensor,
+        w_loc: &Tensor,
+        dy: &Tensor,
+        plan: &RowPlan,
+    ) -> (Tensor, Tensor, Vec<f32>) {
         debug_assert_eq!(comm.size(), self.parts);
         let n = x.shape().n;
-        let rows = self.rows(comm.rank());
+        let rows = plan.rows[comm.rank()].clone();
         // Slice my rows of dy into (n × rows).
         let mut dy_loc = vec![0.0f32; n * rows.len()];
         for k in 0..n {
@@ -125,6 +154,14 @@ impl ModelParallelFc {
             db,
         )
     }
+}
+
+/// The precompiled row partition of a [`ModelParallelFc`] group: each
+/// rank's owned output-feature range, computed once and reused every
+/// step.
+#[derive(Debug, Clone)]
+pub struct RowPlan {
+    rows: Vec<std::ops::Range<usize>>,
 }
 
 #[cfg(test)]
@@ -158,10 +195,8 @@ mod tests {
             y.assert_close(&y_serial, 1e-4);
             dx.assert_close(&dx_serial, 1e-4);
             let rows = layer.rows(r);
-            let want_dw = dw_serial.slice_box(&fg_tensor::Box4::new(
-                [rows.start, 0, 0, 0],
-                [rows.end, in_f, 1, 1],
-            ));
+            let want_dw = dw_serial
+                .slice_box(&fg_tensor::Box4::new([rows.start, 0, 0, 0], [rows.end, in_f, 1, 1]));
             dw_loc.assert_close(&want_dw, 1e-4);
             for (a, bb) in db_loc.iter().zip(&db_serial[rows]) {
                 assert!((a - bb).abs() < 1e-4);

@@ -122,14 +122,27 @@ pub fn forward_overlapped<C: Communicator>(
     bias: Option<&[f32]>,
 ) -> (DistTensor, DistTensor) {
     let rank = comm.rank();
-    // Window with owned data; margins zero until the exchange completes.
-    let mut win = DistTensor::new(conv.in_dist, rank, conv.x_margins.0, conv.x_margins.1);
-    win.set_owned(&x.owned_tensor());
-    let plan = HaloPlan::build(&win);
+    let halo = conv.x_halo_plan(rank);
     let iplan = InteriorPlan::build(conv, rank);
+    forward_overlapped_with_plans(conv, comm, x, w, bias, &halo, &iplan)
+}
+
+/// [`forward_overlapped`] with precompiled halo and interior plans.
+pub fn forward_overlapped_with_plans<C: Communicator>(
+    conv: &DistConv2d,
+    comm: &C,
+    x: &DistTensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    plan: &HaloPlan,
+    iplan: &InteriorPlan,
+) -> (DistTensor, DistTensor) {
+    let rank = comm.rank();
+    // Window with owned data; margins zero until the exchange completes.
+    let mut win = x.to_window(conv.x_margins.0, conv.x_margins.1);
 
     // (1) post sends; (2) interior compute; (3) receive; (4) boundary.
-    let tag = start_halo_exchange(comm, &win, &plan);
+    let tag = start_halo_exchange(comm, &win, plan);
 
     let mut y = DistTensor::new_unpadded(conv.out_dist, rank);
     let origin = (win.origin()[2], win.origin()[3]);
@@ -139,7 +152,7 @@ pub fn forward_overlapped<C: Communicator>(
         write_region(&mut y, rows, cols, &t, &ob);
     }
 
-    finish_halo_exchange(comm, &mut win, &plan, tag);
+    finish_halo_exchange(comm, &mut win, plan, tag);
 
     for &(rows, cols) in &iplan.boundary {
         let t = conv2d_forward_region(win.local(), origin, w, bias, &conv.geom, rows, cols);
@@ -166,21 +179,33 @@ pub fn backward_overlapped<C: Communicator>(
     w: &Tensor,
     with_bias: bool,
 ) -> (DistTensor, Tensor, Option<Vec<f32>>) {
+    let plan = conv.dy_halo_plan(comm.rank());
+    backward_overlapped_with_plans(conv, comm, x_window, dy, w, with_bias, &plan)
+}
+
+/// [`backward_overlapped`] with a precompiled dy halo plan.
+pub fn backward_overlapped_with_plans<C: Communicator>(
+    conv: &DistConv2d,
+    comm: &C,
+    x_window: &DistTensor,
+    dy: &DistTensor,
+    w: &Tensor,
+    with_bias: bool,
+    plan: &HaloPlan,
+) -> (DistTensor, Tensor, Option<Vec<f32>>) {
     use fg_comm::{Collectives, ReduceOp};
     use fg_kernels::conv::conv2d_backward_data_region;
 
     let rank = comm.rank();
     // (1) Post dy halo sends.
-    let mut dyw = DistTensor::new(conv.out_dist, rank, conv.dy_margins.0, conv.dy_margins.1);
-    dyw.set_owned(&dy.owned_tensor());
-    let plan = HaloPlan::build(&dyw);
-    let tag = start_halo_exchange(comm, &dyw, &plan);
+    let mut dyw = dy.to_window(conv.dy_margins.0, conv.dy_margins.1);
+    let tag = start_halo_exchange(comm, &dyw, plan);
 
     // (2) Filter-gradient compute — needs no halo on dy.
     let (dw_local, db_local) = conv.backward_filter_local(x_window, dy, with_bias);
 
     // (3) Complete the halo, (4) backward-data compute.
-    finish_halo_exchange(comm, &mut dyw, &plan, tag);
+    finish_halo_exchange(comm, &mut dyw, plan, tag);
     let mut dx = DistTensor::new_unpadded(conv.in_dist, rank);
     let ib = dx.own_box();
     let local = conv2d_backward_data_region(
@@ -212,7 +237,8 @@ fn write_region(
     t: &Tensor,
     ob: &Box4,
 ) {
-    let gbox = Box4::new([ob.lo[0], ob.lo[1], rows.0, cols.0], [ob.hi[0], ob.hi[1], rows.1, cols.1]);
+    let gbox =
+        Box4::new([ob.lo[0], ob.lo[1], rows.0, cols.0], [ob.hi[0], ob.hi[1], rows.1, cols.1]);
     let lbox = y.global_to_local_box(&gbox);
     y.local_mut().unpack_box(&lbox, t.as_slice());
 }
@@ -263,9 +289,8 @@ mod tests {
         let g7 = ConvGeometry::square(16, 16, 7, 1, 3);
         let c3 = DistConv2d::new(1, 1, 1, g3, ProcGrid::spatial(2, 2));
         let c7 = DistConv2d::new(1, 1, 1, g7, ProcGrid::spatial(2, 2));
-        let area = |p: &InteriorPlan| {
-            p.interior.map_or(0, |((r0, r1), (c0, c1))| (r1 - r0) * (c1 - c0))
-        };
+        let area =
+            |p: &InteriorPlan| p.interior.map_or(0, |((r0, r1), (c0, c1))| (r1 - r0) * (c1 - c0));
         assert!(area(&InteriorPlan::build(&c3, 0)) > area(&InteriorPlan::build(&c7, 0)));
     }
 
@@ -302,21 +327,16 @@ mod tests {
             let conv = DistConv2d::new(n, c, f, geom, grid);
             let x = pattern(Shape4::new(n, c, geom.in_h, geom.in_w), 5);
             let w = pattern(Shape4::new(f, c, geom.kh, geom.kw), 6);
-            let dy = pattern(
-                Shape4::new(n, f, geom.out_h(), geom.out_w()),
-                7,
-            );
+            let dy = pattern(Shape4::new(n, f, geom.out_h(), geom.out_w()), 7);
             let outs = run_ranks(grid.size(), |comm| {
                 let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
                 let (_y, win) = conv.forward(comm, &xs, &w, None);
-                let dys =
-                    DistTensor::from_global(conv.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                let dys = DistTensor::from_global(conv.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
                 // Monolithic path.
                 let dx_mono = conv.backward_data(comm, &dys, &w);
                 let (dw_mono, _) = conv.backward_filter(comm, &win, &dys, false);
                 // Overlapped path.
-                let (dx_ovl, dw_ovl, _db) =
-                    backward_overlapped(&conv, comm, &win, &dys, &w, false);
+                let (dx_ovl, dw_ovl, _db) = backward_overlapped(&conv, comm, &win, &dys, &w, false);
                 (dx_mono.owned_tensor(), dx_ovl.owned_tensor(), dw_mono, dw_ovl)
             });
             for (dx_m, dx_o, dw_m, dw_o) in &outs {

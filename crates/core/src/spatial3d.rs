@@ -90,10 +90,7 @@ impl DistConv3d {
             (geom.in_h, geom.out_h(), grid.h),
             (geom.in_w, geom.out_w(), grid.w),
         ] {
-            assert!(
-                total_in >= parts && total_out >= parts,
-                "grid leaves ranks without work"
-            );
+            assert!(total_in >= parts && total_out >= parts, "grid leaves ranks without work");
         }
         DistConv3d { geom, grid, n, c, f }
     }
@@ -135,6 +132,50 @@ impl DistConv3d {
         (org, ext)
     }
 
+    /// Compile this rank's 3-D halo plan: the window geometry plus every
+    /// `(peer, box)` pair to send and receive. Pure geometry, no
+    /// communication — the 3-D analogue of
+    /// [`fg_tensor::halo::HaloPlan::for_layout`], compiled once and
+    /// reused every step.
+    pub fn halo_plan(&self, rank: usize) -> Halo3Plan {
+        let (my_lo, my_hi) = self.in_box(rank);
+        let (org, ext) = self.window(rank);
+        let my_own = Box3 {
+            lo: [my_lo[0] as i64, my_lo[1] as i64, my_lo[2] as i64],
+            hi: [my_hi[0] as i64, my_hi[1] as i64, my_hi[2] as i64],
+        };
+        let my_need = Box3 {
+            lo: org,
+            hi: [org[0] + ext[0] as i64, org[1] + ext[1] as i64, org[2] + ext[2] as i64],
+        };
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for peer in 0..self.grid.size() {
+            if peer == rank {
+                continue;
+            }
+            let (porg, pext) = self.window(peer);
+            let peer_need = Box3 {
+                lo: porg,
+                hi: [porg[0] + pext[0] as i64, porg[1] + pext[1] as i64, porg[2] + pext[2] as i64],
+            };
+            let send = peer_need.intersect(&my_own);
+            if !send.is_empty() {
+                sends.push((peer, send));
+            }
+            let (plo, phi) = self.in_box(peer);
+            let peer_own = Box3 {
+                lo: [plo[0] as i64, plo[1] as i64, plo[2] as i64],
+                hi: [phi[0] as i64, phi[1] as i64, phi[2] as i64],
+            };
+            let recv = my_need.intersect(&peer_own);
+            if !recv.is_empty() {
+                recvs.push((peer, recv));
+            }
+        }
+        Halo3Plan { org, ext, sends, recvs }
+    }
+
     /// Distributed forward pass: takes this rank's owned input shard
     /// `(n, c, d_loc, h_loc, w_loc)`, exchanges halos with every
     /// overlapping neighbor (faces, edges and corners fall out of the
@@ -143,6 +184,17 @@ impl DistConv3d {
     /// Collective over `comm` (size = grid size). Bitwise-identical to
     /// [`fg_kernels::conv3d::conv3d_forward`] on the gathered data.
     pub fn forward<C: Communicator>(&self, comm: &C, x_shard: &Tensor5, wt: &Tensor5) -> Tensor5 {
+        self.forward_with_plan(comm, x_shard, wt, &self.halo_plan(comm.rank()))
+    }
+
+    /// [`DistConv3d::forward`] with a precompiled [`Halo3Plan`].
+    pub fn forward_with_plan<C: Communicator>(
+        &self,
+        comm: &C,
+        x_shard: &Tensor5,
+        wt: &Tensor5,
+        plan: &Halo3Plan,
+    ) -> Tensor5 {
         debug_assert_eq!(comm.size(), self.grid.size());
         let rank = comm.rank();
         let (my_lo, my_hi) = self.in_box(rank);
@@ -152,7 +204,7 @@ impl DistConv3d {
             "input shard does not match the owned block"
         );
         // Build the window and copy the owned block in.
-        let (org, ext) = self.window(rank);
+        let (org, ext) = (plan.org, plan.ext);
         let mut win = Tensor5::zeros(self.n, self.c, ext[0], ext[1], ext[2]);
         copy_box(
             &mut win,
@@ -166,52 +218,19 @@ impl DistConv3d {
             [x_shard.d, x_shard.h, x_shard.w],
         );
 
-        // Generalized 3-D box halo exchange: send own ∩ peer-needed,
-        // receive peer-own ∩ my-needed.
+        // Generalized 3-D box halo exchange over the precompiled
+        // `(peer, box)` pairs: send own ∩ peer-needed, receive
+        // peer-own ∩ my-needed.
         comm.with_class(OpClass::Halo, || {
             let tag = comm.next_collective_tag();
-            let my_own = Box3 {
-                lo: [my_lo[0] as i64, my_lo[1] as i64, my_lo[2] as i64],
-                hi: [my_hi[0] as i64, my_hi[1] as i64, my_hi[2] as i64],
-            };
-            let my_need = Box3 {
-                lo: org,
-                hi: [org[0] + ext[0] as i64, org[1] + ext[1] as i64, org[2] + ext[2] as i64],
-            };
             // Sends first (eager).
-            for peer in 0..comm.size() {
-                if peer == rank {
-                    continue;
-                }
-                let (porg, pext) = self.window(peer);
-                let peer_need = Box3 {
-                    lo: porg,
-                    hi: [
-                        porg[0] + pext[0] as i64,
-                        porg[1] + pext[1] as i64,
-                        porg[2] + pext[2] as i64,
-                    ],
-                };
-                let send = peer_need.intersect(&my_own);
-                if !send.is_empty() {
-                    let payload = pack_box(x_shard, &send, my_lo);
-                    comm.send(peer, tag, payload);
-                }
+            for (peer, send) in &plan.sends {
+                let payload = pack_box(x_shard, send, my_lo);
+                comm.send(*peer, tag, payload);
             }
-            for peer in 0..comm.size() {
-                if peer == rank {
-                    continue;
-                }
-                let (plo, phi) = self.in_box(peer);
-                let peer_own = Box3 {
-                    lo: [plo[0] as i64, plo[1] as i64, plo[2] as i64],
-                    hi: [phi[0] as i64, phi[1] as i64, phi[2] as i64],
-                };
-                let recv = my_need.intersect(&peer_own);
-                if !recv.is_empty() {
-                    let data = comm.recv::<f32>(peer, tag);
-                    unpack_box(&mut win, &recv, org, &data);
-                }
+            for (peer, recv) in &plan.recvs {
+                let data = comm.recv::<f32>(*peer, tag);
+                unpack_box(&mut win, recv, org, &data);
             }
         });
 
@@ -226,6 +245,16 @@ impl DistConv3d {
             (olo[2], ohi[2]),
         )
     }
+}
+
+/// One rank's precompiled 3-D halo-exchange geometry: the window origin
+/// and extents, plus every peer box to send and receive.
+#[derive(Debug, Clone)]
+pub struct Halo3Plan {
+    org: [i64; 3],
+    ext: [usize; 3],
+    sends: Vec<(usize, Box3)>,
+    recvs: Vec<(usize, Box3)>,
 }
 
 /// Copy a spatial box between two tensors (all samples/channels).
@@ -319,13 +348,14 @@ mod tests {
         let layer = DistConv3d::new(n, c, f, geom, grid);
         let outs = run_ranks(grid.size(), |comm| {
             let (lo, hi) = layer.in_box(comm.rank());
-            let mut shard =
-                Tensor5::zeros(n, c, hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]);
-            copy_box(&mut shard, [0, 0, 0], &x_sub(&x, lo, hi), [0, 0, 0], [
-                hi[0] - lo[0],
-                hi[1] - lo[1],
-                hi[2] - lo[2],
-            ]);
+            let mut shard = Tensor5::zeros(n, c, hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]);
+            copy_box(
+                &mut shard,
+                [0, 0, 0],
+                &x_sub(&x, lo, hi),
+                [0, 0, 0],
+                [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]],
+            );
             let y = layer.forward(comm, &shard, &wt);
             (layer.out_box(comm.rank()), y)
         });
@@ -387,6 +417,28 @@ mod tests {
             1,
             1,
         );
+    }
+
+    #[test]
+    fn cached_3d_halo_plan_matches_fresh() {
+        let geom = Conv3dGeometry { in_d: 8, in_h: 8, in_w: 8, k: 3, s: 1, p: 1 };
+        let grid = Grid3 { d: 2, h: 2, w: 1 };
+        let layer = DistConv3d::new(1, 2, 2, geom, grid);
+        let wt = t(2, 2, 3, 3, 3, 5);
+        let outs = run_ranks(grid.size(), |comm| {
+            let plan = layer.halo_plan(comm.rank());
+            let (lo, hi) = layer.in_box(comm.rank());
+            let mut results = Vec::new();
+            for step in 0..2 {
+                let x = t(1, 2, 8, 8, 8, step);
+                let shard = x_sub(&x, lo, hi);
+                let fresh = layer.forward(comm, &shard, &wt);
+                let cached = layer.forward_with_plan(comm, &shard, &wt, &plan);
+                results.push(fresh.as_slice() == cached.as_slice());
+            }
+            results
+        });
+        assert!(outs.iter().flatten().all(|&ok| ok));
     }
 
     #[test]

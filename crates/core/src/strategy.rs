@@ -22,6 +22,12 @@ pub struct Strategy {
     /// default, as in the paper's measurements; results are bitwise
     /// identical either way.
     pub overlap_halo: bool,
+    /// Reuse the per-layer communication plans compiled once in
+    /// `DistExecutor::new` (plan-once/execute-many, the structure of the
+    /// paper's implementation). Off recompiles every plan on every
+    /// invocation — identical results, pure overhead — and exists for
+    /// the `fg-bench` plan-caching ablation.
+    pub plan_cache: bool,
 }
 
 /// Why a strategy cannot execute a given network.
@@ -68,7 +74,10 @@ impl std::fmt::Display for StrategyError {
                 write!(f, "layer {layer}: grid world size differs from the rest of the strategy")
             }
             StrategyError::ChannelPartitionUnsupported { layer } => {
-                write!(f, "layer {layer}: executor does not partition channels (see channel_filter)")
+                write!(
+                    f,
+                    "layer {layer}: executor does not partition channels (see channel_filter)"
+                )
             }
             StrategyError::Unpopulated { layer } => {
                 write!(f, "layer {layer}: distribution leaves ranks without data")
@@ -87,7 +96,12 @@ impl Strategy {
     /// end-to-end experiments use ("the same data decomposition for
     /// every layer in a given configuration", §VI-B).
     pub fn uniform(spec: &NetworkSpec, grid: ProcGrid) -> Strategy {
-        Strategy { grids: vec![grid; spec.len()], bn_mode: BnMode::default(), overlap_halo: true }
+        Strategy {
+            grids: vec![grid; spec.len()],
+            bn_mode: BnMode::default(),
+            overlap_halo: true,
+            plan_cache: true,
+        }
     }
 
     /// Pure sample parallelism over `p` ranks (the baseline).
@@ -104,6 +118,12 @@ impl Strategy {
     /// Enable or disable interior/boundary halo overlapping.
     pub fn with_overlap(mut self, overlap: bool) -> Strategy {
         self.overlap_halo = overlap;
+        self
+    }
+
+    /// Enable or disable reuse of the precompiled per-layer plans.
+    pub fn with_plan_caching(mut self, cache: bool) -> Strategy {
+        self.plan_cache = cache;
         self
     }
 
@@ -249,10 +269,7 @@ mod tests {
         let mut s = Strategy::uniform(&net, ProcGrid::spatial(2, 2));
         let fc = net.find("fc").unwrap();
         s.grids[fc] = ProcGrid::sample(4);
-        assert!(matches!(
-            s.validate(&net, 2),
-            Err(StrategyError::PerSampleGridMismatch { .. })
-        ));
+        assert!(matches!(s.validate(&net, 2), Err(StrategyError::PerSampleGridMismatch { .. })));
     }
 
     #[test]

@@ -42,8 +42,9 @@ impl ImageDataset {
     /// One sample image (shape `1×C×H×W`).
     pub fn sample_input(&self, index: usize) -> Tensor {
         let class = self.label_of(index);
-        let mut rng =
-            StdRng::seed_from_u64(self.base_seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = StdRng::seed_from_u64(
+            self.base_seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
         let mut t = Tensor::zeros(Shape4::new(1, self.channels, self.hw, self.hw));
         for c in 0..self.channels {
             // Class template: smooth field seeded by (class, channel),
@@ -55,9 +56,8 @@ impl ImageDataset {
                 / 1000.0
                 - 0.5;
             let base = t.shape().offset(0, c, 0, 0);
-            for (dst, tv) in t.as_mut_slice()[base..base + self.hw * self.hw]
-                .iter_mut()
-                .zip(&template)
+            for (dst, tv) in
+                t.as_mut_slice()[base..base + self.hw * self.hw].iter_mut().zip(&template)
             {
                 let noise: f32 = rng.gen_range(-1.0..1.0);
                 *dst = self.signal * (tv + offset) + (1.0 - self.signal) * noise;
@@ -132,10 +132,7 @@ mod tests {
             let y = ds.sample_input(j);
             x.as_slice().iter().zip(y.as_slice()).map(|(p, q)| p * q).sum::<f32>()
         };
-        assert!(
-            corr(a, b) > corr(a, c),
-            "same-class correlation must exceed cross-class"
-        );
+        assert!(corr(a, b) > corr(a, c), "same-class correlation must exceed cross-class");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct MeshDataset {
 impl MeshDataset {
     /// Create a generator; `label_hw` must divide `input_hw`.
     pub fn new(input_hw: usize, label_hw: usize, channels: usize, seed: u64) -> Self {
-        assert!(input_hw % label_hw == 0, "label map must tile the input");
+        assert!(input_hw.is_multiple_of(label_hw), "label map must tile the input");
         MeshDataset { input_hw, label_hw, channels, base_seed: seed }
     }
 
@@ -48,7 +48,8 @@ impl MeshDataset {
         for c in 0..self.channels {
             // Correlation length varies per channel: state variables
             // (early channels) are smoother than quality metrics.
-            let field = smooth_field(self.input_hw, self.field_seed(index, c), self.field_coarse(c));
+            let field =
+                smooth_field(self.input_hw, self.field_seed(index, c), self.field_coarse(c));
             let base = t.shape().offset(0, c, 0, 0);
             t.as_mut_slice()[base..base + field.len()].copy_from_slice(&field);
         }

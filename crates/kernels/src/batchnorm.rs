@@ -129,7 +129,12 @@ pub fn bn_forward_with_stats(
 /// Per-channel backward partial sums `(Σdy, Σdy·x̂)` over local data.
 /// These are exactly the quantities that must be summed across ranks for
 /// aggregated distributed BN.
-pub fn bn_backward_partials(x: &Tensor, dy: &Tensor, stats: &BnStats, eps: f32) -> (Vec<f64>, Vec<f64>) {
+pub fn bn_backward_partials(
+    x: &Tensor,
+    dy: &Tensor,
+    stats: &BnStats,
+    eps: f32,
+) -> (Vec<f64>, Vec<f64>) {
     let s = x.shape();
     assert_eq!(dy.shape(), s, "dy shape mismatch");
     let mut sum_dy = vec![0.0f64; s.c];
@@ -310,7 +315,10 @@ mod tests {
             *xm.at_mut(n, c, h, w) -= eps_fd;
             let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps_fd as f64);
             let an = dx.at(n, c, h, w) as f64;
-            assert!((fd - an).abs() < 2e-2 * fd.abs().max(1.0), "dx[{n},{c},{h},{w}]: {an} vs {fd}");
+            assert!(
+                (fd - an).abs() < 2e-2 * fd.abs().max(1.0),
+                "dx[{n},{c},{h},{w}]: {an} vs {fd}"
+            );
         }
         for c in 0..2 {
             let mut gp = gamma.clone();

@@ -167,19 +167,15 @@ pub fn conv2d_forward_region(
                         let x_row = &xs[x_base..x_base + win_w];
                         let w_base = w_shape.offset(f, c, r, 0);
                         let w_row = &ws[w_base..w_base + geom.kw];
-                        for s in 0..geom.kw {
-                            let wv = w_row[s];
+                        for (s, &wv) in w_row.iter().enumerate() {
                             if wv == 0.0 {
                                 continue;
                             }
-                            let iw0_l =
-                                (ow0 as i64 * geom.stride_w as i64 - geom.pad_w as i64
-                                    + s as i64
-                                    - x_origin.1) as usize;
+                            let iw0_l = (ow0 as i64 * geom.stride_w as i64 - geom.pad_w as i64
+                                + s as i64
+                                - x_origin.1) as usize;
                             if geom.stride_w == 1 {
-                                for (yv, xv) in
-                                    y_row.iter_mut().zip(&x_row[iw0_l..iw0_l + cols])
-                                {
+                                for (yv, xv) in y_row.iter_mut().zip(&x_row[iw0_l..iw0_l + cols]) {
                                     *yv += wv * xv;
                                 }
                             } else {
@@ -322,13 +318,13 @@ pub fn conv2d_backward_filter_region(
     let cols = ow1 - ow0;
 
     for k in 0..n {
-        for f in 0..f_out {
+        for (f, db_f) in db.iter_mut().enumerate() {
             for oh in oh0..oh1 {
                 let lh_dy = (oh as i64 - dy_origin.0) as usize;
                 let lw_dy0 = (ow0 as i64 - dy_origin.1) as usize;
                 let dy_base = dy_shape.offset(k, f, lh_dy, lw_dy0);
                 let dy_row = &dys[dy_base..dy_base + cols];
-                db[f] += dy_row.iter().sum::<f32>();
+                *db_f += dy_row.iter().sum::<f32>();
                 for c in 0..c_in {
                     for r in 0..geom.kh {
                         let ih = oh as i64 * geom.stride_h as i64 - geom.pad_h as i64 + r as i64;
@@ -380,11 +376,7 @@ pub fn conv2d_backward_data(dy: &Tensor, w: &Tensor, geom: &ConvGeometry) -> Ten
 }
 
 /// Serial backward-filter convolution; returns `(dw, db)`.
-pub fn conv2d_backward_filter(
-    x: &Tensor,
-    dy: &Tensor,
-    geom: &ConvGeometry,
-) -> (Tensor, Vec<f32>) {
+pub fn conv2d_backward_filter(x: &Tensor, dy: &Tensor, geom: &ConvGeometry) -> (Tensor, Vec<f32>) {
     let padded = pad_window(x, geom.pad_h, geom.pad_w);
     conv2d_backward_filter_region(
         &padded,
@@ -443,8 +435,8 @@ mod tests {
                                         && (ih as usize) < xs.h
                                         && (iw as usize) < xs.w
                                     {
-                                        acc += x.at(k, c, ih as usize, iw as usize)
-                                            * w.at(f, c, r, s);
+                                        acc +=
+                                            x.at(k, c, ih as usize, iw as usize) * w.at(f, c, r, s);
                                     }
                                 }
                             }
@@ -470,8 +462,16 @@ mod tests {
             (Shape4::new(2, 3, 8, 8), Shape4::new(4, 3, 3, 3), ConvGeometry::square(8, 8, 3, 1, 1)),
             (Shape4::new(1, 2, 9, 7), Shape4::new(3, 2, 3, 3), ConvGeometry::square(9, 7, 3, 2, 1)),
             (Shape4::new(2, 4, 6, 6), Shape4::new(2, 4, 1, 1), ConvGeometry::square(6, 6, 1, 1, 0)),
-            (Shape4::new(1, 1, 12, 12), Shape4::new(2, 1, 5, 5), ConvGeometry::square(12, 12, 5, 1, 2)),
-            (Shape4::new(1, 2, 14, 14), Shape4::new(2, 2, 7, 7), ConvGeometry::square(14, 14, 7, 2, 3)),
+            (
+                Shape4::new(1, 1, 12, 12),
+                Shape4::new(2, 1, 5, 5),
+                ConvGeometry::square(12, 12, 5, 1, 2),
+            ),
+            (
+                Shape4::new(1, 2, 14, 14),
+                Shape4::new(2, 2, 7, 7),
+                ConvGeometry::square(14, 14, 7, 2, 3),
+            ),
             (Shape4::new(2, 2, 8, 8), Shape4::new(3, 2, 1, 1), ConvGeometry::square(8, 8, 1, 2, 0)),
         ]
     }
@@ -500,8 +500,7 @@ mod tests {
         let full = conv2d_forward(&x, &w, None, &g);
         // Compute rows 4..8, cols 2..10 from a sufficient window.
         let padded = pad_window(&x, g.pad_h, g.pad_w);
-        let region =
-            conv2d_forward_region(&padded, (-1, -1), &w, None, &g, (4, 8), (2, 10));
+        let region = conv2d_forward_region(&padded, (-1, -1), &w, None, &g, (4, 8), (2, 10));
         for n in 0..1 {
             for f in 0..3 {
                 for oh in 4..8 {
@@ -538,7 +537,10 @@ mod tests {
             *xm.at_mut(k, c, h, wi) -= eps;
             let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64);
             let an = dx.at(k, c, h, wi) as f64;
-            assert!((fd - an).abs() < 1e-2 * fd.abs().max(1.0), "dx[{k},{c},{h},{wi}]: {an} vs {fd}");
+            assert!(
+                (fd - an).abs() < 1e-2 * fd.abs().max(1.0),
+                "dx[{k},{c},{h},{wi}]: {an} vs {fd}"
+            );
         }
         // And of w positions.
         for (f, c, r, s) in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)] {
@@ -548,7 +550,10 @@ mod tests {
             *wm.at_mut(f, c, r, s) -= eps;
             let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64);
             let an = dw.at(f, c, r, s) as f64;
-            assert!((fd - an).abs() < 1e-2 * fd.abs().max(1.0), "dw[{f},{c},{r},{s}]: {an} vs {fd}");
+            assert!(
+                (fd - an).abs() < 1e-2 * fd.abs().max(1.0),
+                "dw[{f},{c},{r},{s}]: {an} vs {fd}"
+            );
         }
     }
 
@@ -558,7 +563,7 @@ mod tests {
         let x = test_tensor(Shape4::new(2, 1, 4, 4), 8);
         let dy = test_tensor(Shape4::new(2, 2, 4, 4), 9);
         let (_dw, db) = conv2d_backward_filter(&x, &dy, &g);
-        for f in 0..2 {
+        for (f, got) in db.iter().enumerate() {
             let mut want = 0.0f32;
             for n in 0..2 {
                 for h in 0..4 {
@@ -567,7 +572,7 @@ mod tests {
                     }
                 }
             }
-            assert!((db[f] - want).abs() < 1e-4);
+            assert!((got - want).abs() < 1e-4);
         }
     }
 

@@ -97,11 +97,7 @@ impl Tensor5 {
     /// Maximum absolute difference (for tests).
     pub fn max_abs_diff(&self, other: &Tensor5) -> f32 {
         assert_eq!(self.data.len(), other.data.len());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
@@ -165,11 +161,9 @@ pub fn conv3d_forward_region(
     assert_eq!(c_in, x.c, "channels do not match weights");
     assert_eq!((weights.d, weights.h, weights.w), (geom.k, geom.k, geom.k));
     // Window coverage checks per dimension.
-    for (dim, (o0, o1), (org, ext)) in [
-        (0, out_d, (origin.0, x.d)),
-        (1, out_h, (origin.1, x.h)),
-        (2, out_w, (origin.2, x.w)),
-    ] {
+    for (dim, (o0, o1), (org, ext)) in
+        [(0, out_d, (origin.0, x.d)), (1, out_h, (origin.1, x.h)), (2, out_w, (origin.2, x.w))]
+    {
         assert!(o0 < o1, "empty output region on dim {dim}");
         let (lo, hi) = geom.input_range_for_output(o0, o1);
         assert!(
@@ -191,8 +185,7 @@ pub fn conv3d_forward_region(
                                 let ld = (od as i64 * geom.s as i64 - geom.p as i64 + kd as i64
                                     - origin.0) as usize;
                                 for kh in 0..geom.k {
-                                    let lh = (oh as i64 * geom.s as i64 - geom.p as i64
-                                        + kh as i64
+                                    let lh = (oh as i64 * geom.s as i64 - geom.p as i64 + kh as i64
                                         - origin.1)
                                         as usize;
                                     let x_base = x.offset(
@@ -291,7 +284,11 @@ mod tests {
                                                 && (iw as usize) < x.w
                                             {
                                                 acc += x.at(
-                                                    ni, ci, id as usize, ih as usize, iw as usize,
+                                                    ni,
+                                                    ci,
+                                                    id as usize,
+                                                    ih as usize,
+                                                    iw as usize,
                                                 ) * wt.at(fi, ci, kd, kh, kw);
                                             }
                                         }
@@ -329,15 +326,8 @@ mod tests {
         let wt = t(2, 2, 3, 3, 3, 4);
         let full = conv3d_forward(&x, &wt, &geom);
         let padded = pad_window3d(&x, 1);
-        let region = conv3d_forward_region(
-            &padded,
-            (-1, -1, -1),
-            &wt,
-            &geom,
-            (2, 6),
-            (0, 8),
-            (3, 7),
-        );
+        let region =
+            conv3d_forward_region(&padded, (-1, -1, -1), &wt, &geom, (2, 6), (0, 8), (3, 7));
         for fi in 0..2 {
             for od in 2..6 {
                 for oh in 0..8 {

@@ -15,12 +15,7 @@ use crate::gemm::{sgemm_acc, sgemm_at_acc};
 /// Lower the receptive fields of one sample into a `(C·kh·kw) × (OH·OW)`
 /// matrix. `x` is the sample's window with materialized padding and
 /// origin `x_origin`.
-pub fn im2col(
-    x: &Tensor,
-    sample: usize,
-    x_origin: (i64, i64),
-    geom: &ConvGeometry,
-) -> Vec<f32> {
+pub fn im2col(x: &Tensor, sample: usize, x_origin: (i64, i64), geom: &ConvGeometry) -> Vec<f32> {
     let s = x.shape();
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let mut col = vec![0.0f32; s.c * geom.kh * geom.kw * oh * ow];
@@ -179,7 +174,11 @@ mod tests {
             (Shape4::new(2, 3, 8, 8), Shape4::new(4, 3, 3, 3), ConvGeometry::square(8, 8, 3, 1, 1)),
             (Shape4::new(1, 2, 9, 7), Shape4::new(3, 2, 3, 3), ConvGeometry::square(9, 7, 3, 2, 1)),
             (Shape4::new(1, 4, 5, 5), Shape4::new(2, 4, 1, 1), ConvGeometry::square(5, 5, 1, 1, 0)),
-            (Shape4::new(2, 1, 11, 11), Shape4::new(2, 1, 5, 5), ConvGeometry::square(11, 11, 5, 2, 2)),
+            (
+                Shape4::new(2, 1, 11, 11),
+                Shape4::new(2, 1, 5, 5),
+                ConvGeometry::square(11, 11, 5, 2, 2),
+            ),
         ]
     }
 

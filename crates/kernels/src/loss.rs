@@ -190,9 +190,16 @@ mod tests {
     #[test]
     fn per_pixel_segmentation_shapes() {
         // 2-class per-pixel problem, 4x4 map.
-        let x = Tensor::from_fn(Shape4::new(1, 2, 4, 4), |_, c, h, w| {
-            if (h + w) % 2 == c { 5.0 } else { -5.0 }
-        });
+        let x = Tensor::from_fn(
+            Shape4::new(1, 2, 4, 4),
+            |_, c, h, w| {
+                if (h + w) % 2 == c {
+                    5.0
+                } else {
+                    -5.0
+                }
+            },
+        );
         let labels =
             Labels::per_pixel(1, 4, 4, (0..16).map(|i| ((i / 4 + i % 4) % 2) as u32).collect());
         assert_eq!(accuracy(&x, &labels), 1.0);

@@ -42,10 +42,8 @@ pub fn pool2d_forward_region(
             for oh in oh0..oh1 {
                 for ow in ow0..ow1 {
                     let v = match kind {
-                        PoolKind::Max => {
-                            window_iter(geom, x, x_origin, k, c, oh, ow)
-                                .fold(f32::NEG_INFINITY, f32::max)
-                        }
+                        PoolKind::Max => window_iter(geom, x, x_origin, k, c, oh, ow)
+                            .fold(f32::NEG_INFINITY, f32::max),
                         PoolKind::Avg => {
                             let mut sum = 0.0f32;
                             let mut cnt = 0usize;
@@ -117,8 +115,7 @@ pub fn pool2d_backward_region(
                             }
                         }
                         PoolKind::Avg => {
-                            let cnt =
-                                window_iter(geom, x, x_origin, k, c, oh, ow).count() as f32;
+                            let cnt = window_iter(geom, x, x_origin, k, c, oh, ow).count() as f32;
                             for (ih, iw, _v) in window_iter_pos(geom, x, x_origin, k, c, oh, ow) {
                                 if ih >= ih0 && ih < ih1 && iw >= iw0 && iw < iw1 {
                                     *dx.at_mut(k, c, ih - ih0, iw - iw0) += g / cnt;
@@ -179,10 +176,7 @@ fn window_iter_pos<'a>(
             let lh = ih - x_origin.0;
             let lw = iw - x_origin.1;
             debug_assert!(
-                lh >= 0
-                    && lw >= 0
-                    && (lh as usize) < x.shape().h
-                    && (lw as usize) < x.shape().w,
+                lh >= 0 && lw >= 0 && (lh as usize) < x.shape().h && (lw as usize) < x.shape().w,
                 "pooling window not covered by the provided x window"
             );
             Some((ih as usize, iw as usize, x.at(k, c, lh as usize, lw as usize)))

@@ -40,8 +40,7 @@ fn reference_forward(x: &Tensor, w: &Tensor, g: &ConvGeometry) -> Tensor {
                                     && (ih as usize) < xs.h
                                     && (iw as usize) < xs.w
                                 {
-                                    acc +=
-                                        x.at(k, c, ih as usize, iw as usize) * w.at(f, c, r, s);
+                                    acc += x.at(k, c, ih as usize, iw as usize) * w.at(f, c, r, s);
                                 }
                             }
                         }
@@ -56,14 +55,14 @@ fn reference_forward(x: &Tensor, w: &Tensor, g: &ConvGeometry) -> Tensor {
 
 fn geometry() -> impl Strategy<Value = (usize, usize, usize, ConvGeometry, u64)> {
     (
-        1usize..3,                                   // n
-        1usize..4,                                   // c
-        1usize..4,                                   // f
+        1usize..3,                                            // n
+        1usize..4,                                            // c
+        1usize..4,                                            // f
         prop_oneof![Just(1usize), Just(3), Just(5), Just(7)], // k
-        1usize..3,                                   // s
-        0usize..4,                                   // p
-        7usize..16,                                  // h
-        7usize..16,                                  // w
+        1usize..3,                                            // s
+        0usize..4,                                            // p
+        7usize..16,                                           // h
+        7usize..16,                                           // w
         any::<u64>(),
     )
         .prop_filter_map("output must be non-empty", |(n, c, f, k, s, p, h, w, seed)| {

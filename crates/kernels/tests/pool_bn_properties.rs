@@ -33,7 +33,16 @@ fn pool_case() -> impl Strategy<Value = (Shape4, ConvGeometry, u64)> {
             if h + 2 * p < k || w + 2 * p < k || p >= k {
                 return None;
             }
-            let g = ConvGeometry { in_h: h, in_w: w, kh: k, kw: k, stride_h: s, stride_w: s, pad_h: p, pad_w: p };
+            let g = ConvGeometry {
+                in_h: h,
+                in_w: w,
+                kh: k,
+                kw: k,
+                stride_h: s,
+                stride_w: s,
+                pad_h: p,
+                pad_w: p,
+            };
             (g.out_h() > 0 && g.out_w() > 0).then_some((Shape4::new(n, c, h, w), g, seed))
         })
 }

@@ -73,7 +73,7 @@ pub fn mesh_model_scaled(size: MeshSize, input_hw: usize) -> NetworkSpec {
 /// kernel/stride schedule and layer names are unchanged, so tests can
 /// exercise the exact architecture shape at a fraction of the FLOPs.
 pub fn mesh_model_custom(size: MeshSize, input_hw: usize, width_scale: usize) -> NetworkSpec {
-    assert!(input_hw % 64 == 0, "input must survive 6 stride-2 stages");
+    assert!(input_hw.is_multiple_of(64), "input must survive 6 stride-2 stages");
     assert!(width_scale >= 1);
     let mut net = NetworkSpec::new();
     let data = net.input("data", MESH_CHANNELS, input_hw, input_hw);

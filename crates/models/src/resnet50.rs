@@ -89,11 +89,8 @@ mod tests {
     #[test]
     fn has_53_convolutions_and_correct_param_count() {
         let net = resnet50();
-        let convs = net
-            .layers()
-            .iter()
-            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
-            .count();
+        let convs =
+            net.layers().iter().filter(|l| matches!(l.kind, LayerKind::Conv { .. })).count();
         // conv1 + 16 blocks × 3 + 4 projection shortcuts = 53.
         assert_eq!(convs, 53);
         // ResNet-50 has ~25.5M parameters.

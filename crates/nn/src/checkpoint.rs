@@ -50,11 +50,8 @@ pub fn is_line_network(spec: &NetworkSpec) -> bool {
 fn segment_network(net: &Network, from: usize, to: usize, act_from: &Tensor) -> Network {
     let mut spec = NetworkSpec::new();
     let s = act_from.shape();
-    let mut prev = spec.add(
-        "__ckpt_input",
-        LayerKind::Input { channels: s.c, height: s.h, width: s.w },
-        &[],
-    );
+    let mut prev =
+        spec.add("__ckpt_input", LayerKind::Input { channels: s.c, height: s.h, width: s.w }, &[]);
     let mut params = vec![LayerParams::None];
     for id in from + 1..=to {
         let l = net.spec.layer(id);

@@ -26,12 +26,14 @@ impl NetworkSpec {
     }
 
     /// Append a layer; parents must already exist. Returns its id.
-    pub fn add(&mut self, name: impl Into<String>, kind: LayerKind, parents: &[LayerId]) -> LayerId {
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        parents: &[LayerId],
+    ) -> LayerId {
         let name = name.into();
-        assert!(
-            self.layers.iter().all(|l| l.name != name),
-            "duplicate layer name {name}"
-        );
+        assert!(self.layers.iter().all(|l| l.name != name), "duplicate layer name {name}");
         for &p in parents {
             assert!(p < self.layers.len(), "parent {p} does not exist yet");
         }
@@ -88,13 +90,35 @@ impl NetworkSpec {
     }
 
     /// Add a max pool.
-    pub fn maxpool(&mut self, name: &str, parent: LayerId, k: usize, s: usize, p: usize) -> LayerId {
-        self.add(name, LayerKind::Pool { kind: PoolKind::Max, kernel: k, stride: s, pad: p }, &[parent])
+    pub fn maxpool(
+        &mut self,
+        name: &str,
+        parent: LayerId,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> LayerId {
+        self.add(
+            name,
+            LayerKind::Pool { kind: PoolKind::Max, kernel: k, stride: s, pad: p },
+            &[parent],
+        )
     }
 
     /// Add an average pool.
-    pub fn avgpool(&mut self, name: &str, parent: LayerId, k: usize, s: usize, p: usize) -> LayerId {
-        self.add(name, LayerKind::Pool { kind: PoolKind::Avg, kernel: k, stride: s, pad: p }, &[parent])
+    pub fn avgpool(
+        &mut self,
+        name: &str,
+        parent: LayerId,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> LayerId {
+        self.add(
+            name,
+            LayerKind::Pool { kind: PoolKind::Avg, kernel: k, stride: s, pad: p },
+            &[parent],
+        )
     }
 
     /// Add a residual join.

@@ -24,11 +24,8 @@ pub fn init_params(spec: &NetworkSpec, seed: u64) -> Vec<LayerParams> {
             LayerKind::Conv { filters, kernel, bias, .. } => {
                 let c_in = shapes[l.parents[0]].0;
                 let fan_in = c_in * kernel * kernel;
-                let w = kaiming_tensor(
-                    Shape4::new(*filters, c_in, *kernel, *kernel),
-                    fan_in,
-                    &mut rng,
-                );
+                let w =
+                    kaiming_tensor(Shape4::new(*filters, c_in, *kernel, *kernel), fan_in, &mut rng);
                 let b = bias.then(|| vec![0.0; *filters]);
                 LayerParams::Conv { w, b }
             }

@@ -236,11 +236,7 @@ pub fn infer_shape(kind: &LayerKind, parents: &[(usize, usize, usize)]) -> (usiz
         }
         LayerKind::Conv { filters, kernel, stride, pad, .. } => {
             let (_, h, w) = one_parent(parents);
-            (
-                *filters,
-                (h + 2 * pad - kernel) / stride + 1,
-                (w + 2 * pad - kernel) / stride + 1,
-            )
+            (*filters, (h + 2 * pad - kernel) / stride + 1, (w + 2 * pad - kernel) / stride + 1)
         }
         LayerKind::Pool { kernel, stride, pad, .. } => {
             let (c, h, w) = one_parent(parents);

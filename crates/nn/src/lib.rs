@@ -13,20 +13,20 @@ pub mod checkpoint;
 pub mod graph;
 pub mod inference;
 pub mod init;
-pub mod microbatch;
 pub mod layer;
+pub mod microbatch;
 pub mod network;
 pub mod optimizer;
 pub mod params_io;
 pub mod schedule;
 
+pub use checkpoint::{checkpointed_loss_and_grads, CheckpointStats};
 pub use graph::{LayerId, NetworkSpec};
 pub use inference::RunningStats;
 pub use init::init_params;
 pub use layer::{LayerKind, LayerParams, LayerSpec};
-pub use network::{ForwardPass, Network, BN_EPS};
-pub use checkpoint::{checkpointed_loss_and_grads, CheckpointStats};
 pub use microbatch::microbatched_loss_and_grads;
+pub use network::{ForwardPass, Network, BN_EPS};
 pub use optimizer::Sgd;
 pub use params_io::{load_params, load_params_file, save_params, save_params_file};
 pub use schedule::{linear_scaled_lr, Schedule};

@@ -55,8 +55,7 @@ pub fn microbatched_loss_and_grads(
     micro: usize,
 ) -> (f64, Vec<LayerParams>) {
     let pieces = split_batch(x, labels, micro);
-    let total_positions: f64 =
-        pieces.iter().map(|(_, l)| (l.n * l.h * l.w) as f64).sum();
+    let total_positions: f64 = pieces.iter().map(|(_, l)| (l.n * l.h * l.w) as f64).sum();
     let mut grads: Vec<LayerParams> = net.params.iter().map(|p| p.zeros_like()).collect();
     let mut loss_sum = 0.0f64;
     for (xb, lb) in &pieces {
@@ -74,11 +73,7 @@ pub fn microbatched_loss_and_grads(
 /// — the quantity micro-batching divides. Used by examples and tests to
 /// show the memory/time trade against spatial parallelism.
 pub fn activation_bytes(net: &Network, n: usize) -> usize {
-    net.spec
-        .shapes()
-        .iter()
-        .map(|(c, h, w)| n * c * h * w * std::mem::size_of::<f32>())
-        .sum()
+    net.spec.shapes().iter().map(|(c, h, w)| n * c * h * w * std::mem::size_of::<f32>()).sum()
 }
 
 #[cfg(test)]
@@ -112,8 +107,7 @@ mod tests {
         let x = Tensor::from_fn(Shape4::new(n, 2, 8, 8), |k, c, h, w| {
             ((k * 7 + c * 5 + h * 3 + w) % 11) as f32 * 0.2 - 1.0
         });
-        let labels =
-            Labels::per_pixel(n, 8, 8, (0..n * 64).map(|i| (i % 3) as u32).collect());
+        let labels = Labels::per_pixel(n, 8, 8, (0..n * 64).map(|i| (i % 3) as u32).collect());
         (x, labels)
     }
 

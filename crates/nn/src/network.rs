@@ -349,8 +349,8 @@ pub fn fc_forward(x: &Tensor, w: &Tensor, b: &[f32], out_features: usize) -> Ten
     // y (n × out) += x (n × in) · Wᵀ, W stored (out × in).
     sgemm_bt_acc(s.n, in_features, out_features, x.as_slice(), w.as_slice(), y.as_mut_slice());
     for k in 0..s.n {
-        for f in 0..out_features {
-            *y.at_mut(k, f, 0, 0) += b[f];
+        for (f, &bv) in b.iter().enumerate() {
+            *y.at_mut(k, f, 0, 0) += bv;
         }
     }
     y
@@ -370,8 +370,8 @@ pub fn fc_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> (Tensor, Tensor, Vec<
     // db = column sums of dy.
     let mut db = vec![0.0f32; out_features];
     for k in 0..s.n {
-        for f in 0..out_features {
-            db[f] += dy.at(k, f, 0, 0);
+        for (f, db_f) in db.iter_mut().enumerate() {
+            *db_f += dy.at(k, f, 0, 0);
         }
     }
     (dx, dw, db)
@@ -433,9 +433,11 @@ mod tests {
         let x = x.slice_box(&fg_tensor::Box4::new([0, 0, 0, 0], [2, 2, 6, 6]));
         let (_loss, grads) = net.loss_and_grads(&x, &labels);
         let eps = 1e-2f32;
-        for (layer, flat_idx) in
-            [(net.spec.find("c1").unwrap(), 5), (net.spec.find("c2").unwrap(), 11), (net.spec.find("fc").unwrap(), 2)]
-        {
+        for (layer, flat_idx) in [
+            (net.spec.find("c1").unwrap(), 5),
+            (net.spec.find("c2").unwrap(), 11),
+            (net.spec.find("fc").unwrap(), 2),
+        ] {
             let g_an = grads[layer].to_flat()[flat_idx] as f64;
             let mut pp = net.clone();
             let mut flat = pp.params[layer].to_flat();
@@ -555,9 +557,6 @@ mod tests {
             opt.step(&mut net.params, &grads);
             last = loss;
         }
-        assert!(
-            last < first * 0.7,
-            "loss did not decrease enough: {first} → {last}"
-        );
+        assert!(last < first * 0.7, "loss did not decrease enough: {first} → {last}");
     }
 }

@@ -24,7 +24,12 @@ pub struct Sgd {
 impl Sgd {
     /// Create an optimizer with velocity buffers shaped like `params`.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32, params: &[LayerParams]) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: params.iter().map(|p| p.zeros_like()).collect() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: params.iter().map(|p| p.zeros_like()).collect(),
+        }
     }
 
     /// Apply one update step.

@@ -214,9 +214,7 @@ mod tests {
         save_params(&mut buf, &net.params).unwrap();
         let mut net2 = demo_net();
         net2.params = load_params(&mut buf.as_slice()).unwrap();
-        let x = Tensor::from_fn(Shape4::new(2, 3, 8, 8), |n, c, h, w| {
-            (n + c + h + w) as f32 * 0.1
-        });
+        let x = Tensor::from_fn(Shape4::new(2, 3, 8, 8), |n, c, h, w| (n + c + h + w) as f32 * 0.1);
         let labels = Labels::per_sample(vec![0, 1]);
         let (l1, _) = net.loss_and_grads(&x, &labels);
         let (l2, _) = net2.loss_and_grads(&x, &labels);

@@ -140,10 +140,8 @@ mod tests {
         use fg_tensor::{Shape4, Tensor};
         // One scalar parameter descending a quadratic with a decaying
         // schedule still converges.
-        let mut p = vec![LayerParams::Conv {
-            w: Tensor::full(Shape4::new(1, 1, 1, 1), 1.0),
-            b: None,
-        }];
+        let mut p =
+            vec![LayerParams::Conv { w: Tensor::full(Shape4::new(1, 1, 1, 1), 1.0), b: None }];
         let mut opt = Sgd::new(0.0, 0.0, 0.0, &p);
         let s = Schedule {
             peak_lr: 0.2,

@@ -15,7 +15,7 @@ use fg_tensor::{ProcGrid, Shape4, TensorDist};
 
 /// All divisors of `p`, ascending.
 pub fn divisors(p: usize) -> Vec<usize> {
-    let mut out: Vec<usize> = (1..=p).filter(|d| p % d == 0).collect();
+    let mut out: Vec<usize> = (1..=p).filter(|d| p.is_multiple_of(*d)).collect();
     out.sort_unstable();
     out
 }
@@ -67,12 +67,7 @@ pub fn conv_candidates(
 /// runs "inherited" (per-sample layers, losses) get exactly their
 /// parent's candidates and are fixed up by the optimizer; elementwise
 /// layers get the union-compatible full candidate set of their shape.
-pub fn layer_candidates(
-    spec: &NetworkSpec,
-    batch: usize,
-    p: usize,
-    id: usize,
-) -> Vec<ProcGrid> {
+pub fn layer_candidates(spec: &NetworkSpec, batch: usize, p: usize, id: usize) -> Vec<ProcGrid> {
     let shapes = spec.shapes();
     let l = spec.layer(id);
     match &l.kind {
@@ -138,10 +133,7 @@ mod tests {
         // 8×8 spatial domain with O=3 (K=7): 4-way splits leave 2-row
         // shards thinner than the halo — excluded.
         let c = conv_candidates(4, 1, 8, 8, 4, 4, 3);
-        assert!(
-            c.iter().all(|g| g.h <= 2 && g.w <= 2),
-            "thin shards must be filtered: {c:?}"
-        );
+        assert!(c.iter().all(|g| g.h <= 2 && g.w <= 2), "thin shards must be filtered: {c:?}");
     }
 
     #[test]

@@ -26,7 +26,11 @@ use fg_tensor::ProcGrid;
 
 /// Cost of one conv layer under P-way channel/filter parallelism
 /// (spatial and sample dimensions unpartitioned within the group).
-pub fn channel_filter_conv_cost(platform: &Platform, desc: &ConvLayerDesc, parts: usize) -> LayerCost {
+pub fn channel_filter_conv_cost(
+    platform: &Platform,
+    desc: &ConvLayerDesc,
+    parts: usize,
+) -> LayerCost {
     assert!(parts >= 1);
     if parts == 1 {
         return conv_layer_cost(platform, desc, ProcGrid::sample(1), &CostOptions::default());
@@ -98,12 +102,7 @@ pub fn compare_spatial_channel(
     let oh = desc.h.div_ceil(desc.s);
     let ow = desc.w.div_ceil(desc.s);
     let spatial = if ph <= desc.h.min(oh) && pw <= desc.w.min(ow) {
-        let c = conv_layer_cost(
-            platform,
-            desc,
-            ProcGrid::spatial(ph, pw),
-            &CostOptions::default(),
-        );
+        let c = conv_layer_cost(platform, desc, ProcGrid::spatial(ph, pw), &CostOptions::default());
         Some(c.fp + c.bpx + c.bpw)
     } else {
         None
@@ -135,8 +134,7 @@ mod tests {
         let p = platform();
         let d = res5_like();
         let ch = channel_filter_conv_cost(&p, &d, 1);
-        let serial =
-            conv_layer_cost(&p, &d, ProcGrid::sample(1), &CostOptions::default());
+        let serial = conv_layer_cost(&p, &d, ProcGrid::sample(1), &CostOptions::default());
         assert_eq!(ch.fp, serial.fp);
     }
 

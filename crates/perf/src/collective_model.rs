@@ -111,9 +111,7 @@ mod tests {
         assert!(allreduce_ring(link(), p, big) < allreduce_recursive_doubling(link(), p, big));
         // Small message: RD's log p latency beats ring's 2(p−1).
         let small = 64.0;
-        assert!(
-            allreduce_recursive_doubling(link(), p, small) < allreduce_ring(link(), p, small)
-        );
+        assert!(allreduce_recursive_doubling(link(), p, small) < allreduce_ring(link(), p, small));
     }
 
     #[test]

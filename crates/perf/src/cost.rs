@@ -103,7 +103,8 @@ pub fn conv_layer_cost(
     let n_loc = desc.n.div_ceil(grid.n);
     let h_loc = desc.h.div_ceil(grid.h);
     let w_loc = desc.w.div_ceil(grid.w);
-    let work = ConvWork { n: n_loc, c: desc.c, h: h_loc, w: w_loc, f: desc.f, k: desc.k, s: desc.s };
+    let work =
+        ConvWork { n: n_loc, c: desc.c, h: h_loc, w: w_loc, f: desc.f, k: desc.k, s: desc.s };
     let c_fwd = platform.device.conv_time(&work, ConvPass::Forward);
     let c_bwd_data = platform.device.conv_time(&work, ConvPass::BackwardData);
     let c_bwd_filter = platform.device.conv_time(&work, ConvPass::BackwardFilter);
@@ -372,7 +373,8 @@ mod tests {
     fn overlap_never_increases_cost() {
         let p = platform();
         for d in [conv1_resnet(), mesh_conv1_1()] {
-            for grid in [ProcGrid::spatial(2, 2), ProcGrid::spatial(4, 4), ProcGrid::hybrid(2, 2, 1)]
+            for grid in
+                [ProcGrid::spatial(2, 2), ProcGrid::spatial(4, 4), ProcGrid::hybrid(2, 2, 1)]
             {
                 let ov = conv_layer_cost(&p, &d, grid, &CostOptions::default());
                 let no = conv_layer_cost(
@@ -396,9 +398,15 @@ mod tests {
         let c8 = conv_layer_cost(&p, &d, ProcGrid::spatial(4, 2), &opts);
         // Halo portion (fp - compute) grows when crossing nodes.
         let halo4 = c4.fp
-            - p.device.conv_time(&ConvWork { n: 1, c: 18, h: 1024, w: 1024, f: 128, k: 5, s: 2 }, ConvPass::Forward);
+            - p.device.conv_time(
+                &ConvWork { n: 1, c: 18, h: 1024, w: 1024, f: 128, k: 5, s: 2 },
+                ConvPass::Forward,
+            );
         let halo8 = c8.fp
-            - p.device.conv_time(&ConvWork { n: 1, c: 18, h: 512, w: 1024, f: 128, k: 5, s: 2 }, ConvPass::Forward);
+            - p.device.conv_time(
+                &ConvWork { n: 1, c: 18, h: 512, w: 1024, f: 128, k: 5, s: 2 },
+                ConvPass::Forward,
+            );
         assert!(halo8 > halo4, "inter-node halo ({halo8}) must exceed intra-node ({halo4})");
     }
 
@@ -410,7 +418,12 @@ mod tests {
         let t = shuffle_cost(&p, shape, ProcGrid::sample(8), ProcGrid::hybrid(2, 2, 2));
         assert!(t > 0.0);
         // Moving more data costs more.
-        let t2 = shuffle_cost(&p, Shape4::new(8, 128, 56, 56), ProcGrid::sample(8), ProcGrid::hybrid(2, 2, 2));
+        let t2 = shuffle_cost(
+            &p,
+            Shape4::new(8, 128, 56, 56),
+            ProcGrid::sample(8),
+            ProcGrid::hybrid(2, 2, 2),
+        );
         assert!(t2 > t);
     }
 

@@ -23,10 +23,10 @@ pub mod optimizer;
 pub mod platform;
 pub mod volume;
 
+pub use channel_cost::{channel_filter_conv_cost, compare_spatial_channel};
 pub use cost::{
     conv_layer_cost, layer_cost, network_cost, shuffle_cost, ConvLayerDesc, CostBreakdown,
     CostOptions, LayerCost,
 };
-pub use channel_cost::{channel_filter_conv_cost, compare_spatial_channel};
 pub use optimizer::StrategyOptimizer;
 pub use platform::{ConvPass, ConvWork, DeviceModel, Link, Platform};

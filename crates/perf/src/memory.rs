@@ -4,10 +4,10 @@
 //! the constraint that motivates the whole paper: a 2K mesh sample's
 //! activations exceed a 16 GB V100, so feasible strategies *must*
 //! decompose spatially. This module estimates the training-time memory
-//! footprint of each rank under a strategy (activations + error signals
-//! + halo margins + replicated weights + gradients + optimizer state)
-//! and exposes the predicate the optimizer uses to reject plans that
-//! don't fit.
+//! footprint of each rank under a strategy — activations, error
+//! signals, halo margins, replicated weights, gradients, and optimizer
+//! state — and exposes the predicate the optimizer uses to reject
+//! plans that don't fit.
 
 use fg_core::Strategy;
 use fg_nn::{LayerKind, NetworkSpec};
@@ -128,7 +128,8 @@ mod tests {
     fn memory_scales_down_with_spatial_decomposition() {
         let spec = mesh_model(MeshSize::TwoK);
         let m1 = strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::sample(1)));
-        let m4 = strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::spatial(2, 2)));
+        let m4 =
+            strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::spatial(2, 2)));
         let m16 =
             strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::spatial(4, 4)));
         assert!(m4 < m1 / 3, "4-way should cut memory ~4x: {m1} → {m4}");
@@ -140,8 +141,10 @@ mod tests {
         // The paper's point: "data-parallel scaling cannot reduce memory
         // usage beyond what is required for a single sample."
         let spec = mesh_model(MeshSize::TwoK);
-        let m_1gpu = strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::sample(1)));
-        let m_8gpu = strategy_memory_bytes(&spec, 8, &Strategy::uniform(&spec, ProcGrid::sample(8)));
+        let m_1gpu =
+            strategy_memory_bytes(&spec, 1, &Strategy::uniform(&spec, ProcGrid::sample(1)));
+        let m_8gpu =
+            strategy_memory_bytes(&spec, 8, &Strategy::uniform(&spec, ProcGrid::sample(8)));
         // 8 samples over 8 ranks: same per-rank footprint as 1 over 1.
         assert_eq!(m_1gpu, m_8gpu);
     }

@@ -106,7 +106,9 @@ impl<'a> StrategyOptimizer<'a> {
             .map(|id| {
                 candidates[id]
                     .iter()
-                    .map(|g| layer_cost(self.platform, self.spec, self.batch, id, *g, &self.opts).total())
+                    .map(|g| {
+                        layer_cost(self.platform, self.spec, self.batch, id, *g, &self.opts).total()
+                    })
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -115,11 +117,7 @@ impl<'a> StrategyOptimizer<'a> {
         // Longest-path loop (§V-C): optimize the most expensive chain
         // first, then the next, until every layer has a distribution.
         for _ in 0..n {
-            if assigned
-                .iter()
-                .enumerate()
-                .all(|(id, a)| a.is_some() || candidates[id].is_empty())
-            {
+            if assigned.iter().enumerate().all(|(id, a)| a.is_some() || candidates[id].is_empty()) {
                 break;
             }
             let avoid: Vec<bool> = assigned.iter().map(|a| a.is_some()).collect();
@@ -134,9 +132,9 @@ impl<'a> StrategyOptimizer<'a> {
         let mut grids = Vec::with_capacity(n);
         for (id, l) in self.spec.layers().iter().enumerate() {
             let g = match &l.kind {
-                LayerKind::GlobalAvgPool | LayerKind::Fc { .. } | LayerKind::SoftmaxCrossEntropy => {
-                    grids[l.parents[0]]
-                }
+                LayerKind::GlobalAvgPool
+                | LayerKind::Fc { .. }
+                | LayerKind::SoftmaxCrossEntropy => grids[l.parents[0]],
                 _ => assigned[id].unwrap_or_else(|| {
                     // Not on any path (rare side branch): inherit parent,
                     // or sample-parallel for sources.
@@ -145,7 +143,8 @@ impl<'a> StrategyOptimizer<'a> {
             };
             grids.push(g);
         }
-        let strategy = Strategy { grids, bn_mode: BnMode::default(), overlap_halo: true };
+        let strategy =
+            Strategy { grids, bn_mode: BnMode::default(), overlap_halo: true, plan_cache: true };
         if let Some(limit) = self.memory_limit {
             debug_assert!(
                 strategy_memory_bytes(self.spec, self.batch, &strategy) <= limit * 2,
@@ -218,7 +217,7 @@ impl<'a> StrategyOptimizer<'a> {
                     }
                 }
                 level = best.into_values().collect();
-                level.sort_by(|a, b| grid_key(a.0).cmp(&grid_key(b.0)));
+                level.sort_by_key(|a| grid_key(a.0));
             }
             states.push(level);
         }
@@ -341,9 +340,12 @@ mod tests {
         let opt = StrategyOptimizer::new(&p, &spec, batch, world);
         let (strategy, cost) = opt.optimize();
         let opts = CostOptions::default();
-        for grid in
-            [ProcGrid::sample(8), ProcGrid::hybrid(4, 2, 1), ProcGrid::hybrid(2, 2, 2), ProcGrid::hybrid(1, 2, 4)]
-        {
+        for grid in [
+            ProcGrid::sample(8),
+            ProcGrid::hybrid(4, 2, 1),
+            ProcGrid::hybrid(2, 2, 2),
+            ProcGrid::hybrid(1, 2, 4),
+        ] {
             let uniform = Strategy::uniform(&spec, grid);
             if uniform.validate(&spec, batch).is_err() {
                 continue;
@@ -384,9 +386,8 @@ mod tests {
         let spec = fg_models::mesh_model(fg_models::MeshSize::TwoK);
         let (unconstrained, _) = StrategyOptimizer::new(&p, &spec, 4, 16).optimize();
         // Unconstrained, the model may happily pick sample parallelism…
-        let (constrained, _) = StrategyOptimizer::new(&p, &spec, 4, 16)
-            .with_memory_limit(V100_BYTES)
-            .optimize();
+        let (constrained, _) =
+            StrategyOptimizer::new(&p, &spec, 4, 16).with_memory_limit(V100_BYTES).optimize();
         assert_eq!(constrained.validate(&spec, 4), Ok(()));
         assert!(
             strategy_fits(&spec, 4, &constrained, V100_BYTES),

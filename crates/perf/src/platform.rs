@@ -197,15 +197,27 @@ mod tests {
     fn device_model_matches_paper_anchors() {
         let d = DeviceModel::v100_like();
         // 2K mesh conv1_1 FP at N=1 ≈ 7.5 ms in the paper (Fig. 3).
-        let t = d.conv_time(&ConvWork { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 }, ConvPass::Forward);
+        let t = d.conv_time(
+            &ConvWork { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 },
+            ConvPass::Forward,
+        );
         assert!((5e-3..12e-3).contains(&t), "conv1_1 modeled at {t}");
         // conv6_1 FP at N=1 ≈ 0.2 ms.
-        let t = d.conv_time(&ConvWork { n: 1, c: 384, h: 64, w: 64, f: 128, k: 3, s: 2 }, ConvPass::Forward);
+        let t = d.conv_time(
+            &ConvWork { n: 1, c: 384, h: 64, w: 64, f: 128, k: 3, s: 2 },
+            ConvPass::Forward,
+        );
         assert!((0.1e-3..0.4e-3).contains(&t), "conv6_1 modeled at {t}");
         // Tiny kernels are launch-bound: halving the work barely halves
         // the time.
-        let t1 = d.conv_time(&ConvWork { n: 1, c: 512, h: 28, w: 28, f: 128, k: 1, s: 1 }, ConvPass::Forward);
-        let t2 = d.conv_time(&ConvWork { n: 1, c: 512, h: 14, w: 28, f: 128, k: 1, s: 1 }, ConvPass::Forward);
+        let t1 = d.conv_time(
+            &ConvWork { n: 1, c: 512, h: 28, w: 28, f: 128, k: 1, s: 1 },
+            ConvPass::Forward,
+        );
+        let t2 = d.conv_time(
+            &ConvWork { n: 1, c: 512, h: 14, w: 28, f: 128, k: 1, s: 1 },
+            ConvPass::Forward,
+        );
         assert!(t2 > t1 * 0.55, "launch overhead must dominate tiny kernels: {t1} vs {t2}");
     }
 

@@ -89,7 +89,15 @@ pub fn halo_elements_3d(
 
 /// Halo-to-compute ratio (communicated elements per owned element) for
 /// a 2-D split.
-pub fn halo_ratio_2d(n: usize, c: usize, h: usize, w: usize, o: usize, ph: usize, pw: usize) -> f64 {
+pub fn halo_ratio_2d(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    ph: usize,
+    pw: usize,
+) -> f64 {
     let own = (n * c) as f64 * (h.div_ceil(ph) * w.div_ceil(pw)) as f64;
     halo_elements_2d(n, c, h, w, o, ph, pw) / own
 }
@@ -152,8 +160,8 @@ mod tests {
         // parallelism scales *further* on volumetric data. Compare the
         // growth over a 64× increase in ranks.
         let o = 1;
-        let grow_2d = halo_ratio_2d(1, 1, 4096, 4096, o, 16, 16)
-            / halo_ratio_2d(1, 1, 4096, 4096, o, 2, 2);
+        let grow_2d =
+            halo_ratio_2d(1, 1, 4096, 4096, o, 16, 16) / halo_ratio_2d(1, 1, 4096, 4096, o, 2, 2);
         let grow_3d = halo_ratio_3d(1, 1, 256, 256, 256, o, 8, 8, 8)
             / halo_ratio_3d(1, 1, 256, 256, 256, o, 2, 2, 2);
         // Ideal: 8× for 2-D (√64), 4× for 3-D (∛64·... exactly
@@ -198,8 +206,8 @@ mod tests {
         let p = Platform::lassen_like();
         let intra = halo_time_3d(&p, 1, 8, 64, 64, 64, 1, 2, 2, 1); // 4 ranks: one node
         let inter = halo_time_3d(&p, 1, 8, 64, 64, 64, 1, 2, 2, 2); // 8 ranks: two nodes
-        // Inter-node link is slower per byte; even with smaller blocks the
-        // per-byte cost dominates here.
+                                                                    // Inter-node link is slower per byte; even with smaller blocks the
+                                                                    // per-byte cost dominates here.
         assert!(inter > 0.0 && intra > 0.0);
         let bytes_intra = halo_elements_3d(1, 8, 64, 64, 64, 1, 2, 2, 1) * 4.0;
         let bytes_inter = halo_elements_3d(1, 8, 64, 64, 64, 1, 2, 2, 2) * 4.0;

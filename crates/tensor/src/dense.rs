@@ -156,7 +156,8 @@ impl Tensor {
             for c in c0..c1 {
                 for h in h0..h1 {
                     let base = self.shape.offset(n, c, h, w0);
-                    for (dst, s) in self.data[base..base + row].iter_mut().zip(&data[src..src + row])
+                    for (dst, s) in
+                        self.data[base..base + row].iter_mut().zip(&data[src..src + row])
                     {
                         f(dst, *s);
                     }
@@ -181,11 +182,7 @@ impl Tensor {
     /// Maximum absolute elementwise difference against `other`.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "comparing tensors of different shapes");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Maximum relative elementwise difference, with absolute floor

@@ -149,8 +149,7 @@ mod tests {
 
     #[test]
     fn local_boxes_tile_the_tensor() {
-        let dist =
-            TensorDist::new(Shape4::new(4, 3, 10, 11), ProcGrid::new(2, 1, 2, 3));
+        let dist = TensorDist::new(Shape4::new(4, 3, 10, 11), ProcGrid::new(2, 1, 2, 3));
         let mut counts = vec![0u8; dist.shape.len()];
         for rank in 0..dist.world_size() {
             for idx in dist.local_box(rank).iter() {

@@ -186,6 +186,15 @@ impl DistTensor {
         self.local.slice_box(&self.own_box_local())
     }
 
+    /// A re-margined copy of this shard: same distribution, rank, and
+    /// owned data, with margins `(lo, hi)` allocated but unfilled (run a
+    /// halo exchange afterwards to populate them).
+    pub fn to_window(&self, margin_lo: [usize; NDIMS], margin_hi: [usize; NDIMS]) -> DistTensor {
+        let mut win = DistTensor::new(self.dist, self.rank, margin_lo, margin_hi);
+        win.set_owned(&self.owned_tensor());
+        win
+    }
+
     /// Overwrite the owned region from a tensor of matching shape.
     pub fn set_owned(&mut self, t: &Tensor) {
         let lb = self.own_box_local();
@@ -234,9 +243,8 @@ mod tests {
     #[test]
     fn from_global_fills_owned_region_only() {
         let dist = demo_dist();
-        let global = Tensor::from_fn(dist.shape, |n, c, h, w| {
-            (n * 1000 + c * 100 + h * 10 + w) as f32
-        });
+        let global =
+            Tensor::from_fn(dist.shape, |n, c, h, w| (n * 1000 + c * 100 + h * 10 + w) as f32);
         for rank in 0..dist.world_size() {
             let dt = DistTensor::from_global(dist, rank, &global, [0, 0, 1, 1], [0, 0, 1, 1]);
             for idx in dt.own_box().iter() {

@@ -22,8 +22,9 @@
 
 use fg_comm::{Communicator, OpClass};
 
+use crate::dist::TensorDist;
 use crate::disttensor::DistTensor;
-use crate::shape::Box4;
+use crate::shape::{Box4, NDIMS};
 
 /// Plan of one rank's sends and receives for a halo exchange.
 ///
@@ -43,15 +44,29 @@ impl HaloPlan {
     /// plans from identically laid-out `DistTensor`s (same distribution
     /// and margins).
     pub fn build(dt: &DistTensor) -> HaloPlan {
-        let dist = *dt.dist();
-        let me = dt.rank();
-        let own_me = dt.own_box();
+        HaloPlan::for_layout(dt.dist(), dt.rank(), dt.margin_lo(), dt.margin_hi())
+    }
+
+    /// Construct the exchange plan from layout alone — distribution,
+    /// rank, and margins — without materializing a tensor. This is what
+    /// plan compilation uses: the geometry of a halo exchange depends
+    /// only on the layout, so a layer can compile its plan once at
+    /// construction and reuse it for every activation that flows through.
+    pub fn for_layout(
+        dist: &TensorDist,
+        rank: usize,
+        margin_lo: [usize; NDIMS],
+        margin_hi: [usize; NDIMS],
+    ) -> HaloPlan {
+        let bounds = dist.shape.full_box();
+        let own_me = dist.local_box(rank);
+        let needed = own_me.expand_clamped(margin_lo, margin_hi, &bounds);
         let mut plan = HaloPlan::default();
 
         // What I receive: my needed box minus my own box, intersected
         // with each owner. `ranks_overlapping` never reports empty boxes.
-        for (peer, inter) in dist.ranks_overlapping(&dt.needed_box()) {
-            if peer != me {
+        for (peer, inter) in dist.ranks_overlapping(&needed) {
+            if peer != rank {
                 plan.recvs.push((peer, inter));
             }
         }
@@ -59,13 +74,11 @@ impl HaloPlan {
         // What I send: every other rank's needed-minus-own ∩ my own box.
         // Margins are a layout property shared by all ranks, so peer
         // geometry is computed locally.
-        let bounds = dist.shape.full_box();
         for peer in 0..dist.world_size() {
-            if peer == me {
+            if peer == rank {
                 continue;
             }
-            let peer_needed =
-                dist.local_box(peer).expand_clamped(dt.margin_lo(), dt.margin_hi(), &bounds);
+            let peer_needed = dist.local_box(peer).expand_clamped(margin_lo, margin_hi, &bounds);
             let inter = peer_needed.intersect(&own_me);
             if !inter.is_empty() {
                 plan.sends.push((peer, inter));
@@ -250,7 +263,12 @@ mod tests {
 
     #[test]
     fn hybrid_sample_spatial_grid() {
-        run_exchange(ProcGrid::hybrid(2, 2, 2), Shape4::new(4, 2, 8, 8), [0, 0, 2, 2], [0, 0, 2, 2]);
+        run_exchange(
+            ProcGrid::hybrid(2, 2, 2),
+            Shape4::new(4, 2, 8, 8),
+            [0, 0, 2, 2],
+            [0, 0, 2, 2],
+        );
     }
 
     #[test]
@@ -330,7 +348,8 @@ mod tests {
         let global_x = global_pattern(shape);
         let results = run_ranks(4, |comm| {
             // Forward: fill x owned, exchange halo.
-            let mut x = DistTensor::from_global(dist, comm.rank(), &global_x, [0, 0, 1, 1], [0, 0, 1, 1]);
+            let mut x =
+                DistTensor::from_global(dist, comm.rank(), &global_x, [0, 0, 1, 1], [0, 0, 1, 1]);
             exchange_halo(comm, &mut x);
             // y: a deterministic per-rank window pattern (in-bounds only).
             let mut y = DistTensor::new(dist, comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);

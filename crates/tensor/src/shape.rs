@@ -90,8 +90,8 @@ impl Box4 {
     /// The extent of the box along each dimension (0 if empty there).
     pub fn extents(&self) -> [usize; NDIMS] {
         let mut e = [0; NDIMS];
-        for d in 0..NDIMS {
-            e[d] = self.hi[d].saturating_sub(self.lo[d]);
+        for (d, ext) in e.iter_mut().enumerate() {
+            *ext = self.hi[d].saturating_sub(self.lo[d]);
         }
         e
     }
@@ -165,8 +165,7 @@ impl Box4 {
         let b = *self;
         (b.lo[0]..b.hi[0]).flat_map(move |n| {
             (b.lo[1]..b.hi[1]).flat_map(move |c| {
-                (b.lo[2]..b.hi[2])
-                    .flat_map(move |h| (b.lo[3]..b.hi[3]).map(move |w| [n, c, h, w]))
+                (b.lo[2]..b.hi[2]).flat_map(move |h| (b.lo[3]..b.hi[3]).map(move |w| [n, c, h, w]))
             })
         })
     }
@@ -177,7 +176,13 @@ impl std::fmt::Display for Box4 {
         write!(
             f,
             "[{}..{}, {}..{}, {}..{}, {}..{}]",
-            self.lo[0], self.hi[0], self.lo[1], self.hi[1], self.lo[2], self.hi[2], self.lo[3],
+            self.lo[0],
+            self.hi[0],
+            self.lo[1],
+            self.hi[1],
+            self.lo[2],
+            self.hi[2],
+            self.lo[3],
             self.hi[3]
         )
     }
@@ -205,7 +210,7 @@ mod tests {
         let b = Box4::new([2, 0, 3, 1], [6, 2, 8, 3]);
         let i = a.intersect(&b);
         assert_eq!(i, Box4::new([2, 0, 3, 1], [4, 2, 4, 3]));
-        assert_eq!(i.len(), 2 * 2 * 1 * 2);
+        assert_eq!(i.len(), (2 * 2) * 2);
         // Disjoint boxes intersect to empty.
         let c = Box4::new([4, 0, 0, 0], [5, 1, 1, 1]);
         assert!(a.intersect(&c).is_empty());

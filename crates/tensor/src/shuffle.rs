@@ -13,14 +13,119 @@ use fg_comm::{Collectives, Communicator, OpClass};
 
 use crate::dist::TensorDist;
 use crate::disttensor::DistTensor;
-use crate::shape::NDIMS;
+use crate::shape::{Box4, NDIMS};
+
+/// One rank's precompiled geometry for a §III-C redistribution: which
+/// global boxes it contributes to each peer and which it receives.
+///
+/// Building the plan is pure geometry; [`ShufflePlan::execute`] performs
+/// the all-to-all. Compiling once per layer edge and executing every
+/// iteration is the plan-once/execute-many structure of the paper's
+/// implementation, and `execute` reproduces [`redistribute`] (which now
+/// delegates here) bitwise: send and receive boxes are enumerated in the
+/// exact `ranks_overlapping` orders the one-shot path used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShufflePlan {
+    src: TensorDist,
+    dst: TensorDist,
+    rank: usize,
+    /// `(peer, global box)` this rank packs for each destination, in
+    /// destination-overlap order.
+    sends: Vec<(usize, Box4)>,
+    /// `(peer, global box)` this rank unpacks from each source, in
+    /// source-overlap order.
+    recvs: Vec<(usize, Box4)>,
+}
+
+impl ShufflePlan {
+    /// Compile the shuffle geometry for one rank.
+    ///
+    /// Both distributions must cover the same global shape on the same
+    /// world size.
+    pub fn build(src: TensorDist, dst: TensorDist, rank: usize) -> ShufflePlan {
+        assert_eq!(src.shape, dst.shape, "redistribution cannot change the global shape");
+        assert_eq!(
+            src.world_size(),
+            dst.world_size(),
+            "redistribution across different world sizes is not supported"
+        );
+        let my_old = src.local_box(rank);
+        let my_new = dst.local_box(rank);
+        ShufflePlan {
+            src,
+            dst,
+            rank,
+            sends: dst.ranks_overlapping(&my_old),
+            recvs: src.ranks_overlapping(&my_new),
+        }
+    }
+
+    /// The source distribution the plan was compiled for.
+    pub fn src_dist(&self) -> &TensorDist {
+        &self.src
+    }
+
+    /// The destination distribution the plan produces.
+    pub fn dst_dist(&self) -> &TensorDist {
+        &self.dst
+    }
+
+    /// True when source and destination distributions coincide (the
+    /// shuffle still runs, as a self-copy, for bitwise parity with the
+    /// historical one-shot path).
+    pub fn is_identity(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Total elements this rank contributes to the all-to-all.
+    pub fn send_elements(&self) -> usize {
+        self.sends.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Run the planned all-to-all: shuffle `src` into a fresh shard of
+    /// the destination distribution, allocated with the given margins
+    /// (unfilled; run a halo exchange afterwards if needed).
+    ///
+    /// Collective over `comm`. `src` must be laid out exactly as the
+    /// plan was compiled for (same distribution and rank).
+    pub fn execute<C: Communicator>(
+        &self,
+        comm: &C,
+        src: &DistTensor,
+        margin_lo: [usize; NDIMS],
+        margin_hi: [usize; NDIMS],
+    ) -> DistTensor {
+        assert_eq!(*src.dist(), self.src, "tensor does not match the plan's source distribution");
+        assert_eq!(src.rank(), self.rank, "tensor rank does not match the plan's rank");
+        debug_assert_eq!(comm.size(), self.src.world_size());
+        debug_assert_eq!(comm.rank(), self.rank);
+
+        let mut dst = DistTensor::new(self.dst, self.rank, margin_lo, margin_hi);
+        comm.with_class(OpClass::Shuffle, || {
+            // Payload for each destination rank: my old box ∩ their new box.
+            let mut sends: Vec<Vec<f32>> = (0..comm.size()).map(|_| Vec::new()).collect();
+            for (peer, inter) in &self.sends {
+                let lbox = src.global_to_local_box(inter);
+                sends[*peer] = src.local().pack_box(&lbox);
+            }
+            let recvs = comm.alltoallv(sends);
+            // Unpack: from each source rank, their old box ∩ my new box.
+            for (peer, inter) in &self.recvs {
+                let lbox = dst.global_to_local_box(inter);
+                dst.local_mut().unpack_box(&lbox, &recvs[*peer]);
+            }
+        });
+        dst
+    }
+}
 
 /// Redistribute `src` into distribution `dst_dist`, allocating the
 /// destination shard with the given margins (unfilled; run a halo
 /// exchange afterwards if needed).
 ///
 /// Collective over `comm`; both distributions must cover the same global
-/// shape on the same world size.
+/// shape on the same world size. One-shot convenience over
+/// [`ShufflePlan`]: compiles the plan and immediately executes it.
 pub fn redistribute<C: Communicator>(
     comm: &C,
     src: &DistTensor,
@@ -28,35 +133,7 @@ pub fn redistribute<C: Communicator>(
     margin_lo: [usize; NDIMS],
     margin_hi: [usize; NDIMS],
 ) -> DistTensor {
-    let src_dist = *src.dist();
-    assert_eq!(src_dist.shape, dst_dist.shape, "redistribution cannot change the global shape");
-    assert_eq!(
-        src_dist.world_size(),
-        dst_dist.world_size(),
-        "redistribution across different world sizes is not supported"
-    );
-    debug_assert_eq!(comm.size(), src_dist.world_size());
-
-    let me = comm.rank();
-    let my_old = src.own_box();
-    let mut dst = DistTensor::new(dst_dist, me, margin_lo, margin_hi);
-    let my_new = dst.own_box();
-
-    comm.with_class(OpClass::Shuffle, || {
-        // Payload for each destination rank: my old box ∩ their new box.
-        let mut sends: Vec<Vec<f32>> = (0..comm.size()).map(|_| Vec::new()).collect();
-        for (peer, inter) in dst_dist.ranks_overlapping(&my_old) {
-            let lbox = src.global_to_local_box(&inter);
-            sends[peer] = src.local().pack_box(&lbox);
-        }
-        let recvs = comm.alltoallv(sends);
-        // Unpack: from each source rank, their old box ∩ my new box.
-        for (peer, inter) in src_dist.ranks_overlapping(&my_new) {
-            let lbox = dst.global_to_local_box(&inter);
-            dst.local_mut().unpack_box(&lbox, &recvs[peer]);
-        }
-    });
-    dst
+    ShufflePlan::build(*src.dist(), dst_dist, src.rank()).execute(comm, src, margin_lo, margin_hi)
 }
 
 #[cfg(test)]
@@ -96,7 +173,11 @@ mod tests {
 
     #[test]
     fn spatial_to_spatial_different_factorization() {
-        check_roundtrip(Shape4::new(2, 2, 12, 12), ProcGrid::spatial(4, 1), ProcGrid::spatial(2, 2));
+        check_roundtrip(
+            Shape4::new(2, 2, 12, 12),
+            ProcGrid::spatial(4, 1),
+            ProcGrid::spatial(2, 2),
+        );
     }
 
     #[test]
@@ -106,7 +187,11 @@ mod tests {
 
     #[test]
     fn channel_partition_shuffle() {
-        check_roundtrip(Shape4::new(2, 8, 4, 4), ProcGrid::new(2, 2, 1, 1), ProcGrid::new(1, 4, 1, 1));
+        check_roundtrip(
+            Shape4::new(2, 8, 4, 4),
+            ProcGrid::new(2, 2, 1, 1),
+            ProcGrid::new(1, 4, 1, 1),
+        );
     }
 
     #[test]
@@ -119,6 +204,28 @@ mod tests {
             let src = DistTensor::from_global(dist, comm.rank(), &global, [0; 4], [0; 4]);
             let out = redistribute(comm, &src, dist, [0; 4], [0; 4]);
             assert_eq!(out.owned_tensor(), src.owned_tensor());
+        });
+    }
+
+    #[test]
+    fn cached_plan_execution_matches_one_shot() {
+        // One plan, executed against several different tensors, must be
+        // indistinguishable from compiling fresh geometry per call.
+        let shape = Shape4::new(4, 2, 6, 6);
+        let d_from = TensorDist::new(shape, ProcGrid::sample(4));
+        let d_to = TensorDist::new(shape, ProcGrid::spatial(2, 2));
+        run_ranks(4, |comm| {
+            let plan = ShufflePlan::build(d_from, d_to, comm.rank());
+            for step in 0..3 {
+                let global = Tensor::from_fn(shape, |n, c, h, w| {
+                    (((n * 7 + c) * 11 + h) * 13 + w) as f32 + step as f32 * 1000.0
+                });
+                let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
+                let planned = plan.execute(comm, &src, [0; 4], [0; 4]);
+                let oneshot = redistribute(comm, &src, d_to, [0; 4], [0; 4]);
+                assert_eq!(planned.owned_tensor(), oneshot.owned_tensor());
+                assert_eq!(planned.local(), oneshot.local());
+            }
         });
     }
 

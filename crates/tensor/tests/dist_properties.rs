@@ -5,13 +5,11 @@ use fg_tensor::{Box4, DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
 use proptest::prelude::*;
 
 fn arb_grid() -> impl Strategy<Value = ProcGrid> {
-    (1usize..4, 1usize..3, 1usize..4, 1usize..4)
-        .prop_map(|(n, c, h, w)| ProcGrid::new(n, c, h, w))
+    (1usize..4, 1usize..3, 1usize..4, 1usize..4).prop_map(|(n, c, h, w)| ProcGrid::new(n, c, h, w))
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape4> {
-    (1usize..6, 1usize..6, 1usize..12, 1usize..12)
-        .prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+    (1usize..6, 1usize..6, 1usize..12, 1usize..12).prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
 }
 
 proptest! {

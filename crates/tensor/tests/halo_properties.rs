@@ -36,9 +36,12 @@ fn case() -> impl Strategy<Value = (Shape4, ProcGrid, [usize; 4], u64)> {
     )
         .prop_filter_map("populated", |(n, c, h, w, grid, mh, mw, seed)| {
             let shape = Shape4::new(n * grid.n, c, h, w);
-            TensorDist::new(shape, grid)
-                .is_fully_populated()
-                .then_some((shape, grid, [0, 0, mh, mw], seed))
+            TensorDist::new(shape, grid).is_fully_populated().then_some((
+                shape,
+                grid,
+                [0, 0, mh, mw],
+                seed,
+            ))
         })
 }
 

@@ -24,7 +24,10 @@ fn main() {
     println!("modeled layer microbenchmarks (Lassen-like V100 model), N = samples/group:\n");
     for (name, desc, ns) in paper_layers() {
         let n = ns[0];
-        println!("{name} (C={} H={} W={} F={} K={} S={}), N={n}:", desc.c, desc.h, desc.w, desc.f, desc.k, desc.s);
+        println!(
+            "{name} (C={} H={} W={} F={} K={} S={}), N={n}:",
+            desc.c, desc.h, desc.w, desc.f, desc.k, desc.s
+        );
         println!("  {:>14} {:>12} {:>12}", "scheme", "FP", "BP");
         for p in layer_series(&platform, &desc, n, 16) {
             if p.gpus == 16 || (p.scheme == 1 && p.gpus == 1) {

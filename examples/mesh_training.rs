@@ -66,8 +66,7 @@ fn main() {
             // Labels derive from the fields; the generator materializes
             // one sample at a time, never the whole batch.
             let labels = ds.batch_labels(step * batch, batch);
-            let (loss, grads) =
-                exec.loss_and_grads_sharded(comm, &params, x_shard, &labels);
+            let (loss, grads) = exec.loss_and_grads_sharded(comm, &params, x_shard, &labels);
             opt.step(&mut params, &grads);
             out.push(loss);
         }
@@ -76,9 +75,6 @@ fn main() {
     for (step, loss) in losses[0].iter().enumerate() {
         println!("  step {step}: loss {loss:.4}");
     }
-    assert!(
-        losses[0].last().unwrap() < losses[0].first().unwrap(),
-        "loss should decrease"
-    );
+    assert!(losses[0].last().unwrap() < losses[0].first().unwrap(), "loss should decrease");
     println!("\nloss decreased; all {} ranks agree bit-for-bit.", grid.size());
 }

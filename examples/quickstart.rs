@@ -40,12 +40,8 @@ fn main() {
         (((n + 1) * (c + 2)) as f32 * 0.1 * ((h as f32 * 0.4).sin() + (w as f32 * 0.3).cos()))
             .tanh()
     });
-    let labels = Labels::per_pixel(
-        batch,
-        16,
-        16,
-        (0..batch * 256).map(|i| ((i / 2) % 2) as u32).collect(),
-    );
+    let labels =
+        Labels::per_pixel(batch, 16, 16, (0..batch * 256).map(|i| ((i / 2) % 2) as u32).collect());
 
     // 5. Train for a few steps on 8 simulated ranks. Every rank holds
     //    replicated parameters and sees identical losses.

@@ -42,7 +42,7 @@ fn report(platform: &Platform, name: &str, spec: &NetworkSpec, batch: usize, wor
     let opts = CostOptions::default();
     print!("  uniform baselines: ");
     for k in [1usize, 2, 4, 8, 16] {
-        if world % k != 0 || world / k > batch {
+        if !world.is_multiple_of(k) || world / k > batch {
             continue;
         }
         let (ph, pw) = match k {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, and the tier-1 test
+# suite. Run from anywhere; everything executes at the repo root.
+#
+#   scripts/ci.sh          # full gate
+#   scripts/ci.sh --quick  # skip the release build (lints + tests only)
+#
+# The workspace vendors its external dependencies (vendor/), so every
+# cargo invocation runs --offline; no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --all --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    step "cargo build --release"
+    cargo build --release --offline
+fi
+
+step "tier-1 tests (root package)"
+cargo test -q --offline
+
+step "workspace tests"
+cargo test -q --offline --workspace
+
+printf '\nCI gate passed.\n'

@@ -40,17 +40,17 @@
 
 /// The rank-threaded simulated communicator (MPI/NCCL stand-in).
 pub use fg_comm as comm;
-/// Distributed NCHW tensors: halo exchange, redistribution.
-pub use fg_tensor as tensor;
-/// CPU compute kernels (cuDNN stand-in).
-pub use fg_kernels as kernels;
-/// Serial network definition and training.
-pub use fg_nn as nn;
 /// The paper's contribution: distributed convolution and the executor.
 pub use fg_core as core;
-/// Performance model and strategy optimizer.
-pub use fg_perf as perf;
-/// ResNet-50 and the mesh-tangling models.
-pub use fg_models as models;
 /// Synthetic datasets.
 pub use fg_data as data;
+/// CPU compute kernels (cuDNN stand-in).
+pub use fg_kernels as kernels;
+/// ResNet-50 and the mesh-tangling models.
+pub use fg_models as models;
+/// Serial network definition and training.
+pub use fg_nn as nn;
+/// Performance model and strategy optimizer.
+pub use fg_perf as perf;
+/// Distributed NCHW tensors: halo exchange, redistribution.
+pub use fg_tensor as tensor;

@@ -94,8 +94,7 @@ fn local_bn_mode_trains_but_differs_from_serial() {
     let net = Network::init(spec.clone(), 1);
     let (serial_loss, _) = net.loss_and_grads(&x, &labels);
 
-    let strategy =
-        Strategy::uniform(&spec, ProcGrid::sample(4)).with_bn_mode(BnMode::Local);
+    let strategy = Strategy::uniform(&spec, ProcGrid::sample(4)).with_bn_mode(BnMode::Local);
     let exec = DistExecutor::new(spec, strategy, 4).unwrap();
     let losses = run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x, &labels).0);
     for l in &losses {
@@ -123,9 +122,7 @@ fn mixed_strategy_shuffles_activations_between_layer_groups() {
     // First two blocks spatial, rest sample-parallel.
     for (id, l) in spec.layers().iter().enumerate() {
         let name = &l.name;
-        if name == "data"
-            || name.contains("1_")
-            || name.contains("2_") && !name.contains("branch")
+        if name == "data" || name.contains("1_") || name.contains("2_") && !name.contains("branch")
         {
             strategy.grids[id] = ProcGrid::spatial(2, 2);
         }
@@ -153,9 +150,8 @@ fn sharded_data_loading_matches_replicated_loading() {
     let (x_full, labels) = ds.batch(0, 2);
     let input_dist = finegrain::tensor::TensorDist::new(x_full.shape(), grid);
 
-    let replicated = run_ranks(4, |comm| {
-        exec.loss_and_grads(comm, &net.params, &x_full, &labels).0
-    });
+    let replicated =
+        run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x_full, &labels).0);
     let sharded = run_ranks(4, |comm| {
         let shard = ds.shard_batch(input_dist, comm.rank(), 0);
         exec.loss_and_grads_sharded(comm, &net.params, shard, &labels).0

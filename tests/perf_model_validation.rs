@@ -56,9 +56,6 @@ fn calibrated_compute_model_generalizes() {
         let measured = measure_conv(&work);
         let modeled = model.conv_time(&work, ConvPass::Forward);
         let ratio = modeled / measured;
-        assert!(
-            (lo..hi).contains(&ratio),
-            "model does not generalize: {ratio:.2} on {work:?}"
-        );
+        assert!((lo..hi).contains(&ratio), "model does not generalize: {ratio:.2} on {work:?}");
     }
 }

@@ -9,7 +9,7 @@ use finegrain::comm::{run_ranks, AllreduceAlgorithm, Collectives, Communicator, 
 use finegrain::core::DistConv2d;
 use finegrain::kernels::conv::{conv2d_backward_data, conv2d_forward, ConvGeometry};
 use finegrain::tensor::gather::gather_to_root;
-use finegrain::tensor::shuffle::redistribute;
+use finegrain::tensor::shuffle::{redistribute, ShufflePlan};
 use finegrain::tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
 use proptest::prelude::*;
 
@@ -27,13 +27,13 @@ fn tensor_from_seed(shape: Shape4, seed: u64) -> Tensor {
 /// Random-but-valid conv problem + grid.
 fn conv_case() -> impl Strategy<Value = (usize, usize, usize, ConvGeometry, ProcGrid, u64)> {
     (
-        1usize..3,          // n multiplier
-        1usize..4,          // c
-        1usize..4,          // f
+        1usize..3,                                   // n multiplier
+        1usize..4,                                   // c
+        1usize..4,                                   // f
         prop_oneof![Just(1usize), Just(3), Just(5)], // k
-        1usize..3,          // s
-        8usize..15,         // h
-        8usize..15,         // w
+        1usize..3,                                   // s
+        8usize..15,                                  // h
+        8usize..15,                                  // w
         prop_oneof![
             Just(ProcGrid::sample(2)),
             Just(ProcGrid::spatial(2, 1)),
@@ -114,6 +114,49 @@ proptest! {
             // Round-trip restores the original shard bit-for-bit.
             let back = redistribute(comm, &mid, from, [0; 4], [0; 4]);
             back.owned_tensor() == src.owned_tensor()
+        });
+        prop_assert!(ok.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn precompiled_shuffle_plan_matches_one_shot_redistribute(
+        n in 1usize..5,
+        c in 1usize..4,
+        h in 4usize..12,
+        w in 4usize..12,
+        from_idx in 0usize..4,
+        to_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        // The plan-once/execute-many path (compiled in DistExecutor::new)
+        // must be bitwise-identical to the historical one-shot
+        // redistribute, for every grid pair — including repeated
+        // executions of the same plan.
+        let grids = [
+            ProcGrid::sample(4),
+            ProcGrid::spatial(2, 2),
+            ProcGrid::spatial(4, 1),
+            ProcGrid::hybrid(2, 1, 2),
+        ];
+        let shape = Shape4::new(n.max(4), c, h, w); // N ≥ 4 so sample(4) populates
+        let from = TensorDist::new(shape, grids[from_idx]);
+        let to = TensorDist::new(shape, grids[to_idx]);
+        prop_assume!(from.is_fully_populated() && to.is_fully_populated());
+        let a = tensor_from_seed(shape, seed);
+        let b = tensor_from_seed(shape, seed ^ 0x5EED);
+        let ok = run_ranks(4, |comm| {
+            let plan = ShufflePlan::build(from, to, comm.rank());
+            for global in [&a, &b] {
+                let src = DistTensor::from_global(from, comm.rank(), global, [0; 4], [0; 4]);
+                let one_shot = redistribute(comm, &src, to, [0; 4], [0; 4]);
+                let planned = plan.execute(comm, &src, [0; 4], [0; 4]);
+                if planned.owned_tensor() != one_shot.owned_tensor()
+                    || planned.dist() != one_shot.dist()
+                {
+                    return false;
+                }
+            }
+            true
         });
         prop_assert!(ok.iter().all(|&v| v));
     }

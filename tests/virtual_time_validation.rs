@@ -21,18 +21,13 @@ use finegrain::tensor::{DistTensor, ProcGrid};
 
 /// Virtual-time execution of the overlapped forward schedule for one
 /// conv layer; returns the max rank clock.
-fn executed_forward_time(
-    platform: &Platform,
-    desc: &ConvLayerDesc,
-    grid: ProcGrid,
-) -> f64 {
+fn executed_forward_time(platform: &Platform, desc: &ConvLayerDesc, grid: ProcGrid) -> f64 {
     let geom = ConvGeometry::square(desc.h, desc.w, desc.k, desc.s, desc.k / 2);
     let conv = DistConv2d::new(desc.n, desc.c, desc.f, geom, grid);
     let device = platform.device;
     let plat = *platform;
-    let link: LinkModel = Arc::new(move |src, dst, bytes| {
-        plat.link_between(src, dst).ptp(bytes as f64)
-    });
+    let link: LinkModel =
+        Arc::new(move |src, dst, bytes| plat.link_between(src, dst).ptp(bytes as f64));
     let out = run_ranks_timed(grid.size(), link, |comm| {
         // Window with zeroed data — we time the schedule, not the values.
         let win = DistTensor::new(conv.in_dist, comm.rank(), conv.x_margins.0, conv.x_margins.1);
@@ -93,9 +88,21 @@ fn executed_schedule_tracks_the_closed_form_model() {
     // which is precisely why implementations skip the split when the
     // interior is too small to pay for it.
     let cases = [
-        (ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 }, ProcGrid::spatial(2, 2), 1.3),
-        (ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 }, ProcGrid::spatial(4, 4), 2.2),
-        (ConvLayerDesc { n: 2, c: 64, h: 128, w: 128, f: 64, k: 3, s: 1 }, ProcGrid::hybrid(2, 2, 1), 5.0),
+        (
+            ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 },
+            ProcGrid::spatial(2, 2),
+            1.3,
+        ),
+        (
+            ConvLayerDesc { n: 1, c: 18, h: 2048, w: 2048, f: 128, k: 5, s: 2 },
+            ProcGrid::spatial(4, 4),
+            2.2,
+        ),
+        (
+            ConvLayerDesc { n: 2, c: 64, h: 128, w: 128, f: 64, k: 3, s: 1 },
+            ProcGrid::hybrid(2, 2, 1),
+            5.0,
+        ),
     ];
     for (desc, grid, max_ratio) in cases {
         let executed = executed_forward_time(&platform, &desc, grid);
