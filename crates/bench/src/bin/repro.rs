@@ -14,6 +14,7 @@
 //!   strategy  strategy optimizer demonstration
 //!   ext       extensions: channel/filter, 3-D, memory mechanisms
 //!   plancache plan-caching ablation (plan-once vs recompile-per-step)
+//!   faults    fault-injection overhead + recovery cost vs ckpt interval
 //!   all       everything above
 //! ```
 //!
@@ -23,7 +24,7 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, microbench, modelval, plancache, resnet, scaling, strategy,
+    extensions, faults, microbench, modelval, plancache, resnet, scaling, strategy,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -46,6 +47,7 @@ fn main() {
             "strategy",
             "ext",
             "plancache",
+            "faults",
         ]
     } else {
         wanted
@@ -68,6 +70,7 @@ fn main() {
             "strategy" => tables.push(strategy::strategy_report(&platform)),
             "ext" => tables.extend(extensions::extensions(&platform)),
             "plancache" => tables.push(plancache::plancache()),
+            "faults" => tables.extend(faults::faults()),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

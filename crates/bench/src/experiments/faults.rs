@@ -1,0 +1,208 @@
+//! Fault-model experiments: monitoring overhead and recovery cost.
+//!
+//! Two questions a resilience layer must answer before it is allowed
+//! near a performance study:
+//!
+//! 1. **What does zero-fault monitoring cost?** The plain `run_ranks`
+//!    path must stay untouched, and even the opt-in paths (deadlock
+//!    watchdog, transparent `FaultyComm` wrapper) should cost within
+//!    noise of nothing: the watchdog polls a few atomics per sweep off
+//!    the critical path, and a transparent plan adds two counter bumps
+//!    per comm op. Variants are timed in strict alternation with
+//!    best-of-reps, the same protocol as `plancache`.
+//! 2. **What does recovery cost as a function of checkpoint interval?**
+//!    A mid-run rank kill forces a restore-and-replay; the steps redone
+//!    shrink as snapshots get denser while the snapshot count grows —
+//!    the classic checkpoint-interval trade-off, here measured in steps
+//!    on the real (thread-simulated) training loop.
+
+use std::time::Instant;
+
+use fg_comm::{
+    run_ranks, run_ranks_opts, run_ranks_with_faults, Communicator, FaultPlan, RunOptions,
+};
+use fg_core::{resilient_train, DistExecutor, ResilientConfig, SgdHyper, Strategy};
+use fg_nn::{Network, Sgd};
+use fg_tensor::ProcGrid;
+
+use crate::experiments::modelval::mini_mesh;
+use crate::table::Table;
+
+const BATCH: usize = 4;
+const INPUT_HW: usize = 16;
+const WORLD: usize = 4;
+const HYPER: SgdHyper = SgdHyper { lr: 0.02, momentum: 0.9, weight_decay: 1e-4 };
+
+struct Fixture {
+    net: Network,
+    exec: DistExecutor,
+    x: fg_tensor::Tensor,
+    labels: fg_kernels::loss::Labels,
+}
+
+fn fixture() -> Fixture {
+    let spec = mini_mesh(INPUT_HW);
+    let net = Network::init(spec.clone(), 5);
+    let strategy = Strategy::uniform(&spec, ProcGrid::spatial(2, 2));
+    let exec = DistExecutor::new(spec, strategy, BATCH).expect("valid strategy");
+    let ds = fg_data::MeshDataset::new(INPUT_HW, INPUT_HW / 4, 6, 3);
+    let (x, labels) = ds.batch(0, BATCH);
+    Fixture { net, exec, x, labels }
+}
+
+/// One rank's contribution: a warmup step, then `steps` timed training
+/// steps. Returns `(seconds, final loss)`.
+fn rank_loop<C: Communicator>(fx: &Fixture, comm: &C, steps: usize) -> (f64, f64) {
+    let mut p = fx.net.params.clone();
+    let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+    let _ = fx.exec.train_step(comm, &mut p, &mut opt, &fx.x, &fx.labels);
+    let start = Instant::now();
+    let mut loss = 0.0;
+    for _ in 0..steps {
+        loss = fx.exec.train_step(comm, &mut p, &mut opt, &fx.x, &fx.labels);
+    }
+    (start.elapsed().as_secs_f64(), loss)
+}
+
+/// Slowest-rank seconds and the (rank-agreed) final loss.
+fn reduce(outs: Vec<(f64, f64)>) -> (f64, f64) {
+    (outs.iter().map(|o| o.0).fold(0.0f64, f64::max), outs[0].1)
+}
+
+/// `steps` training steps on one rank-world; returns `(slowest-rank
+/// seconds, final loss)` for the given launch flavor.
+fn time_variant(fx: &Fixture, steps: usize, variant: &str) -> (f64, f64) {
+    match variant {
+        "plain" => reduce(run_ranks(WORLD, |comm| rank_loop(fx, comm, steps))),
+        "watchdog" => reduce(
+            run_ranks_opts(WORLD, RunOptions::watchdog_default(), |comm| {
+                rank_loop(fx, comm, steps)
+            })
+            .into_iter()
+            .map(|r| r.expect("fault-free run"))
+            .collect(),
+        ),
+        "faulty-transparent" => reduce(
+            run_ranks_with_faults(WORLD, FaultPlan::default(), |comm| rank_loop(fx, comm, steps))
+                .into_iter()
+                .map(|r| r.expect("transparent plan"))
+                .collect(),
+        ),
+        other => unreachable!("unknown variant {other}"),
+    }
+}
+
+/// Best-of-`reps` steps/sec for each launch flavor, measured in strict
+/// alternation; asserts the three flavors agree on the loss bitwise.
+pub fn measure_overhead(steps: usize, reps: usize) -> (f64, f64, f64) {
+    let fx = fixture();
+    let variants = ["plain", "watchdog", "faulty-transparent"];
+    let mut best = [f64::MAX; 3];
+    let mut loss = [0.0f64; 3];
+    for _ in 0..reps {
+        for (i, v) in variants.iter().enumerate() {
+            let (t, l) = time_variant(&fx, steps, v);
+            best[i] = best[i].min(t);
+            loss[i] = l;
+        }
+    }
+    assert_eq!(loss[0].to_bits(), loss[1].to_bits(), "watchdog must not change results");
+    assert_eq!(loss[0].to_bits(), loss[2].to_bits(), "transparent faults must not change results");
+    (steps as f64 / best[0], steps as f64 / best[1], steps as f64 / best[2])
+}
+
+/// Zero-fault overhead table.
+fn overhead_table() -> Table {
+    let (plain, watchdog, faulty) = measure_overhead(20, 5);
+    let mut t = Table::new(
+        "Fault-model zero-fault overhead: mini mesh training step (4 ranks, thread-sim)",
+        &["runtime flavor", "steps/sec", "relative to plain"],
+    );
+    t.push_row(vec!["plain run_ranks".into(), format!("{plain:.2}"), "1.000".into()]);
+    t.push_row(vec![
+        "watchdog enabled".into(),
+        format!("{watchdog:.2}"),
+        format!("{:.3}", watchdog / plain),
+    ]);
+    t.push_row(vec![
+        "FaultyComm, empty plan".into(),
+        format!("{faulty:.2}"),
+        format!("{:.3}", faulty / plain),
+    ]);
+    t
+}
+
+/// Recovery cost vs checkpoint interval: kill a rank ~90% into the run
+/// and measure what each snapshot cadence pays and saves — late kills
+/// maximize the replay a sparse cadence must redo.
+fn recovery_table() -> Table {
+    let fx = fixture();
+    const STEPS: u64 = 8;
+    // Probe the op horizon so the kill lands at a fixed fraction of the
+    // run regardless of model details.
+    let probe = run_ranks_with_faults(WORLD, FaultPlan::default(), |comm| {
+        let mut p = fx.net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        for _ in 0..STEPS {
+            fx.exec.train_step(comm, &mut p, &mut opt, &fx.x, &fx.labels);
+        }
+        comm.ops()
+    });
+    let kill_op = *probe[1].as_ref().expect("probe is fault-free") * 9 / 10;
+
+    let mut t = Table::new(
+        "Recovery cost vs checkpoint interval: rank 1 killed at 90% of an 8-step run",
+        &["ckpt interval (steps)", "snapshots", "replayed steps", "recovery wall-ms"],
+    );
+    let mut trajectories: Vec<Vec<u64>> = Vec::new();
+    for ckpt_every in [1u64, 2, 4] {
+        let start = Instant::now();
+        let report = resilient_train(
+            &fx.exec,
+            &fx.net.params,
+            HYPER,
+            &fx.x,
+            &fx.labels,
+            STEPS,
+            &ResilientConfig { ckpt_every, max_restarts: 2 },
+            FaultPlan::new(9).kill_rank(1, kill_op),
+        );
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.restarts, 1, "the kill must force exactly one rebuild");
+        trajectories.push(report.losses.iter().map(|l| l.to_bits()).collect());
+        t.push_row(vec![
+            format!("{ckpt_every}"),
+            format!("{}", report.snapshots),
+            format!("{}", report.replayed_steps),
+            format!("{wall_ms:.1}"),
+        ]);
+    }
+    // Every interval recovers to the identical trajectory.
+    for traj in &trajectories[1..] {
+        assert_eq!(traj, &trajectories[0], "recovery must be interval-invariant");
+    }
+    t
+}
+
+/// The `repro -- faults` experiment: both tables.
+pub fn faults() -> Vec<Table> {
+    vec![overhead_table(), recovery_table()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_measurement_is_loss_invariant() {
+        // measure_overhead() asserts bitwise-equal losses internally.
+        let (plain, watchdog, faulty) = measure_overhead(2, 1);
+        assert!(plain > 0.0 && watchdog > 0.0 && faulty > 0.0);
+    }
+
+    #[test]
+    fn recovery_table_has_one_row_per_interval() {
+        let t = recovery_table();
+        assert_eq!(t.rows.len(), 3);
+    }
+}

@@ -9,8 +9,10 @@
 //! | [`strategy`] | §V-C strategy optimizer demonstration |
 //! | [`extensions`] | channel/filter, 3-D, memory-pressure extensions |
 //! | [`plancache`] | plan-caching ablation (plan-once vs recompile-per-step) |
+//! | [`faults`] | fault-model overhead and checkpointed-recovery cost |
 
 pub mod extensions;
+pub mod faults;
 pub mod microbench;
 pub mod modelval;
 pub mod plancache;

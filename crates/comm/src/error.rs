@@ -2,11 +2,22 @@
 //!
 //! Runtime message-passing bugs (tag type mismatches, out-of-range ranks)
 //! are programming errors and panic; recoverable configuration problems
-//! surface as [`CommError`].
+//! and *fault-model* outcomes surface as [`CommError`].
+//!
+//! The fault-model variants ([`CommError::RankFailed`] and
+//! [`CommError::Timeout`]) are raised by unwinding with the error as the
+//! panic payload (`std::panic::panic_any`), because the [`crate::Communicator`]
+//! methods are deliberately infallible — real MPI aborts the job on a
+//! peer failure too. [`crate::runtime::run_ranks_opts`] and
+//! [`crate::runtime::run_ranks_with_faults`] catch those unwinds at the
+//! rank boundary and return them as per-rank `Result`s, so a chaos test
+//! or a resilient training driver observes a structured error instead of
+//! a crashed process or a hung CI job.
 
 use std::fmt;
 
-/// Errors arising from invalid communicator configuration.
+/// Errors arising from invalid communicator configuration or, under the
+/// fault model, from rank failures and watchdog/timeout aborts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// A world or group of zero ranks was requested.
@@ -23,6 +34,27 @@ pub enum CommError {
         /// The offending parent rank.
         rank: usize,
     },
+    /// Rank `rank` terminated (injected kill, panic, or early exit while
+    /// peers still depended on it), observed by rank `observer`. When a
+    /// rank reports its own injected death, `observer == rank`.
+    RankFailed {
+        /// The rank that failed.
+        rank: usize,
+        /// The rank that observed the failure.
+        observer: usize,
+        /// Human-readable context: the awaited tag, the injected fault,
+        /// or the recorded death reason of the failed rank.
+        detail: String,
+    },
+    /// A receive exceeded its deadline, or the deadlock watchdog aborted
+    /// the world; `detail` carries the wait-graph diagnostic.
+    Timeout {
+        /// The rank whose receive was aborted.
+        rank: usize,
+        /// Diagnostic: either the per-receive timeout description or the
+        /// watchdog's wait graph (who waits on whom, which tag).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -35,8 +67,66 @@ impl fmt::Display for CommError {
             CommError::InvalidGroup { rank } => {
                 write!(f, "group references rank {rank} not present in parent communicator")
             }
+            CommError::RankFailed { rank, observer, detail } => {
+                write!(f, "rank {rank} failed (observed by rank {observer}): {detail}")
+            }
+            CommError::Timeout { rank, detail } => {
+                write!(f, "rank {rank} timed out: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_world_construction_and_display() {
+        let e = CommError::EmptyWorld;
+        assert_eq!(e, CommError::EmptyWorld);
+        assert_eq!(e.to_string(), "communicator must have at least one rank");
+    }
+
+    #[test]
+    fn rank_out_of_range_carries_rank_and_size() {
+        let e = CommError::RankOutOfRange { rank: 9, size: 4 };
+        assert_eq!(e, CommError::RankOutOfRange { rank: 9, size: 4 });
+        assert_ne!(e, CommError::RankOutOfRange { rank: 3, size: 4 });
+        assert_eq!(e.to_string(), "rank 9 out of range for communicator of size 4");
+    }
+
+    #[test]
+    fn invalid_group_names_the_outsider() {
+        let e = CommError::InvalidGroup { rank: 2 };
+        assert_eq!(e.to_string(), "group references rank 2 not present in parent communicator");
+    }
+
+    #[test]
+    fn rank_failed_names_victim_observer_and_context() {
+        let e = CommError::RankFailed {
+            rank: 1,
+            observer: 3,
+            detail: "hung up while rank 3 waited on tag 7".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "rank 1 failed (observed by rank 3): hung up while rank 3 waited on tag 7"
+        );
+    }
+
+    #[test]
+    fn timeout_carries_the_diagnostic() {
+        let e = CommError::Timeout { rank: 0, detail: "deadlock: rank 0 waits on rank 1".into() };
+        assert_eq!(e.to_string(), "rank 0 timed out: deadlock: rank 0 waits on rank 1");
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CommError::EmptyWorld);
+        takes_err(&CommError::Timeout { rank: 0, detail: String::new() });
+    }
+}

@@ -1,0 +1,318 @@
+//! Seeded, deterministic fault injection for the communicator.
+//!
+//! A [`FaultPlan`] is a pure description of what goes wrong and when:
+//! per-link message drops and payload corruptions (by send ordinal),
+//! per-rank delay spikes, and rank kills at a given communication
+//! operation. [`FaultyComm`] wraps any [`Communicator`] and applies the
+//! plan on the way through. Everything is keyed off message/operation
+//! ordinals and the plan's seed — never wall-clock time or OS scheduling
+//! — so a given `(plan, program)` pair produces the *same* faults on
+//! every run. Chaos tests can therefore pin seeds and assert exact
+//! outcomes, and a failure found by a randomized sweep is replayable
+//! from its seed alone.
+//!
+//! Injected kills unwind with a [`CommError::RankFailed`] panic payload;
+//! [`crate::runtime::run_ranks_with_faults`] catches that at the rank
+//! boundary and returns it as the rank's `Result`, while peers observe
+//! the death either as a channel disconnect (→ `RankFailed` naming the
+//! victim) or via the deadlock watchdog (→ [`CommError::Timeout`] with a
+//! wait graph).
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::CommError;
+use crate::p2p::{CommScalar, Communicator, Tag};
+use crate::stats::OpClass;
+
+/// splitmix64: a well-distributed 64-bit mixer, used to derive per-event
+/// corruption masks and chaos-plan choices from `(seed, link, ordinal)`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Built with the chainable `kill_rank` / `drop_nth` / `corrupt_nth` /
+/// `delay_every` methods; the default plan is empty (fully transparent).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// `(rank, op)`: kill `rank` when its comm-op counter reaches `op`.
+    kills: Vec<(usize, u64)>,
+    /// `(src, dst, n)`: drop the `n`-th (0-based) message on link
+    /// `src → dst`.
+    drops: Vec<(usize, usize, u64)>,
+    /// `(src, dst, n)`: corrupt the `n`-th message on link `src → dst`.
+    corrupts: Vec<(usize, usize, u64)>,
+    /// `(rank, every, pause)`: on `rank`, sleep `pause` before every
+    /// `every`-th comm op — a deterministic stand-in for a slow NIC or a
+    /// congested link.
+    delays: Vec<(usize, u64, Duration)>,
+}
+
+impl FaultPlan {
+    /// An empty (transparent) plan with the given seed. The seed only
+    /// matters once corruptions are scheduled: it picks the masks.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Kill `rank` when its communication-operation counter (sends +
+    /// receives, as counted by [`FaultyComm`]) reaches `op`.
+    pub fn kill_rank(mut self, rank: usize, op: u64) -> FaultPlan {
+        self.kills.push((rank, op));
+        self
+    }
+
+    /// Drop the `n`-th (0-based) message sent on link `src → dst`.
+    pub fn drop_nth(mut self, src: usize, dst: usize, n: u64) -> FaultPlan {
+        self.drops.push((src, dst, n));
+        self
+    }
+
+    /// Corrupt the payload of the `n`-th message on link `src → dst`
+    /// (first element bit-flipped under a seed-derived mask).
+    pub fn corrupt_nth(mut self, src: usize, dst: usize, n: u64) -> FaultPlan {
+        self.corrupts.push((src, dst, n));
+        self
+    }
+
+    /// On `rank`, sleep `pause` before every `every`-th comm op.
+    pub fn delay_every(mut self, rank: usize, every: u64, pause: Duration) -> FaultPlan {
+        assert!(every > 0, "delay period must be positive");
+        self.delays.push((rank, every, pause));
+        self
+    }
+
+    /// A pseudo-random chaos plan for a world of `size` ranks: one
+    /// victim killed at a seed-chosen op below `horizon`, plus a
+    /// seed-chosen link drop and corruption. Fully determined by
+    /// `(seed, size, horizon)`.
+    pub fn chaos(seed: u64, size: usize, horizon: u64) -> FaultPlan {
+        assert!(size > 1, "chaos needs at least two ranks");
+        assert!(horizon > 0, "horizon must be positive");
+        let victim = (mix64(seed) as usize) % size;
+        let kill_op = mix64(seed ^ 1) % horizon;
+        let src = (mix64(seed ^ 2) as usize) % size;
+        let dst = (src + 1 + (mix64(seed ^ 3) as usize) % (size - 1)) % size;
+        FaultPlan::new(seed)
+            .kill_rank(victim, kill_op)
+            .drop_nth(src, dst, mix64(seed ^ 4) % horizon)
+            .corrupt_nth(dst, src, mix64(seed ^ 5) % horizon)
+    }
+
+    /// The op at which `rank` dies, if the plan kills it (earliest wins).
+    pub fn kill_at(&self, rank: usize) -> Option<u64> {
+        self.kills.iter().filter(|(r, _)| *r == rank).map(|(_, op)| *op).min()
+    }
+
+    /// Whether the `n`-th message on `src → dst` is dropped.
+    pub fn drops(&self, src: usize, dst: usize, n: u64) -> bool {
+        self.drops.iter().any(|&(s, d, m)| s == src && d == dst && m == n)
+    }
+
+    /// The corruption mask for the `n`-th message on `src → dst`, if
+    /// that message is scheduled for corruption. Seed-derived, so the
+    /// same plan corrupts the same message the same way on every run.
+    pub fn corrupt_mask(&self, src: usize, dst: usize, n: u64) -> Option<u64> {
+        if self.corrupts.iter().any(|&(s, d, m)| s == src && d == dst && m == n) {
+            Some(mix64(self.seed ^ ((src as u64) << 40) ^ ((dst as u64) << 20) ^ n))
+        } else {
+            None
+        }
+    }
+
+    /// The pause (if any) `rank` takes before comm op `n`.
+    pub fn delay(&self, rank: usize, n: u64) -> Option<Duration> {
+        self.delays
+            .iter()
+            .filter(|&&(r, every, _)| r == rank && n % every == every - 1)
+            .map(|&(_, _, pause)| pause)
+            .max()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_transparent(&self) -> bool {
+        self.kills.is_empty()
+            && self.drops.is_empty()
+            && self.corrupts.is_empty()
+            && self.delays.is_empty()
+    }
+}
+
+/// A [`Communicator`] wrapper that applies a [`FaultPlan`].
+///
+/// Wraps a borrowed inner communicator (one per rank, like the inner
+/// comm itself) and counts this rank's communication operations; the
+/// plan is consulted on every send and receive. Collectives work
+/// unchanged through the wrapper — faults injected into a collective's
+/// constituent point-to-point messages propagate into its result, which
+/// is exactly how a corrupted allreduce behaves on a real machine.
+pub struct FaultyComm<'a, C: Communicator> {
+    inner: &'a C,
+    plan: Arc<FaultPlan>,
+    /// This rank's comm-op counter (sends + receives), the clock that
+    /// kill and delay faults are keyed on.
+    ops: Cell<u64>,
+    /// Per-destination send ordinals, the clock for drop/corrupt faults.
+    sent: RefCell<Vec<u64>>,
+}
+
+impl<'a, C: Communicator> FaultyComm<'a, C> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: &'a C, plan: Arc<FaultPlan>) -> FaultyComm<'a, C> {
+        let size = inner.size();
+        FaultyComm { inner, plan, ops: Cell::new(0), sent: RefCell::new(vec![0; size]) }
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        self.inner
+    }
+
+    /// Comm ops performed so far by this rank (sends + receives).
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Advance the op clock; fire a scheduled kill or delay.
+    fn tick(&self) {
+        let n = self.ops.get();
+        self.ops.set(n + 1);
+        if let Some(at) = self.plan.kill_at(self.inner.rank()) {
+            if n >= at {
+                std::panic::panic_any(CommError::RankFailed {
+                    rank: self.inner.rank(),
+                    observer: self.inner.rank(),
+                    detail: format!("killed by fault injection at comm op {at}"),
+                });
+            }
+        }
+        if let Some(pause) = self.plan.delay(self.inner.rank(), n) {
+            std::thread::sleep(pause);
+        }
+    }
+}
+
+impl<C: Communicator> Communicator for FaultyComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send<T: CommScalar>(&self, dst: usize, tag: Tag, mut data: Vec<T>) {
+        self.tick();
+        let n = {
+            let mut sent = self.sent.borrow_mut();
+            let n = sent[dst];
+            sent[dst] += 1;
+            n
+        };
+        if self.plan.drops(self.rank(), dst, n) {
+            self.inner.note_dropped_send(dst);
+            return;
+        }
+        if let Some(mask) = self.plan.corrupt_mask(self.rank(), dst, n) {
+            if let Some(first) = data.first_mut() {
+                *first = first.corrupt(mask);
+            }
+        }
+        self.inner.send(dst, tag, data);
+    }
+
+    fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+        self.tick();
+        self.inner.recv(src, tag)
+    }
+
+    fn record(&self, class: OpClass, messages: u64, bytes: u64) {
+        self.inner.record(class, messages, bytes);
+    }
+
+    fn note_dropped_send(&self, dst: usize) {
+        self.inner.note_dropped_send(dst);
+    }
+
+    fn next_collective_tag(&self) -> Tag {
+        self.inner.next_collective_tag()
+    }
+
+    fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R {
+        self.inner.with_class(class, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_transparent());
+        assert_eq!(plan.kill_at(0), None);
+        assert!(!plan.drops(0, 1, 0));
+        assert_eq!(plan.corrupt_mask(0, 1, 0), None);
+        assert_eq!(plan.delay(0, 0), None);
+    }
+
+    #[test]
+    fn builders_register_their_faults() {
+        let plan = FaultPlan::new(7)
+            .kill_rank(2, 11)
+            .kill_rank(2, 5)
+            .drop_nth(0, 1, 3)
+            .corrupt_nth(1, 0, 4)
+            .delay_every(3, 10, Duration::from_micros(50));
+        assert!(!plan.is_transparent());
+        // Earliest kill wins.
+        assert_eq!(plan.kill_at(2), Some(5));
+        assert_eq!(plan.kill_at(0), None);
+        assert!(plan.drops(0, 1, 3));
+        assert!(!plan.drops(0, 1, 2));
+        assert!(!plan.drops(1, 0, 3));
+        assert!(plan.corrupt_mask(1, 0, 4).is_some());
+        assert!(plan.corrupt_mask(1, 0, 5).is_none());
+        // delay_every(rank, 10, ..) pauses ops 9, 19, 29, ...
+        assert!(plan.delay(3, 9).is_some());
+        assert!(plan.delay(3, 10).is_none());
+        assert!(plan.delay(0, 9).is_none());
+    }
+
+    #[test]
+    fn corruption_masks_depend_on_seed_and_link() {
+        let a = FaultPlan::new(1).corrupt_nth(0, 1, 0);
+        let b = FaultPlan::new(1).corrupt_nth(0, 1, 0);
+        let c = FaultPlan::new(2).corrupt_nth(0, 1, 0);
+        assert_eq!(a.corrupt_mask(0, 1, 0), b.corrupt_mask(0, 1, 0));
+        assert_ne!(a.corrupt_mask(0, 1, 0), c.corrupt_mask(0, 1, 0));
+        let d = FaultPlan::new(1).corrupt_nth(1, 0, 0);
+        assert_ne!(a.corrupt_mask(0, 1, 0), d.corrupt_mask(1, 0, 0));
+    }
+
+    #[test]
+    fn chaos_plans_are_reproducible_and_in_range() {
+        let p1 = FaultPlan::chaos(42, 4, 100);
+        let p2 = FaultPlan::chaos(42, 4, 100);
+        assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+        assert!(!p1.is_transparent());
+        let p3 = FaultPlan::chaos(43, 4, 100);
+        assert_ne!(format!("{p1:?}"), format!("{p3:?}"));
+        // The victim and ops are within bounds.
+        let victim = (0..4).find(|r| p1.kill_at(*r).is_some()).expect("one victim");
+        assert!(p1.kill_at(victim).unwrap() < 100);
+    }
+}

@@ -37,15 +37,22 @@
 pub mod collectives;
 pub mod dynamic;
 pub mod error;
+pub mod fault;
 pub mod p2p;
 pub mod runtime;
 pub mod stats;
 pub mod subcomm;
+pub mod watchdog;
 
 pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
 pub use dynamic::{DynComm, ErasedComm, ScalarType};
 pub use error::CommError;
+pub use fault::{FaultPlan, FaultyComm};
 pub use p2p::{CommScalar, Communicator, Tag};
-pub use runtime::{run_ranks, run_ranks_timed, LinkModel, WorldComm};
+pub use runtime::{
+    run_ranks, run_ranks_opts, run_ranks_timed, run_ranks_with_faults, LinkModel, RunOptions,
+    WorldComm,
+};
 pub use stats::{OpClass, TrafficStats};
 pub use subcomm::{SubComm, SubCommLayout};
+pub use watchdog::WatchdogConfig;

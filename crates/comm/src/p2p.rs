@@ -28,20 +28,57 @@ pub const RESERVED_TAG_BASE: Tag = 1 << 62;
 /// within the process, so no serialization is involved and any `'static`
 /// `Copy` type qualifies. `WIDTH` is the wire width in bytes used for
 /// traffic accounting (and hence for α–β time modeling).
+///
+/// **Adding a scalar type:** do not write an `impl` by hand — add one
+/// line to [`for_each_comm_scalar!`] below. The macro generates this
+/// impl, the [`crate::dynamic::ScalarType`] dispatch tables, and the
+/// exhaustiveness tests in one stroke, so the type-erased path can never
+/// silently lag behind the generic one.
 pub trait CommScalar: Copy + Send + 'static {
     /// Bytes per element on the modeled wire.
     const WIDTH: usize = std::mem::size_of::<Self>();
+
+    /// Deterministically flip bits of `self` under a nonzero `mask` —
+    /// the payload-corruption primitive of the fault model
+    /// ([`crate::fault::FaultPlan`]). Must return a value different from
+    /// `self` for every mask, so injected corruption is always
+    /// observable.
+    fn corrupt(self, mask: u64) -> Self;
 }
 
-impl CommScalar for f32 {}
-impl CommScalar for f64 {}
-impl CommScalar for u8 {}
-impl CommScalar for u32 {}
-impl CommScalar for u64 {}
-impl CommScalar for i32 {}
-impl CommScalar for i64 {}
-impl CommScalar for usize {}
-impl CommScalar for (usize, usize) {}
+/// The single authoritative list of wire scalar types. Invokes the
+/// callback macro once per scalar with `(type, ScalarType variant,
+/// corruption expression)`. Everything that must stay in sync with the
+/// set of [`CommScalar`] impls — the impls themselves, the
+/// [`crate::dynamic::ScalarType`] dispatch tables, and the exhaustive
+/// round-trip test — is generated from this list; extending it is the
+/// only supported way to add a scalar.
+macro_rules! for_each_comm_scalar {
+    ($m:ident) => {
+        $m!(f32, F32, |x: f32, m: u64| f32::from_bits(x.to_bits() ^ ((m as u32) | 1)));
+        $m!(f64, F64, |x: f64, m: u64| f64::from_bits(x.to_bits() ^ (m | 1)));
+        $m!(u8, U8, |x: u8, m: u64| x ^ ((m as u8) | 1));
+        $m!(u32, U32, |x: u32, m: u64| x ^ ((m as u32) | 1));
+        $m!(u64, U64, |x: u64, m: u64| x ^ (m | 1));
+        $m!(i32, I32, |x: i32, m: u64| x ^ ((m as i32) | 1));
+        $m!(i64, I64, |x: i64, m: u64| x ^ ((m as i64) | 1));
+        $m!(usize, Usize, |x: usize, m: u64| x ^ ((m as usize) | 1));
+        $m!((usize, usize), UsizePair, |x: (usize, usize), m: u64| (x.0 ^ ((m as usize) | 1), x.1));
+    };
+}
+pub(crate) use for_each_comm_scalar;
+
+macro_rules! impl_comm_scalar {
+    ($t:ty, $v:ident, $corrupt:expr) => {
+        impl CommScalar for $t {
+            fn corrupt(self, mask: u64) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                ($corrupt)(self, mask)
+            }
+        }
+    };
+}
+for_each_comm_scalar!(impl_comm_scalar);
 
 /// A message in flight: tag, payload (a boxed `Vec<T>`), its modeled
 /// wire size in bytes, and its virtual-time arrival stamp.
@@ -109,6 +146,15 @@ pub trait Communicator {
     /// Record a collective's contribution to this rank's traffic stats.
     fn record(&self, class: OpClass, messages: u64, bytes: u64);
 
+    /// Record that one send to `dst` was dropped instead of delivered
+    /// (the receiver is gone, or fault injection ate the message). The
+    /// default is a no-op; [`crate::WorldComm`] counts it in
+    /// [`crate::TrafficStats`] and surfaces it in watchdog diagnostics,
+    /// and wrappers delegate.
+    fn note_dropped_send(&self, dst: usize) {
+        let _ = dst;
+    }
+
     /// Combined send + receive, deadlock-free because sends are eager.
     ///
     /// Sends `data` to `dst` and receives one message from `src`, both
@@ -141,6 +187,29 @@ pub trait Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corruption_always_changes_the_value() {
+        // The `| 1` in every corruption expression guarantees an
+        // observable change even for mask 0.
+        for mask in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_ne!(1.5f32.corrupt(mask).to_bits(), 1.5f32.to_bits());
+            assert_ne!(2.5f64.corrupt(mask).to_bits(), 2.5f64.to_bits());
+            assert_ne!(7u8.corrupt(mask), 7);
+            assert_ne!(7u32.corrupt(mask), 7);
+            assert_ne!(7u64.corrupt(mask), 7);
+            assert_ne!((-7i32).corrupt(mask), -7);
+            assert_ne!((-7i64).corrupt(mask), -7);
+            assert_ne!(7usize.corrupt(mask), 7);
+            assert_ne!((1usize, 2usize).corrupt(mask), (1, 2));
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        assert_eq!(3.25f32.corrupt(42).to_bits(), 3.25f32.corrupt(42).to_bits());
+        assert_eq!(99u64.corrupt(7), 99u64.corrupt(7));
+    }
 
     #[test]
     fn stash_matches_by_tag_in_fifo_order() {

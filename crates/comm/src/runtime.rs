@@ -5,14 +5,38 @@
 //! rank pair, preserving per-pair FIFO order exactly like MPI), runs the
 //! given closure on every rank concurrently, and returns the per-rank
 //! results in rank order.
+//!
+//! The resilience entry points layer on top without touching the fast
+//! path:
+//!
+//! * [`run_ranks_opts`] returns per-rank `Result`s, optionally running a
+//!   deadlock watchdog ([`WatchdogConfig`]) and/or a per-receive
+//!   deadline. Rank deaths (injected kills, observed peer failures,
+//!   watchdog aborts) come back as [`CommError`] values instead of
+//!   crashing the process.
+//! * [`run_ranks_with_faults`] additionally wraps every rank's
+//!   communicator in a [`crate::fault::FaultyComm`] driven by a seeded
+//!   [`crate::fault::FaultPlan`].
+//! * Setting the `FG_COMM_WATCHDOG` environment variable (to anything
+//!   but `0` or empty) makes plain [`run_ranks`] run under the watchdog,
+//!   so an accidental deadlock in any test aborts in tens of
+//!   milliseconds with a wait-graph diagnostic instead of hanging CI.
+//!
+//! When neither opts nor the environment ask for monitoring, the send
+//! and receive paths are byte-for-byte the pre-resilience ones: no
+//! atomics, no polling, zero overhead.
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use crate::error::CommError;
+use crate::fault::{FaultPlan, FaultyComm};
 use crate::p2p::{CommScalar, Communicator, Envelope, Stash, Tag, RESERVED_TAG_BASE};
 use crate::stats::{OpClass, TrafficStats};
+use crate::watchdog::{Monitor, WatchdogConfig};
 
 /// Virtual-time link model: seconds for `bytes` to travel from rank
 /// `src` to rank `dst`. Injected by [`run_ranks_timed`].
@@ -41,6 +65,11 @@ pub struct WorldComm {
     clock: Cell<f64>,
     /// Link model for virtual time; `None` in untimed runs.
     link: Option<LinkModel>,
+    /// Progress monitor; `Some` under [`run_ranks_opts`] and friends.
+    monitor: Option<Arc<Monitor>>,
+    /// Per-receive deadline; `Some` switches `recv` to the polling path
+    /// even without a monitor.
+    recv_deadline: Option<Duration>,
 }
 
 impl WorldComm {
@@ -75,9 +104,18 @@ impl Communicator for WorldComm {
             None => 0.0,
         };
         let env = Envelope { tag, payload: Box::new(data), bytes, arrival };
-        // Receiver ends live as long as the scoped threads; a send error
-        // means a rank panicked, which the scope will propagate anyway.
-        let _ = self.senders[dst].send(env);
+        match self.senders[dst].send(env) {
+            Ok(()) => {
+                if let Some(m) = &self.monitor {
+                    m.note_send(self.rank, dst);
+                }
+            }
+            // The receiver is gone. Under the plain runtime that means a
+            // rank panicked and the scope will propagate; under the fault
+            // model it is an expected outcome. Either way the message is
+            // lost — count it so a later hung receive is attributable.
+            Err(_) => Communicator::note_dropped_send(self, dst),
+        }
     }
 
     fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
@@ -85,6 +123,9 @@ impl Communicator for WorldComm {
         if let Some(env) = self.stashes.borrow_mut()[src].take(tag) {
             self.observe_arrival(&env);
             return downcast_payload(env, src, tag);
+        }
+        if self.monitor.is_some() || self.recv_deadline.is_some() {
+            return self.recv_polled(src, tag);
         }
         loop {
             let env = self.receivers[src].recv().unwrap_or_else(|_| {
@@ -100,6 +141,14 @@ impl Communicator for WorldComm {
 
     fn record(&self, class: OpClass, messages: u64, bytes: u64) {
         self.stats.borrow_mut().record(class, messages, bytes);
+    }
+
+    fn note_dropped_send(&self, dst: usize) {
+        let _ = dst;
+        self.stats.borrow_mut().record_dropped_send();
+        if let Some(m) = &self.monitor {
+            m.note_dropped_send(self.rank);
+        }
     }
 
     fn next_collective_tag(&self) -> Tag {
@@ -141,6 +190,79 @@ impl WorldComm {
             self.clock.set(self.clock.get().max(env.arrival));
         }
     }
+
+    /// Interruptible receive: waits in short slices, between which it
+    /// checks the watchdog's abort flag and the per-receive deadline.
+    /// Failures unwind with a [`CommError`] payload, caught at the rank
+    /// boundary by [`run_ranks_opts`].
+    fn recv_polled<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+        let poll = self
+            .monitor
+            .as_ref()
+            .map(|m| m.config.poll)
+            .unwrap_or(Duration::from_millis(1))
+            .min(self.recv_deadline.unwrap_or(Duration::MAX));
+        let deadline = self.recv_deadline.map(|d| Instant::now() + d);
+        if let Some(m) = &self.monitor {
+            m.enter_recv(self.rank, src, tag);
+        }
+        let result = loop {
+            // Abort wins over everything else, including a peer's
+            // disconnect: once the watchdog trips, every blocked rank
+            // reports the same wait-graph Timeout, not whichever
+            // teardown artifact it happens to observe first.
+            if let Some(m) = &self.monitor {
+                if m.aborted() {
+                    break Err(m.abort_error(self.rank));
+                }
+            }
+            match self.receivers[src].recv_timeout(poll) {
+                Ok(env) => {
+                    if let Some(m) = &self.monitor {
+                        m.note_dequeue(src, self.rank);
+                    }
+                    if env.tag == tag {
+                        self.observe_arrival(&env);
+                        break Ok(downcast_payload(env, src, tag));
+                    }
+                    self.stashes.borrow_mut()[src].put(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        break Err(CommError::Timeout {
+                            rank: self.rank,
+                            detail: format!(
+                                "receive from rank {src} (tag {tag}) exceeded the {:?} deadline",
+                                self.recv_deadline.expect("deadline implies recv_deadline"),
+                            ),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // A peer tearing down after a watchdog abort wakes
+                    // us with Disconnected; report the abort, not the
+                    // secondary disconnect.
+                    if let Some(m) = &self.monitor {
+                        if m.aborted() {
+                            break Err(m.abort_error(self.rank));
+                        }
+                    }
+                    let detail =
+                        self.monitor.as_ref().and_then(|m| m.death_reason(src)).unwrap_or_else(
+                            || format!("hung up while rank {} waited on tag {tag}", self.rank),
+                        );
+                    break Err(CommError::RankFailed { rank: src, observer: self.rank, detail });
+                }
+            }
+        };
+        if let Some(m) = &self.monitor {
+            m.exit_recv(self.rank);
+        }
+        match result {
+            Ok(v) => v,
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
 }
 
 fn downcast_payload<T: CommScalar>(env: Envelope, src: usize, tag: Tag) -> Vec<T> {
@@ -151,11 +273,21 @@ fn downcast_payload<T: CommScalar>(env: Envelope, src: usize, tag: Tag) -> Vec<T
 
 /// Build the channel mesh for a world of `size` ranks.
 fn build_world(size: usize) -> Vec<WorldComm> {
-    build_world_with_link(size, None)
+    build_world_full(size, None, None, None)
 }
 
 /// Build the channel mesh, optionally with a virtual-time link model.
 fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm> {
+    build_world_full(size, link, None, None)
+}
+
+/// Build the channel mesh with every optional attachment.
+fn build_world_full(
+    size: usize,
+    link: Option<LinkModel>,
+    monitor: Option<Arc<Monitor>>,
+    recv_deadline: Option<Duration>,
+) -> Vec<WorldComm> {
     assert!(size > 0, "world must have at least one rank");
     // channels[s][d] = channel carrying s → d traffic.
     let mut senders: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(size);
@@ -185,8 +317,68 @@ fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm>
             collective_counter: Cell::new(0),
             clock: Cell::new(0.0),
             link: link.clone(),
+            monitor: monitor.clone(),
+            recv_deadline,
         })
         .collect()
+}
+
+/// Options for a monitored run ([`run_ranks_opts`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Run the deadlock watchdog with this configuration. `None` leaves
+    /// deadlocks to the per-receive deadline (if any).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Abort any single receive that waits longer than this.
+    pub recv_timeout: Option<Duration>,
+}
+
+impl RunOptions {
+    /// Watchdog on with default tuning, no per-receive deadline.
+    pub fn watchdog_default() -> RunOptions {
+        RunOptions { watchdog: Some(WatchdogConfig::default()), recv_timeout: None }
+    }
+
+    /// Options from the environment: `FG_COMM_WATCHDOG` set to anything
+    /// but `0` or the empty string enables the watchdog (the CI script
+    /// does this, so any accidental deadlock in the test suite aborts
+    /// with a wait graph instead of hanging the job).
+    pub fn from_env() -> RunOptions {
+        match std::env::var_os("FG_COMM_WATCHDOG") {
+            Some(v) if !v.is_empty() && v != "0" => RunOptions::watchdog_default(),
+            _ => RunOptions::default(),
+        }
+    }
+}
+
+/// Suppress the default "thread panicked" printout for unwinds whose
+/// payload is a [`CommError`]: those are structured fault-model outcomes
+/// caught at the rank boundary, not bugs. All other panics go to the
+/// previously installed hook unchanged.
+fn install_comm_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CommError>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Best-effort text of a non-[`CommError`] panic payload, recorded as
+/// the rank's death reason before the payload is re-raised.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".into()
+    }
 }
 
 /// Run `f` on `size` ranks concurrently; returns per-rank results in rank
@@ -195,11 +387,22 @@ fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm>
 /// The closure receives a reference to the rank's [`WorldComm`]; anything
 /// the caller wants back out (results, traffic stats) is returned from
 /// the closure.
+///
+/// With `FG_COMM_WATCHDOG` set in the environment the run is monitored
+/// (see [`RunOptions::from_env`]); a detected deadlock panics with the
+/// wait-graph diagnostic. Otherwise this is the zero-overhead fast path.
 pub fn run_ranks<R, F>(size: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&WorldComm) -> R + Send + Sync,
 {
+    let opts = RunOptions::from_env();
+    if opts.watchdog.is_some() || opts.recv_timeout.is_some() {
+        return run_ranks_opts(size, opts, f)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+    }
     let comms = build_world(size);
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -210,6 +413,91 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// Run `f` on `size` ranks under the resilience runtime: per-rank
+/// results come back as `Result`s, with rank deaths (injected kills,
+/// observed peer failures, watchdog or deadline aborts) as structured
+/// [`CommError`]s instead of process-crashing panics.
+///
+/// Genuine bugs — panics whose payload is not a [`CommError`] — still
+/// propagate and abort the run, exactly like [`run_ranks`].
+pub fn run_ranks_opts<R, F>(size: usize, opts: RunOptions, f: F) -> Vec<Result<R, CommError>>
+where
+    R: Send,
+    F: Fn(&WorldComm) -> R + Send + Sync,
+{
+    install_comm_panic_hook();
+    let monitor = Arc::new(Monitor::new(size, opts.watchdog.clone().unwrap_or_default()));
+    let comms = build_world_full(size, None, Some(Arc::clone(&monitor)), opts.recv_timeout);
+    let run_watchdog = opts.watchdog.is_some();
+    std::thread::scope(|scope| {
+        let watchdog = run_watchdog.then(|| {
+            let m = Arc::clone(&monitor);
+            scope.spawn(move || m.watch())
+        });
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                let monitor = Arc::clone(&monitor);
+                scope.spawn(move || {
+                    let rank = comm.rank();
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    // Publish this rank's fate *before* dropping the comm:
+                    // dropping disconnects our channels, and peers that
+                    // observe the disconnect look up the death reason.
+                    match result {
+                        Ok(r) => {
+                            monitor.mark_done(rank);
+                            drop(comm);
+                            Ok(r)
+                        }
+                        Err(payload) => match payload.downcast::<CommError>() {
+                            Ok(e) => {
+                                monitor.mark_dead(rank, e.to_string());
+                                drop(comm);
+                                Err(*e)
+                            }
+                            Err(payload) => {
+                                monitor.mark_dead(rank, panic_message(payload.as_ref()));
+                                drop(comm);
+                                std::panic::resume_unwind(payload)
+                            }
+                        },
+                    }
+                })
+            })
+            .collect();
+        let results: Vec<Result<R, CommError>> =
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        monitor.finish();
+        if let Some(w) = watchdog {
+            w.join().expect("watchdog thread panicked");
+        }
+        results
+    })
+}
+
+/// Run `f` on `size` ranks with fault injection from `plan` and the
+/// deadlock watchdog on (injected drops and kills routinely strand
+/// peers; the watchdog converts those hangs into [`CommError::Timeout`]
+/// wait-graph reports).
+///
+/// Every rank's communicator is wrapped in a
+/// [`crate::fault::FaultyComm`], so delays, drops, corruptions, and
+/// kills fire deterministically per the plan's seed.
+pub fn run_ranks_with_faults<R, F>(size: usize, plan: FaultPlan, f: F) -> Vec<Result<R, CommError>>
+where
+    R: Send,
+    F: Fn(&FaultyComm<'_, WorldComm>) -> R + Send + Sync,
+{
+    let plan = Arc::new(plan);
+    run_ranks_opts(size, RunOptions::watchdog_default(), move |comm| {
+        let faulty = FaultyComm::new(comm, Arc::clone(&plan));
+        f(&faulty)
     })
 }
 
@@ -367,5 +655,107 @@ mod tests {
             }
         });
         assert_eq!(out[1], 7.5);
+    }
+
+    #[test]
+    fn opts_happy_path_returns_ok_per_rank() {
+        let out = run_ranks_opts(3, RunOptions::watchdog_default(), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.sendrecv(next, prev, 5, vec![comm.rank() as u32])[0]
+        });
+        let vals: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn watchdog_aborts_a_real_deadlock_with_a_wait_graph() {
+        // Rank 0 and 1 both wait for a message that is never sent: a
+        // textbook deadlock. The watchdog must convert the hang into
+        // per-rank Timeout errors carrying the wait graph.
+        let out = run_ranks_opts(2, RunOptions::watchdog_default(), |comm| {
+            let peer = 1 - comm.rank();
+            comm.recv::<u32>(peer, 77)
+        });
+        for (rank, r) in out.iter().enumerate() {
+            match r {
+                Err(CommError::Timeout { rank: tr, detail }) => {
+                    assert_eq!(*tr, rank);
+                    assert!(detail.contains("wait graph"), "diagnostic: {detail}");
+                    assert!(detail.contains("tag 77"), "diagnostic: {detail}");
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recv_deadline_times_out_a_slow_peer() {
+        let opts = RunOptions { watchdog: None, recv_timeout: Some(Duration::from_millis(20)) };
+        let out = run_ranks_opts(2, opts, |comm| {
+            if comm.rank() == 0 {
+                // Stay alive well past rank 1's deadline, then send too
+                // late: the receive must already have timed out.
+                std::thread::sleep(Duration::from_millis(120));
+                comm.send(1, 9, vec![5u32]);
+                0u32
+            } else {
+                comm.recv::<u32>(0, 9)[0]
+            }
+        });
+        assert!(out[0].is_ok());
+        match &out[1] {
+            Err(CommError::Timeout { rank, detail }) => {
+                assert_eq!(*rank, 1);
+                assert!(detail.contains("deadline"), "detail: {detail}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_death_is_observed_as_rank_failed() {
+        // Rank 0 dies (CommError unwind); rank 1's receive observes the
+        // disconnect and reports RankFailed with rank 0's death reason.
+        let out = run_ranks_opts(2, RunOptions::watchdog_default(), |comm| {
+            if comm.rank() == 0 {
+                std::panic::panic_any(CommError::RankFailed {
+                    rank: 0,
+                    observer: 0,
+                    detail: "killed by fault injection at comm op 0".into(),
+                });
+            }
+            comm.recv::<u32>(0, 4)
+        });
+        match &out[0] {
+            Err(CommError::RankFailed { rank: 0, observer: 0, .. }) => {}
+            other => panic!("expected rank 0 self-report, got {other:?}"),
+        }
+        match &out[1] {
+            Err(CommError::RankFailed { rank: 0, observer: 1, detail }) => {
+                assert!(detail.contains("fault injection"), "detail: {detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_sends_to_a_dead_peer_are_counted() {
+        let out = run_ranks_opts(2, RunOptions::watchdog_default(), |comm| {
+            if comm.rank() == 0 {
+                // Wait until rank 1 is gone, then send into the void.
+                while std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    comm.recv::<u32>(1, 1)
+                }))
+                .is_ok()
+                {}
+                comm.send(1, 2, vec![1u8, 2, 3]);
+                comm.stats().dropped_sends()
+            } else {
+                comm.send(0, 1, vec![9u32]);
+                0
+            }
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
     }
 }

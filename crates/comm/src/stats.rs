@@ -56,6 +56,12 @@ impl OpClass {
 pub struct TrafficStats {
     messages: [u64; 10],
     bytes: [u64; 10],
+    /// Sends that never reached the peer's channel: the receiver was
+    /// already gone (its channel disconnected), or fault injection
+    /// dropped the message. Nonzero dropped sends make a later hung
+    /// receive attributable to a dead or lossy link instead of looking
+    /// like a protocol bug.
+    dropped_sends: u64,
 }
 
 impl TrafficStats {
@@ -64,6 +70,17 @@ impl TrafficStats {
         let i = class.index();
         self.messages[i] += messages;
         self.bytes[i] += bytes;
+    }
+
+    /// Record one send that was dropped (dead receiver or injected
+    /// fault) instead of delivered.
+    pub fn record_dropped_send(&mut self) {
+        self.dropped_sends += 1;
+    }
+
+    /// Sends that were dropped rather than delivered.
+    pub fn dropped_sends(&self) -> u64 {
+        self.dropped_sends
     }
 
     /// Messages sent under `class`.
@@ -92,6 +109,7 @@ impl TrafficStats {
             self.messages[i] += other.messages[i];
             self.bytes[i] += other.bytes[i];
         }
+        self.dropped_sends += other.dropped_sends;
     }
 }
 
@@ -123,5 +141,21 @@ mod tests {
         assert_eq!(a.messages(OpClass::P2p), 3);
         assert_eq!(a.bytes(OpClass::P2p), 30);
         assert_eq!(a.bytes(OpClass::Bcast), 5);
+    }
+
+    #[test]
+    fn dropped_sends_are_counted_and_merged() {
+        let mut a = TrafficStats::default();
+        assert_eq!(a.dropped_sends(), 0);
+        a.record_dropped_send();
+        a.record_dropped_send();
+        assert_eq!(a.dropped_sends(), 2);
+        let mut b = TrafficStats::default();
+        b.record_dropped_send();
+        a.merge(&b);
+        assert_eq!(a.dropped_sends(), 3);
+        // Dropped sends are not delivered traffic.
+        assert_eq!(a.total_messages(), 0);
+        assert_eq!(a.total_bytes(), 0);
     }
 }

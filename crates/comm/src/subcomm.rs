@@ -178,6 +178,10 @@ impl<C: Communicator> Communicator for SubComm<'_, C> {
         self.parent.record(class, messages, bytes);
     }
 
+    fn note_dropped_send(&self, dst: usize) {
+        self.parent.note_dropped_send(self.members[dst]);
+    }
+
     fn next_collective_tag(&self) -> Tag {
         let c = self.counter.get();
         self.counter.set(c + 1);

@@ -24,6 +24,7 @@ pub mod executor;
 pub mod layers;
 pub mod mp_fc;
 pub mod overlap;
+pub mod resilient;
 pub mod spatial3d;
 pub mod strategy;
 
@@ -32,4 +33,5 @@ pub use distconv::DistConv2d;
 pub use executor::{Act, DistExecutor, DistPass};
 pub use layers::{BnMode, DistPool2d};
 pub use mp_fc::ModelParallelFc;
+pub use resilient::{resilient_train, ResilientConfig, ResilientReport, SgdHyper};
 pub use strategy::{Strategy, StrategyError};

@@ -28,5 +28,8 @@ pub use layer::{LayerKind, LayerParams, LayerSpec};
 pub use microbatch::microbatched_loss_and_grads;
 pub use network::{ForwardPass, Network, BN_EPS};
 pub use optimizer::Sgd;
-pub use params_io::{load_params, load_params_file, save_params, save_params_file};
+pub use params_io::{
+    load_params, load_params_file, load_train_state, save_params, save_params_file,
+    save_train_state, TrainState,
+};
 pub use schedule::{linear_scaled_lr, Schedule};

@@ -32,6 +32,25 @@ impl Sgd {
         }
     }
 
+    /// Reconstruct an optimizer from checkpointed state: hyperparameters
+    /// plus the saved velocity buffers. The inverse of snapshotting
+    /// [`Sgd::velocity`], used by checkpoint restore; an optimizer
+    /// rebuilt this way continues bitwise-identically to one that never
+    /// stopped.
+    pub fn with_state(
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+        velocity: Vec<LayerParams>,
+    ) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity }
+    }
+
+    /// The per-layer velocity buffers (checkpointing reads these).
+    pub fn velocity(&self) -> &[LayerParams] {
+        &self.velocity
+    }
+
     /// Apply one update step.
     pub fn step(&mut self, params: &mut [LayerParams], grads: &[LayerParams]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");

@@ -14,6 +14,57 @@ use fg_tensor::{Shape4, Tensor};
 use crate::layer::LayerParams;
 
 const MAGIC: &[u8; 8] = b"FGPARAM1";
+const CKPT_MAGIC: &[u8; 8] = b"FGCKPT01";
+
+/// A full training checkpoint: everything needed to resume a momentum-SGD
+/// training loop bitwise-identically at step `step`.
+///
+/// Parameters and optimizer velocity are replicated across ranks in the
+/// paper's data-parallel dimension, so any single rank's `TrainState` is
+/// a complete checkpoint of the whole world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// Number of optimizer steps already applied.
+    pub step: u64,
+    /// Network parameters after `step` steps.
+    pub params: Vec<LayerParams>,
+    /// Optimizer velocity buffers after `step` steps.
+    pub velocity: Vec<LayerParams>,
+    /// Per-step losses recorded so far (`losses.len() == step`).
+    pub losses: Vec<f64>,
+}
+
+/// Serialize a [`TrainState`] checkpoint to `w`.
+pub fn save_train_state<W: Write>(w: &mut W, state: &TrainState) -> io::Result<()> {
+    w.write_all(CKPT_MAGIC)?;
+    write_u64(w, state.step)?;
+    write_u64(w, state.losses.len() as u64)?;
+    for l in &state.losses {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    save_params(w, &state.params)?;
+    save_params(w, &state.velocity)
+}
+
+/// Read a checkpoint written by [`save_train_state`].
+pub fn load_train_state<R: Read>(r: &mut R) -> io::Result<TrainState> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CKPT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn checkpoint"));
+    }
+    let step = read_u64(r)?;
+    let n_losses = read_u64(r)? as usize;
+    let mut losses = Vec::with_capacity(n_losses);
+    let mut b = [0u8; 8];
+    for _ in 0..n_losses {
+        r.read_exact(&mut b)?;
+        losses.push(f64::from_le_bytes(b));
+    }
+    let params = load_params(r)?;
+    let velocity = load_params(r)?;
+    Ok(TrainState { step, params, velocity, losses })
+}
 
 /// Write all layer parameters to `w`.
 pub fn save_params<W: Write>(w: &mut W, params: &[LayerParams]) -> io::Result<()> {
@@ -203,6 +254,35 @@ mod tests {
         save_params(&mut buf, &demo_net().params).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(load_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn train_state_round_trips_bitwise() {
+        let net = demo_net();
+        let velocity: Vec<LayerParams> = net.params.iter().map(|p| p.zeros_like()).collect();
+        let state = TrainState {
+            step: 17,
+            params: net.params.clone(),
+            velocity,
+            losses: vec![2.5, 2.25, 2.125],
+        };
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        let loaded = load_train_state(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.step, 17);
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.velocity, state.velocity);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&loaded.losses), bits(&state.losses));
+    }
+
+    #[test]
+    fn train_state_rejects_params_file() {
+        // A parameter file is not a checkpoint: the magics differ.
+        let mut buf = Vec::new();
+        save_params(&mut buf, &demo_net().params).unwrap();
+        let err = load_train_state(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -34,10 +34,17 @@ if [ "$quick" -eq 0 ]; then
     cargo build --release --offline
 fi
 
-step "tier-1 tests (root package)"
+# Run every test under the deadlock watchdog: a hung collective fails
+# with a wait-graph diagnostic instead of stalling the CI job.
+export FG_COMM_WATCHDOG=1
+
+step "tier-1 tests (root package, watchdog on)"
 cargo test -q --offline
 
-step "workspace tests"
+step "workspace tests (watchdog on)"
 cargo test -q --offline --workspace
+
+step "chaos suite (fault injection, pinned seeds)"
+cargo test -q --offline -p fg-comm --test faults
 
 printf '\nCI gate passed.\n'

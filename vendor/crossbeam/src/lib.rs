@@ -1,10 +1,11 @@
 //! Offline stand-in for the subset of `crossbeam` this workspace uses:
-//! `channel::unbounded`. Built on `std::sync::mpsc` with the receiver
-//! wrapped in a mutex so the handle is `Sync` and cloneable like the
-//! real crossbeam receiver.
+//! `channel::unbounded` with blocking, timed, and non-blocking receives.
+//! Built on `std::sync::mpsc` with the receiver wrapped in a mutex so
+//! the handle is `Sync` and cloneable like the real crossbeam receiver.
 
 pub mod channel {
     use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
 
     /// Error returned when the receiving side is gone; carries the
     /// unsent value, like `crossbeam::channel::SendError`.
@@ -14,6 +15,16 @@ pub mod channel {
     /// Error returned when the channel is empty and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`], mirroring
+    /// `crossbeam::channel::RecvTimeoutError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed without a message arriving.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
@@ -55,6 +66,14 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.inner.lock().expect("receiver lock").try_recv()
         }
+
+        /// Block until a value arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.lock().expect("receiver lock").recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// An unbounded FIFO channel.
@@ -66,6 +85,22 @@ pub mod channel {
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(1)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
 
         #[test]
         fn fifo_across_threads() {
