@@ -104,17 +104,24 @@ impl Communicator for WorldComm {
             None => 0.0,
         };
         let env = Envelope { tag, payload: Box::new(data), bytes, arrival };
+        // Count the message as in-flight *before* it enters the channel:
+        // a fast receiver may dequeue it immediately, and its decrement
+        // must never observe a counter that has not been incremented yet.
+        if let Some(m) = &self.monitor {
+            m.note_send(self.rank, dst);
+        }
         match self.senders[dst].send(env) {
-            Ok(()) => {
-                if let Some(m) = &self.monitor {
-                    m.note_send(self.rank, dst);
-                }
-            }
+            Ok(()) => {}
             // The receiver is gone. Under the plain runtime that means a
             // rank panicked and the scope will propagate; under the fault
             // model it is an expected outcome. Either way the message is
             // lost — count it so a later hung receive is attributable.
-            Err(_) => Communicator::note_dropped_send(self, dst),
+            Err(_) => {
+                if let Some(m) = &self.monitor {
+                    m.note_send_failed(self.rank, dst);
+                }
+                Communicator::note_dropped_send(self, dst);
+            }
         }
     }
 
@@ -351,23 +358,36 @@ impl RunOptions {
     }
 }
 
+thread_local! {
+    /// True only on rank threads spawned by [`run_ranks_opts`], whose
+    /// [`CommError`] unwinds are caught at the rank boundary. The panic
+    /// hook consults this so suppression never leaks to other threads.
+    static COMM_PANIC_CAUGHT_HERE: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Suppress the default "thread panicked" printout for unwinds whose
-/// payload is a [`CommError`]: those are structured fault-model outcomes
-/// caught at the rank boundary, not bugs. All other panics go to the
-/// previously installed hook unchanged.
+/// payload is a [`CommError`] *and* that occur on a rank thread whose
+/// boundary will catch them: those are structured fault-model outcomes,
+/// not bugs. A `CommError` panic on any other thread (where nothing
+/// catches it) and all non-`CommError` panics go to the previously
+/// installed hook unchanged.
 fn install_comm_panic_hook() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<CommError>() {
+            if info.payload().is::<CommError>() && COMM_PANIC_CAUGHT_HERE.with(|f| f.get()) {
                 return;
             }
             prev(info);
         }));
     });
 }
+
+/// A panic payload carried from a rank thread back to the joining
+/// thread, re-raised with `resume_unwind` once the watchdog is down.
+type RankPanic = Box<dyn std::any::Any + Send + 'static>;
 
 /// Best-effort text of a non-[`CommError`] panic payload, recorded as
 /// the rank's death reason before the payload is re-raised.
@@ -443,9 +463,11 @@ where
                 let f = &f;
                 let monitor = Arc::clone(&monitor);
                 scope.spawn(move || {
+                    COMM_PANIC_CAUGHT_HERE.with(|flag| flag.set(true));
                     let rank = comm.rank();
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    COMM_PANIC_CAUGHT_HERE.with(|flag| flag.set(false));
                     // Publish this rank's fate *before* dropping the comm:
                     // dropping disconnects our channels, and peers that
                     // observe the disconnect look up the death reason.
@@ -455,29 +477,43 @@ where
                             drop(comm);
                             Ok(r)
                         }
-                        Err(payload) => match payload.downcast::<CommError>() {
-                            Ok(e) => {
-                                monitor.mark_dead(rank, e.to_string());
-                                drop(comm);
-                                Err(*e)
-                            }
-                            Err(payload) => {
-                                monitor.mark_dead(rank, panic_message(payload.as_ref()));
-                                drop(comm);
-                                std::panic::resume_unwind(payload)
-                            }
-                        },
+                        Err(payload) => {
+                            let reason = match payload.downcast_ref::<CommError>() {
+                                Some(e) => e.to_string(),
+                                None => panic_message(payload.as_ref()),
+                            };
+                            monitor.mark_dead(rank, reason);
+                            drop(comm);
+                            Err(payload)
+                        }
                     }
                 })
             })
             .collect();
-        let results: Vec<Result<R, CommError>> =
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        // Join every rank without panicking, so the watchdog is always
+        // stopped and joined before any genuine panic is re-raised —
+        // unwinding out of this scope with the watchdog still running
+        // would block the scope's implicit join forever.
+        let joined: Vec<Result<Result<R, CommError>, RankPanic>> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(r)) => Ok(Ok(r)),
+                Ok(Err(payload)) | Err(payload) => match payload.downcast::<CommError>() {
+                    Ok(e) => Ok(Err(*e)),
+                    Err(payload) => Err(payload),
+                },
+            })
+            .collect();
         monitor.finish();
         if let Some(w) = watchdog {
             w.join().expect("watchdog thread panicked");
         }
-        results
+        // Genuine bugs (non-CommError payloads) still abort the run,
+        // exactly like `run_ranks` — first one in rank order wins.
+        joined
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
     })
 }
 
@@ -737,6 +773,24 @@ mod tests {
             }
             other => panic!("expected RankFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn genuine_panic_propagates_and_does_not_hang() {
+        // A non-CommError panic (an ordinary test assert) must abort the
+        // monitored run with the original payload — not strand the
+        // watchdog thread and hang the scope join forever.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ranks_opts(2, RunOptions::watchdog_default(), |comm| {
+                if comm.rank() == 0 {
+                    panic!("genuine test bug");
+                }
+                comm.recv::<u32>(0, 1)
+            })
+        }));
+        let payload = caught.expect_err("the rank's panic must propagate");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("genuine test bug"), "unexpected payload: {msg}");
     }
 
     #[test]

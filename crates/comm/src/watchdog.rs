@@ -113,6 +113,12 @@ impl Monitor {
         self.progress.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Roll back a [`Monitor::note_send`] whose channel push failed
+    /// (receiver gone): the message never became in-flight.
+    pub(crate) fn note_send_failed(&self, src: usize, dst: usize) {
+        self.pending[src * self.size + dst].fetch_sub(1, Ordering::SeqCst);
+    }
+
     pub(crate) fn note_dequeue(&self, src: usize, dst: usize) {
         self.pending[src * self.size + dst].fetch_sub(1, Ordering::SeqCst);
         self.progress.fetch_add(1, Ordering::SeqCst);
@@ -174,6 +180,13 @@ impl Monitor {
             std::thread::sleep(self.config.poll);
             let progress = self.progress.load(Ordering::SeqCst);
             let snapshot: Vec<RankStatus> = self.status.iter().map(|s| s.lock().clone()).collect();
+            // Every rank has finished (Done or Dead): nothing left to
+            // monitor. Exiting here — not just on `finished` — means the
+            // watchdog can never outlive the world it watches, even if
+            // the joining thread unwinds before signalling `finish`.
+            if snapshot.iter().all(|st| matches!(st, RankStatus::Done | RankStatus::Dead { .. })) {
+                return;
+            }
             if self.is_stuck(&snapshot) && progress == last_progress {
                 quiet += 1;
                 if quiet >= self.config.quiet_polls {
