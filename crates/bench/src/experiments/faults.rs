@@ -15,13 +15,20 @@
 //!    shrink as snapshots get denser while the snapshot count grows —
 //!    the classic checkpoint-interval trade-off, here measured in steps
 //!    on the real (thread-simulated) training loop.
+//! 3. **What does end-to-end integrity cost, and buy?** The checksummed
+//!    envelope + replay-window stack is timed fault-free against the
+//!    plain runtime (the losses must stay bitwise identical), and a
+//!    corruption-rate sweep shows the in-band repair traffic growing
+//!    with the injected rate while the loss trajectory never moves —
+//!    the whole point of repairing below the training loop.
 
 use std::time::Instant;
 
 use fg_comm::{
-    run_ranks, run_ranks_opts, run_ranks_with_faults, Communicator, FaultPlan, RunOptions,
+    run_ranks, run_ranks_opts, run_ranks_with_faults, run_ranks_with_faults_integrity,
+    Communicator, FaultPlan, IntegrityConfig, RunOptions,
 };
-use fg_core::{resilient_train, DistExecutor, ResilientConfig, SgdHyper, Strategy};
+use fg_core::{resilient_train, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy};
 use fg_nn::{Network, Sgd};
 use fg_tensor::ProcGrid;
 
@@ -88,17 +95,28 @@ fn time_variant(fx: &Fixture, steps: usize, variant: &str) -> (f64, f64) {
                 .map(|r| r.expect("transparent plan"))
                 .collect(),
         ),
+        "integrity" => reduce(
+            run_ranks_with_faults_integrity(
+                WORLD,
+                FaultPlan::default(),
+                IntegrityConfig::default(),
+                |comm| rank_loop(fx, comm, steps),
+            )
+            .into_iter()
+            .map(|r| r.expect("fault-free integrity run"))
+            .collect(),
+        ),
         other => unreachable!("unknown variant {other}"),
     }
 }
 
 /// Best-of-`reps` steps/sec for each launch flavor, measured in strict
-/// alternation; asserts the three flavors agree on the loss bitwise.
-pub fn measure_overhead(steps: usize, reps: usize) -> (f64, f64, f64) {
+/// alternation; asserts all flavors agree on the loss bitwise.
+pub fn measure_overhead(steps: usize, reps: usize) -> (f64, f64, f64, f64) {
     let fx = fixture();
-    let variants = ["plain", "watchdog", "faulty-transparent"];
-    let mut best = [f64::MAX; 3];
-    let mut loss = [0.0f64; 3];
+    let variants = ["plain", "watchdog", "faulty-transparent", "integrity"];
+    let mut best = [f64::MAX; 4];
+    let mut loss = [0.0f64; 4];
     for _ in 0..reps {
         for (i, v) in variants.iter().enumerate() {
             let (t, l) = time_variant(&fx, steps, v);
@@ -108,12 +126,13 @@ pub fn measure_overhead(steps: usize, reps: usize) -> (f64, f64, f64) {
     }
     assert_eq!(loss[0].to_bits(), loss[1].to_bits(), "watchdog must not change results");
     assert_eq!(loss[0].to_bits(), loss[2].to_bits(), "transparent faults must not change results");
-    (steps as f64 / best[0], steps as f64 / best[1], steps as f64 / best[2])
+    assert_eq!(loss[0].to_bits(), loss[3].to_bits(), "integrity must not change results");
+    (steps as f64 / best[0], steps as f64 / best[1], steps as f64 / best[2], steps as f64 / best[3])
 }
 
 /// Zero-fault overhead table.
 fn overhead_table() -> Table {
-    let (plain, watchdog, faulty) = measure_overhead(20, 5);
+    let (plain, watchdog, faulty, integrity) = measure_overhead(20, 5);
     let mut t = Table::new(
         "Fault-model zero-fault overhead: mini mesh training step (4 ranks, thread-sim)",
         &["runtime flavor", "steps/sec", "relative to plain"],
@@ -128,6 +147,11 @@ fn overhead_table() -> Table {
         "FaultyComm, empty plan".into(),
         format!("{faulty:.2}"),
         format!("{:.3}", faulty / plain),
+    ]);
+    t.push_row(vec![
+        "integrity envelopes (checksum + seq)".into(),
+        format!("{integrity:.2}"),
+        format!("{:.3}", integrity / plain),
     ]);
     t
 }
@@ -164,7 +188,7 @@ fn recovery_table() -> Table {
             &fx.x,
             &fx.labels,
             STEPS,
-            &ResilientConfig { ckpt_every, max_restarts: 2 },
+            &ResilientConfig { ckpt_every, max_restarts: 2, ..Default::default() },
             FaultPlan::new(9).kill_rank(1, kill_op),
         );
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -184,9 +208,51 @@ fn recovery_table() -> Table {
     t
 }
 
-/// The `repro -- faults` experiment: both tables.
+/// Corruption-rate sweep: train under increasing link corruption (and a
+/// fixed drop rate) with the full ladder armed. In-band repair traffic
+/// grows with the rate; restarts, rollbacks, and — the headline — the
+/// loss trajectory do not move at all.
+fn corruption_sweep_table() -> Table {
+    let fx = fixture();
+    const STEPS: u64 = 6;
+    let cfg = ResilientConfig {
+        ckpt_every: 2,
+        max_restarts: 0,
+        guard: Some(GuardConfig::default()),
+        integrity: Some(IntegrityConfig::default()),
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        "Corruption-rate sweep: 6 training steps, integrity + guard armed (4 ranks)",
+        &["corrupt rate", "drop rate", "repaired", "retransmits", "rollbacks", "wall-ms"],
+    );
+    let mut trajectories: Vec<Vec<u64>> = Vec::new();
+    for (corrupt, drop) in [(0.0, 0.0), (0.02, 0.01), (0.05, 0.02), (0.10, 0.05)] {
+        let plan = FaultPlan::new(0xC0FF).corrupt_rate(corrupt).drop_rate(drop);
+        let start = Instant::now();
+        let report =
+            resilient_train(&fx.exec, &fx.net.params, HYPER, &fx.x, &fx.labels, STEPS, &cfg, plan);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.restarts, 0, "in-band repair must absorb rate faults");
+        trajectories.push(report.losses.iter().map(|l| l.to_bits()).collect());
+        t.push_row(vec![
+            format!("{corrupt:.2}"),
+            format!("{drop:.2}"),
+            format!("{}", report.corrupt_repaired),
+            format!("{}", report.retransmits),
+            format!("{}", report.rollbacks),
+            format!("{wall_ms:.1}"),
+        ]);
+    }
+    for traj in &trajectories[1..] {
+        assert_eq!(traj, &trajectories[0], "repair must be invisible to the trajectory");
+    }
+    t
+}
+
+/// The `repro -- faults` experiment: all three tables.
 pub fn faults() -> Vec<Table> {
-    vec![overhead_table(), recovery_table()]
+    vec![overhead_table(), recovery_table(), corruption_sweep_table()]
 }
 
 #[cfg(test)]
@@ -196,13 +262,21 @@ mod tests {
     #[test]
     fn overhead_measurement_is_loss_invariant() {
         // measure_overhead() asserts bitwise-equal losses internally.
-        let (plain, watchdog, faulty) = measure_overhead(2, 1);
-        assert!(plain > 0.0 && watchdog > 0.0 && faulty > 0.0);
+        let (plain, watchdog, faulty, integrity) = measure_overhead(2, 1);
+        assert!(plain > 0.0 && watchdog > 0.0 && faulty > 0.0 && integrity > 0.0);
     }
 
     #[test]
     fn recovery_table_has_one_row_per_interval() {
         let t = recovery_table();
         assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn corruption_sweep_has_one_row_per_rate() {
+        // corruption_sweep_table() asserts trajectory invariance
+        // internally.
+        let t = corruption_sweep_table();
+        assert_eq!(t.rows.len(), 4);
     }
 }

@@ -55,6 +55,19 @@ pub enum CommError {
         /// watchdog's wait graph (who waits on whom, which tag).
         detail: String,
     },
+    /// The integrity layer detected payload corruption on `link` that it
+    /// could not repair within its retry budget (every retransmission
+    /// was also corrupted, or the sender's replay window no longer holds
+    /// the message). `seq` is the corrupted message's position in its
+    /// `(link, tag)` stream.
+    Corrupt {
+        /// The `(src, dst)` ordered pair the corrupted message traveled.
+        link: (usize, usize),
+        /// Stream sequence number of the unrepairable message.
+        seq: u64,
+        /// Context: the tag, the retry budget, what each retry saw.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -72,6 +85,9 @@ impl fmt::Display for CommError {
             }
             CommError::Timeout { rank, detail } => {
                 write!(f, "rank {rank} timed out: {detail}")
+            }
+            CommError::Corrupt { link: (src, dst), seq, detail } => {
+                write!(f, "unrepairable corruption on link {src} -> {dst} (seq {seq}): {detail}")
             }
         }
     }
@@ -121,6 +137,21 @@ mod tests {
     fn timeout_carries_the_diagnostic() {
         let e = CommError::Timeout { rank: 0, detail: "deadlock: rank 0 waits on rank 1".into() };
         assert_eq!(e.to_string(), "rank 0 timed out: deadlock: rank 0 waits on rank 1");
+    }
+
+    #[test]
+    fn corrupt_names_link_seq_and_context() {
+        let e = CommError::Corrupt {
+            link: (0, 1),
+            seq: 42,
+            detail: "tag 7: 3 retransmissions, all corrupted".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "unrepairable corruption on link 0 -> 1 (seq 42): tag 7: 3 retransmissions, \
+             all corrupted"
+        );
+        assert_ne!(e, CommError::Corrupt { link: (0, 1), seq: 43, detail: String::new() });
     }
 
     #[test]

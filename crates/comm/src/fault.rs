@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::CommError;
-use crate::p2p::{CommScalar, Communicator, Tag};
+use crate::p2p::{CommScalar, Communicator, Tag, WireHeader};
 use crate::stats::OpClass;
 
 /// splitmix64: a well-distributed 64-bit mixer, used to derive per-event
@@ -33,6 +33,31 @@ fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// How many times a link-layer (sender-side) retransmission of a dropped
+/// enveloped message is retried before the sender gives up with
+/// [`CommError::Corrupt`]. With a drop *rate* `r` the chance of
+/// exhaustion is `r^budget` — negligible for any plausible rate.
+pub const LINK_RETRY_BUDGET: u32 = 16;
+
+/// Salt separating rate-based drop draws from corruption draws.
+const DROP_SALT: u64 = 0xD20B_5A17;
+/// Salt separating rate-based corruption draws from drop draws.
+const CORRUPT_SALT: u64 = 0x0C0B_B1E5;
+/// Salt separating retransmission corruption draws from first-
+/// transmission draws (retransmissions ride the same physical link and
+/// deserve the same hazard, but must not mirror the original's fate).
+const RETX_SALT: u64 = 0x2E7A_A9D1;
+
+/// A seeded Bernoulli draw for event `n` on link `src → dst`.
+fn rate_draw(seed: u64, salt: u64, src: usize, dst: usize, n: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let z = mix64(seed ^ salt ^ ((src as u64) << 40) ^ ((dst as u64) << 20) ^ n);
+    // 53 high bits → a uniform in [0, 1).
+    ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
 }
 
 /// A deterministic schedule of injected faults.
@@ -53,6 +78,17 @@ pub struct FaultPlan {
     /// `every`-th comm op — a deterministic stand-in for a slow NIC or a
     /// congested link.
     delays: Vec<(usize, u64, Duration)>,
+    /// `(src, dst, k)`: corrupt the `k`-th retransmission served on link
+    /// `src → dst` (the replay-window pull path, which bypasses
+    /// [`FaultyComm`]).
+    corrupt_retransmits: Vec<(usize, usize, u64)>,
+    /// Bernoulli drop probability applied to every message on every
+    /// link, on top of the explicit `drops` list.
+    drop_rate: f64,
+    /// Bernoulli corruption probability applied to every message on
+    /// every link (first transmissions *and* retransmissions), on top of
+    /// the explicit lists.
+    corrupt_rate: f64,
 }
 
 impl FaultPlan {
@@ -94,6 +130,33 @@ impl FaultPlan {
         self
     }
 
+    /// Corrupt the `k`-th (0-based) *retransmission* served on link
+    /// `src → dst` — the payload a receiver pulls from the sender's
+    /// replay window after a checksum mismatch. Lets tests exercise the
+    /// "retransmission itself corrupted" retry loop and budget
+    /// exhaustion.
+    pub fn corrupt_retransmit_nth(mut self, src: usize, dst: usize, k: u64) -> FaultPlan {
+        self.corrupt_retransmits.push((src, dst, k));
+        self
+    }
+
+    /// Drop every message with probability `rate` (seeded Bernoulli per
+    /// link and send ordinal), in addition to any explicit drops.
+    pub fn drop_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "drop rate must be a probability");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Corrupt every message with probability `rate` (seeded Bernoulli
+    /// per link and ordinal; retransmissions draw independently), in
+    /// addition to any explicit corruptions.
+    pub fn corrupt_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "corrupt rate must be a probability");
+        self.corrupt_rate = rate;
+        self
+    }
+
     /// A pseudo-random chaos plan for a world of `size` ranks: one
     /// victim killed at a seed-chosen op below `horizon`, plus a
     /// seed-chosen link drop and corruption. Fully determined by
@@ -119,14 +182,29 @@ impl FaultPlan {
     /// Whether the `n`-th message on `src → dst` is dropped.
     pub fn drops(&self, src: usize, dst: usize, n: u64) -> bool {
         self.drops.iter().any(|&(s, d, m)| s == src && d == dst && m == n)
+            || rate_draw(self.seed, DROP_SALT, src, dst, n, self.drop_rate)
     }
 
     /// The corruption mask for the `n`-th message on `src → dst`, if
     /// that message is scheduled for corruption. Seed-derived, so the
     /// same plan corrupts the same message the same way on every run.
     pub fn corrupt_mask(&self, src: usize, dst: usize, n: u64) -> Option<u64> {
-        if self.corrupts.iter().any(|&(s, d, m)| s == src && d == dst && m == n) {
+        if self.corrupts.iter().any(|&(s, d, m)| s == src && d == dst && m == n)
+            || rate_draw(self.seed, CORRUPT_SALT, src, dst, n, self.corrupt_rate)
+        {
             Some(mix64(self.seed ^ ((src as u64) << 40) ^ ((dst as u64) << 20) ^ n))
+        } else {
+            None
+        }
+    }
+
+    /// The corruption mask for the `k`-th retransmission served on
+    /// `src → dst`, if scheduled (explicitly or by `corrupt_rate`).
+    pub fn retransmit_corrupt_mask(&self, src: usize, dst: usize, k: u64) -> Option<u64> {
+        if self.corrupt_retransmits.iter().any(|&(s, d, m)| s == src && d == dst && m == k)
+            || rate_draw(self.seed, RETX_SALT, src, dst, k, self.corrupt_rate)
+        {
+            Some(mix64(self.seed ^ RETX_SALT ^ ((src as u64) << 40) ^ ((dst as u64) << 20) ^ k))
         } else {
             None
         }
@@ -147,6 +225,9 @@ impl FaultPlan {
             && self.drops.is_empty()
             && self.corrupts.is_empty()
             && self.delays.is_empty()
+            && self.corrupt_retransmits.is_empty()
+            && self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
     }
 }
 
@@ -238,12 +319,79 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
         self.inner.recv(src, tag)
     }
 
+    fn send_enveloped<T: CommScalar>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        mut data: Vec<T>,
+        header: WireHeader,
+    ) {
+        // One op tick per logical send; link-layer retries below do not
+        // advance the kill/delay clock (they model NIC-level behavior,
+        // not application activity).
+        self.tick();
+        let mut retries = 0u32;
+        loop {
+            let n = {
+                let mut sent = self.sent.borrow_mut();
+                let n = sent[dst];
+                sent[dst] += 1;
+                n
+            };
+            if self.plan.drops(self.rank(), dst, n) {
+                // The envelope makes the drop *detectable* at the
+                // sender: an unacknowledged sequence number. Model the
+                // link-layer retransmit right here — resend immediately
+                // under a fresh fault ordinal — so the receiver never
+                // observes a sequence gap and never has to time out.
+                self.inner.note_dropped_send(dst);
+                retries += 1;
+                if retries > LINK_RETRY_BUDGET {
+                    std::panic::panic_any(CommError::Corrupt {
+                        link: (self.rank(), dst),
+                        seq: header.seq,
+                        detail: format!(
+                            "tag {tag}: message dropped on all {LINK_RETRY_BUDGET} link-layer \
+                             retransmissions",
+                        ),
+                    });
+                }
+                self.inner.note_retransmit();
+                continue;
+            }
+            if let Some(mask) = self.plan.corrupt_mask(self.rank(), dst, n) {
+                if let Some(first) = data.first_mut() {
+                    *first = first.corrupt(mask);
+                }
+            }
+            self.inner.send_enveloped(dst, tag, data, header);
+            return;
+        }
+    }
+
+    fn recv_enveloped<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
+        self.tick();
+        self.inner.recv_enveloped(src, tag)
+    }
+
     fn record(&self, class: OpClass, messages: u64, bytes: u64) {
         self.inner.record(class, messages, bytes);
     }
 
     fn note_dropped_send(&self, dst: usize) {
         self.inner.note_dropped_send(dst);
+    }
+
+    fn note_retransmit(&self) {
+        self.inner.note_retransmit();
+    }
+
+    fn note_corrupt_repaired(&self) {
+        self.inner.note_corrupt_repaired();
+    }
+
+    fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
+        self.inner.stats_snapshot()
     }
 
     fn next_collective_tag(&self) -> Tag {
@@ -301,6 +449,48 @@ mod tests {
         assert_ne!(a.corrupt_mask(0, 1, 0), c.corrupt_mask(0, 1, 0));
         let d = FaultPlan::new(1).corrupt_nth(1, 0, 0);
         assert_ne!(a.corrupt_mask(0, 1, 0), d.corrupt_mask(1, 0, 0));
+    }
+
+    #[test]
+    fn retransmit_corruption_is_scheduled_independently() {
+        let plan = FaultPlan::new(9).corrupt_retransmit_nth(0, 1, 0);
+        assert!(!plan.is_transparent());
+        assert!(plan.retransmit_corrupt_mask(0, 1, 0).is_some());
+        assert!(plan.retransmit_corrupt_mask(0, 1, 1).is_none());
+        assert!(plan.retransmit_corrupt_mask(1, 0, 0).is_none());
+        // First-transmission corruption is untouched.
+        assert!(plan.corrupt_mask(0, 1, 0).is_none());
+        // Retransmission masks are salted away from first-transmission
+        // masks so the retry does not deterministically mirror the
+        // original corruption.
+        let both = FaultPlan::new(9).corrupt_nth(0, 1, 0).corrupt_retransmit_nth(0, 1, 0);
+        assert_ne!(both.corrupt_mask(0, 1, 0), both.retransmit_corrupt_mask(0, 1, 0));
+    }
+
+    #[test]
+    fn rate_based_faults_are_seeded_and_roughly_calibrated() {
+        let plan = FaultPlan::new(1234).drop_rate(0.25).corrupt_rate(0.25);
+        assert!(!plan.is_transparent());
+        let drops = (0..4000).filter(|&n| plan.drops(0, 1, n)).count();
+        let corrupts = (0..4000).filter(|&n| plan.corrupt_mask(0, 1, n).is_some()).count();
+        let retx = (0..4000).filter(|&n| plan.retransmit_corrupt_mask(0, 1, n).is_some()).count();
+        for hits in [drops, corrupts, retx] {
+            assert!((800..1200).contains(&hits), "expected ~1000 of 4000, got {hits}");
+        }
+        // Same seed → same draws; the three salts decorrelate the streams.
+        let again = FaultPlan::new(1234).drop_rate(0.25).corrupt_rate(0.25);
+        assert_eq!(
+            (0..100).map(|n| plan.drops(0, 1, n)).collect::<Vec<_>>(),
+            (0..100).map(|n| again.drops(0, 1, n)).collect::<Vec<_>>(),
+        );
+        assert_ne!(
+            (0..100).map(|n| plan.drops(0, 1, n)).collect::<Vec<_>>(),
+            (0..100).map(|n| plan.corrupt_mask(0, 1, n).is_some()).collect::<Vec<_>>(),
+        );
+        // Zero rates never fire.
+        let quiet = FaultPlan::new(1234);
+        assert!((0..100).all(|n| !quiet.drops(0, 1, n)));
+        assert!(quiet.is_transparent());
     }
 
     #[test]

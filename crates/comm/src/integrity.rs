@@ -1,0 +1,455 @@
+//! End-to-end message integrity: checksummed, sequence-numbered
+//! envelopes with a bounded NACK/retransmit protocol.
+//!
+//! At scale, transient link faults and silent payload corruption are
+//! statistically certain over a long training run, and a single flipped
+//! bit in a halo exchange or allreduce fragment poisons every downstream
+//! gradient. This module gives the substrate TCP-like delivery semantics
+//! at the p2p boundary, so every collective inherits detection and
+//! repair for free — exactly as they inherit injected faults from
+//! [`crate::fault::FaultyComm`]:
+//!
+//! * **Envelope.** Before a payload can be touched by anything below the
+//!   integrity layer (fault injection here; a real NIC in the system
+//!   being modeled), the sender assigns it a [`WireHeader`]: its
+//!   position `seq` in the `(src, dst, tag)` stream and an FNV-1a
+//!   checksum over `(tag, seq, len, element bits)` — see
+//!   [`checksum_payload`].
+//! * **Replay window.** The sender stages a pristine copy of every
+//!   enveloped payload in a shared [`IntegrityState`] window, keyed by
+//!   stream. Successful delivery of `seq` acts as a cumulative ACK:
+//!   the receiver prunes every staged entry of that stream up to and
+//!   including `seq`, so the window holds only in-flight messages.
+//! * **NACK/retransmit.** A receiver whose checksum test fails issues a
+//!   NACK — modeled as a direct pull of the staged copy from the
+//!   sender's window (the in-process analogue of a NACK packet plus the
+//!   sender's resend). Pulls retry with backoff up to
+//!   [`IntegrityConfig::max_retries`]; retransmissions ride the same
+//!   hazardous link, so a [`crate::fault::FaultPlan`] can corrupt them
+//!   too ([`crate::fault::FaultPlan::corrupt_retransmit_nth`]). When the
+//!   budget is exhausted, the receive unwinds with a typed
+//!   [`CommError::Corrupt`] caught at the rank boundary.
+//! * **Drops** are repaired on the *sender* side: with an envelope
+//!   attached, a dropped message is a detectable unacknowledged
+//!   sequence number, and [`crate::fault::FaultyComm`] models the
+//!   link-layer retransmit by immediately resending under a fresh fault
+//!   ordinal. The receiver therefore never observes a sequence gap, and
+//!   drop repair never interacts with the deadlock watchdog.
+//!
+//! Every repair is counted: retransmissions and corrupted-and-repaired
+//! messages land in [`crate::TrafficStats`] and in the watchdog's
+//! wait-graph diagnostics, so a flaky link is visible long before it
+//! becomes fatal.
+//!
+//! Two wirings exist. Setting `FG_COMM_INTEGRITY=1` (or
+//! [`crate::RunOptions::integrity`]) envelopes all traffic inside
+//! [`crate::WorldComm`] itself — zero API change for callers. Fault
+//! chaos tests instead stack an explicit [`IntegrityComm`] *above* a
+//! `FaultyComm` (via [`crate::runtime::run_ranks_with_faults_integrity`]),
+//! because checksums must be computed on pristine payloads: integrity
+//! below the fault layer would happily certify corrupted data.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::CommError;
+use crate::fault::FaultPlan;
+use crate::p2p::{CommScalar, Communicator, Tag, WireHeader};
+use crate::stats::OpClass;
+
+/// Tuning for the receiver-side repair loop.
+#[derive(Debug, Clone)]
+pub struct IntegrityConfig {
+    /// How many replay-window pulls a receiver attempts for one corrupted
+    /// message before surfacing [`CommError::Corrupt`]. With a per-link
+    /// corruption rate `r`, repair fails with probability `r^(budget+1)`.
+    pub max_retries: u32,
+    /// Base backoff between pulls; pull `k` sleeps `k * backoff`,
+    /// modeling NACK round-trips without hammering the shared window.
+    pub backoff: Duration,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> IntegrityConfig {
+        IntegrityConfig { max_retries: 8, backoff: Duration::from_micros(20) }
+    }
+}
+
+/// FNV-1a over one more 64-bit word.
+fn fnv(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// The end-to-end payload checksum: FNV-1a over `(tag, seq, len)` and
+/// every element's [`CommScalar::checksum_bits`]. Binding the header
+/// fields means a payload spliced onto the wrong stream position fails
+/// verification even if its bytes are intact.
+pub fn checksum_payload<T: CommScalar>(tag: Tag, seq: u64, data: &[T]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv(h, tag);
+    h = fnv(h, seq);
+    h = fnv(h, data.len() as u64);
+    for x in data {
+        h = fnv(h, x.checksum_bits());
+    }
+    h
+}
+
+/// A staged pristine copy awaiting acknowledgement.
+struct Entry {
+    seq: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The world-shared sender-side state: per-stream replay windows plus
+/// the per-link retransmission ordinals that drive plan-scheduled
+/// retransmit corruption. One instance is shared (via `Arc`) by all
+/// ranks of a world, the in-process stand-in for each sender's NIC
+/// buffer being reachable by its peer's NACKs.
+pub struct IntegrityState {
+    size: usize,
+    /// `windows[(src, dst, tag)]` → staged entries in seq order.
+    windows: Mutex<HashMap<(usize, usize, Tag), VecDeque<Entry>>>,
+    /// Retransmissions served per link (`src * size + dst`), the ordinal
+    /// stream for [`FaultPlan::retransmit_corrupt_mask`].
+    retx_served: Vec<AtomicU64>,
+    /// Fault plan corrupting retransmissions; `None` outside chaos runs.
+    plan: Option<FaultPlan>,
+}
+
+impl IntegrityState {
+    /// Fresh state for a world of `size` ranks, with no fault plan.
+    pub fn new(size: usize) -> IntegrityState {
+        IntegrityState {
+            size,
+            windows: Mutex::new(HashMap::new()),
+            retx_served: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            plan: None,
+        }
+    }
+
+    /// Attach a fault plan so retransmissions suffer the same link
+    /// hazard as first transmissions.
+    pub fn with_plan(mut self, plan: FaultPlan) -> IntegrityState {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Stage a pristine copy of message `seq` on stream
+    /// `(src, dst, tag)`. Called by the sender before the send itself,
+    /// so a concurrent NACK can never miss the entry.
+    fn stage<T: CommScalar>(&self, src: usize, dst: usize, tag: Tag, seq: u64, payload: Vec<T>) {
+        let mut windows = self.windows.lock().expect("integrity window poisoned");
+        windows
+            .entry((src, dst, tag))
+            .or_default()
+            .push_back(Entry { seq, payload: Box::new(payload) });
+    }
+
+    /// Serve a NACK: clone the staged copy of `seq` on
+    /// `(src, dst, tag)`, subjecting it to the link's retransmission
+    /// hazard. `None` when the window no longer holds the entry.
+    fn retransmit<T: CommScalar>(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+    ) -> Option<Vec<T>> {
+        let mut copy: Vec<T> = {
+            let windows = self.windows.lock().expect("integrity window poisoned");
+            let stream = windows.get(&(src, dst, tag))?;
+            let entry = stream.iter().find(|e| e.seq == seq)?;
+            entry.payload.downcast_ref::<Vec<T>>()?.clone()
+        };
+        // The ordinal advances once per retransmission actually served
+        // on the link; the receiver is single-threaded, so the stream of
+        // ordinals on each link is deterministic.
+        let k = self.retx_served[src * self.size + dst].fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = &self.plan {
+            if let Some(mask) = plan.retransmit_corrupt_mask(src, dst, k) {
+                if let Some(first) = copy.first_mut() {
+                    *first = first.corrupt(mask);
+                }
+            }
+        }
+        Some(copy)
+    }
+
+    /// Cumulative ACK: delivery of `seq` on `(src, dst, tag)` proves
+    /// every earlier message of the stream was delivered too (per-pair
+    /// FIFO); prune them all.
+    fn ack(&self, src: usize, dst: usize, tag: Tag, seq: u64) {
+        let mut windows = self.windows.lock().expect("integrity window poisoned");
+        if let Some(stream) = windows.get_mut(&(src, dst, tag)) {
+            stream.retain(|e| e.seq > seq);
+            if stream.is_empty() {
+                windows.remove(&(src, dst, tag));
+            }
+        }
+    }
+
+    /// Total messages currently staged across all streams (test/debug).
+    pub fn staged(&self) -> usize {
+        self.windows.lock().expect("integrity window poisoned").values().map(|s| s.len()).sum()
+    }
+}
+
+/// A rank's private protocol cursors: the next sequence number per
+/// outgoing stream and the expected sequence number per incoming stream.
+#[derive(Default)]
+pub struct RankCursor {
+    next_seq: std::cell::RefCell<HashMap<(usize, Tag), u64>>,
+    expected: std::cell::RefCell<HashMap<(usize, Tag), u64>>,
+}
+
+impl RankCursor {
+    /// Fresh cursors (all streams at seq 0).
+    pub fn new() -> RankCursor {
+        RankCursor::default()
+    }
+
+    fn next_send_seq(&self, dst: usize, tag: Tag) -> u64 {
+        let mut map = self.next_seq.borrow_mut();
+        let c = map.entry((dst, tag)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+
+    fn expected_recv_seq(&self, src: usize, tag: Tag) -> u64 {
+        *self.expected.borrow_mut().entry((src, tag)).or_insert(0)
+    }
+
+    fn advance_recv(&self, src: usize, tag: Tag) {
+        *self.expected.borrow_mut().entry((src, tag)).or_insert(0) += 1;
+    }
+}
+
+/// Sender half of the protocol: assign the envelope, stage the pristine
+/// copy, send through `comm`'s raw enveloped path.
+///
+/// Generic over the inner communicator so the same state machine serves
+/// both wirings: `comm` is the [`crate::WorldComm`] itself (internal
+/// integrity) or a [`crate::fault::FaultyComm`] (explicit stack), and in
+/// either case `send_enveloped` is the layer *below* integrity.
+pub fn protocol_send<C: Communicator, T: CommScalar>(
+    comm: &C,
+    state: &IntegrityState,
+    cursor: &RankCursor,
+    dst: usize,
+    tag: Tag,
+    data: Vec<T>,
+) {
+    let seq = cursor.next_send_seq(dst, tag);
+    let checksum = checksum_payload(tag, seq, &data);
+    state.stage(comm.rank(), dst, tag, seq, data.clone());
+    comm.send_enveloped(dst, tag, data, WireHeader { seq, checksum });
+}
+
+/// Receiver half of the protocol: verify the envelope, repair by pulling
+/// retransmissions on mismatch, acknowledge on acceptance.
+///
+/// # Panics
+/// Unwinds with [`CommError::Corrupt`] when the retry budget is
+/// exhausted or the replay window no longer holds the message; the rank
+/// boundary ([`crate::runtime::run_ranks_opts`]) catches it.
+pub fn protocol_recv<C: Communicator, T: CommScalar>(
+    comm: &C,
+    state: &IntegrityState,
+    config: &IntegrityConfig,
+    cursor: &RankCursor,
+    src: usize,
+    tag: Tag,
+) -> Vec<T> {
+    let (mut data, header) = comm.recv_enveloped::<T>(src, tag);
+    let Some(header) = header else {
+        // The sender ran without the integrity layer; nothing to verify.
+        return data;
+    };
+    let me = comm.rank();
+    let expected = cursor.expected_recv_seq(src, tag);
+    // Link-layer drop repair (see FaultyComm::send_enveloped) guarantees
+    // gap-free streams; a mismatch here is a protocol bug, not a fault.
+    assert_eq!(
+        header.seq, expected,
+        "integrity stream {src} -> {me} tag {tag}: got seq {}, expected {expected}",
+        header.seq
+    );
+    let mut pulls = 0u32;
+    loop {
+        if checksum_payload(tag, header.seq, &data) == header.checksum {
+            if pulls > 0 {
+                comm.note_corrupt_repaired();
+            }
+            cursor.advance_recv(src, tag);
+            state.ack(src, me, tag, header.seq);
+            return data;
+        }
+        if pulls >= config.max_retries {
+            std::panic::panic_any(CommError::Corrupt {
+                link: (src, me),
+                seq: header.seq,
+                detail: format!(
+                    "tag {tag}: checksum mismatch persisted through {pulls} retransmissions \
+                     (budget {})",
+                    config.max_retries
+                ),
+            });
+        }
+        pulls += 1;
+        comm.note_retransmit();
+        if pulls > 1 {
+            // NACK round-trips back off linearly; the first pull is
+            // immediate.
+            std::thread::sleep(config.backoff * (pulls - 1));
+        }
+        data = state.retransmit::<T>(src, me, tag, header.seq).unwrap_or_else(|| {
+            std::panic::panic_any(CommError::Corrupt {
+                link: (src, me),
+                seq: header.seq,
+                detail: format!(
+                    "tag {tag}: replay window no longer holds the message after {pulls} pulls"
+                ),
+            })
+        });
+    }
+}
+
+/// A [`Communicator`] wrapper running the integrity protocol above an
+/// inner communicator — the explicit-stack wiring used by chaos tests:
+/// `IntegrityComm<FaultyComm<WorldComm>>` checksums pristine payloads,
+/// injects faults below, and repairs them at the receiver.
+pub struct IntegrityComm<'a, C: Communicator> {
+    inner: &'a C,
+    state: Arc<IntegrityState>,
+    config: IntegrityConfig,
+    cursor: RankCursor,
+}
+
+impl<'a, C: Communicator> IntegrityComm<'a, C> {
+    /// Wrap `inner`, sharing the world's `state`.
+    pub fn new(inner: &'a C, state: Arc<IntegrityState>, config: IntegrityConfig) -> Self {
+        IntegrityComm { inner, state, config, cursor: RankCursor::new() }
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        self.inner
+    }
+}
+
+impl<C: Communicator> Communicator for IntegrityComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send<T: CommScalar>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        protocol_send(self.inner, &self.state, &self.cursor, dst, tag, data);
+    }
+
+    fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+        protocol_recv(self.inner, &self.state, &self.config, &self.cursor, src, tag)
+    }
+
+    fn record(&self, class: OpClass, messages: u64, bytes: u64) {
+        self.inner.record(class, messages, bytes);
+    }
+
+    fn note_dropped_send(&self, dst: usize) {
+        self.inner.note_dropped_send(dst);
+    }
+
+    fn note_retransmit(&self) {
+        self.inner.note_retransmit();
+    }
+
+    fn note_corrupt_repaired(&self) {
+        self.inner.note_corrupt_repaired();
+    }
+
+    fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
+        self.inner.stats_snapshot()
+    }
+
+    fn next_collective_tag(&self) -> Tag {
+        self.inner.next_collective_tag()
+    }
+
+    fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R {
+        self.inner.with_class(class, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_binds_payload_tag_seq_and_length() {
+        let data = vec![1.0f32, 2.0, 3.0];
+        let base = checksum_payload(7, 0, &data);
+        assert_eq!(base, checksum_payload(7, 0, &data));
+        assert_ne!(base, checksum_payload(8, 0, &data));
+        assert_ne!(base, checksum_payload(7, 1, &data));
+        assert_ne!(base, checksum_payload(7, 0, &data[..2]));
+        let mut corrupted = data.clone();
+        corrupted[1] = corrupted[1].corrupt(0xdead);
+        assert_ne!(base, checksum_payload(7, 0, &corrupted));
+        // Trailing-element corruption is visible too (not just the first).
+        let mut tail = data.clone();
+        tail[2] = tail[2].corrupt(1);
+        assert_ne!(base, checksum_payload(7, 0, &tail));
+    }
+
+    #[test]
+    fn window_stages_retransmits_and_prunes_on_ack() {
+        let state = IntegrityState::new(2);
+        state.stage(0, 1, 5, 0, vec![1.0f32]);
+        state.stage(0, 1, 5, 1, vec![2.0f32]);
+        state.stage(0, 1, 9, 0, vec![3.0f32]);
+        assert_eq!(state.staged(), 3);
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), Some(vec![1.0]));
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 1), Some(vec![2.0]));
+        // Unknown seq / stream → None.
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 7), None);
+        assert_eq!(state.retransmit::<f32>(1, 0, 5, 0), None);
+        // Cumulative ACK of seq 1 prunes seqs 0 and 1 of that stream only.
+        state.ack(0, 1, 5, 1);
+        assert_eq!(state.staged(), 1);
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), None);
+        assert_eq!(state.retransmit::<f32>(0, 1, 9, 0), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn planned_retransmit_corruption_fires_by_served_ordinal() {
+        let state =
+            IntegrityState::new(2).with_plan(FaultPlan::new(3).corrupt_retransmit_nth(0, 1, 1));
+        state.stage(0, 1, 5, 0, vec![4.0f32]);
+        // Ordinal 0: clean. Ordinal 1: corrupted. Ordinal 2: clean again.
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), Some(vec![4.0]));
+        let corrupted = state.retransmit::<f32>(0, 1, 5, 0).unwrap();
+        assert_ne!(corrupted, vec![4.0]);
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), Some(vec![4.0]));
+    }
+
+    #[test]
+    fn cursor_tracks_streams_independently() {
+        let c = RankCursor::new();
+        assert_eq!(c.next_send_seq(1, 5), 0);
+        assert_eq!(c.next_send_seq(1, 5), 1);
+        assert_eq!(c.next_send_seq(1, 9), 0);
+        assert_eq!(c.next_send_seq(0, 5), 0);
+        assert_eq!(c.expected_recv_seq(1, 5), 0);
+        c.advance_recv(1, 5);
+        assert_eq!(c.expected_recv_seq(1, 5), 1);
+        assert_eq!(c.expected_recv_seq(0, 5), 0);
+    }
+}

@@ -38,6 +38,7 @@ pub mod collectives;
 pub mod dynamic;
 pub mod error;
 pub mod fault;
+pub mod integrity;
 pub mod p2p;
 pub mod runtime;
 pub mod stats;
@@ -47,11 +48,12 @@ pub mod watchdog;
 pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
 pub use dynamic::{DynComm, ErasedComm, ScalarType};
 pub use error::CommError;
-pub use fault::{FaultPlan, FaultyComm};
-pub use p2p::{CommScalar, Communicator, Tag};
+pub use fault::{FaultPlan, FaultyComm, LINK_RETRY_BUDGET};
+pub use integrity::{IntegrityComm, IntegrityConfig, IntegrityState};
+pub use p2p::{CommScalar, Communicator, Tag, WireHeader};
 pub use runtime::{
-    run_ranks, run_ranks_opts, run_ranks_timed, run_ranks_with_faults, LinkModel, RunOptions,
-    WorldComm,
+    run_ranks, run_ranks_opts, run_ranks_timed, run_ranks_with_faults,
+    run_ranks_with_faults_integrity, LinkModel, RunOptions, WorldComm,
 };
 pub use stats::{OpClass, TrafficStats};
 pub use subcomm::{SubComm, SubCommLayout};

@@ -44,41 +44,72 @@ pub trait CommScalar: Copy + Send + 'static {
     /// `self` for every mask, so injected corruption is always
     /// observable.
     fn corrupt(self, mask: u64) -> Self;
+
+    /// The value's bit pattern as a `u64`, fed into the end-to-end
+    /// payload checksum ([`crate::integrity`]). Must be injective on the
+    /// bits `corrupt` can touch, so every injected corruption changes
+    /// the checksum.
+    fn checksum_bits(self) -> u64;
 }
 
 /// The single authoritative list of wire scalar types. Invokes the
 /// callback macro once per scalar with `(type, ScalarType variant,
-/// corruption expression)`. Everything that must stay in sync with the
-/// set of [`CommScalar`] impls — the impls themselves, the
-/// [`crate::dynamic::ScalarType`] dispatch tables, and the exhaustive
-/// round-trip test — is generated from this list; extending it is the
-/// only supported way to add a scalar.
+/// corruption expression, checksum-bits expression)`. Everything that
+/// must stay in sync with the set of [`CommScalar`] impls — the impls
+/// themselves, the [`crate::dynamic::ScalarType`] dispatch tables, and
+/// the exhaustive round-trip test — is generated from this list;
+/// extending it is the only supported way to add a scalar.
 macro_rules! for_each_comm_scalar {
     ($m:ident) => {
-        $m!(f32, F32, |x: f32, m: u64| f32::from_bits(x.to_bits() ^ ((m as u32) | 1)));
-        $m!(f64, F64, |x: f64, m: u64| f64::from_bits(x.to_bits() ^ (m | 1)));
-        $m!(u8, U8, |x: u8, m: u64| x ^ ((m as u8) | 1));
-        $m!(u32, U32, |x: u32, m: u64| x ^ ((m as u32) | 1));
-        $m!(u64, U64, |x: u64, m: u64| x ^ (m | 1));
-        $m!(i32, I32, |x: i32, m: u64| x ^ ((m as i32) | 1));
-        $m!(i64, I64, |x: i64, m: u64| x ^ ((m as i64) | 1));
-        $m!(usize, Usize, |x: usize, m: u64| x ^ ((m as usize) | 1));
-        $m!((usize, usize), UsizePair, |x: (usize, usize), m: u64| (x.0 ^ ((m as usize) | 1), x.1));
+        $m!(f32, F32, |x: f32, m: u64| f32::from_bits(x.to_bits() ^ ((m as u32) | 1)), |x: f32| x
+            .to_bits()
+            as u64);
+        $m!(f64, F64, |x: f64, m: u64| f64::from_bits(x.to_bits() ^ (m | 1)), |x: f64| x.to_bits());
+        $m!(u8, U8, |x: u8, m: u64| x ^ ((m as u8) | 1), |x: u8| x as u64);
+        $m!(u32, U32, |x: u32, m: u64| x ^ ((m as u32) | 1), |x: u32| x as u64);
+        $m!(u64, U64, |x: u64, m: u64| x ^ (m | 1), |x: u64| x);
+        $m!(i32, I32, |x: i32, m: u64| x ^ ((m as i32) | 1), |x: i32| x as u32 as u64);
+        $m!(i64, I64, |x: i64, m: u64| x ^ ((m as i64) | 1), |x: i64| x as u64);
+        $m!(usize, Usize, |x: usize, m: u64| x ^ ((m as usize) | 1), |x: usize| x as u64);
+        $m!(
+            (usize, usize),
+            UsizePair,
+            |x: (usize, usize), m: u64| (x.0 ^ ((m as usize) | 1), x.1),
+            |x: (usize, usize)| (x.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (x.1 as u64)
+        );
     };
 }
 pub(crate) use for_each_comm_scalar;
 
 macro_rules! impl_comm_scalar {
-    ($t:ty, $v:ident, $corrupt:expr) => {
+    ($t:ty, $v:ident, $corrupt:expr, $bits:expr) => {
         impl CommScalar for $t {
             fn corrupt(self, mask: u64) -> Self {
                 #[allow(clippy::redundant_closure_call)]
                 ($corrupt)(self, mask)
             }
+
+            fn checksum_bits(self) -> u64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($bits)(self)
+            }
         }
     };
 }
 for_each_comm_scalar!(impl_comm_scalar);
+
+/// The integrity envelope riding on a message: a per-(link, tag) stream
+/// sequence number and an end-to-end payload checksum, both assigned by
+/// the sender *before* anything (fault injection, a real NIC) can touch
+/// the payload. See [`crate::integrity`] for the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Position of this message in its `(src, dst, tag)` stream, from 0.
+    pub seq: u64,
+    /// FNV-1a over `(tag, seq, len, element bits)` of the pristine
+    /// payload; see [`crate::integrity::checksum_payload`].
+    pub checksum: u64,
+}
 
 /// A message in flight: tag, payload (a boxed `Vec<T>`), its modeled
 /// wire size in bytes, and its virtual-time arrival stamp.
@@ -93,6 +124,9 @@ pub(crate) struct Envelope {
     /// (sender clock at send + modeled link time); 0 when the world is
     /// not running under a virtual clock.
     pub arrival: f64,
+    /// Integrity envelope (sequence number + checksum); `None` when the
+    /// sender did not run the integrity layer.
+    pub header: Option<WireHeader>,
 }
 
 /// Per-source stash of messages received ahead of a matching `recv`.
@@ -155,6 +189,53 @@ pub trait Communicator {
         let _ = dst;
     }
 
+    /// Record one retransmission on this rank (a dropped message resent
+    /// at the link layer, or a replay-window pull after a checksum
+    /// mismatch). Default no-op; [`crate::WorldComm`] counts it in
+    /// [`crate::TrafficStats`] and watchdog diagnostics, wrappers
+    /// delegate.
+    fn note_retransmit(&self) {}
+
+    /// Record one corrupted message that the integrity layer detected
+    /// and repaired on this rank. Default no-op; [`crate::WorldComm`]
+    /// counts it in [`crate::TrafficStats`] and watchdog diagnostics,
+    /// wrappers delegate.
+    fn note_corrupt_repaired(&self) {}
+
+    /// A snapshot of this rank's traffic counters, if the communicator
+    /// keeps them. Default `None`; [`crate::WorldComm`] returns its
+    /// stats and wrappers delegate, so generic drivers (e.g. the
+    /// resilient trainer) can report repair telemetry without knowing
+    /// the concrete wrapper stack.
+    fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
+        None
+    }
+
+    /// Send `data` carrying an integrity envelope. The default drops the
+    /// envelope (plain send), which is correct for communicators that
+    /// never sit under the integrity layer; [`crate::WorldComm`] carries
+    /// the header through its channels, and [`crate::fault::FaultyComm`]
+    /// overrides this to apply faults *after* the envelope is attached —
+    /// so injected corruption is detectable and injected drops are
+    /// repaired by link-layer retransmission.
+    fn send_enveloped<T: CommScalar>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: Vec<T>,
+        header: WireHeader,
+    ) {
+        let _ = header;
+        self.send(dst, tag, data);
+    }
+
+    /// Receive a message together with its integrity envelope, if the
+    /// sender attached one. The default performs a plain receive and
+    /// reports no envelope.
+    fn recv_enveloped<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
+        (self.recv(src, tag), None)
+    }
+
     /// Combined send + receive, deadlock-free because sends are eager.
     ///
     /// Sends `data` to `dst` and receives one message from `src`, both
@@ -212,11 +293,32 @@ mod tests {
     }
 
     #[test]
+    fn checksum_bits_differ_after_corruption() {
+        // The checksum feed must see every injected corruption: for each
+        // scalar, corrupting changes `checksum_bits`.
+        for mask in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_ne!(1.5f32.corrupt(mask).checksum_bits(), 1.5f32.checksum_bits());
+            assert_ne!(2.5f64.corrupt(mask).checksum_bits(), 2.5f64.checksum_bits());
+            assert_ne!(7u8.corrupt(mask).checksum_bits(), 7u8.checksum_bits());
+            assert_ne!(7u32.corrupt(mask).checksum_bits(), 7u32.checksum_bits());
+            assert_ne!(7u64.corrupt(mask).checksum_bits(), 7u64.checksum_bits());
+            assert_ne!((-7i32).corrupt(mask).checksum_bits(), (-7i32).checksum_bits());
+            assert_ne!((-7i64).corrupt(mask).checksum_bits(), (-7i64).checksum_bits());
+            assert_ne!(7usize.corrupt(mask).checksum_bits(), 7usize.checksum_bits());
+            assert_ne!((1usize, 2usize).corrupt(mask).checksum_bits(), (1, 2).checksum_bits());
+        }
+    }
+
+    fn plain(tag: Tag, payload: Vec<f32>) -> Envelope {
+        Envelope { tag, payload: Box::new(payload), bytes: 4, arrival: 0.0, header: None }
+    }
+
+    #[test]
     fn stash_matches_by_tag_in_fifo_order() {
         let mut s = Stash::default();
-        s.put(Envelope { tag: 7, payload: Box::new(vec![1f32]), bytes: 4, arrival: 0.0 });
-        s.put(Envelope { tag: 9, payload: Box::new(vec![2f32]), bytes: 4, arrival: 0.0 });
-        s.put(Envelope { tag: 7, payload: Box::new(vec![3f32]), bytes: 4, arrival: 0.0 });
+        s.put(plain(7, vec![1f32]));
+        s.put(plain(9, vec![2f32]));
+        s.put(plain(7, vec![3f32]));
         let first = s.take(7).expect("tag 7 present");
         assert_eq!(*first.payload.downcast::<Vec<f32>>().unwrap(), vec![1f32]);
         let nine = s.take(9).expect("tag 9 present");

@@ -34,7 +34,8 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::CommError;
 use crate::fault::{FaultPlan, FaultyComm};
-use crate::p2p::{CommScalar, Communicator, Envelope, Stash, Tag, RESERVED_TAG_BASE};
+use crate::integrity::{self, IntegrityComm, IntegrityConfig, IntegrityState, RankCursor};
+use crate::p2p::{CommScalar, Communicator, Envelope, Stash, Tag, WireHeader, RESERVED_TAG_BASE};
 use crate::stats::{OpClass, TrafficStats};
 use crate::watchdog::{Monitor, WatchdogConfig};
 
@@ -70,6 +71,18 @@ pub struct WorldComm {
     /// Per-receive deadline; `Some` switches `recv` to the polling path
     /// even without a monitor.
     recv_deadline: Option<Duration>,
+    /// End-to-end integrity protocol state; `Some` routes `send`/`recv`
+    /// through the checksummed envelope path (`FG_COMM_INTEGRITY=1` or
+    /// [`RunOptions::integrity`]).
+    integrity: Option<WorldIntegrity>,
+}
+
+/// The per-rank integrity attachment: the world-shared replay-window
+/// state plus this rank's private stream cursors.
+struct WorldIntegrity {
+    state: Arc<IntegrityState>,
+    config: IntegrityConfig,
+    cursor: RankCursor,
 }
 
 impl WorldComm {
@@ -94,56 +107,34 @@ impl Communicator for WorldComm {
     }
 
     fn send<T: CommScalar>(&self, dst: usize, tag: Tag, data: Vec<T>) {
-        assert!(dst < self.size, "send to rank {dst} in world of {}", self.size);
-        let bytes = data.len() * T::WIDTH;
-        self.stats.borrow_mut().record(self.class.get(), 1, bytes as u64);
-        // Under a virtual clock, stamp the arrival time: departure now,
-        // plus the modeled link time (α + β·n in the usual models).
-        let arrival = match &self.link {
-            Some(link) => self.clock.get() + link(self.rank, dst, bytes),
-            None => 0.0,
-        };
-        let env = Envelope { tag, payload: Box::new(data), bytes, arrival };
-        // Count the message as in-flight *before* it enters the channel:
-        // a fast receiver may dequeue it immediately, and its decrement
-        // must never observe a counter that has not been incremented yet.
-        if let Some(m) = &self.monitor {
-            m.note_send(self.rank, dst);
-        }
-        match self.senders[dst].send(env) {
-            Ok(()) => {}
-            // The receiver is gone. Under the plain runtime that means a
-            // rank panicked and the scope will propagate; under the fault
-            // model it is an expected outcome. Either way the message is
-            // lost — count it so a later hung receive is attributable.
-            Err(_) => {
-                if let Some(m) = &self.monitor {
-                    m.note_send_failed(self.rank, dst);
-                }
-                Communicator::note_dropped_send(self, dst);
-            }
+        match &self.integrity {
+            Some(ig) => integrity::protocol_send(self, &ig.state, &ig.cursor, dst, tag, data),
+            None => self.send_impl(dst, tag, data, None),
         }
     }
 
     fn recv<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
-        assert!(src < self.size, "recv from rank {src} in world of {}", self.size);
-        if let Some(env) = self.stashes.borrow_mut()[src].take(tag) {
-            self.observe_arrival(&env);
-            return downcast_payload(env, src, tag);
+        match &self.integrity {
+            Some(ig) => integrity::protocol_recv(self, &ig.state, &ig.config, &ig.cursor, src, tag),
+            None => self.recv_impl(src, tag).0,
         }
-        if self.monitor.is_some() || self.recv_deadline.is_some() {
-            return self.recv_polled(src, tag);
-        }
-        loop {
-            let env = self.receivers[src].recv().unwrap_or_else(|_| {
-                panic!("rank {src} hung up while rank {} waits on tag {tag}", self.rank)
-            });
-            if env.tag == tag {
-                self.observe_arrival(&env);
-                return downcast_payload(env, src, tag);
-            }
-            self.stashes.borrow_mut()[src].put(env);
-        }
+    }
+
+    /// The raw channel path, bypassing the integrity protocol: the
+    /// protocol itself sends through here (no recursion), and so does
+    /// [`crate::fault::FaultyComm`] after applying faults.
+    fn send_enveloped<T: CommScalar>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: Vec<T>,
+        header: WireHeader,
+    ) {
+        self.send_impl(dst, tag, data, Some(header));
+    }
+
+    fn recv_enveloped<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
+        self.recv_impl(src, tag)
     }
 
     fn record(&self, class: OpClass, messages: u64, bytes: u64) {
@@ -156,6 +147,24 @@ impl Communicator for WorldComm {
         if let Some(m) = &self.monitor {
             m.note_dropped_send(self.rank);
         }
+    }
+
+    fn note_retransmit(&self) {
+        self.stats.borrow_mut().record_retransmit();
+        if let Some(m) = &self.monitor {
+            m.note_retransmit(self.rank);
+        }
+    }
+
+    fn note_corrupt_repaired(&self) {
+        self.stats.borrow_mut().record_corrupt_repaired();
+        if let Some(m) = &self.monitor {
+            m.note_corrupt_repaired(self.rank);
+        }
+    }
+
+    fn stats_snapshot(&self) -> Option<TrafficStats> {
+        Some(self.stats())
     }
 
     fn next_collective_tag(&self) -> Tag {
@@ -198,11 +207,76 @@ impl WorldComm {
         }
     }
 
+    /// The raw send: record stats, stamp the arrival, push into the
+    /// channel. `header` rides along when the integrity layer (ours or a
+    /// wrapper's) enveloped the payload, so message and byte counts are
+    /// identical with integrity on or off.
+    fn send_impl<T: CommScalar>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: Vec<T>,
+        header: Option<WireHeader>,
+    ) {
+        assert!(dst < self.size, "send to rank {dst} in world of {}", self.size);
+        let bytes = data.len() * T::WIDTH;
+        self.stats.borrow_mut().record(self.class.get(), 1, bytes as u64);
+        // Under a virtual clock, stamp the arrival time: departure now,
+        // plus the modeled link time (α + β·n in the usual models).
+        let arrival = match &self.link {
+            Some(link) => self.clock.get() + link(self.rank, dst, bytes),
+            None => 0.0,
+        };
+        let env = Envelope { tag, payload: Box::new(data), bytes, arrival, header };
+        // Count the message as in-flight *before* it enters the channel:
+        // a fast receiver may dequeue it immediately, and its decrement
+        // must never observe a counter that has not been incremented yet.
+        if let Some(m) = &self.monitor {
+            m.note_send(self.rank, dst);
+        }
+        match self.senders[dst].send(env) {
+            Ok(()) => {}
+            // The receiver is gone. Under the plain runtime that means a
+            // rank panicked and the scope will propagate; under the fault
+            // model it is an expected outcome. Either way the message is
+            // lost — count it so a later hung receive is attributable.
+            Err(_) => {
+                if let Some(m) = &self.monitor {
+                    m.note_send_failed(self.rank, dst);
+                }
+                Communicator::note_dropped_send(self, dst);
+            }
+        }
+    }
+
+    /// The raw receive: stash-aware blocking dequeue, returning the
+    /// integrity envelope if the sender attached one.
+    fn recv_impl<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
+        assert!(src < self.size, "recv from rank {src} in world of {}", self.size);
+        if let Some(env) = self.stashes.borrow_mut()[src].take(tag) {
+            self.observe_arrival(&env);
+            return downcast_payload(env, src, tag);
+        }
+        if self.monitor.is_some() || self.recv_deadline.is_some() {
+            return self.recv_polled(src, tag);
+        }
+        loop {
+            let env = self.receivers[src].recv().unwrap_or_else(|_| {
+                panic!("rank {src} hung up while rank {} waits on tag {tag}", self.rank)
+            });
+            if env.tag == tag {
+                self.observe_arrival(&env);
+                return downcast_payload(env, src, tag);
+            }
+            self.stashes.borrow_mut()[src].put(env);
+        }
+    }
+
     /// Interruptible receive: waits in short slices, between which it
     /// checks the watchdog's abort flag and the per-receive deadline.
     /// Failures unwind with a [`CommError`] payload, caught at the rank
     /// boundary by [`run_ranks_opts`].
-    fn recv_polled<T: CommScalar>(&self, src: usize, tag: Tag) -> Vec<T> {
+    fn recv_polled<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
         let poll = self
             .monitor
             .as_ref()
@@ -272,20 +346,26 @@ impl WorldComm {
     }
 }
 
-fn downcast_payload<T: CommScalar>(env: Envelope, src: usize, tag: Tag) -> Vec<T> {
-    *env.payload
-        .downcast::<Vec<T>>()
-        .unwrap_or_else(|_| panic!("message from rank {src} tag {tag} has unexpected element type"))
+fn downcast_payload<T: CommScalar>(
+    env: Envelope,
+    src: usize,
+    tag: Tag,
+) -> (Vec<T>, Option<WireHeader>) {
+    let header = env.header;
+    let payload = *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+        panic!("message from rank {src} tag {tag} has unexpected element type")
+    });
+    (payload, header)
 }
 
 /// Build the channel mesh for a world of `size` ranks.
 fn build_world(size: usize) -> Vec<WorldComm> {
-    build_world_full(size, None, None, None)
+    build_world_full(size, None, None, None, None)
 }
 
 /// Build the channel mesh, optionally with a virtual-time link model.
 fn build_world_with_link(size: usize, link: Option<LinkModel>) -> Vec<WorldComm> {
-    build_world_full(size, link, None, None)
+    build_world_full(size, link, None, None, None)
 }
 
 /// Build the channel mesh with every optional attachment.
@@ -294,6 +374,7 @@ fn build_world_full(
     link: Option<LinkModel>,
     monitor: Option<Arc<Monitor>>,
     recv_deadline: Option<Duration>,
+    integrity: Option<IntegrityConfig>,
 ) -> Vec<WorldComm> {
     assert!(size > 0, "world must have at least one rank");
     // channels[s][d] = channel carrying s → d traffic.
@@ -309,6 +390,10 @@ fn build_world_full(
         }
         senders.push(row);
     }
+    // One replay-window state per world, shared by all ranks' integrity
+    // attachments (a receiver pulls retransmissions straight from its
+    // sender's window).
+    let shared_state = integrity.as_ref().map(|_| Arc::new(IntegrityState::new(size)));
     senders
         .into_iter()
         .zip(receivers)
@@ -326,6 +411,11 @@ fn build_world_full(
             link: link.clone(),
             monitor: monitor.clone(),
             recv_deadline,
+            integrity: integrity.clone().map(|config| WorldIntegrity {
+                state: Arc::clone(shared_state.as_ref().expect("state built with config")),
+                config,
+                cursor: RankCursor::new(),
+            }),
         })
         .collect()
 }
@@ -338,22 +428,41 @@ pub struct RunOptions {
     pub watchdog: Option<WatchdogConfig>,
     /// Abort any single receive that waits longer than this.
     pub recv_timeout: Option<Duration>,
+    /// Run the end-to-end integrity protocol inside the world
+    /// communicator itself: every p2p payload travels checksummed and
+    /// sequence-numbered, with receiver-driven repair. Counts and
+    /// payloads are identical to a run without it (the envelope rides
+    /// on the message; repairs never fire on a healthy world), so it is
+    /// safe to enable globally via `FG_COMM_INTEGRITY=1`.
+    pub integrity: Option<IntegrityConfig>,
 }
 
 impl RunOptions {
-    /// Watchdog on with default tuning, no per-receive deadline.
+    /// Watchdog on with default tuning, no per-receive deadline, no
+    /// integrity envelope (fault runs stack integrity explicitly
+    /// *above* the fault layer instead — see
+    /// [`run_ranks_with_faults_integrity`]).
     pub fn watchdog_default() -> RunOptions {
-        RunOptions { watchdog: Some(WatchdogConfig::default()), recv_timeout: None }
+        RunOptions {
+            watchdog: Some(WatchdogConfig::default()),
+            recv_timeout: None,
+            integrity: None,
+        }
     }
 
     /// Options from the environment: `FG_COMM_WATCHDOG` set to anything
     /// but `0` or the empty string enables the watchdog (the CI script
     /// does this, so any accidental deadlock in the test suite aborts
-    /// with a wait graph instead of hanging the job).
+    /// with a wait graph instead of hanging the job), and
+    /// `FG_COMM_INTEGRITY` likewise envelopes all world traffic in the
+    /// end-to-end integrity protocol.
     pub fn from_env() -> RunOptions {
-        match std::env::var_os("FG_COMM_WATCHDOG") {
-            Some(v) if !v.is_empty() && v != "0" => RunOptions::watchdog_default(),
-            _ => RunOptions::default(),
+        let on =
+            |name: &str| matches!(std::env::var_os(name), Some(v) if !v.is_empty() && v != "0");
+        RunOptions {
+            watchdog: on("FG_COMM_WATCHDOG").then(WatchdogConfig::default),
+            recv_timeout: None,
+            integrity: on("FG_COMM_INTEGRITY").then(IntegrityConfig::default),
         }
     }
 }
@@ -417,7 +526,7 @@ where
     F: Fn(&WorldComm) -> R + Send + Sync,
 {
     let opts = RunOptions::from_env();
-    if opts.watchdog.is_some() || opts.recv_timeout.is_some() {
+    if opts.watchdog.is_some() || opts.recv_timeout.is_some() || opts.integrity.is_some() {
         return run_ranks_opts(size, opts, f)
             .into_iter()
             .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
@@ -450,7 +559,8 @@ where
 {
     install_comm_panic_hook();
     let monitor = Arc::new(Monitor::new(size, opts.watchdog.clone().unwrap_or_default()));
-    let comms = build_world_full(size, None, Some(Arc::clone(&monitor)), opts.recv_timeout);
+    let comms =
+        build_world_full(size, None, Some(Arc::clone(&monitor)), opts.recv_timeout, opts.integrity);
     let run_watchdog = opts.watchdog.is_some();
     std::thread::scope(|scope| {
         let watchdog = run_watchdog.then(|| {
@@ -534,6 +644,38 @@ where
     run_ranks_opts(size, RunOptions::watchdog_default(), move |comm| {
         let faulty = FaultyComm::new(comm, Arc::clone(&plan));
         f(&faulty)
+    })
+}
+
+/// Like [`run_ranks_with_faults`], with the end-to-end integrity layer
+/// stacked **above** the fault layer: each rank sees an
+/// [`IntegrityComm`] wrapping a [`FaultyComm`] wrapping the world.
+///
+/// The ordering is load-bearing. Checksums are computed on pristine
+/// payloads before the fault layer can touch them, so injected
+/// corruption is detected at the receiver and repaired by replay-window
+/// retransmission, and injected drops are repaired by sender-side
+/// link-layer retransmission — training under a corruption/drop plan
+/// converges bitwise-identically to the fault-free run. (The
+/// `FG_COMM_INTEGRITY` world-internal wiring sits *below* `FaultyComm`
+/// and would happily certify already-corrupted payloads; that is why
+/// fault runs use this explicit stack.)
+pub fn run_ranks_with_faults_integrity<R, F>(
+    size: usize,
+    plan: FaultPlan,
+    config: IntegrityConfig,
+    f: F,
+) -> Vec<Result<R, CommError>>
+where
+    R: Send,
+    F: Fn(&IntegrityComm<'_, FaultyComm<'_, WorldComm>>) -> R + Send + Sync,
+{
+    let state = Arc::new(IntegrityState::new(size).with_plan(plan.clone()));
+    let plan = Arc::new(plan);
+    run_ranks_opts(size, RunOptions::watchdog_default(), move |comm| {
+        let faulty = FaultyComm::new(comm, Arc::clone(&plan));
+        let protected = IntegrityComm::new(&faulty, Arc::clone(&state), config.clone());
+        f(&protected)
     })
 }
 
@@ -727,7 +869,11 @@ mod tests {
 
     #[test]
     fn recv_deadline_times_out_a_slow_peer() {
-        let opts = RunOptions { watchdog: None, recv_timeout: Some(Duration::from_millis(20)) };
+        let opts = RunOptions {
+            watchdog: None,
+            recv_timeout: Some(Duration::from_millis(20)),
+            ..RunOptions::default()
+        };
         let out = run_ranks_opts(2, opts, |comm| {
             if comm.rank() == 0 {
                 // Stay alive well past rank 1's deadline, then send too
@@ -791,6 +937,28 @@ mod tests {
         let payload = caught.expect_err("the rank's panic must propagate");
         let msg = panic_message(payload.as_ref());
         assert!(msg.contains("genuine test bug"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn internal_integrity_envelopes_world_traffic_transparently() {
+        // FG_COMM_INTEGRITY-style wiring: the envelope rides on the
+        // message, so counts and payloads are identical to a plain run,
+        // and a healthy world performs zero repairs.
+        let opts =
+            RunOptions { integrity: Some(IntegrityConfig::default()), ..RunOptions::default() };
+        let out = run_ranks_opts(2, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1.5f32, 2.5]);
+                (comm.stats().messages(OpClass::P2p), comm.stats().bytes(OpClass::P2p))
+            } else {
+                let v = comm.recv::<f32>(0, 3);
+                assert_eq!(v, vec![1.5, 2.5]);
+                let s = comm.stats();
+                (s.retransmits(), s.corrupt_repaired())
+            }
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), (1, 8));
+        assert_eq!(*out[1].as_ref().unwrap(), (0, 0));
     }
 
     #[test]

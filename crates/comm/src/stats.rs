@@ -62,6 +62,13 @@ pub struct TrafficStats {
     /// receive attributable to a dead or lossy link instead of looking
     /// like a protocol bug.
     dropped_sends: u64,
+    /// Messages whose checksum failed verification on this rank and
+    /// were repaired by a retransmission (integrity layer on).
+    corrupt_repaired: u64,
+    /// Retransmissions this rank initiated: link-layer resends of
+    /// dropped messages (sender side) plus replay-window pulls after a
+    /// checksum mismatch (receiver side).
+    retransmits: u64,
 }
 
 impl TrafficStats {
@@ -81,6 +88,26 @@ impl TrafficStats {
     /// Sends that were dropped rather than delivered.
     pub fn dropped_sends(&self) -> u64 {
         self.dropped_sends
+    }
+
+    /// Record one corrupted message detected and repaired on this rank.
+    pub fn record_corrupt_repaired(&mut self) {
+        self.corrupt_repaired += 1;
+    }
+
+    /// Corrupted messages detected and repaired on this rank.
+    pub fn corrupt_repaired(&self) -> u64 {
+        self.corrupt_repaired
+    }
+
+    /// Record one retransmission initiated by this rank.
+    pub fn record_retransmit(&mut self) {
+        self.retransmits += 1;
+    }
+
+    /// Retransmissions this rank initiated.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     /// Messages sent under `class`.
@@ -110,6 +137,8 @@ impl TrafficStats {
             self.bytes[i] += other.bytes[i];
         }
         self.dropped_sends += other.dropped_sends;
+        self.corrupt_repaired += other.corrupt_repaired;
+        self.retransmits += other.retransmits;
     }
 }
 
@@ -157,5 +186,23 @@ mod tests {
         // Dropped sends are not delivered traffic.
         assert_eq!(a.total_messages(), 0);
         assert_eq!(a.total_bytes(), 0);
+    }
+
+    #[test]
+    fn integrity_counters_accumulate_and_merge() {
+        let mut a = TrafficStats::default();
+        assert_eq!(a.corrupt_repaired(), 0);
+        assert_eq!(a.retransmits(), 0);
+        a.record_corrupt_repaired();
+        a.record_retransmit();
+        a.record_retransmit();
+        let mut b = TrafficStats::default();
+        b.record_corrupt_repaired();
+        b.record_retransmit();
+        a.merge(&b);
+        assert_eq!(a.corrupt_repaired(), 2);
+        assert_eq!(a.retransmits(), 3);
+        // Repairs and retransmissions are not delivered traffic either.
+        assert_eq!(a.total_messages(), 0);
     }
 }

@@ -182,6 +182,18 @@ impl<C: Communicator> Communicator for SubComm<'_, C> {
         self.parent.note_dropped_send(self.members[dst]);
     }
 
+    fn note_retransmit(&self) {
+        self.parent.note_retransmit();
+    }
+
+    fn note_corrupt_repaired(&self) {
+        self.parent.note_corrupt_repaired();
+    }
+
+    fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
+        self.parent.stats_snapshot()
+    }
+
     fn next_collective_tag(&self) -> Tag {
         let c = self.counter.get();
         self.counter.set(c + 1);

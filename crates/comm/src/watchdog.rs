@@ -86,6 +86,11 @@ pub(crate) struct Monitor {
     /// Per-rank dropped-send count (dead receiver or injected drop),
     /// mirrored from `TrafficStats` for the diagnostic.
     dropped: Vec<AtomicU64>,
+    /// Per-rank corrupted-and-repaired message count, mirrored from
+    /// `TrafficStats` for the diagnostic.
+    repaired: Vec<AtomicU64>,
+    /// Per-rank retransmission count, mirrored from `TrafficStats`.
+    retransmits: Vec<AtomicU64>,
     /// Set by the watchdog on detection; blocked receives unwind.
     abort: AtomicBool,
     diagnostic: Mutex<Option<String>>,
@@ -102,6 +107,8 @@ impl Monitor {
             pending: (0..size * size).map(|_| AtomicUsize::new(0)).collect(),
             status: (0..size).map(|_| Mutex::new(RankStatus::Running)).collect(),
             dropped: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            repaired: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            retransmits: (0..size).map(|_| AtomicU64::new(0)).collect(),
             abort: AtomicBool::new(false),
             diagnostic: Mutex::new(None),
             finished: AtomicBool::new(false),
@@ -126,6 +133,14 @@ impl Monitor {
 
     pub(crate) fn note_dropped_send(&self, src: usize) {
         self.dropped[src].fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_corrupt_repaired(&self, rank: usize) {
+        self.repaired[rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_retransmit(&self, rank: usize) {
+        self.retransmits[rank].fetch_add(1, Ordering::SeqCst);
     }
 
     pub(crate) fn enter_recv(&self, rank: usize, src: usize, tag: Tag) {
@@ -235,18 +250,22 @@ impl Monitor {
             };
             s.push_str(&line);
         }
-        let dropped: Vec<String> = self
-            .dropped
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.load(Ordering::SeqCst) > 0)
-            .map(|(r, d)| format!("rank {r}: {}", d.load(Ordering::SeqCst)))
-            .collect();
-        if dropped.is_empty() {
-            s.push_str("dropped sends: none\n");
-        } else {
-            s.push_str(&format!("dropped sends: {}\n", dropped.join(", ")));
-        }
+        let render = |counters: &[AtomicU64]| -> String {
+            let nonzero: Vec<String> = counters
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.load(Ordering::SeqCst) > 0)
+                .map(|(r, d)| format!("rank {r}: {}", d.load(Ordering::SeqCst)))
+                .collect();
+            if nonzero.is_empty() {
+                "none".into()
+            } else {
+                nonzero.join(", ")
+            }
+        };
+        s.push_str(&format!("dropped sends: {}\n", render(&self.dropped)));
+        s.push_str(&format!("corruption repaired: {}\n", render(&self.repaired)));
+        s.push_str(&format!("retransmits: {}\n", render(&self.retransmits)));
         *self.diagnostic.lock() = Some(s);
         self.abort.store(true, Ordering::SeqCst);
     }
@@ -283,6 +302,9 @@ mod tests {
     fn trip_renders_the_wait_graph_with_dropped_sends() {
         let m = Monitor::new(3, WatchdogConfig::default());
         m.note_dropped_send(1);
+        m.note_corrupt_repaired(0);
+        m.note_retransmit(2);
+        m.note_retransmit(2);
         m.trip(&[
             RankStatus::Blocked { src: 1, tag: 42 },
             RankStatus::Blocked { src: 0, tag: 42 },
@@ -294,5 +316,16 @@ mod tests {
         assert!(d.contains("rank 1: waits on rank 0 (tag 42)"), "{d}");
         assert!(d.contains("rank 2: dead — killed by fault injection"), "{d}");
         assert!(d.contains("dropped sends: rank 1: 1"), "{d}");
+        assert!(d.contains("corruption repaired: rank 0: 1"), "{d}");
+        assert!(d.contains("retransmits: rank 2: 2"), "{d}");
+    }
+
+    #[test]
+    fn trip_reports_no_integrity_activity_as_none() {
+        let m = Monitor::new(1, WatchdogConfig::default());
+        m.trip(&[RankStatus::Blocked { src: 0, tag: 1 }]);
+        let d = m.diagnostic();
+        assert!(d.contains("corruption repaired: none"), "{d}");
+        assert!(d.contains("retransmits: none"), "{d}");
     }
 }

@@ -16,7 +16,8 @@
 use std::time::Duration;
 
 use fg_comm::{
-    run_ranks, run_ranks_with_faults, Collectives, CommError, Communicator, FaultPlan, ReduceOp,
+    run_ranks, run_ranks_opts, run_ranks_with_faults, run_ranks_with_faults_integrity, Collectives,
+    CommError, Communicator, FaultPlan, IntegrityConfig, ReduceOp, RunOptions,
 };
 
 /// A small fixed workload: ring allreduce over distinct per-rank data,
@@ -154,6 +155,157 @@ fn fixed_seed_reproduces_identical_outcomes() {
     assert_eq!(a, b);
     // The chaos plan really does hurt someone.
     assert!(a.iter().any(|s| s.starts_with("err:")), "outcomes: {a:?}");
+}
+
+#[test]
+fn integrity_repairs_injected_corruption_bitwise() {
+    // The same scenario as `corruption_changes_the_result_deterministically`,
+    // but with the integrity layer stacked above the fault layer: the
+    // receiver detects the checksum mismatch, pulls a clean copy from
+    // the sender's replay window, and delivers the pristine payload.
+    let plan = FaultPlan::new(11).corrupt_nth(0, 1, 0);
+    let out = run_ranks_with_faults_integrity(2, plan, IntegrityConfig::default(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 3, vec![1.0f32, 2.0, 3.0]);
+            (Vec::new(), 0, 0)
+        } else {
+            let v = comm.recv::<f32>(0, 3);
+            let stats = comm.stats_snapshot().expect("world stats reachable through the stack");
+            (v, stats.corrupt_repaired(), stats.retransmits())
+        }
+    });
+    let (payload, repaired, retransmits) = out[1].as_ref().expect("repaired, not fatal").clone();
+    assert_eq!(payload, vec![1.0, 2.0, 3.0]);
+    assert_eq!(repaired, 1);
+    assert_eq!(retransmits, 1);
+}
+
+#[test]
+fn integrity_retries_when_the_retransmission_is_also_corrupted() {
+    // First transmission corrupted AND the first replay-window pull
+    // corrupted: the receiver's retry loop pulls again and the second
+    // retransmission delivers. One repaired message, two retransmits.
+    let plan = FaultPlan::new(13).corrupt_nth(0, 1, 0).corrupt_retransmit_nth(0, 1, 0);
+    let out = run_ranks_with_faults_integrity(2, plan, IntegrityConfig::default(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 3, vec![4.0f32, 5.0]);
+            (Vec::new(), 0, 0)
+        } else {
+            let v = comm.recv::<f32>(0, 3);
+            let stats = comm.stats_snapshot().expect("stats");
+            (v, stats.corrupt_repaired(), stats.retransmits())
+        }
+    });
+    let (payload, repaired, retransmits) = out[1].as_ref().expect("repaired").clone();
+    assert_eq!(payload, vec![4.0, 5.0]);
+    assert_eq!(repaired, 1);
+    assert_eq!(retransmits, 2);
+}
+
+#[test]
+fn integrity_budget_exhaustion_surfaces_typed_corrupt() {
+    // Every retransmission is corrupted too; after the retry budget the
+    // receive must unwind with CommError::Corrupt naming the link and
+    // stream position — a structured outcome at the rank boundary, not
+    // a hang or a raw panic.
+    let config = IntegrityConfig { max_retries: 3, ..IntegrityConfig::default() };
+    let mut plan = FaultPlan::new(17).corrupt_nth(0, 1, 0);
+    for k in 0..8 {
+        plan = plan.corrupt_retransmit_nth(0, 1, k);
+    }
+    let out = run_ranks_with_faults_integrity(2, plan, config, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 3, vec![1.0f32]);
+            Vec::new()
+        } else {
+            comm.recv::<f32>(0, 3)
+        }
+    });
+    assert!(out[0].is_ok());
+    match &out[1] {
+        Err(CommError::Corrupt { link, seq, detail }) => {
+            assert_eq!(*link, (0, 1));
+            assert_eq!(*seq, 0);
+            assert!(detail.contains("budget 3"), "{detail}");
+        }
+        other => panic!("expected Corrupt after budget exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn integrity_repairs_drops_without_a_watchdog_trip() {
+    // The same request/reply scenario that deadlocks in
+    // `dropped_message_trips_the_watchdog_with_attribution` — but with
+    // the envelope attached, the sender detects the drop and
+    // retransmits at the link layer. The exchange completes; nobody
+    // waits, so the watchdog never trips.
+    let plan = FaultPlan::new(3).drop_nth(0, 1, 0);
+    let out = run_ranks_with_faults_integrity(2, plan, IntegrityConfig::default(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 7, vec![1.0f32]);
+            let reply = comm.recv::<f32>(1, 8);
+            let stats = comm.stats_snapshot().expect("stats");
+            (reply, stats.dropped_sends(), stats.retransmits())
+        } else {
+            let req = comm.recv::<f32>(0, 7);
+            comm.send(0, 8, vec![req[0] + 1.0]);
+            (Vec::new(), 0, 0)
+        }
+    });
+    let (reply, dropped, retransmits) = out[0].as_ref().expect("exchange completes").clone();
+    assert_eq!(reply, vec![2.0]);
+    assert_eq!(dropped, 1, "the drop still happened and is still counted");
+    assert_eq!(retransmits, 1, "and was repaired by one link-layer retransmission");
+}
+
+#[test]
+fn integrity_full_workload_survives_fault_rates_bitwise() {
+    // Seeded Bernoulli drop + corruption rates over the whole mixed
+    // workload (allreduce + halo exchange): with the integrity layer on,
+    // every rank's result is bitwise identical to the fault-free run.
+    let clean = run_ranks(4, workload);
+    let plan = FaultPlan::new(0xFA17).drop_rate(0.2).corrupt_rate(0.2);
+    let out = run_ranks_with_faults_integrity(4, plan, IntegrityConfig::default(), |comm| {
+        let r = workload(comm);
+        let stats = comm.stats_snapshot().expect("stats");
+        (r, stats.retransmits() + stats.corrupt_repaired())
+    });
+    let mut total_repairs = 0;
+    for (rank, r) in out.iter().enumerate() {
+        let (result, repairs) = r.as_ref().expect("all faults repaired");
+        assert_eq!(result, &clean[rank], "rank {rank} diverged");
+        total_repairs += repairs;
+    }
+    assert!(total_repairs > 0, "the plan must actually have injected faults");
+}
+
+#[test]
+fn recv_deadline_passes_through_the_integrity_layer() {
+    // A per-receive deadline from RunOptions must still surface as
+    // Timeout when the world runs the internal integrity protocol: the
+    // repair loop only engages after a message arrives, so a silent
+    // peer is the deadline's business, not the integrity layer's.
+    let opts = RunOptions {
+        watchdog: None,
+        recv_timeout: Some(Duration::from_millis(20)),
+        integrity: Some(IntegrityConfig::default()),
+    };
+    let out = run_ranks_opts(2, opts, |comm| {
+        if comm.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(120));
+            comm.send(1, 9, vec![5u32]);
+            Vec::new()
+        } else {
+            comm.recv::<u32>(0, 9)
+        }
+    });
+    assert!(out[0].is_ok());
+    match &out[1] {
+        Err(CommError::Timeout { rank: 1, detail }) => {
+            assert!(detail.contains("deadline"), "{detail}");
+        }
+        other => panic!("expected deadline Timeout, got {other:?}"),
+    }
 }
 
 #[test]

@@ -456,9 +456,35 @@ impl DistExecutor {
         x: &Tensor,
         labels: &Labels,
     ) -> f64 {
-        let (loss, grads) = self.loss_and_grads(comm, params, x, labels);
-        opt.step(params, &grads);
+        let (loss, _) = self.screened_train_step(comm, params, opt, x, labels, |_, _| true);
         loss
+    }
+
+    /// A training step with a commit gate: `screen` inspects the loss
+    /// and gradients *before* the optimizer runs and decides whether to
+    /// commit the update. On rejection, parameters and optimizer state
+    /// are untouched — the caller can roll back and replay without the
+    /// poisoned step ever entering the replicated state. Returns the
+    /// loss and whether the step was committed.
+    ///
+    /// The screen must reach the same verdict on every rank (see
+    /// [`crate::guard::StepGuard::agree_any`]); a split verdict would
+    /// desynchronize the replicated optimizer.
+    pub fn screened_train_step<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &mut [LayerParams],
+        opt: &mut Sgd,
+        x: &Tensor,
+        labels: &Labels,
+        screen: impl FnOnce(f64, &[LayerParams]) -> bool,
+    ) -> (f64, bool) {
+        let (loss, grads) = self.loss_and_grads(comm, params, x, labels);
+        let commit = screen(loss, &grads);
+        if commit {
+            opt.step(params, &grads);
+        }
+        (loss, commit)
     }
 }
 
@@ -711,6 +737,42 @@ mod tests {
                 assert_eq!(x.to_flat(), y.to_flat(), "plan caching changed gradients");
             }
         }
+    }
+
+    #[test]
+    fn screened_step_rejection_leaves_state_untouched() {
+        let spec = mini_mesh_net();
+        let (x, labels) = seg_batch(2, 16, 16);
+        let net = Network::init(spec.clone(), 5);
+        let strategy = Strategy::uniform(&spec, ProcGrid::spatial(2, 2));
+        let exec = DistExecutor::new(spec, strategy, 2).unwrap();
+        run_ranks(4, |comm| {
+            let mut params = net.params.clone();
+            let mut opt = Sgd::new(0.02, 0.9, 1e-4, &params);
+            let n_layers = params.len();
+            let (loss, committed) =
+                exec.screened_train_step(comm, &mut params, &mut opt, &x, &labels, |l, grads| {
+                    assert!(l.is_finite());
+                    assert_eq!(grads.len(), n_layers);
+                    false
+                });
+            assert!(!committed);
+            assert!(loss.is_finite());
+            for (p, q) in params.iter().zip(&net.params) {
+                assert_eq!(p.to_flat(), q.to_flat(), "rejected step must not move parameters");
+            }
+            // An accepting screen behaves exactly like train_step.
+            let mut p2 = net.params.clone();
+            let mut opt2 = Sgd::new(0.02, 0.9, 1e-4, &p2);
+            let (l2, committed) =
+                exec.screened_train_step(comm, &mut p2, &mut opt2, &x, &labels, |_, _| true);
+            assert!(committed);
+            let plain = exec.train_step(comm, &mut params, &mut opt, &x, &labels);
+            assert_eq!(l2.to_bits(), plain.to_bits());
+            for (a, b) in p2.iter().zip(&params) {
+                assert_eq!(a.to_flat(), b.to_flat());
+            }
+        });
     }
 
     #[test]

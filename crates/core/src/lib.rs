@@ -21,6 +21,7 @@
 pub mod channel_filter;
 pub mod distconv;
 pub mod executor;
+pub mod guard;
 pub mod layers;
 pub mod mp_fc;
 pub mod overlap;
@@ -31,7 +32,8 @@ pub mod strategy;
 pub use channel_filter::ChannelFilterConv2d;
 pub use distconv::DistConv2d;
 pub use executor::{Act, DistExecutor, DistPass};
+pub use guard::{Anomaly, GuardConfig, StepGuard};
 pub use layers::{BnMode, DistPool2d};
 pub use mp_fc::ModelParallelFc;
-pub use resilient::{resilient_train, ResilientConfig, ResilientReport, SgdHyper};
+pub use resilient::{resilient_train, ComputeFault, ResilientConfig, ResilientReport, SgdHyper};
 pub use strategy::{Strategy, StrategyError};

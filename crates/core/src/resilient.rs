@@ -1,32 +1,57 @@
 //! Checkpointed, fault-tolerant training on top of the executor.
 //!
-//! [`resilient_train`] drives [`crate::DistExecutor::train_step`] under
-//! the fault-injecting runtime ([`fg_comm::run_ranks_with_faults`]) with
-//! periodic state snapshots: every `ckpt_every` steps, rank 0 serializes
-//! a full [`fg_nn::TrainState`] (step counter, parameters, optimizer
-//! velocity, loss history) into an in-memory store — the stand-in for a
-//! parallel file system. When a rank dies (injected kill, or the
-//! deadlock watchdog aborting a stranded world), the driver tears the
-//! world down, rebuilds it from scratch, restores the last snapshot on
-//! every rank, and replays from there — mirroring the
-//! checkpoint/restart discipline of the paper's target systems, where a
-//! multi-day ImageNet run must survive node failures.
+//! [`resilient_train`] drives [`crate::DistExecutor`] training steps
+//! under the fault-injecting runtime with a **three-level escalation
+//! ladder**, each level strictly cheaper than the next:
 //!
-//! Because training is deterministic (fixed reduction orders in the
-//! collectives, replicated SGD) and the checkpoint round-trips state
-//! bitwise, a recovered run's loss trajectory is **bitwise identical**
-//! to an uninterrupted one — asserted by the property tests in
+//! 1. **In-band repair** (free): when [`ResilientConfig::integrity`] is
+//!    set, every rank's communicator is wrapped in the end-to-end
+//!    integrity layer ([`fg_comm::IntegrityComm`] over
+//!    [`fg_comm::FaultyComm`]), so corrupted payloads are repaired by
+//!    replay-window retransmission and dropped messages by link-layer
+//!    resend — training never notices. Repair counts surface in the
+//!    report via [`fg_comm::Communicator::stats_snapshot`].
+//! 2. **Rollback-and-replay** (cheap): when [`ResilientConfig::guard`]
+//!    is set, every step is screened by a [`crate::guard::StepGuard`]
+//!    (NaN/Inf and loss-spike detection with all-rank agreement) before
+//!    the optimizer commits it. A flagged step is rejected on *every*
+//!    rank; all ranks restore the last snapshot **in place** — same
+//!    world, same threads, no teardown — and replay. Because restores
+//!    overwrite the full replicated state, this also heals a single
+//!    rank's diverged replica.
+//! 3. **World rebuild** (expensive): a dead rank (injected kill,
+//!    watchdog abort) or a rollback budget exhausted (the anomaly
+//!    persists — level 2 escalates by raising
+//!    [`fg_comm::CommError::RankFailed`] on every rank) tears the world
+//!    down, rebuilds it from scratch, restores the last snapshot on
+//!    every rank, and replays — the checkpoint/restart discipline of
+//!    the paper's target systems, where a multi-day ImageNet run must
+//!    survive node failures.
+//!
+//! Every `ckpt_every` steps, rank 0 serializes a full
+//! [`fg_nn::TrainState`] (step counter, parameters, optimizer velocity,
+//! loss history, guard EMA baseline) into an in-memory store — the
+//! stand-in for a parallel file system. Because training is
+//! deterministic (fixed reduction orders in the collectives, replicated
+//! SGD) and the checkpoint round-trips state bitwise, a recovered run's
+//! loss trajectory is **bitwise identical** to an uninterrupted one at
+//! every level of the ladder — asserted by the property tests in
 //! `tests/resilience.rs`.
 
+use std::panic::panic_any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use fg_comm::{run_ranks_with_faults, CommError, Communicator, FaultPlan};
+use fg_comm::{
+    run_ranks_with_faults, run_ranks_with_faults_integrity, CommError, Communicator, FaultPlan,
+    IntegrityConfig, TrafficStats,
+};
 use fg_kernels::loss::Labels;
-use fg_nn::{load_train_state, save_train_state, LayerParams, Sgd, TrainState};
+use fg_nn::{load_train_state, save_train_state, GuardState, LayerParams, Sgd, TrainState};
 use fg_tensor::Tensor;
 
 use crate::executor::DistExecutor;
+use crate::guard::{GuardConfig, StepGuard};
 
 /// Hyperparameters of the replicated SGD optimizer, threaded through
 /// checkpoint restore (hyperparameters are config, not state, so they
@@ -51,6 +76,22 @@ impl SgdHyper {
     }
 }
 
+/// A deterministic injected compute error: at the start of global step
+/// `step` (first attempt only, never on replay), rank `rank` scales its
+/// parameter replica by `scale` — modeling a silent numerical fault (a
+/// flipped bit in an FMA, a misbehaving kernel) that corrupts one
+/// replica without touching the network. `scale = f32::NAN` poisons the
+/// replica outright; a large finite scale produces a loss spike.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeFault {
+    /// The rank whose replica is perturbed.
+    pub rank: usize,
+    /// The global step at whose start the perturbation fires.
+    pub step: u64,
+    /// Multiplier applied to every parameter element.
+    pub scale: f32,
+}
+
 /// Configuration for [`resilient_train`].
 #[derive(Debug, Clone)]
 pub struct ResilientConfig {
@@ -58,11 +99,30 @@ pub struct ResilientConfig {
     pub ckpt_every: u64,
     /// Give up after this many world rebuilds.
     pub max_restarts: usize,
+    /// In-place rollbacks tolerated per attempt before escalating to a
+    /// world rebuild (only reachable when `guard` is set).
+    pub max_rollbacks: u64,
+    /// Numerical-anomaly screening; `None` disables level 2 of the
+    /// ladder (steps commit unconditionally).
+    pub guard: Option<GuardConfig>,
+    /// End-to-end message integrity; `None` disables level 1 (faults
+    /// hit the training loop directly, as in plain
+    /// [`fg_comm::run_ranks_with_faults`]).
+    pub integrity: Option<IntegrityConfig>,
+    /// Injected compute error, for exercising the rollback path.
+    pub compute_fault: Option<ComputeFault>,
 }
 
 impl Default for ResilientConfig {
     fn default() -> Self {
-        ResilientConfig { ckpt_every: 5, max_restarts: 3 }
+        ResilientConfig {
+            ckpt_every: 5,
+            max_restarts: 3,
+            max_rollbacks: 2,
+            guard: None,
+            integrity: None,
+            compute_fault: None,
+        }
     }
 }
 
@@ -74,18 +134,165 @@ pub struct ResilientReport {
     pub losses: Vec<f64>,
     /// Final parameters (rank 0's replica).
     pub params: Vec<LayerParams>,
-    /// Number of world rebuilds that were needed.
+    /// Number of world rebuilds that were needed (ladder level 3).
     pub restarts: usize,
-    /// Steps re-executed because they postdated the last snapshot.
+    /// In-place rollback-and-replays performed (ladder level 2).
+    pub rollbacks: u64,
+    /// Steps re-executed because they postdated the last snapshot
+    /// (rollbacks and rebuilds both replay).
     pub replayed_steps: u64,
     /// Snapshots rank 0 wrote.
     pub snapshots: u64,
+    /// Corrupted messages repaired in-band by the integrity layer
+    /// (ladder level 1), summed over the final attempt's ranks.
+    pub corrupt_repaired: u64,
+    /// Messages retransmitted (drop resends + replay-window pulls),
+    /// summed over the final attempt's ranks.
+    pub retransmits: u64,
     /// The errors that caused each restart (first error per attempt).
     pub failures: Vec<CommError>,
 }
 
-/// Train for `steps` steps under fault injection with checkpointed
-/// recovery.
+/// Everything one attempt's rank bodies share, bundled so the per-rank
+/// training loop can be generic over the communicator stack (plain
+/// faulty, or integrity-over-faulty).
+struct Attempt<'a> {
+    exec: &'a DistExecutor,
+    init_params: &'a [LayerParams],
+    hyper: SgdHyper,
+    x: &'a Tensor,
+    labels: &'a Labels,
+    steps: u64,
+    cfg: &'a ResilientConfig,
+    attempt: usize,
+    resume: &'a Option<TrainState>,
+    start_step: u64,
+    store: &'a Mutex<Option<Vec<u8>>>,
+    snap_step: &'a AtomicU64,
+    snapshots: &'a AtomicU64,
+    furthest: &'a AtomicU64,
+    rollbacks: &'a AtomicU64,
+    replayed: &'a AtomicU64,
+}
+
+type RankResult = (Vec<f64>, Vec<LayerParams>, Option<TrafficStats>);
+
+/// One rank's training loop for one attempt: screened steps, in-place
+/// rollback on guard trips, escalation past the rollback budget.
+fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
+    let (mut params, mut opt, mut losses, guard_state) = match a.resume {
+        Some(s) => {
+            (s.params.clone(), a.hyper.restored(s.velocity.clone()), s.losses.clone(), s.guard)
+        }
+        None => (
+            a.init_params.to_vec(),
+            a.hyper.fresh(a.init_params),
+            Vec::new(),
+            GuardState::default(),
+        ),
+    };
+    let mut guard = a.cfg.guard.clone().map(|g| StepGuard::with_state(g, guard_state));
+    // The compute fault fires once per world lifetime: a transient
+    // error, not a deterministic re-poisoning of every replay.
+    let mut injected = false;
+    let mut rollbacks_here: u64 = 0;
+    let mut step = a.start_step;
+    while step < a.steps {
+        if let Some(cf) = a.cfg.compute_fault {
+            if a.attempt == 0 && !injected && step == cf.step {
+                injected = true;
+                if comm.rank() == cf.rank {
+                    for p in params.iter_mut() {
+                        let replica = p.clone();
+                        p.add_scaled(&replica, cf.scale - 1.0);
+                    }
+                }
+            }
+        }
+        let (loss, committed) = match guard.as_ref() {
+            None => (a.exec.train_step(comm, &mut params, &mut opt, a.x, a.labels), true),
+            Some(g) => a.exec.screened_train_step(
+                comm,
+                &mut params,
+                &mut opt,
+                a.x,
+                a.labels,
+                |loss, grads| !g.agree_any(comm, g.screen_local(loss, grads).is_some()),
+            ),
+        };
+        if committed {
+            if let Some(g) = guard.as_mut() {
+                g.record(loss);
+            }
+            losses.push(loss);
+            step += 1;
+            if comm.rank() == 0 {
+                a.furthest.fetch_max(step, Ordering::SeqCst);
+                if step.is_multiple_of(a.cfg.ckpt_every) && step < a.steps {
+                    let state = TrainState {
+                        step,
+                        params: params.clone(),
+                        velocity: opt.velocity().to_vec(),
+                        losses: losses.clone(),
+                        guard: guard.as_ref().map(|g| g.state()).unwrap_or_default(),
+                    };
+                    let mut bytes = Vec::new();
+                    save_train_state(&mut bytes, &state).expect("serialize snapshot");
+                    *a.store.lock().expect("snapshot store") = Some(bytes);
+                    a.snap_step.store(step, Ordering::SeqCst);
+                    a.snapshots.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            continue;
+        }
+        // Level 2: every rank agreed the step is anomalous. Roll back
+        // in place — unless the budget says the anomaly persists, in
+        // which case escalate to a world rebuild (level 3).
+        rollbacks_here += 1;
+        if rollbacks_here > a.cfg.max_rollbacks {
+            panic_any(CommError::RankFailed {
+                rank: comm.rank(),
+                observer: comm.rank(),
+                detail: format!(
+                    "numerical anomaly at step {step} persisted past {} in-place rollback(s); \
+                     escalating to a world rebuild",
+                    a.cfg.max_rollbacks
+                ),
+            });
+        }
+        let snap: Option<TrainState> = a
+            .store
+            .lock()
+            .expect("snapshot store")
+            .as_ref()
+            .map(|bytes| load_train_state(&mut bytes.as_slice()).expect("snapshot readable"));
+        let restore_step = snap.as_ref().map_or(0, |s| s.step);
+        if comm.rank() == 0 {
+            a.rollbacks.fetch_add(1, Ordering::SeqCst);
+            a.replayed.fetch_add(step - restore_step, Ordering::SeqCst);
+        }
+        match snap {
+            Some(s) => {
+                params = s.params;
+                opt = a.hyper.restored(s.velocity);
+                losses = s.losses;
+                guard = a.cfg.guard.clone().map(|g| StepGuard::with_state(g, s.guard));
+                step = s.step;
+            }
+            None => {
+                params = a.init_params.to_vec();
+                opt = a.hyper.fresh(a.init_params);
+                losses = Vec::new();
+                guard = a.cfg.guard.clone().map(StepGuard::new);
+                step = 0;
+            }
+        }
+    }
+    (losses, params, comm.stats_snapshot())
+}
+
+/// Train for `steps` steps under fault injection with the three-level
+/// recovery ladder (see the module docs).
 ///
 /// `plan` applies to the **first** attempt only: an injected fault
 /// models a transient node failure, and the replacement world replays
@@ -117,9 +324,10 @@ pub fn resilient_train(
     // Step of the snapshot currently in the store (0 = none yet).
     let snap_step = AtomicU64::new(0);
     let snapshots = AtomicU64::new(0);
+    let rollbacks = AtomicU64::new(0);
+    let replayed = AtomicU64::new(0);
 
     let mut failures: Vec<CommError> = Vec::new();
-    let mut replayed_steps: u64 = 0;
     for attempt in 0..=cfg.max_restarts {
         let attempt_plan = if attempt == 0 { plan.clone() } else { FaultPlan::default() };
         // Resume point: every rank restores the same snapshot (or the
@@ -132,80 +340,74 @@ pub fn resilient_train(
         let start_step = resume.as_ref().map_or(0, |s| s.step);
         // Furthest step completed within this attempt (rank 0's view).
         let furthest = AtomicU64::new(start_step);
-        {
-            let store = Arc::clone(&store);
-            let furthest = &furthest;
-            let snapshots = &snapshots;
-            let snap_step = &snap_step;
-            let resume = &resume;
+        let a = Attempt {
+            exec,
+            init_params,
+            hyper,
+            x,
+            labels,
+            steps,
+            cfg,
+            attempt,
+            resume: &resume,
+            start_step,
+            store: &store,
+            snap_step: &snap_step,
+            snapshots: &snapshots,
+            furthest: &furthest,
+            rollbacks: &rollbacks,
+            replayed: &replayed,
+        };
 
-            let outcome = run_ranks_with_faults(world, attempt_plan, move |comm| {
-                let (mut params, mut opt, mut losses) = match resume {
-                    Some(s) => {
-                        (s.params.clone(), hyper.restored(s.velocity.clone()), s.losses.clone())
-                    }
-                    None => (init_params.to_vec(), hyper.fresh(init_params), Vec::new()),
+        let outcome: Vec<Result<RankResult, CommError>> = match cfg.integrity.clone() {
+            Some(ic) => {
+                run_ranks_with_faults_integrity(world, attempt_plan, ic, |comm| run_rank(&a, comm))
+            }
+            None => run_ranks_with_faults(world, attempt_plan, |comm| run_rank(&a, comm)),
+        };
+
+        let first_error = outcome.iter().find_map(|r| r.as_ref().err().cloned());
+        match first_error {
+            None => {
+                let mut results: Vec<RankResult> =
+                    outcome.into_iter().map(|r| r.expect("no errors")).collect();
+                let (corrupt_repaired, retransmits) = results
+                    .iter()
+                    .filter_map(|(_, _, stats)| stats.as_ref())
+                    .fold((0, 0), |(c, r), s| (c + s.corrupt_repaired(), r + s.retransmits()));
+                let (losses, params, _) = results.remove(0);
+                for (rank, (other, _, _)) in results.iter().enumerate() {
+                    assert!(
+                        losses.iter().map(|l| l.to_bits()).eq(other.iter().map(|l| l.to_bits())),
+                        "rank {} disagrees with rank 0 on the loss trajectory",
+                        rank + 1
+                    );
+                }
+                assert_eq!(losses.len() as u64, steps, "one loss per step");
+                return ResilientReport {
+                    losses,
+                    params,
+                    restarts: attempt,
+                    rollbacks: rollbacks.load(Ordering::SeqCst),
+                    replayed_steps: replayed.load(Ordering::SeqCst),
+                    snapshots: snapshots.load(Ordering::SeqCst),
+                    corrupt_repaired,
+                    retransmits,
+                    failures,
                 };
-                for step in start_step..steps {
-                    let loss = exec.train_step(comm, &mut params, &mut opt, x, labels);
-                    losses.push(loss);
-                    if comm.rank() == 0 {
-                        let done = step + 1;
-                        furthest.fetch_max(done, Ordering::SeqCst);
-                        if done % cfg.ckpt_every == 0 && done < steps {
-                            let state = TrainState {
-                                step: done,
-                                params: params.clone(),
-                                velocity: opt.velocity().to_vec(),
-                                losses: losses.clone(),
-                            };
-                            let mut bytes = Vec::new();
-                            save_train_state(&mut bytes, &state).expect("serialize snapshot");
-                            *store.lock().expect("snapshot store") = Some(bytes);
-                            snap_step.store(done, Ordering::SeqCst);
-                            snapshots.fetch_add(1, Ordering::SeqCst);
-                        }
-                    }
-                }
-                (losses, params)
-            });
-
-            let first_error = outcome.iter().find_map(|r| r.as_ref().err().cloned());
-            match first_error {
-                None => {
-                    let mut results: Vec<(Vec<f64>, Vec<LayerParams>)> =
-                        outcome.into_iter().map(|r| r.expect("no errors")).collect();
-                    let (losses, params) = results.remove(0);
-                    for (rank, (other, _)) in results.iter().enumerate() {
-                        assert!(
-                            losses
-                                .iter()
-                                .map(|l| l.to_bits())
-                                .eq(other.iter().map(|l| l.to_bits())),
-                            "rank {} disagrees with rank 0 on the loss trajectory",
-                            rank + 1
-                        );
-                    }
-                    assert_eq!(losses.len() as u64, steps, "one loss per step");
-                    return ResilientReport {
-                        losses,
-                        params,
-                        restarts: attempt,
-                        replayed_steps,
-                        snapshots: snapshots.load(Ordering::SeqCst),
-                        failures,
-                    };
-                }
-                Some(err) => {
-                    // Everything completed in this attempt past the
-                    // snapshot the next attempt will resume from is
-                    // lost work that must be replayed.
-                    replayed_steps += furthest
+            }
+            Some(err) => {
+                // Everything completed in this attempt past the
+                // snapshot the next attempt will resume from is
+                // lost work that must be replayed.
+                replayed.fetch_add(
+                    furthest
                         .load(Ordering::SeqCst)
-                        .saturating_sub(snap_step.load(Ordering::SeqCst));
-                    failures.push(err);
-                    // Loop around: rebuild the world and restore.
-                }
+                        .saturating_sub(snap_step.load(Ordering::SeqCst)),
+                    Ordering::SeqCst,
+                );
+                failures.push(err);
+                // Loop around: rebuild the world and restore.
             }
         }
     }
@@ -265,6 +467,10 @@ mod tests {
         losses.into_iter().next().unwrap()
     }
 
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|l| l.to_bits()).collect()
+    }
+
     #[test]
     fn transparent_plan_is_an_ordinary_training_loop() {
         let (exec, params, x, labels) = fixture();
@@ -276,15 +482,40 @@ mod tests {
             &x,
             &labels,
             6,
-            &ResilientConfig { ckpt_every: 2, max_restarts: 0 },
+            &ResilientConfig { ckpt_every: 2, max_restarts: 0, ..Default::default() },
             FaultPlan::default(),
         );
         assert_eq!(report.restarts, 0);
+        assert_eq!(report.rollbacks, 0);
         assert_eq!(report.replayed_steps, 0);
         assert!(report.failures.is_empty());
         // Snapshots at steps 2 and 4 (not 6: the run is about to end).
         assert_eq!(report.snapshots, 2);
-        let bits = |v: &[f64]| v.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    #[test]
+    fn guarded_clean_run_never_rolls_back_and_matches_bitwise() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                guard: Some(GuardConfig::default()),
+                ..Default::default()
+            },
+            FaultPlan::default(),
+        );
+        assert_eq!(report.rollbacks, 0, "healthy training must never trip the guard");
+        assert_eq!(report.restarts, 0);
+        // The screen observes but never alters the math.
         assert_eq!(bits(&report.losses), bits(&baseline));
     }
 
@@ -311,13 +542,133 @@ mod tests {
             &x,
             &labels,
             6,
-            &ResilientConfig { ckpt_every: 2, max_restarts: 2 },
+            &ResilientConfig { ckpt_every: 2, max_restarts: 2, ..Default::default() },
             FaultPlan::new(3).kill_rank(1, kill_op),
         );
         assert_eq!(report.restarts, 1, "failures: {:?}", report.failures);
         assert!(!report.failures.is_empty());
         assert!(report.replayed_steps >= 1, "report: {report:?}");
-        let bits = |v: &[f64]| v.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    #[test]
+    fn compute_fault_rolls_back_in_place_and_recovers_bitwise() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        // Rank 1's replica is poisoned at step 3: the guard flags the
+        // NaN loss on every rank (the loss reduction propagates it),
+        // and the world rolls back to the step-2 snapshot in place —
+        // no restart, and the restore heals rank 1's divergence.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                max_rollbacks: 2,
+                guard: Some(GuardConfig::default()),
+                compute_fault: Some(ComputeFault { rank: 1, step: 3, scale: f32::NAN }),
+                ..Default::default()
+            },
+            FaultPlan::default(),
+        );
+        assert_eq!(report.restarts, 0, "rollback must not escalate: {:?}", report.failures);
+        assert_eq!(report.rollbacks, 1, "report: {report:?}");
+        assert_eq!(report.replayed_steps, 1, "step 3 replays from the step-2 snapshot");
+        assert!(report.failures.is_empty());
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    #[test]
+    fn loss_spike_from_a_finite_perturbation_also_trips_the_guard() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        // A large finite scale: no NaN anywhere, the spike criterion
+        // alone must catch it (step 4 is past the default warmup of 3).
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                guard: Some(GuardConfig::default()),
+                compute_fault: Some(ComputeFault { rank: 0, step: 4, scale: 1e4 }),
+                ..Default::default()
+            },
+            FaultPlan::default(),
+        );
+        assert_eq!(report.rollbacks, 1, "report: {report:?}");
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    #[test]
+    fn exhausted_rollback_budget_escalates_to_a_world_rebuild() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 4);
+        // Budget 0: the first guard trip escalates straight to level 3.
+        // The rebuilt world replays without the injection and succeeds.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            4,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 2,
+                max_rollbacks: 0,
+                guard: Some(GuardConfig::default()),
+                compute_fault: Some(ComputeFault { rank: 0, step: 1, scale: f32::NAN }),
+                ..Default::default()
+            },
+            FaultPlan::default(),
+        );
+        assert_eq!(report.restarts, 1, "failures: {:?}", report.failures);
+        assert_eq!(report.rollbacks, 0, "budget 0 leaves no room for in-place rollback");
+        match &report.failures[0] {
+            CommError::RankFailed { detail, .. } => {
+                assert!(detail.contains("escalating to a world rebuild"), "detail: {detail}");
+            }
+            other => panic!("expected RankFailed escalation, got {other:?}"),
+        }
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    #[test]
+    fn integrity_layer_repairs_corruption_and_reports_telemetry() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        // Corrupt one mid-run message on the 0→1 link: level 1 repairs
+        // it in-band, so neither the guard nor the restart path fires.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                guard: Some(GuardConfig::default()),
+                integrity: Some(IntegrityConfig::default()),
+                ..Default::default()
+            },
+            FaultPlan::new(11).corrupt_nth(0, 1, 5),
+        );
+        assert_eq!(report.restarts, 0, "failures: {:?}", report.failures);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.corrupt_repaired, 1, "report: {report:?}");
+        assert!(report.retransmits >= 1, "report: {report:?}");
         assert_eq!(bits(&report.losses), bits(&baseline));
     }
 
@@ -333,7 +684,7 @@ mod tests {
             &x,
             &labels,
             4,
-            &ResilientConfig { ckpt_every: 2, max_restarts: 0 },
+            &ResilientConfig { ckpt_every: 2, max_restarts: 0, ..Default::default() },
             FaultPlan::new(1).kill_rank(0, 0),
         );
     }

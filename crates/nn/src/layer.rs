@@ -207,6 +207,24 @@ impl LayerParams {
         }
     }
 
+    /// Squared L2 norm of all parameters, accumulated in f64 — the
+    /// gradient-norm screen of the numerical-anomaly guard. NaN/Inf in
+    /// any element makes the result non-finite, so a single poisoned
+    /// gradient entry is always visible in the scalar.
+    pub fn l2_sq(&self) -> f64 {
+        fn slice_l2(v: &[f32]) -> f64 {
+            v.iter().map(|&x| x as f64 * x as f64).sum()
+        }
+        match self {
+            LayerParams::None => 0.0,
+            LayerParams::Conv { w, b } => {
+                slice_l2(w.as_slice()) + b.as_ref().map_or(0.0, |b| slice_l2(b))
+            }
+            LayerParams::Bn { gamma, beta } => slice_l2(gamma) + slice_l2(beta),
+            LayerParams::Fc { w, b } => slice_l2(w.as_slice()) + slice_l2(b),
+        }
+    }
+
     /// A zero-valued clone with the same structure (gradient buffer).
     pub fn zeros_like(&self) -> LayerParams {
         match self {
@@ -319,6 +337,23 @@ mod tests {
         assert_eq!(q, p);
         p.add_scaled(&q, -1.0);
         assert!(p.to_flat().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn l2_sq_sums_all_fields_and_exposes_poison() {
+        let p = LayerParams::Bn { gamma: vec![3.0, 4.0], beta: vec![12.0] };
+        assert_eq!(p.l2_sq(), 9.0 + 16.0 + 144.0);
+        assert_eq!(LayerParams::None.l2_sq(), 0.0);
+        let fc = LayerParams::Fc {
+            w: Tensor::from_fn(Shape4::new(2, 2, 1, 1), |_, _, _, _| 1.0),
+            b: vec![2.0],
+        };
+        assert_eq!(fc.l2_sq(), 4.0 + 4.0);
+        // One NaN anywhere poisons the scalar — the guard's screen.
+        let bad = LayerParams::Bn { gamma: vec![1.0, f32::NAN], beta: vec![1.0] };
+        assert!(!bad.l2_sq().is_finite());
+        let inf = LayerParams::Bn { gamma: vec![1.0, f32::INFINITY], beta: vec![1.0] };
+        assert!(!inf.l2_sq().is_finite());
     }
 
     #[test]

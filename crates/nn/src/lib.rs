@@ -30,6 +30,6 @@ pub use network::{ForwardPass, Network, BN_EPS};
 pub use optimizer::Sgd;
 pub use params_io::{
     load_params, load_params_file, load_train_state, save_params, save_params_file,
-    save_train_state, TrainState,
+    save_train_state, CheckpointError, GuardState, TrainState,
 };
 pub use schedule::{linear_scaled_lr, Schedule};

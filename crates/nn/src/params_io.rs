@@ -7,6 +7,7 @@
 //! composes trivially: parameters are replicated, so any single rank's
 //! copy is the checkpoint.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use fg_tensor::{Shape4, Tensor};
@@ -14,7 +15,74 @@ use fg_tensor::{Shape4, Tensor};
 use crate::layer::LayerParams;
 
 const MAGIC: &[u8; 8] = b"FGPARAM1";
-const CKPT_MAGIC: &[u8; 8] = b"FGCKPT01";
+/// Original checkpoint format: step, losses, params, velocity.
+const CKPT_MAGIC_V1: &[u8; 8] = b"FGCKPT01";
+/// Current checkpoint format: v1 plus the anomaly guard's EMA state, so
+/// a rollback-and-replay resumes with a bitwise-identical spike
+/// baseline. V1 files still load (guard state starts fresh).
+const CKPT_MAGIC_V2: &[u8; 8] = b"FGCKPT02";
+
+/// Why a checkpoint could not be loaded.
+///
+/// Splitting structural problems ([`CheckpointError::Io`]) from semantic
+/// poisoning ([`CheckpointError::PoisonedLoss`]) lets a resilient driver
+/// distinguish "this file is damaged" from "this file faithfully records
+/// a training run that had already diverged" — resuming from the latter
+/// would replay the divergence forever.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The stream was unreadable, truncated, or not a checkpoint.
+    Io(io::Error),
+    /// The checkpoint records a non-finite loss at `step`: the state was
+    /// poisoned *before* it was saved, and resuming from it cannot
+    /// converge. (`f64::NAN` round-trips bitwise through the format, so
+    /// without this screen a poisoned snapshot loads silently.)
+    PoisonedLoss {
+        /// Index into the recorded loss history.
+        step: usize,
+        /// The offending recorded value (NaN or ±infinity).
+        value: f64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint unreadable: {e}"),
+            CheckpointError::PoisonedLoss { step, value } => {
+                write!(f, "checkpoint records non-finite loss {value} at step {step}; refusing to resume from a poisoned state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::PoisonedLoss { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The numerical-anomaly guard's serializable state: the EMA loss
+/// baseline that spike detection compares against. Stored in the
+/// checkpoint (format v2) so a rollback-and-replay resumes with the same
+/// baseline it had when the snapshot was taken — a prerequisite for
+/// bitwise-deterministic replay.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GuardState {
+    /// Exponential moving average of the accepted per-step losses.
+    pub ema: f64,
+    /// Number of accepted steps folded into `ema` (drives warmup).
+    pub steps: u64,
+}
 
 /// A full training checkpoint: everything needed to resume a momentum-SGD
 /// training loop bitwise-identically at step `step`.
@@ -32,27 +100,38 @@ pub struct TrainState {
     pub velocity: Vec<LayerParams>,
     /// Per-step losses recorded so far (`losses.len() == step`).
     pub losses: Vec<f64>,
+    /// Anomaly-guard EMA state at `step` (fresh when the checkpoint was
+    /// written by a guard-less run or in the v1 format).
+    pub guard: GuardState,
 }
 
-/// Serialize a [`TrainState`] checkpoint to `w`.
+/// Serialize a [`TrainState`] checkpoint to `w` (format v2).
 pub fn save_train_state<W: Write>(w: &mut W, state: &TrainState) -> io::Result<()> {
-    w.write_all(CKPT_MAGIC)?;
+    w.write_all(CKPT_MAGIC_V2)?;
     write_u64(w, state.step)?;
     write_u64(w, state.losses.len() as u64)?;
     for l in &state.losses {
         w.write_all(&l.to_le_bytes())?;
     }
+    w.write_all(&state.guard.ema.to_le_bytes())?;
+    write_u64(w, state.guard.steps)?;
     save_params(w, &state.params)?;
     save_params(w, &state.velocity)
 }
 
-/// Read a checkpoint written by [`save_train_state`].
-pub fn load_train_state<R: Read>(r: &mut R) -> io::Result<TrainState> {
+/// Read a checkpoint written by [`save_train_state`] — either format
+/// version — refusing snapshots whose recorded loss history contains a
+/// non-finite value ([`CheckpointError::PoisonedLoss`]).
+pub fn load_train_state<R: Read>(r: &mut R) -> Result<TrainState, CheckpointError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != CKPT_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn checkpoint"));
-    }
+    let version = match &magic {
+        m if m == CKPT_MAGIC_V1 => 1,
+        m if m == CKPT_MAGIC_V2 => 2,
+        _ => {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn checkpoint").into())
+        }
+    };
     let step = read_u64(r)?;
     let n_losses = read_u64(r)? as usize;
     let mut losses = Vec::with_capacity(n_losses);
@@ -61,9 +140,22 @@ pub fn load_train_state<R: Read>(r: &mut R) -> io::Result<TrainState> {
         r.read_exact(&mut b)?;
         losses.push(f64::from_le_bytes(b));
     }
+    if let Some(step) = losses.iter().position(|l| !l.is_finite()) {
+        return Err(CheckpointError::PoisonedLoss { step, value: losses[step] });
+    }
+    let guard = if version >= 2 {
+        r.read_exact(&mut b)?;
+        let ema = f64::from_le_bytes(b);
+        if !ema.is_finite() {
+            return Err(CheckpointError::PoisonedLoss { step: losses.len(), value: ema });
+        }
+        GuardState { ema, steps: read_u64(r)? }
+    } else {
+        GuardState::default()
+    };
     let params = load_params(r)?;
     let velocity = load_params(r)?;
-    Ok(TrainState { step, params, velocity, losses })
+    Ok(TrainState { step, params, velocity, losses, guard })
 }
 
 /// Write all layer parameters to `w`.
@@ -256,24 +348,57 @@ mod tests {
         assert!(load_params(&mut buf.as_slice()).is_err());
     }
 
-    #[test]
-    fn train_state_round_trips_bitwise() {
+    fn demo_state() -> TrainState {
         let net = demo_net();
         let velocity: Vec<LayerParams> = net.params.iter().map(|p| p.zeros_like()).collect();
-        let state = TrainState {
+        TrainState {
             step: 17,
-            params: net.params.clone(),
+            params: net.params,
             velocity,
             losses: vec![2.5, 2.25, 2.125],
-        };
+            guard: GuardState { ema: 2.375, steps: 3 },
+        }
+    }
+
+    /// Serialize `state` in the retired v1 layout (no guard block), for
+    /// back-compat testing.
+    fn save_train_state_v1(buf: &mut Vec<u8>, state: &TrainState) {
+        buf.extend_from_slice(CKPT_MAGIC_V1);
+        write_u64(buf, state.step).unwrap();
+        write_u64(buf, state.losses.len() as u64).unwrap();
+        for l in &state.losses {
+            buf.extend_from_slice(&l.to_le_bytes());
+        }
+        save_params(buf, &state.params).unwrap();
+        save_params(buf, &state.velocity).unwrap();
+    }
+
+    #[test]
+    fn train_state_round_trips_bitwise() {
+        let state = demo_state();
         let mut buf = Vec::new();
         save_train_state(&mut buf, &state).unwrap();
+        assert_eq!(&buf[..8], CKPT_MAGIC_V2);
         let loaded = load_train_state(&mut buf.as_slice()).unwrap();
         assert_eq!(loaded.step, 17);
         assert_eq!(loaded.params, state.params);
         assert_eq!(loaded.velocity, state.velocity);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&loaded.losses), bits(&state.losses));
+        assert_eq!(loaded.guard.ema.to_bits(), state.guard.ema.to_bits());
+        assert_eq!(loaded.guard.steps, 3);
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load_with_fresh_guard_state() {
+        let state = demo_state();
+        let mut buf = Vec::new();
+        save_train_state_v1(&mut buf, &state);
+        let loaded = load_train_state(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.step, state.step);
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.velocity, state.velocity);
+        assert_eq!(loaded.guard, GuardState::default());
     }
 
     #[test]
@@ -281,8 +406,55 @@ mod tests {
         // A parameter file is not a checkpoint: the magics differ.
         let mut buf = Vec::new();
         save_params(&mut buf, &demo_net().params).unwrap();
-        let err = load_train_state(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        match load_train_state(&mut buf.as_slice()).unwrap_err() {
+            CheckpointError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+            other => panic!("expected Io error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_loss_history_is_rejected_with_a_typed_error() {
+        // A NaN loss round-trips bitwise through the wire format; the
+        // loader must refuse it instead of resuming a poisoned run, in
+        // both format versions.
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut state = demo_state();
+            state.losses[1] = poison;
+            let mut v2 = Vec::new();
+            save_train_state(&mut v2, &state).unwrap();
+            let mut v1 = Vec::new();
+            save_train_state_v1(&mut v1, &state);
+            for buf in [v2, v1] {
+                match load_train_state(&mut buf.as_slice()).unwrap_err() {
+                    CheckpointError::PoisonedLoss { step, value } => {
+                        assert_eq!(step, 1);
+                        assert_eq!(value.to_bits(), poison.to_bits());
+                    }
+                    other => panic!("expected PoisonedLoss, got {other}"),
+                }
+            }
+        }
+        // A poisoned guard EMA is just as fatal.
+        let mut state = demo_state();
+        state.guard.ema = f64::NAN;
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        assert!(matches!(
+            load_train_state(&mut buf.as_slice()),
+            Err(CheckpointError::PoisonedLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_error_display_names_the_poison() {
+        let e = CheckpointError::PoisonedLoss { step: 4, value: f64::INFINITY };
+        assert_eq!(
+            e.to_string(),
+            "checkpoint records non-finite loss inf at step 4; refusing to resume from a \
+             poisoned state"
+        );
+        let io_e = CheckpointError::from(io::Error::new(io::ErrorKind::InvalidData, "bad"));
+        assert!(io_e.to_string().contains("checkpoint unreadable"));
     }
 
     #[test]

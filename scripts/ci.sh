@@ -34,17 +34,21 @@ if [ "$quick" -eq 0 ]; then
     cargo build --release --offline
 fi
 
-# Run every test under the deadlock watchdog: a hung collective fails
-# with a wait-graph diagnostic instead of stalling the CI job.
+# Run every test under the deadlock watchdog (a hung collective fails
+# with a wait-graph diagnostic instead of stalling the CI job) and with
+# end-to-end message integrity envelopes on (every world-internal send
+# is checksummed and sequence-numbered; message/byte counts are
+# unchanged, so count-asserting tests still hold).
 export FG_COMM_WATCHDOG=1
+export FG_COMM_INTEGRITY=1
 
-step "tier-1 tests (root package, watchdog on)"
+step "tier-1 tests (root package, watchdog + integrity on)"
 cargo test -q --offline
 
-step "workspace tests (watchdog on)"
+step "workspace tests (watchdog + integrity on)"
 cargo test -q --offline --workspace
 
-step "chaos suite (fault injection, pinned seeds)"
+step "chaos suite (fault injection + corruption repair, pinned seeds)"
 cargo test -q --offline -p fg-comm --test faults
 
 printf '\nCI gate passed.\n'

@@ -6,8 +6,10 @@
 //! bitwise checkpoint round-trips imply replay is exact — any divergence
 //! means either nondeterminism in a collective or a lossy checkpoint.
 
-use finegrain::comm::{run_ranks, FaultPlan};
-use finegrain::core::{resilient_train, DistExecutor, ResilientConfig, SgdHyper, Strategy};
+use finegrain::comm::{run_ranks, FaultPlan, IntegrityConfig};
+use finegrain::core::{
+    resilient_train, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy,
+};
 use finegrain::kernels::Labels;
 use finegrain::nn::{Network, NetworkSpec, Sgd};
 use finegrain::tensor::{ProcGrid, Shape4, Tensor};
@@ -97,12 +99,49 @@ proptest! {
             &f.x,
             &f.labels,
             STEPS,
-            &ResilientConfig { ckpt_every, max_restarts: 2 },
+            &ResilientConfig { ckpt_every, max_restarts: 2, ..Default::default() },
             FaultPlan::new(kill_frac ^ (victim as u64) << 32).kill_rank(victim, kill_op),
         );
         let got: Vec<u64> = report.losses.iter().map(|l| l.to_bits()).collect();
         prop_assert_eq!(got, baseline);
         // At most one rebuild: the plan only fires on the first attempt.
         prop_assert!(report.restarts <= 1);
+    }
+
+    /// Chaos under *rate-based* link faults: for pinned seeds and
+    /// nonzero drop/corruption rates, a run protected by the integrity
+    /// layer (level 1) and the step guard (level 2) repairs everything
+    /// in-band — no restart, no rollback — and its loss trajectory is
+    /// bitwise identical to a fault-free run of the same stack. The
+    /// fault-free reference uses the same guard + integrity wiring so
+    /// only the injected faults differ between the two runs.
+    #[test]
+    fn chaotic_links_with_integrity_and_guard_are_bitwise_exact(
+        seed in 1u64..=u32::MAX as u64,
+        drop_pct in 0u32..=15,
+        corrupt_pct in 1u32..=15,
+    ) {
+        let f = fixture();
+        let cfg = ResilientConfig {
+            ckpt_every: 2,
+            max_restarts: 0,
+            guard: Some(GuardConfig::default()),
+            integrity: Some(IntegrityConfig::default()),
+            ..Default::default()
+        };
+        let clean = resilient_train(
+            &f.exec, &f.params, HYPER, &f.x, &f.labels, STEPS, &cfg, FaultPlan::default(),
+        );
+        let plan = FaultPlan::new(seed)
+            .drop_rate(drop_pct as f64 / 100.0)
+            .corrupt_rate(corrupt_pct as f64 / 100.0);
+        let report = resilient_train(
+            &f.exec, &f.params, HYPER, &f.x, &f.labels, STEPS, &cfg, plan,
+        );
+        prop_assert_eq!(report.restarts, 0, "failures: {:?}", report.failures);
+        prop_assert_eq!(report.rollbacks, 0, "in-band repair must not reach the guard");
+        let clean_bits: Vec<u64> = clean.losses.iter().map(|l| l.to_bits()).collect();
+        let got: Vec<u64> = report.losses.iter().map(|l| l.to_bits()).collect();
+        prop_assert_eq!(got, clean_bits);
     }
 }
