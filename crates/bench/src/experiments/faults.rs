@@ -21,6 +21,13 @@
 //!    corruption-rate sweep shows the in-band repair traffic growing
 //!    with the injected rate while the loss trajectory never moves —
 //!    the whole point of repairing below the training loop.
+//! 4. **What does losing a rank for good cost?** A permanent kill
+//!    forces the elastic-degradation rung: the world shrinks 4 → 3, the
+//!    performance model re-plans the strategy for the odd-sized world,
+//!    and the snapshot is re-sharded onto the new grid. The table
+//!    reports throughput at `P` vs `P'` and the transition's cost
+//!    breakdown (re-plan time, re-shard bytes moved, per-rung wall
+//!    time).
 
 use std::time::Instant;
 
@@ -28,8 +35,11 @@ use fg_comm::{
     run_ranks, run_ranks_opts, run_ranks_with_faults, run_ranks_with_faults_integrity,
     Communicator, FaultPlan, IntegrityConfig, RunOptions,
 };
-use fg_core::{resilient_train, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy};
+use fg_core::{
+    resilient_train, DegradeConfig, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy,
+};
 use fg_nn::{Network, Sgd};
+use fg_perf::{degrade_replanner, Platform};
 use fg_tensor::ProcGrid;
 
 use crate::experiments::modelval::mini_mesh;
@@ -250,9 +260,110 @@ fn corruption_sweep_table() -> Table {
     t
 }
 
-/// The `repro -- faults` experiment: all three tables.
+/// Slowest-rank steps/sec of a plain training loop on `exec`'s world.
+fn steps_per_sec(
+    exec: &DistExecutor,
+    net: &Network,
+    x: &fg_tensor::Tensor,
+    labels: &fg_kernels::loss::Labels,
+    steps: usize,
+) -> f64 {
+    let secs = run_ranks(exec.strategy.world_size(), |comm| {
+        let mut p = net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        let _ = exec.train_step(comm, &mut p, &mut opt, x, labels);
+        let start = Instant::now();
+        for _ in 0..steps {
+            exec.train_step(comm, &mut p, &mut opt, x, labels);
+        }
+        start.elapsed().as_secs_f64()
+    });
+    steps as f64 / secs.into_iter().fold(0.0f64, f64::max)
+}
+
+/// Elastic degradation: rank 2 dies permanently mid-run, the rebuild
+/// budget at world 4 is spent, and the run shrinks to the largest
+/// viable smaller world with a model-driven re-plan. Reports steps/sec
+/// before and after the shrink plus the transition's cost breakdown.
+fn degradation_table() -> Table {
+    let fx = fixture();
+    const STEPS: u64 = 6;
+    let probe = run_ranks_with_faults(WORLD, FaultPlan::default(), |comm| {
+        let mut p = fx.net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        for _ in 0..STEPS {
+            fx.exec.train_step(comm, &mut p, &mut opt, &fx.x, &fx.labels);
+        }
+        comm.ops()
+    });
+    let kill_op = *probe[2].as_ref().expect("probe is fault-free") / 2;
+
+    let spec = fx.exec.spec.clone();
+    let replan = degrade_replanner(Platform::lassen_like(), spec.clone(), BATCH);
+    let report = resilient_train(
+        &fx.exec,
+        &fx.net.params,
+        HYPER,
+        &fx.x,
+        &fx.labels,
+        STEPS,
+        &ResilientConfig {
+            ckpt_every: 2,
+            max_restarts: 1,
+            degrade: Some(DegradeConfig { replan: Some(replan), ..Default::default() }),
+            ..Default::default()
+        },
+        FaultPlan::new(0xE1A5).kill_rank_permanently(2, kill_op),
+    );
+    assert_eq!(report.degradations.len(), 1, "the permanent kill must force one shrink");
+    assert_eq!(report.losses.len() as u64, STEPS, "the shrunken world must finish the run");
+    let d = &report.degradations[0];
+    let small =
+        DistExecutor::new(spec, d.strategy.clone(), BATCH).expect("replanned strategy compiles");
+    let sps_before = steps_per_sec(&fx.exec, &fx.net, &fx.x, &fx.labels, 6);
+    let sps_after = steps_per_sec(&small, &fx.net, &fx.x, &fx.labels, 6);
+
+    let mut t = Table::new(
+        "Elastic degradation: rank 2 permanently dead, world shrinks under a model re-plan",
+        &[
+            "world",
+            "grid",
+            "steps/sec",
+            "replan ms",
+            "re-shard moved/total KiB",
+            "rung ms (rebuild/degrade)",
+        ],
+    );
+    t.push_row(vec![
+        format!("P = {}", d.from_world),
+        format!("{}", fx.exec.strategy.grids[0]),
+        format!("{sps_before:.2}"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        format!("P' = {}", d.to_world),
+        format!("{}", d.strategy.grids[0]),
+        format!("{sps_after:.2}"),
+        format!("{:.2}", d.replan_s * 1e3),
+        format!(
+            "{:.1}/{:.1}",
+            d.reshard_moved_bytes as f64 / 1024.0,
+            d.reshard_total_bytes as f64 / 1024.0
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            report.rung_times.rebuild_s * 1e3,
+            report.rung_times.degrade_s * 1e3
+        ),
+    ]);
+    t
+}
+
+/// The `repro -- faults` experiment: all four tables.
 pub fn faults() -> Vec<Table> {
-    vec![overhead_table(), recovery_table(), corruption_sweep_table()]
+    vec![overhead_table(), recovery_table(), corruption_sweep_table(), degradation_table()]
 }
 
 #[cfg(test)]
@@ -278,5 +389,15 @@ mod tests {
         // internally.
         let t = corruption_sweep_table();
         assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn degradation_table_reports_both_worlds() {
+        // degradation_table() asserts the shrink happened and the run
+        // completed internally.
+        let t = degradation_table();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0][0].starts_with("P = 4"), "row: {:?}", t.rows[0]);
+        assert!(t.rows[1][0].starts_with("P' = 3"), "row: {:?}", t.rows[1]);
     }
 }

@@ -95,6 +95,47 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+impl CommError {
+    /// The rank this error blames for a death, if it records one: the
+    /// victim of a [`CommError::RankFailed`] (self-reported or observed
+    /// by a peer). Timeouts and corruption name links and waiters, not
+    /// deaths, so they attribute nothing.
+    pub fn failed_rank(&self) -> Option<usize> {
+        match self {
+            CommError::RankFailed { rank, .. } => Some(*rank),
+            _ => None,
+        }
+    }
+}
+
+/// Attribute permanent deaths from a failure history: the ranks blamed
+/// by [`CommError::RankFailed`] errors, preferring *self-reported*
+/// deaths (victim == observer — the rank recorded its own demise, the
+/// strongest evidence) and falling back to peer observations when no
+/// rank self-reported. Returns sorted, deduplicated ranks; empty when
+/// the history contains no rank failures (e.g. pure timeouts).
+///
+/// This is the diagnostic a degradation rung keys on: after repeated
+/// same-size rebuilds keep failing, the consistently-blamed rank is the
+/// one to shrink the world around.
+pub fn attribute_dead_ranks(errors: &[CommError]) -> Vec<usize> {
+    let self_reported: Vec<usize> = errors
+        .iter()
+        .filter_map(|e| match e {
+            CommError::RankFailed { rank, observer, .. } if rank == observer => Some(*rank),
+            _ => None,
+        })
+        .collect();
+    let mut dead = if self_reported.is_empty() {
+        errors.iter().filter_map(|e| e.failed_rank()).collect()
+    } else {
+        self_reported
+    };
+    dead.sort_unstable();
+    dead.dedup();
+    dead
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +193,26 @@ mod tests {
              all corrupted"
         );
         assert_ne!(e, CommError::Corrupt { link: (0, 1), seq: 43, detail: String::new() });
+    }
+
+    #[test]
+    fn dead_rank_attribution_prefers_self_reports() {
+        let self_report = |rank| CommError::RankFailed { rank, observer: rank, detail: "x".into() };
+        let observed =
+            |rank, observer| CommError::RankFailed { rank, observer, detail: "x".into() };
+        let timeout = CommError::Timeout { rank: 0, detail: "watchdog".into() };
+        // Self-reports win over peer observations (a peer may blame the
+        // wrong neighbor when the whole world is tearing down).
+        let hist =
+            vec![observed(1, 3), self_report(2), timeout.clone(), self_report(2), observed(0, 2)];
+        assert_eq!(attribute_dead_ranks(&hist), vec![2]);
+        // No self-report: fall back to observed victims, deduplicated.
+        let hist = vec![observed(3, 0), observed(3, 1), observed(1, 0)];
+        assert_eq!(attribute_dead_ranks(&hist), vec![1, 3]);
+        // Nothing to attribute.
+        assert!(attribute_dead_ranks(&[timeout]).is_empty());
+        assert_eq!(observed(4, 0).failed_rank(), Some(4));
+        assert_eq!(CommError::EmptyWorld.failed_rank(), None);
     }
 
     #[test]

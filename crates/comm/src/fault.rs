@@ -69,6 +69,11 @@ pub struct FaultPlan {
     seed: u64,
     /// `(rank, op)`: kill `rank` when its comm-op counter reaches `op`.
     kills: Vec<(usize, u64)>,
+    /// `(rank, op)`: like `kills`, but *permanent* — the fault persists
+    /// across world rebuilds (a dead node, not a transient crash), so a
+    /// resilient driver that replays the plan's persistent faults on
+    /// every attempt sees this rank die in each incarnation.
+    perma_kills: Vec<(usize, u64)>,
     /// `(src, dst, n)`: drop the `n`-th (0-based) message on link
     /// `src → dst`.
     drops: Vec<(usize, usize, u64)>,
@@ -107,6 +112,17 @@ impl FaultPlan {
     /// receives, as counted by [`FaultyComm`]) reaches `op`.
     pub fn kill_rank(mut self, rank: usize, op: u64) -> FaultPlan {
         self.kills.push((rank, op));
+        self
+    }
+
+    /// Kill `rank` **permanently** at comm op `op`: unlike
+    /// [`FaultPlan::kill_rank`], the fault is part of
+    /// [`FaultPlan::persistent`], so a resilient driver that carries the
+    /// plan's persistent faults into rebuild attempts re-kills the rank
+    /// in every incarnation — the model of a dead node that no amount of
+    /// same-size restarting can route around.
+    pub fn kill_rank_permanently(mut self, rank: usize, op: u64) -> FaultPlan {
+        self.perma_kills.push((rank, op));
         self
     }
 
@@ -174,9 +190,69 @@ impl FaultPlan {
             .corrupt_nth(dst, src, mix64(seed ^ 5) % horizon)
     }
 
-    /// The op at which `rank` dies, if the plan kills it (earliest wins).
+    /// The op at which `rank` dies, if the plan kills it (earliest wins,
+    /// transient and permanent kills alike).
     pub fn kill_at(&self, rank: usize) -> Option<u64> {
-        self.kills.iter().filter(|(r, _)| *r == rank).map(|(_, op)| *op).min()
+        self.kills
+            .iter()
+            .chain(self.perma_kills.iter())
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, op)| *op)
+            .min()
+    }
+
+    /// Whether `rank` is scheduled for a *permanent* kill.
+    pub fn kill_is_permanent(&self, rank: usize) -> bool {
+        self.perma_kills.iter().any(|(r, _)| *r == rank)
+    }
+
+    /// Ranks the plan kills permanently (sorted, deduplicated) — the
+    /// set a degradation rung must shrink the world around.
+    pub fn permanently_dead(&self) -> Vec<usize> {
+        let mut dead: Vec<usize> = self.perma_kills.iter().map(|(r, _)| *r).collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// The plan's *persistent* faults only: permanent kills (and the
+    /// seed, which keys their identity). Transient faults — one-shot
+    /// kills, drops, corruptions, delays, rate hazards — model events
+    /// that already happened and must not replay, so a resilient driver
+    /// runs rebuild attempts under this projection rather than the full
+    /// plan.
+    pub fn persistent(&self) -> FaultPlan {
+        FaultPlan { seed: self.seed, perma_kills: self.perma_kills.clone(), ..FaultPlan::default() }
+    }
+
+    /// Project the plan onto a shrunken world: `survivors[new_rank]` is
+    /// the old rank that becomes `new_rank`. Faults addressing ranks
+    /// outside the survivor set are dropped (their targets no longer
+    /// exist); the rest are renumbered into the new world's rank space.
+    /// Rates and the seed carry over unchanged.
+    pub fn restrict_to_survivors(&self, survivors: &[usize]) -> FaultPlan {
+        let remap = |old: usize| survivors.iter().position(|&s| s == old);
+        let remap_rank_list = |list: &[(usize, u64)]| {
+            list.iter().filter_map(|&(r, op)| remap(r).map(|nr| (nr, op))).collect()
+        };
+        let remap_link_list = |list: &[(usize, usize, u64)]| {
+            list.iter().filter_map(|&(s, d, n)| Some((remap(s)?, remap(d)?, n))).collect::<Vec<_>>()
+        };
+        FaultPlan {
+            seed: self.seed,
+            kills: remap_rank_list(&self.kills),
+            perma_kills: remap_rank_list(&self.perma_kills),
+            drops: remap_link_list(&self.drops),
+            corrupts: remap_link_list(&self.corrupts),
+            delays: self
+                .delays
+                .iter()
+                .filter_map(|&(r, every, pause)| remap(r).map(|nr| (nr, every, pause)))
+                .collect(),
+            corrupt_retransmits: remap_link_list(&self.corrupt_retransmits),
+            drop_rate: self.drop_rate,
+            corrupt_rate: self.corrupt_rate,
+        }
     }
 
     /// Whether the `n`-th message on `src → dst` is dropped.
@@ -222,6 +298,7 @@ impl FaultPlan {
     /// True when the plan injects nothing at all.
     pub fn is_transparent(&self) -> bool {
         self.kills.is_empty()
+            && self.perma_kills.is_empty()
             && self.drops.is_empty()
             && self.corrupts.is_empty()
             && self.delays.is_empty()
@@ -272,10 +349,18 @@ impl<'a, C: Communicator> FaultyComm<'a, C> {
         self.ops.set(n + 1);
         if let Some(at) = self.plan.kill_at(self.inner.rank()) {
             if n >= at {
+                // Name permanence in the diagnostic: a resilient driver
+                // (and a human reading the failure history) can tell a
+                // transient crash from a dead node.
+                let permanence = if self.plan.kill_is_permanent(self.inner.rank()) {
+                    " (permanent: this rank dies on every rebuild)"
+                } else {
+                    ""
+                };
                 std::panic::panic_any(CommError::RankFailed {
                     rank: self.inner.rank(),
                     observer: self.inner.rank(),
-                    detail: format!("killed by fault injection at comm op {at}"),
+                    detail: format!("killed by fault injection at comm op {at}{permanence}"),
                 });
             }
         }
@@ -390,6 +475,10 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
         self.inner.note_corrupt_repaired();
     }
 
+    fn note_repair_time(&self, nanos: u64) {
+        self.inner.note_repair_time(nanos);
+    }
+
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
         self.inner.stats_snapshot()
     }
@@ -491,6 +580,62 @@ mod tests {
         let quiet = FaultPlan::new(1234);
         assert!((0..100).all(|n| !quiet.drops(0, 1, n)));
         assert!(quiet.is_transparent());
+    }
+
+    #[test]
+    fn permanent_kills_register_and_survive_the_persistent_projection() {
+        let plan = FaultPlan::new(5)
+            .kill_rank(0, 3)
+            .kill_rank_permanently(2, 7)
+            .drop_nth(0, 1, 4)
+            .corrupt_rate(0.1);
+        assert!(!plan.is_transparent());
+        assert_eq!(plan.kill_at(2), Some(7));
+        assert!(plan.kill_is_permanent(2));
+        assert!(!plan.kill_is_permanent(0));
+        assert_eq!(plan.permanently_dead(), vec![2]);
+        // persistent() keeps only the permanent kills (and the seed).
+        let p = plan.persistent();
+        assert_eq!(p.seed(), 5);
+        assert_eq!(p.kill_at(0), None, "transient kill must not replay");
+        assert_eq!(p.kill_at(2), Some(7));
+        assert!(!p.drops(0, 1, 4));
+        assert_eq!(p.corrupt_mask(0, 1, 0), None, "rates are transient hazards");
+        // A plan without permanent kills projects to transparency.
+        assert!(FaultPlan::new(5).kill_rank(1, 2).persistent().is_transparent());
+        // Earliest kill still wins across both lists.
+        let both = FaultPlan::new(0).kill_rank(1, 9).kill_rank_permanently(1, 4);
+        assert_eq!(both.kill_at(1), Some(4));
+    }
+
+    #[test]
+    fn restrict_to_survivors_renumbers_and_drops_dead_targets() {
+        // World of 4 shrinking to [0, 1, 3] (rank 2 died).
+        let plan = FaultPlan::new(11)
+            .kill_rank_permanently(2, 5)
+            .kill_rank(3, 8)
+            .drop_nth(0, 3, 2)
+            .drop_nth(2, 1, 0)
+            .corrupt_nth(3, 0, 1)
+            .delay_every(3, 4, Duration::from_micros(10))
+            .delay_every(2, 4, Duration::from_micros(10))
+            .drop_rate(0.05);
+        let small = plan.restrict_to_survivors(&[0, 1, 3]);
+        assert_eq!(small.seed(), 11);
+        // The dead rank's faults vanish entirely.
+        assert!(small.permanently_dead().is_empty());
+        assert!((0..3).all(|r| !small.kill_is_permanent(r)));
+        assert!(!small.drops(2, 1, 0), "link faults touching the dead rank are dropped");
+        // Old rank 3 is new rank 2.
+        assert_eq!(small.kill_at(2), Some(8));
+        assert!(small.drops(0, 2, 2));
+        assert!(small.corrupt_mask(2, 0, 1).is_some());
+        assert!(small.delay(2, 3).is_some());
+        assert!(small.delay(1, 3).is_none());
+        // Rates carry over (seeded draws stay deterministic).
+        let hits: Vec<bool> = (0..50).map(|n| small.drops(0, 1, n)).collect();
+        let again: Vec<bool> = (0..50).map(|n| plan.drops(0, 1, n)).collect();
+        assert_eq!(hits, again, "same seed, same link ids → same draws");
     }
 
     #[test]

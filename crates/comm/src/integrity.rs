@@ -280,10 +280,16 @@ pub fn protocol_recv<C: Communicator, T: CommScalar>(
         header.seq
     );
     let mut pulls = 0u32;
+    // Started at the first checksum mismatch; its elapsed time is the
+    // receiver's repair stall, reported as rung-1 wall time.
+    let mut repair_started: Option<std::time::Instant> = None;
     loop {
         if checksum_payload(tag, header.seq, &data) == header.checksum {
             if pulls > 0 {
                 comm.note_corrupt_repaired();
+                if let Some(t0) = repair_started {
+                    comm.note_repair_time(t0.elapsed().as_nanos() as u64);
+                }
             }
             cursor.advance_recv(src, tag);
             state.ack(src, me, tag, header.seq);
@@ -301,6 +307,7 @@ pub fn protocol_recv<C: Communicator, T: CommScalar>(
             });
         }
         pulls += 1;
+        repair_started.get_or_insert_with(std::time::Instant::now);
         comm.note_retransmit();
         if pulls > 1 {
             // NACK round-trips back off linearly; the first pull is
@@ -373,6 +380,10 @@ impl<C: Communicator> Communicator for IntegrityComm<'_, C> {
 
     fn note_corrupt_repaired(&self) {
         self.inner.note_corrupt_repaired();
+    }
+
+    fn note_repair_time(&self, nanos: u64) {
+        self.inner.note_repair_time(nanos);
     }
 
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {

@@ -47,7 +47,7 @@ pub mod watchdog;
 
 pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
 pub use dynamic::{DynComm, ErasedComm, ScalarType};
-pub use error::CommError;
+pub use error::{attribute_dead_ranks, CommError};
 pub use fault::{FaultPlan, FaultyComm, LINK_RETRY_BUDGET};
 pub use integrity::{IntegrityComm, IntegrityConfig, IntegrityState};
 pub use p2p::{CommScalar, Communicator, Tag, WireHeader};

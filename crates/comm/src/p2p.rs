@@ -202,6 +202,16 @@ pub trait Communicator {
     /// wrappers delegate.
     fn note_corrupt_repaired(&self) {}
 
+    /// Record `nanos` of wall time this rank spent stalled in
+    /// receiver-side integrity repair (first checksum mismatch to
+    /// accepted retransmission). Default no-op; [`crate::WorldComm`]
+    /// accumulates it in [`crate::TrafficStats`], wrappers delegate —
+    /// this is how a resilient driver reports rung-1 wall time without
+    /// instrumenting the training loop.
+    fn note_repair_time(&self, nanos: u64) {
+        let _ = nanos;
+    }
+
     /// A snapshot of this rank's traffic counters, if the communicator
     /// keeps them. Default `None`; [`crate::WorldComm`] returns its
     /// stats and wrappers delegate, so generic drivers (e.g. the

@@ -163,6 +163,10 @@ impl Communicator for WorldComm {
         }
     }
 
+    fn note_repair_time(&self, nanos: u64) {
+        self.stats.borrow_mut().record_repair_time(nanos);
+    }
+
     fn stats_snapshot(&self) -> Option<TrafficStats> {
         Some(self.stats())
     }

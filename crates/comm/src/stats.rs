@@ -69,6 +69,11 @@ pub struct TrafficStats {
     /// dropped messages (sender side) plus replay-window pulls after a
     /// checksum mismatch (receiver side).
     retransmits: u64,
+    /// Wall time (nanoseconds) this rank spent stalled in receiver-side
+    /// integrity repair — from the first checksum mismatch of a message
+    /// to its accepted retransmission. The wall-clock cost of ladder
+    /// rung 1, where the counters above only give event counts.
+    repair_nanos: u64,
 }
 
 impl TrafficStats {
@@ -110,6 +115,17 @@ impl TrafficStats {
         self.retransmits
     }
 
+    /// Add `nanos` of receiver-side repair stall time.
+    pub fn record_repair_time(&mut self, nanos: u64) {
+        self.repair_nanos += nanos;
+    }
+
+    /// Wall time (nanoseconds) spent stalled in receiver-side integrity
+    /// repair.
+    pub fn repair_nanos(&self) -> u64 {
+        self.repair_nanos
+    }
+
     /// Messages sent under `class`.
     pub fn messages(&self, class: OpClass) -> u64 {
         self.messages[class.index()]
@@ -139,6 +155,7 @@ impl TrafficStats {
         self.dropped_sends += other.dropped_sends;
         self.corrupt_repaired += other.corrupt_repaired;
         self.retransmits += other.retransmits;
+        self.repair_nanos += other.repair_nanos;
     }
 }
 
@@ -204,5 +221,18 @@ mod tests {
         assert_eq!(a.retransmits(), 3);
         // Repairs and retransmissions are not delivered traffic either.
         assert_eq!(a.total_messages(), 0);
+    }
+
+    #[test]
+    fn repair_time_accumulates_and_merges() {
+        let mut a = TrafficStats::default();
+        assert_eq!(a.repair_nanos(), 0);
+        a.record_repair_time(1_500);
+        a.record_repair_time(500);
+        assert_eq!(a.repair_nanos(), 2_000);
+        let mut b = TrafficStats::default();
+        b.record_repair_time(3_000);
+        a.merge(&b);
+        assert_eq!(a.repair_nanos(), 5_000);
     }
 }

@@ -35,5 +35,8 @@ pub use executor::{Act, DistExecutor, DistPass};
 pub use guard::{Anomaly, GuardConfig, StepGuard};
 pub use layers::{BnMode, DistPool2d};
 pub use mp_fc::ModelParallelFc;
-pub use resilient::{resilient_train, ComputeFault, ResilientConfig, ResilientReport, SgdHyper};
+pub use resilient::{
+    resilient_train, ComputeFault, Degradation, DegradeConfig, Replanner, ResilientConfig,
+    ResilientReport, RungTimes, SgdHyper,
+};
 pub use strategy::{Strategy, StrategyError};

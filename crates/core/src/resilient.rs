@@ -27,31 +27,54 @@
 //!    every rank, and replays — the checkpoint/restart discipline of
 //!    the paper's target systems, where a multi-day ImageNet run must
 //!    survive node failures.
+//! 4. **Elastic degradation** (last resort): when rebuilds at world
+//!    size `P` keep dying — a rank is *permanently* gone
+//!    ([`FaultPlan::kill_rank_permanently`]), not transiently flaky —
+//!    the run gives up on `P` instead of giving up on training. The
+//!    driver attributes the dead ranks from the failure reports
+//!    ([`fg_comm::attribute_dead_ranks`]), shrinks to the largest
+//!    viable `P' < P`, re-plans the parallel strategy for the new world
+//!    size (via an injected [`Replanner`] — `fg-perf` provides one that
+//!    re-runs the full performance model — or the model-free
+//!    [`Strategy::spatial_fallback`]), re-shards the last snapshot from
+//!    the old [`fg_tensor::ProcGrid`] onto the new one
+//!    ([`fg_nn::reshard_train_state`], gather-free overlap
+//!    redistribution), recompiles the layer plans by rebuilding the
+//!    executor, and resumes on the survivors.
 //!
 //! Every `ckpt_every` steps, rank 0 serializes a full
 //! [`fg_nn::TrainState`] (step counter, parameters, optimizer velocity,
-//! loss history, guard EMA baseline) into an in-memory store — the
-//! stand-in for a parallel file system. Because training is
+//! loss history, guard EMA baseline, source grid) into an in-memory
+//! store — the stand-in for a parallel file system. Because training is
 //! deterministic (fixed reduction orders in the collectives, replicated
 //! SGD) and the checkpoint round-trips state bitwise, a recovered run's
 //! loss trajectory is **bitwise identical** to an uninterrupted one at
-//! every level of the ladder — asserted by the property tests in
-//! `tests/resilience.rs`.
+//! levels 1–3 of the ladder; after a level-4 shrink the *post-shrink*
+//! trajectory is bitwise identical to a fresh `P'`-rank run restored
+//! from the same snapshot (a different world size reduces in a
+//! different order, so the pre-/post-shrink trajectories are two
+//! deterministic runs stitched at the snapshot). Both contracts are
+//! asserted by the property tests in `tests/resilience.rs`.
 
 use std::panic::panic_any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use fg_comm::{
-    run_ranks_with_faults, run_ranks_with_faults_integrity, CommError, Communicator, FaultPlan,
-    IntegrityConfig, TrafficStats,
+    attribute_dead_ranks, run_ranks_with_faults, run_ranks_with_faults_integrity, CommError,
+    Communicator, FaultPlan, IntegrityConfig, TrafficStats,
 };
 use fg_kernels::loss::Labels;
-use fg_nn::{load_train_state, save_train_state, GuardState, LayerParams, Sgd, TrainState};
+use fg_nn::{
+    load_train_state, load_train_state_for, reshard_train_state, save_train_state, GuardState,
+    LayerParams, ReshardStats, Sgd, TrainState,
+};
 use fg_tensor::Tensor;
 
 use crate::executor::DistExecutor;
 use crate::guard::{GuardConfig, StepGuard};
+use crate::strategy::Strategy;
 
 /// Hyperparameters of the replicated SGD optimizer, threaded through
 /// checkpoint restore (hyperparameters are config, not state, so they
@@ -92,12 +115,50 @@ pub struct ComputeFault {
     pub scale: f32,
 }
 
+/// A strategy re-planner for shrunken worlds: given a new (smaller)
+/// world size, produce a validated [`Strategy`] for it, or `None` when
+/// the size is not viable. `fg-perf` provides the canonical
+/// implementation (`degrade_replanner`), which re-runs the full
+/// performance-model search against the measured platform; without one,
+/// the degradation rung falls back to [`Strategy::spatial_fallback`].
+pub type Replanner = Arc<dyn Fn(usize) -> Option<Strategy> + Send + Sync>;
+
+/// Configuration for the elastic-degradation rung (level 4).
+#[derive(Clone)]
+pub struct DegradeConfig {
+    /// Strategy re-planner for candidate shrunken world sizes; `None`
+    /// uses the model-free [`Strategy::spatial_fallback`].
+    pub replan: Option<Replanner>,
+    /// Never shrink below this world size.
+    pub min_world: usize,
+    /// How many shrinks a run may perform before giving up (each shrink
+    /// resets the rebuild budget).
+    pub max_shrinks: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig { replan: None, min_world: 1, max_shrinks: 1 }
+    }
+}
+
+impl std::fmt::Debug for DegradeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegradeConfig")
+            .field("replan", &self.replan.as_ref().map(|_| "<fn>"))
+            .field("min_world", &self.min_world)
+            .field("max_shrinks", &self.max_shrinks)
+            .finish()
+    }
+}
+
 /// Configuration for [`resilient_train`].
 #[derive(Debug, Clone)]
 pub struct ResilientConfig {
     /// Snapshot the training state every this many steps.
     pub ckpt_every: u64,
-    /// Give up after this many world rebuilds.
+    /// Give up after this many world rebuilds (per world size when
+    /// degradation is enabled: a shrink resets the budget).
     pub max_restarts: usize,
     /// In-place rollbacks tolerated per attempt before escalating to a
     /// world rebuild (only reachable when `guard` is set).
@@ -111,6 +172,10 @@ pub struct ResilientConfig {
     pub integrity: Option<IntegrityConfig>,
     /// Injected compute error, for exercising the rollback path.
     pub compute_fault: Option<ComputeFault>,
+    /// Elastic degradation on permanent rank loss; `None` disables
+    /// level 4 (exhausted rebuilds are fatal, the pre-existing
+    /// behavior).
+    pub degrade: Option<DegradeConfig>,
 }
 
 impl Default for ResilientConfig {
@@ -122,8 +187,49 @@ impl Default for ResilientConfig {
             guard: None,
             integrity: None,
             compute_fault: None,
+            degrade: None,
         }
     }
+}
+
+/// One elastic shrink: what died, what the world became, and what the
+/// transition cost.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// World size before the shrink.
+    pub from_world: usize,
+    /// World size after the shrink.
+    pub to_world: usize,
+    /// Step of the snapshot the shrunken world resumed from (0 = no
+    /// snapshot existed; the new world restarted from scratch).
+    pub at_step: u64,
+    /// Ranks attributed as permanently dead (old-world numbering).
+    pub dead_ranks: Vec<usize>,
+    /// The re-planned strategy the shrunken world runs.
+    pub strategy: Strategy,
+    /// Wall time spent in the re-planner (all candidate sizes probed).
+    pub replan_s: f64,
+    /// Wall time spent re-sharding the snapshot old grid → new grid.
+    pub reshard_s: f64,
+    /// Snapshot bytes whose owning rank changed in the re-shard.
+    pub reshard_moved_bytes: u64,
+    /// Total snapshot payload bytes covered by the re-shard.
+    pub reshard_total_bytes: u64,
+}
+
+/// Wall time spent in each rung of the recovery ladder, for
+/// recovery-cost breakdowns in the faults bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RungTimes {
+    /// Level 1: receiver-side stalls waiting for integrity
+    /// retransmissions (summed over the final attempt's ranks).
+    pub repair_s: f64,
+    /// Level 2: in-place snapshot restores after guard trips (rank 0).
+    pub rollback_s: f64,
+    /// Level 3: failure bookkeeping between teardown and redispatch.
+    pub rebuild_s: f64,
+    /// Level 4: re-plan + re-shard + executor recompilation.
+    pub degrade_s: f64,
 }
 
 /// What a resilient run did, beyond its result.
@@ -151,6 +257,13 @@ pub struct ResilientReport {
     pub retransmits: u64,
     /// The errors that caused each restart (first error per attempt).
     pub failures: Vec<CommError>,
+    /// World size the run finished on (smaller than it started when
+    /// level 4 fired).
+    pub final_world: usize,
+    /// Elastic shrinks performed (ladder level 4), in order.
+    pub degradations: Vec<Degradation>,
+    /// Per-rung recovery wall-time breakdown.
+    pub rung_times: RungTimes,
 }
 
 /// Everything one attempt's rank bodies share, bundled so the per-rank
@@ -173,6 +286,7 @@ struct Attempt<'a> {
     furthest: &'a AtomicU64,
     rollbacks: &'a AtomicU64,
     replayed: &'a AtomicU64,
+    rollback_nanos: &'a AtomicU64,
 }
 
 type RankResult = (Vec<f64>, Vec<LayerParams>, Option<TrafficStats>);
@@ -235,6 +349,7 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
                         velocity: opt.velocity().to_vec(),
                         losses: losses.clone(),
                         guard: guard.as_ref().map(|g| g.state()).unwrap_or_default(),
+                        grid: Some(a.exec.strategy.grids[0]),
                     };
                     let mut bytes = Vec::new();
                     save_train_state(&mut bytes, &state).expect("serialize snapshot");
@@ -260,6 +375,7 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
                 ),
             });
         }
+        let t_rollback = Instant::now();
         let snap: Option<TrainState> = a
             .store
             .lock()
@@ -270,6 +386,7 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
         if comm.rank() == 0 {
             a.rollbacks.fetch_add(1, Ordering::SeqCst);
             a.replayed.fetch_add(step - restore_step, Ordering::SeqCst);
+            a.rollback_nanos.fetch_add(t_rollback.elapsed().as_nanos() as u64, Ordering::SeqCst);
         }
         match snap {
             Some(s) => {
@@ -291,20 +408,26 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
     (losses, params, comm.stats_snapshot())
 }
 
-/// Train for `steps` steps under fault injection with the three-level
+/// Train for `steps` steps under fault injection with the four-level
 /// recovery ladder (see the module docs).
 ///
-/// `plan` applies to the **first** attempt only: an injected fault
-/// models a transient node failure, and the replacement world replays
-/// cleanly (a plan that re-killed the same op every attempt would make
-/// recovery impossible by construction). Passing a transparent plan
-/// (e.g. `FaultPlan::default()`) makes this an ordinary training loop
-/// with periodic snapshots.
+/// `plan` applies in full to the **first** attempt only: an injected
+/// transient fault models a flaky node, and the replacement world
+/// replays cleanly (a plan that re-killed the same op every attempt
+/// would make recovery impossible by construction). *Permanent* kills
+/// ([`FaultPlan::kill_rank_permanently`]) are different — they model a
+/// dead node, so their [`FaultPlan::persistent`] projection re-applies
+/// on every rebuild, and only the degradation rung (if configured) can
+/// get past them. Passing a transparent plan (e.g.
+/// `FaultPlan::default()`) makes this an ordinary training loop with
+/// periodic snapshots.
 ///
 /// # Panics
-/// Panics if the run still fails after `max_restarts` rebuilds, or if
-/// the surviving ranks disagree on the loss trajectory (which would
-/// falsify the substrate's determinism guarantee).
+/// Panics if the run still fails after `max_restarts` rebuilds (per
+/// world size) and degradation is disabled, exhausted, or finds no
+/// viable smaller world — or if the surviving ranks disagree on the
+/// loss trajectory (which would falsify the substrate's determinism
+/// guarantee).
 #[allow(clippy::too_many_arguments)] // already grouped: hyper + cfg hold the knobs
 pub fn resilient_train(
     exec: &DistExecutor,
@@ -317,7 +440,7 @@ pub fn resilient_train(
     plan: FaultPlan,
 ) -> ResilientReport {
     assert!(cfg.ckpt_every > 0, "checkpoint interval must be positive");
-    let world = exec.strategy.world_size();
+    let mut world = exec.strategy.world_size();
     // The snapshot store: rank 0's serialized TrainState. In-memory
     // stand-in for a checkpoint file on a parallel file system.
     let store: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
@@ -326,22 +449,43 @@ pub fn resilient_train(
     let snapshots = AtomicU64::new(0);
     let rollbacks = AtomicU64::new(0);
     let replayed = AtomicU64::new(0);
+    let rollback_nanos = AtomicU64::new(0);
 
     let mut failures: Vec<CommError> = Vec::new();
-    for attempt in 0..=cfg.max_restarts {
-        let attempt_plan = if attempt == 0 { plan.clone() } else { FaultPlan::default() };
+    let mut degradations: Vec<Degradation> = Vec::new();
+    // The executor after an elastic shrink (the caller's borrowed one
+    // serves until then).
+    let mut owned_exec: Option<DistExecutor> = None;
+    // The fault plan governing the *next* dispatch: the caller's plan
+    // for attempt 0, its persistent projection (permanent kills only)
+    // for rebuilds, survivor-restricted after a shrink.
+    let mut active_plan = plan;
+    let mut attempt: usize = 0;
+    // Rebuild budget *at the current world size* — an elastic shrink
+    // resets it.
+    let mut rebuilds_here: usize = 0;
+    let mut rebuild_nanos: u64 = 0;
+    let mut degrade_nanos: u64 = 0;
+
+    loop {
+        let cur_exec: &DistExecutor = owned_exec.as_ref().unwrap_or(exec);
+        let cur_grid = cur_exec.strategy.grids[0];
+        let attempt_plan =
+            if attempt == 0 { active_plan.clone() } else { active_plan.persistent() };
         // Resume point: every rank restores the same snapshot (or the
-        // initial state when no snapshot exists yet).
-        let resume: Option<TrainState> = store
-            .lock()
-            .expect("snapshot store")
-            .as_ref()
-            .map(|bytes| load_train_state(&mut bytes.as_slice()).expect("snapshot readable"));
+        // initial state when no snapshot exists yet). The grid-checked
+        // load is the ladder's own guard against resuming a snapshot
+        // that was never re-sharded for the current layout.
+        let resume: Option<TrainState> =
+            store.lock().expect("snapshot store").as_ref().map(|bytes| {
+                load_train_state_for(&mut bytes.as_slice(), cur_grid)
+                    .expect("snapshot readable under the current grid")
+            });
         let start_step = resume.as_ref().map_or(0, |s| s.step);
         // Furthest step completed within this attempt (rank 0's view).
         let furthest = AtomicU64::new(start_step);
         let a = Attempt {
-            exec,
+            exec: cur_exec,
             init_params,
             hyper,
             x,
@@ -357,6 +501,7 @@ pub fn resilient_train(
             furthest: &furthest,
             rollbacks: &rollbacks,
             replayed: &replayed,
+            rollback_nanos: &rollback_nanos,
         };
 
         let outcome: Vec<Result<RankResult, CommError>> = match cfg.integrity.clone() {
@@ -365,16 +510,19 @@ pub fn resilient_train(
             }
             None => run_ranks_with_faults(world, attempt_plan, |comm| run_rank(&a, comm)),
         };
+        attempt += 1;
 
         let first_error = outcome.iter().find_map(|r| r.as_ref().err().cloned());
         match first_error {
             None => {
                 let mut results: Vec<RankResult> =
                     outcome.into_iter().map(|r| r.expect("no errors")).collect();
-                let (corrupt_repaired, retransmits) = results
+                let (corrupt_repaired, retransmits, repair_nanos) = results
                     .iter()
                     .filter_map(|(_, _, stats)| stats.as_ref())
-                    .fold((0, 0), |(c, r), s| (c + s.corrupt_repaired(), r + s.retransmits()));
+                    .fold((0, 0, 0), |(c, r, n), s| {
+                        (c + s.corrupt_repaired(), r + s.retransmits(), n + s.repair_nanos())
+                    });
                 let (losses, params, _) = results.remove(0);
                 for (rank, (other, _, _)) in results.iter().enumerate() {
                     assert!(
@@ -387,16 +535,25 @@ pub fn resilient_train(
                 return ResilientReport {
                     losses,
                     params,
-                    restarts: attempt,
+                    restarts: failures.len(),
                     rollbacks: rollbacks.load(Ordering::SeqCst),
                     replayed_steps: replayed.load(Ordering::SeqCst),
                     snapshots: snapshots.load(Ordering::SeqCst),
                     corrupt_repaired,
                     retransmits,
                     failures,
+                    final_world: world,
+                    degradations,
+                    rung_times: RungTimes {
+                        repair_s: repair_nanos as f64 * 1e-9,
+                        rollback_s: rollback_nanos.load(Ordering::SeqCst) as f64 * 1e-9,
+                        rebuild_s: rebuild_nanos as f64 * 1e-9,
+                        degrade_s: degrade_nanos as f64 * 1e-9,
+                    },
                 };
             }
             Some(err) => {
+                let t_fail = Instant::now();
                 // Everything completed in this attempt past the
                 // snapshot the next attempt will resume from is
                 // lost work that must be replayed.
@@ -406,16 +563,122 @@ pub fn resilient_train(
                         .saturating_sub(snap_step.load(Ordering::SeqCst)),
                     Ordering::SeqCst,
                 );
+                let attempt_errors: Vec<CommError> =
+                    outcome.iter().filter_map(|r| r.as_ref().err().cloned()).collect();
                 failures.push(err);
-                // Loop around: rebuild the world and restore.
+                rebuilds_here += 1;
+                rebuild_nanos += t_fail.elapsed().as_nanos() as u64;
+                if rebuilds_here <= cfg.max_restarts {
+                    continue; // Level 3: rebuild at the same size.
+                }
+                // Level 4: the rebuild budget at this size is spent.
+                let t_degrade = Instant::now();
+                let shrink = cfg
+                    .degrade
+                    .as_ref()
+                    .filter(|dc| degradations.len() < dc.max_shrinks)
+                    .and_then(|dc| plan_shrink(dc, cur_exec, world, &attempt_errors));
+                let Some(shrink) = shrink else {
+                    panic!(
+                        "training did not survive {} restarts at world size {world}{}; \
+                         failures: {:?}",
+                        cfg.max_restarts,
+                        if cfg.degrade.is_some() {
+                            " and no viable smaller world remains"
+                        } else {
+                            ""
+                        },
+                        failures.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+                    );
+                };
+                // Re-shard the snapshot onto the new grid so the next
+                // dispatch's grid-checked restore accepts it.
+                let reshard_t = Instant::now();
+                let mut reshard_stats = ReshardStats::default();
+                {
+                    let mut slot = store.lock().expect("snapshot store");
+                    if let Some(bytes) = slot.as_ref() {
+                        let state =
+                            load_train_state(&mut bytes.as_slice()).expect("snapshot readable");
+                        let (resharded, rs) = reshard_train_state(&state, shrink.strategy.grids[0]);
+                        reshard_stats = rs;
+                        let mut out = Vec::new();
+                        save_train_state(&mut out, &resharded)
+                            .expect("serialize re-sharded snapshot");
+                        *slot = Some(out);
+                    }
+                }
+                active_plan = active_plan.persistent().restrict_to_survivors(&shrink.keep);
+                degradations.push(Degradation {
+                    from_world: world,
+                    to_world: shrink.to_world,
+                    at_step: snap_step.load(Ordering::SeqCst),
+                    dead_ranks: shrink.dead_ranks,
+                    strategy: shrink.strategy,
+                    replan_s: shrink.replan_s,
+                    reshard_s: reshard_t.elapsed().as_secs_f64(),
+                    reshard_moved_bytes: reshard_stats.moved_bytes,
+                    reshard_total_bytes: reshard_stats.total_bytes,
+                });
+                world = shrink.to_world;
+                owned_exec = Some(shrink.exec);
+                rebuilds_here = 0;
+                degrade_nanos += t_degrade.elapsed().as_nanos() as u64;
+                // Loop around: dispatch the shrunken world.
             }
         }
     }
-    panic!(
-        "training did not survive {} restarts; failures: {:?}",
-        cfg.max_restarts,
-        failures.iter().map(|e| e.to_string()).collect::<Vec<_>>()
-    );
+}
+
+/// A planned elastic shrink, ready to apply.
+struct Shrink {
+    to_world: usize,
+    dead_ranks: Vec<usize>,
+    /// Old-world ranks that carry on (lowest ids first, `to_world` of
+    /// them) — the survivor mapping for [`FaultPlan::restrict_to_survivors`].
+    keep: Vec<usize>,
+    strategy: Strategy,
+    exec: DistExecutor,
+    replan_s: f64,
+}
+
+/// Find the largest viable world size `P' < world` for the degradation
+/// rung: attribute the permanently dead ranks from the failure reports,
+/// then walk candidate sizes downward until the re-planner produces a
+/// strategy that validates and compiles.
+fn plan_shrink(
+    dc: &DegradeConfig,
+    cur_exec: &DistExecutor,
+    world: usize,
+    attempt_errors: &[CommError],
+) -> Option<Shrink> {
+    let dead_ranks = attribute_dead_ranks(attempt_errors);
+    let survivors: Vec<usize> = (0..world).filter(|r| !dead_ranks.contains(r)).collect();
+    // With no attributable death (e.g. a persistent anomaly escalated
+    // past every rebuild), shed one rank on the heuristic that the
+    // failure is localized.
+    let max_p = if dead_ranks.is_empty() { world - 1 } else { survivors.len() };
+    let spec = cur_exec.spec.clone();
+    let batch = cur_exec.batch;
+    let mut replan_s = 0.0;
+    for p_new in (dc.min_world.max(1)..=max_p.min(world.saturating_sub(1))).rev() {
+        let t = Instant::now();
+        let candidate = match &dc.replan {
+            Some(f) => f(p_new),
+            None => Strategy::spatial_fallback(&spec, batch, p_new),
+        };
+        replan_s += t.elapsed().as_secs_f64();
+        let Some(strategy) = candidate else { continue };
+        if strategy.world_size() != p_new || strategy.validate(&spec, batch).is_err() {
+            continue;
+        }
+        let Ok(exec) = DistExecutor::new(spec.clone(), strategy.clone(), batch) else {
+            continue;
+        };
+        let keep: Vec<usize> = survivors.iter().copied().take(p_new).collect();
+        return Some(Shrink { to_world: p_new, dead_ranks, keep, strategy, exec, replan_s });
+    }
+    None
 }
 
 #[cfg(test)]
@@ -686,6 +949,142 @@ mod tests {
             4,
             &ResilientConfig { ckpt_every: 2, max_restarts: 0, ..Default::default() },
             FaultPlan::new(1).kill_rank(0, 0),
+        );
+    }
+
+    /// Comm ops rank 1 executes in a clean `steps`-step run — the probe
+    /// that places kills deterministically mid-run.
+    fn ops_horizon(
+        exec: &DistExecutor,
+        params: &[LayerParams],
+        x: &Tensor,
+        labels: &Labels,
+    ) -> u64 {
+        let probe =
+            run_ranks_with_faults(exec.strategy.world_size(), FaultPlan::default(), |comm| {
+                let mut p = params.to_vec();
+                let mut opt = HYPER.fresh(&p);
+                for _ in 0..6 {
+                    exec.train_step(comm, &mut p, &mut opt, x, labels);
+                }
+                comm.ops()
+            });
+        *probe[1].as_ref().unwrap()
+    }
+
+    #[test]
+    fn permanent_rank_loss_degrades_to_a_smaller_world_and_completes() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        let kill_op = ops_horizon(&exec, &params, &x, &labels) / 2;
+        // Rank 1 is permanently dead: every rebuild at world 2 re-kills
+        // it, so after the rebuild budget (1) is spent the run must
+        // shrink to world 1 and finish there.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 1,
+                degrade: Some(DegradeConfig::default()),
+                ..Default::default()
+            },
+            FaultPlan::new(5).kill_rank_permanently(1, kill_op),
+        );
+        assert_eq!(report.degradations.len(), 1, "failures: {:?}", report.failures);
+        let d = &report.degradations[0];
+        assert_eq!((d.from_world, d.to_world), (2, 1));
+        assert_eq!(d.dead_ranks, vec![1]);
+        assert!(d.at_step >= 2, "the shrink resumes from a real snapshot: {d:?}");
+        assert_eq!(report.final_world, 1);
+        assert_eq!(report.losses.len(), 6);
+        assert!(report.restarts >= 2, "budget spent at world 2 first: {report:?}");
+        // Pre-shrink history is the old world's bitwise trajectory.
+        let at = d.at_step as usize;
+        assert_eq!(bits(&report.losses[..at]), bits(&baseline[..at]));
+        // The degrade rung's costs are accounted.
+        assert!(report.rung_times.degrade_s > 0.0, "rung_times: {:?}", report.rung_times);
+        assert!(d.reshard_total_bytes > 0 && d.reshard_moved_bytes <= d.reshard_total_bytes);
+    }
+
+    #[test]
+    fn post_shrink_trajectory_matches_a_fresh_small_world_resume_bitwise() {
+        let (exec, params, x, labels) = fixture();
+        let kill_op = ops_horizon(&exec, &params, &x, &labels) / 2;
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                degrade: Some(DegradeConfig::default()),
+                ..Default::default()
+            },
+            FaultPlan::new(9).kill_rank_permanently(1, kill_op),
+        );
+        let d = report.degradations[0].clone();
+        // Replay the old world cleanly to the shrink point to recover
+        // the snapshot state, re-shard it, and train the remaining
+        // steps on a fresh world built from the degradation's own
+        // strategy: the suffix must match bitwise.
+        let at = d.at_step;
+        let small = DistExecutor::new(exec.spec.clone(), d.strategy.clone(), exec.batch).unwrap();
+        let old_losses = run_ranks(2, |comm| {
+            let mut p = params.to_vec();
+            let mut opt = HYPER.fresh(&p);
+            for _ in 0..at {
+                exec.train_step(comm, &mut p, &mut opt, &x, &labels);
+            }
+            (p, opt.velocity().to_vec())
+        });
+        let (snap_params, snap_vel) = old_losses.into_iter().next().unwrap();
+        let state = fg_nn::TrainState {
+            step: at,
+            params: snap_params,
+            velocity: snap_vel,
+            losses: report.losses[..at as usize].to_vec(),
+            guard: GuardState::default(),
+            grid: Some(exec.strategy.grids[0]),
+        };
+        let (restored, _) = fg_nn::reshard_train_state(&state, d.strategy.grids[0]);
+        let suffix = run_ranks(d.to_world, |comm| {
+            let mut p = restored.params.clone();
+            let mut opt = HYPER.restored(restored.velocity.clone());
+            (at..6)
+                .map(|_| small.train_step(comm, &mut p, &mut opt, &x, &labels))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(bits(&report.losses[at as usize..]), bits(&suffix[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not survive")]
+    fn degradation_respects_min_world() {
+        let (exec, params, x, labels) = fixture();
+        // Permanent death at world 2 with min_world = 2: no viable
+        // smaller world exists, so the run must die rather than shrink.
+        resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            4,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                degrade: Some(DegradeConfig { min_world: 2, ..Default::default() }),
+                ..Default::default()
+            },
+            FaultPlan::new(3).kill_rank_permanently(1, 4),
         );
     }
 }

@@ -109,6 +109,33 @@ impl Strategy {
         Strategy::uniform(spec, ProcGrid::sample(p))
     }
 
+    /// A model-free strategy for an arbitrary (including
+    /// non-power-of-two) world size `p`: the near-square spatial
+    /// factorizations of `p` first, then pure sample parallelism —
+    /// returning the first that validates against `spec`/`batch`, or
+    /// `None` when no uniform layout fits. This is the degradation
+    /// rung's fallback when no performance-model replanner is wired in,
+    /// so it must not assume `p` is a power of two: a world shrunk by a
+    /// dead rank is usually odd-sized.
+    pub fn spatial_fallback(spec: &NetworkSpec, batch: usize, p: usize) -> Option<Strategy> {
+        if p == 0 {
+            return None;
+        }
+        // Divisor pairs ph × pw = p, nearest-square first (smaller
+        // aspect ratio ⇒ smaller halo surface).
+        let mut pairs: Vec<(usize, usize)> =
+            (1..=p).filter(|ph| p.is_multiple_of(*ph)).map(|ph| (ph, p / ph)).collect();
+        pairs.sort_by_key(|(ph, pw)| (ph.abs_diff(*pw), *ph));
+        for (ph, pw) in pairs {
+            let s = Strategy::uniform(spec, ProcGrid::spatial(ph, pw));
+            if s.validate(spec, batch).is_ok() {
+                return Some(s);
+            }
+        }
+        let s = Strategy::sample_parallel(spec, p);
+        s.validate(spec, batch).is_ok().then_some(s)
+    }
+
     /// Select the batch-norm scope.
     pub fn with_bn_mode(mut self, mode: BnMode) -> Strategy {
         self.bn_mode = mode;
@@ -270,6 +297,32 @@ mod tests {
         let fc = net.find("fc").unwrap();
         s.grids[fc] = ProcGrid::sample(4);
         assert!(matches!(s.validate(&net, 2), Err(StrategyError::PerSampleGridMismatch { .. })));
+    }
+
+    #[test]
+    fn spatial_fallback_handles_non_power_of_two_worlds() {
+        let net = toy_net();
+        // A world shrunk from 4 to 3 by a dead rank: 1×3 spatial strips.
+        let s = Strategy::spatial_fallback(&net, 2, 3).expect("3 ranks must be viable");
+        assert_eq!(s.world_size(), 3);
+        assert_eq!(s.validate(&net, 2), Ok(()));
+        // Composite odd worlds pick the near-square factorization.
+        let s = Strategy::spatial_fallback(&net, 2, 15).expect("15 ranks must be viable");
+        assert_eq!(s.world_size(), 15);
+        assert_eq!(s.grids[0], ProcGrid::spatial(3, 5));
+        // Degenerate requests yield None, not a panic.
+        assert!(Strategy::spatial_fallback(&net, 2, 0).is_none());
+    }
+
+    #[test]
+    fn spatial_fallback_validates_what_it_returns() {
+        let net = toy_net();
+        for p in 1..=9 {
+            if let Some(s) = Strategy::spatial_fallback(&net, 4, p) {
+                assert_eq!(s.validate(&net, 4), Ok(()), "fallback for p={p} must validate");
+                assert_eq!(s.world_size(), p);
+            }
+        }
     }
 
     #[test]

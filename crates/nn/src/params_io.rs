@@ -6,21 +6,39 @@
 //! stakes for a training library, and in the distributed setting it
 //! composes trivially: parameters are replicated, so any single rank's
 //! copy is the checkpoint.
+//!
+//! Format v3 (`FGCKPT03`) makes the checkpoint *grid-aware*: it records
+//! the source [`ProcGrid`] and stores every tensor as per-rank shards
+//! blocked over that grid — the layout a parallel file system would see
+//! if each rank wrote its own slab. A v3 snapshot loaded unprepared into
+//! a different layout fails with the typed
+//! [`CheckpointError::GridMismatch`] instead of a shape panic; the
+//! prepared path is [`load_train_state_regrid`], which re-lays the
+//! shards onto the new grid through [`fg_tensor::RegridPlan`] overlap
+//! fragments (gather-free: old shard → new shard, never a global
+//! assembly per fragment) and reports how many bytes actually crossed a
+//! rank boundary. V1/V2 files still load.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use fg_tensor::{Shape4, Tensor};
+use fg_tensor::{assemble_tensor, shard_tensor, ProcGrid, RegridPlan, Shape4, Tensor, TensorDist};
 
 use crate::layer::LayerParams;
 
 const MAGIC: &[u8; 8] = b"FGPARAM1";
 /// Original checkpoint format: step, losses, params, velocity.
 const CKPT_MAGIC_V1: &[u8; 8] = b"FGCKPT01";
-/// Current checkpoint format: v1 plus the anomaly guard's EMA state, so
-/// a rollback-and-replay resumes with a bitwise-identical spike
-/// baseline. V1 files still load (guard state starts fresh).
+/// v1 plus the anomaly guard's EMA state, so a rollback-and-replay
+/// resumes with a bitwise-identical spike baseline. V1 files still load
+/// (guard state starts fresh).
 const CKPT_MAGIC_V2: &[u8; 8] = b"FGCKPT02";
+/// Current checkpoint format: v2 plus the source [`ProcGrid`] tag, with
+/// params and velocity stored *sharded* over that grid. V1/V2 files
+/// still load (untagged, replicated payloads).
+const CKPT_MAGIC_V3: &[u8; 8] = b"FGCKPT03";
+/// Magic of a sharded parameter block inside a v3 checkpoint.
+const SHARD_MAGIC: &[u8; 8] = b"FGSHRD01";
 
 /// Why a checkpoint could not be loaded.
 ///
@@ -43,6 +61,17 @@ pub enum CheckpointError {
         /// The offending recorded value (NaN or ±infinity).
         value: f64,
     },
+    /// A grid-tagged (v3) checkpoint was loaded *unprepared* into a
+    /// different layout. The shards on disk are blocked over `saved`;
+    /// consuming them as if they were blocked over `requested` would
+    /// scatter elements to the wrong ranks. Re-shard explicitly with
+    /// [`load_train_state_regrid`] instead.
+    GridMismatch {
+        /// The grid the checkpoint was written under.
+        saved: ProcGrid,
+        /// The grid the caller tried to load it into.
+        requested: ProcGrid,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -52,6 +81,15 @@ impl fmt::Display for CheckpointError {
             CheckpointError::PoisonedLoss { step, value } => {
                 write!(f, "checkpoint records non-finite loss {value} at step {step}; refusing to resume from a poisoned state")
             }
+            CheckpointError::GridMismatch { saved, requested } => {
+                write!(
+                    f,
+                    "checkpoint was written under grid {saved} (world {}) but loaded unprepared \
+                     into grid {requested} (world {}); re-shard it first",
+                    saved.size(),
+                    requested.size()
+                )
+            }
         }
     }
 }
@@ -60,7 +98,7 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckpointError::Io(e) => Some(e),
-            CheckpointError::PoisonedLoss { .. } => None,
+            CheckpointError::PoisonedLoss { .. } | CheckpointError::GridMismatch { .. } => None,
         }
     }
 }
@@ -103,34 +141,94 @@ pub struct TrainState {
     /// Anomaly-guard EMA state at `step` (fresh when the checkpoint was
     /// written by a guard-less run or in the v1 format).
     pub guard: GuardState,
+    /// The [`ProcGrid`] the snapshot's sharded payload was blocked over
+    /// (v3); `None` for the untagged, replicated v1/v2 formats, which
+    /// load into any layout.
+    pub grid: Option<ProcGrid>,
 }
 
-/// Serialize a [`TrainState`] checkpoint to `w` (format v2).
+/// What a re-shard actually did, in bytes — the recovery-cost numbers a
+/// degradation report needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// Tensors re-laid-out (conv/FC weights plus every 1-D vector).
+    pub tensors: usize,
+    /// Bytes whose owning rank id changed — the data that would cross
+    /// the network on a machine (survivors keep their rank ids).
+    pub moved_bytes: u64,
+    /// Total checkpoint payload bytes covered by the re-shard.
+    pub total_bytes: u64,
+}
+
+/// Serialize a [`TrainState`] checkpoint to `w`: format v3 (grid tag +
+/// sharded payload) when [`TrainState::grid`] is set, format v2
+/// (replicated payload) when it is not.
 pub fn save_train_state<W: Write>(w: &mut W, state: &TrainState) -> io::Result<()> {
-    w.write_all(CKPT_MAGIC_V2)?;
+    match state.grid {
+        Some(grid) => {
+            w.write_all(CKPT_MAGIC_V3)?;
+            for d in grid.dims() {
+                write_u64(w, d as u64)?;
+            }
+            write_scalars(w, state)?;
+            save_sharded_params(w, &state.params, grid)?;
+            save_sharded_params(w, &state.velocity, grid)
+        }
+        None => {
+            w.write_all(CKPT_MAGIC_V2)?;
+            write_scalars(w, state)?;
+            save_params(w, &state.params)?;
+            save_params(w, &state.velocity)
+        }
+    }
+}
+
+/// The step/loss/guard block shared by every checkpoint version.
+fn write_scalars<W: Write>(w: &mut W, state: &TrainState) -> io::Result<()> {
     write_u64(w, state.step)?;
     write_u64(w, state.losses.len() as u64)?;
     for l in &state.losses {
         w.write_all(&l.to_le_bytes())?;
     }
     w.write_all(&state.guard.ema.to_le_bytes())?;
-    write_u64(w, state.guard.steps)?;
-    save_params(w, &state.params)?;
-    save_params(w, &state.velocity)
+    write_u64(w, state.guard.steps)
 }
 
-/// Read a checkpoint written by [`save_train_state`] — either format
+/// Read a checkpoint written by [`save_train_state`] — any format
 /// version — refusing snapshots whose recorded loss history contains a
-/// non-finite value ([`CheckpointError::PoisonedLoss`]).
+/// non-finite value ([`CheckpointError::PoisonedLoss`]). V3 shards are
+/// reassembled into full tensors; the source grid is reported in
+/// [`TrainState::grid`]. This loader does not check the *caller's*
+/// layout — use [`load_train_state_for`] when resuming into a specific
+/// grid.
 pub fn load_train_state<R: Read>(r: &mut R) -> Result<TrainState, CheckpointError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     let version = match &magic {
         m if m == CKPT_MAGIC_V1 => 1,
         m if m == CKPT_MAGIC_V2 => 2,
+        m if m == CKPT_MAGIC_V3 => 3,
         _ => {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn checkpoint").into())
         }
+    };
+    let grid = if version >= 3 {
+        let (n, c, h, w) = (
+            read_u64(r)? as usize,
+            read_u64(r)? as usize,
+            read_u64(r)? as usize,
+            read_u64(r)? as usize,
+        );
+        if n * c * h * w == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint grid has a zero extent",
+            )
+            .into());
+        }
+        Some(ProcGrid::new(n, c, h, w))
+    } else {
+        None
     };
     let step = read_u64(r)?;
     let n_losses = read_u64(r)? as usize;
@@ -153,9 +251,108 @@ pub fn load_train_state<R: Read>(r: &mut R) -> Result<TrainState, CheckpointErro
     } else {
         GuardState::default()
     };
-    let params = load_params(r)?;
-    let velocity = load_params(r)?;
-    Ok(TrainState { step, params, velocity, losses, guard })
+    let (params, velocity) = match grid {
+        Some(g) => (load_sharded_params(r, g)?, load_sharded_params(r, g)?),
+        None => (load_params(r)?, load_params(r)?),
+    };
+    Ok(TrainState { step, params, velocity, losses, guard, grid })
+}
+
+/// Load a checkpoint for consumption under `grid`, failing with the
+/// typed [`CheckpointError::GridMismatch`] when a grid-tagged snapshot
+/// was written under a different layout. Untagged v1/v2 snapshots are
+/// replicated and load into any layout (they are retagged with `grid`).
+pub fn load_train_state_for<R: Read>(
+    r: &mut R,
+    grid: ProcGrid,
+) -> Result<TrainState, CheckpointError> {
+    let mut state = load_train_state(r)?;
+    match state.grid {
+        Some(saved) if saved != grid => {
+            Err(CheckpointError::GridMismatch { saved, requested: grid })
+        }
+        _ => {
+            state.grid = Some(grid);
+            Ok(state)
+        }
+    }
+}
+
+/// The *prepared* cross-layout load: read a checkpoint and re-shard its
+/// params and optimizer velocity from the grid it was written under onto
+/// `new_grid` (old world → new world, any sizes), returning the re-laid
+/// state (tagged with `new_grid`) and the movement accounting. Untagged
+/// v1/v2 snapshots re-shard from the trivial single-writer layout
+/// `(1,1,1,1)` — everything starts at rank 0.
+pub fn load_train_state_regrid<R: Read>(
+    r: &mut R,
+    new_grid: ProcGrid,
+) -> Result<(TrainState, ReshardStats), CheckpointError> {
+    let state = load_train_state(r)?;
+    Ok(reshard_train_state(&state, new_grid))
+}
+
+/// Re-shard a [`TrainState`]'s params and velocity onto `new_grid` via
+/// [`RegridPlan`] overlap fragments, fragment-by-fragment from the old
+/// shard layout to the new (gather-free), and retag the state. The
+/// values are bitwise-preserved — only the blocking changes — which is
+/// what makes post-degradation trajectories bitwise-deterministic.
+pub fn reshard_train_state(state: &TrainState, new_grid: ProcGrid) -> (TrainState, ReshardStats) {
+    let old_grid = state.grid.unwrap_or(ProcGrid::new(1, 1, 1, 1));
+    let mut stats = ReshardStats::default();
+    let params = reshard_params(&state.params, old_grid, new_grid, &mut stats);
+    let velocity = reshard_params(&state.velocity, old_grid, new_grid, &mut stats);
+    let new_state = TrainState {
+        step: state.step,
+        params,
+        velocity,
+        losses: state.losses.clone(),
+        guard: state.guard,
+        grid: Some(new_grid),
+    };
+    (new_state, stats)
+}
+
+fn reshard_params(
+    params: &[LayerParams],
+    old: ProcGrid,
+    new: ProcGrid,
+    stats: &mut ReshardStats,
+) -> Vec<LayerParams> {
+    fn t(tensor: &Tensor, old: ProcGrid, new: ProcGrid, stats: &mut ReshardStats) -> Tensor {
+        reshard_tensor(tensor, old, new, stats)
+    }
+    fn v(vec: &[f32], old: ProcGrid, new: ProcGrid, stats: &mut ReshardStats) -> Vec<f32> {
+        let as_tensor = Tensor::from_vec(Shape4::new(vec.len(), 1, 1, 1), vec.to_vec());
+        reshard_tensor(&as_tensor, old, new, stats).as_slice().to_vec()
+    }
+    params
+        .iter()
+        .map(|p| match p {
+            LayerParams::None => LayerParams::None,
+            LayerParams::Conv { w, b } => LayerParams::Conv {
+                w: t(w, old, new, stats),
+                b: b.as_ref().map(|b| v(b, old, new, stats)),
+            },
+            LayerParams::Bn { gamma, beta } => {
+                LayerParams::Bn { gamma: v(gamma, old, new, stats), beta: v(beta, old, new, stats) }
+            }
+            LayerParams::Fc { w, b } => {
+                LayerParams::Fc { w: t(w, old, new, stats), b: v(b, old, new, stats) }
+            }
+        })
+        .collect()
+}
+
+/// One tensor's old-grid → new-grid round trip: shard under the old
+/// blocking, move overlap fragments, reassemble under the new.
+fn reshard_tensor(t: &Tensor, old: ProcGrid, new: ProcGrid, stats: &mut ReshardStats) -> Tensor {
+    let plan = RegridPlan::between(t.shape(), old, new);
+    stats.tensors += 1;
+    stats.moved_bytes += plan.moved_bytes();
+    stats.total_bytes += plan.total_bytes();
+    let new_shards = plan.execute_local(&shard_tensor(t, plan.src()));
+    assemble_tensor(plan.dst(), &new_shards)
 }
 
 /// Write all layer parameters to `w`.
@@ -223,6 +420,130 @@ pub fn load_params<R: Read>(r: &mut R) -> io::Result<Vec<LayerParams>> {
         });
     }
     Ok(out)
+}
+
+/// Serialize parameters *sharded* over `grid`: the same per-layer tag
+/// scheme as [`save_params`], but every tensor (and every 1-D vector,
+/// framed as a `(len, 1, 1, 1)` tensor) is written as `grid.size()`
+/// per-rank runs blocked by the tensor's [`TensorDist`] under `grid`.
+/// This is the v3 checkpoint payload.
+fn save_sharded_params<W: Write>(
+    w: &mut W,
+    params: &[LayerParams],
+    grid: ProcGrid,
+) -> io::Result<()> {
+    w.write_all(SHARD_MAGIC)?;
+    write_u64(w, params.len() as u64)?;
+    for p in params {
+        match p {
+            LayerParams::None => {
+                w.write_all(&[0u8])?;
+            }
+            LayerParams::Conv { w: wt, b } => {
+                w.write_all(&[1u8])?;
+                write_sharded_tensor(w, wt, grid)?;
+                match b {
+                    Some(b) => {
+                        w.write_all(&[1u8])?;
+                        write_sharded_f32s(w, b, grid)?;
+                    }
+                    None => w.write_all(&[0u8])?,
+                }
+            }
+            LayerParams::Bn { gamma, beta } => {
+                w.write_all(&[2u8])?;
+                write_sharded_f32s(w, gamma, grid)?;
+                write_sharded_f32s(w, beta, grid)?;
+            }
+            LayerParams::Fc { w: wt, b } => {
+                w.write_all(&[3u8])?;
+                write_sharded_tensor(w, wt, grid)?;
+                write_sharded_f32s(w, b, grid)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read parameters written by [`save_sharded_params`] under `grid`,
+/// reassembling each tensor's shards into the full (replicated) value.
+fn load_sharded_params<R: Read>(r: &mut R, grid: ProcGrid) -> io::Result<Vec<LayerParams>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != SHARD_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fg-nn sharded block"));
+    }
+    let count = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = read_u8(r)?;
+        out.push(match tag {
+            0 => LayerParams::None,
+            1 => {
+                let w = read_sharded_tensor(r, grid)?;
+                let has_bias = read_u8(r)? == 1;
+                let b = if has_bias { Some(read_sharded_f32s(r, grid)?) } else { None };
+                LayerParams::Conv { w, b }
+            }
+            2 => LayerParams::Bn {
+                gamma: read_sharded_f32s(r, grid)?,
+                beta: read_sharded_f32s(r, grid)?,
+            },
+            3 => {
+                LayerParams::Fc { w: read_sharded_tensor(r, grid)?, b: read_sharded_f32s(r, grid)? }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown parameter tag {other}"),
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn write_sharded_tensor<W: Write>(w: &mut W, t: &Tensor, grid: ProcGrid) -> io::Result<()> {
+    let s = t.shape();
+    for d in [s.n, s.c, s.h, s.w] {
+        write_u64(w, d as u64)?;
+    }
+    let dist = TensorDist::new(s, grid);
+    for shard in shard_tensor(t, &dist) {
+        write_f32s(w, shard.as_slice())?;
+    }
+    Ok(())
+}
+
+fn read_sharded_tensor<R: Read>(r: &mut R, grid: ProcGrid) -> io::Result<Tensor> {
+    let n = read_u64(r)? as usize;
+    let c = read_u64(r)? as usize;
+    let h = read_u64(r)? as usize;
+    let w = read_u64(r)? as usize;
+    let shape = Shape4::new(n, c, h, w);
+    let dist = TensorDist::new(shape, grid);
+    let mut shards = Vec::with_capacity(grid.size());
+    for rank in 0..grid.size() {
+        let data = read_f32s(r)?;
+        let local = dist.local_shape(rank);
+        if data.len() != local.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shard payload for rank {rank} has wrong length"),
+            ));
+        }
+        shards.push(Tensor::from_vec(local, data));
+    }
+    Ok(assemble_tensor(&dist, &shards))
+}
+
+fn write_sharded_f32s<W: Write>(w: &mut W, v: &[f32], grid: ProcGrid) -> io::Result<()> {
+    let t = Tensor::from_vec(Shape4::new(v.len(), 1, 1, 1), v.to_vec());
+    write_sharded_tensor(w, &t, grid)
+}
+
+fn read_sharded_f32s<R: Read>(r: &mut R, grid: ProcGrid) -> io::Result<Vec<f32>> {
+    Ok(read_sharded_tensor(r, grid)?.as_slice().to_vec())
 }
 
 /// Save to a file path.
@@ -357,6 +678,7 @@ mod tests {
             velocity,
             losses: vec![2.5, 2.25, 2.125],
             guard: GuardState { ema: 2.375, steps: 3 },
+            grid: None,
         }
     }
 
@@ -399,6 +721,102 @@ mod tests {
         assert_eq!(loaded.params, state.params);
         assert_eq!(loaded.velocity, state.velocity);
         assert_eq!(loaded.guard, GuardState::default());
+    }
+
+    #[test]
+    fn v3_grid_tagged_checkpoint_round_trips_bitwise() {
+        let grid = ProcGrid::spatial(2, 2);
+        let state = TrainState { grid: Some(grid), ..demo_state() };
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        assert_eq!(&buf[..8], CKPT_MAGIC_V3);
+        let loaded = load_train_state(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.grid, Some(grid));
+        assert_eq!(loaded.step, state.step);
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.velocity, state.velocity);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&loaded.losses), bits(&state.losses));
+        assert_eq!(loaded.guard, state.guard);
+    }
+
+    #[test]
+    fn grid_mismatch_is_a_typed_error_not_a_panic() {
+        let saved = ProcGrid::spatial(2, 2);
+        let state = TrainState { grid: Some(saved), ..demo_state() };
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        // Matching grid loads fine.
+        let ok = load_train_state_for(&mut buf.as_slice(), saved).unwrap();
+        assert_eq!(ok.params, state.params);
+        // A different layout is refused with a descriptive typed error.
+        let requested = ProcGrid::spatial(1, 3);
+        match load_train_state_for(&mut buf.as_slice(), requested).unwrap_err() {
+            CheckpointError::GridMismatch { saved: s, requested: r } => {
+                assert_eq!(s, saved);
+                assert_eq!(r, requested);
+                let msg = CheckpointError::GridMismatch { saved: s, requested: r }.to_string();
+                assert!(msg.contains("re-shard"), "unhelpful message: {msg}");
+                assert!(msg.contains("world 4") && msg.contains("world 3"), "msg: {msg}");
+            }
+            other => panic!("expected GridMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn untagged_v1_and_v2_checkpoints_load_into_any_grid() {
+        let state = demo_state();
+        let mut v2 = Vec::new();
+        save_train_state(&mut v2, &state).unwrap();
+        let mut v1 = Vec::new();
+        save_train_state_v1(&mut v1, &state);
+        for buf in [v2, v1] {
+            let loaded =
+                load_train_state_for(&mut buf.as_slice(), ProcGrid::spatial(2, 2)).unwrap();
+            assert_eq!(loaded.params, state.params);
+            assert_eq!(loaded.grid, Some(ProcGrid::spatial(2, 2)));
+        }
+    }
+
+    #[test]
+    fn reshard_preserves_params_and_velocity_bitwise() {
+        let old = ProcGrid::spatial(2, 2);
+        let new = ProcGrid::spatial(1, 3);
+        let mut state = demo_state();
+        // Give the velocity non-trivial values so the test can tell the
+        // two blocks apart.
+        state.velocity = state.params.to_vec();
+        state.grid = Some(old);
+        let (resharded, stats) = reshard_train_state(&state, new);
+        assert_eq!(resharded.grid, Some(new));
+        assert_eq!(resharded.params, state.params);
+        assert_eq!(resharded.velocity, state.velocity);
+        assert_eq!(resharded.step, state.step);
+        assert!(stats.tensors > 0);
+        assert!(stats.total_bytes > 0);
+        assert!(stats.moved_bytes <= stats.total_bytes);
+        // The 4→3 regrid genuinely moves data.
+        assert!(stats.moved_bytes > 0, "expected a cross-rank move in a 4-to-3 regrid");
+    }
+
+    #[test]
+    fn load_train_state_regrid_is_the_prepared_cross_layout_path() {
+        let old = ProcGrid::spatial(2, 2);
+        let new = ProcGrid::spatial(1, 3);
+        let state = TrainState { grid: Some(old), ..demo_state() };
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        // The unprepared load refuses...
+        assert!(matches!(
+            load_train_state_for(&mut buf.as_slice(), new),
+            Err(CheckpointError::GridMismatch { .. })
+        ));
+        // ...the prepared one re-shards.
+        let (loaded, stats) = load_train_state_regrid(&mut buf.as_slice(), new).unwrap();
+        assert_eq!(loaded.grid, Some(new));
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.velocity, state.velocity);
+        assert!(stats.total_bytes > 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod cost;
 pub mod memory;
 pub mod optimizer;
 pub mod platform;
+pub mod replan;
 pub mod volume;
 
 pub use channel_cost::{channel_filter_conv_cost, compare_spatial_channel};
@@ -30,3 +31,4 @@ pub use cost::{
 };
 pub use optimizer::StrategyOptimizer;
 pub use platform::{ConvPass, ConvWork, DeviceModel, Link, Platform};
+pub use replan::{degrade_replanner, replan_for_world};

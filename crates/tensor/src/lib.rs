@@ -9,7 +9,11 @@
 //!   ([`halo::exchange_halo`], §III-A / §IV),
 //! * **redistribution** between layer distributions via all-to-all
 //!   ([`shuffle::redistribute`], §III-C),
-//! * **gather/scatter** of full tensors at a root ([`gather`]).
+//! * **gather/scatter** of full tensors at a root ([`gather`]),
+//!
+//! plus a fourth, offline primitive: **regridding** of checkpointed
+//! shards between grids of *different* world sizes
+//! ([`regrid::RegridPlan`]), the restore path of elastic degradation.
 //!
 //! Distributions are *blocked* per dimension over a [`ProcGrid`]
 //! (§III's requirement: convolution needs spatially contiguous data).
@@ -44,6 +48,7 @@ pub mod disttensor;
 pub mod gather;
 pub mod halo;
 pub mod procgrid;
+pub mod regrid;
 pub mod shape;
 pub mod shuffle;
 
@@ -51,4 +56,5 @@ pub use dense::Tensor;
 pub use dist::TensorDist;
 pub use disttensor::DistTensor;
 pub use procgrid::ProcGrid;
+pub use regrid::{assemble_tensor, shard_tensor, RegridPlan};
 pub use shape::{Box4, Shape4, NDIMS};

@@ -51,4 +51,7 @@ cargo test -q --offline --workspace
 step "chaos suite (fault injection + corruption repair, pinned seeds)"
 cargo test -q --offline -p fg-comm --test faults
 
+step "elastic degradation (permanent rank loss, watchdog + integrity on)"
+cargo test -q --offline --test resilience degrade
+
 printf '\nCI gate passed.\n'

@@ -8,7 +8,7 @@
 
 use finegrain::comm::{run_ranks, FaultPlan, IntegrityConfig};
 use finegrain::core::{
-    resilient_train, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy,
+    resilient_train, DegradeConfig, DistExecutor, GuardConfig, ResilientConfig, SgdHyper, Strategy,
 };
 use finegrain::kernels::Labels;
 use finegrain::nn::{Network, NetworkSpec, Sgd};
@@ -144,4 +144,115 @@ proptest! {
         let got: Vec<u64> = report.losses.iter().map(|l| l.to_bits()).collect();
         prop_assert_eq!(got, clean_bits);
     }
+}
+
+/// End-to-end pinned-seed chaos test for the degradation rung: a
+/// 4-rank run whose rank 2 is **permanently** dead (it is re-killed on
+/// every rebuild attempt) must shrink to 3 ranks and complete — and its
+/// post-shrink trajectory must be bitwise identical, step for step, to
+/// a fresh 3-rank run built from the degradation's own re-planned
+/// strategy and restored from the same (re-sharded) snapshot. Run under
+/// `FG_COMM_WATCHDOG=1 FG_COMM_INTEGRITY=1` in CI so the shrink
+/// interoperates with the watchdog and integrity layers.
+#[test]
+fn permanently_dead_rank_degrades_4_to_3_bitwise() {
+    const STEPS4: u64 = 6;
+    let spec = tiny_seg_net();
+    let net = Network::init(spec.clone(), 77);
+    let grid = ProcGrid::spatial(2, 2);
+    let strategy = Strategy::uniform(&spec, grid);
+    let exec = DistExecutor::new(spec.clone(), strategy, 2).expect("valid strategy");
+    let x = Tensor::from_fn(Shape4::new(2, 2, 8, 8), |n, c, h, w| {
+        ((n * 5 + c * 3 + h + 2 * w) % 13) as f32 * 0.11 - 0.7
+    });
+    let labels = Labels::per_pixel(2, 8, 8, (0..2 * 8 * 8).map(|i| (i % 2) as u32).collect());
+
+    // Probe the comm-op horizon to pin the kill mid-run, past the first
+    // snapshot (step 2) and before the end.
+    let probe = finegrain::comm::run_ranks_with_faults(4, FaultPlan::default(), |comm| {
+        let mut p = net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        for _ in 0..STEPS4 {
+            exec.train_step(comm, &mut p, &mut opt, &x, &labels);
+        }
+        comm.ops()
+    });
+    let kill_op = probe[2].as_ref().expect("probe is fault-free") / 2;
+
+    let report = resilient_train(
+        &exec,
+        &net.params,
+        HYPER,
+        &x,
+        &labels,
+        STEPS4,
+        &ResilientConfig {
+            ckpt_every: 2,
+            max_restarts: 1,
+            degrade: Some(DegradeConfig::default()),
+            ..Default::default()
+        },
+        FaultPlan::new(41).kill_rank_permanently(2, kill_op),
+    );
+    assert_eq!(report.degradations.len(), 1, "failures: {:?}", report.failures);
+    let d = report.degradations[0].clone();
+    assert_eq!((d.from_world, d.to_world), (4, 3), "degradation: {d:?}");
+    assert_eq!(d.dead_ranks, vec![2]);
+    assert_eq!(report.final_world, 3);
+    assert_eq!(report.losses.len() as u64, STEPS4);
+    assert!(d.at_step >= 2, "the shrink must resume from a real snapshot: {d:?}");
+    assert!(d.reshard_total_bytes > 0);
+
+    // Pre-shrink prefix: bitwise the 4-rank trajectory.
+    let baseline4 = run_ranks(4, |comm| {
+        let mut p = net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        (0..STEPS4)
+            .map(|_| exec.train_step(comm, &mut p, &mut opt, &x, &labels))
+            .collect::<Vec<_>>()
+    });
+    let at = d.at_step as usize;
+    let bits = |v: &[f64]| v.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&report.losses[..at]), bits(&baseline4[0][..at]));
+
+    // Post-shrink suffix: recompute the snapshot state by replaying the
+    // 4-rank world cleanly to the shrink point, re-shard it onto the
+    // degradation's grid, and run a *fresh* 3-rank world from there.
+    let replay = run_ranks(4, |comm| {
+        let mut p = net.params.clone();
+        let mut opt = Sgd::new(HYPER.lr, HYPER.momentum, HYPER.weight_decay, &p);
+        for _ in 0..d.at_step {
+            exec.train_step(comm, &mut p, &mut opt, &x, &labels);
+        }
+        (p, opt.velocity().to_vec())
+    });
+    let (snap_params, snap_vel) = replay.into_iter().next().unwrap();
+    let state = finegrain::nn::TrainState {
+        step: d.at_step,
+        params: snap_params,
+        velocity: snap_vel,
+        losses: report.losses[..at].to_vec(),
+        guard: finegrain::nn::GuardState::default(),
+        grid: Some(grid),
+    };
+    let (restored, _) = finegrain::nn::reshard_train_state(&state, d.strategy.grids[0]);
+    let small =
+        DistExecutor::new(spec, d.strategy.clone(), 2).expect("replanned strategy compiles");
+    let suffix = run_ranks(3, |comm| {
+        let mut p = restored.params.clone();
+        let mut opt = Sgd::with_state(
+            HYPER.lr,
+            HYPER.momentum,
+            HYPER.weight_decay,
+            restored.velocity.clone(),
+        );
+        (d.at_step..STEPS4)
+            .map(|_| small.train_step(comm, &mut p, &mut opt, &x, &labels))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        bits(&report.losses[at..]),
+        bits(&suffix[0]),
+        "post-shrink trajectory must match a fresh 3-rank resume step for step"
+    );
 }
