@@ -15,6 +15,7 @@
 //!   ext       extensions: channel/filter, 3-D, memory mechanisms
 //!   plancache plan-caching ablation (plan-once vs recompile-per-step)
 //!   faults    fault-injection overhead + recovery cost vs ckpt interval
+//!   verify    static schedule verification sweep (models × strategies × grids)
 //!   all       everything above
 //! ```
 //!
@@ -24,7 +25,7 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, faults, microbench, modelval, plancache, resnet, scaling, strategy,
+    extensions, faults, microbench, modelval, plancache, resnet, scaling, strategy, verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -48,6 +49,7 @@ fn main() {
             "ext",
             "plancache",
             "faults",
+            "verify",
         ]
     } else {
         wanted
@@ -71,6 +73,7 @@ fn main() {
             "ext" => tables.extend(extensions::extensions(&platform)),
             "plancache" => tables.push(plancache::plancache()),
             "faults" => tables.extend(faults::faults()),
+            "verify" => tables.push(verify::verify_report(&platform)),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

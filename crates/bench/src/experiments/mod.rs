@@ -10,6 +10,7 @@
 //! | [`extensions`] | channel/filter, 3-D, memory-pressure extensions |
 //! | [`plancache`] | plan-caching ablation (plan-once vs recompile-per-step) |
 //! | [`faults`] | fault-model overhead and checkpointed-recovery cost |
+//! | [`verify`] | static schedule verification sweep (fg-verify) |
 
 pub mod extensions;
 pub mod faults;
@@ -19,6 +20,7 @@ pub mod plancache;
 pub mod resnet;
 pub mod scaling;
 pub mod strategy;
+pub mod verify;
 
 use fg_tensor::ProcGrid;
 

@@ -43,6 +43,7 @@ pub mod p2p;
 pub mod runtime;
 pub mod stats;
 pub mod subcomm;
+pub mod trace;
 pub mod watchdog;
 
 pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
@@ -50,11 +51,17 @@ pub use dynamic::{DynComm, ErasedComm, ScalarType};
 pub use error::{attribute_dead_ranks, CommError};
 pub use fault::{FaultPlan, FaultyComm, LINK_RETRY_BUDGET};
 pub use integrity::{IntegrityComm, IntegrityConfig, IntegrityState};
-pub use p2p::{CommScalar, Communicator, Tag, WireHeader};
+pub use p2p::{
+    sub_collective_tag, world_collective_tag, CommScalar, Communicator, Tag, WireHeader,
+};
 pub use runtime::{
     run_ranks, run_ranks_opts, run_ranks_timed, run_ranks_with_faults,
     run_ranks_with_faults_integrity, LinkModel, RunOptions, WorldComm,
 };
 pub use stats::{OpClass, TrafficStats};
 pub use subcomm::{SubComm, SubCommLayout};
+pub use trace::{
+    check_traces, CheckKind, CollectiveKind, Phase, RankTrace, TraceEntry, TraceOp, TraceRecorder,
+    VerifyStats, Violation,
+};
 pub use watchdog::WatchdogConfig;

@@ -22,6 +22,22 @@ pub type Tag = u64;
 /// First tag value reserved for internal (collective) protocol use.
 pub const RESERVED_TAG_BASE: Tag = 1 << 62;
 
+/// The tag a world-scope collective draws for per-rank counter value
+/// `counter` — the single source of the formula `WorldComm` uses, shared
+/// with the static schedule verifier's tag simulation
+/// ([`crate::trace::TraceRecorder`]).
+pub const fn world_collective_tag(counter: u64) -> Tag {
+    RESERVED_TAG_BASE + counter
+}
+
+/// The tag a sub-communicator collective draws: salted by the group id
+/// (bit 61 separates the sub-communicator tag space from the world's)
+/// with a per-bind counter in the low bits. Single source of the formula
+/// `SubComm` uses, shared with the verifier's tag simulation.
+pub const fn sub_collective_tag(tag_salt: u64, counter: u64) -> Tag {
+    RESERVED_TAG_BASE | (1 << 61) | (tag_salt << 32) | counter
+}
+
 /// Scalar element types that can travel through the communicator.
 ///
 /// The bound is deliberately broad: payloads are moved as boxed `Vec<T>`

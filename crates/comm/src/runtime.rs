@@ -35,7 +35,9 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::error::CommError;
 use crate::fault::{FaultPlan, FaultyComm};
 use crate::integrity::{self, IntegrityComm, IntegrityConfig, IntegrityState, RankCursor};
-use crate::p2p::{CommScalar, Communicator, Envelope, Stash, Tag, WireHeader, RESERVED_TAG_BASE};
+use crate::p2p::{
+    world_collective_tag, CommScalar, Communicator, Envelope, Stash, Tag, WireHeader,
+};
 use crate::stats::{OpClass, TrafficStats};
 use crate::watchdog::{Monitor, WatchdogConfig};
 
@@ -174,7 +176,7 @@ impl Communicator for WorldComm {
     fn next_collective_tag(&self) -> Tag {
         let c = self.collective_counter.get();
         self.collective_counter.set(c + 1);
-        RESERVED_TAG_BASE + c
+        world_collective_tag(c)
     }
 
     /// Attribute sends issued inside `f` to `class`, restoring the

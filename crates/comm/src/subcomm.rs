@@ -12,7 +12,7 @@ use std::borrow::Cow;
 use std::cell::Cell;
 
 use crate::error::CommError;
-use crate::p2p::{CommScalar, Communicator, Tag, RESERVED_TAG_BASE};
+use crate::p2p::{sub_collective_tag, CommScalar, Communicator, Tag};
 use crate::stats::OpClass;
 use crate::Collectives;
 
@@ -51,6 +51,12 @@ impl SubCommLayout {
     /// The ordered member list (parent ranks).
     pub fn members(&self) -> &[usize] {
         &self.members
+    }
+
+    /// The tag salt binding will use — the schedule verifier simulates
+    /// collective tags from it ([`crate::trace::TraceRecorder`]).
+    pub fn group_id(&self) -> u64 {
+        self.group_id
     }
 
     /// Bind the layout to a live parent communicator for one use.
@@ -199,7 +205,7 @@ impl<C: Communicator> Communicator for SubComm<'_, C> {
         self.counter.set(c + 1);
         // Disjoint from both user tags and the parent's collective tags:
         // bit 61 marks subgroup traffic, the salt separates sibling groups.
-        RESERVED_TAG_BASE | (1 << 61) | (self.tag_salt << 32) | c
+        sub_collective_tag(self.tag_salt, c)
     }
 
     fn with_class<R>(&self, class: OpClass, f: impl FnOnce() -> R) -> R {

@@ -321,6 +321,55 @@ mod tests {
     }
 
     #[test]
+    fn pending_counter_stays_balanced_under_concurrent_traffic() {
+        // The sanitizer smoke target (scripts/ci.sh runs this test under
+        // tsan when a nightly with rust-src is available): hammer
+        // note_send / note_send_failed / note_dequeue from racing
+        // threads and check every pair-wise counter balances back to
+        // zero. An ordering bug that let a decrement land before its
+        // increment would wrap the counter to usize::MAX and permanently
+        // convince is_stuck() the link is busy, masking real deadlocks.
+        use std::sync::Arc;
+        const WORLD: usize = 4;
+        const ROUNDS: usize = 1000;
+        let m = Arc::new(Monitor::new(WORLD, WatchdogConfig::default()));
+        let mut handles = Vec::new();
+        for src in 0..WORLD {
+            for dst in 0..WORLD {
+                let m = Arc::clone(&m);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..ROUNDS {
+                        m.note_send(src, dst);
+                        if i % 3 == 0 {
+                            // A push that failed rolls its count back.
+                            m.note_send_failed(src, dst);
+                            m.note_send(src, dst);
+                        }
+                        m.note_dequeue(src, dst);
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, p) in m.pending.iter().enumerate() {
+            assert_eq!(
+                p.load(Ordering::SeqCst),
+                0,
+                "link {}→{} left unbalanced",
+                i / WORLD,
+                i % WORLD
+            );
+        }
+        // is_stuck must still see the all-blocked world as stuck — no
+        // counter wrapped into "forever busy".
+        let blocked: Vec<RankStatus> =
+            (0..WORLD).map(|r| RankStatus::Blocked { src: (r + 1) % WORLD, tag: 1 }).collect();
+        assert!(m.is_stuck(&blocked));
+    }
+
+    #[test]
     fn trip_reports_no_integrity_activity_as_none() {
         let m = Monitor::new(1, WatchdogConfig::default());
         m.trip(&[RankStatus::Blocked { src: 0, tag: 1 }]);

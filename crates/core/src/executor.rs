@@ -181,7 +181,45 @@ impl DistExecutor {
         let world = strategy.world_size();
         let plans: Vec<Vec<LayerPlan>> =
             layers.iter().map(|l| (0..world).map(|r| l.compile_plan(r)).collect()).collect();
-        Ok(DistExecutor { spec, strategy, batch, layers, plans })
+        let exec = DistExecutor { spec, strategy, batch, layers, plans };
+
+        // FG_VERIFY=1: statically verify the compiled schedule before
+        // handing it to anyone — a debug assertion for the plan compiler.
+        if std::env::var("FG_VERIFY").map(|v| v == "1").unwrap_or(false) {
+            let report = exec.verify();
+            if let Some(v) = report.violations.first() {
+                return Err(StrategyError::ScheduleUnsound {
+                    layer: v.layer,
+                    detail: v.to_string(),
+                });
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Statically verify this executor's compiled communication
+    /// schedule: symbolically execute every rank's plans and check p2p
+    /// matching, collective consistency, halo symmetry, shuffle
+    /// conservation, and tag discipline. Pure analysis — no threads, no
+    /// communication, no tensor math.
+    pub fn verify(&self) -> crate::verify::VerifyReport {
+        self.verify_with(|_| {}, |_| {})
+    }
+
+    /// [`DistExecutor::verify`] with corruption hooks for mutation
+    /// tests: `mutate_plans` edits a clone of the compiled plans before
+    /// the symbolic walk (geometry corruptions — shrunken halos, skewed
+    /// shuffle destinations), `mutate_traces` edits the recorded traces
+    /// before checking (wire-level corruptions — flipped tags, dropped
+    /// collectives). Production callers use [`DistExecutor::verify`].
+    pub fn verify_with(
+        &self,
+        mutate_plans: impl FnOnce(&mut Vec<Vec<LayerPlan>>),
+        mutate_traces: impl FnOnce(&mut Vec<fg_comm::RankTrace>),
+    ) -> crate::verify::VerifyReport {
+        let mut plans = self.plans.clone();
+        mutate_plans(&mut plans);
+        crate::verify::verify_plans(&self.spec, &self.strategy, &self.layers, &plans, mutate_traces)
     }
 
     /// The input layer's distribution.

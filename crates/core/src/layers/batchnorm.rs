@@ -13,7 +13,8 @@ use fg_nn::{LayerParams, BN_EPS};
 use fg_tensor::DistTensor;
 
 use crate::executor::Act;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
+use fg_comm::{ScalarType, TraceRecorder};
 
 /// Batch-norm statistics scope under data decomposition (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -184,6 +185,25 @@ impl DistLayer for BatchNormLayer {
 
     fn needs_input_for_backward(&self) -> bool {
         true
+    }
+
+    // Gamma and beta are each one value per channel, so the channel
+    // count is half the layer's parameter elements; the traced payloads
+    // mirror `dist_bn_forward` / `dist_bn_backward` (training mode —
+    // inference with overridden statistics is communication-free).
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let c = cx.param_elems / 2;
+        if let BnMode::Aggregated = cx.bn_mode {
+            rec.world_allreduce(2 * c + 1, ScalarType::F64);
+        }
+    }
+
+    fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let c = cx.param_elems / 2;
+        match cx.bn_mode {
+            BnMode::Aggregated => rec.world_allreduce(2 * c + 1, ScalarType::F64),
+            BnMode::Local => rec.world_allreduce(2 * c, ScalarType::F64),
+        }
     }
 }
 

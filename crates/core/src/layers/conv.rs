@@ -7,8 +7,10 @@ use fg_tensor::Tensor;
 
 use crate::distconv::DistConv2d;
 use crate::executor::Act;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
 use crate::overlap::{backward_overlapped_with_plans, forward_overlapped_with_plans, InteriorPlan};
+use fg_comm::{ScalarType, TraceRecorder};
+use fg_tensor::halo::record_halo_exchange;
 
 fn conv_params(p: &LayerParams) -> (&Tensor, Option<&[f32]>) {
     match p {
@@ -82,5 +84,19 @@ impl DistLayer for ConvLayer {
             dparents: vec![(0, Act::Shard(dx))],
             grads: Some(LayerParams::Conv { w: dw, b: db }),
         }
+    }
+
+    // Overlap mode issues the same ops in the same order (the interior
+    // decomposition only reschedules compute), so one recording covers
+    // both modes.
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let x_halo = cx.plan.x_halo.as_ref().expect("conv plan has an x halo");
+        record_halo_exchange(rec, x_halo);
+    }
+
+    fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let dy_halo = cx.plan.dy_halo.as_ref().expect("conv plan has a dy halo");
+        record_halo_exchange(rec, dy_halo);
+        rec.world_allreduce(cx.param_elems, ScalarType::F32);
     }
 }

@@ -10,7 +10,7 @@ use fg_tensor::Tensor;
 
 use crate::executor::Act;
 use crate::layers::groups::cross_section_group_layout;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
 
 fn fc_params(p: &LayerParams) -> (&Tensor, &[f32]) {
     match p {
@@ -78,5 +78,15 @@ impl DistLayer for FcLayer {
 
     fn needs_input_for_backward(&self) -> bool {
         true
+    }
+
+    fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
+        let group = cx.plan.cross_group.as_ref().expect("FC plan has a cross-section group");
+        rec.sub_allreduce(
+            group.members(),
+            group.group_id(),
+            cx.param_elems,
+            fg_comm::ScalarType::F32,
+        );
     }
 }

@@ -8,7 +8,7 @@ use fg_tensor::{DistTensor, Shape4, Tensor};
 
 use crate::executor::Act;
 use crate::layers::groups::spatial_group_layout;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
 
 /// Distributed global average pooling: shard → per-sample replicated
 /// `(n_loc, C, 1, 1)` tensor (identical on all ranks of a sample group).
@@ -108,6 +108,15 @@ impl DistLayer for GapLayer {
 
     fn needs_input_for_backward(&self) -> bool {
         true
+    }
+
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
+        let group = cx.plan.spatial_group.as_ref().expect("GAP plan has a spatial group");
+        let in_dist = self.base.in_dist.as_ref().expect("GAP consumes a sharded input");
+        let own = in_dist.local_box(cx.rank);
+        let n_loc = own.hi[0] - own.lo[0];
+        let count = n_loc * in_dist.shape.c;
+        rec.sub_allreduce(group.members(), group.group_id(), count, fg_comm::ScalarType::F32);
     }
 }
 

@@ -8,7 +8,7 @@ use fg_tensor::{DistTensor, ProcGrid, Tensor};
 
 use crate::executor::Act;
 use crate::layers::groups::cross_section_group_layout;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
 
 /// Distributed per-position softmax cross-entropy on a shard
 /// (semantic segmentation). Returns `(global mean loss, local dlogits)`.
@@ -153,6 +153,16 @@ impl DistLayer for SoftmaxLossLayer {
 
     fn seeds_backward(&self) -> bool {
         true
+    }
+
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
+        if self.per_sample {
+            let group =
+                cx.plan.cross_group.as_ref().expect("per-sample loss plan has a cross group");
+            rec.sub_allreduce(group.members(), group.group_id(), 2, fg_comm::ScalarType::F64);
+        } else {
+            rec.world_allreduce(1, fg_comm::ScalarType::F64);
+        }
     }
 }
 

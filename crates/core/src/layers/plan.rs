@@ -15,7 +15,7 @@
 
 use std::ops::Range;
 
-use fg_comm::{ErasedComm, SubCommLayout};
+use fg_comm::{ErasedComm, SubCommLayout, TraceRecorder};
 use fg_kernels::batchnorm::BnStats;
 use fg_kernels::loss::Labels;
 use fg_nn::{LayerKind, LayerParams};
@@ -140,6 +140,37 @@ pub trait DistLayer: std::fmt::Debug + Send + Sync {
     fn needs_input_for_backward(&self) -> bool {
         false
     }
+
+    /// Record the wire ops [`DistLayer::forward`] would issue into a
+    /// symbolic trace — same exchanges, same order, same payload sizes,
+    /// no tensor math. The default records nothing (compute-only layer).
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let _ = (cx, rec);
+    }
+
+    /// Record the wire ops [`DistLayer::backward`] would issue.
+    fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
+        let _ = (cx, rec);
+    }
+}
+
+/// What a layer's trace-recording hooks see: the same plan its
+/// forward/backward would execute, plus the execution-context facts
+/// (batch-norm scope, parameter sizes) that decide which collectives run
+/// and how large their payloads are.
+#[derive(Debug)]
+pub struct TraceCx<'a> {
+    /// This layer's precompiled plan (the one being verified).
+    pub plan: &'a LayerPlan,
+    /// Batch-norm statistics scope from the strategy.
+    pub bn_mode: BnMode,
+    /// World size.
+    pub world: usize,
+    /// The rank being traced.
+    pub rank: usize,
+    /// Element count of this layer's parameters (and hence of its
+    /// gradient allreduce payload); 0 for parameter-free layers.
+    pub param_elems: usize,
 }
 
 /// A forward input slot: borrowed straight from the pass when the

@@ -8,7 +8,7 @@ use fg_tensor::halo::{exchange_halo_with_plan, HaloPlan};
 use fg_tensor::{DistTensor, ProcGrid, Shape4, TensorDist, NDIMS};
 
 use crate::executor::Act;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan};
+use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
 
 /// A distributed 2-D pooling layer.
 #[derive(Debug, Clone)]
@@ -216,6 +216,16 @@ impl DistLayer for PoolLayer {
         let dy_halo = cx.plan.dy_halo.as_ref().expect("pool plan has a dy halo");
         let dx = self.pool.backward_with_plan(comm, win, &dy, dy_halo);
         BwdOut { dparents: vec![(0, Act::Shard(dx))], grads: None }
+    }
+
+    fn record_forward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
+        let x_halo = cx.plan.x_halo.as_ref().expect("pool plan has an x halo");
+        fg_tensor::halo::record_halo_exchange(rec, x_halo);
+    }
+
+    fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
+        let dy_halo = cx.plan.dy_halo.as_ref().expect("pool plan has a dy halo");
+        fg_tensor::halo::record_halo_exchange(rec, dy_halo);
     }
 }
 

@@ -16,7 +16,10 @@
 //!   (§III-C) and gradient allreduces where the strategy demands them;
 //! * [`overlap`] — interior/boundary decomposition so halo exchange
 //!   overlaps interior compute (§IV-A);
-//! * [`strategy`] — strategy containers and validation.
+//! * [`strategy`] — strategy containers and validation;
+//! * [`verify`] — static schedule verification: symbolically executes
+//!   every rank's compiled plans and proves the step deadlock-free and
+//!   shape-sound before it runs (`FG_VERIFY=1`, `repro -- verify`).
 
 pub mod channel_filter;
 pub mod distconv;
@@ -28,6 +31,7 @@ pub mod overlap;
 pub mod resilient;
 pub mod spatial3d;
 pub mod strategy;
+pub mod verify;
 
 pub use channel_filter::ChannelFilterConv2d;
 pub use distconv::DistConv2d;
@@ -40,3 +44,4 @@ pub use resilient::{
     ResilientReport, RungTimes, SgdHyper,
 };
 pub use strategy::{Strategy, StrategyError};
+pub use verify::{candidate_grid_legal, VerifyReport};

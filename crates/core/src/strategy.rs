@@ -62,6 +62,16 @@ pub enum StrategyError {
         /// Offending layer.
         layer: usize,
     },
+    /// The compiled communication schedule failed static verification
+    /// (`FG_VERIFY=1`): the plans would deadlock, mis-shape a message,
+    /// or mis-route a region. The detail is the first violation's full
+    /// diagnostic (check kind, rank, layer, specifics).
+    ScheduleUnsound {
+        /// Offending layer.
+        layer: usize,
+        /// The first violation's diagnostic.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StrategyError {
@@ -84,6 +94,9 @@ impl std::fmt::Display for StrategyError {
             }
             StrategyError::PerSampleGridMismatch { layer } => {
                 write!(f, "layer {layer}: per-sample layers must inherit their parent's grid")
+            }
+            StrategyError::ScheduleUnsound { layer, detail } => {
+                write!(f, "layer {layer}: schedule verification failed: {detail}")
             }
         }
     }

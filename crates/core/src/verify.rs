@@ -1,0 +1,348 @@
+//! Static communication-schedule verification.
+//!
+//! `DistExecutor::new` compiles every rank's per-layer plans before a
+//! single training step runs — which means the complete communication
+//! schedule of a step is known statically. This module symbolically
+//! executes those plans: each rank's plan walk emits the wire operations
+//! its `forward`/`backward` would issue (shapes, element counts, and
+//! tags only — no tensor math, no threads, no real communicator) into an
+//! [`fg_comm::RankTrace`], and the traces plus the plan geometry are
+//! checked for five properties:
+//!
+//! 1. **p2p matching** — every send has exactly one matching recv with
+//!    equal count and scalar type (deadlock-freedom at the message
+//!    level); checked in [`fg_comm::check_traces`].
+//! 2. **collective consistency** — all members of each group issue the
+//!    same collective sequence; also in `check_traces`.
+//! 3. **halo symmetry** — what rank A sends rank B for a layer's halo is
+//!    exactly the global region B's `HaloPlan` expects, forward and
+//!    adjoint; checked here on the plan geometry (the trace only sees
+//!    element counts — two same-sized but different regions would slip
+//!    through it).
+//! 4. **shuffle conservation** — every `ShufflePlan`'s receives
+//!    partition the destination shard (no gaps, no overlaps), and send
+//!    and receive geometry agree across ranks.
+//! 5. **tag/stream discipline** — no two concurrent exchanges share a
+//!    `(src, dst, tag)` stream; in `check_traces`.
+//!
+//! What is *not* checked: numerics (the equivalence tests do that),
+//! timing/overlap efficiency, and memory capacity (the optimizer's
+//! memory model does that). A clean report means the schedule cannot
+//! deadlock or mis-shape a message — it says nothing about whether the
+//! answer is right or fast.
+//!
+//! The walker mirrors the executor's scheduling exactly: forward walks
+//! layers in order, input shuffles before the layer's own exchanges;
+//! backward walks in reverse with loss layers seeding their parent
+//! (communication-free) and dead branches skipped, the layer's own
+//! exchanges before the adjoint shuffles.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fg_comm::{check_traces, CheckKind, Phase, RankTrace, TraceRecorder, VerifyStats, Violation};
+use fg_nn::{init_params, LayerKind, NetworkSpec};
+use fg_tensor::shuffle::ShufflePlan;
+use fg_tensor::{Box4, ProcGrid, Shape4, TensorDist};
+
+use crate::layers::{DistLayer, LayerPlan, TraceCx};
+use crate::strategy::{per_sample_shape, Strategy};
+
+/// Outcome of one verification pass over a compiled executor.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Aggregate counters (ops traced, links checked, bytes accounted).
+    pub stats: VerifyStats,
+    /// Every violation found; empty for a sound schedule.
+    pub violations: Vec<Violation>,
+    /// Wall time the verification took.
+    pub wall: Duration,
+}
+
+impl VerifyReport {
+    /// No violations?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops, {} links, {} collectives, {} bytes: ",
+            self.stats.ops_traced,
+            self.stats.links_checked,
+            self.stats.collectives_checked,
+            self.stats.bytes_accounted
+        )?;
+        if self.is_clean() {
+            write!(f, "clean")
+        } else {
+            writeln!(f, "{} violation(s)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Verify a compiled plan set: symbolically execute every rank's plans,
+/// run the trace-level checks, and check the plan geometry. The
+/// `mutate_traces` hook lets mutation tests corrupt the recorded traces
+/// (tag flips, dropped collectives) between recording and checking;
+/// production callers pass `|_| {}`.
+pub(crate) fn verify_plans(
+    spec: &NetworkSpec,
+    strategy: &Strategy,
+    layers: &[Box<dyn DistLayer>],
+    plans: &[Vec<LayerPlan>],
+    mutate_traces: impl FnOnce(&mut Vec<RankTrace>),
+) -> VerifyReport {
+    let start = Instant::now();
+    let world = strategy.world_size();
+    // Parameter payload sizes: materialize a throwaway init so the
+    // traced gradient-allreduce counts come from the same code path the
+    // runtime uses.
+    let param_elems: Vec<usize> = init_params(spec, 0).iter().map(|p| p.len()).collect();
+    let names: Vec<String> = layers.iter().map(|l| l.base().name.clone()).collect();
+
+    let mut traces: Vec<RankTrace> = (0..world)
+        .map(|rank| record_rank(strategy, layers, plans, &param_elems, rank, world))
+        .collect();
+    mutate_traces(&mut traces);
+
+    let (stats, mut violations) = check_traces(&traces, &names);
+    check_plan_geometry(layers, plans, world, &mut violations);
+    VerifyReport { stats, violations, wall: start.elapsed() }
+}
+
+/// Symbolically execute one rank's plans in exact scheduler order.
+fn record_rank(
+    strategy: &Strategy,
+    layers: &[Box<dyn DistLayer>],
+    plans: &[Vec<LayerPlan>],
+    param_elems: &[usize],
+    rank: usize,
+    world: usize,
+) -> RankTrace {
+    let mut rec = TraceRecorder::new(rank, world);
+
+    // Forward: per layer, input shuffles in parent-edge order, then the
+    // layer's own exchanges.
+    for (id, layer) in layers.iter().enumerate() {
+        rec.scope(id, Phase::Forward);
+        let plan = &plans[id][rank];
+        for shuffle in plan.in_shuffles.iter().flatten() {
+            shuffle.record(&mut rec);
+        }
+        let cx = trace_cx(strategy, plan, world, rank, param_elems[id]);
+        layer.record_forward(&cx, &mut rec);
+    }
+
+    // Backward: reverse order; loss layers seed their parent without
+    // communication, layers whose error slot never fills are skipped
+    // (dead branches), and adjoint shuffles follow the layer's own
+    // exchanges, as in `run_backward`.
+    let mut has_signal = vec![false; layers.len()];
+    for (id, layer) in layers.iter().enumerate().rev() {
+        rec.scope(id, Phase::Backward);
+        let base = layer.base();
+        if layer.seeds_backward() {
+            has_signal[base.parents[0]] = true;
+            continue;
+        }
+        if !has_signal[id] || base.parents.is_empty() {
+            continue;
+        }
+        let plan = &plans[id][rank];
+        let cx = trace_cx(strategy, plan, world, rank, param_elems[id]);
+        layer.record_backward(&cx, &mut rec);
+        // Every layer kind emits a dparent on each of its edges (joins
+        // on all, single-parent layers on their only edge).
+        for (i, &p) in base.parents.iter().enumerate() {
+            if let Some(shuffle) = plan.back_shuffles[i].as_ref() {
+                shuffle.record(&mut rec);
+            }
+            has_signal[p] = true;
+        }
+    }
+    rec.finish()
+}
+
+fn trace_cx<'a>(
+    strategy: &Strategy,
+    plan: &'a LayerPlan,
+    world: usize,
+    rank: usize,
+    param_elems: usize,
+) -> TraceCx<'a> {
+    TraceCx { plan, bn_mode: strategy.bn_mode, world, rank, param_elems }
+}
+
+/// Checks 3 and 4: plan-geometry properties the count-level traces
+/// cannot see — region identity of halos and partition-exactness of
+/// shuffles.
+fn check_plan_geometry(
+    layers: &[Box<dyn DistLayer>],
+    plans: &[Vec<LayerPlan>],
+    world: usize,
+    violations: &mut Vec<Violation>,
+) {
+    for (id, layer) in layers.iter().enumerate() {
+        let name = &layer.base().name;
+        let per_rank = &plans[id];
+
+        // Halo symmetry, forward and adjoint windows.
+        for kind in ["x_halo", "dy_halo"] {
+            let mut sent: BTreeMap<(usize, usize), Vec<Box4>> = BTreeMap::new();
+            let mut expected: BTreeMap<(usize, usize), Vec<Box4>> = BTreeMap::new();
+            for (rank, plan) in per_rank.iter().enumerate().take(world) {
+                let h = if kind == "x_halo" { &plan.x_halo } else { &plan.dy_halo };
+                if let Some(h) = h {
+                    for (peer, b) in &h.sends {
+                        sent.entry((rank, *peer)).or_default().push(*b);
+                    }
+                    for (peer, b) in &h.recvs {
+                        expected.entry((*peer, rank)).or_default().push(*b);
+                    }
+                }
+            }
+            compare_box_maps(&sent, &expected, id, name, kind, CheckKind::HaloSymmetry, violations);
+        }
+
+        // Shuffle conservation and cross-rank symmetry, per parent edge.
+        let n_edges = layers[id].base().parents.len();
+        for edge in 0..n_edges {
+            for dir in ["in_shuffle", "back_shuffle"] {
+                let mut sent: BTreeMap<(usize, usize), Vec<Box4>> = BTreeMap::new();
+                let mut expected: BTreeMap<(usize, usize), Vec<Box4>> = BTreeMap::new();
+                let mut any = false;
+                for (rank, plan) in per_rank.iter().enumerate().take(world) {
+                    let slot: &Option<ShufflePlan> = if dir == "in_shuffle" {
+                        &plan.in_shuffles[edge]
+                    } else {
+                        &plan.back_shuffles[edge]
+                    };
+                    let Some(sp) = slot.as_ref() else { continue };
+                    any = true;
+                    if let Err(e) = sp.check_conservation() {
+                        violations.push(Violation {
+                            check: CheckKind::Conservation,
+                            rank,
+                            layer: id,
+                            layer_name: name.clone(),
+                            detail: format!("{dir} edge {edge}: {e}"),
+                        });
+                    }
+                    for (peer, b) in sp.sends() {
+                        sent.entry((rank, *peer)).or_default().push(*b);
+                    }
+                    for (peer, b) in sp.recvs() {
+                        expected.entry((*peer, rank)).or_default().push(*b);
+                    }
+                }
+                if any {
+                    let label = format!("{dir} edge {edge}");
+                    compare_box_maps(
+                        &sent,
+                        &expected,
+                        id,
+                        name,
+                        &label,
+                        CheckKind::Conservation,
+                        violations,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Compare per-link sent vs expected global boxes; a mismatch means the
+/// sender packs a different region than the receiver unpacks — same
+/// element counts or not, the data lands in the wrong place (or a
+/// message goes missing entirely).
+fn compare_box_maps(
+    sent: &BTreeMap<(usize, usize), Vec<Box4>>,
+    expected: &BTreeMap<(usize, usize), Vec<Box4>>,
+    layer: usize,
+    name: &str,
+    what: &str,
+    check: CheckKind,
+    violations: &mut Vec<Violation>,
+) {
+    let mut links: Vec<(usize, usize)> = sent.keys().chain(expected.keys()).copied().collect();
+    links.sort_unstable();
+    links.dedup();
+    for (src, dst) in links {
+        let mut s = sent.get(&(src, dst)).cloned().unwrap_or_default();
+        let mut e = expected.get(&(src, dst)).cloned().unwrap_or_default();
+        s.sort_unstable_by_key(|b| (b.lo, b.hi));
+        e.sort_unstable_by_key(|b| (b.lo, b.hi));
+        if s != e {
+            violations.push(Violation {
+                check,
+                rank: src,
+                layer,
+                layer_name: name.to_string(),
+                detail: format!(
+                    "{what}: rank {src} sends {s:?} to rank {dst}, which expects {e:?}"
+                ),
+            });
+        }
+    }
+}
+
+/// Is `grid` a legal distribution for layer `id` of `spec`? The
+/// per-layer subset of `Strategy::validate` — the legality pre-filter
+/// `StrategyOptimizer` applies to each candidate grid before the cost
+/// model ever scores it, so no provably unsound distribution can win.
+/// (Cross-layer rules — per-sample layers inheriting the parent grid —
+/// are enforced by the optimizer's candidate construction itself.)
+pub fn candidate_grid_legal(
+    spec: &NetworkSpec,
+    batch: usize,
+    world: usize,
+    id: usize,
+    grid: ProcGrid,
+) -> bool {
+    if grid.size() != world {
+        return false;
+    }
+    let l = spec.layer(id);
+    let shapes = spec.shapes();
+    match &l.kind {
+        // Per-sample layers replicate within sample groups; their grids
+        // are pinned to the parent's, which is checked when the parent's
+        // own candidate is screened.
+        LayerKind::GlobalAvgPool | LayerKind::Fc { .. } => true,
+        LayerKind::SoftmaxCrossEntropy => {
+            let parent_kind = &spec.layer(l.parents[0]).kind;
+            if matches!(parent_kind, LayerKind::GlobalAvgPool | LayerKind::Fc { .. }) {
+                return true;
+            }
+            let (c, h, w) = shapes[id];
+            TensorDist::new(Shape4::new(batch, c, h, w), grid).is_fully_populated()
+        }
+        _ => {
+            if grid.c != 1 {
+                return false;
+            }
+            let (c, h, w) = shapes[id];
+            if !per_sample_shape(shapes[id])
+                && !TensorDist::new(Shape4::new(batch, c, h, w), grid).is_fully_populated()
+            {
+                return false;
+            }
+            if matches!(l.kind, LayerKind::Conv { .. } | LayerKind::Pool { .. }) {
+                let (pc, ph, pw) = shapes[l.parents[0]];
+                if !TensorDist::new(Shape4::new(batch, pc, ph, pw), grid).is_fully_populated() {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}

@@ -42,6 +42,10 @@ pub struct StrategyOptimizer<'a> {
     /// Per-rank device memory limit (§V: strategies are selected
     /// "accounting for memory requirements"). `None` = unconstrained.
     pub memory_limit: Option<usize>,
+    /// Extra candidate grids injected per layer (tests, external
+    /// tuners). They pass through the same legality pre-filter as the
+    /// generated candidates, so an unsound seed is provably rejected.
+    pub extra_candidates: Vec<(LayerId, ProcGrid)>,
 }
 
 impl<'a> StrategyOptimizer<'a> {
@@ -54,6 +58,7 @@ impl<'a> StrategyOptimizer<'a> {
             world,
             opts: CostOptions::default(),
             memory_limit: None,
+            extra_candidates: Vec::new(),
         }
     }
 
@@ -63,12 +68,34 @@ impl<'a> StrategyOptimizer<'a> {
         self
     }
 
+    /// Seed an extra candidate distribution for one layer. The seed is
+    /// subject to the same schedule-legality pre-filter as generated
+    /// candidates — an illegal grid never reaches the cost search.
+    pub fn with_candidate(mut self, layer: LayerId, grid: ProcGrid) -> Self {
+        self.extra_candidates.push((layer, grid));
+        self
+    }
+
     /// Run the optimization; returns the strategy and its modeled
     /// mini-batch cost.
     pub fn optimize(&self) -> (Strategy, CostBreakdown) {
         let n = self.spec.len();
         let mut candidates: Vec<Vec<ProcGrid>> =
             (0..n).map(|id| layer_candidates(self.spec, self.batch, self.world, id)).collect();
+        for &(id, g) in &self.extra_candidates {
+            if !candidates[id].contains(&g) {
+                candidates[id].push(g);
+            }
+        }
+        // Legality pre-filter (fg-verify front line): a candidate whose
+        // compiled schedule could never verify — wrong world size,
+        // unpopulated distribution, channel split — is dropped before
+        // any cost is modeled, so the DP only ranks sound plans.
+        for (id, cands) in candidates.iter_mut().enumerate() {
+            cands.retain(|g| {
+                fg_core::candidate_grid_legal(self.spec, self.batch, self.world, id, *g)
+            });
+        }
         // Memory constraint (§V): the footprint is a sum of per-layer
         // terms, so allot each layer a share of the budget proportional
         // to its serial footprint and reject candidates that blow it.
@@ -406,6 +433,35 @@ mod tests {
             constrained.grids[conv1_1].ranks_per_sample()
                 >= unconstrained.grids[conv1_1].ranks_per_sample()
         );
+    }
+
+    #[test]
+    fn seeded_illegal_candidate_is_rejected_by_the_legality_filter() {
+        // batch 2 on an 8-way sample grid leaves 6 ranks without a
+        // sample: the distribution is unpopulated and the compiled
+        // schedule could never verify. Seed it as an extra candidate on
+        // every conv layer; the pre-filter must drop it before the DP.
+        let p = platform();
+        let spec = mesh_net();
+        let conv1 = spec.find("conv1_1").unwrap();
+        let illegal = ProcGrid::sample(8);
+        assert!(
+            !fg_core::candidate_grid_legal(&spec, 2, 8, conv1, illegal),
+            "the seeded grid must actually be illegal for this batch"
+        );
+        let mut opt = StrategyOptimizer::new(&p, &spec, 2, 8);
+        for id in 0..spec.len() {
+            opt = opt.with_candidate(id, illegal);
+        }
+        let (strategy, _) = opt.optimize();
+        assert!(
+            strategy.grids.iter().all(|g| *g != illegal),
+            "illegal seed leaked into the chosen strategy: {:?}",
+            strategy.grids
+        );
+        assert_eq!(strategy.validate(&spec, 2), Ok(()));
+        // A legal seed, by contrast, survives the filter and is usable.
+        assert!(fg_core::candidate_grid_legal(&spec, 2, 8, conv1, ProcGrid::hybrid(2, 2, 2)));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! it re-runs the full §V-C [`StrategyOptimizer`] search against a
 //! *measured* platform at the reduced world size (including
 //! non-power-of-two sizes, which the candidate enumeration handles via
-//! divisor grids) and hands back only strategies that validate.
+//! divisor grids) and hands back only strategies that validate *and*
+//! pass static schedule verification (fg-verify) at recovery-relevant
+//! world sizes.
 //! [`degrade_replanner`] packages that as the boxed
 //! [`fg_core::Replanner`] callback the driver's `DegradeConfig` wants,
 //! owning its inputs so the closure can outlive the caller's frame.
@@ -41,6 +43,24 @@ pub fn replan_for_world(
     let (strategy, cost) = opt.optimize();
     if strategy.world_size() != world || strategy.validate(spec, batch).is_err() {
         return None;
+    }
+    // Static schedule verification (fg-verify): compile the plans the
+    // survivors would run and symbolically execute them. A replan that
+    // validates but would deadlock or mis-shape a halo is rejected here,
+    // before the degradation rung commits to it. Tracing is O(P²) in
+    // links, so gate it to worlds small enough to check in the recovery
+    // path's latency budget.
+    const VERIFY_WORLD_CAP: usize = 64;
+    if world <= VERIFY_WORLD_CAP {
+        match fg_core::DistExecutor::new(spec.clone(), strategy.clone(), batch) {
+            Ok(exec) => {
+                let report = exec.verify();
+                if !report.is_clean() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
     }
     Some((strategy, cost))
 }
@@ -104,5 +124,21 @@ mod tests {
         }
         // The common shrink 4 → 3 must be viable for this net.
         assert!(replan(3).is_some());
+    }
+
+    #[test]
+    fn replanned_strategies_pass_static_schedule_verification() {
+        // The verify gate inside replan_for_world already ran for these
+        // worlds (≤ the cap); re-verify explicitly so a regression in
+        // the gate itself cannot slip a dirty schedule through.
+        let platform = Platform::lassen_like();
+        let net = toy_net();
+        for world in [1, 2, 3, 4] {
+            if let Some((s, _)) = replan_for_world(&platform, &net, 8, world, None) {
+                let exec = fg_core::DistExecutor::new(net.clone(), s, 8).unwrap();
+                let report = exec.verify();
+                assert!(report.is_clean(), "world {world}: {report}");
+            }
+        }
     }
 }

@@ -98,6 +98,24 @@ impl HaloPlan {
     }
 }
 
+/// Record the wire traffic of one forward-direction halo exchange into a
+/// symbolic trace, mirroring [`start_halo_exchange`] /
+/// [`finish_halo_exchange`] exactly: one world tag is drawn
+/// unconditionally (even for an empty plan — the runtime draws before it
+/// inspects the send list, and the verifier's tag simulation must stay in
+/// lockstep), then sends and receives are recorded in plan order as f32
+/// payloads.
+pub fn record_halo_exchange(rec: &mut fg_comm::TraceRecorder, plan: &HaloPlan) {
+    rec.begin_exchange();
+    let tag = rec.next_world_tag();
+    for (peer, gbox) in &plan.sends {
+        rec.send(*peer, tag, gbox.len(), fg_comm::ScalarType::F32);
+    }
+    for (peer, gbox) in &plan.recvs {
+        rec.recv(*peer, tag, gbox.len(), fg_comm::ScalarType::F32);
+    }
+}
+
 /// Fill `dt`'s margins from neighboring shards.
 ///
 /// Collective over `comm`, whose size must equal the distribution's world

@@ -56,5 +56,5 @@ pub use dense::Tensor;
 pub use dist::TensorDist;
 pub use disttensor::DistTensor;
 pub use procgrid::ProcGrid;
-pub use regrid::{assemble_tensor, shard_tensor, RegridPlan};
+pub use regrid::{assemble_tensor, check_box_partition, shard_tensor, RegridPlan};
 pub use shape::{Box4, Shape4, NDIMS};

@@ -104,6 +104,30 @@ impl RegridPlan {
         (self.total_elements() * ELEM_BYTES) as u64
     }
 
+    /// Check regrid conservation: for every destination rank, the
+    /// fragments targeting it must partition its shard — no element of
+    /// the new layout left unwritten, none written twice — and every
+    /// fragment must lie inside the source rank it is read from.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for dst_rank in 0..self.dst.world_size() {
+            let target = self.dst.local_box(dst_rank);
+            let boxes: Vec<Box4> =
+                self.frags.iter().filter(|(d, _, _)| *d == dst_rank).map(|(_, _, b)| *b).collect();
+            check_box_partition(&target, &boxes)
+                .map_err(|e| format!("regrid fragments for dst rank {dst_rank}: {e}"))?;
+        }
+        for &(dst_rank, src_rank, ref b) in &self.frags {
+            let owner = self.src.local_box(src_rank);
+            if b.intersect(&owner) != *b {
+                return Err(format!(
+                    "regrid fragment {b:?} for dst rank {dst_rank} is read from src rank \
+                     {src_rank}, which only owns {owner:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Execute the plan on materialized shards: `old_shards[r]` is rank
     /// `r`'s shard under the source distribution (shape
     /// `src.local_shape(r)`), the result is the shards of the
@@ -128,6 +152,40 @@ impl RegridPlan {
         }
         out
     }
+}
+
+/// Check that `boxes` exactly partition `target`: every box contained in
+/// the target, no two boxes overlapping, and the volumes summing to the
+/// target's — which together mean each target element is covered exactly
+/// once. The conservation checks of [`RegridPlan`] and
+/// [`crate::shuffle::ShufflePlan`] are both built on this.
+pub fn check_box_partition(target: &Box4, boxes: &[Box4]) -> Result<(), String> {
+    let mut volume = 0usize;
+    for b in boxes {
+        if b.is_empty() {
+            return Err(format!("empty box {b:?} in partition of {target:?}"));
+        }
+        if b.intersect(target) != *b {
+            return Err(format!("box {b:?} leaks outside the target {target:?}"));
+        }
+        volume += b.len();
+    }
+    for (i, a) in boxes.iter().enumerate() {
+        for b in &boxes[i + 1..] {
+            let inter = a.intersect(b);
+            if !inter.is_empty() {
+                return Err(format!("boxes {a:?} and {b:?} overlap on {inter:?}"));
+            }
+        }
+    }
+    if volume != target.len() {
+        return Err(format!(
+            "boxes cover {volume} of the target's {} elements — the gap would stay \
+             uninitialized",
+            target.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Split a full tensor into the shards of `dist`, in rank order (the
@@ -227,6 +285,62 @@ mod tests {
         assert_eq!(plan.total_elements(), 5);
         let out = plan.execute_local(&shard_tensor(&t, &old));
         assert_eq!(assemble_tensor(&new, &out), t);
+    }
+
+    #[test]
+    fn conservation_holds_for_degenerate_grids() {
+        let shape = Shape4::new(3, 2, 7, 5);
+        // 1-rank grids in both directions, identity, and non-power-of-two
+        // worlds (the spatial_fallback shapes): every plan must partition
+        // its destination with no gaps or overlaps.
+        let cases = [
+            (ProcGrid::sample(1), ProcGrid::sample(1)),
+            (ProcGrid::spatial(2, 2), ProcGrid::sample(1)),
+            (ProcGrid::sample(1), ProcGrid::spatial(3, 1)),
+            (ProcGrid::spatial(2, 2), ProcGrid::spatial(2, 2)),
+            (ProcGrid::spatial(2, 2), ProcGrid::spatial(1, 3)),
+            (ProcGrid::spatial(7, 1), ProcGrid::spatial(1, 5)),
+            (ProcGrid::new(2, 1, 2, 1), ProcGrid::new(3, 1, 1, 1)),
+        ];
+        for (old, new) in cases {
+            let plan = RegridPlan::between(shape, old, new);
+            plan.check_conservation().unwrap_or_else(|e| panic!("{old:?} -> {new:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn conservation_catches_corrupted_fragments() {
+        let shape = Shape4::new(2, 1, 6, 6);
+        let old = TensorDist::new(shape, ProcGrid::spatial(2, 2));
+        let new = TensorDist::new(shape, ProcGrid::spatial(1, 3));
+
+        // Dropping a fragment leaves a gap.
+        let mut plan = RegridPlan::build(old, new);
+        plan.frags.pop();
+        let err = plan.check_conservation().unwrap_err();
+        assert!(err.contains("uninitialized"), "{err}");
+
+        // Shrinking a fragment by one row also leaves a gap.
+        let mut plan = RegridPlan::build(old, new);
+        plan.frags[0].2.hi[2] -= 1;
+        assert!(plan.check_conservation().is_err());
+
+        // Re-pointing a fragment at a source rank that does not own it.
+        let mut plan = RegridPlan::build(old, new);
+        let (_, src_rank, b) = plan.frags[0];
+        let stranger = (0..old.world_size())
+            .find(|r| *r != src_rank && b.intersect(&old.local_box(*r)) != b)
+            .unwrap();
+        plan.frags[0].1 = stranger;
+        let err = plan.check_conservation().unwrap_err();
+        assert!(err.contains("only owns"), "{err}");
+
+        // Duplicating a fragment double-writes its elements.
+        let mut plan = RegridPlan::build(old, new);
+        let dup = plan.frags[0];
+        plan.frags.push(dup);
+        let err = plan.check_conservation().unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! a *permutation* of elements, running it backward is simply a shuffle
 //! with the distributions swapped.
 
-use fg_comm::{Collectives, Communicator, OpClass};
+use fg_comm::{Collectives, Communicator, OpClass, ScalarType, TraceRecorder};
 
 use crate::dist::TensorDist;
 use crate::disttensor::DistTensor;
+use crate::regrid::check_box_partition;
 use crate::shape::{Box4, NDIMS};
 
 /// One rank's precompiled geometry for a §III-C redistribution: which
@@ -80,6 +81,66 @@ impl ShufflePlan {
     /// Total elements this rank contributes to the all-to-all.
     pub fn send_elements(&self) -> usize {
         self.sends.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// The `(peer, global box)` pairs this rank packs for each
+    /// destination.
+    pub fn sends(&self) -> &[(usize, Box4)] {
+        &self.sends
+    }
+
+    /// The `(peer, global box)` pairs this rank unpacks from each source.
+    pub fn recvs(&self) -> &[(usize, Box4)] {
+        &self.recvs
+    }
+
+    /// Mutable access to the send list — a corruption hook for the
+    /// schedule verifier's mutation tests, which skew a destination to
+    /// prove the conservation check catches it. Production code never
+    /// edits a compiled plan.
+    pub fn sends_mut(&mut self) -> &mut Vec<(usize, Box4)> {
+        &mut self.sends
+    }
+
+    /// Check shuffle conservation for this rank: the receive boxes must
+    /// partition the destination shard — every owned element arrives
+    /// exactly once, no gaps, no overlaps.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let target = self.dst.local_box(self.rank);
+        let boxes: Vec<Box4> = self.recvs.iter().map(|(_, b)| *b).collect();
+        check_box_partition(&target, &boxes).map_err(|e| {
+            format!("shuffle recvs of rank {} do not partition its shard: {e}", self.rank)
+        })
+    }
+
+    /// Record the all-to-all this plan's `execute` would run into a
+    /// symbolic trace, mirroring the runtime's pairwise exchange exactly:
+    /// a singleton world returns without drawing a tag; otherwise one
+    /// world tag covers the whole exchange and every step sends to
+    /// `(rank+step) % p` / receives from `(rank−step) % p`, including
+    /// zero-length blocks (the runtime ships empty payloads too). The
+    /// self block is copied locally and never hits the wire.
+    pub fn record(&self, rec: &mut TraceRecorder) {
+        let p = self.src.world_size();
+        if p == 1 {
+            return;
+        }
+        let mut to_counts = vec![0usize; p];
+        for (peer, b) in &self.sends {
+            to_counts[*peer] += b.len();
+        }
+        let mut from_counts = vec![0usize; p];
+        for (peer, b) in &self.recvs {
+            from_counts[*peer] += b.len();
+        }
+        rec.begin_exchange();
+        let tag = rec.next_world_tag();
+        for step in 1..p {
+            let dst = (self.rank + step) % p;
+            let src = (self.rank + p - step) % p;
+            rec.send(dst, tag, to_counts[dst], ScalarType::F32);
+            rec.recv(src, tag, from_counts[src], ScalarType::F32);
+        }
     }
 
     /// Run the planned all-to-all: shuffle `src` into a fresh shard of

@@ -29,6 +29,28 @@ cargo fmt --all --check
 step "cargo clippy --workspace --all-targets (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Custom lint: raw point-to-point calls (`.send(…)` / `.recv::<…>(…)`)
+# are forbidden outside the communicator crate and the plan-execution
+# modules. Everything else must go through compiled plans (HaloPlan,
+# ShufflePlan, collectives), which the static verifier (fg-verify) can
+# see; a stray raw send is invisible to it and can deadlock.
+# Allowlist:
+#   crates/comm/              the communicator implementation + its tests
+#   crates/tensor/src/halo.rs HaloPlan execution (start/finish exchange)
+#   crates/core/src/spatial3d.rs  3-D halo-plan execution
+# `rec.send/recv` lines are TraceRecorder bookkeeping, not wire calls.
+step "lint: raw Communicator::send/recv confined to comm + plan execution"
+raw_p2p=$(grep -rnE '\.(send|recv)(::<[^>]*>)?\(' crates --include='*.rs' |
+    grep -vE '^crates/comm/' |
+    grep -vE '^crates/tensor/src/halo\.rs' |
+    grep -vE '^crates/core/src/spatial3d\.rs' |
+    grep -vE '\brec\.(send|recv)\(' || true)
+if [ -n "$raw_p2p" ]; then
+    echo "raw Communicator::send/recv outside the allowlisted modules:" >&2
+    echo "$raw_p2p" >&2
+    exit 1
+fi
+
 if [ "$quick" -eq 0 ]; then
     step "cargo build --release"
     cargo build --release --offline
@@ -53,5 +75,34 @@ cargo test -q --offline -p fg-comm --test faults
 
 step "elastic degradation (permanent rank loss, watchdog + integrity on)"
 cargo test -q --offline --test resilience degrade
+
+# Sanitizer jobs — both are gated on toolchain availability because the
+# build image is offline (no `rustup component add`); when the
+# components are absent the jobs are skipped with a note, not failed.
+#
+# Exclusions (why only a subset runs under miri):
+#   * miri covers fg-comm's p2p, integrity, and stats unit tests — the
+#     unsafe-adjacent envelope/byte-cast paths. The runtime, collective,
+#     and fault suites spawn full thread worlds with timeouts; under
+#     miri's interpreter they run orders of magnitude slower and the
+#     watchdog's wall-clock heuristics misfire, so they stay native.
+#   * the tsan smoke runs only the watchdog tests (pending-counter
+#     ordering); full-suite tsan needs -Zbuild-std and a rebuilt std.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    step "miri: fg-comm p2p/integrity/stats unit tests"
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test --offline -p fg-comm --lib -- p2p:: integrity:: stats::
+else
+    step "miri not installed for the nightly toolchain — skipping (see exclusions above)"
+fi
+
+if rustup component list --toolchain nightly --installed 2>/dev/null | grep -q '^rust-src'; then
+    step "tsan smoke: watchdog pending-counter ordering"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -Zbuild-std \
+        --target x86_64-unknown-linux-gnu -p fg-comm --lib -- watchdog::
+else
+    step "nightly rust-src not installed (needed for -Zbuild-std) — skipping tsan smoke"
+fi
 
 printf '\nCI gate passed.\n'
