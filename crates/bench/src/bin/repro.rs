@@ -16,6 +16,7 @@
 //!   plancache plan-caching ablation (plan-once vs recompile-per-step)
 //!   faults    fault-injection overhead + recovery cost vs ckpt interval
 //!   verify    static schedule verification sweep (models × strategies × grids)
+//!   simscale  executed discrete-event runs at paper scale (writes BENCH_simscale.json)
 //!   all       everything above
 //! ```
 //!
@@ -25,7 +26,8 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, faults, microbench, modelval, plancache, resnet, scaling, strategy, verify,
+    extensions, faults, microbench, modelval, plancache, resnet, scaling, simscale, strategy,
+    verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -50,6 +52,7 @@ fn main() {
             "plancache",
             "faults",
             "verify",
+            "simscale",
         ]
     } else {
         wanted
@@ -74,6 +77,7 @@ fn main() {
             "plancache" => tables.push(plancache::plancache()),
             "faults" => tables.extend(faults::faults()),
             "verify" => tables.push(verify::verify_report(&platform)),
+            "simscale" => tables.push(simscale::simscale_report(&platform)),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

@@ -11,6 +11,7 @@
 //! | [`plancache`] | plan-caching ablation (plan-once vs recompile-per-step) |
 //! | [`faults`] | fault-model overhead and checkpointed-recovery cost |
 //! | [`verify`] | static schedule verification sweep (fg-verify) |
+//! | [`simscale`] | Tables I–III / Fig. 4 as executed discrete-event runs |
 
 pub mod extensions;
 pub mod faults;
@@ -19,6 +20,7 @@ pub mod modelval;
 pub mod plancache;
 pub mod resnet;
 pub mod scaling;
+pub mod simscale;
 pub mod strategy;
 pub mod verify;
 

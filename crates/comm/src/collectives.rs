@@ -117,6 +117,26 @@ pub enum AllreduceAlgorithm {
     Auto,
 }
 
+impl AllreduceAlgorithm {
+    /// Resolve [`AllreduceAlgorithm::Auto`] for a payload of `bytes`:
+    /// MPICH-style, short vectors go latency-optimal (recursive
+    /// doubling), long vectors bandwidth-optimal (ring). Shared by the
+    /// live collectives and the discrete-event replay ([`crate::sim`])
+    /// so the two can never drift.
+    pub fn resolve(self, bytes: usize) -> AllreduceAlgorithm {
+        match self {
+            AllreduceAlgorithm::Auto => {
+                if bytes <= 8192 {
+                    AllreduceAlgorithm::RecursiveDoubling
+                } else {
+                    AllreduceAlgorithm::Ring
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 /// Balanced block partition: the sub-range of `0..total` assigned to
 /// `part` of `parts`. The first `total % parts` blocks are one larger.
 pub fn block_range(total: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
@@ -233,18 +253,7 @@ pub trait Collectives: Communicator + Sized {
         if p == 1 || data.is_empty() {
             return data.to_vec();
         }
-        let alg = match alg {
-            AllreduceAlgorithm::Auto => {
-                // MPICH-style: short vectors → recursive doubling;
-                // long vectors → bandwidth-optimal ring.
-                if data.len() * T::WIDTH <= 8192 {
-                    AllreduceAlgorithm::RecursiveDoubling
-                } else {
-                    AllreduceAlgorithm::Ring
-                }
-            }
-            other => other,
-        };
+        let alg = alg.resolve(data.len() * T::WIDTH);
         self.with_class(OpClass::Allreduce, || match alg {
             AllreduceAlgorithm::Ring => self.allreduce_ring(data, op),
             AllreduceAlgorithm::RecursiveDoubling => self.allreduce_recursive_doubling(data, op),
@@ -546,7 +555,7 @@ pub trait Collectives: Communicator + Sized {
 impl<C: Communicator> Collectives for C {}
 
 /// Largest power of two ≤ `p` (`p ≥ 1`).
-fn prev_pow2(p: usize) -> usize {
+pub(crate) fn prev_pow2(p: usize) -> usize {
     let mut x = 1usize;
     while x * 2 <= p {
         x *= 2;
@@ -556,7 +565,12 @@ fn prev_pow2(p: usize) -> usize {
 
 /// Segment of `0..n` that newrank's subtree owns at halving level `mask`
 /// in Rabenseifner's algorithm (before the split at that level).
-fn segment_at_level(n: usize, newrank: usize, pof2: usize, mask: usize) -> (usize, usize) {
+pub(crate) fn segment_at_level(
+    n: usize,
+    newrank: usize,
+    pof2: usize,
+    mask: usize,
+) -> (usize, usize) {
     let (mut lo, mut hi) = (0usize, n);
     let mut m = pof2 >> 1;
     while m > mask {

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod integrity;
 pub mod p2p;
 pub mod runtime;
+pub mod sim;
 pub mod stats;
 pub mod subcomm;
 pub mod trace;
@@ -58,10 +59,14 @@ pub use runtime::{
     run_ranks, run_ranks_opts, run_ranks_timed, run_ranks_with_faults,
     run_ranks_with_faults_integrity, LinkModel, RunOptions, WorldComm,
 };
+pub use sim::{
+    collective_finish_times, replay_traces_timed, sim_workers_from_env, simulate_traces,
+    simulate_traces_with, BlockedRank, SimError, SimReport,
+};
 pub use stats::{OpClass, TrafficStats};
 pub use subcomm::{SubComm, SubCommLayout};
 pub use trace::{
-    check_traces, CheckKind, CollectiveKind, Phase, RankTrace, TraceEntry, TraceOp, TraceRecorder,
-    VerifyStats, Violation,
+    check_traces, CheckKind, CollectiveKind, Phase, RankTrace, SimSeconds, TraceEntry, TraceOp,
+    TraceRecorder, VerifyStats, Violation,
 };
 pub use watchdog::WatchdogConfig;

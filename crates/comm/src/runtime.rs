@@ -42,8 +42,93 @@ use crate::stats::{OpClass, TrafficStats};
 use crate::watchdog::{Monitor, WatchdogConfig};
 
 /// Virtual-time link model: seconds for `bytes` to travel from rank
-/// `src` to rank `dst`. Injected by [`run_ranks_timed`].
-pub type LinkModel = Arc<dyn Fn(usize, usize, usize) -> f64 + Send + Sync>;
+/// `src` to rank `dst`. Injected by [`run_ranks_timed`] and the
+/// discrete-event engine ([`crate::sim`]).
+///
+/// The closed forms cover the usual cases — a uniform α–β link
+/// ([`LinkModel::alpha_beta`]) and a two-level machine with fast links
+/// inside a node and slower links between ([`LinkModel::two_level`]).
+/// Arbitrary topologies plug in through [`LinkModel::custom`].
+#[derive(Clone)]
+pub struct LinkModel {
+    kind: LinkKind,
+}
+
+#[derive(Clone)]
+enum LinkKind {
+    /// `α + β·bytes` for every rank pair.
+    AlphaBeta { alpha: f64, beta: f64 },
+    /// Node-aware: ranks `r` and `s` share a node iff
+    /// `r / ranks_per_node == s / ranks_per_node`.
+    TwoLevel { ranks_per_node: usize, intra: (f64, f64), inter: (f64, f64) },
+    /// Arbitrary `(src, dst, bytes) → seconds` closure.
+    Custom(Arc<dyn Fn(usize, usize, usize) -> f64 + Send + Sync>),
+}
+
+impl LinkModel {
+    /// Uniform `α + β·bytes` link between every rank pair.
+    pub fn alpha_beta(alpha: f64, beta: f64) -> LinkModel {
+        LinkModel { kind: LinkKind::AlphaBeta { alpha, beta } }
+    }
+
+    /// Two-level machine: `(intra_alpha, intra_beta)` within a node of
+    /// `ranks_per_node` consecutive ranks, `(inter_alpha, inter_beta)`
+    /// between nodes — the shape of `fg_perf::Platform::link_between`.
+    pub fn two_level(
+        ranks_per_node: usize,
+        intra_alpha: f64,
+        intra_beta: f64,
+        inter_alpha: f64,
+        inter_beta: f64,
+    ) -> LinkModel {
+        assert!(ranks_per_node > 0, "a node holds at least one rank");
+        LinkModel {
+            kind: LinkKind::TwoLevel {
+                ranks_per_node,
+                intra: (intra_alpha, intra_beta),
+                inter: (inter_alpha, inter_beta),
+            },
+        }
+    }
+
+    /// Arbitrary link-time function `(src, dst, bytes) → seconds`.
+    pub fn custom(f: impl Fn(usize, usize, usize) -> f64 + Send + Sync + 'static) -> LinkModel {
+        LinkModel { kind: LinkKind::Custom(Arc::new(f)) }
+    }
+
+    /// Seconds for `bytes` to travel from rank `src` to rank `dst`.
+    #[inline]
+    pub fn time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        match &self.kind {
+            LinkKind::AlphaBeta { alpha, beta } => alpha + beta * bytes as f64,
+            LinkKind::TwoLevel { ranks_per_node, intra, inter } => {
+                let (alpha, beta) =
+                    if src / ranks_per_node == dst / ranks_per_node { *intra } else { *inter };
+                alpha + beta * bytes as f64
+            }
+            LinkKind::Custom(f) => f(src, dst, bytes),
+        }
+    }
+}
+
+impl std::fmt::Debug for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            LinkKind::AlphaBeta { alpha, beta } => f
+                .debug_struct("LinkModel::AlphaBeta")
+                .field("alpha", alpha)
+                .field("beta", beta)
+                .finish(),
+            LinkKind::TwoLevel { ranks_per_node, intra, inter } => f
+                .debug_struct("LinkModel::TwoLevel")
+                .field("ranks_per_node", ranks_per_node)
+                .field("intra", intra)
+                .field("inter", inter)
+                .finish(),
+            LinkKind::Custom(_) => f.write_str("LinkModel::Custom(..)"),
+        }
+    }
+}
 
 /// A rank's handle onto the world communicator.
 ///
@@ -230,7 +315,7 @@ impl WorldComm {
         // Under a virtual clock, stamp the arrival time: departure now,
         // plus the modeled link time (α + β·n in the usual models).
         let arrival = match &self.link {
-            Some(link) => self.clock.get() + link(self.rank, dst, bytes),
+            Some(link) => self.clock.get() + link.time(self.rank, dst, bytes),
             None => 0.0,
         };
         let env = Envelope { tag, payload: Box::new(data), bytes, arrival, header };
@@ -708,7 +793,15 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    panic!("rank {rank} {}", panic_message(payload.as_ref()))
+                })
+            })
+            .collect()
     })
 }
 

@@ -1,0 +1,1082 @@
+//! Event-driven virtual-time engine: executed runs at paper scale.
+//!
+//! [`crate::runtime::run_ranks_timed`] spawns one OS thread per rank, so
+//! executed virtual-time runs top out at a few dozen ranks. This module
+//! replaces the thread-per-rank execution with a discrete-event
+//! scheduler over [`crate::trace::RankTrace`]s: every rank becomes a
+//! resumable state machine stepping through its compiled communication
+//! schedule (sends, receives, collectives, and modeled-compute
+//! [`crate::trace::TraceOp::Advance`] ops), and a small worker pool
+//! drives all ranks, matching sends to receives per `(src, dst, tag)`
+//! stream exactly as the live runtime does. Worlds of 2048–32768 ranks
+//! execute in seconds.
+//!
+//! ## Timing semantics (identical to the threaded runtime)
+//!
+//! * a send never advances the sender's clock; it stamps the message's
+//!   arrival as `sender_now + link(src, dst, bytes)`;
+//! * a receive completes no earlier than the arrival:
+//!   `clock = max(clock, arrival)`, FIFO per `(src, dst, tag)` stream;
+//! * `Advance` adds modeled local work to the clock.
+//!
+//! Under these rules the trace network is a Kahn process network: every
+//! rank's final clock is independent of scheduling order and of the
+//! worker-pool size, so the engine is deterministic by construction and
+//! its clocks are *provably* the thread-per-rank clocks for the same
+//! [`LinkModel`]. The `sim_matches_threaded` proptest pins this
+//! end-to-end on ≤ 8-rank worlds.
+//!
+//! ## Collectives
+//!
+//! A traced collective executes *fused*: members deposit their entry
+//! clocks; the last arriver computes every member's finish time with
+//! per-round recurrences that mirror the executed algorithms in
+//! [`crate::collectives`] message-for-message (see
+//! [`collective_finish_times`]), then wakes the parked members. Because
+//! a `sendrecv` is a send (clock unchanged) followed by a receive, each
+//! round's arrivals depend only on the previous round's clocks — the
+//! fused recurrence is exactly the fixed point the threaded execution
+//! reaches, at a tiny fraction of the event count (a 2048-rank ring
+//! allreduce is 2·2047 rounds of arithmetic instead of ~8M scheduled
+//! messages).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::collectives::{prev_pow2, segment_at_level, AllreduceAlgorithm};
+use crate::dynamic::ScalarType;
+use crate::p2p::{Communicator, Tag};
+use crate::trace::{CollectiveKind, RankTrace, TraceOp};
+use crate::LinkModel;
+
+/// Worker-pool size: `FG_SIM_WORKERS` if set to a positive integer,
+/// otherwise `min(available_parallelism, 8)`. The result is identical
+/// for any worker count; more workers only change wall time.
+pub fn sim_workers_from_env() -> usize {
+    match std::env::var("FG_SIM_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+    }
+}
+
+/// What the discrete-event run produced: per-rank final clocks and a
+/// breakdown of where virtual time went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-rank final virtual clocks, seconds (rank order).
+    pub clocks: Vec<f64>,
+    /// Per-rank modeled compute (total `Advance`), seconds.
+    pub compute: Vec<f64>,
+    /// Per-rank exposed p2p wait: `max(0, arrival − now)` summed over
+    /// receives, seconds.
+    pub p2p_wait: Vec<f64>,
+    /// Per-rank time inside collectives (`finish − entry` summed),
+    /// seconds — the allreduce exposure of the schedule.
+    pub allreduce: Vec<f64>,
+    /// Trace ops executed (events), summed over ranks.
+    pub ops_executed: u64,
+    /// Modeled wire messages: every p2p send plus every per-round
+    /// message of the fused collectives.
+    pub messages: u64,
+    /// Real elapsed time of the simulation.
+    pub wall: Duration,
+}
+
+/// The scheduling-independent slice of a [`SimReport`]: clocks,
+/// compute, p2p wait, allreduce exposure, ops executed, messages.
+pub type DeterministicView<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64], u64, u64);
+
+impl SimReport {
+    /// The virtual makespan: the maximum final clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Events (trace ops) executed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.ops_executed as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Everything scheduling-independent — the full report minus wall
+    /// time. Two runs of the same traces must compare equal on this.
+    pub fn deterministic_view(&self) -> DeterministicView<'_> {
+        (
+            &self.clocks,
+            &self.compute,
+            &self.p2p_wait,
+            &self.allreduce,
+            self.ops_executed,
+            self.messages,
+        )
+    }
+}
+
+/// One rank stuck at an op when the world deadlocked.
+#[derive(Debug, Clone)]
+pub struct BlockedRank {
+    /// The stuck rank.
+    pub rank: usize,
+    /// Index of the op it cannot complete.
+    pub op_index: usize,
+    /// What it is waiting for.
+    pub detail: String,
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// Every rank is blocked with ops remaining: the schedule deadlocks.
+    Deadlock {
+        /// The blocked ranks and what each waits on (capped at 16).
+        blocked: Vec<BlockedRank>,
+        /// Total ranks blocked (the cap may hide some).
+        total_blocked: usize,
+    },
+    /// The traces disagree structurally (e.g. collective members
+    /// disagree on payload size) — run the static verifier for a full
+    /// diagnosis.
+    Inconsistent {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked, total_blocked } => {
+                write!(f, "simulated schedule deadlocked: {total_blocked} rank(s) blocked")?;
+                for b in blocked {
+                    write!(f, "\n  rank {} at op {}: {}", b.rank, b.op_index, b.detail)?;
+                }
+                Ok(())
+            }
+            SimError::Inconsistent { detail } => {
+                write!(f, "traces are structurally inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A compiled per-rank schedule op. Collectives are pre-matched into
+/// instances at compile time (static matching: each rank's n-th
+/// collective on a `(members, tag)` key joins instance n).
+enum SimOp {
+    Send { to: usize, tag: Tag, bytes: usize },
+    Recv { from: usize, tag: Tag },
+    Advance { secs: f64 },
+    Collective { id: usize, member_index: usize },
+}
+
+/// One pre-matched collective instance.
+struct Instance {
+    members: std::sync::Arc<[usize]>,
+    count: usize,
+    ty: ScalarType,
+    state: Mutex<InstanceState>,
+}
+
+struct InstanceState {
+    /// Entry clocks, member order; NaN = not arrived yet.
+    entry: Vec<f64>,
+    arrived: usize,
+    /// Ranks parked waiting for completion.
+    parked: Vec<usize>,
+    /// Finish clocks, member order; empty until the last member arrives.
+    finish: Vec<f64>,
+}
+
+struct Compiled {
+    ops: Vec<Vec<SimOp>>,
+    instances: Vec<Instance>,
+}
+
+fn compile(traces: &[RankTrace]) -> Result<Compiled, SimError> {
+    let mut instances: Vec<Instance> = Vec::new();
+    // (members, tag) → instance ids in first-occurrence order.
+    type Key = (std::sync::Arc<[usize]>, Tag);
+    let mut by_key: HashMap<Key, Vec<usize>> = HashMap::new();
+    let mut ops: Vec<Vec<SimOp>> = Vec::with_capacity(traces.len());
+    for (rank, t) in traces.iter().enumerate() {
+        if t.rank != rank {
+            return Err(SimError::Inconsistent {
+                detail: format!("trace at index {rank} belongs to rank {}", t.rank),
+            });
+        }
+        let mut my_ops = Vec::with_capacity(t.entries.len());
+        // This rank's occurrence counter per key (FIFO instance join).
+        let mut seen: HashMap<Key, usize> = HashMap::new();
+        for e in &t.entries {
+            let op = match &e.op {
+                TraceOp::Send { to, tag, count, ty } => {
+                    SimOp::Send { to: *to, tag: *tag, bytes: count * ty.width() }
+                }
+                TraceOp::Recv { from, tag, .. } => SimOp::Recv { from: *from, tag: *tag },
+                TraceOp::Advance { secs } => SimOp::Advance { secs: secs.0 },
+                TraceOp::Collective {
+                    kind: CollectiveKind::AllreduceSum,
+                    members,
+                    count,
+                    ty,
+                    tag,
+                } => {
+                    let key: Key = (std::sync::Arc::clone(members), *tag);
+                    let occurrence = {
+                        let c = seen.entry(key.clone()).or_insert(0);
+                        let o = *c;
+                        *c += 1;
+                        o
+                    };
+                    let ids = by_key.entry(key).or_default();
+                    let id = if occurrence < ids.len() {
+                        ids[occurrence]
+                    } else {
+                        let id = instances.len();
+                        let p = members.len();
+                        instances.push(Instance {
+                            members: std::sync::Arc::clone(members),
+                            count: *count,
+                            ty: *ty,
+                            state: Mutex::new(InstanceState {
+                                entry: vec![f64::NAN; p],
+                                arrived: 0,
+                                parked: Vec::new(),
+                                finish: Vec::new(),
+                            }),
+                        });
+                        ids.push(id);
+                        id
+                    };
+                    let inst = &instances[id];
+                    if inst.count != *count || inst.ty != *ty {
+                        return Err(SimError::Inconsistent {
+                            detail: format!(
+                                "rank {rank} joins collective tag {tag:#x} with {count} {ty:?}, \
+                                 another member recorded {} {:?}",
+                                inst.count, inst.ty
+                            ),
+                        });
+                    }
+                    let member_index =
+                        inst.members.iter().position(|&m| m == rank).ok_or_else(|| {
+                            SimError::Inconsistent {
+                                detail: format!(
+                                    "rank {rank} records a collective (tag {tag:#x}) whose member \
+                                     list {:?} does not contain it",
+                                    &inst.members[..inst.members.len().min(16)]
+                                ),
+                            }
+                        })?;
+                    SimOp::Collective { id, member_index }
+                }
+            };
+            my_ops.push(op);
+        }
+        ops.push(my_ops);
+    }
+    Ok(Compiled { ops, instances })
+}
+
+/// Per `(src, dst, tag)` message stream: FIFO arrival-time queue plus
+/// the (unique) receiver parked on it, if any.
+#[derive(Default)]
+struct Stream {
+    queue: VecDeque<f64>,
+    waiting: Option<usize>,
+}
+
+struct RankState {
+    ops: Vec<SimOp>,
+    pc: usize,
+    clock: f64,
+    compute: f64,
+    p2p_wait: f64,
+    allreduce: f64,
+}
+
+struct Sched {
+    ready: VecDeque<usize>,
+    idle: usize,
+    finished: usize,
+    deadlock: bool,
+}
+
+const STREAM_SHARDS: usize = 64;
+
+/// One lock shard of the stream map.
+type StreamShard = Mutex<HashMap<(usize, usize, Tag), Stream>>;
+
+struct Engine<'a> {
+    ranks: Vec<Mutex<RankState>>,
+    instances: Vec<Instance>,
+    streams: Vec<StreamShard>,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    link: &'a LinkModel,
+    workers: usize,
+    messages: AtomicU64,
+    ops_executed: AtomicU64,
+}
+
+impl<'a> Engine<'a> {
+    fn shard(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+    ) -> &Mutex<HashMap<(usize, usize, Tag), Stream>> {
+        let h = src
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(dst.wrapping_mul(0x85EB_CA6B))
+            .wrapping_add(tag as usize);
+        &self.streams[h % STREAM_SHARDS]
+    }
+
+    fn wake(&self, rank: usize) {
+        let mut s = self.sched.lock().expect("scheduler lock");
+        s.ready.push_back(rank);
+        self.cv.notify_one();
+    }
+
+    fn worker(&self) {
+        loop {
+            let rank = {
+                let mut s = self.sched.lock().expect("scheduler lock");
+                loop {
+                    if s.finished == self.ranks.len() || s.deadlock {
+                        return;
+                    }
+                    if let Some(r) = s.ready.pop_front() {
+                        break r;
+                    }
+                    s.idle += 1;
+                    if s.idle == self.workers {
+                        // Nothing ready, nothing running, ranks remain:
+                        // no future event can wake anyone. Deadlock.
+                        s.deadlock = true;
+                        self.cv.notify_all();
+                        return;
+                    }
+                    s = self.cv.wait(s).expect("scheduler lock");
+                    s.idle -= 1;
+                }
+            };
+            self.run_rank(rank);
+        }
+    }
+
+    /// Step `rank` until it parks on an empty stream / incomplete
+    /// collective, or runs out of ops.
+    fn run_rank(&self, rank: usize) {
+        let mut st = self.ranks[rank].lock().expect("rank lock");
+        let mut executed = 0u64;
+        let mut messages = 0u64;
+        loop {
+            if st.pc >= st.ops.len() {
+                drop(st);
+                self.ops_executed.fetch_add(executed, Ordering::Relaxed);
+                self.messages.fetch_add(messages, Ordering::Relaxed);
+                let mut s = self.sched.lock().expect("scheduler lock");
+                s.finished += 1;
+                if s.finished == self.ranks.len() {
+                    self.cv.notify_all();
+                }
+                return;
+            }
+            match st.ops[st.pc] {
+                SimOp::Advance { secs } => {
+                    st.clock += secs;
+                    st.compute += secs;
+                    st.pc += 1;
+                    executed += 1;
+                }
+                SimOp::Send { to, tag, bytes } => {
+                    let arrival = st.clock + self.link.time(rank, to, bytes);
+                    messages += 1;
+                    let woken = {
+                        let mut shard = self.shard(rank, to, tag).lock().expect("stream lock");
+                        let stream = shard.entry((rank, to, tag)).or_default();
+                        stream.queue.push_back(arrival);
+                        stream.waiting.take()
+                    };
+                    if let Some(w) = woken {
+                        self.wake(w);
+                    }
+                    st.pc += 1;
+                    executed += 1;
+                }
+                SimOp::Recv { from, tag } => {
+                    let popped = {
+                        let mut shard = self.shard(from, rank, tag).lock().expect("stream lock");
+                        let stream = shard.entry((from, rank, tag)).or_default();
+                        match stream.queue.pop_front() {
+                            Some(a) => Some(a),
+                            None => {
+                                stream.waiting = Some(rank);
+                                None
+                            }
+                        }
+                    };
+                    match popped {
+                        Some(arrival) => {
+                            if arrival > st.clock {
+                                st.p2p_wait += arrival - st.clock;
+                                st.clock = arrival;
+                            }
+                            st.pc += 1;
+                            executed += 1;
+                        }
+                        None => {
+                            // Parked; the matching send reschedules us.
+                            drop(st);
+                            self.ops_executed.fetch_add(executed, Ordering::Relaxed);
+                            self.messages.fetch_add(messages, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                SimOp::Collective { id, member_index } => {
+                    let inst = &self.instances[id];
+                    let mut is = inst.state.lock().expect("instance lock");
+                    if is.entry[member_index].is_nan() {
+                        is.entry[member_index] = st.clock;
+                        is.arrived += 1;
+                        if is.arrived == inst.members.len() {
+                            // Last arriver: fuse the whole collective.
+                            let bytes = inst.count * inst.ty.width();
+                            let alg = AllreduceAlgorithm::Auto.resolve(bytes);
+                            let (finish, msgs) = collective_finish_times(
+                                alg,
+                                &is.entry,
+                                &inst.members,
+                                inst.count,
+                                inst.ty.width(),
+                                self.link,
+                            );
+                            messages += msgs;
+                            is.finish = finish;
+                            let f = is.finish[member_index];
+                            st.allreduce += f - is.entry[member_index];
+                            st.clock = f;
+                            let parked = std::mem::take(&mut is.parked);
+                            drop(is);
+                            if !parked.is_empty() {
+                                let mut s = self.sched.lock().expect("scheduler lock");
+                                s.ready.extend(parked);
+                                self.cv.notify_all();
+                            }
+                            st.pc += 1;
+                            executed += 1;
+                        } else {
+                            is.parked.push(rank);
+                            drop(is);
+                            drop(st);
+                            self.ops_executed.fetch_add(executed, Ordering::Relaxed);
+                            self.messages.fetch_add(messages, Ordering::Relaxed);
+                            return;
+                        }
+                    } else {
+                        // Resumed after completion: read our finish time.
+                        debug_assert!(!is.finish.is_empty(), "resumed before completion");
+                        let f = is.finish[member_index];
+                        st.allreduce += f - is.entry[member_index];
+                        st.clock = f;
+                        st.pc += 1;
+                        executed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe_blocked(&self, rank: usize, st: &RankState) -> String {
+        match st.ops[st.pc] {
+            SimOp::Recv { from, tag } => {
+                format!("recv from rank {from} tag {tag:#x}: no message on the stream")
+            }
+            SimOp::Collective { id, .. } => {
+                let inst = &self.instances[id];
+                let is = inst.state.lock().expect("instance lock");
+                format!("collective of {} members: only {} arrived", inst.members.len(), is.arrived)
+            }
+            SimOp::Send { to, .. } => format!("send to rank {to} (sends never block?)"),
+            SimOp::Advance { .. } => format!("advance (never blocks?) at rank {rank}"),
+        }
+    }
+}
+
+/// Execute `traces` as a discrete-event run under `link`, with the
+/// worker-pool size from [`sim_workers_from_env`]. Traces must be in
+/// rank order (index i = rank i), as produced by the trace recorders.
+pub fn simulate_traces(traces: &[RankTrace], link: &LinkModel) -> Result<SimReport, SimError> {
+    simulate_traces_with(traces, link, sim_workers_from_env())
+}
+
+/// [`simulate_traces`] with an explicit worker-pool size. The report's
+/// deterministic view is identical for every `workers ≥ 1`.
+pub fn simulate_traces_with(
+    traces: &[RankTrace],
+    link: &LinkModel,
+    workers: usize,
+) -> Result<SimReport, SimError> {
+    let start = Instant::now();
+    let n = traces.len();
+    let compiled = compile(traces)?;
+    let workers = workers.clamp(1, n.max(1));
+    let engine = Engine {
+        ranks: compiled
+            .ops
+            .into_iter()
+            .map(|ops| {
+                Mutex::new(RankState {
+                    ops,
+                    pc: 0,
+                    clock: 0.0,
+                    compute: 0.0,
+                    p2p_wait: 0.0,
+                    allreduce: 0.0,
+                })
+            })
+            .collect(),
+        instances: compiled.instances,
+        streams: (0..STREAM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        sched: Mutex::new(Sched { ready: (0..n).collect(), idle: 0, finished: 0, deadlock: false }),
+        cv: Condvar::new(),
+        link,
+        workers,
+        messages: AtomicU64::new(0),
+        ops_executed: AtomicU64::new(0),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| engine.worker());
+        }
+    });
+    let deadlocked = engine.sched.lock().expect("scheduler lock").deadlock;
+    if deadlocked {
+        let mut blocked = Vec::new();
+        let mut total = 0usize;
+        for (rank, m) in engine.ranks.iter().enumerate() {
+            let st = m.lock().expect("rank lock");
+            if st.pc < st.ops.len() {
+                total += 1;
+                if blocked.len() < 16 {
+                    let detail = engine.describe_blocked(rank, &st);
+                    blocked.push(BlockedRank { rank, op_index: st.pc, detail });
+                }
+            }
+        }
+        return Err(SimError::Deadlock { blocked, total_blocked: total });
+    }
+    let mut clocks = Vec::with_capacity(n);
+    let mut compute = Vec::with_capacity(n);
+    let mut p2p_wait = Vec::with_capacity(n);
+    let mut allreduce = Vec::with_capacity(n);
+    for m in &engine.ranks {
+        let st = m.lock().expect("rank lock");
+        clocks.push(st.clock);
+        compute.push(st.compute);
+        p2p_wait.push(st.p2p_wait);
+        allreduce.push(st.allreduce);
+    }
+    Ok(SimReport {
+        clocks,
+        compute,
+        p2p_wait,
+        allreduce,
+        ops_executed: engine.ops_executed.load(Ordering::Relaxed),
+        messages: engine.messages.load(Ordering::Relaxed),
+        wall: start.elapsed(),
+    })
+}
+
+/// Per-member finish clocks of one fused allreduce, plus the modeled
+/// wire-message count.
+///
+/// `entries[i]` is member i's clock when it enters the collective;
+/// `members[i]` its world rank (link costs use world ranks, exactly as
+/// a bound `SubComm` translates before sending). The recurrences step
+/// the same rounds, chunk sizes, and partners as the executed
+/// algorithms in [`crate::collectives`], under the timed-runtime rule
+/// `new = max(own, partner_before_round + link)` — a `sendrecv` sends
+/// first (clock unchanged), so round r's arrivals depend only on
+/// round r−1 clocks. `Auto` resolves by payload size exactly like
+/// `allreduce_with`.
+///
+/// Public so tests can pin fused timing against `run_ranks_timed` +
+/// `allreduce_with` for every algorithm directly.
+pub fn collective_finish_times(
+    alg: AllreduceAlgorithm,
+    entries: &[f64],
+    members: &[usize],
+    count: usize,
+    width: usize,
+    link: &LinkModel,
+) -> (Vec<f64>, u64) {
+    let p = members.len();
+    assert_eq!(entries.len(), p, "one entry clock per member");
+    if p <= 1 || count == 0 {
+        return (entries.to_vec(), 0);
+    }
+    match alg.resolve(count * width) {
+        AllreduceAlgorithm::Ring => ring_times(entries, members, count, width, link),
+        AllreduceAlgorithm::RecursiveDoubling => {
+            halving_times(entries, members, count, width, link, false)
+        }
+        AllreduceAlgorithm::Rabenseifner => {
+            halving_times(entries, members, count, width, link, true)
+        }
+        AllreduceAlgorithm::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+/// Ring allreduce: 2(P−1) lockstep rounds. In round r, member i
+/// receives from its left neighbor the chunk that neighbor rotates out;
+/// zero-length chunks (P > n) still cost a latency-only message, like
+/// the executed algorithm's empty `sendrecv`.
+fn ring_times(
+    entries: &[f64],
+    members: &[usize],
+    n: usize,
+    w: usize,
+    link: &LinkModel,
+) -> (Vec<f64>, u64) {
+    let p = members.len();
+    let mut t = entries.to_vec();
+    let mut nt = vec![0.0f64; p];
+    let mut msgs = 0u64;
+    // Chunks come in exactly two sizes (`block_range`: ⌈n/p⌉ for the
+    // first n%p blocks, ⌊n/p⌋ after), and every round's message rides
+    // the same left→i link — so the 2(p−1)·p `link.time` evaluations
+    // collapse to 2p, precomputed here with the identical operands the
+    // naive loop would pass (bit-exactness is load-bearing: these times
+    // are what the threaded runtime charges).
+    let base = n / p;
+    let rem = n % p;
+    let time_hi: Vec<f64> =
+        (0..p).map(|i| link.time(members[(i + p - 1) % p], members[i], (base + 1) * w)).collect();
+    let time_lo: Vec<f64> =
+        (0..p).map(|i| link.time(members[(i + p - 1) % p], members[i], base * w)).collect();
+    for phase in 0..2usize {
+        for step in 0..p - 1 {
+            for (i, nti) in nt.iter_mut().enumerate() {
+                let left = (i + p - 1) % p;
+                // The chunk index the left neighbor sends this round.
+                let send_idx =
+                    if phase == 0 { (left + p - step) % p } else { (left + 1 + p - step) % p };
+                let hop = if send_idx < rem { time_hi[i] } else { time_lo[i] };
+                *nti = t[i].max(t[left] + hop);
+                msgs += 1;
+            }
+            std::mem::swap(&mut t, &mut nt);
+        }
+    }
+    (t, msgs)
+}
+
+/// Recursive doubling and Rabenseifner share their non-power-of-two
+/// pre/post steps (odd ranks of the first `2·rem` fold into their even
+/// neighbor and sit out); `halve` selects Rabenseifner's
+/// halving/doubling payload schedule over recursive doubling's
+/// full-vector exchanges.
+fn halving_times(
+    entries: &[f64],
+    members: &[usize],
+    n: usize,
+    w: usize,
+    link: &LinkModel,
+    halve: bool,
+) -> (Vec<f64>, u64) {
+    let p = members.len();
+    let pof2 = prev_pow2(p);
+    let rem = p - pof2;
+    let full = n * w;
+    let mut t = entries.to_vec();
+    let mut msgs = 0u64;
+    if halve && pof2 == 1 {
+        // Degenerate: the executed Rabenseifner returns the data as-is.
+        return (t, 0);
+    }
+
+    // Pre-step: odd ranks < 2·rem send the full vector to rank−1 (their
+    // clock unchanged — sends don't advance it); even ranks receive.
+    let newrank: Vec<isize> = (0..p)
+        .map(|i| {
+            if i < 2 * rem {
+                if i % 2 == 1 {
+                    -1
+                } else {
+                    (i / 2) as isize
+                }
+            } else {
+                (i - rem) as isize
+            }
+        })
+        .collect();
+    for i in (0..2 * rem).step_by(2) {
+        let arrival = t[i + 1] + link.time(members[i + 1], members[i], full);
+        t[i] = t[i].max(arrival);
+        msgs += 1;
+    }
+
+    let to_real = |nr: usize| if nr < rem { nr * 2 } else { nr + rem };
+    let mut nt = t.clone();
+    if halve {
+        // Reduce-scatter by recursive halving: partners share a segment,
+        // exchange complementary halves; i receives its keep-half.
+        let mut seg = vec![(0usize, n); p];
+        let mut mask = pof2 >> 1;
+        let mut merge_masks = Vec::new();
+        while mask > 0 {
+            for i in 0..p {
+                let nr = newrank[i];
+                if nr < 0 {
+                    nt[i] = t[i];
+                    continue;
+                }
+                let nr = nr as usize;
+                let partner = to_real(nr ^ mask);
+                let (lo, hi) = seg[i];
+                let mid = lo + (hi - lo) / 2;
+                let keep = if nr & mask == 0 { (lo, mid) } else { (mid, hi) };
+                let bytes = (keep.1 - keep.0) * w;
+                let arrival = t[partner] + link.time(members[partner], members[i], bytes);
+                nt[i] = t[i].max(arrival);
+                msgs += 1;
+                seg[i] = keep;
+            }
+            std::mem::swap(&mut t, &mut nt);
+            merge_masks.push(mask);
+            mask >>= 1;
+        }
+        // Allgather by recursive doubling, reversing the halving;
+        // i receives its partner's half of the level's segment.
+        for mask in merge_masks.into_iter().rev() {
+            for i in 0..p {
+                let nr = newrank[i];
+                if nr < 0 {
+                    nt[i] = t[i];
+                    continue;
+                }
+                let nr = nr as usize;
+                let partner = to_real(nr ^ mask);
+                let (plo, phi) = segment_at_level(n, nr, pof2, mask);
+                let mid = plo + (phi - plo) / 2;
+                let theirs = if nr & mask == 0 { (mid, phi) } else { (plo, mid) };
+                let bytes = (theirs.1 - theirs.0) * w;
+                let arrival = t[partner] + link.time(members[partner], members[i], bytes);
+                nt[i] = t[i].max(arrival);
+                msgs += 1;
+            }
+            std::mem::swap(&mut t, &mut nt);
+        }
+    } else {
+        // Recursive doubling: log₂(pof2) full-vector pairwise rounds.
+        let mut mask = 1usize;
+        while mask < pof2 {
+            for i in 0..p {
+                let nr = newrank[i];
+                if nr < 0 {
+                    nt[i] = t[i];
+                    continue;
+                }
+                let nr = nr as usize;
+                let partner = to_real(nr ^ mask);
+                let arrival = t[partner] + link.time(members[partner], members[i], full);
+                nt[i] = t[i].max(arrival);
+                msgs += 1;
+            }
+            std::mem::swap(&mut t, &mut nt);
+            mask <<= 1;
+        }
+    }
+
+    // Post-step: even ranks < 2·rem forward the result to their odd
+    // neighbor, whose clock is still its entry value (it only sent).
+    for i in (0..2 * rem).step_by(2) {
+        let arrival = t[i] + link.time(members[i], members[i + 1], full);
+        t[i + 1] = t[i + 1].max(arrival);
+        msgs += 1;
+    }
+    (t, msgs)
+}
+
+/// Replay `traces` through the *threaded* timed runtime
+/// ([`crate::runtime::run_ranks_timed`]) with zero-filled payloads and
+/// return the per-rank final clocks — the reference execution the DES
+/// engine must reproduce exactly. Only usable at thread-per-rank scale
+/// (≤ a few dozen ranks); that is the point: it exists so tests can pin
+/// [`simulate_traces`] against the live runtime on small worlds.
+///
+/// Collectives on a strict subset of the world re-bind a [`SubComm`]
+/// with the group id recovered from the recorded tag (the salt field of
+/// `sub_collective_tag`), so the replay draws the very tags the recorder
+/// simulated.
+pub fn replay_traces_timed(traces: &[RankTrace], link: &LinkModel) -> Vec<f64> {
+    use crate::runtime::{run_ranks_timed, WorldComm};
+
+    run_ranks_timed(traces.len(), link.clone(), |comm: &WorldComm| {
+        let trace = &traces[comm.rank()];
+        let world = comm.size();
+        for e in &trace.entries {
+            match &e.op {
+                TraceOp::Send { to, tag, count, ty } => send_zeroed(comm, *to, *tag, *count, *ty),
+                TraceOp::Recv { from, tag, ty, .. } => recv_discard(comm, *from, *tag, *ty),
+                TraceOp::Advance { secs } => comm.advance(secs.0),
+                TraceOp::Collective { members, count, ty, tag, .. } => {
+                    if members.len() == world {
+                        allreduce_zeroed(comm, *count, *ty);
+                    } else {
+                        // sub_collective_tag(salt, c) packs the salt in
+                        // bits 32..61; recover it so the rebound group
+                        // draws the recorded tags (counter restarts at 0
+                        // per bind, matching the recorder).
+                        let salt = (tag >> 32) & ((1u64 << 29) - 1);
+                        let sub = crate::subcomm::SubComm::new(comm, members.to_vec(), salt)
+                            .expect("recorded member list binds");
+                        allreduce_zeroed(&sub, *count, *ty);
+                    }
+                }
+            }
+        }
+    })
+    .into_iter()
+    .map(|((), clock)| clock)
+    .collect()
+}
+
+fn send_zeroed<C: Communicator>(comm: &C, to: usize, tag: Tag, count: usize, ty: ScalarType) {
+    match ty {
+        ScalarType::F32 => comm.send(to, tag, vec![0f32; count]),
+        ScalarType::F64 => comm.send(to, tag, vec![0f64; count]),
+        ScalarType::U8 => comm.send(to, tag, vec![0u8; count]),
+        ScalarType::U32 => comm.send(to, tag, vec![0u32; count]),
+        ScalarType::U64 => comm.send(to, tag, vec![0u64; count]),
+        ScalarType::I32 => comm.send(to, tag, vec![0i32; count]),
+        ScalarType::I64 => comm.send(to, tag, vec![0i64; count]),
+        ScalarType::Usize => comm.send(to, tag, vec![0usize; count]),
+        ScalarType::UsizePair => comm.send(to, tag, vec![(0usize, 0usize); count]),
+    }
+}
+
+fn recv_discard<C: Communicator>(comm: &C, from: usize, tag: Tag, ty: ScalarType) {
+    match ty {
+        ScalarType::F32 => drop(comm.recv::<f32>(from, tag)),
+        ScalarType::F64 => drop(comm.recv::<f64>(from, tag)),
+        ScalarType::U8 => drop(comm.recv::<u8>(from, tag)),
+        ScalarType::U32 => drop(comm.recv::<u32>(from, tag)),
+        ScalarType::U64 => drop(comm.recv::<u64>(from, tag)),
+        ScalarType::I32 => drop(comm.recv::<i32>(from, tag)),
+        ScalarType::I64 => drop(comm.recv::<i64>(from, tag)),
+        ScalarType::Usize => drop(comm.recv::<usize>(from, tag)),
+        ScalarType::UsizePair => drop(comm.recv::<(usize, usize)>(from, tag)),
+    }
+}
+
+fn allreduce_zeroed<C: Communicator>(comm: &C, count: usize, ty: ScalarType) {
+    use crate::collectives::{Collectives, ReduceOp};
+    match ty {
+        ScalarType::F32 => drop(comm.allreduce(&vec![0f32; count], ReduceOp::Sum)),
+        ScalarType::F64 => drop(comm.allreduce(&vec![0f64; count], ReduceOp::Sum)),
+        ScalarType::U8 => drop(comm.allreduce(&vec![0u8; count], ReduceOp::Sum)),
+        ScalarType::U32 => drop(comm.allreduce(&vec![0u32; count], ReduceOp::Sum)),
+        ScalarType::U64 => drop(comm.allreduce(&vec![0u64; count], ReduceOp::Sum)),
+        ScalarType::I32 => drop(comm.allreduce(&vec![0i32; count], ReduceOp::Sum)),
+        ScalarType::I64 => drop(comm.allreduce(&vec![0i64; count], ReduceOp::Sum)),
+        ScalarType::Usize => drop(comm.allreduce(&vec![0usize; count], ReduceOp::Sum)),
+        ScalarType::UsizePair => {
+            panic!("no plan allreduces (usize, usize) — it has no reduction")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{Collectives, ReduceOp};
+    use crate::runtime::run_ranks_timed;
+    use crate::trace::{Phase, TraceRecorder};
+
+    fn link() -> LinkModel {
+        LinkModel::alpha_beta(5e-6, 1e-9)
+    }
+
+    /// A small pipeline: rank i advances i·1ms, sends to i+1, then the
+    /// world allreduces.
+    fn pipeline_traces(world: usize) -> Vec<RankTrace> {
+        (0..world)
+            .map(|rank| {
+                let mut rec = TraceRecorder::new(rank, world);
+                rec.scope(0, Phase::Forward);
+                rec.advance(rank as f64 * 1e-3);
+                rec.begin_exchange();
+                let tag = rec.next_world_tag();
+                if rank + 1 < world {
+                    rec.send(rank + 1, tag, 1024, ScalarType::F32);
+                }
+                if rank > 0 {
+                    rec.recv(rank - 1, tag, 1024, ScalarType::F32);
+                }
+                rec.scope(1, Phase::Backward);
+                rec.world_allreduce(4096, ScalarType::F32);
+                rec.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_threaded_exactly() {
+        let traces = pipeline_traces(6);
+        let want = replay_traces_timed(&traces, &link());
+        let got = simulate_traces_with(&traces, &link(), 4).expect("simulates");
+        assert_eq!(got.clocks, want);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let traces = pipeline_traces(8);
+        let a = simulate_traces_with(&traces, &link(), 1).expect("simulates");
+        let b = simulate_traces_with(&traces, &link(), 7).expect("simulates");
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+
+    #[test]
+    fn advance_and_wait_accounting() {
+        let traces = pipeline_traces(3);
+        let r = simulate_traces_with(&traces, &link(), 2).expect("simulates");
+        assert_eq!(r.compute, vec![0.0, 1e-3, 2e-3]);
+        // Rank 1 receives rank 0's send after its own 1ms advance: the
+        // message arrived long before, so no exposed wait.
+        assert_eq!(r.p2p_wait[1], 0.0);
+        assert!(r.allreduce.iter().all(|&a| a > 0.0));
+        assert!(r.ops_executed > 0 && r.messages > 0);
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks_with_diagnosis() {
+        let mut rec = TraceRecorder::new(0, 2);
+        rec.recv(1, 7, 4, ScalarType::F32);
+        let t0 = rec.finish();
+        let t1 = TraceRecorder::new(1, 2).finish();
+        match simulate_traces_with(&[t0, t1], &link(), 2) {
+            Err(SimError::Deadlock { blocked, total_blocked }) => {
+                assert_eq!(total_blocked, 1);
+                assert_eq!(blocked[0].rank, 0);
+                assert_eq!(blocked[0].op_index, 0);
+                assert!(blocked[0].detail.contains("recv from rank 1"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_collective_counts_are_rejected() {
+        let mut a = TraceRecorder::new(0, 2);
+        a.world_allreduce(100, ScalarType::F32);
+        let mut b = TraceRecorder::new(1, 2);
+        b.world_allreduce(200, ScalarType::F32);
+        match simulate_traces_with(&[a.finish(), b.finish()], &link(), 2) {
+            Err(SimError::Inconsistent { detail }) => assert!(detail.contains("100")),
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+    }
+
+    /// The fused recurrences must reproduce the threaded runtime's
+    /// clocks for every algorithm, world size, and payload shape —
+    /// including non-powers-of-two and payloads smaller than the world.
+    #[test]
+    fn fused_collectives_match_threaded_all_algorithms() {
+        let algs = [
+            AllreduceAlgorithm::Ring,
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::Rabenseifner,
+        ];
+        for p in 2..=8 {
+            for n in [1usize, 3, 64, 1000] {
+                for alg in algs {
+                    let entries: Vec<f64> = (0..p).map(|i| (i % 3) as f64 * 1e-4).collect();
+                    let members: Vec<usize> = (0..p).collect();
+                    let (fused, msgs) =
+                        collective_finish_times(alg, &entries, &members, n, 4, &link());
+                    let want: Vec<f64> = run_ranks_timed(p, link(), |comm| {
+                        comm.advance((comm.rank() % 3) as f64 * 1e-4);
+                        comm.allreduce_with(&vec![0f32; n], ReduceOp::Sum, alg);
+                    })
+                    .into_iter()
+                    .map(|((), c)| c)
+                    .collect();
+                    assert_eq!(fused, want, "alg {alg:?} p {p} n {n}");
+                    assert!(msgs > 0);
+                }
+            }
+        }
+    }
+
+    /// Fused timing with non-contiguous world ranks must charge links
+    /// between the *world* ranks, as a bound subgroup does.
+    #[test]
+    fn fused_subgroup_uses_world_ranks_for_links() {
+        let hetero = LinkModel::custom(|src, dst, bytes| {
+            if src >= 4 || dst >= 4 {
+                1e-3 + 1e-9 * bytes as f64
+            } else {
+                1e-6 + 1e-9 * bytes as f64
+            }
+        });
+        let members = [1usize, 3, 5, 7];
+        let entries = [0.0; 4];
+        let (with_slow, _) =
+            collective_finish_times(AllreduceAlgorithm::Ring, &entries, &members, 256, 4, &hetero);
+        let (all_fast, _) = collective_finish_times(
+            AllreduceAlgorithm::Ring,
+            &entries,
+            &[0, 1, 2, 3],
+            256,
+            4,
+            &hetero,
+        );
+        assert!(with_slow.iter().sum::<f64>() > all_fast.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn empty_and_singleton_collectives_are_no_ops() {
+        let (f, m) =
+            collective_finish_times(AllreduceAlgorithm::Ring, &[1.0], &[0], 100, 4, &link());
+        assert_eq!((f, m), (vec![1.0], 0));
+        let (f, m) = collective_finish_times(
+            AllreduceAlgorithm::Rabenseifner,
+            &[1.0, 2.0],
+            &[0, 1],
+            0,
+            4,
+            &link(),
+        );
+        assert_eq!((f, m), (vec![1.0, 2.0], 0));
+    }
+
+    #[test]
+    fn subgroup_replay_matches_des() {
+        // Two disjoint subgroups allreduce concurrently, then a world
+        // allreduce joins everyone.
+        let world = 4;
+        let traces: Vec<RankTrace> = (0..world)
+            .map(|rank| {
+                let mut rec = TraceRecorder::new(rank, world);
+                rec.scope(0, Phase::Forward);
+                rec.advance((rank + 1) as f64 * 1e-4);
+                let group: Vec<usize> = if rank < 2 { vec![0, 1] } else { vec![2, 3] };
+                rec.sub_allreduce(&group, (rank as u64) / 2, 512, ScalarType::F32);
+                rec.world_allreduce(64, ScalarType::F64);
+                rec.finish()
+            })
+            .collect();
+        let want = replay_traces_timed(&traces, &link());
+        let got = simulate_traces(&traces, &link()).expect("simulates");
+        assert_eq!(got.clocks, want);
+    }
+}

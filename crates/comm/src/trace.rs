@@ -37,6 +37,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::dynamic::ScalarType;
 use crate::p2p::{sub_collective_tag, world_collective_tag, Tag};
@@ -141,6 +142,20 @@ impl fmt::Display for CollectiveKind {
     }
 }
 
+/// Modeled local compute time, seconds. A newtype so [`TraceOp`] can
+/// stay `Eq`: comparison is on the `f64` bit pattern, which is the right
+/// notion here because recorded costs come from deterministic models.
+#[derive(Debug, Clone, Copy, PartialOrd)]
+pub struct SimSeconds(pub f64);
+
+impl PartialEq for SimSeconds {
+    fn eq(&self, other: &SimSeconds) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for SimSeconds {}
+
 /// One symbolic wire operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceOp {
@@ -172,14 +187,22 @@ pub enum TraceOp {
     Collective {
         /// Operation kind.
         kind: CollectiveKind,
-        /// Ordered member ranks (world ranks).
-        members: Vec<usize>,
+        /// Ordered member ranks (world ranks). Shared, not owned: a
+        /// 2048-rank world records ~2048 references to *one* member
+        /// list per group, not 2048² rank copies.
+        members: Arc<[usize]>,
         /// Per-member payload element count.
         count: usize,
         /// Element type.
         ty: ScalarType,
         /// Simulated collective tag.
         tag: Tag,
+    },
+    /// Modeled local compute: the rank's virtual clock advances by
+    /// `secs` without touching the wire (mirrors `WorldComm::advance`).
+    Advance {
+        /// Modeled duration, seconds.
+        secs: SimSeconds,
     },
 }
 
@@ -212,6 +235,9 @@ pub struct RankTrace {
 pub struct TraceRecorder {
     rank: usize,
     world: usize,
+    /// The full-world member list, built once and shared by every
+    /// world-collective entry this recorder emits.
+    world_members: Arc<[usize]>,
     world_counter: u64,
     ctx: u64,
     layer: usize,
@@ -226,6 +252,7 @@ impl TraceRecorder {
         TraceRecorder {
             rank,
             world,
+            world_members: (0..world).collect(),
             world_counter: 0,
             ctx: 0,
             layer: 0,
@@ -273,6 +300,16 @@ impl TraceRecorder {
         self.push(TraceOp::Recv { from, tag, count, ty });
     }
 
+    /// Record `secs` of modeled local compute (a kernel time from a
+    /// device model). Zero-cost advances are skipped — they cannot move
+    /// any clock.
+    pub fn advance(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0, "time moves forward");
+        if secs > 0.0 {
+            self.push(TraceOp::Advance { secs: SimSeconds(secs) });
+        }
+    }
+
     /// Record a world-scope sum-allreduce. Mirrors the runtime exactly:
     /// a singleton world or an empty payload returns locally without
     /// drawing a tag, so neither advances the simulated counter.
@@ -282,7 +319,7 @@ impl TraceRecorder {
         }
         self.begin_exchange();
         let tag = self.next_world_tag();
-        let members: Vec<usize> = (0..self.world).collect();
+        let members = Arc::clone(&self.world_members);
         self.push(TraceOp::Collective {
             kind: CollectiveKind::AllreduceSum,
             members,
@@ -310,7 +347,7 @@ impl TraceRecorder {
         let tag = sub_collective_tag(group_id, 0);
         self.push(TraceOp::Collective {
             kind: CollectiveKind::AllreduceSum,
-            members: members.to_vec(),
+            members: members.into(),
             count,
             ty,
             tag,
@@ -364,6 +401,7 @@ pub fn check_traces(traces: &[RankTrace], layer_names: &[String]) -> (VerifyStat
                 TraceOp::Collective { count, ty, .. } => {
                     stats.bytes_accounted += count * ty.width();
                 }
+                TraceOp::Advance { .. } => {}
             }
         }
     }
@@ -428,11 +466,21 @@ pub fn check_traces(traces: &[RankTrace], layer_names: &[String]) -> (VerifyStat
     for t in traces {
         for e in &t.entries {
             if let TraceOp::Collective { kind, members, count, ty, tag } = &e.op {
-                let mut key = members.clone();
-                key.sort_unstable();
-                groups
-                    .entry(key)
-                    .or_default()
+                // Member lists are recorded sorted (world ranges, group
+                // layouts); look them up by slice to avoid cloning a
+                // world-sized key per op — at 2048 ranks the naive
+                // clone-per-op is gigabytes of transient allocation.
+                let per_rank = if members.windows(2).all(|w| w[0] <= w[1]) {
+                    if !groups.contains_key(&members[..]) {
+                        groups.insert(members.to_vec(), BTreeMap::new());
+                    }
+                    groups.get_mut(&members[..]).expect("present or just inserted")
+                } else {
+                    let mut key = members.to_vec();
+                    key.sort_unstable();
+                    groups.entry(key).or_default()
+                };
+                per_rank
                     .entry(t.rank)
                     .or_default()
                     .push((*kind, *count, *ty, *tag, e.layer, e.phase));
@@ -512,7 +560,7 @@ pub fn check_traces(traces: &[RankTrace], layer_names: &[String]) -> (VerifyStat
             let (peer, tag, is_send) = match &e.op {
                 TraceOp::Send { to, tag, .. } => (*to, *tag, true),
                 TraceOp::Recv { from, tag, .. } => (*from, *tag, false),
-                TraceOp::Collective { .. } => continue,
+                TraceOp::Collective { .. } | TraceOp::Advance { .. } => continue,
             };
             match seen.get(&(peer, tag, is_send)) {
                 None => {

@@ -4,14 +4,12 @@
 //! message chains. This closes the loop between the *executed* system
 //! and the *analytic* performance model.
 
-use std::sync::Arc;
-
 use fg_comm::{
     run_ranks_timed, AllreduceAlgorithm, Collectives, Communicator, LinkModel, ReduceOp,
 };
 
 fn uniform_link(alpha: f64, beta: f64) -> LinkModel {
-    Arc::new(move |_src, _dst, bytes| alpha + beta * bytes as f64)
+    LinkModel::alpha_beta(alpha, beta)
 }
 
 const ALPHA: f64 = 5e-6;
@@ -112,8 +110,7 @@ fn sender_clock_gates_arrival() {
 fn heterogeneous_links_use_per_pair_times() {
     // Ranks 0,1 on one "node" (fast), rank 2 remote (slow): a pipeline
     // 0→1→2 accumulates the right per-hop times.
-    let link: LinkModel =
-        Arc::new(|src, dst, _bytes| if src / 2 == dst / 2 { 1e-6 } else { 20e-6 });
+    let link = LinkModel::custom(|src, dst, _bytes| if src / 2 == dst / 2 { 1e-6 } else { 20e-6 });
     let out = run_ranks_timed(3, link, |comm| {
         match comm.rank() {
             0 => comm.send(1, 1, vec![1u8]),

@@ -126,6 +126,33 @@ pub struct DistPass {
     pub loss_grad: Option<Act>,
 }
 
+/// Compile every rank's plan for every layer. Plans are independent of
+/// one another, so large worlds (the paper-scale traces `repro --
+/// simscale` executes) compile rank-parallel on scoped threads; the
+/// result is identical to the serial order — `plans[layer][rank]`.
+fn compile_all_plans(layers: &[Box<dyn DistLayer>], world: usize) -> Vec<Vec<LayerPlan>> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    if world < 64 || threads < 2 {
+        return layers.iter().map(|l| (0..world).map(|r| l.compile_plan(r)).collect()).collect();
+    }
+    let chunk = world.div_ceil(threads);
+    layers
+        .iter()
+        .map(|l| {
+            std::thread::scope(|s| {
+                let parts: Vec<_> = (0..world)
+                    .step_by(chunk)
+                    .map(|lo| {
+                        let hi = (lo + chunk).min(world);
+                        s.spawn(move || (lo..hi).map(|r| l.compile_plan(r)).collect::<Vec<_>>())
+                    })
+                    .collect();
+                parts.into_iter().flat_map(|h| h.join().expect("plan compilation")).collect()
+            })
+        })
+        .collect()
+}
+
 /// Distributed executor bound to a network, strategy, and batch size.
 #[derive(Debug)]
 pub struct DistExecutor {
@@ -179,8 +206,7 @@ impl DistExecutor {
         }
 
         let world = strategy.world_size();
-        let plans: Vec<Vec<LayerPlan>> =
-            layers.iter().map(|l| (0..world).map(|r| l.compile_plan(r)).collect()).collect();
+        let plans = compile_all_plans(&layers, world);
         let exec = DistExecutor { spec, strategy, batch, layers, plans };
 
         // FG_VERIFY=1: statically verify the compiled schedule before
@@ -220,6 +246,20 @@ impl DistExecutor {
         let mut plans = self.plans.clone();
         mutate_plans(&mut plans);
         crate::verify::verify_plans(&self.spec, &self.strategy, &self.layers, &plans, mutate_traces)
+    }
+
+    /// Record every rank's symbolic communication trace for this
+    /// executor's compiled schedule — the input of the discrete-event
+    /// engine (`fg_comm::simulate_traces`). With a
+    /// [`crate::verify::ComputeOracle`], each layer's modeled kernel
+    /// time is embedded as `Advance` ops, so the simulated run carries
+    /// compute as well as communication; with `None` the traces are
+    /// communication-only (what [`DistExecutor::verify`] checks).
+    pub fn record_traces(
+        &self,
+        oracle: Option<&dyn crate::verify::ComputeOracle>,
+    ) -> Vec<fg_comm::RankTrace> {
+        crate::verify::record_traces(&self.spec, &self.strategy, &self.layers, &self.plans, oracle)
     }
 
     /// The input layer's distribution.

@@ -44,4 +44,4 @@ pub use resilient::{
     ResilientReport, RungTimes, SgdHyper,
 };
 pub use strategy::{Strategy, StrategyError};
-pub use verify::{candidate_grid_legal, VerifyReport};
+pub use verify::{candidate_grid_legal, ComputeOracle, VerifyReport};

@@ -66,6 +66,19 @@ impl VerifyReport {
     }
 }
 
+/// Supplies modeled local-compute times for trace recording, so the
+/// symbolic traces carry `Advance` ops and can drive the discrete-event
+/// engine (`fg_comm::simulate_traces`) as *executed* virtual-time runs.
+/// `fg-perf` provides the production implementation from its device
+/// model; the verifier itself records without one (compute does not
+/// affect schedule soundness).
+pub trait ComputeOracle {
+    /// Modeled seconds of local compute rank `rank` spends in `layer`
+    /// during `phase` (forward: the layer kernel; backward: both data
+    /// and filter passes). Return 0.0 for communication-only layers.
+    fn secs(&self, layer: usize, phase: Phase, rank: usize) -> f64;
+}
+
 impl std::fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -109,13 +122,29 @@ pub(crate) fn verify_plans(
     let names: Vec<String> = layers.iter().map(|l| l.base().name.clone()).collect();
 
     let mut traces: Vec<RankTrace> = (0..world)
-        .map(|rank| record_rank(strategy, layers, plans, &param_elems, rank, world))
+        .map(|rank| record_rank(strategy, layers, plans, &param_elems, rank, world, None))
         .collect();
     mutate_traces(&mut traces);
 
     let (stats, mut violations) = check_traces(&traces, &names);
     check_plan_geometry(layers, plans, world, &mut violations);
     VerifyReport { stats, violations, wall: start.elapsed() }
+}
+
+/// Record every rank's symbolic trace, optionally costing local compute
+/// through `oracle` — the input format of the discrete-event engine.
+pub(crate) fn record_traces(
+    spec: &NetworkSpec,
+    strategy: &Strategy,
+    layers: &[Box<dyn DistLayer>],
+    plans: &[Vec<LayerPlan>],
+    oracle: Option<&dyn ComputeOracle>,
+) -> Vec<RankTrace> {
+    let world = strategy.world_size();
+    let param_elems: Vec<usize> = init_params(spec, 0).iter().map(|p| p.len()).collect();
+    (0..world)
+        .map(|rank| record_rank(strategy, layers, plans, &param_elems, rank, world, oracle))
+        .collect()
 }
 
 /// Symbolically execute one rank's plans in exact scheduler order.
@@ -126,11 +155,13 @@ fn record_rank(
     param_elems: &[usize],
     rank: usize,
     world: usize,
+    oracle: Option<&dyn ComputeOracle>,
 ) -> RankTrace {
     let mut rec = TraceRecorder::new(rank, world);
 
     // Forward: per layer, input shuffles in parent-edge order, then the
-    // layer's own exchanges.
+    // layer's own exchanges, then the modeled kernel time (the layer
+    // computes on its exchanged inputs).
     for (id, layer) in layers.iter().enumerate() {
         rec.scope(id, Phase::Forward);
         let plan = &plans[id][rank];
@@ -139,6 +170,9 @@ fn record_rank(
         }
         let cx = trace_cx(strategy, plan, world, rank, param_elems[id]);
         layer.record_forward(&cx, &mut rec);
+        if let Some(o) = oracle {
+            rec.advance(o.secs(id, Phase::Forward, rank));
+        }
     }
 
     // Backward: reverse order; loss layers seed their parent without
@@ -158,6 +192,11 @@ fn record_rank(
         }
         let plan = &plans[id][rank];
         let cx = trace_cx(strategy, plan, world, rank, param_elems[id]);
+        // Gradient kernels run before the layer's exchanges put their
+        // results (dparams, adjoint halos) on the wire.
+        if let Some(o) = oracle {
+            rec.advance(o.secs(id, Phase::Backward, rank));
+        }
         layer.record_backward(&cx, &mut rec);
         // Every layer kind emits a dparent on each of its edges (joins
         // on all, single-parent layers on their only edge).

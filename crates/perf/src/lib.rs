@@ -20,6 +20,7 @@ pub mod collective_model;
 pub mod cost;
 pub mod memory;
 pub mod optimizer;
+pub mod oracle;
 pub mod platform;
 pub mod replan;
 pub mod volume;
@@ -30,5 +31,6 @@ pub use cost::{
     CostOptions, LayerCost,
 };
 pub use optimizer::StrategyOptimizer;
+pub use oracle::{platform_link_model, ModeledCompute};
 pub use platform::{ConvPass, ConvWork, DeviceModel, Link, Platform};
 pub use replan::{degrade_replanner, replan_for_world};

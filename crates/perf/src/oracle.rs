@@ -1,0 +1,143 @@
+//! Modeled-compute oracle for trace recording.
+//!
+//! Bridges the device compute model ([`crate::platform::DeviceModel`])
+//! into `fg-core`'s trace recorder: [`ModeledCompute`] implements
+//! [`fg_core::ComputeOracle`], costing each layer's kernels from the
+//! *per-rank local extents* the strategy's grids induce — the same
+//! decomposition-dependent work the closed-form cost model charges. With
+//! it, `DistExecutor::record_traces` emits schedules whose `Advance`
+//! ops carry real compute, and the discrete-event engine
+//! (`fg_comm::simulate_traces`) executes Tables I–III configurations as
+//! full virtual-time runs instead of closed-form evaluations.
+//!
+//! Costed kernels: convolutions (forward; backward = data + filter
+//! passes) and fully-connected GEMMs (backward charged at 2× forward
+//! for its two GEMMs). Pooling, batch-norm, activation, and loss
+//! kernels are bandwidth-trivial next to these and have no device-model
+//! formula — they cost zero, exactly as the closed-form model treats
+//! them.
+
+use fg_comm::{LinkModel, Phase};
+use fg_core::{ComputeOracle, Strategy};
+use fg_nn::{LayerKind, NetworkSpec};
+use fg_tensor::{Shape4, TensorDist};
+
+use crate::platform::{ConvPass, ConvWork, Platform};
+
+/// The α–β [`LinkModel`] of a two-level [`Platform`]: intra-node link
+/// within a node (`rank / ranks_per_node`), inter-node link across —
+/// the exact per-pair times `Platform::link_between(..).ptp(..)`
+/// produces, in the engine's native form.
+pub fn platform_link_model(platform: &Platform) -> LinkModel {
+    LinkModel::two_level(
+        platform.ranks_per_node,
+        platform.intra.alpha,
+        platform.intra.beta,
+        platform.inter.alpha,
+        platform.inter.beta,
+    )
+}
+
+/// Per-layer, per-rank modeled kernel times for one network × strategy
+/// × batch, from the platform's device model.
+#[derive(Debug, Clone)]
+pub struct ModeledCompute {
+    /// Per layer: the work description, or `None` for uncosted kinds.
+    layers: Vec<Option<LayerWork>>,
+    /// Copied grids, indexed by layer.
+    strategy: Strategy,
+    batch: usize,
+    platform: Platform,
+}
+
+#[derive(Debug, Clone)]
+enum LayerWork {
+    /// Convolution: input channels, output shape, kernel, stride.
+    Conv { c_in: usize, c_out: usize, h_out: usize, w_out: usize, kernel: usize, stride: usize },
+    /// Fully connected: flattened input features, output features.
+    Fc { in_features: usize, out_features: usize },
+}
+
+impl ModeledCompute {
+    /// Build the oracle for `spec` distributed by `strategy` at global
+    /// batch size `batch`.
+    pub fn new(
+        platform: &Platform,
+        spec: &NetworkSpec,
+        strategy: &Strategy,
+        batch: usize,
+    ) -> ModeledCompute {
+        let shapes = spec.shapes();
+        let layers = (0..shapes.len())
+            .map(|id| {
+                let l = spec.layer(id);
+                match &l.kind {
+                    LayerKind::Conv { filters, kernel, stride, .. } => {
+                        let (c_in, _, _) = shapes[l.parents[0]];
+                        let (_, h_out, w_out) = shapes[id];
+                        Some(LayerWork::Conv {
+                            c_in,
+                            c_out: *filters,
+                            h_out,
+                            w_out,
+                            kernel: *kernel,
+                            stride: *stride,
+                        })
+                    }
+                    LayerKind::Fc { out_features } => {
+                        let (c, h, w) = shapes[l.parents[0]];
+                        Some(LayerWork::Fc { in_features: c * h * w, out_features: *out_features })
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        ModeledCompute { layers, strategy: strategy.clone(), batch, platform: *platform }
+    }
+}
+
+impl ComputeOracle for ModeledCompute {
+    fn secs(&self, layer: usize, phase: Phase, rank: usize) -> f64 {
+        let Some(work) = &self.layers[layer] else { return 0.0 };
+        let grid = self.strategy.grids[layer];
+        let device = &self.platform.device;
+        match work {
+            LayerWork::Conv { c_in, c_out, h_out, w_out, kernel, stride } => {
+                // The rank's shard of the *output* tensor determines its
+                // kernel work; the input coverage is `extent × stride`
+                // (the device model divides back by the stride).
+                let dist = TensorDist::new(Shape4::new(self.batch, *c_out, *h_out, *w_out), grid);
+                let b = dist.local_box(rank);
+                let w = ConvWork {
+                    n: b.hi[0] - b.lo[0],
+                    c: *c_in,
+                    h: (b.hi[2] - b.lo[2]) * stride,
+                    w: (b.hi[3] - b.lo[3]) * stride,
+                    f: *c_out,
+                    k: *kernel,
+                    s: *stride,
+                };
+                match phase {
+                    Phase::Forward => device.conv_time(&w, ConvPass::Forward),
+                    Phase::Backward => {
+                        device.conv_time(&w, ConvPass::BackwardData)
+                            + device.conv_time(&w, ConvPass::BackwardFilter)
+                    }
+                }
+            }
+            LayerWork::Fc { in_features, out_features } => {
+                // Per-sample replicated representation: each sample
+                // group's ranks redundantly compute the group's local
+                // batch slice.
+                let n_loc = self.batch / grid.n.max(1);
+                let fwd = device.gemm_time(n_loc, *in_features, *out_features);
+                match phase {
+                    Phase::Forward => fwd,
+                    // dX = dY·W and dW = dYᵀ·X: two GEMMs of the same
+                    // shape class as the forward one.
+                    Phase::Backward => 2.0 * fwd,
+                }
+            }
+        }
+    }
+}

@@ -74,7 +74,17 @@ impl HaloPlan {
         // What I send: every other rank's needed-minus-own ∩ my own box.
         // Margins are a layout property shared by all ranks, so peer
         // geometry is computed locally.
-        for peer in 0..dist.world_size() {
+        // Candidate peers only, not all of `0..world`: peer_needed =
+        // peer_own expanded by (margin_lo, margin_hi), so it can reach
+        // my own box iff peer_own intersects my own box expanded by the
+        // *swapped* margins (their low-side growth faces my high side).
+        // The exact send region is still computed per candidate below,
+        // in ascending rank order as before.
+        let reach = own_me.expand_clamped(margin_hi, margin_lo, &bounds);
+        let mut candidates: Vec<usize> =
+            dist.ranks_overlapping(&reach).into_iter().map(|(peer, _)| peer).collect();
+        candidates.sort_unstable();
+        for peer in candidates {
             if peer == rank {
                 continue;
             }

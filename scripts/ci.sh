@@ -76,6 +76,14 @@ cargo test -q --offline -p fg-comm --test faults
 step "elastic degradation (permanent rank loss, watchdog + integrity on)"
 cargo test -q --offline --test resilience degrade
 
+# The event-driven virtual-time engine's correctness anchor: DES clocks
+# must equal the thread-per-rank runtime's clocks exactly, and must be
+# independent of the worker-pool size. Run explicitly (the suites are
+# also part of the workspace run above) so a regression names itself.
+step "DES equivalence + determinism (sim engine vs threaded runtime)"
+cargo test -q --offline -p fg-comm --lib sim::
+cargo test -q --offline --test sim_equivalence
+
 # Sanitizer jobs — both are gated on toolchain availability because the
 # build image is offline (no `rustup component add`); when the
 # components are absent the jobs are skipped with a note, not failed.

@@ -9,8 +9,6 @@
 //! is the actual implementation's message order, so this validates the
 //! model against execution rather than against itself.
 
-use std::sync::Arc;
-
 use finegrain::comm::{run_ranks_timed, Communicator, LinkModel};
 use finegrain::core::overlap::InteriorPlan;
 use finegrain::core::DistConv2d;
@@ -26,8 +24,8 @@ fn executed_forward_time(platform: &Platform, desc: &ConvLayerDesc, grid: ProcGr
     let conv = DistConv2d::new(desc.n, desc.c, desc.f, geom, grid);
     let device = platform.device;
     let plat = *platform;
-    let link: LinkModel =
-        Arc::new(move |src, dst, bytes| plat.link_between(src, dst).ptp(bytes as f64));
+    let link =
+        LinkModel::custom(move |src, dst, bytes| plat.link_between(src, dst).ptp(bytes as f64));
     let out = run_ranks_timed(grid.size(), link, |comm| {
         // Window with zeroed data — we time the schedule, not the values.
         let win = DistTensor::new(conv.in_dist, comm.rank(), conv.x_margins.0, conv.x_margins.1);
