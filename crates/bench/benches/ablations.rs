@@ -31,7 +31,8 @@ fn bench_overlap(c: &mut Criterion) {
     group.bench_function("monolithic", |b| {
         b.iter(|| {
             run_ranks(4, |comm| {
-                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let xs =
+                    DistTensor::from_global(conv.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                 conv.forward(comm, &xs, &w, None).0.owned_tensor().sum()
             })
         })
@@ -39,7 +40,8 @@ fn bench_overlap(c: &mut Criterion) {
     group.bench_function("interior_boundary_overlap", |b| {
         b.iter(|| {
             run_ranks(4, |comm| {
-                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let xs =
+                    DistTensor::from_global(conv.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                 forward_overlapped(&conv, comm, &xs, &w, None).0.owned_tensor().sum()
             })
         })
@@ -59,7 +61,7 @@ fn bench_bn_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bn_forward", name), &(), |b, _| {
             b.iter(|| {
                 run_ranks(4, |comm| {
-                    let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                     let (y, _stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, mode);
                     y.owned_tensor().sum()
                 })
@@ -79,8 +81,8 @@ fn bench_shuffle(c: &mut Criterion) {
     group.bench_function("sample_to_spatial_4ranks", |b| {
         b.iter(|| {
             run_ranks(4, |comm| {
-                let src = DistTensor::from_global(from, comm.rank(), &x, [0; 4], [0; 4]);
-                redistribute(comm, &src, to, [0; 4], [0; 4]).owned_tensor().sum()
+                let src = DistTensor::from_global(from.clone(), comm.rank(), &x, [0; 4], [0; 4]);
+                redistribute(comm, &src, to.clone(), [0; 4], [0; 4]).owned_tensor().sum()
             })
         })
     });

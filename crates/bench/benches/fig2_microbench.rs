@@ -48,7 +48,13 @@ fn bench_layer(
         group.bench_with_input(BenchmarkId::new("fp", scheme), &(), |b, _| {
             b.iter(|| {
                 run_ranks(4, |comm| {
-                    let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let xs = DistTensor::from_global(
+                        conv.in_dist.clone(),
+                        comm.rank(),
+                        &x,
+                        [0; 4],
+                        [0; 4],
+                    );
                     let (y, _win) = conv.forward(comm, &xs, &w, None);
                     y.owned_tensor().sum()
                 })
@@ -64,10 +70,21 @@ fn bench_layer(
         group.bench_with_input(BenchmarkId::new("bp", scheme), &(), |b, _| {
             b.iter(|| {
                 run_ranks(4, |comm| {
-                    let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let xs = DistTensor::from_global(
+                        conv.in_dist.clone(),
+                        comm.rank(),
+                        &x,
+                        [0; 4],
+                        [0; 4],
+                    );
                     let (_y, win) = conv.forward(comm, &xs, &w, None);
-                    let dys =
-                        DistTensor::from_global(conv.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                    let dys = DistTensor::from_global(
+                        conv.out_dist.clone(),
+                        comm.rank(),
+                        &dy,
+                        [0; 4],
+                        [0; 4],
+                    );
                     let dx = conv.backward_data(comm, &dys, &w);
                     let (dw, _db) = conv.backward_filter(comm, &win, &dys, false);
                     dx.owned_tensor().sum() + dw.sum()

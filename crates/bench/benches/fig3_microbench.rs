@@ -42,7 +42,13 @@ fn bench_layer(
         group.bench_with_input(BenchmarkId::new("fp", scheme), &(), |b, _| {
             b.iter(|| {
                 run_ranks(4, |comm| {
-                    let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                    let xs = DistTensor::from_global(
+                        conv.in_dist.clone(),
+                        comm.rank(),
+                        &x,
+                        [0; 4],
+                        [0; 4],
+                    );
                     let (y, _win) = conv.forward(comm, &xs, &w, None);
                     y.owned_tensor().sum()
                 })

@@ -17,6 +17,7 @@
 //!   faults    fault-injection overhead + recovery cost vs ckpt interval
 //!   verify    static schedule verification sweep (models × strategies × grids)
 //!   simscale  executed discrete-event runs at paper scale (writes BENCH_simscale.json)
+//!   stragglers gray-failure mitigation at paper scale (writes BENCH_stragglers.json)
 //!   all       everything above
 //! ```
 //!
@@ -26,8 +27,8 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, faults, microbench, modelval, plancache, resnet, scaling, simscale, strategy,
-    verify,
+    extensions, faults, microbench, modelval, plancache, resnet, scaling, simscale, stragglers,
+    strategy, verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -53,6 +54,7 @@ fn main() {
             "faults",
             "verify",
             "simscale",
+            "stragglers",
         ]
     } else {
         wanted
@@ -78,6 +80,7 @@ fn main() {
             "faults" => tables.extend(faults::faults()),
             "verify" => tables.push(verify::verify_report(&platform)),
             "simscale" => tables.push(simscale::simscale_report(&platform)),
+            "stragglers" => tables.extend(stragglers::stragglers_report(&platform)),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

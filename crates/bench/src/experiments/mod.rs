@@ -12,6 +12,7 @@
 //! | [`faults`] | fault-model overhead and checkpointed-recovery cost |
 //! | [`verify`] | static schedule verification sweep (fg-verify) |
 //! | [`simscale`] | Tables I–III / Fig. 4 as executed discrete-event runs |
+//! | [`stragglers`] | gray-failure straggler mitigation at paper scale |
 
 pub mod extensions;
 pub mod faults;
@@ -21,6 +22,7 @@ pub mod plancache;
 pub mod resnet;
 pub mod scaling;
 pub mod simscale;
+pub mod stragglers;
 pub mod strategy;
 pub mod verify;
 

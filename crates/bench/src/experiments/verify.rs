@@ -10,8 +10,9 @@
 //!
 //! The sweep's strategies mirror the paper's experiment grid: uniform
 //! sample parallelism, uniform spatial decomposition (`spatial_split`),
-//! a hybrid 2-group split, and the §V-C optimizer's pick for the same
-//! instance. Combinations whose strategy does not validate for the
+//! the same spatial grid under a 1:3 weighted partition (the layout a
+//! gray-failure rebalance emits), a hybrid 2-group split, and the §V-C
+//! optimizer's pick for the same instance. Combinations whose strategy does not validate for the
 //! batch size (e.g. 8-way sample parallelism at batch 4) are skipped,
 //! not failed — the sweep checks every plan that could actually run.
 
@@ -63,6 +64,16 @@ fn strategies(platform: &Platform, spec: &NetworkSpec, world: usize) -> Vec<(Str
         out.push((
             format!("spatial {ph}x{pw}"),
             Strategy::uniform(spec, ProcGrid::spatial(ph, pw)),
+        ));
+        // The gray-failure rebalance layout: the same spatial grid with
+        // a 1:3 weighted partition (rank 0 slowed, survivors weighted
+        // up). Every weighted plan the straggler rung could emit must
+        // verify as clean as its uniform twin.
+        let mut weights = vec![3u64; world];
+        weights[0] = 1;
+        out.push((
+            format!("weighted {ph}x{pw} (1:3)"),
+            Strategy::uniform(spec, ProcGrid::spatial(ph, pw)).with_rank_weights(weights),
         ));
     }
     if world >= 4 {

@@ -83,6 +83,14 @@ pub struct FaultPlan {
     /// `every`-th comm op — a deterministic stand-in for a slow NIC or a
     /// congested link.
     delays: Vec<(usize, u64, Duration)>,
+    /// `(rank, factor)`: a *persistent* gray failure — `rank` runs
+    /// `factor`× slower than its peers (thermal throttling, a failing
+    /// DIMM, a congested ToR port). Unlike `delays`, the slowdown
+    /// survives world rebuilds via [`FaultPlan::persistent`]: the node
+    /// is sick, not momentarily unlucky. Applied to comm-op service
+    /// time by [`FaultyComm`] and to modeled compute through
+    /// [`FaultPlan::slowdown`] / [`FaultPlan::slowdown_vector`].
+    slow: Vec<(usize, f64)>,
     /// `(src, dst, k)`: corrupt the `k`-th retransmission served on link
     /// `src → dst` (the replay-window pull path, which bypasses
     /// [`FaultyComm`]).
@@ -143,6 +151,18 @@ impl FaultPlan {
     pub fn delay_every(mut self, rank: usize, every: u64, pause: Duration) -> FaultPlan {
         assert!(every > 0, "delay period must be positive");
         self.delays.push((rank, every, pause));
+        self
+    }
+
+    /// Make `rank` a **persistent straggler**: everything it does —
+    /// comm-op service ([`FaultyComm`] stretches each op) and compute
+    /// (consumers scale modeled or measured compute by
+    /// [`FaultPlan::slowdown`]) — takes `factor`× as long. The fault
+    /// survives [`FaultPlan::persistent`], so rebuilding the world does
+    /// not cure it; only weighted re-decomposition or eviction can.
+    pub fn slow_rank(mut self, rank: usize, factor: f64) -> FaultPlan {
+        assert!(factor >= 1.0 && factor.is_finite(), "slowdown factor must be ≥ 1");
+        self.slow.push((rank, factor));
         self
     }
 
@@ -215,14 +235,42 @@ impl FaultPlan {
         dead
     }
 
-    /// The plan's *persistent* faults only: permanent kills (and the
-    /// seed, which keys their identity). Transient faults — one-shot
-    /// kills, drops, corruptions, delays, rate hazards — model events
-    /// that already happened and must not replay, so a resilient driver
-    /// runs rebuild attempts under this projection rather than the full
-    /// plan.
+    /// The slowdown factor for `rank`: `1.0` for a healthy rank, the
+    /// largest scheduled factor for a straggler (stacked gray failures
+    /// do not multiply — the worst one dominates).
+    pub fn slowdown(&self, rank: usize) -> f64 {
+        self.slow.iter().filter(|&&(r, _)| r == rank).map(|&(_, f)| f).fold(1.0, f64::max)
+    }
+
+    /// Per-rank slowdown factors for a world of `world` ranks —
+    /// `vec![1.0; world]` with stragglers raised to their factor. The
+    /// form the DES engine and modeled-compute oracles consume.
+    pub fn slowdown_vector(&self, world: usize) -> Vec<f64> {
+        (0..world).map(|r| self.slowdown(r)).collect()
+    }
+
+    /// Ranks with a scheduled slowdown (sorted, deduplicated).
+    pub fn slow_ranks(&self) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self.slow.iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// The plan's *persistent* faults only: permanent kills and rank
+    /// slowdowns (and the seed, which keys their identity). Transient
+    /// faults — one-shot kills, drops, corruptions, delays, rate
+    /// hazards — model events that already happened and must not
+    /// replay, so a resilient driver runs rebuild attempts under this
+    /// projection rather than the full plan. Slowdowns persist because
+    /// a gray failure is a property of the node, not of the attempt.
     pub fn persistent(&self) -> FaultPlan {
-        FaultPlan { seed: self.seed, perma_kills: self.perma_kills.clone(), ..FaultPlan::default() }
+        FaultPlan {
+            seed: self.seed,
+            perma_kills: self.perma_kills.clone(),
+            slow: self.slow.clone(),
+            ..FaultPlan::default()
+        }
     }
 
     /// Project the plan onto a shrunken world: `survivors[new_rank]` is
@@ -249,6 +297,7 @@ impl FaultPlan {
                 .iter()
                 .filter_map(|&(r, every, pause)| remap(r).map(|nr| (nr, every, pause)))
                 .collect(),
+            slow: self.slow.iter().filter_map(|&(r, f)| remap(r).map(|nr| (nr, f))).collect(),
             corrupt_retransmits: remap_link_list(&self.corrupt_retransmits),
             drop_rate: self.drop_rate,
             corrupt_rate: self.corrupt_rate,
@@ -302,6 +351,7 @@ impl FaultPlan {
             && self.drops.is_empty()
             && self.corrupts.is_empty()
             && self.delays.is_empty()
+            && self.slow.is_empty()
             && self.corrupt_retransmits.is_empty()
             && self.drop_rate == 0.0
             && self.corrupt_rate == 0.0
@@ -324,13 +374,29 @@ pub struct FaultyComm<'a, C: Communicator> {
     ops: Cell<u64>,
     /// Per-destination send ordinals, the clock for drop/corrupt faults.
     sent: RefCell<Vec<u64>>,
+    /// This rank's slowdown factor, cached from the plan (1.0 = healthy).
+    slow_factor: f64,
 }
+
+/// Baseline per-op service time a straggling rank's comm ops are
+/// stretched against: a `factor`× slow rank sleeps
+/// `(factor − 1) × SLOW_OP_SERVICE` around every operation. Small enough
+/// that tests stay fast, large enough that a persistent straggler is
+/// measurably slow over a step's worth of operations.
+pub const SLOW_OP_SERVICE: Duration = Duration::from_micros(2);
 
 impl<'a, C: Communicator> FaultyComm<'a, C> {
     /// Wrap `inner` under `plan`.
     pub fn new(inner: &'a C, plan: Arc<FaultPlan>) -> FaultyComm<'a, C> {
         let size = inner.size();
-        FaultyComm { inner, plan, ops: Cell::new(0), sent: RefCell::new(vec![0; size]) }
+        let slow_factor = plan.slowdown(inner.rank());
+        FaultyComm {
+            inner,
+            plan,
+            ops: Cell::new(0),
+            sent: RefCell::new(vec![0; size]),
+            slow_factor,
+        }
     }
 
     /// The wrapped communicator.
@@ -366,6 +432,11 @@ impl<'a, C: Communicator> FaultyComm<'a, C> {
         }
         if let Some(pause) = self.plan.delay(self.inner.rank(), n) {
             std::thread::sleep(pause);
+        }
+        if self.slow_factor > 1.0 {
+            // A gray-failed rank services every operation slower, not
+            // just every k-th: stretch each op by the excess factor.
+            std::thread::sleep(SLOW_OP_SERVICE.mul_f64(self.slow_factor - 1.0));
         }
     }
 }
@@ -481,6 +552,18 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
 
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
         self.inner.stats_snapshot()
+    }
+
+    fn busy_nanos(&self) -> u64 {
+        self.inner.busy_nanos()
+    }
+
+    fn note_straggler_flag(&self) {
+        self.inner.note_straggler_flag();
+    }
+
+    fn note_rank_slowness(&self, ratios: &[f64]) {
+        self.inner.note_rank_slowness(ratios);
     }
 
     fn next_collective_tag(&self) -> Tag {
@@ -606,6 +689,30 @@ mod tests {
         // Earliest kill still wins across both lists.
         let both = FaultPlan::new(0).kill_rank(1, 9).kill_rank_permanently(1, 4);
         assert_eq!(both.kill_at(1), Some(4));
+    }
+
+    #[test]
+    fn slow_rank_is_persistent_and_survives_renumbering() {
+        let plan = FaultPlan::new(3).slow_rank(2, 4.0).slow_rank(2, 3.0).slow_rank(0, 1.5);
+        assert!(!plan.is_transparent());
+        // Worst factor dominates; healthy ranks read 1.0.
+        assert_eq!(plan.slowdown(2), 4.0);
+        assert_eq!(plan.slowdown(0), 1.5);
+        assert_eq!(plan.slowdown(1), 1.0);
+        assert_eq!(plan.slowdown_vector(4), vec![1.5, 1.0, 4.0, 1.0]);
+        assert_eq!(plan.slow_ranks(), vec![0, 2]);
+        // A gray failure is a property of the node: it survives the
+        // persistent projection (a rebuild does not cure it)...
+        let p = plan.persistent();
+        assert_eq!(p.slowdown(2), 4.0);
+        assert!(!p.is_transparent());
+        // ...and renumbers with the world when other ranks are evicted.
+        let small = plan.restrict_to_survivors(&[0, 2, 3]);
+        assert_eq!(small.slowdown_vector(3), vec![1.5, 4.0, 1.0]);
+        // Evicting the straggler itself removes the fault.
+        let cured = plan.restrict_to_survivors(&[1, 3]);
+        assert_eq!(cured.slowdown_vector(2), vec![1.0, 1.0]);
+        assert_eq!(cured.slow_ranks(), Vec::<usize>::new());
     }
 
     #[test]

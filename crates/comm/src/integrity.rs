@@ -390,6 +390,18 @@ impl<C: Communicator> Communicator for IntegrityComm<'_, C> {
         self.inner.stats_snapshot()
     }
 
+    fn busy_nanos(&self) -> u64 {
+        self.inner.busy_nanos()
+    }
+
+    fn note_straggler_flag(&self) {
+        self.inner.note_straggler_flag();
+    }
+
+    fn note_rank_slowness(&self, ratios: &[f64]) {
+        self.inner.note_rank_slowness(ratios);
+    }
+
     fn next_collective_tag(&self) -> Tag {
         self.inner.next_collective_tag()
     }

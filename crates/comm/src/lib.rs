@@ -61,7 +61,7 @@ pub use runtime::{
 };
 pub use sim::{
     collective_finish_times, replay_traces_timed, sim_workers_from_env, simulate_traces,
-    simulate_traces_with, BlockedRank, SimError, SimReport,
+    simulate_traces_slowed, simulate_traces_with, BlockedRank, SimError, SimReport,
 };
 pub use stats::{OpClass, TrafficStats};
 pub use subcomm::{SubComm, SubCommLayout};

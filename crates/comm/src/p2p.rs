@@ -237,6 +237,33 @@ pub trait Communicator {
         None
     }
 
+    /// Record one straggler verdict against this rank (the detector
+    /// agreed this rank is persistently slow). Default no-op;
+    /// [`crate::WorldComm`] counts it in [`crate::TrafficStats`],
+    /// wrappers delegate.
+    fn note_straggler_flag(&self) {}
+
+    /// Publish the straggler detector's per-rank slowness ratios
+    /// (step-time EMA over world median, 1.0 = healthy) so the deadlock
+    /// watchdog can annotate its wait graph — "waiting on rank 3, which
+    /// is 4× slow" reads very differently from "deadlocked". Default
+    /// no-op; [`crate::WorldComm`] forwards to its monitor, wrappers
+    /// delegate.
+    fn note_rank_slowness(&self, ratios: &[f64]) {
+        let _ = ratios;
+    }
+
+    /// Nanoseconds this rank has spent *outside* the communicator —
+    /// compute time between communication operations, excluding time
+    /// blocked in receives. Default 0; [`crate::WorldComm`] measures it
+    /// (each op entry accrues the gap since the previous op returned)
+    /// and wrappers delegate. This is the per-rank step-time signal the
+    /// straggler detector feeds on: a gray-failed rank's compute gaps
+    /// stretch while healthy peers' stay flat.
+    fn busy_nanos(&self) -> u64 {
+        0
+    }
+
     /// Send `data` carrying an integrity envelope. The default drops the
     /// envelope (plain send), which is correct for communicators that
     /// never sit under the integrity layer; [`crate::WorldComm`] carries

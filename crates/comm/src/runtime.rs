@@ -162,6 +162,12 @@ pub struct WorldComm {
     /// through the checksummed envelope path (`FG_COMM_INTEGRITY=1` or
     /// [`RunOptions::integrity`]).
     integrity: Option<WorldIntegrity>,
+    /// Accumulated wall time spent *outside* the communicator (compute
+    /// between ops); see [`Communicator::busy_nanos`].
+    busy: Cell<u64>,
+    /// Instant the previous communication operation returned — the start
+    /// of the current compute gap.
+    last_return: Cell<Instant>,
 }
 
 /// The per-rank integrity attachment: the world-shared replay-window
@@ -254,8 +260,25 @@ impl Communicator for WorldComm {
         self.stats.borrow_mut().record_repair_time(nanos);
     }
 
+    fn note_straggler_flag(&self) {
+        self.stats.borrow_mut().record_straggler_flag();
+    }
+
+    fn note_rank_slowness(&self, ratios: &[f64]) {
+        if let Some(m) = &self.monitor {
+            m.note_rank_slowness(ratios);
+        }
+    }
+
     fn stats_snapshot(&self) -> Option<TrafficStats> {
         Some(self.stats())
+    }
+
+    fn busy_nanos(&self) -> u64 {
+        // Accrue the gap in flight, so a read between ops (end of a
+        // training step) includes the trailing compute.
+        self.accrue_busy();
+        self.busy.get()
     }
 
     fn next_collective_tag(&self) -> Tag {
@@ -290,6 +313,22 @@ impl WorldComm {
 }
 
 impl WorldComm {
+    /// Close the current compute gap: add `now − last_return` to the
+    /// busy total. Called on entry to every comm op (and on
+    /// [`Communicator::busy_nanos`] reads), so time blocked *inside* an
+    /// op never counts as compute.
+    fn accrue_busy(&self) {
+        let now = Instant::now();
+        let gap = now.duration_since(self.last_return.get()).as_nanos() as u64;
+        self.busy.set(self.busy.get() + gap);
+        self.last_return.set(now);
+    }
+
+    /// Open a new compute gap: the op is done, the rank is computing.
+    fn mark_return(&self) {
+        self.last_return.set(Instant::now());
+    }
+
     /// A blocking receive completes no earlier than the message's
     /// arrival: the virtual clock jumps to `max(now, arrival)`.
     fn observe_arrival(&self, env: &Envelope) {
@@ -310,6 +349,7 @@ impl WorldComm {
         header: Option<WireHeader>,
     ) {
         assert!(dst < self.size, "send to rank {dst} in world of {}", self.size);
+        self.accrue_busy();
         let bytes = data.len() * T::WIDTH;
         self.stats.borrow_mut().record(self.class.get(), 1, bytes as u64);
         // Under a virtual clock, stamp the arrival time: departure now,
@@ -338,11 +378,19 @@ impl WorldComm {
                 Communicator::note_dropped_send(self, dst);
             }
         }
+        self.mark_return();
     }
 
     /// The raw receive: stash-aware blocking dequeue, returning the
     /// integrity envelope if the sender attached one.
     fn recv_impl<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
+        self.accrue_busy();
+        let out = self.recv_inner(src, tag);
+        self.mark_return();
+        out
+    }
+
+    fn recv_inner<T: CommScalar>(&self, src: usize, tag: Tag) -> (Vec<T>, Option<WireHeader>) {
         assert!(src < self.size, "recv from rank {src} in world of {}", self.size);
         if let Some(env) = self.stashes.borrow_mut()[src].take(tag) {
             self.observe_arrival(&env);
@@ -507,6 +555,8 @@ fn build_world_full(
                 config,
                 cursor: RankCursor::new(),
             }),
+            busy: Cell::new(0),
+            last_return: Cell::new(Instant::now()),
         })
         .collect()
 }

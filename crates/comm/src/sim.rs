@@ -517,6 +517,43 @@ pub fn simulate_traces(traces: &[RankTrace], link: &LinkModel) -> Result<SimRepo
     simulate_traces_with(traces, link, sim_workers_from_env())
 }
 
+/// Execute `traces` with **per-rank compute slowdowns**: rank `r`'s
+/// modeled-compute (`Advance`) durations are scaled by `slowdowns[r]`
+/// before execution, so a gray-failed rank takes `factor`× as long per
+/// step while its communication schedule is untouched. This is how
+/// straggler scenarios execute at paper scale (64–2048 ranks): record
+/// traces once on a healthy world, then simulate them under
+/// [`crate::fault::FaultPlan::slowdown_vector`]. A vector of all `1.0`
+/// reproduces [`simulate_traces`] exactly.
+pub fn simulate_traces_slowed(
+    traces: &[RankTrace],
+    link: &LinkModel,
+    slowdowns: &[f64],
+) -> Result<SimReport, SimError> {
+    assert_eq!(traces.len(), slowdowns.len(), "one slowdown factor per rank");
+    assert!(
+        slowdowns.iter().all(|&f| f >= 1.0 && f.is_finite()),
+        "slowdown factors must be finite and ≥ 1"
+    );
+    if slowdowns.iter().all(|&f| f == 1.0) {
+        return simulate_traces(traces, link);
+    }
+    let slowed: Vec<RankTrace> = traces
+        .iter()
+        .zip(slowdowns)
+        .map(|(t, &factor)| {
+            let mut t = t.clone();
+            for e in &mut t.entries {
+                if let TraceOp::Advance { secs } = &mut e.op {
+                    secs.0 *= factor;
+                }
+            }
+            t
+        })
+        .collect();
+    simulate_traces(&slowed, link)
+}
+
 /// [`simulate_traces`] with an explicit worker-pool size. The report's
 /// deterministic view is identical for every `workers ≥ 1`.
 pub fn simulate_traces_with(
@@ -935,6 +972,24 @@ mod tests {
         let want = replay_traces_timed(&traces, &link());
         let got = simulate_traces_with(&traces, &link(), 4).expect("simulates");
         assert_eq!(got.clocks, want);
+    }
+
+    #[test]
+    fn slowed_simulation_stretches_the_straggler_and_its_waiters() {
+        let traces = pipeline_traces(6);
+        let healthy = simulate_traces(&traces, &link()).expect("simulates");
+        // Uniform slowdown of 1.0 is the identity.
+        let id = simulate_traces_slowed(&traces, &link(), &[1.0; 6]).expect("simulates");
+        assert_eq!(id.deterministic_view(), healthy.deterministic_view());
+        // Rank 3 at 4×: its compute quadruples exactly, everyone behind
+        // it in the pipeline and the closing allreduce finishes later.
+        let mut f = vec![1.0; 6];
+        f[3] = 4.0;
+        let slow = simulate_traces_slowed(&traces, &link(), &f).expect("simulates");
+        assert_eq!(slow.compute[3], 4.0 * healthy.compute[3]);
+        assert_eq!(slow.compute[2], healthy.compute[2]);
+        assert!(slow.makespan() > healthy.makespan());
+        assert!(slow.clocks[5] > healthy.clocks[5], "downstream rank must finish later");
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct TrafficStats {
     /// to its accepted retransmission. The wall-clock cost of ladder
     /// rung 1, where the counters above only give event counts.
     repair_nanos: u64,
+    /// Times the straggler detector flagged *this* rank as persistently
+    /// slow (EMA step time above the agreed threshold). A flag is a
+    /// verdict, not yet a mitigation — rebalances and evictions are
+    /// counted by the resilient driver's report.
+    straggler_flags: u64,
 }
 
 impl TrafficStats {
@@ -126,6 +131,16 @@ impl TrafficStats {
         self.repair_nanos
     }
 
+    /// Record one straggler verdict against this rank.
+    pub fn record_straggler_flag(&mut self) {
+        self.straggler_flags += 1;
+    }
+
+    /// Times this rank was flagged as a persistent straggler.
+    pub fn straggler_flags(&self) -> u64 {
+        self.straggler_flags
+    }
+
     /// Messages sent under `class`.
     pub fn messages(&self, class: OpClass) -> u64 {
         self.messages[class.index()]
@@ -156,6 +171,7 @@ impl TrafficStats {
         self.corrupt_repaired += other.corrupt_repaired;
         self.retransmits += other.retransmits;
         self.repair_nanos += other.repair_nanos;
+        self.straggler_flags += other.straggler_flags;
     }
 }
 
@@ -220,6 +236,20 @@ mod tests {
         assert_eq!(a.corrupt_repaired(), 2);
         assert_eq!(a.retransmits(), 3);
         // Repairs and retransmissions are not delivered traffic either.
+        assert_eq!(a.total_messages(), 0);
+    }
+
+    #[test]
+    fn straggler_flags_accumulate_and_merge() {
+        let mut a = TrafficStats::default();
+        assert_eq!(a.straggler_flags(), 0);
+        a.record_straggler_flag();
+        a.record_straggler_flag();
+        let mut b = TrafficStats::default();
+        b.record_straggler_flag();
+        a.merge(&b);
+        assert_eq!(a.straggler_flags(), 3);
+        // Verdicts are not delivered traffic.
         assert_eq!(a.total_messages(), 0);
     }
 

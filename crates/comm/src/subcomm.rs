@@ -200,6 +200,18 @@ impl<C: Communicator> Communicator for SubComm<'_, C> {
         self.parent.stats_snapshot()
     }
 
+    fn busy_nanos(&self) -> u64 {
+        self.parent.busy_nanos()
+    }
+
+    fn note_straggler_flag(&self) {
+        self.parent.note_straggler_flag();
+    }
+
+    fn note_rank_slowness(&self, ratios: &[f64]) {
+        self.parent.note_rank_slowness(ratios);
+    }
+
     fn next_collective_tag(&self) -> Tag {
         let c = self.counter.get();
         self.counter.set(c + 1);

@@ -91,6 +91,11 @@ pub(crate) struct Monitor {
     repaired: Vec<AtomicU64>,
     /// Per-rank retransmission count, mirrored from `TrafficStats`.
     retransmits: Vec<AtomicU64>,
+    /// Per-rank slowness ratio (this rank's step-time EMA over the world
+    /// median, as `f64` bits; 1.0 = healthy), mirrored from the
+    /// straggler detector. Lets the wait-graph diagnostic distinguish
+    /// "deadlocked" from "waiting on a rank that is 4× slow".
+    slowness: Vec<AtomicU64>,
     /// Set by the watchdog on detection; blocked receives unwind.
     abort: AtomicBool,
     diagnostic: Mutex<Option<String>>,
@@ -109,6 +114,7 @@ impl Monitor {
             dropped: (0..size).map(|_| AtomicU64::new(0)).collect(),
             repaired: (0..size).map(|_| AtomicU64::new(0)).collect(),
             retransmits: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            slowness: (0..size).map(|_| AtomicU64::new(1.0f64.to_bits())).collect(),
             abort: AtomicBool::new(false),
             diagnostic: Mutex::new(None),
             finished: AtomicBool::new(false),
@@ -141,6 +147,21 @@ impl Monitor {
 
     pub(crate) fn note_retransmit(&self, rank: usize) {
         self.retransmits[rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Publish the straggler detector's latest per-rank slowness ratios
+    /// (step-time EMA over world median). Any rank may publish — the
+    /// detector computes identical vectors on all ranks, so last-write
+    /// wins is harmless.
+    pub(crate) fn note_rank_slowness(&self, ratios: &[f64]) {
+        for (slot, &r) in self.slowness.iter().zip(ratios) {
+            slot.store(r.to_bits(), Ordering::SeqCst);
+        }
+    }
+
+    /// The published slowness ratio of `rank` (1.0 when never published).
+    fn slowness_of(&self, rank: usize) -> f64 {
+        f64::from_bits(self.slowness[rank].load(Ordering::SeqCst))
     }
 
     pub(crate) fn enter_recv(&self, rank: usize, src: usize, tag: Tag) {
@@ -242,7 +263,18 @@ impl Monitor {
         for (rank, st) in snapshot.iter().enumerate() {
             let line = match st {
                 RankStatus::Blocked { src, tag } => {
-                    format!("  rank {rank}: waits on rank {src} (tag {tag}), link empty\n")
+                    // A known-slow awaited rank reframes the diagnosis:
+                    // likely a straggler still working, not a lost
+                    // message.
+                    let slow = self.slowness_of(*src);
+                    if slow >= 1.5 {
+                        format!(
+                            "  rank {rank}: waits on rank {src} (tag {tag}), link empty — rank \
+                             {src} is {slow:.1}× slower than the world median (straggler)\n"
+                        )
+                    } else {
+                        format!("  rank {rank}: waits on rank {src} (tag {tag}), link empty\n")
+                    }
                 }
                 RankStatus::Done => format!("  rank {rank}: done\n"),
                 RankStatus::Dead { reason } => format!("  rank {rank}: dead — {reason}\n"),
@@ -266,6 +298,14 @@ impl Monitor {
         s.push_str(&format!("dropped sends: {}\n", render(&self.dropped)));
         s.push_str(&format!("corruption repaired: {}\n", render(&self.repaired)));
         s.push_str(&format!("retransmits: {}\n", render(&self.retransmits)));
+        let slow: Vec<String> = (0..self.size)
+            .filter(|&r| self.slowness_of(r) >= 1.5)
+            .map(|r| format!("rank {r}: {:.1}× median", self.slowness_of(r)))
+            .collect();
+        s.push_str(&format!(
+            "slow ranks: {}\n",
+            if slow.is_empty() { "none".into() } else { slow.join(", ") }
+        ));
         *self.diagnostic.lock() = Some(s);
         self.abort.store(true, Ordering::SeqCst);
     }
@@ -376,5 +416,26 @@ mod tests {
         let d = m.diagnostic();
         assert!(d.contains("corruption repaired: none"), "{d}");
         assert!(d.contains("retransmits: none"), "{d}");
+        assert!(d.contains("slow ranks: none"), "{d}");
+    }
+
+    #[test]
+    fn trip_names_a_known_straggler_instead_of_a_bare_deadlock() {
+        let m = Monitor::new(3, WatchdogConfig::default());
+        m.note_rank_slowness(&[1.0, 1.0, 4.0]);
+        m.trip(&[
+            RankStatus::Blocked { src: 2, tag: 7 },
+            RankStatus::Blocked { src: 2, tag: 7 },
+            RankStatus::Blocked { src: 0, tag: 7 },
+        ]);
+        let d = m.diagnostic();
+        // The wait edge onto the straggler carries the slowness; the
+        // edge onto a healthy rank stays a plain deadlock line.
+        assert!(
+            d.contains("rank 0: waits on rank 2 (tag 7), link empty — rank 2 is 4.0× slower"),
+            "{d}"
+        );
+        assert!(d.contains("rank 2: waits on rank 0 (tag 7), link empty\n"), "{d}");
+        assert!(d.contains("slow ranks: rank 2: 4.0× median"), "{d}");
     }
 }

@@ -53,11 +53,20 @@ impl DistConv2d {
     /// the degenerate cases §III-A calls out as better served by other
     /// parallelism).
     pub fn new(n: usize, c: usize, f: usize, geom: ConvGeometry, grid: ProcGrid) -> Self {
-        assert_eq!(grid.c, 1, "channel/filter parallelism is handled by channel_filter");
         let in_shape = Shape4::new(n, c, geom.in_h, geom.in_w);
         let out_shape = Shape4::new(n, f, geom.out_h(), geom.out_w());
-        let in_dist = TensorDist::new(in_shape, grid);
-        let out_dist = TensorDist::new(out_shape, grid);
+        Self::with_dists(geom, TensorDist::new(in_shape, grid), TensorDist::new(out_shape, grid))
+    }
+
+    /// Create the layer from explicit input/output distributions (which
+    /// may carry non-uniform weights — gray-failure rebalancing). Margins
+    /// are computed from the distributions' actual block boundaries, so
+    /// weighted layouts get correctly sized halos.
+    pub fn with_dists(geom: ConvGeometry, in_dist: TensorDist, out_dist: TensorDist) -> Self {
+        let grid = in_dist.grid;
+        assert_eq!(grid.c, 1, "channel/filter parallelism is handled by channel_filter");
+        assert_eq!(out_dist.grid, grid, "conv input and output must share a grid");
+        let in_shape = in_dist.shape;
         assert!(
             in_dist.is_fully_populated() && out_dist.is_fully_populated(),
             "grid {grid} leaves ranks without work for conv {geom:?} on {in_shape}"
@@ -66,14 +75,14 @@ impl DistConv2d {
         // Forward x window: covers input rows/cols needed by the owned
         // output block. Uniform over ranks (max per side).
         let (h_lo, h_hi) = margin_bound(grid.h, |g| {
-            let ob = fg_comm::collectives::block_range(out_shape.h, grid.h, g);
-            let ib = fg_comm::collectives::block_range(in_shape.h, grid.h, g);
+            let ob = out_dist.dim_range(2, g);
+            let ib = in_dist.dim_range(2, g);
             let (lo, hi) = geom.input_rows_for_output(ob.start, ob.end);
             (ib.start as i64 - lo, hi - ib.end as i64)
         });
         let (w_lo, w_hi) = margin_bound(grid.w, |g| {
-            let ob = fg_comm::collectives::block_range(out_shape.w, grid.w, g);
-            let ib = fg_comm::collectives::block_range(in_shape.w, grid.w, g);
+            let ob = out_dist.dim_range(3, g);
+            let ib = in_dist.dim_range(3, g);
             let (lo, hi) = geom.input_cols_for_output(ob.start, ob.end);
             (ib.start as i64 - lo, hi - ib.end as i64)
         });
@@ -82,14 +91,14 @@ impl DistConv2d {
         // Backward dy window: covers output rows/cols contributing to the
         // owned input block.
         let (dh_lo, dh_hi) = margin_bound(grid.h, |g| {
-            let ib = fg_comm::collectives::block_range(in_shape.h, grid.h, g);
-            let ob = fg_comm::collectives::block_range(out_shape.h, grid.h, g);
+            let ib = in_dist.dim_range(2, g);
+            let ob = out_dist.dim_range(2, g);
             let (lo, hi) = geom.output_rows_for_input(ib.start, ib.end);
             (ob.start as i64 - lo as i64, hi as i64 - ob.end as i64)
         });
         let (dw_lo, dw_hi) = margin_bound(grid.w, |g| {
-            let ib = fg_comm::collectives::block_range(in_shape.w, grid.w, g);
-            let ob = fg_comm::collectives::block_range(out_shape.w, grid.w, g);
+            let ib = in_dist.dim_range(3, g);
+            let ob = out_dist.dim_range(3, g);
             let (lo, hi) = geom.output_cols_for_input(ib.start, ib.end);
             (ob.start as i64 - lo as i64, hi as i64 - ob.end as i64)
         });
@@ -171,7 +180,7 @@ impl DistConv2d {
         w: &Tensor,
         bias: Option<&[f32]>,
     ) -> DistTensor {
-        let mut y = DistTensor::new_unpadded(self.out_dist, rank);
+        let mut y = DistTensor::new_unpadded(self.out_dist.clone(), rank);
         let ob = y.own_box();
         let origin = (win.origin()[2], win.origin()[3]);
         let local = conv2d_forward_region(
@@ -210,7 +219,7 @@ impl DistConv2d {
         let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
         exchange_halo_with_plan(comm, &mut dyw, plan);
 
-        let mut dx = DistTensor::new_unpadded(self.in_dist, comm.rank());
+        let mut dx = DistTensor::new_unpadded(self.in_dist.clone(), comm.rank());
         let ib = dx.own_box();
         let origin = (dyw.origin()[2], dyw.origin()[3]);
         let local = conv2d_backward_data_region(
@@ -315,9 +324,11 @@ mod tests {
 
         let layer = DistConv2d::new(n, c, f, geom, grid);
         let results = run_ranks(grid.size(), |comm| {
-            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs =
+                DistTensor::from_global(layer.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (y, win) = layer.forward(comm, &xs, &w, Some(&bias));
-            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dys =
+                DistTensor::from_global(layer.out_dist.clone(), comm.rank(), &dy, [0; 4], [0; 4]);
             let dx = layer.backward_data(comm, &dys, &w);
             let (dw, db) = layer.backward_filter(comm, &win, &dys, true);
             let y_full = gather_to_root(comm, &y, 0);
@@ -398,7 +409,8 @@ mod tests {
         let x = pattern(Shape4::new(1, 2, 8, 8), 4);
         let w = pattern(Shape4::new(2, 2, 3, 3), 5);
         let stats: Vec<TrafficStats> = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs =
+                DistTensor::from_global(layer.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let _ = layer.forward(comm, &xs, &w, None);
             comm.stats()
         });

@@ -192,7 +192,7 @@ impl DistExecutor {
                     .iter()
                     .enumerate()
                     .map(|(i, &p)| {
-                        let no_shuffle = match (b.in_dist, b.parent_dists[i]) {
+                        let no_shuffle = match (&b.in_dist, &b.parent_dists[i]) {
                             (Some(want), Some(have)) => want == have,
                             _ => true,
                         };
@@ -264,7 +264,7 @@ impl DistExecutor {
 
     /// The input layer's distribution.
     fn input_dist(&self) -> TensorDist {
-        self.layers[0].base().out_dist.expect("layer 0 is the sharded input layer")
+        self.layers[0].base().out_dist.clone().expect("layer 0 is the sharded input layer")
     }
 
     /// This layer's plan for `rank`: borrowed from the cache, or — when
@@ -859,5 +859,55 @@ mod tests {
         let s = Strategy::sample_parallel(&spec, 8);
         // Batch 4 cannot feed 8 sample-parallel ranks.
         assert!(DistExecutor::new(spec, s, 4).is_err());
+    }
+
+    #[test]
+    fn equal_rank_weights_normalize_to_the_uniform_strategy() {
+        let spec = mini_mesh_net();
+        let uniform = Strategy::uniform(&spec, ProcGrid::spatial(4, 1));
+        let weighted = uniform.clone().with_rank_weights(vec![7, 7, 7, 7]);
+        assert_eq!(uniform, weighted, "equal weights must normalize away entirely");
+    }
+
+    /// A weighted layout (one rank with a third of the others' speed)
+    /// compiles, statically verifies clean, keeps every rank in bitwise
+    /// agreement, and trains within the usual cross-layout tolerance of
+    /// the uniform run — the math is unchanged, only box boundaries move.
+    #[test]
+    fn weighted_layout_verifies_and_trains() {
+        let spec = mini_mesh_net();
+        let (x, labels) = seg_batch(2, 16, 16);
+        let net = Network::init(spec.clone(), 42);
+        let grid = ProcGrid::spatial(4, 1);
+
+        let weighted = Strategy::uniform(&spec, grid).with_rank_weights(vec![1, 3, 3, 3]);
+        assert!(weighted.rank_weights.is_some());
+        let wexec = DistExecutor::new(spec.clone(), weighted, 2).expect("weighted layout compiles");
+        let report = wexec.verify();
+        assert!(report.is_clean(), "weighted schedule must verify clean: {:?}", report.violations);
+
+        let uexec =
+            DistExecutor::new(spec.clone(), Strategy::uniform(&spec, grid), 2).expect("uniform");
+
+        let run = |exec: &DistExecutor| {
+            run_ranks(4, |comm| {
+                let mut params = net.params.clone();
+                let mut opt = Sgd::new(0.02, 0.9, 1e-4, &params);
+                (0..3).map(|_| exec.train_step(comm, &mut params, &mut opt, &x, &labels)).collect()
+            })
+        };
+        let w_losses: Vec<Vec<f64>> = run(&wexec);
+        let u_losses: Vec<Vec<f64>> = run(&uexec);
+        for l in &w_losses {
+            assert_eq!(l, &w_losses[0], "ranks disagree under the weighted layout");
+        }
+        for (wl, ul) in w_losses[0].iter().zip(&u_losses[0]) {
+            assert!(
+                (wl - ul).abs() <= 1e-3 * ul.abs().max(1.0),
+                "weighted layout diverged: {:?} vs {:?}",
+                w_losses[0],
+                u_losses[0]
+            );
+        }
     }
 }

@@ -49,7 +49,7 @@ pub fn dist_bn_forward<C: Communicator>(
         }
     };
     let y_local = bn_forward_with_stats(&owned, &stats, gamma, beta, eps);
-    let mut y = DistTensor::new_unpadded(*x.dist(), x.rank());
+    let mut y = DistTensor::new_unpadded(x.dist().clone(), x.rank());
     y.set_owned(&y_local);
     (y, stats)
 }
@@ -89,7 +89,7 @@ pub fn dist_bn_backward<C: Communicator>(
                 total,
                 eps,
             );
-            let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+            let mut dx = DistTensor::new_unpadded(x.dist().clone(), x.rank());
             dx.set_owned(&dx_local);
             let dgamma: Vec<f32> = g_sum_dy_xhat.iter().map(|&v| v as f32).collect();
             let dbeta: Vec<f32> = g_sum_dy.iter().map(|&v| v as f32).collect();
@@ -107,7 +107,7 @@ pub fn dist_bn_backward<C: Communicator>(
                 total,
                 eps,
             );
-            let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+            let mut dx = DistTensor::new_unpadded(x.dist().clone(), x.rank());
             dx.set_owned(&dx_local);
             // Parameters are replicated, so their gradients still sum
             // over all shards even when statistics were local.
@@ -161,7 +161,7 @@ impl DistLayer for BatchNormLayer {
             // Inference: fixed statistics, purely local.
             Some(st) => {
                 let y_local = bn_forward_with_stats(&x.owned_tensor(), st, gamma, beta, BN_EPS);
-                let mut y = DistTensor::new_unpadded(*x.dist(), x.rank());
+                let mut y = DistTensor::new_unpadded(x.dist().clone(), x.rank());
                 y.set_owned(&y_local);
                 (y, st.clone())
             }
@@ -234,9 +234,9 @@ mod tests {
         let grid = ProcGrid::hybrid(2, 2, 1);
         let dist = TensorDist::new(shape, grid);
         let outs = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (y, stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, BnMode::Aggregated);
-            let dys = DistTensor::from_global(dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dys = DistTensor::from_global(dist.clone(), comm.rank(), &dy, [0; 4], [0; 4]);
             let (dx, dg, db) =
                 dist_bn_backward(comm, &xs, &dys, &stats, &gamma, 1e-5, BnMode::Aggregated);
             (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0), dg, db, stats)
@@ -268,7 +268,7 @@ mod tests {
         let grid = ProcGrid::sample(4);
         let dist = TensorDist::new(shape, grid);
         let ys = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (y, _stats) = dist_bn_forward(comm, &xs, &gamma, &beta, 1e-5, BnMode::Local);
             gather_to_root(comm, &y, 0)
         });

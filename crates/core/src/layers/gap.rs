@@ -49,7 +49,7 @@ pub fn dist_global_avg_pool_backward(x: &DistTensor, dy: &Tensor) -> DistTensor 
     let shape = x.dist().shape;
     let scale = 1.0f32 / (shape.h * shape.w) as f32;
     let own = x.own_box();
-    let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+    let mut dx = DistTensor::new_unpadded(x.dist().clone(), x.rank());
     let mut local = Tensor::zeros(own.shape());
     let s = local.shape();
     for n in 0..s.n {
@@ -141,7 +141,7 @@ mod tests {
         let dist = TensorDist::new(shape, grid);
         let serial = fg_nn::network::global_avg_pool(&x);
         let outs = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             dist_global_avg_pool(comm, &xs)
         });
         // Ranks 0,1 share sample block 0..2; ranks 2,3 share 2..4.
@@ -164,7 +164,7 @@ mod tests {
         let dy = pattern(Shape4::new(2, 2, 1, 1), 10);
         let serial = fg_nn::network::global_avg_pool_backward(&x, &dy);
         let outs = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let dx = dist_global_avg_pool_backward(&xs, &dy);
             gather_to_root(comm, &dx, 0)
         });
@@ -178,7 +178,7 @@ mod tests {
         let grid = ProcGrid::hybrid(2, 2, 1);
         let dist = TensorDist::new(shape, grid);
         let outs = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let layout = spatial_group_layout(comm.rank(), grid);
             let fresh = dist_global_avg_pool(comm, &xs);
             let cached = dist_global_avg_pool_with_group(comm, &xs, &layout);

@@ -46,7 +46,7 @@ pub fn dist_softmax_xent_shard<C: Communicator>(
     // Convert the local mean into a global mean and rescale the gradient.
     let sums = comm.allreduce(&[mean_local * local_positions], ReduceOp::Sum);
     grad_local.scale((local_positions / global_positions) as f32);
-    let mut dlogits = DistTensor::new_unpadded(*logits.dist(), logits.rank());
+    let mut dlogits = DistTensor::new_unpadded(logits.dist().clone(), logits.rank());
     dlogits.set_owned(&grad_local);
     (sums[0] / global_positions, dlogits)
 }
@@ -188,7 +188,7 @@ mod tests {
         let grid = ProcGrid::spatial(2, 2);
         let dist = TensorDist::new(shape, grid);
         let outs = run_ranks(4, |comm| {
-            let ls = DistTensor::from_global(dist, comm.rank(), &logits, [0; 4], [0; 4]);
+            let ls = DistTensor::from_global(dist.clone(), comm.rank(), &logits, [0; 4], [0; 4]);
             let (loss, dl) = dist_softmax_xent_shard(comm, &ls, &labels);
             (loss, gather_to_root(comm, &dl, 0))
         });

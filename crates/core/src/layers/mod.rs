@@ -67,7 +67,7 @@ pub(crate) fn build_layers(
     for (id, l) in spec.layers().iter().enumerate() {
         let grid = strategy.grids[id];
         let parent_dists: Vec<Option<TensorDist>> =
-            l.parents.iter().map(|&p| out_dists[p]).collect();
+            l.parents.iter().map(|&p| out_dists[p].clone()).collect();
         let base = |in_dist: Option<TensorDist>, out_dist: Option<TensorDist>| LayerBase {
             id,
             name: l.name.clone(),
@@ -81,30 +81,44 @@ pub(crate) fn build_layers(
             // exist (it needs per-layer consumer counts).
             take_parent: vec![false; l.parents.len()],
         };
-        let sharded = TensorDist::new(shapes[id], grid);
+        let sharded = strategy.dist_for(shapes[id], grid);
         let layer: Box<dyn DistLayer> = match &l.kind {
-            LayerKind::Input { .. } => Box::new(InputLayer::new(base(None, Some(sharded)))),
-            LayerKind::Conv { filters, kernel, stride, pad, .. } => {
+            LayerKind::Input { .. } => Box::new(InputLayer::new(base(None, Some(sharded.clone())))),
+            LayerKind::Conv { kernel, stride, pad, .. } => {
                 let p = shapes[l.parents[0]];
                 let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
-                let conv = DistConv2d::new(batch, p.c, *filters, geom, grid);
-                let b = base(Some(conv.in_dist), Some(conv.out_dist));
+                let conv = DistConv2d::with_dists(
+                    geom,
+                    strategy.dist_for(shapes[l.parents[0]], grid),
+                    sharded.clone(),
+                );
+                let b = base(Some(conv.in_dist.clone()), Some(conv.out_dist.clone()));
                 Box::new(ConvLayer::new(b, conv))
             }
             LayerKind::Pool { kind, kernel, stride, pad } => {
                 let p = shapes[l.parents[0]];
                 let geom = ConvGeometry::square(p.h, p.w, *kernel, *stride, *pad);
-                let pool = DistPool2d::new(*kind, batch, p.c, geom, grid);
-                let b = base(Some(pool.in_dist), Some(pool.out_dist));
+                let pool = DistPool2d::with_dists(
+                    *kind,
+                    geom,
+                    strategy.dist_for(shapes[l.parents[0]], grid),
+                    sharded.clone(),
+                );
+                let b = base(Some(pool.in_dist.clone()), Some(pool.out_dist.clone()));
                 Box::new(PoolLayer::new(b, pool))
             }
-            LayerKind::BatchNorm => {
-                Box::new(batchnorm::BatchNormLayer::new(base(Some(sharded), Some(sharded))))
+            LayerKind::BatchNorm => Box::new(batchnorm::BatchNormLayer::new(base(
+                Some(sharded.clone()),
+                Some(sharded.clone()),
+            ))),
+            LayerKind::Relu => {
+                Box::new(ReluLayer::new(base(Some(sharded.clone()), Some(sharded.clone()))))
             }
-            LayerKind::Relu => Box::new(ReluLayer::new(base(Some(sharded), Some(sharded)))),
-            LayerKind::Add => Box::new(AddLayer::new(base(Some(sharded), Some(sharded)))),
+            LayerKind::Add => {
+                Box::new(AddLayer::new(base(Some(sharded.clone()), Some(sharded.clone()))))
+            }
             LayerKind::GlobalAvgPool => {
-                let in_dist = TensorDist::new(shapes[l.parents[0]], grid);
+                let in_dist = strategy.dist_for(shapes[l.parents[0]], grid);
                 Box::new(GapLayer::new(base(Some(in_dist), None)))
             }
             LayerKind::Fc { out_features } => {
@@ -117,12 +131,15 @@ pub(crate) fn build_layers(
                 let parent_kind = &spec.layer(l.parents[0]).kind;
                 let per_sample =
                     matches!(parent_kind, LayerKind::GlobalAvgPool | LayerKind::Fc { .. });
-                let b =
-                    if per_sample { base(None, None) } else { base(Some(sharded), Some(sharded)) };
+                let b = if per_sample {
+                    base(None, None)
+                } else {
+                    base(Some(sharded.clone()), Some(sharded.clone()))
+                };
                 Box::new(SoftmaxLossLayer::new(b, per_sample, batch))
             }
         };
-        out_dists.push(layer.base().out_dist);
+        out_dists.push(layer.base().out_dist.clone());
         layers.push(layer);
     }
     layers

@@ -90,8 +90,8 @@ impl LayerBase {
         for pd in &self.parent_dists {
             let (fwd, back) = match (&self.in_dist, pd) {
                 (Some(want), Some(have)) if want != have => (
-                    Some(ShufflePlan::build(*have, *want, rank)),
-                    Some(ShufflePlan::build(*want, *have, rank)),
+                    Some(ShufflePlan::build(have.clone(), want.clone(), rank)),
+                    Some(ShufflePlan::build(want.clone(), have.clone(), rank)),
                 ),
                 _ => (None, None),
             };

@@ -9,14 +9,14 @@ use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan}
 
 /// Distributed ReLU: elementwise on the owned region.
 pub fn dist_relu_forward(x: &DistTensor) -> DistTensor {
-    let mut y = DistTensor::new_unpadded(*x.dist(), x.rank());
+    let mut y = DistTensor::new_unpadded(x.dist().clone(), x.rank());
     y.set_owned(&fg_kernels::relu::relu_forward(&x.owned_tensor()));
     y
 }
 
 /// Distributed ReLU backward.
 pub fn dist_relu_backward(x: &DistTensor, dy: &DistTensor) -> DistTensor {
-    let mut dx = DistTensor::new_unpadded(*x.dist(), x.rank());
+    let mut dx = DistTensor::new_unpadded(x.dist().clone(), x.rank());
     dx.set_owned(&fg_kernels::relu::relu_backward(&x.owned_tensor(), &dy.owned_tensor()));
     dx
 }
@@ -30,7 +30,7 @@ pub fn dist_add(parts: &[&DistTensor]) -> DistTensor {
         assert_eq!(p.dist(), parts[0].dist(), "residual join requires matching distributions");
         acc.add_assign(&p.owned_tensor());
     }
-    let mut y = DistTensor::new_unpadded(*parts[0].dist(), parts[0].rank());
+    let mut y = DistTensor::new_unpadded(parts[0].dist().clone(), parts[0].rank());
     y.set_owned(&acc);
     y
 }
@@ -141,11 +141,11 @@ mod tests {
         let grid = ProcGrid::spatial(2, 2);
         let dist = TensorDist::new(shape, grid);
         let outs = run_ranks(4, |comm| {
-            let da = DistTensor::from_global(dist, comm.rank(), &a, [0; 4], [0; 4]);
-            let db = DistTensor::from_global(dist, comm.rank(), &b, [0; 4], [0; 4]);
+            let da = DistTensor::from_global(dist.clone(), comm.rank(), &a, [0; 4], [0; 4]);
+            let db = DistTensor::from_global(dist.clone(), comm.rank(), &b, [0; 4], [0; 4]);
             let sum = dist_add(&[&da, &db]);
             let r = dist_relu_forward(&sum);
-            let dy = DistTensor::from_global(dist, comm.rank(), &b, [0; 4], [0; 4]);
+            let dy = DistTensor::from_global(dist.clone(), comm.rank(), &b, [0; 4], [0; 4]);
             let dx = dist_relu_backward(&sum, &dy);
             (gather_to_root(comm, &r, 0), gather_to_root(comm, &dx, 0))
         });

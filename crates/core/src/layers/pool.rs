@@ -28,11 +28,28 @@ pub struct DistPool2d {
 impl DistPool2d {
     /// Create a pooling layer over `grid` (channel extent must be 1).
     pub fn new(kind: PoolKind, n: usize, c: usize, geom: ConvGeometry, grid: ProcGrid) -> Self {
-        assert_eq!(grid.c, 1, "pooling does not partition channels");
         let in_shape = Shape4::new(n, c, geom.in_h, geom.in_w);
         let out_shape = Shape4::new(n, c, geom.out_h(), geom.out_w());
-        let in_dist = TensorDist::new(in_shape, grid);
-        let out_dist = TensorDist::new(out_shape, grid);
+        Self::with_dists(
+            kind,
+            geom,
+            TensorDist::new(in_shape, grid),
+            TensorDist::new(out_shape, grid),
+        )
+    }
+
+    /// Create the layer from explicit (possibly weighted) distributions;
+    /// margins follow the distributions' actual block boundaries.
+    pub fn with_dists(
+        kind: PoolKind,
+        geom: ConvGeometry,
+        in_dist: TensorDist,
+        out_dist: TensorDist,
+    ) -> Self {
+        let grid = in_dist.grid;
+        assert_eq!(grid.c, 1, "pooling does not partition channels");
+        assert_eq!(out_dist.grid, grid, "pool input and output must share a grid");
+        let in_shape = in_dist.shape;
         assert!(
             in_dist.is_fully_populated() && out_dist.is_fully_populated(),
             "grid {grid} leaves ranks without work for pooling on {in_shape}"
@@ -42,15 +59,15 @@ impl DistPool2d {
         // owned input block. Take the elementwise max of the two needs.
         let h = margin_max(
             grid.h,
-            in_shape.h,
-            out_shape.h,
+            |g| in_dist.dim_range(2, g),
+            |g| out_dist.dim_range(2, g),
             |o0, o1| geom.input_rows_for_output(o0, o1),
             |i0, i1| geom.output_rows_for_input(i0, i1),
         );
         let w = margin_max(
             grid.w,
-            in_shape.w,
-            out_shape.w,
+            |g| in_dist.dim_range(3, g),
+            |g| out_dist.dim_range(3, g),
             |o0, o1| geom.input_cols_for_output(o0, o1),
             |i0, i1| geom.output_cols_for_input(i0, i1),
         );
@@ -84,7 +101,7 @@ impl DistPool2d {
         debug_assert_eq!(*x.dist(), self.in_dist);
         let mut win = x.to_window(self.x_margins.0, self.x_margins.1);
         exchange_halo_with_plan(comm, &mut win, plan);
-        let mut y = DistTensor::new_unpadded(self.out_dist, comm.rank());
+        let mut y = DistTensor::new_unpadded(self.out_dist.clone(), comm.rank());
         let ob = y.own_box();
         let local = pool2d_forward_region(
             self.kind,
@@ -119,7 +136,7 @@ impl DistPool2d {
         debug_assert_eq!(*dy.dist(), self.out_dist);
         let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
         exchange_halo_with_plan(comm, &mut dyw, plan);
-        let mut dx = DistTensor::new_unpadded(self.in_dist, comm.rank());
+        let mut dx = DistTensor::new_unpadded(self.in_dist.clone(), comm.rank());
         let ib = dx.own_box();
         let local = pool2d_backward_region(
             self.kind,
@@ -141,8 +158,8 @@ impl DistPool2d {
 #[allow(clippy::type_complexity)]
 fn margin_max(
     parts: usize,
-    in_total: usize,
-    out_total: usize,
+    in_range: impl Fn(usize) -> std::ops::Range<usize>,
+    out_range: impl Fn(usize) -> std::ops::Range<usize>,
     in_for_out: impl Fn(usize, usize) -> (i64, i64),
     out_for_in: impl Fn(usize, usize) -> (usize, usize),
 ) -> ((usize, usize), (usize, usize)) {
@@ -151,8 +168,8 @@ fn margin_max(
     let mut d_lo = 0i64;
     let mut d_hi = 0i64;
     for g in 0..parts {
-        let ib = fg_comm::collectives::block_range(in_total, parts, g);
-        let ob = fg_comm::collectives::block_range(out_total, parts, g);
+        let ib = in_range(g);
+        let ob = out_range(g);
         // Forward: x needed for own output block.
         let (lo, hi) = in_for_out(ob.start, ob.end);
         x_lo = x_lo.max(ib.start as i64 - lo);
@@ -250,9 +267,11 @@ mod tests {
         let dx_serial = pool2d_backward(kind, &x, &dy, &geom);
         let layer = DistPool2d::new(kind, n, c, geom, grid);
         let outs = run_ranks(grid.size(), |comm| {
-            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs =
+                DistTensor::from_global(layer.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (y, win) = layer.forward(comm, &xs);
-            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dys =
+                DistTensor::from_global(layer.out_dist.clone(), comm.rank(), &dy, [0; 4], [0; 4]);
             let dx = layer.backward(comm, &win, &dys);
             (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0))
         });
@@ -313,12 +332,19 @@ mod tests {
             let dy_plan = layer.dy_halo_plan(comm.rank());
             for step in 0..2 {
                 let x = pattern(Shape4::new(2, 2, 8, 8), step);
-                let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let xs =
+                    DistTensor::from_global(layer.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                 let (y_fresh, win) = layer.forward(comm, &xs);
                 let (y_cached, _) = layer.forward_with_plan(comm, &xs, &x_plan);
                 assert_eq!(y_fresh, y_cached);
                 let dy = pattern(y_fresh.dist().shape, step + 7);
-                let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                let dys = DistTensor::from_global(
+                    layer.out_dist.clone(),
+                    comm.rank(),
+                    &dy,
+                    [0; 4],
+                    [0; 4],
+                );
                 let dx_fresh = layer.backward(comm, &win, &dys);
                 let dx_cached = layer.backward_with_plan(comm, &win, &dys, &dy_plan);
                 assert_eq!(dx_fresh, dx_cached);

@@ -30,6 +30,7 @@ pub mod mp_fc;
 pub mod overlap;
 pub mod resilient;
 pub mod spatial3d;
+pub mod straggler;
 pub mod strategy;
 pub mod verify;
 
@@ -40,8 +41,11 @@ pub use guard::{Anomaly, GuardConfig, StepGuard};
 pub use layers::{BnMode, DistPool2d};
 pub use mp_fc::ModelParallelFc;
 pub use resilient::{
-    resilient_train, ComputeFault, Degradation, DegradeConfig, Replanner, ResilientConfig,
-    ResilientReport, RungTimes, SgdHyper,
+    resilient_train, ComputeFault, Degradation, DegradeConfig, Rebalance, Replanner,
+    ResilientConfig, ResilientReport, RungTimes, SgdHyper,
+};
+pub use straggler::{
+    weights_from_ema, StragglerAction, StragglerConfig, StragglerFlag, StragglerGuard,
 };
 pub use strategy::{Strategy, StrategyError};
 pub use verify::{candidate_grid_legal, ComputeOracle, VerifyReport};

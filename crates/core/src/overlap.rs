@@ -144,7 +144,7 @@ pub fn forward_overlapped_with_plans<C: Communicator>(
     // (1) post sends; (2) interior compute; (3) receive; (4) boundary.
     let tag = start_halo_exchange(comm, &win, plan);
 
-    let mut y = DistTensor::new_unpadded(conv.out_dist, rank);
+    let mut y = DistTensor::new_unpadded(conv.out_dist.clone(), rank);
     let origin = (win.origin()[2], win.origin()[3]);
     let ob = y.own_box();
     if let Some((rows, cols)) = iplan.interior {
@@ -206,7 +206,7 @@ pub fn backward_overlapped_with_plans<C: Communicator>(
 
     // (3) Complete the halo, (4) backward-data compute.
     finish_halo_exchange(comm, &mut dyw, plan, tag);
-    let mut dx = DistTensor::new_unpadded(conv.in_dist, rank);
+    let mut dx = DistTensor::new_unpadded(conv.in_dist.clone(), rank);
     let ib = dx.own_box();
     let local = conv2d_backward_data_region(
         dyw.local(),
@@ -306,7 +306,8 @@ mod tests {
             let x = pattern(Shape4::new(n, c, geom.in_h, geom.in_w), 1);
             let w = pattern(Shape4::new(f, c, geom.kh, geom.kw), 2);
             let outs = run_ranks(grid.size(), |comm| {
-                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let xs =
+                    DistTensor::from_global(conv.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                 let (y_mono, _) = conv.forward(comm, &xs, &w, None);
                 let (y_ovl, _) = forward_overlapped(&conv, comm, &xs, &w, None);
                 (y_mono.owned_tensor(), y_ovl.owned_tensor())
@@ -329,9 +330,16 @@ mod tests {
             let w = pattern(Shape4::new(f, c, geom.kh, geom.kw), 6);
             let dy = pattern(Shape4::new(n, f, geom.out_h(), geom.out_w()), 7);
             let outs = run_ranks(grid.size(), |comm| {
-                let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+                let xs =
+                    DistTensor::from_global(conv.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
                 let (_y, win) = conv.forward(comm, &xs, &w, None);
-                let dys = DistTensor::from_global(conv.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+                let dys = DistTensor::from_global(
+                    conv.out_dist.clone(),
+                    comm.rank(),
+                    &dy,
+                    [0; 4],
+                    [0; 4],
+                );
                 // Monolithic path.
                 let dx_mono = conv.backward_data(comm, &dys, &w);
                 let (dw_mono, _) = conv.backward_filter(comm, &win, &dys, false);

@@ -42,6 +42,24 @@
 //!    redistribution), recompiles the layer plans by rebuilding the
 //!    executor, and resumes on the survivors.
 //!
+//! Orthogonal to the crash ladder, a **gray-failure ladder** (enabled
+//! by [`ResilientConfig::straggler`] or `FG_STRAGGLER=1`) handles the
+//! node that is alive but slow — a throttled accelerator, a degraded
+//! link — which in bulk-synchronous training taxes every rank at every
+//! collective. Per-step busy-time telemetry
+//! ([`fg_comm::Communicator::busy_nanos`]) feeds a
+//! [`crate::straggler::StragglerGuard`] (median-relative EMA criterion
+//! with all-rank agreement); a confirmed persistent straggler triggers,
+//! in order: *tolerate and log* (below threshold), **weighted
+//! re-decomposition** — the world unwinds at an agreed step behind a
+//! fresh snapshot, the partition is rebuilt with per-rank speed
+//! weights ([`Strategy::with_rank_weights`]) so the slow rank carries
+//! proportionally less of every layer, and training resumes with no
+//! lost steps — and finally **soft eviction** through the degradation
+//! rung when the rank is slower than
+//! [`crate::straggler::StragglerConfig::evict_ratio`] or still flagged
+//! once the rebalance budget is spent.
+//!
 //! Every `ckpt_every` steps, rank 0 serializes a full
 //! [`fg_nn::TrainState`] (step counter, parameters, optimizer velocity,
 //! loss history, guard EMA baseline, source grid) into an in-memory
@@ -59,7 +77,7 @@
 use std::panic::panic_any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fg_comm::{
     attribute_dead_ranks, run_ranks_with_faults, run_ranks_with_faults_integrity, CommError,
@@ -70,11 +88,19 @@ use fg_nn::{
     load_train_state, load_train_state_for, reshard_train_state, save_train_state, GuardState,
     LayerParams, ReshardStats, Sgd, TrainState,
 };
-use fg_tensor::Tensor;
+use fg_tensor::{RegridPlan, Shape4, Tensor};
 
 use crate::executor::DistExecutor;
 use crate::guard::{GuardConfig, StepGuard};
+use crate::straggler::{weights_from_ema, StragglerAction, StragglerConfig, StragglerGuard};
 use crate::strategy::Strategy;
+
+/// Marker embedded in the [`CommError::RankFailed`] detail of a
+/// coordinated weighted-rebalance unwind, so the driver can tell a
+/// mitigation from a genuine failure.
+const STRAGGLER_REBALANCE: &str = "straggler-rebalance";
+/// Marker for a coordinated soft-eviction unwind.
+const STRAGGLER_EVICT: &str = "straggler-eviction";
 
 /// Hyperparameters of the replicated SGD optimizer, threaded through
 /// checkpoint restore (hyperparameters are config, not state, so they
@@ -176,6 +202,10 @@ pub struct ResilientConfig {
     /// level 4 (exhausted rebuilds are fatal, the pre-existing
     /// behavior).
     pub degrade: Option<DegradeConfig>,
+    /// Gray-failure detection and mitigation (straggler flags, weighted
+    /// re-decomposition, soft eviction). `None` falls back to the
+    /// `FG_STRAGGLER` environment knob; unset disables the ladder.
+    pub straggler: Option<StragglerConfig>,
 }
 
 impl Default for ResilientConfig {
@@ -188,6 +218,7 @@ impl Default for ResilientConfig {
             integrity: None,
             compute_fault: None,
             degrade: None,
+            straggler: None,
         }
     }
 }
@@ -230,6 +261,35 @@ pub struct RungTimes {
     pub rebuild_s: f64,
     /// Level 4: re-plan + re-shard + executor recompilation.
     pub degrade_s: f64,
+    /// Gray-failure rung: weighted re-decomposition (strategy rebuild,
+    /// regrid accounting, executor recompilation).
+    pub rebalance_s: f64,
+}
+
+/// One weighted re-decomposition: a confirmed straggler kept its rank
+/// but lost part of its share of every layer's extent.
+#[derive(Debug, Clone)]
+pub struct Rebalance {
+    /// Step at which the world unwound (a fresh snapshot was written
+    /// here, so the rebalance replays nothing).
+    pub at_step: u64,
+    /// The flagged rank.
+    pub slow_rank: usize,
+    /// Its busy-time EMA as a multiple of the world median when
+    /// flagged.
+    pub ratio: f64,
+    /// The speed weights the new partition was derived from
+    /// ([`weights_from_ema`] of the measured EMAs).
+    pub weights: Vec<u64>,
+    /// The re-decomposed strategy the world resumed on.
+    pub strategy: Strategy,
+    /// Activation bytes whose owner changed between the uniform and
+    /// weighted layouts (summed over layers).
+    pub regrid_moved_bytes: u64,
+    /// Total activation bytes covered by the regrid accounting.
+    pub regrid_total_bytes: u64,
+    /// Wall time of the rebalance transition.
+    pub rebalance_s: f64,
 }
 
 /// What a resilient run did, beyond its result.
@@ -262,8 +322,39 @@ pub struct ResilientReport {
     pub final_world: usize,
     /// Elastic shrinks performed (ladder level 4), in order.
     pub degradations: Vec<Degradation>,
+    /// Straggler flags confirmed by all-rank agreement (one count per
+    /// world-wide event, not per rank).
+    pub straggler_flags: u64,
+    /// Weighted re-decompositions performed, in order.
+    pub rebalances: Vec<Rebalance>,
+    /// Ranks softly evicted through the degradation rung because they
+    /// were irredeemably slow (subset of `degradations`).
+    pub evictions: usize,
+    /// The detector's final per-rank busy-time EMA (old-world rank
+    /// numbering of the last observation; empty when detection is off).
+    pub rank_time_ema: Vec<f64>,
     /// Per-rung recovery wall-time breakdown.
     pub rung_times: RungTimes,
+}
+
+/// Rank 0's channel to the driver for gray-failure measurements: the
+/// latest EMA picture every step, and the flagged measurement a
+/// coordinated unwind is about to hand off.
+#[derive(Debug, Default)]
+struct StragglerSide {
+    latest_ema: Vec<f64>,
+    flags: u64,
+    pending: Option<PendingMitigation>,
+}
+
+/// The measurement behind a straggler unwind, written by rank 0 just
+/// before every rank panics with the mitigation marker.
+#[derive(Debug, Clone)]
+struct PendingMitigation {
+    rank: usize,
+    ratio: f64,
+    ema: Vec<f64>,
+    at_step: u64,
 }
 
 /// Everything one attempt's rank bodies share, bundled so the per-rank
@@ -287,6 +378,40 @@ struct Attempt<'a> {
     rollbacks: &'a AtomicU64,
     replayed: &'a AtomicU64,
     rollback_nanos: &'a AtomicU64,
+    /// Gray-failure detection config (resolved against `FG_STRAGGLER`).
+    straggler: &'a Option<StragglerConfig>,
+    /// Per-rank injected slowdown factors of this attempt's fault plan.
+    slow: &'a [f64],
+    /// Side channel for straggler measurements (rank 0 → driver).
+    sside: &'a Mutex<StragglerSide>,
+    /// Weighted re-decompositions already performed, for the
+    /// rebalance-vs-evict escalation decision.
+    rebalances_done: usize,
+}
+
+/// Serialize the current training state into the snapshot store
+/// (rank 0 only — callers gate on rank).
+fn store_snapshot(
+    a: &Attempt<'_>,
+    step: u64,
+    params: &[LayerParams],
+    opt: &Sgd,
+    losses: &[f64],
+    guard: Option<&StepGuard>,
+) {
+    let state = TrainState {
+        step,
+        params: params.to_vec(),
+        velocity: opt.velocity().to_vec(),
+        losses: losses.to_vec(),
+        guard: guard.map(|g| g.state()).unwrap_or_default(),
+        grid: Some(a.exec.strategy.grids[0]),
+    };
+    let mut bytes = Vec::new();
+    save_train_state(&mut bytes, &state).expect("serialize snapshot");
+    *a.store.lock().expect("snapshot store") = Some(bytes);
+    a.snap_step.store(step, Ordering::SeqCst);
+    a.snapshots.fetch_add(1, Ordering::SeqCst);
 }
 
 type RankResult = (Vec<f64>, Vec<LayerParams>, Option<TrafficStats>);
@@ -306,6 +431,12 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
         ),
     };
     let mut guard = a.cfg.guard.clone().map(|g| StepGuard::with_state(g, guard_state));
+    // Gray-failure machinery: the injected slowdown of this rank (a
+    // property of the node, persisting across rebuilds) and the
+    // world-replicated detector.
+    let slow_factor = a.slow.get(comm.rank()).copied().unwrap_or(1.0);
+    let mut straggler = a.straggler.as_ref().map(|c| StragglerGuard::new(c.clone(), comm.size()));
+    let mut last_busy = comm.busy_nanos();
     // The compute fault fires once per world lifetime: a transient
     // error, not a deterministic re-poisoning of every replay.
     let mut injected = false;
@@ -343,20 +474,58 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
             if comm.rank() == 0 {
                 a.furthest.fetch_max(step, Ordering::SeqCst);
                 if step.is_multiple_of(a.cfg.ckpt_every) && step < a.steps {
-                    let state = TrainState {
-                        step,
-                        params: params.clone(),
-                        velocity: opt.velocity().to_vec(),
-                        losses: losses.clone(),
-                        guard: guard.as_ref().map(|g| g.state()).unwrap_or_default(),
-                        grid: Some(a.exec.strategy.grids[0]),
-                    };
-                    let mut bytes = Vec::new();
-                    save_train_state(&mut bytes, &state).expect("serialize snapshot");
-                    *a.store.lock().expect("snapshot store") = Some(bytes);
-                    a.snap_step.store(step, Ordering::SeqCst);
-                    a.snapshots.fetch_add(1, Ordering::SeqCst);
+                    store_snapshot(a, step, &params, &opt, &losses, guard.as_ref());
                 }
+            }
+            // Gray-failure rung: stretch this rank's measured compute
+            // by the injected factor (a gray node does the same work,
+            // just slower), then feed the detector.
+            if slow_factor > 1.0 {
+                let raw = comm.busy_nanos().saturating_sub(last_busy);
+                std::thread::sleep(Duration::from_nanos(
+                    ((raw as f64) * (slow_factor - 1.0)).round() as u64,
+                ));
+            }
+            if let Some(sg) = straggler.as_mut() {
+                let now = comm.busy_nanos();
+                let delta = now.saturating_sub(last_busy);
+                last_busy = now;
+                if let Some(flag) = sg.observe(comm, delta) {
+                    let scfg = a.straggler.as_ref().expect("a guard implies a config");
+                    let action = scfg.action_for(flag.ratio, a.rebalances_done);
+                    if comm.rank() == 0 {
+                        // Snapshot the flagged step first: the
+                        // coordinated unwind costs a world rebuild but
+                        // replays nothing.
+                        store_snapshot(a, step, &params, &opt, &losses, guard.as_ref());
+                        let mut side = a.sside.lock().expect("straggler side channel");
+                        side.flags += 1;
+                        side.latest_ema = flag.ema.clone();
+                        side.pending = Some(PendingMitigation {
+                            rank: flag.rank,
+                            ratio: flag.ratio,
+                            ema: flag.ema.clone(),
+                            at_step: step,
+                        });
+                    }
+                    let marker = match action {
+                        StragglerAction::Rebalance => STRAGGLER_REBALANCE,
+                        StragglerAction::Evict => STRAGGLER_EVICT,
+                    };
+                    panic_any(CommError::RankFailed {
+                        rank: flag.rank,
+                        observer: comm.rank(),
+                        detail: format!(
+                            "{marker}: rank {} is {:.1}x slower than the world median \
+                             at step {step}",
+                            flag.rank, flag.ratio
+                        ),
+                    });
+                } else if comm.rank() == 0 {
+                    a.sside.lock().expect("straggler side channel").latest_ema = sg.ema().to_vec();
+                }
+            } else if slow_factor > 1.0 {
+                last_busy = comm.busy_nanos();
             }
             continue;
         }
@@ -451,6 +620,18 @@ pub fn resilient_train(
     let replayed = AtomicU64::new(0);
     let rollback_nanos = AtomicU64::new(0);
 
+    // Gray-failure detection: the explicit config wins, the
+    // `FG_STRAGGLER` environment knob is the fallback.
+    let straggler_cfg: Option<StragglerConfig> =
+        cfg.straggler.clone().or_else(StragglerConfig::from_env);
+    let sside: Mutex<StragglerSide> = Mutex::new(StragglerSide::default());
+    let mut rebalances: Vec<Rebalance> = Vec::new();
+    let mut evictions: usize = 0;
+    let mut rebalance_nanos: u64 = 0;
+    // World rebuilds (ladder level 3) — straggler unwinds are
+    // mitigations, not rebuilds, so they are tracked separately.
+    let mut restarts: usize = 0;
+
     let mut failures: Vec<CommError> = Vec::new();
     let mut degradations: Vec<Degradation> = Vec::new();
     // The executor after an elastic shrink (the caller's borrowed one
@@ -472,6 +653,10 @@ pub fn resilient_train(
         let cur_grid = cur_exec.strategy.grids[0];
         let attempt_plan =
             if attempt == 0 { active_plan.clone() } else { active_plan.persistent() };
+        // Injected per-rank slowdowns, for the compute-proportional
+        // stretch in `run_rank` (gray failures persist across rebuilds
+        // by construction — see `FaultPlan::persistent`).
+        let slow: Vec<f64> = attempt_plan.slowdown_vector(world);
         // Resume point: every rank restores the same snapshot (or the
         // initial state when no snapshot exists yet). The grid-checked
         // load is the ladder's own guard against resuming a snapshot
@@ -502,6 +687,10 @@ pub fn resilient_train(
             rollbacks: &rollbacks,
             replayed: &replayed,
             rollback_nanos: &rollback_nanos,
+            straggler: &straggler_cfg,
+            slow: &slow,
+            sside: &sside,
+            rebalances_done: rebalances.len(),
         };
 
         let outcome: Vec<Result<RankResult, CommError>> = match cfg.integrity.clone() {
@@ -532,10 +721,11 @@ pub fn resilient_train(
                     );
                 }
                 assert_eq!(losses.len() as u64, steps, "one loss per step");
+                let side = sside.lock().expect("straggler side channel");
                 return ResilientReport {
                     losses,
                     params,
-                    restarts: failures.len(),
+                    restarts,
                     rollbacks: rollbacks.load(Ordering::SeqCst),
                     replayed_steps: replayed.load(Ordering::SeqCst),
                     snapshots: snapshots.load(Ordering::SeqCst),
@@ -544,15 +734,88 @@ pub fn resilient_train(
                     failures,
                     final_world: world,
                     degradations,
+                    straggler_flags: side.flags,
+                    rebalances,
+                    evictions,
+                    rank_time_ema: side.latest_ema.clone(),
                     rung_times: RungTimes {
                         repair_s: repair_nanos as f64 * 1e-9,
                         rollback_s: rollback_nanos.load(Ordering::SeqCst) as f64 * 1e-9,
                         rebuild_s: rebuild_nanos as f64 * 1e-9,
                         degrade_s: degrade_nanos as f64 * 1e-9,
+                        rebalance_s: rebalance_nanos as f64 * 1e-9,
                     },
                 };
             }
             Some(err) => {
+                // A straggler unwind carries its mitigation marker in
+                // the error detail: it is a coordinated transition, not
+                // a failure of the substrate.
+                let (is_rebalance, is_evict) = match &err {
+                    CommError::RankFailed { detail, .. } => {
+                        (detail.contains(STRAGGLER_REBALANCE), detail.contains(STRAGGLER_EVICT))
+                    }
+                    _ => (false, false),
+                };
+                if is_rebalance {
+                    let t_rebalance = Instant::now();
+                    let pending = sside
+                        .lock()
+                        .expect("straggler side channel")
+                        .pending
+                        .take()
+                        .expect("a rebalance unwind records its measurement first");
+                    let weights = weights_from_ema(&pending.ema);
+                    let new_strategy = cur_exec.strategy.clone().with_rank_weights(weights.clone());
+                    new_strategy
+                        .validate(&cur_exec.spec, cur_exec.batch)
+                        .expect("a weighted re-decomposition of a valid layout stays valid");
+                    let new_exec = DistExecutor::new(
+                        cur_exec.spec.clone(),
+                        new_strategy.clone(),
+                        cur_exec.batch,
+                    )
+                    .expect("weighted strategy compiles");
+                    // Account the activation regrid the new partition
+                    // implies, layer by layer, and prove it conserves
+                    // every element. (The actual state move rides the
+                    // replicated snapshot: the weighted executor simply
+                    // shards it differently on restore.)
+                    let (mut moved, mut total) = (0u64, 0u64);
+                    for (id, &(c, h, w)) in cur_exec.spec.shapes().iter().enumerate() {
+                        let shape = Shape4::new(cur_exec.batch, c, h, w);
+                        let grid = cur_exec.strategy.grids[id];
+                        let old = cur_exec.strategy.dist_for(shape, grid);
+                        let new = new_strategy.dist_for(shape, grid);
+                        if old == new {
+                            continue;
+                        }
+                        let plan = RegridPlan::build(old, new);
+                        plan.check_conservation().expect("weighted regrid conserves every element");
+                        moved += plan.moved_bytes();
+                        total += plan.total_bytes();
+                    }
+                    failures.push(err);
+                    rebalances.push(Rebalance {
+                        at_step: pending.at_step,
+                        slow_rank: pending.rank,
+                        ratio: pending.ratio,
+                        weights,
+                        strategy: new_strategy,
+                        regrid_moved_bytes: moved,
+                        regrid_total_bytes: total,
+                        rebalance_s: t_rebalance.elapsed().as_secs_f64(),
+                    });
+                    rebalance_nanos += t_rebalance.elapsed().as_nanos() as u64;
+                    owned_exec = Some(new_exec);
+                    // Same world, same grid: the snapshot written at
+                    // the flagged step loads unchanged, the straggler
+                    // keeps its injected slowdown (a gray failure is a
+                    // property of the node), and no rebuild budget is
+                    // consumed — this rung is a mitigation, not a
+                    // recovery.
+                    continue;
+                }
                 let t_fail = Instant::now();
                 // Everything completed in this attempt past the
                 // snapshot the next attempt will resume from is
@@ -566,17 +829,26 @@ pub fn resilient_train(
                 let attempt_errors: Vec<CommError> =
                     outcome.iter().filter_map(|r| r.as_ref().err().cloned()).collect();
                 failures.push(err);
-                rebuilds_here += 1;
-                rebuild_nanos += t_fail.elapsed().as_nanos() as u64;
-                if rebuilds_here <= cfg.max_restarts {
-                    continue; // Level 3: rebuild at the same size.
+                if !is_evict {
+                    restarts += 1;
+                    rebuilds_here += 1;
+                    rebuild_nanos += t_fail.elapsed().as_nanos() as u64;
+                    if rebuilds_here <= cfg.max_restarts {
+                        continue; // Level 3: rebuild at the same size.
+                    }
                 }
-                // Level 4: the rebuild budget at this size is spent.
+                // Level 4: the rebuild budget at this size is spent —
+                // or a soft eviction goes straight to this rung (the
+                // flagged rank self-reports in the marker error, so
+                // dead-rank attribution retires exactly it; with no
+                // degrade config, eviction uses the defaults).
                 let t_degrade = Instant::now();
-                let shrink = cfg
-                    .degrade
+                let evict_default: Option<DegradeConfig> =
+                    if is_evict { Some(cfg.degrade.clone().unwrap_or_default()) } else { None };
+                let shrink = evict_default
                     .as_ref()
-                    .filter(|dc| degradations.len() < dc.max_shrinks)
+                    .or(cfg.degrade.as_ref())
+                    .filter(|dc| is_evict || degradations.len() < dc.max_shrinks)
                     .and_then(|dc| plan_shrink(dc, cur_exec, world, &attempt_errors));
                 let Some(shrink) = shrink else {
                     panic!(
@@ -624,6 +896,10 @@ pub fn resilient_train(
                 owned_exec = Some(shrink.exec);
                 rebuilds_here = 0;
                 degrade_nanos += t_degrade.elapsed().as_nanos() as u64;
+                if is_evict {
+                    evictions += 1;
+                    sside.lock().expect("straggler side channel").pending = None;
+                }
                 // Loop around: dispatch the shrunken world.
             }
         }
@@ -1063,6 +1339,174 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         assert_eq!(bits(&report.losses[at as usize..]), bits(&suffix[0]));
+    }
+
+    #[test]
+    fn straggler_detection_is_inert_on_a_uniform_world() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 6);
+        // Detection watches but never touches the math: a healthy world
+        // must train bitwise-identically with the detector on.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                straggler: Some(StragglerConfig::default()),
+                ..Default::default()
+            },
+            FaultPlan::default(),
+        );
+        assert_eq!(report.straggler_flags, 0, "uniform world flagged: {report:?}");
+        assert!(report.rebalances.is_empty());
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.rank_time_ema.len(), 2, "the detector reported its measurement");
+        assert_eq!(bits(&report.losses), bits(&baseline));
+    }
+
+    /// Detection tuned for a 2-rank world: with `P = 2` the median
+    /// averages both ranks, capping any ratio below 2, so the default
+    /// threshold can never fire and a lower one is used.
+    fn two_rank_straggler(evict_ratio: f64) -> StragglerConfig {
+        StragglerConfig {
+            threshold: 1.4,
+            evict_ratio,
+            warmup: 1,
+            patience: 2,
+            ..StragglerConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_slow_rank_triggers_a_weighted_rebalance_and_completes() {
+        let (exec, params, x, labels) = fixture();
+        let baseline = uninterrupted(&exec, &params, &x, &labels, 5);
+        // Rank 1 computes 6x slow. max_restarts = 0 proves the
+        // rebalance consumes no rebuild budget; steps = 5 leaves too
+        // few post-rebalance observations for a second flag.
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            5,
+            &ResilientConfig {
+                ckpt_every: 4,
+                max_restarts: 0,
+                straggler: Some(two_rank_straggler(10.0)),
+                ..Default::default()
+            },
+            FaultPlan::new(21).slow_rank(1, 6.0),
+        );
+        assert_eq!(report.rebalances.len(), 1, "report: {report:?}");
+        assert!(report.straggler_flags >= 1);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.restarts, 0, "a rebalance is a mitigation, not a rebuild");
+        assert_eq!(report.replayed_steps, 0, "the fresh snapshot loses no work");
+        assert_eq!(report.final_world, 2);
+        assert_eq!(report.losses.len(), 5);
+        let r = &report.rebalances[0];
+        assert_eq!(r.slow_rank, 1);
+        assert!(r.ratio > 1.4, "flagged ratio: {}", r.ratio);
+        assert_eq!(r.weights[0], 24, "the fast rank anchors the weight scale");
+        assert!(r.weights[1] < r.weights[0], "weights: {:?}", r.weights);
+        assert!(r.strategy.rank_weights.is_some());
+        assert!(r.regrid_total_bytes > 0 && r.regrid_moved_bytes <= r.regrid_total_bytes);
+        assert!(report.rung_times.rebalance_s > 0.0);
+        // Detection and the injected slowdown never touch the math:
+        // the pre-rebalance prefix is the uniform world's bitwise
+        // trajectory.
+        let at = r.at_step as usize;
+        assert!(at >= 3, "warmup + patience observations precede the flag: {at}");
+        assert_eq!(bits(&report.losses[..at]), bits(&baseline[..at]));
+    }
+
+    #[test]
+    fn post_rebalance_trajectory_matches_a_fresh_weighted_run_bitwise() {
+        let (exec, params, x, labels) = fixture();
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            5,
+            &ResilientConfig {
+                ckpt_every: 4,
+                max_restarts: 0,
+                straggler: Some(two_rank_straggler(10.0)),
+                ..Default::default()
+            },
+            FaultPlan::new(23).slow_rank(1, 6.0),
+        );
+        let r = report.rebalances[0].clone();
+        let at = r.at_step;
+        // Replay the uniform world cleanly to the rebalance point to
+        // recover the snapshot state, then train the remaining steps
+        // on a fresh world compiled from the rebalance's own weighted
+        // strategy: the suffix must match bitwise (the stitched
+        // contract — a weighted layout reduces boundary sums in a
+        // different order, so the full trajectory is two deterministic
+        // runs stitched at the snapshot).
+        let weighted =
+            DistExecutor::new(exec.spec.clone(), r.strategy.clone(), exec.batch).unwrap();
+        let snap = run_ranks(2, |comm| {
+            let mut p = params.to_vec();
+            let mut opt = HYPER.fresh(&p);
+            for _ in 0..at {
+                exec.train_step(comm, &mut p, &mut opt, &x, &labels);
+            }
+            (p, opt.velocity().to_vec())
+        });
+        let (snap_params, snap_vel) = snap.into_iter().next().unwrap();
+        let suffix = run_ranks(2, |comm| {
+            let mut p = snap_params.clone();
+            let mut opt = HYPER.restored(snap_vel.clone());
+            (at..5)
+                .map(|_| weighted.train_step(comm, &mut p, &mut opt, &x, &labels))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(bits(&report.losses[at as usize..]), bits(&suffix[0]));
+    }
+
+    #[test]
+    fn an_irredeemably_slow_rank_is_softly_evicted() {
+        let (exec, params, x, labels) = fixture();
+        // Rank 1 computes 12x slow — past the eviction ratio, so the
+        // ladder skips the rebalance rung and retires the rank through
+        // elastic degradation (using default degrade tuning, since no
+        // degrade config is set).
+        let report = resilient_train(
+            &exec,
+            &params,
+            HYPER,
+            &x,
+            &labels,
+            6,
+            &ResilientConfig {
+                ckpt_every: 2,
+                max_restarts: 0,
+                straggler: Some(two_rank_straggler(1.5)),
+                ..Default::default()
+            },
+            FaultPlan::new(25).slow_rank(1, 12.0),
+        );
+        assert_eq!(report.evictions, 1, "report: {report:?}");
+        assert!(report.rebalances.is_empty(), "eviction must skip the rebalance rung");
+        assert_eq!(report.restarts, 0, "an eviction is a mitigation, not a rebuild");
+        assert_eq!(report.degradations.len(), 1);
+        let d = &report.degradations[0];
+        assert_eq!((d.from_world, d.to_world), (2, 1));
+        assert_eq!(d.dead_ranks, vec![1], "attribution must retire exactly the straggler");
+        assert!(d.at_step >= 3, "the eviction resumes from the flagged step's snapshot: {d:?}");
+        assert_eq!(report.final_world, 1);
+        assert_eq!(report.losses.len(), 6);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! produces one.
 
 use fg_nn::{LayerKind, NetworkSpec};
-use fg_tensor::{ProcGrid, Shape4, TensorDist};
+use fg_tensor::{GridWeights, ProcGrid, Shape4, TensorDist};
 
 use crate::layers::BnMode;
 
@@ -28,6 +28,12 @@ pub struct Strategy {
     /// invocation — identical results, pure overhead — and exists for
     /// the `fg-bench` plan-caching ablation.
     pub plan_cache: bool,
+    /// Per-rank relative speed weights for weighted re-decomposition
+    /// (gray-failure mitigation / heterogeneity-aware placement). `None`
+    /// or all-equal means the usual uniform blocked partition; otherwise
+    /// every layer's distribution gives each rank an extent proportional
+    /// to its weight along the split dimensions.
+    pub rank_weights: Option<Vec<u64>>,
 }
 
 /// Why a strategy cannot execute a given network.
@@ -72,6 +78,13 @@ pub enum StrategyError {
         /// The first violation's diagnostic.
         detail: String,
     },
+    /// `rank_weights` does not have exactly one weight per rank.
+    WeightLengthMismatch {
+        /// World size of the strategy.
+        world: usize,
+        /// Entries in `rank_weights`.
+        weights: usize,
+    },
 }
 
 impl std::fmt::Display for StrategyError {
@@ -98,6 +111,9 @@ impl std::fmt::Display for StrategyError {
             StrategyError::ScheduleUnsound { layer, detail } => {
                 write!(f, "layer {layer}: schedule verification failed: {detail}")
             }
+            StrategyError::WeightLengthMismatch { world, weights } => {
+                write!(f, "strategy has {weights} rank weights for {world} ranks")
+            }
         }
     }
 }
@@ -114,6 +130,7 @@ impl Strategy {
             bn_mode: BnMode::default(),
             overlap_halo: true,
             plan_cache: true,
+            rank_weights: None,
         }
     }
 
@@ -167,6 +184,27 @@ impl Strategy {
         self
     }
 
+    /// Attach per-rank speed weights: every layer's distribution becomes
+    /// the weighted blocked partition derived from them. Equal weights
+    /// normalize away, leaving the strategy identical to the unweighted
+    /// one (`dist_for` then returns plain uniform distributions).
+    pub fn with_rank_weights(mut self, weights: Vec<u64>) -> Strategy {
+        self.rank_weights =
+            if weights.iter().all(|&w| w == weights[0]) { None } else { Some(weights) };
+        self
+    }
+
+    /// The distribution this strategy assigns to a tensor of `shape` on
+    /// `grid` — uniform, or weighted when rank weights are attached.
+    pub fn dist_for(&self, shape: Shape4, grid: ProcGrid) -> TensorDist {
+        match &self.rank_weights {
+            Some(w) if w.len() == grid.size() => {
+                TensorDist::weighted(shape, grid, GridWeights::from_rank_weights(grid, w))
+            }
+            _ => TensorDist::new(shape, grid),
+        }
+    }
+
     /// World size the strategy targets.
     pub fn world_size(&self) -> usize {
         self.grids.first().map_or(0, |g| g.size())
@@ -182,6 +220,11 @@ impl Strategy {
             });
         }
         let world = self.world_size();
+        if let Some(w) = &self.rank_weights {
+            if w.len() != world {
+                return Err(StrategyError::WeightLengthMismatch { world, weights: w.len() });
+            }
+        }
         let shapes = spec.shapes();
         for (id, l) in spec.layers().iter().enumerate() {
             let grid = self.grids[id];
@@ -205,7 +248,7 @@ impl Strategy {
                     let parent_kind = &spec.layer(l.parents[0]).kind;
                     if !matches!(parent_kind, LayerKind::GlobalAvgPool | LayerKind::Fc { .. }) {
                         let (c, h, w) = shapes[id];
-                        let dist = TensorDist::new(Shape4::new(batch, c, h, w), grid);
+                        let dist = self.dist_for(Shape4::new(batch, c, h, w), grid);
                         if !dist.is_fully_populated() {
                             return Err(StrategyError::Unpopulated { layer: id });
                         }
@@ -216,7 +259,7 @@ impl Strategy {
                         return Err(StrategyError::ChannelPartitionUnsupported { layer: id });
                     }
                     let (c, h, w) = shapes[id];
-                    let dist = TensorDist::new(Shape4::new(batch, c, h, w), grid);
+                    let dist = self.dist_for(Shape4::new(batch, c, h, w), grid);
                     // Per-sample representations (H = W = 1 after GAP) are
                     // replicated, not sharded, so only sharded layers need
                     // the populated check.
@@ -226,7 +269,7 @@ impl Strategy {
                     // Input to conv/pool must also populate.
                     if matches!(l.kind, LayerKind::Conv { .. } | LayerKind::Pool { .. }) {
                         let (pc, ph, pw) = shapes[l.parents[0]];
-                        let pdist = TensorDist::new(Shape4::new(batch, pc, ph, pw), grid);
+                        let pdist = self.dist_for(Shape4::new(batch, pc, ph, pw), grid);
                         if !pdist.is_fully_populated() {
                             return Err(StrategyError::Unpopulated { layer: id });
                         }

@@ -7,7 +7,7 @@
 use fg_comm::{CheckKind, TraceOp};
 use fg_core::{DistExecutor, Strategy, StrategyError};
 use fg_nn::NetworkSpec;
-use fg_tensor::ProcGrid;
+use fg_tensor::{check_box_partition, ProcGrid, Shape4};
 
 /// Miniature segmentation net (conv/bn/relu chain, per-pixel loss).
 fn mesh_net() -> NetworkSpec {
@@ -76,6 +76,84 @@ fn clean_plans_verify_clean_across_models_and_grids() {
             assert!(report.stats.bytes_accounted > 0, "grid {grid:?}: no bytes");
         }
     }
+}
+
+#[test]
+fn weighted_partitions_verify_clean_across_models_and_grids() {
+    // The layouts a gray-failure rebalance emits: the uniform grids
+    // above with non-uniform rank weights. Clean plans must stay clean
+    // under weighting on both shipped model shapes.
+    let cases: Vec<(NetworkSpec, ProcGrid, Vec<u64>, usize)> = vec![
+        (mesh_net(), ProcGrid::spatial(4, 1), vec![1, 3, 3, 3], 2),
+        (mesh_net(), ProcGrid::spatial(2, 2), vec![1, 2, 2, 2], 2),
+        (resnet(), ProcGrid::spatial(2, 2), vec![2, 3, 3, 3], 2),
+        (resnet(), ProcGrid::hybrid(2, 2, 1), vec![1, 1, 3, 3], 4),
+    ];
+    for (spec, grid, weights, batch) in cases {
+        let strategy = Strategy::uniform(&spec, grid).with_rank_weights(weights.clone());
+        let exec = DistExecutor::new(spec, strategy, batch).expect("weighted strategy valid");
+        let report = exec.verify();
+        assert!(report.is_clean(), "grid {grid:?} weights {weights:?}: {report}");
+        assert!(report.stats.ops_traced > 0, "grid {grid:?} weights {weights:?} traced nothing");
+    }
+}
+
+#[test]
+fn gap_or_overlap_in_a_weighted_partition_is_caught() {
+    // The partition soundness check underneath every weighted regrid:
+    // the exact weighted boxes tile the tensor, and any single-row gap
+    // or overlap introduced into them is rejected.
+    let shape = Shape4::new(2, 4, 16, 16);
+    let grid = ProcGrid::spatial(4, 1);
+    let spec = mesh_net();
+    let strategy = Strategy::uniform(&spec, grid).with_rank_weights(vec![1, 3, 3, 3]);
+    let dist = strategy.dist_for(shape, grid);
+    let boxes: Vec<_> = (0..grid.size()).map(|r| dist.local_box(r)).collect();
+    // The 1:3:3:3 weighting splits 16 rows as 1/5/5/5 — non-uniform by
+    // construction, and still an exact tiling.
+    assert_eq!(boxes[0].hi[2] - boxes[0].lo[2], 1);
+    assert_eq!(boxes[1].hi[2] - boxes[1].lo[2], 5);
+    check_box_partition(&shape.full_box(), &boxes).expect("weighted partition is exact");
+    // A gap: shrink one interior box by a row.
+    let mut gapped = boxes.clone();
+    gapped[2].hi[2] -= 1;
+    assert!(check_box_partition(&shape.full_box(), &gapped).is_err(), "gap must be caught");
+    // An overlap: grow the same box into its neighbour.
+    let mut overlapping = boxes.clone();
+    overlapping[2].hi[2] += 1;
+    assert!(
+        check_box_partition(&shape.full_box(), &overlapping).is_err(),
+        "overlap must be caught"
+    );
+}
+
+#[test]
+fn shrunken_halo_on_a_weighted_layout_is_reported_as_halo_asymmetry() {
+    // The mutation bar holds on rebalanced layouts too: corrupt a halo
+    // send in a weighted executor's plans and the verifier must name
+    // the rank and layer.
+    let spec = mesh_net();
+    let conv = spec.find("conv1_1").unwrap();
+    let strategy =
+        Strategy::uniform(&spec, ProcGrid::spatial(4, 1)).with_rank_weights(vec![1, 3, 3, 3]);
+    let exec = DistExecutor::new(spec, strategy, 2).unwrap();
+    let report = exec.verify_with(
+        |plans| {
+            // Rank 1 owns 5 rows under the 1:3:3:3 weighting; shrink its
+            // first halo send by one row.
+            let halo = plans[conv][1].x_halo.as_mut().expect("conv has an x halo");
+            halo.sends[0].1.hi[2] -= 1;
+        },
+        |_| {},
+    );
+    assert!(!report.is_clean());
+    assert!(
+        report.violations.iter().any(|v| v.check == CheckKind::HaloSymmetry
+            && v.rank == 1
+            && v.layer == conv
+            && v.layer_name == "conv1_1"),
+        "{report}"
+    );
 }
 
 #[test]

@@ -316,8 +316,8 @@ mod tests {
         for grid in [ProcGrid::sample(4), ProcGrid::spatial(2, 2), ProcGrid::hybrid(2, 2, 1)] {
             let dist = TensorDist::new(full.shape(), grid);
             for rank in 0..grid.size() {
-                let sharded = ds.shard_batch(dist, rank, 3);
-                let reference = DistTensor::from_global(dist, rank, &full, [0; 4], [0; 4]);
+                let sharded = ds.shard_batch(dist.clone(), rank, 3);
+                let reference = DistTensor::from_global(dist.clone(), rank, &full, [0; 4], [0; 4]);
                 assert_eq!(
                     sharded.owned_tensor(),
                     reference.owned_tensor(),

@@ -31,6 +31,6 @@ pub use cost::{
     CostOptions, LayerCost,
 };
 pub use optimizer::StrategyOptimizer;
-pub use oracle::{platform_link_model, ModeledCompute};
+pub use oracle::{platform_link_model, ModeledCompute, SlowedCompute};
 pub use platform::{ConvPass, ConvWork, DeviceModel, Link, Platform};
-pub use replan::{degrade_replanner, replan_for_world};
+pub use replan::{degrade_replanner, rebalance_for_stragglers, replan_for_world};

@@ -170,8 +170,13 @@ impl<'a> StrategyOptimizer<'a> {
             };
             grids.push(g);
         }
-        let strategy =
-            Strategy { grids, bn_mode: BnMode::default(), overlap_halo: true, plan_cache: true };
+        let strategy = Strategy {
+            grids,
+            bn_mode: BnMode::default(),
+            overlap_halo: true,
+            plan_cache: true,
+            rank_weights: None,
+        };
         if let Some(limit) = self.memory_limit {
             debug_assert!(
                 strategy_memory_bytes(self.spec, self.batch, &strategy) <= limit * 2,

@@ -20,7 +20,7 @@
 use fg_comm::{LinkModel, Phase};
 use fg_core::{ComputeOracle, Strategy};
 use fg_nn::{LayerKind, NetworkSpec};
-use fg_tensor::{Shape4, TensorDist};
+use fg_tensor::Shape4;
 
 use crate::platform::{ConvPass, ConvWork, Platform};
 
@@ -96,6 +96,37 @@ impl ModeledCompute {
     }
 }
 
+/// A [`ComputeOracle`] decorator that stretches a wrapped oracle's
+/// per-rank kernel times by injected gray-failure factors: rank `r`'s
+/// every kernel takes `factors[r]×` as long. This is the DES-side twin
+/// of `FaultPlan::slow_rank` — the live runtime stretches real compute
+/// with sleeps, the virtual-time engine stretches modeled compute here,
+/// so straggler scenarios execute at paper scale (64–2048 ranks)
+/// without wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct SlowedCompute<O> {
+    inner: O,
+    factors: Vec<f64>,
+}
+
+impl<O: ComputeOracle> SlowedCompute<O> {
+    /// Wrap `inner` with per-rank slowdown factors (1.0 = healthy;
+    /// ranks beyond the vector are healthy).
+    pub fn new(inner: O, factors: Vec<f64>) -> SlowedCompute<O> {
+        assert!(
+            factors.iter().all(|&f| f >= 1.0 && f.is_finite()),
+            "slowdown factors must be finite and at least 1.0"
+        );
+        SlowedCompute { inner, factors }
+    }
+}
+
+impl<O: ComputeOracle> ComputeOracle for SlowedCompute<O> {
+    fn secs(&self, layer: usize, phase: Phase, rank: usize) -> f64 {
+        self.inner.secs(layer, phase, rank) * self.factors.get(rank).copied().unwrap_or(1.0)
+    }
+}
+
 impl ComputeOracle for ModeledCompute {
     fn secs(&self, layer: usize, phase: Phase, rank: usize) -> f64 {
         let Some(work) = &self.layers[layer] else { return 0.0 };
@@ -105,8 +136,13 @@ impl ComputeOracle for ModeledCompute {
             LayerWork::Conv { c_in, c_out, h_out, w_out, kernel, stride } => {
                 // The rank's shard of the *output* tensor determines its
                 // kernel work; the input coverage is `extent × stride`
-                // (the device model divides back by the stride).
-                let dist = TensorDist::new(Shape4::new(self.batch, *c_out, *h_out, *w_out), grid);
+                // (the device model divides back by the stride). The
+                // strategy decides the partition — uniform, or weighted
+                // after a gray-failure rebalance — so modeled compute
+                // tracks the non-uniform extents a re-decomposition
+                // assigns.
+                let dist =
+                    self.strategy.dist_for(Shape4::new(self.batch, *c_out, *h_out, *w_out), grid);
                 let b = dist.local_box(rank);
                 let w = ConvWork {
                     n: b.hi[0] - b.lo[0],
@@ -137,6 +173,65 @@ impl ComputeOracle for ModeledCompute {
                     // shape class as the forward one.
                     Phase::Backward => 2.0 * fwd,
                 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::ProcGrid;
+
+    fn toy_net() -> NetworkSpec {
+        let mut net = NetworkSpec::new();
+        let i = net.input("x", 3, 16, 16);
+        let c = net.conv("c1", i, 8, 3, 1, 1);
+        net.loss("loss", c);
+        net
+    }
+
+    #[test]
+    fn weighted_strategy_shifts_modeled_compute_toward_fast_ranks() {
+        let platform = Platform::lassen_like();
+        let net = toy_net();
+        let uniform = Strategy::uniform(&net, ProcGrid::spatial(4, 1));
+        let weighted = uniform.clone().with_rank_weights(vec![1, 3, 3, 3]);
+        let uni = ModeledCompute::new(&platform, &net, &uniform, 4);
+        let wtd = ModeledCompute::new(&platform, &net, &weighted, 4);
+        // Layer 1 is the conv. A 1:3 weighting hands rank 0 a quarter
+        // of its uniform extent (1 of 16 rows instead of 4) and the
+        // fast ranks correspondingly more.
+        let conv = 1;
+        for phase in [Phase::Forward, Phase::Backward] {
+            assert!(
+                wtd.secs(conv, phase, 0) < uni.secs(conv, phase, 0),
+                "the slow rank must model less work"
+            );
+            assert!(
+                wtd.secs(conv, phase, 1) > uni.secs(conv, phase, 1),
+                "a fast rank must model more work"
+            );
+        }
+        // Equal weights collapse to the uniform model bitwise.
+        let equal = uniform.clone().with_rank_weights(vec![7; 4]);
+        let eq = ModeledCompute::new(&platform, &net, &equal, 4);
+        for rank in 0..4 {
+            assert_eq!(eq.secs(conv, Phase::Forward, rank), uni.secs(conv, Phase::Forward, rank));
+        }
+    }
+
+    #[test]
+    fn slowed_compute_stretches_exactly_the_injected_rank() {
+        let platform = Platform::lassen_like();
+        let net = toy_net();
+        let strategy = Strategy::uniform(&net, ProcGrid::spatial(4, 1));
+        let base = ModeledCompute::new(&platform, &net, &strategy, 4);
+        let slowed = SlowedCompute::new(base.clone(), vec![1.0, 4.0, 1.0, 1.0]);
+        for rank in 0..4 {
+            let factor = if rank == 1 { 4.0 } else { 1.0 };
+            for phase in [Phase::Forward, Phase::Backward] {
+                assert_eq!(slowed.secs(1, phase, rank), factor * base.secs(1, phase, rank));
             }
         }
     }

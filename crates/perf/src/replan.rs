@@ -72,6 +72,37 @@ pub fn degrade_replanner(platform: Platform, spec: NetworkSpec, batch: usize) ->
     Arc::new(move |world| replan_for_world(&platform, &spec, batch, world, None).map(|(s, _)| s))
 }
 
+/// The performance-model half of the gray-failure rebalance rung:
+/// derive per-rank speed weights from measured busy-time EMAs
+/// ([`fg_core::weights_from_ema`]), re-decompose `base` with them, and
+/// hand the result back only if it validates and (at recovery-relevant
+/// world sizes) passes static schedule verification — the same gate a
+/// shrink replan goes through. `None` means the weighted layout is not
+/// viable and the driver should fall back to tolerating or evicting.
+pub fn rebalance_for_stragglers(
+    base: &Strategy,
+    spec: &NetworkSpec,
+    batch: usize,
+    measured_ema: &[f64],
+) -> Option<Strategy> {
+    if measured_ema.len() != base.world_size() {
+        return None;
+    }
+    let weights = fg_core::weights_from_ema(measured_ema);
+    let strategy = base.clone().with_rank_weights(weights);
+    if strategy.validate(spec, batch).is_err() {
+        return None;
+    }
+    const VERIFY_WORLD_CAP: usize = 64;
+    if strategy.world_size() <= VERIFY_WORLD_CAP {
+        match fg_core::DistExecutor::new(spec.clone(), strategy.clone(), batch) {
+            Ok(exec) if exec.verify().is_clean() => {}
+            _ => return None,
+        }
+    }
+    Some(strategy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +155,23 @@ mod tests {
         }
         // The common shrink 4 → 3 must be viable for this net.
         assert!(replan(3).is_some());
+    }
+
+    #[test]
+    fn straggler_rebalance_produces_a_verified_weighted_strategy() {
+        let net = toy_net();
+        let base = Strategy::uniform(&net, fg_tensor::ProcGrid::spatial(4, 1));
+        // A 3x straggler on rank 0: the weighted layout must validate,
+        // verify, and carry the inverted weights.
+        let s = rebalance_for_stragglers(&base, &net, 4, &[3e6, 1e6, 1e6, 1e6])
+            .expect("weighted layout viable");
+        assert_eq!(s.rank_weights, Some(vec![8, 24, 24, 24]));
+        assert_eq!(s.validate(&net, 4), Ok(()));
+        // Uniform measurements normalize back to the uniform strategy.
+        let uniform = rebalance_for_stragglers(&base, &net, 4, &[1e6; 4]).unwrap();
+        assert_eq!(uniform, base);
+        // A measurement vector for the wrong world is rejected.
+        assert!(rebalance_for_stragglers(&base, &net, 4, &[1e6; 3]).is_none());
     }
 
     #[test]

@@ -11,25 +11,74 @@
 //! The paper's index-set notation maps directly:
 //! `I_p(D)` → [`TensorDist::local_box`], `|I_p^(m)|` → the box extents,
 //! and `P_p(D^(m0), …)` → [`ProcGrid::group_of`].
+//!
+//! Distributions may additionally carry [`GridWeights`]: non-uniform
+//! per-coordinate extents along split dimensions, used by gray-failure
+//! mitigation to shrink a slow rank's shard. Weighted partitions are
+//! still blocked — only the box boundaries move — so halo exchange,
+//! shuffles, and the static verifier's geometry checks apply unchanged.
+//! Equal weights normalize away at construction ([`TensorDist::weighted`]),
+//! so a uniformly-weighted distribution is *identical* to the plain one.
+
+use std::sync::Arc;
 
 use fg_comm::collectives::block_range;
 
 use crate::procgrid::ProcGrid;
 use crate::shape::{Box4, Shape4, NDIMS};
+use crate::weights::{weighted_block_range, weighted_owner, GridWeights};
 
 /// A blocked distribution of a 4-D tensor over a process grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TensorDist {
     /// Global tensor shape.
     pub shape: Shape4,
     /// Process grid factorization (extent 1 = dimension not partitioned).
     pub grid: ProcGrid,
+    /// Optional non-uniform per-coordinate weights (None = uniform).
+    weights: Option<Arc<GridWeights>>,
 }
 
 impl TensorDist {
-    /// Create a distribution of `shape` over `grid`.
+    /// Create a uniform distribution of `shape` over `grid`.
     pub const fn new(shape: Shape4, grid: ProcGrid) -> Self {
-        TensorDist { shape, grid }
+        TensorDist { shape, grid, weights: None }
+    }
+
+    /// Create a weighted distribution. Uniform weights normalize to the
+    /// plain blocked distribution, so `weighted(s, g, uniform)` is
+    /// bitwise-identical to (and compares equal to) `new(s, g)`.
+    pub fn weighted(shape: Shape4, grid: ProcGrid, weights: GridWeights) -> Self {
+        for d in 0..NDIMS {
+            if let Some(w) = weights.for_dim(d) {
+                assert_eq!(w.len(), grid.dims()[d], "weight vector must match grid dim {d}");
+            }
+        }
+        let weights = if weights.is_uniform() { None } else { Some(Arc::new(weights)) };
+        TensorDist { shape, grid, weights }
+    }
+
+    /// Create a distribution sharing an already-normalized weight handle
+    /// (used when many layer distributions share one strategy's weights).
+    pub fn with_shared_weights(
+        shape: Shape4,
+        grid: ProcGrid,
+        weights: Option<Arc<GridWeights>>,
+    ) -> Self {
+        match weights {
+            Some(w) => TensorDist::weighted(shape, grid, (*w).clone()),
+            None => TensorDist::new(shape, grid),
+        }
+    }
+
+    /// The distribution's weights, if it is non-uniform.
+    pub fn grid_weights(&self) -> Option<&GridWeights> {
+        self.weights.as_deref()
+    }
+
+    /// Weight vector for grid dimension `d` (None = uniform on `d`).
+    fn dim_weights(&self, d: usize) -> Option<&[u64]> {
+        self.weights.as_deref().and_then(|w| w.for_dim(d))
     }
 
     /// Number of ranks in the underlying grid.
@@ -37,16 +86,23 @@ impl TensorDist {
         self.grid.size()
     }
 
+    /// The block of dimension `d` owned by grid coordinate `coord`.
+    pub fn dim_range(&self, d: usize, coord: usize) -> std::ops::Range<usize> {
+        let total = self.shape.dims()[d];
+        match self.dim_weights(d) {
+            Some(w) => weighted_block_range(total, w, coord),
+            None => block_range(total, self.grid.dims()[d], coord),
+        }
+    }
+
     /// The global index box owned by `rank` (possibly empty when a
     /// dimension has fewer indices than grid parts).
     pub fn local_box(&self, rank: usize) -> Box4 {
         let coords = self.grid.coords(rank);
-        let dims = self.shape.dims();
-        let parts = self.grid.dims();
         let mut lo = [0; NDIMS];
         let mut hi = [0; NDIMS];
         for d in 0..NDIMS {
-            let r = block_range(dims[d], parts[d], coords[d]);
+            let r = self.dim_range(d, coords[d]);
             lo[d] = r.start;
             hi[d] = r.end;
         }
@@ -58,14 +114,23 @@ impl TensorDist {
         self.local_box(rank).shape()
     }
 
+    /// Grid coordinate owning global index `idx` on dimension `d`.
+    fn owner_coord(&self, d: usize, idx: usize) -> usize {
+        let dims = self.shape.dims();
+        let parts = self.grid.dims();
+        match self.dim_weights(d) {
+            Some(w) => weighted_owner(dims[d], w, idx),
+            None => owner_in_dim(dims[d], parts[d], idx),
+        }
+    }
+
     /// The unique owner of global index `idx`.
     pub fn owner_of(&self, idx: [usize; NDIMS]) -> usize {
         let dims = self.shape.dims();
-        let parts = self.grid.dims();
         let mut coords = [0; NDIMS];
         for d in 0..NDIMS {
             debug_assert!(idx[d] < dims[d], "index out of bounds");
-            coords[d] = owner_in_dim(dims[d], parts[d], idx[d]);
+            coords[d] = self.owner_coord(d, idx[d]);
         }
         self.grid.rank_of(coords)
     }
@@ -74,16 +139,14 @@ impl TensorDist {
     /// `region`; used by redistribution and generalized halo exchange.
     pub fn ranks_overlapping(&self, region: &Box4) -> Vec<(usize, Box4)> {
         // Walk only the grid coordinate ranges that can intersect.
-        let dims = self.shape.dims();
-        let parts = self.grid.dims();
         let mut per_dim: [Vec<usize>; NDIMS] = [vec![], vec![], vec![], vec![]];
-        for d in 0..NDIMS {
+        for (d, coords) in per_dim.iter_mut().enumerate() {
             if region.hi[d] <= region.lo[d] {
                 return Vec::new();
             }
-            let first = owner_in_dim(dims[d], parts[d], region.lo[d]);
-            let last = owner_in_dim(dims[d], parts[d], region.hi[d] - 1);
-            per_dim[d] = (first..=last).collect();
+            let first = self.owner_coord(d, region.lo[d]);
+            let last = self.owner_coord(d, region.hi[d] - 1);
+            *coords = (first..=last).collect();
         }
         let mut out = Vec::new();
         for &gn in &per_dim[0] {
@@ -104,6 +167,9 @@ impl TensorDist {
 
     /// True when every rank owns a non-empty box (required by layers that
     /// assume work on all ranks; the strategy generator enforces this).
+    /// Weighted partitions clamp every part to at least one element
+    /// whenever `dims[d] >= parts[d]`, so the uniform criterion applies
+    /// to them unchanged.
     pub fn is_fully_populated(&self) -> bool {
         let dims = self.shape.dims();
         let parts = self.grid.dims();
@@ -196,5 +262,46 @@ mod tests {
     fn fully_populated_detection() {
         assert!(TensorDist::new(Shape4::new(4, 1, 8, 8), ProcGrid::sample(4)).is_fully_populated());
         assert!(!TensorDist::new(Shape4::new(2, 1, 8, 8), ProcGrid::sample(4)).is_fully_populated());
+    }
+
+    #[test]
+    fn equal_weights_compare_and_partition_identically() {
+        let shape = Shape4::new(2, 3, 16, 16);
+        let grid = ProcGrid::spatial(4, 1);
+        let uniform = TensorDist::new(shape, grid);
+        let gw = GridWeights::from_rank_weights(grid, &[7, 7, 7, 7]);
+        let weighted = TensorDist::weighted(shape, grid, gw);
+        assert_eq!(uniform, weighted);
+        for rank in 0..4 {
+            assert_eq!(uniform.local_box(rank), weighted.local_box(rank));
+        }
+    }
+
+    #[test]
+    fn weighted_boxes_tile_and_owners_agree() {
+        let shape = Shape4::new(2, 3, 16, 11);
+        let grid = ProcGrid::spatial(4, 2);
+        let gw = GridWeights::from_rank_weights(grid, &[1, 3, 3, 3, 3, 3, 3, 3]);
+        let dist = TensorDist::weighted(shape, grid, gw);
+        let mut counts = vec![0u8; dist.shape.len()];
+        for rank in 0..dist.world_size() {
+            for idx in dist.local_box(rank).iter() {
+                counts[dist.shape.offset(idx[0], idx[1], idx[2], idx[3])] += 1;
+                assert_eq!(dist.owner_of(idx), rank);
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "weighted boxes tile exactly once");
+    }
+
+    #[test]
+    fn weighted_ranks_overlapping_conserves_volume() {
+        let shape = Shape4::new(1, 1, 16, 8);
+        let grid = ProcGrid::spatial(4, 1);
+        let gw = GridWeights::from_rank_weights(grid, &[1, 3, 3, 3]);
+        let dist = TensorDist::weighted(shape, grid, gw);
+        let region = Box4::new([0, 0, 0, 2], [1, 1, 14, 7]);
+        let overlaps = dist.ranks_overlapping(&region);
+        let total: usize = overlaps.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, region.len());
     }
 }

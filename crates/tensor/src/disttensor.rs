@@ -65,7 +65,7 @@ impl DistTensor {
 
     /// Create a shard without margins.
     pub fn new_unpadded(dist: TensorDist, rank: usize) -> Self {
-        DistTensor::new(dist, rank, [0; NDIMS], [0; NDIMS])
+        DistTensor::new(dist.clone(), rank, [0; NDIMS], [0; NDIMS])
     }
 
     /// Create a shard and fill the owned region from a globally
@@ -78,7 +78,7 @@ impl DistTensor {
         margin_hi: [usize; NDIMS],
     ) -> Self {
         assert_eq!(global.shape(), dist.shape, "global tensor does not match distribution");
-        let mut dt = DistTensor::new(dist, rank, margin_lo, margin_hi);
+        let mut dt = DistTensor::new(dist.clone(), rank, margin_lo, margin_hi);
         let own = dt.own;
         let local_box = dt.global_to_local_box(&own);
         dt.local.copy_box_from(&local_box, global, &own);
@@ -190,7 +190,7 @@ impl DistTensor {
     /// owned data, with margins `(lo, hi)` allocated but unfilled (run a
     /// halo exchange afterwards to populate them).
     pub fn to_window(&self, margin_lo: [usize; NDIMS], margin_hi: [usize; NDIMS]) -> DistTensor {
-        let mut win = DistTensor::new(self.dist, self.rank, margin_lo, margin_hi);
+        let mut win = DistTensor::new(self.dist.clone(), self.rank, margin_lo, margin_hi);
         win.set_owned(&self.owned_tensor());
         win
     }
@@ -230,7 +230,7 @@ mod tests {
     fn window_geometry_interior_and_edge() {
         let dist = demo_dist();
         // Rank 0 owns rows 0..4, cols 0..4; margin 1 on H and W.
-        let dt = DistTensor::new(dist, 0, [0, 0, 1, 1], [0, 0, 1, 1]);
+        let dt = DistTensor::new(dist.clone(), 0, [0, 0, 1, 1], [0, 0, 1, 1]);
         assert_eq!(dt.own_box(), Box4::new([0, 0, 0, 0], [2, 3, 4, 4]));
         assert_eq!(dt.origin(), [0, 0, -1, -1]);
         assert_eq!(dt.local().shape(), Shape4::new(2, 3, 6, 6));
@@ -246,7 +246,8 @@ mod tests {
         let global =
             Tensor::from_fn(dist.shape, |n, c, h, w| (n * 1000 + c * 100 + h * 10 + w) as f32);
         for rank in 0..dist.world_size() {
-            let dt = DistTensor::from_global(dist, rank, &global, [0, 0, 1, 1], [0, 0, 1, 1]);
+            let dt =
+                DistTensor::from_global(dist.clone(), rank, &global, [0, 0, 1, 1], [0, 0, 1, 1]);
             for idx in dt.own_box().iter() {
                 assert_eq!(dt.get_global(idx), Some(global.at_idx(idx)));
             }
@@ -263,7 +264,7 @@ mod tests {
     #[test]
     fn get_global_outside_window_is_none() {
         let dist = demo_dist();
-        let dt = DistTensor::new(dist, 0, [0; 4], [0; 4]);
+        let dt = DistTensor::new(dist.clone(), 0, [0; 4], [0; 4]);
         assert!(dt.get_global([0, 0, 5, 0]).is_none());
         assert!(dt.get_global([0, 0, 0, 4]).is_none());
         assert!(dt.get_global([0, 0, 3, 3]).is_some());
@@ -273,7 +274,7 @@ mod tests {
     fn owned_tensor_round_trip() {
         let dist = demo_dist();
         let global = Tensor::from_fn(dist.shape, |_, _, h, w| (h * 10 + w) as f32);
-        let mut dt = DistTensor::from_global(dist, 3, &global, [0, 0, 2, 2], [0, 0, 2, 2]);
+        let mut dt = DistTensor::from_global(dist.clone(), 3, &global, [0, 0, 2, 2], [0, 0, 2, 2]);
         let owned = dt.owned_tensor();
         assert_eq!(owned.shape(), Shape4::new(2, 3, 4, 4));
         let mut doubled = owned.clone();
@@ -286,7 +287,7 @@ mod tests {
     fn clear_margins_preserves_owned() {
         let dist = demo_dist();
         let global = Tensor::full(dist.shape, 5.0);
-        let mut dt = DistTensor::from_global(dist, 0, &global, [0, 0, 1, 1], [0, 0, 1, 1]);
+        let mut dt = DistTensor::from_global(dist.clone(), 0, &global, [0, 0, 1, 1], [0, 0, 1, 1]);
         // Pollute a margin cell that lies in-bounds (row 4 is rank 2's).
         dt.set_global([0, 0, 4, 0], 99.0);
         dt.clear_margins();

@@ -14,7 +14,7 @@ use crate::shape::NDIMS;
 /// Gather the owned shards of `dt` into a full tensor on `root`.
 /// Returns `Some` on the root, `None` elsewhere. Collective.
 pub fn gather_to_root<C: Communicator>(comm: &C, dt: &DistTensor, root: usize) -> Option<Tensor> {
-    let dist = *dt.dist();
+    let dist = dt.dist().clone();
     debug_assert_eq!(comm.size(), dist.world_size());
     let mine = dt.owned_tensor();
     let parts = comm.gatherv(root, mine.as_slice().to_vec())?;
@@ -45,7 +45,7 @@ pub fn scatter_from_root<C: Communicator>(
         None
     };
     let mine = comm.scatterv(root, parts);
-    let mut dt = DistTensor::new(dist, comm.rank(), margin_lo, margin_hi);
+    let mut dt = DistTensor::new(dist.clone(), comm.rank(), margin_lo, margin_hi);
     let own_local = dt.own_box_local();
     dt.local_mut().unpack_box(&own_local, &mine);
     dt
@@ -53,7 +53,7 @@ pub fn scatter_from_root<C: Communicator>(
 
 /// Gather shards and broadcast the assembled tensor to every rank.
 pub fn allgather_full<C: Communicator>(comm: &C, dt: &DistTensor) -> Tensor {
-    let dist = *dt.dist();
+    let dist = dt.dist().clone();
     let parts = comm.allgatherv(dt.owned_tensor().as_slice().to_vec());
     let mut full = Tensor::zeros(dist.shape);
     for (rank, data) in parts.into_iter().enumerate() {
@@ -81,7 +81,7 @@ mod tests {
         let global = pattern(shape);
         let outs = run_ranks(4, |comm| {
             let full = (comm.rank() == 1).then(|| global.clone());
-            let dt = scatter_from_root(comm, dist, 1, full.as_ref(), [0; 4], [0; 4]);
+            let dt = scatter_from_root(comm, dist.clone(), 1, full.as_ref(), [0; 4], [0; 4]);
             gather_to_root(comm, &dt, 3)
         });
         assert!(outs[0].is_none() && outs[1].is_none() && outs[2].is_none());
@@ -94,7 +94,7 @@ mod tests {
         let dist = TensorDist::new(shape, ProcGrid::spatial(2, 2));
         let global = pattern(shape);
         let outs = run_ranks(4, |comm| {
-            let dt = DistTensor::from_global(dist, comm.rank(), &global, [0; 4], [0; 4]);
+            let dt = DistTensor::from_global(dist.clone(), comm.rank(), &global, [0; 4], [0; 4]);
             allgather_full(comm, &dt)
         });
         for o in outs {
@@ -109,7 +109,8 @@ mod tests {
         let global = pattern(shape);
         run_ranks(4, |comm| {
             let full = (comm.rank() == 0).then(|| global.clone());
-            let dt = scatter_from_root(comm, dist, 0, full.as_ref(), [0, 0, 1, 1], [0, 0, 1, 1]);
+            let dt =
+                scatter_from_root(comm, dist.clone(), 0, full.as_ref(), [0, 0, 1, 1], [0, 0, 1, 1]);
             for idx in dt.own_box().iter() {
                 assert_eq!(dt.get_global(idx), Some(global.at_idx(idx)));
             }

@@ -262,7 +262,7 @@ mod tests {
         let dist = TensorDist::new(shape, grid);
         let global = global_pattern(shape);
         run_ranks(grid.size(), |comm| {
-            let mut dt = DistTensor::from_global(dist, comm.rank(), &global, mlo, mhi);
+            let mut dt = DistTensor::from_global(dist.clone(), comm.rank(), &global, mlo, mhi);
             exchange_halo(comm, &mut dt);
             check_window_invariant(&dt, &global);
         });
@@ -309,7 +309,7 @@ mod tests {
     fn plan_matches_paper_message_pattern() {
         // Interior rank of a 3x3 spatial grid: 4 side + 4 corner sends.
         let dist = TensorDist::new(Shape4::new(1, 1, 12, 12), ProcGrid::spatial(3, 3));
-        let dt = DistTensor::new(dist, 4, [0, 0, 1, 1], [0, 0, 1, 1]);
+        let dt = DistTensor::new(dist.clone(), 4, [0, 0, 1, 1], [0, 0, 1, 1]);
         let plan = HaloPlan::build(&dt);
         assert_eq!(plan.sends.len(), 8, "interior rank sends to 8 neighbors");
         assert_eq!(plan.recvs.len(), 8, "interior rank receives from 8 neighbors");
@@ -318,7 +318,7 @@ mod tests {
         assert_eq!(sizes.iter().filter(|&&s| s == 4).count(), 4);
         assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 4);
         // Corner rank: 3 neighbors only.
-        let dt0 = DistTensor::new(dist, 0, [0, 0, 1, 1], [0, 0, 1, 1]);
+        let dt0 = DistTensor::new(dist.clone(), 0, [0, 0, 1, 1], [0, 0, 1, 1]);
         let plan0 = HaloPlan::build(&dt0);
         assert_eq!(plan0.recvs.len(), 3);
     }
@@ -328,7 +328,8 @@ mod tests {
         let dist = TensorDist::new(Shape4::new(1, 1, 8, 8), ProcGrid::spatial(2, 2));
         let global = global_pattern(dist.shape);
         run_ranks(4, |comm| {
-            let mut dt = DistTensor::from_global(dist, comm.rank(), &global, [0; 4], [0; 4]);
+            let mut dt =
+                DistTensor::from_global(dist.clone(), comm.rank(), &global, [0; 4], [0; 4]);
             let plan = HaloPlan::build(&dt);
             assert!(plan.sends.is_empty() && plan.recvs.is_empty());
             exchange_halo(comm, &mut dt);
@@ -345,12 +346,13 @@ mod tests {
         let grid = ProcGrid::spatial(2, 2);
         let dist = TensorDist::new(shape, grid);
         let counts = run_ranks(4, |comm| {
-            let mut dt = DistTensor::new(dist, comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
+            let mut dt = DistTensor::new(dist.clone(), comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
             dt.local_mut().fill(1.0);
             // Out-of-bounds padding must not contribute; zero it the way
             // a kernel would (it only writes the in-bounds window).
             let needed = dt.needed_box();
-            let mut cleaned = DistTensor::new(dist, comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
+            let mut cleaned =
+                DistTensor::new(dist.clone(), comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
             let lb = cleaned.global_to_local_box(&needed);
             cleaned.local_mut().unpack_box(&lb, &vec![1.0; needed.len()]);
             let mut dt = cleaned;
@@ -376,11 +378,16 @@ mod tests {
         let global_x = global_pattern(shape);
         let results = run_ranks(4, |comm| {
             // Forward: fill x owned, exchange halo.
-            let mut x =
-                DistTensor::from_global(dist, comm.rank(), &global_x, [0, 0, 1, 1], [0, 0, 1, 1]);
+            let mut x = DistTensor::from_global(
+                dist.clone(),
+                comm.rank(),
+                &global_x,
+                [0, 0, 1, 1],
+                [0, 0, 1, 1],
+            );
             exchange_halo(comm, &mut x);
             // y: a deterministic per-rank window pattern (in-bounds only).
-            let mut y = DistTensor::new(dist, comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
+            let mut y = DistTensor::new(dist.clone(), comm.rank(), [0, 0, 1, 1], [0, 0, 1, 1]);
             let needed = y.needed_box();
             let vals: Vec<f32> = needed
                 .iter()

@@ -32,7 +32,7 @@
 //! let dist = TensorDist::new(Shape4::new(1, 1, 8, 8), ProcGrid::spatial(2, 2));
 //! let global = Tensor::from_fn(dist.shape, |_, _, h, w| (h * 8 + w) as f32);
 //! run_ranks(4, |comm| {
-//!     let mut x = DistTensor::from_global(dist, comm.rank(), &global,
+//!     let mut x = DistTensor::from_global(dist.clone(), comm.rank(), &global,
 //!                                         [0, 0, 1, 1], [0, 0, 1, 1]);
 //!     exchange_halo(comm, &mut x);
 //!     // Rank 0 now sees row 4 (owned by rank 2) in its margin:
@@ -51,6 +51,7 @@ pub mod procgrid;
 pub mod regrid;
 pub mod shape;
 pub mod shuffle;
+pub mod weights;
 
 pub use dense::Tensor;
 pub use dist::TensorDist;
@@ -58,3 +59,4 @@ pub use disttensor::DistTensor;
 pub use procgrid::ProcGrid;
 pub use regrid::{assemble_tensor, check_box_partition, shard_tensor, RegridPlan};
 pub use shape::{Box4, Shape4, NDIMS};
+pub use weights::{weighted_block_range, weighted_block_sizes, weighted_owner, GridWeights};

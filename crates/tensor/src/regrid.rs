@@ -247,7 +247,7 @@ mod tests {
         // grid — the elastic-degradation case ShufflePlan forbids.
         let old = TensorDist::new(shape, ProcGrid::spatial(2, 2));
         let new = TensorDist::new(shape, ProcGrid::spatial(1, 3));
-        let plan = RegridPlan::build(old, new);
+        let plan = RegridPlan::build(old.clone(), new.clone());
         let new_shards = plan.execute_local(&shard_tensor(&t, &old));
         assert_eq!(assemble_tensor(&new, &new_shards), t);
         assert_eq!(plan.total_elements(), shape.len());
@@ -263,7 +263,7 @@ mod tests {
     fn identity_regrid_moves_nothing() {
         let shape = Shape4::new(1, 2, 6, 6);
         let dist = TensorDist::new(shape, ProcGrid::spatial(2, 2));
-        let plan = RegridPlan::build(dist, dist);
+        let plan = RegridPlan::build(dist.clone(), dist.clone());
         assert_eq!(plan.moved_elements(), 0);
         assert_eq!(plan.retained_elements(), shape.len());
         let t = ramp(shape);
@@ -281,7 +281,7 @@ mod tests {
         let old = TensorDist::new(shape, ProcGrid::new(2, 1, 2, 1));
         let new = TensorDist::new(shape, ProcGrid::new(3, 1, 1, 1));
         let t = ramp(shape);
-        let plan = RegridPlan::build(old, new);
+        let plan = RegridPlan::build(old.clone(), new.clone());
         assert_eq!(plan.total_elements(), 5);
         let out = plan.execute_local(&shard_tensor(&t, &old));
         assert_eq!(assemble_tensor(&new, &out), t);
@@ -315,18 +315,18 @@ mod tests {
         let new = TensorDist::new(shape, ProcGrid::spatial(1, 3));
 
         // Dropping a fragment leaves a gap.
-        let mut plan = RegridPlan::build(old, new);
+        let mut plan = RegridPlan::build(old.clone(), new.clone());
         plan.frags.pop();
         let err = plan.check_conservation().unwrap_err();
         assert!(err.contains("uninitialized"), "{err}");
 
         // Shrinking a fragment by one row also leaves a gap.
-        let mut plan = RegridPlan::build(old, new);
+        let mut plan = RegridPlan::build(old.clone(), new.clone());
         plan.frags[0].2.hi[2] -= 1;
         assert!(plan.check_conservation().is_err());
 
         // Re-pointing a fragment at a source rank that does not own it.
-        let mut plan = RegridPlan::build(old, new);
+        let mut plan = RegridPlan::build(old.clone(), new.clone());
         let (_, src_rank, b) = plan.frags[0];
         let stranger = (0..old.world_size())
             .find(|r| *r != src_rank && b.intersect(&old.local_box(*r)) != b)
@@ -336,7 +336,7 @@ mod tests {
         assert!(err.contains("only owns"), "{err}");
 
         // Duplicating a fragment double-writes its elements.
-        let mut plan = RegridPlan::build(old, new);
+        let mut plan = RegridPlan::build(old.clone(), new.clone());
         let dup = plan.frags[0];
         plan.frags.push(dup);
         let err = plan.check_conservation().unwrap_err();

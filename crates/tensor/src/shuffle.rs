@@ -52,13 +52,9 @@ impl ShufflePlan {
         );
         let my_old = src.local_box(rank);
         let my_new = dst.local_box(rank);
-        ShufflePlan {
-            src,
-            dst,
-            rank,
-            sends: dst.ranks_overlapping(&my_old),
-            recvs: src.ranks_overlapping(&my_new),
-        }
+        let sends = dst.ranks_overlapping(&my_old);
+        let recvs = src.ranks_overlapping(&my_new);
+        ShufflePlan { src, dst, rank, sends, recvs }
     }
 
     /// The source distribution the plan was compiled for.
@@ -161,7 +157,7 @@ impl ShufflePlan {
         debug_assert_eq!(comm.size(), self.src.world_size());
         debug_assert_eq!(comm.rank(), self.rank);
 
-        let mut dst = DistTensor::new(self.dst, self.rank, margin_lo, margin_hi);
+        let mut dst = DistTensor::new(self.dst.clone(), self.rank, margin_lo, margin_hi);
         comm.with_class(OpClass::Shuffle, || {
             // Payload for each destination rank: my old box ∩ their new box.
             let mut sends: Vec<Vec<f32>> = (0..comm.size()).map(|_| Vec::new()).collect();
@@ -194,7 +190,8 @@ pub fn redistribute<C: Communicator>(
     margin_lo: [usize; NDIMS],
     margin_hi: [usize; NDIMS],
 ) -> DistTensor {
-    ShufflePlan::build(*src.dist(), dst_dist, src.rank()).execute(comm, src, margin_lo, margin_hi)
+    ShufflePlan::build(src.dist().clone(), dst_dist, src.rank())
+        .execute(comm, src, margin_lo, margin_hi)
 }
 
 #[cfg(test)]
@@ -215,14 +212,14 @@ mod tests {
         let d_to = TensorDist::new(shape, to);
         let global = pattern(shape);
         run_ranks(from.size(), |comm| {
-            let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
-            let mid = redistribute(comm, &src, d_to, [0; 4], [0; 4]);
+            let src = DistTensor::from_global(d_from.clone(), comm.rank(), &global, [0; 4], [0; 4]);
+            let mid = redistribute(comm, &src, d_to.clone(), [0; 4], [0; 4]);
             // Every owned element of the new distribution matches the global.
             for idx in mid.own_box().iter() {
                 assert_eq!(mid.get_global(idx), Some(global.at_idx(idx)));
             }
             // And shuffling back restores the original shard exactly.
-            let back = redistribute(comm, &mid, d_from, [0; 4], [0; 4]);
+            let back = redistribute(comm, &mid, d_from.clone(), [0; 4], [0; 4]);
             assert_eq!(back.owned_tensor(), src.owned_tensor());
         });
     }
@@ -262,8 +259,8 @@ mod tests {
         let dist = TensorDist::new(shape, grid);
         let global = pattern(shape);
         run_ranks(4, |comm| {
-            let src = DistTensor::from_global(dist, comm.rank(), &global, [0; 4], [0; 4]);
-            let out = redistribute(comm, &src, dist, [0; 4], [0; 4]);
+            let src = DistTensor::from_global(dist.clone(), comm.rank(), &global, [0; 4], [0; 4]);
+            let out = redistribute(comm, &src, dist.clone(), [0; 4], [0; 4]);
             assert_eq!(out.owned_tensor(), src.owned_tensor());
         });
     }
@@ -276,14 +273,15 @@ mod tests {
         let d_from = TensorDist::new(shape, ProcGrid::sample(4));
         let d_to = TensorDist::new(shape, ProcGrid::spatial(2, 2));
         run_ranks(4, |comm| {
-            let plan = ShufflePlan::build(d_from, d_to, comm.rank());
+            let plan = ShufflePlan::build(d_from.clone(), d_to.clone(), comm.rank());
             for step in 0..3 {
                 let global = Tensor::from_fn(shape, |n, c, h, w| {
                     (((n * 7 + c) * 11 + h) * 13 + w) as f32 + step as f32 * 1000.0
                 });
-                let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
+                let src =
+                    DistTensor::from_global(d_from.clone(), comm.rank(), &global, [0; 4], [0; 4]);
                 let planned = plan.execute(comm, &src, [0; 4], [0; 4]);
-                let oneshot = redistribute(comm, &src, d_to, [0; 4], [0; 4]);
+                let oneshot = redistribute(comm, &src, d_to.clone(), [0; 4], [0; 4]);
                 assert_eq!(planned.owned_tensor(), oneshot.owned_tensor());
                 assert_eq!(planned.local(), oneshot.local());
             }
@@ -297,8 +295,8 @@ mod tests {
         let d_to = TensorDist::new(shape, ProcGrid::spatial(1, 4));
         let global = pattern(shape);
         run_ranks(4, |comm| {
-            let src = DistTensor::from_global(d_from, comm.rank(), &global, [0; 4], [0; 4]);
-            let out = redistribute(comm, &src, d_to, [0, 0, 1, 1], [0, 0, 1, 1]);
+            let src = DistTensor::from_global(d_from.clone(), comm.rank(), &global, [0; 4], [0; 4]);
+            let out = redistribute(comm, &src, d_to.clone(), [0, 0, 1, 1], [0, 0, 1, 1]);
             for idx in out.own_box().iter() {
                 assert_eq!(out.get_global(idx), Some(global.at_idx(idx)));
             }

@@ -89,7 +89,7 @@ proptest! {
         let (mh, mw) = margins;
         for rank in 0..dist.world_size() {
             let dt = DistTensor::from_global(
-                dist, rank, &global, [0, 0, mh, mw], [0, 0, mh, mw],
+                dist.clone(), rank, &global, [0, 0, mh, mw], [0, 0, mh, mw],
             );
             // The owned region reads back exactly; margins (in-bounds or
             // not) are zero before any exchange.

@@ -54,10 +54,10 @@ proptest! {
         let global_x = tensor_from_seed(shape, seed);
         let results = run_ranks(grid.size(), |comm| {
             // x: owned data + exchanged halos (the E operator).
-            let mut x = DistTensor::from_global(dist, comm.rank(), &global_x, m, m);
+            let mut x = DistTensor::from_global(dist.clone(), comm.rank(), &global_x, m, m);
             exchange_halo(comm, &mut x);
             // y: a deterministic window pattern, in-bounds cells only.
-            let mut y = DistTensor::new(dist, comm.rank(), m, m);
+            let mut y = DistTensor::new(dist.clone(), comm.rank(), m, m);
             let needed = y.needed_box();
             let vals: Vec<f32> = needed
                 .iter()
@@ -98,7 +98,7 @@ proptest! {
         let dist = TensorDist::new(shape, grid);
         let global = tensor_from_seed(shape, seed);
         let checks = run_ranks(grid.size(), |comm| {
-            let mut dt = DistTensor::from_global(dist, comm.rank(), &global, m, m);
+            let mut dt = DistTensor::from_global(dist.clone(), comm.rank(), &global, m, m);
             let plan = HaloPlan::build(&dt);
             let before = comm.stats().total_bytes();
             exchange_halo(comm, &mut dt);
@@ -123,7 +123,7 @@ proptest! {
         let dist = TensorDist::new(shape, grid);
         let global = tensor_from_seed(shape, seed);
         let ok = run_ranks(grid.size(), |comm| {
-            let mut dt = DistTensor::from_global(dist, comm.rank(), &global, m, m);
+            let mut dt = DistTensor::from_global(dist.clone(), comm.rank(), &global, m, m);
             exchange_halo(comm, &mut dt);
             let snapshot = dt.local().clone();
             exchange_halo(comm, &mut dt);

@@ -60,7 +60,7 @@ fn main() {
         });
         let start = Instant::now();
         let stats = run_ranks(4, |comm| {
-            let xs = DistTensor::from_global(conv.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(conv.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (_y, _win) = conv.forward(comm, &xs, &w, None);
             comm.stats()
         });

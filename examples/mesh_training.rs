@@ -62,7 +62,7 @@ fn main() {
         for step in 0..6 {
             // Each rank generates only its shard of the inputs; labels
             // are small (the prediction map) and stay replicated.
-            let x_shard = ds.shard_batch(input_dist, comm.rank(), step * batch);
+            let x_shard = ds.shard_batch(input_dist.clone(), comm.rank(), step * batch);
             // Labels derive from the fields; the generator materializes
             // one sample at a time, never the whole batch.
             let labels = ds.batch_labels(step * batch, batch);

@@ -76,6 +76,16 @@ cargo test -q --offline -p fg-comm --test faults
 step "elastic degradation (permanent rank loss, watchdog + integrity on)"
 cargo test -q --offline --test resilience degrade
 
+# Gray-failure ladder, pinned seeds: a persistently slow rank must be
+# detected (all-rank agreement), rebalanced onto a weighted layout with
+# the stitched-bitwise trajectory contract, or softly evicted when
+# irredeemable — all while the watchdog and integrity envelopes are
+# live, and with every compiled schedule (including the weighted
+# post-rebalance layouts) re-checked by the static verifier (FG_VERIFY).
+step "gray-failure resilience (straggler detect/rebalance/evict, FG_VERIFY on)"
+FG_VERIFY=1 cargo test -q --offline --test resilience -- \
+    persistent_straggler irredeemably_slow healthy_world
+
 # The event-driven virtual-time engine's correctness anchor: DES clocks
 # must equal the thread-per-rank runtime's clocks exactly, and must be
 # independent of the worker-pool size. Run explicitly (the suites are

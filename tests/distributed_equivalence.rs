@@ -153,7 +153,7 @@ fn sharded_data_loading_matches_replicated_loading() {
     let replicated =
         run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x_full, &labels).0);
     let sharded = run_ranks(4, |comm| {
-        let shard = ds.shard_batch(input_dist, comm.rank(), 0);
+        let shard = ds.shard_batch(input_dist.clone(), comm.rank(), 0);
         exec.loss_and_grads_sharded(comm, &net.params, shard, &labels).0
     });
     assert_eq!(replicated, sharded, "sharded loading must be bit-identical");

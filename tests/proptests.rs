@@ -5,11 +5,15 @@
 //! reductions. These are the paper's correctness claims quantified over
 //! the input space rather than at hand-picked points.
 
+use finegrain::comm::collectives::block_range;
 use finegrain::comm::{run_ranks, AllreduceAlgorithm, Collectives, Communicator, ReduceOp};
-use finegrain::core::DistConv2d;
+use finegrain::core::{DistConv2d, DistExecutor};
 use finegrain::kernels::conv::{conv2d_backward_data, conv2d_forward, ConvGeometry};
+use finegrain::kernels::Labels;
+use finegrain::nn::{Network, NetworkSpec, Sgd};
 use finegrain::tensor::gather::gather_to_root;
 use finegrain::tensor::shuffle::{redistribute, ShufflePlan};
+use finegrain::tensor::weighted_block_range;
 use finegrain::tensor::{DistTensor, ProcGrid, Shape4, Tensor, TensorDist};
 use proptest::prelude::*;
 
@@ -70,9 +74,9 @@ proptest! {
 
         let layer = DistConv2d::new(n, c, f, geom, grid);
         let outs = run_ranks(grid.size(), |comm| {
-            let xs = DistTensor::from_global(layer.in_dist, comm.rank(), &x, [0; 4], [0; 4]);
+            let xs = DistTensor::from_global(layer.in_dist.clone(), comm.rank(), &x, [0; 4], [0; 4]);
             let (y, _win) = layer.forward(comm, &xs, &w, None);
-            let dys = DistTensor::from_global(layer.out_dist, comm.rank(), &dy, [0; 4], [0; 4]);
+            let dys = DistTensor::from_global(layer.out_dist.clone(), comm.rank(), &dy, [0; 4], [0; 4]);
             let dx = layer.backward_data(comm, &dys, &w);
             (gather_to_root(comm, &y, 0), gather_to_root(comm, &dx, 0))
         });
@@ -103,8 +107,8 @@ proptest! {
         prop_assume!(from.is_fully_populated() && to.is_fully_populated());
         let global = tensor_from_seed(shape, seed);
         let ok = run_ranks(4, |comm| {
-            let src = DistTensor::from_global(from, comm.rank(), &global, [0; 4], [0; 4]);
-            let mid = redistribute(comm, &src, to, [0; 4], [0; 4]);
+            let src = DistTensor::from_global(from.clone(), comm.rank(), &global, [0; 4], [0; 4]);
+            let mid = redistribute(comm, &src, to.clone(), [0; 4], [0; 4]);
             // Every element still present exactly once, values intact.
             for idx in mid.own_box().iter() {
                 if mid.get_global(idx) != Some(global.at_idx(idx)) {
@@ -112,7 +116,7 @@ proptest! {
                 }
             }
             // Round-trip restores the original shard bit-for-bit.
-            let back = redistribute(comm, &mid, from, [0; 4], [0; 4]);
+            let back = redistribute(comm, &mid, from.clone(), [0; 4], [0; 4]);
             back.owned_tensor() == src.owned_tensor()
         });
         prop_assert!(ok.iter().all(|&v| v));
@@ -145,10 +149,10 @@ proptest! {
         let a = tensor_from_seed(shape, seed);
         let b = tensor_from_seed(shape, seed ^ 0x5EED);
         let ok = run_ranks(4, |comm| {
-            let plan = ShufflePlan::build(from, to, comm.rank());
+            let plan = ShufflePlan::build(from.clone(), to.clone(), comm.rank());
             for global in [&a, &b] {
-                let src = DistTensor::from_global(from, comm.rank(), global, [0; 4], [0; 4]);
-                let one_shot = redistribute(comm, &src, to, [0; 4], [0; 4]);
+                let src = DistTensor::from_global(from.clone(), comm.rank(), global, [0; 4], [0; 4]);
+                let one_shot = redistribute(comm, &src, to.clone(), [0; 4], [0; 4]);
                 let planned = plan.execute(comm, &src, [0; 4], [0; 4]);
                 if planned.owned_tensor() != one_shot.owned_tensor()
                     || planned.dist() != one_shot.dist()
@@ -215,7 +219,7 @@ proptest! {
         let global = tensor_from_seed(shape, seed);
         let ok = run_ranks(4, |comm| {
             let mut dt = DistTensor::from_global(
-                dist, comm.rank(), &global, [0, 0, mh, mw], [0, 0, mh, mw],
+                dist.clone(), comm.rank(), &global, [0, 0, mh, mw], [0, 0, mh, mw],
             );
             finegrain::tensor::halo::exchange_halo(comm, &mut dt);
             // Every in-bounds window position matches the global tensor.
@@ -227,5 +231,85 @@ proptest! {
             true
         });
         prop_assert!(ok.iter().all(|&v| v));
+    }
+}
+
+/// Tiny segmentation net for the weighted-partition property below:
+/// just enough structure (halo-carrying conv, pointwise head) to make a
+/// layout change observable in the loss bits.
+fn tiny_weighted_net() -> NetworkSpec {
+    let mut spec = NetworkSpec::new();
+    let i = spec.input("x", 2, 8, 8);
+    let c1 = spec.conv("c1", i, 3, 3, 1, 1);
+    let r1 = spec.relu("r1", c1);
+    let c2 = spec.conv("c2", r1, 2, 1, 1, 0);
+    spec.loss("l", c2);
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gray-failure rebalance contract, quantified: a weighted partition
+    /// whose per-rank weights are all *equal* IS the uniform partition.
+    /// Three layers of the same fact — the weighted range computation
+    /// degenerates to `block_range` for any total/parts/weight, equal
+    /// rank weights normalize out of the `Strategy` entirely, and the
+    /// training trajectory is bitwise the uniform one. Together they
+    /// license leaving the weighted machinery permanently enabled: a
+    /// rebalance back to health is a no-op, not a new layout.
+    #[test]
+    fn equal_weight_partition_is_bitwise_uniform(
+        total in 1usize..2000,
+        parts in 1usize..9,
+        w in 1u64..50,
+        grid_idx in 0usize..4,
+        wv in 1u64..24,
+        seed in any::<u64>(),
+    ) {
+        // Range-level identity: the non-normalized weighted path slices
+        // exactly the blocks the uniform path does.
+        let weights = vec![w; parts];
+        for part in 0..parts {
+            prop_assert_eq!(
+                weighted_block_range(total, &weights, part),
+                block_range(total, parts, part),
+            );
+        }
+
+        // Strategy-level identity: equal weights normalize away.
+        let grids = [
+            ProcGrid::spatial(4, 1),
+            ProcGrid::spatial(2, 2),
+            ProcGrid::spatial(1, 4),
+            ProcGrid::hybrid(2, 2, 1),
+        ];
+        let grid = grids[grid_idx];
+        let spec = tiny_weighted_net();
+        // (`finegrain::core::Strategy` spelled out: the name collides
+        // with proptest's `Strategy` trait used by `conv_case` above.)
+        let uniform = finegrain::core::Strategy::uniform(&spec, grid);
+        let weighted = uniform.clone().with_rank_weights(vec![wv; grid.size()]);
+        prop_assert_eq!(&uniform, &weighted);
+
+        // Trajectory-level identity: two steps, bitwise equal losses.
+        let net = Network::init(spec.clone(), seed);
+        let x = Tensor::from_fn(Shape4::new(2, 2, 8, 8), |n, c, h, w| {
+            ((n * 5 + c * 3 + h + 2 * w) % 13) as f32 * 0.11 - 0.7
+        });
+        let labels =
+            Labels::per_pixel(2, 8, 8, (0..2 * 8 * 8).map(|i| (i % 2) as u32).collect());
+        let uexec = DistExecutor::new(spec.clone(), uniform, 2).expect("uniform compiles");
+        let wexec = DistExecutor::new(spec, weighted, 2).expect("equal weights compile");
+        let run = |exec: &DistExecutor| {
+            run_ranks(grid.size(), |comm| {
+                let mut p = net.params.clone();
+                let mut opt = Sgd::new(0.05, 0.9, 1e-4, &p);
+                (0..2)
+                    .map(|_| exec.train_step(comm, &mut p, &mut opt, &x, &labels).to_bits())
+                    .collect::<Vec<_>>()
+            })
+        };
+        prop_assert_eq!(run(&uexec), run(&wexec));
     }
 }

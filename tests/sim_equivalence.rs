@@ -17,11 +17,13 @@
 
 use fg_bench::experiments::hybrid_grid;
 use finegrain::comm::RankTrace;
-use finegrain::comm::{replay_traces_timed, simulate_traces, simulate_traces_with, LinkModel};
+use finegrain::comm::{
+    replay_traces_timed, simulate_traces, simulate_traces_slowed, simulate_traces_with, LinkModel,
+};
 use finegrain::core::{DistExecutor, Strategy as ParallelStrategy};
 use finegrain::models::{mesh_model, MeshSize};
 use finegrain::nn::NetworkSpec;
-use finegrain::perf::{ModeledCompute, Platform};
+use finegrain::perf::{ModeledCompute, Platform, SlowedCompute};
 use finegrain::tensor::ProcGrid;
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -134,5 +136,70 @@ fn worker_pool_size_never_changes_the_result() {
             run.deterministic_view(),
             "{workers}-worker run diverged from the single-worker run"
         );
+    }
+}
+
+/// Record a schedule whose modeled compute is stretched per rank by
+/// gray-failure `factors` — the recording-side injection path
+/// ([`SlowedCompute`]), as opposed to the post-hoc trace stretching of
+/// [`simulate_traces_slowed`].
+fn record_slowed(
+    spec: NetworkSpec,
+    grid: ProcGrid,
+    batch: usize,
+    factors: &[f64],
+) -> Vec<RankTrace> {
+    let strategy = ParallelStrategy::uniform(&spec, grid);
+    let exec = DistExecutor::new(spec.clone(), strategy.clone(), batch)
+        .expect("validation configuration must compile");
+    let platform = Platform::lassen_like();
+    let oracle = SlowedCompute::new(
+        ModeledCompute::new(&platform, &spec, &strategy, batch),
+        factors.to_vec(),
+    );
+    exec.record_traces(Some(&oracle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Slow-rank equivalence: a gray-failed rank can be injected on
+    /// either side of the recording boundary — stretch the healthy
+    /// trace's `Advance` durations post hoc (`simulate_traces_slowed`,
+    /// how paper-scale straggler sweeps run) or record with a
+    /// [`SlowedCompute`] oracle — and both must agree with each other
+    /// and with the thread-per-rank timed replay, bit for bit, for any
+    /// victim, factor, and link model. Both paths scale the same f64s,
+    /// so the DES result is a property of the schedule, not of where
+    /// the slowdown was applied.
+    #[test]
+    fn slow_rank_des_equals_threaded_replay(
+        which in 0usize..2,
+        victim in 0usize..8,
+        factor in 1.0..32.0f64,
+        link in link_model(),
+    ) {
+        let (spec, grid, batch) = match which {
+            0 => (mesh_model(MeshSize::OneK), ProcGrid::sample(4), 4),
+            _ => (mesh_model(MeshSize::OneK), hybrid_grid(2, 4), 2),
+        };
+        let world = grid.size();
+        let mut factors = vec![1.0f64; world];
+        factors[victim % world] = factor;
+
+        // Post-hoc: healthy recording (shared across cases), stretched
+        // at simulation time. schedules()[0..2] are exactly these two
+        // configurations.
+        let (_, healthy) = &schedules()[which];
+        let slowed = simulate_traces_slowed(healthy, &link, &factors).expect("slowed DES runs");
+
+        // Recording-side: the oracle itself is slow.
+        let recorded = record_slowed(spec, grid, batch, &factors);
+        let des = simulate_traces(&recorded, &link).expect("recorded DES runs");
+        prop_assert_eq!(&slowed.clocks, &des.clocks, "injection side must not matter");
+
+        // Ground truth: the threaded timed replay of the slowed world.
+        let threaded = replay_traces_timed(&recorded, &link);
+        prop_assert_eq!(&slowed.clocks, &threaded, "DES must equal the threaded replay");
     }
 }

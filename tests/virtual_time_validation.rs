@@ -28,7 +28,8 @@ fn executed_forward_time(platform: &Platform, desc: &ConvLayerDesc, grid: ProcGr
         LinkModel::custom(move |src, dst, bytes| plat.link_between(src, dst).ptp(bytes as f64));
     let out = run_ranks_timed(grid.size(), link, |comm| {
         // Window with zeroed data — we time the schedule, not the values.
-        let win = DistTensor::new(conv.in_dist, comm.rank(), conv.x_margins.0, conv.x_margins.1);
+        let win =
+            DistTensor::new(conv.in_dist.clone(), comm.rank(), conv.x_margins.0, conv.x_margins.1);
         let mut win = win;
         let plan = HaloPlan::build(&win);
         let iplan = InteriorPlan::build(&conv, comm.rank());
