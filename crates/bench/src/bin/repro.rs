@@ -18,6 +18,7 @@
 //!   verify    static schedule verification sweep (models × strategies × grids)
 //!   simscale  executed discrete-event runs at paper scale (writes BENCH_simscale.json)
 //!   stragglers gray-failure mitigation at paper scale (writes BENCH_stragglers.json)
+//!   serve     serving tier: latency/goodput under load and chaos (writes BENCH_serving.json)
 //!   all       everything above
 //! ```
 //!
@@ -27,8 +28,8 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, faults, microbench, modelval, plancache, resnet, scaling, simscale, stragglers,
-    strategy, verify,
+    extensions, faults, microbench, modelval, plancache, resnet, scaling, serve, simscale,
+    stragglers, strategy, verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -55,6 +56,7 @@ fn main() {
             "verify",
             "simscale",
             "stragglers",
+            "serve",
         ]
     } else {
         wanted
@@ -81,6 +83,7 @@ fn main() {
             "verify" => tables.push(verify::verify_report(&platform)),
             "simscale" => tables.push(simscale::simscale_report(&platform)),
             "stragglers" => tables.extend(stragglers::stragglers_report(&platform)),
+            "serve" => tables.push(serve::serve_report()),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

@@ -13,6 +13,7 @@
 //! | [`verify`] | static schedule verification sweep (fg-verify) |
 //! | [`simscale`] | Tables I–III / Fig. 4 as executed discrete-event runs |
 //! | [`stragglers`] | gray-failure straggler mitigation at paper scale |
+//! | [`serve`] | inference serving tier: latency/goodput under load and chaos |
 
 pub mod extensions;
 pub mod faults;
@@ -21,6 +22,7 @@ pub mod modelval;
 pub mod plancache;
 pub mod resnet;
 pub mod scaling;
+pub mod serve;
 pub mod simscale;
 pub mod stragglers;
 pub mod strategy;

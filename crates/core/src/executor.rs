@@ -348,6 +348,46 @@ impl DistExecutor {
         self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), None, Some(bn_stats))
     }
 
+    /// Batched inference entry for serving: run
+    /// [`DistExecutor::forward_inference`] and assemble the final
+    /// layer's activation into one global tensor on `root` (`None`
+    /// elsewhere). Sharded outputs (segmentation heads) gather block by
+    /// block; per-sample outputs (classification logits after global
+    /// average pooling) gather each rank's replicated rows and file them
+    /// by the sample groups' block ranges — replicas within a group
+    /// hold identical data, so overlapping writes agree bitwise.
+    pub fn infer_logits<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x: &Tensor,
+        bn_stats: &[Option<BnStats>],
+        root: usize,
+    ) -> Option<Tensor> {
+        use fg_comm::collectives::block_range;
+        use fg_comm::Collectives;
+
+        let pass = self.forward_inference(comm, params, x, bn_stats);
+        let last = self.spec.len() - 1;
+        match pass.acts.last().expect("network has layers") {
+            Act::Shard(dt) => fg_tensor::gather::gather_to_root(comm, dt, root),
+            Act::PerSample(t) => {
+                let grid = self.strategy.grids[last];
+                let c = t.shape().c;
+                let parts = comm.gatherv(root, t.as_slice().to_vec());
+                parts.map(|parts| {
+                    let mut out = Tensor::zeros(Shape4::new(self.batch, c, 1, 1));
+                    for (r, part) in parts.iter().enumerate() {
+                        let range = block_range(self.batch, grid.n, grid.coords(r)[0]);
+                        assert_eq!(part.len(), range.len() * c, "per-sample rows match the range");
+                        out.as_mut_slice()[range.start * c..range.end * c].copy_from_slice(part);
+                    }
+                    out
+                })
+            }
+        }
+    }
+
     /// The plan-driven forward scheduler: per layer, execute the
     /// precompiled input shuffles (or move sole-consumer activations),
     /// hand the layer its context, and file its outputs into the pass.

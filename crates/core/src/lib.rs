@@ -29,6 +29,7 @@ pub mod layers;
 pub mod mp_fc;
 pub mod overlap;
 pub mod resilient;
+pub mod servable;
 pub mod spatial3d;
 pub mod straggler;
 pub mod strategy;
@@ -44,6 +45,7 @@ pub use resilient::{
     resilient_train, ComputeFault, Degradation, DegradeConfig, Rebalance, Replanner,
     ResilientConfig, ResilientReport, RungTimes, SgdHyper,
 };
+pub use servable::ServableModel;
 pub use straggler::{
     weights_from_ema, StragglerAction, StragglerConfig, StragglerFlag, StragglerGuard,
 };

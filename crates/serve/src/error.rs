@@ -1,0 +1,52 @@
+//! Typed terminal errors — the "or a typed error" half of the serving
+//! tier's correct-or-typed-error contract.
+
+use std::fmt;
+
+/// Why an accepted (or submitted) request did not produce logits.
+///
+/// Every variant is a *terminal, typed* outcome: the chaos tests assert
+/// that no accepted request ever hangs or silently returns wrong data —
+/// it either completes with bitwise-correct logits or with one of
+/// these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: the bounded queue held `capacity` requests.
+    QueueFull {
+        /// The configured admission bound.
+        capacity: usize,
+    },
+    /// The deadline expired before any replica produced a result;
+    /// `retries` dispatch attempts had been made by then.
+    DeadlineExceeded {
+        /// Dispatch attempts made before the deadline passed.
+        retries: u32,
+    },
+    /// The retry budget was exhausted without a healthy replica reply
+    /// (all attempts timed out or hit failing replicas).
+    RetriesExhausted {
+        /// Total dispatch attempts made.
+        attempts: u32,
+    },
+    /// The server shut down before the request completed.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request shed: admission queue full ({capacity} requests)")
+            }
+            ServeError::DeadlineExceeded { retries } => {
+                write!(f, "deadline exceeded after {retries} dispatch attempt(s)")
+            }
+            ServeError::RetriesExhausted { attempts } => {
+                write!(f, "no replica replied within {attempts} dispatch attempt(s)")
+            }
+            ServeError::Shutdown => write!(f, "server shut down before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -38,12 +38,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 #   crates/comm/              the communicator implementation + its tests
 #   crates/tensor/src/halo.rs HaloPlan execution (start/finish exchange)
 #   crates/core/src/spatial3d.rs  3-D halo-plan execution
+#   crates/serve/             crossbeam job/reply/response channels
+#                             (admission queue → batcher → dispatcher →
+#                             replica), not Communicator p2p — the
+#                             serving tier's world-internal traffic
+#                             still goes through compiled plans
 # `rec.send/recv` lines are TraceRecorder bookkeeping, not wire calls.
 step "lint: raw Communicator::send/recv confined to comm + plan execution"
 raw_p2p=$(grep -rnE '\.(send|recv)(::<[^>]*>)?\(' crates --include='*.rs' |
     grep -vE '^crates/comm/' |
     grep -vE '^crates/tensor/src/halo\.rs' |
     grep -vE '^crates/core/src/spatial3d\.rs' |
+    grep -vE '^crates/serve/' |
     grep -vE '\brec\.(send|recv)\(' || true)
 if [ -n "$raw_p2p" ]; then
     echo "raw Communicator::send/recv outside the allowlisted modules:" >&2
@@ -85,6 +91,16 @@ cargo test -q --offline --test resilience degrade
 step "gray-failure resilience (straggler detect/rebalance/evict, FG_VERIFY on)"
 FG_VERIFY=1 cargo test -q --offline --test resilience -- \
     persistent_straggler irredeemably_slow healthy_world
+
+# Serving tier: chaos traffic (lossy links + a mid-stream rank kill)
+# through the full admission → batch → dispatch → replica stack. The
+# contract under test: every accepted request terminates — no hangs —
+# with either logits bitwise-equal to the serial reference or a typed
+# error, across the kill, the world rebuild, and the breaker-probed
+# re-admission. Watchdog + integrity are already exported above;
+# FG_VERIFY additionally re-checks every rebuilt world's schedule.
+step "serving tier smoke (chaos traffic with a mid-stream rank kill, FG_VERIFY on)"
+FG_VERIFY=1 cargo test -q --offline -p fg-serve --test chaos
 
 # The event-driven virtual-time engine's correctness anchor: DES clocks
 # must equal the thread-per-rank runtime's clocks exactly, and must be

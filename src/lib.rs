@@ -52,5 +52,7 @@ pub use fg_models as models;
 pub use fg_nn as nn;
 /// Performance model and strategy optimizer.
 pub use fg_perf as perf;
+/// Inference serving tier: admission, batching, replica routing.
+pub use fg_serve as serve;
 /// Distributed NCHW tensors: halo exchange, redistribution.
 pub use fg_tensor as tensor;

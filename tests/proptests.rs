@@ -313,3 +313,93 @@ proptest! {
         prop_assert_eq!(run(&uexec), run(&wexec));
     }
 }
+
+/// Tiny classifier (conv → BN → relu → GAP → FC) — the shape the
+/// serving tier hosts. Its final activation is per-sample logits, which
+/// exercises the sample-group assembly path of `infer_logits`.
+fn tiny_classifier_net() -> NetworkSpec {
+    let mut spec = NetworkSpec::new();
+    let i = spec.input("x", 2, 8, 8);
+    let c1 = spec.conv("c1", i, 4, 3, 1, 1);
+    let b1 = spec.batchnorm("b1", c1);
+    let r1 = spec.relu("r1", b1);
+    let g = spec.global_avg_pool("g", r1);
+    let f = spec.fc("f", g, 3);
+    spec.loss("l", f);
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The serving tier's correctness contract, quantified: for random
+    /// parameters, random calibrated BN statistics, random batch sizes,
+    /// and every grid family, the distributed inference path
+    /// (`DistExecutor::infer_logits`, which runs
+    /// `DistExecutor::forward_inference` and assembles the final
+    /// activation at the root) replicates the serial reference
+    /// (`RunningStats::infer` over `Network::forward_inference`).
+    ///
+    /// The equality grade is head-dependent and pinned exactly:
+    /// *sharded* heads (segmentation — the paper's model family) are
+    /// **bitwise** on every grid, because convolutions compute identical
+    /// windows over identical halos; *per-sample* heads (GAP → FC) are
+    /// bitwise under pure sample parallelism but only ULP-close under
+    /// spatial partitioning, where GAP reduces spatial partial sums with
+    /// an allreduce whose summation order differs from the serial loop.
+    #[test]
+    fn distributed_inference_replicates_serial(
+        grid_idx in 0usize..4,
+        batch_mult in 1usize..4,
+        calib_batches in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let grids = [
+            ProcGrid::sample(2),
+            ProcGrid::spatial(2, 1),
+            ProcGrid::spatial(2, 2),
+            ProcGrid::hybrid(2, 2, 1),
+        ];
+        let grid = grids[grid_idx];
+        // Mixed batch sizes: every multiple of the sample-group count
+        // is a batch the serving batcher can legally dispatch.
+        let batch = grid.n * batch_mult;
+
+        for (spec, head_is_sharded) in
+            [(tiny_classifier_net(), false), (tiny_weighted_net(), true)]
+        {
+            let net = Network::init(spec.clone(), seed);
+            // Running statistics from real training-mode passes — the
+            // same derivation `ServableModel` uses at checkpoint load.
+            let mut rs = finegrain::nn::RunningStats::new(&spec, 0.1);
+            for s in 0..calib_batches {
+                let cal = tensor_from_seed(Shape4::new(4, 2, 8, 8), seed ^ (s as u64 + 1));
+                rs.update(&net.forward(&cal, None));
+            }
+            let x = tensor_from_seed(Shape4::new(batch, 2, 8, 8), seed ^ 0x5EE5);
+            let serial = rs.infer(&net, &x);
+
+            let strategy = finegrain::core::Strategy::uniform(&spec, grid);
+            let exec = DistExecutor::new(spec, strategy, batch).expect("strategy compiles");
+            let outs = run_ranks(grid.size(), |comm| {
+                exec.infer_logits(comm, &net.params, &x, rs.stats(), 0)
+            });
+            let assembled = outs[0].as_ref().expect("root assembles the output");
+            let sample_parallel = grid.h == 1 && grid.w == 1;
+            if head_is_sharded || sample_parallel {
+                prop_assert_eq!(assembled, &serial);
+            } else {
+                prop_assert_eq!(assembled.shape(), serial.shape());
+                for (a, b) in assembled.as_slice().iter().zip(serial.as_slice()) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                        "spatially-reduced GAP stays ULP-close: {} vs {}", a, b
+                    );
+                }
+            }
+            for out in &outs[1..] {
+                prop_assert!(out.is_none(), "non-root ranks hold no assembled output");
+            }
+        }
+    }
+}
