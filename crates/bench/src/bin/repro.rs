@@ -19,6 +19,7 @@
 //!   simscale  executed discrete-event runs at paper scale (writes BENCH_simscale.json)
 //!   stragglers gray-failure mitigation at paper scale (writes BENCH_stragglers.json)
 //!   serve     serving tier: latency/goodput under load and chaos (writes BENCH_serving.json)
+//!   ckptstore durable checkpoint store: redundancy cost + storage-chaos recovery (writes BENCH_ckpt.json)
 //!   all       everything above
 //! ```
 //!
@@ -28,8 +29,8 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    extensions, faults, microbench, modelval, plancache, resnet, scaling, serve, simscale,
-    stragglers, strategy, verify,
+    ckptstore, extensions, faults, microbench, modelval, plancache, resnet, scaling, serve,
+    simscale, stragglers, strategy, verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -57,6 +58,7 @@ fn main() {
             "simscale",
             "stragglers",
             "serve",
+            "ckptstore",
         ]
     } else {
         wanted
@@ -84,6 +86,7 @@ fn main() {
             "simscale" => tables.push(simscale::simscale_report(&platform)),
             "stragglers" => tables.extend(stragglers::stragglers_report(&platform)),
             "serve" => tables.push(serve::serve_report()),
+            "ckptstore" => tables.extend(ckptstore::ckptstore_report()),
             other => {
                 eprintln!("unknown experiment '{other}'; see --help in the module docs");
                 std::process::exit(2);

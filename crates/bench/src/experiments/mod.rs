@@ -14,7 +14,9 @@
 //! | [`simscale`] | Tables I–III / Fig. 4 as executed discrete-event runs |
 //! | [`stragglers`] | gray-failure straggler mitigation at paper scale |
 //! | [`serve`] | inference serving tier: latency/goodput under load and chaos |
+//! | [`ckptstore`] | durable checkpoint store: redundancy cost + recovery under storage chaos |
 
+pub mod ckptstore;
 pub mod extensions;
 pub mod faults;
 pub mod microbench;

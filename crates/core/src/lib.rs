@@ -43,7 +43,7 @@ pub use layers::{BnMode, DistPool2d};
 pub use mp_fc::ModelParallelFc;
 pub use resilient::{
     resilient_train, ComputeFault, Degradation, DegradeConfig, Rebalance, Replanner,
-    ResilientConfig, ResilientReport, RungTimes, SgdHyper,
+    ResilientConfig, ResilientReport, RungTimes, SgdHyper, SnapshotTelemetry,
 };
 pub use servable::ServableModel;
 pub use straggler::{

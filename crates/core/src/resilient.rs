@@ -62,8 +62,14 @@
 //!
 //! Every `ckpt_every` steps, rank 0 serializes a full
 //! [`fg_nn::TrainState`] (step counter, parameters, optimizer velocity,
-//! loss history, guard EMA baseline, source grid) into an in-memory
-//! store — the stand-in for a parallel file system. Because training is
+//! loss history, guard EMA baseline, source grid) into the snapshot
+//! keeper — by default an in-memory slot (the stand-in for a parallel
+//! file system), or, when [`ResilientConfig::ckpt_store`] or
+//! `FG_CKPT_DIR` is set, the durable, replicated, versioned
+//! [`fg_nn::CkptStore`]: atomic publishes, per-shard checksums,
+//! replica/parity reconstruction of lost shards, and fallback past
+//! unverifiable versions, so every rung's restore survives process
+//! death and storage damage. Because training is
 //! deterministic (fixed reduction orders in the collectives, replicated
 //! SGD) and the checkpoint round-trips state bitwise, a recovered run's
 //! loss trajectory is **bitwise identical** to an uninterrupted one at
@@ -85,10 +91,11 @@ use fg_comm::{
 };
 use fg_kernels::loss::Labels;
 use fg_nn::{
-    load_train_state, load_train_state_for, reshard_train_state, save_train_state, GuardState,
-    LayerParams, ReshardStats, Sgd, TrainState,
+    load_train_state, load_train_state_for, load_train_state_regrid, reshard_train_state,
+    save_train_state, CkptStore, GuardState, LayerParams, ReshardStats, Sgd, StoreConfig,
+    TrainState,
 };
-use fg_tensor::{RegridPlan, Shape4, Tensor};
+use fg_tensor::{ProcGrid, RegridPlan, Shape4, Tensor};
 
 use crate::executor::DistExecutor;
 use crate::guard::{GuardConfig, StepGuard};
@@ -206,6 +213,11 @@ pub struct ResilientConfig {
     /// re-decomposition, soft eviction). `None` falls back to the
     /// `FG_STRAGGLER` environment knob; unset disables the ladder.
     pub straggler: Option<StragglerConfig>,
+    /// Durable checkpoint store config; `None` falls back to the
+    /// `FG_CKPT_DIR`/`FG_CKPT_REPLICAS`/`FG_CKPT_KEEP` environment
+    /// knobs ([`StoreConfig::from_env`]); unset keeps the historical
+    /// in-memory single-slot snapshot store.
+    pub ckpt_store: Option<StoreConfig>,
 }
 
 impl Default for ResilientConfig {
@@ -219,6 +231,7 @@ impl Default for ResilientConfig {
             compute_fault: None,
             degrade: None,
             straggler: None,
+            ckpt_store: None,
         }
     }
 }
@@ -292,6 +305,33 @@ pub struct Rebalance {
     pub rebalance_s: f64,
 }
 
+/// What the snapshot path cost and recovered, for both backends (most
+/// fields are zero on the in-memory store, which has no shards, no
+/// versions, and no verification to fail).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SnapshotTelemetry {
+    /// True when snapshots went through the durable [`CkptStore`].
+    pub durable: bool,
+    /// Versions the store published.
+    pub versions_written: u64,
+    /// Serialized payload bytes of the most recent snapshot.
+    pub payload_bytes: u64,
+    /// Total bytes written (payload + redundancy + manifests).
+    pub bytes_written: u64,
+    /// Wall time spent persisting snapshots.
+    pub store_s: f64,
+    /// Wall time spent loading/verifying snapshots.
+    pub restore_s: f64,
+    /// Shards served from a replica or rebuilt from parity during
+    /// restores.
+    pub shards_reconstructed: u64,
+    /// Unverifiable versions skipped (fallbacks to older versions).
+    pub version_fallbacks: u64,
+    /// Store calls that failed with a genuine I/O error (counted, never
+    /// fatal: losing a snapshot must not kill the run it protects).
+    pub store_errors: u64,
+}
+
 /// What a resilient run did, beyond its result.
 #[derive(Debug, Clone)]
 pub struct ResilientReport {
@@ -335,6 +375,9 @@ pub struct ResilientReport {
     pub rank_time_ema: Vec<f64>,
     /// Per-rung recovery wall-time breakdown.
     pub rung_times: RungTimes,
+    /// Snapshot-path telemetry (bytes, durations, reconstruction and
+    /// fallback counts; see [`SnapshotTelemetry`]).
+    pub snapshot: SnapshotTelemetry,
 }
 
 /// Rank 0's channel to the driver for gray-failure measurements: the
@@ -357,6 +400,160 @@ struct PendingMitigation {
     at_step: u64,
 }
 
+/// The snapshot backend of a resilient run: the historical in-memory
+/// single-slot store (the stand-in for a parallel file system), or the
+/// durable, replicated, versioned [`CkptStore`].
+enum SnapBackend {
+    Memory(Mutex<Option<Vec<u8>>>),
+    Durable(Box<Mutex<CkptStore>>),
+}
+
+/// The snapshot keeper every rung of the ladder stores and restores
+/// through. The two backends carry different contracts: the in-memory
+/// slot keeps the historical behavior (it cannot be damaged, so a
+/// failed load is a programming error and panics), while the durable
+/// path **never panics** — damage is verified, repaired from
+/// redundancy, or fallen back past, and a store with nothing usable
+/// returns `None` (restart from scratch, recorded in telemetry).
+struct SnapKeeper {
+    backend: SnapBackend,
+    store_errors: AtomicU64,
+}
+
+impl SnapKeeper {
+    /// Resolve the backend: explicit [`ResilientConfig::ckpt_store`]
+    /// wins, the `FG_CKPT_DIR` environment knob is the fallback, the
+    /// in-memory slot the default. An unusable store directory is a
+    /// config error and fails fast, before any work exists to lose.
+    fn for_config(cfg: &ResilientConfig) -> SnapKeeper {
+        let backend = match cfg.ckpt_store.clone().or_else(StoreConfig::from_env) {
+            Some(sc) => SnapBackend::Durable(Box::new(Mutex::new(
+                CkptStore::create(sc)
+                    .unwrap_or_else(|e| panic!("durable checkpoint store unusable: {e}")),
+            ))),
+            None => SnapBackend::Memory(Mutex::new(None)),
+        };
+        SnapKeeper { backend, store_errors: AtomicU64::new(0) }
+    }
+
+    /// Persist a snapshot. A durable-store I/O failure is counted, not
+    /// fatal: losing one snapshot must not kill the run it protects.
+    fn save(&self, state: &TrainState) {
+        match &self.backend {
+            SnapBackend::Memory(slot) => {
+                let mut bytes = Vec::new();
+                save_train_state(&mut bytes, state).expect("serialize snapshot");
+                *slot.lock().expect("snapshot store") = Some(bytes);
+            }
+            SnapBackend::Durable(store) => {
+                if store.lock().expect("ckpt store").store(state).is_err() {
+                    self.store_errors.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// The newest verifiable snapshot, as stored (rollback restores
+    /// into the same world and grid).
+    fn load(&self) -> Option<TrainState> {
+        match &self.backend {
+            SnapBackend::Memory(slot) => {
+                slot.lock().expect("snapshot store").as_ref().map(|bytes| {
+                    load_train_state(&mut bytes.as_slice()).expect("snapshot readable")
+                })
+            }
+            SnapBackend::Durable(store) => {
+                store.lock().expect("ckpt store").load_latest().ok().map(|l| l.state)
+            }
+        }
+    }
+
+    /// The newest verifiable snapshot prepared for `grid`. The memory
+    /// slot keeps the grid-checked load (a mismatch there is a ladder
+    /// bug); the durable path self-heals instead — a fallback past a
+    /// post-shrink version can surface the pre-shrink grid, which is
+    /// re-sharded onto the current one rather than rejected.
+    fn load_for_grid(&self, grid: ProcGrid) -> Option<TrainState> {
+        match &self.backend {
+            SnapBackend::Memory(slot) => {
+                slot.lock().expect("snapshot store").as_ref().map(|bytes| {
+                    load_train_state_for(&mut bytes.as_slice(), grid)
+                        .expect("snapshot readable under the current grid")
+                })
+            }
+            SnapBackend::Durable(store) => {
+                let loaded = store.lock().expect("ckpt store").load_latest().ok()?;
+                if loaded.state.grid == Some(grid) {
+                    Some(loaded.state)
+                } else {
+                    Some(reshard_train_state(&loaded.state, grid).0)
+                }
+            }
+        }
+    }
+
+    /// Re-shard the stored snapshot onto `new_grid` through the
+    /// prepared regrid path ([`load_train_state_regrid`]) and persist
+    /// the result, so the next dispatch's restore sees the new layout.
+    /// On the durable store this is the reconstruct-then-regrid flow:
+    /// damaged shards of the source version are rebuilt from
+    /// redundancy before the re-shard, and the re-sharded state is
+    /// published as a fresh version.
+    fn reshard_to(&self, new_grid: ProcGrid) -> ReshardStats {
+        match &self.backend {
+            SnapBackend::Memory(slot) => {
+                let mut slot = slot.lock().expect("snapshot store");
+                let Some(bytes) = slot.as_ref() else { return ReshardStats::default() };
+                let (state, stats) = load_train_state_regrid(&mut bytes.as_slice(), new_grid)
+                    .expect("snapshot readable");
+                let mut out = Vec::new();
+                save_train_state(&mut out, &state).expect("serialize re-sharded snapshot");
+                *slot = Some(out);
+                stats
+            }
+            SnapBackend::Durable(store) => {
+                let mut store = store.lock().expect("ckpt store");
+                match store.load_latest_regrid(new_grid) {
+                    Ok((loaded, stats)) => {
+                        if store.store(&loaded.state).is_err() {
+                            self.store_errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                        stats
+                    }
+                    // Nothing verifiable to re-shard: the shrunken
+                    // world restarts from scratch (load_for_grid will
+                    // return None), recorded by the store's counters.
+                    Err(_) => ReshardStats::default(),
+                }
+            }
+        }
+    }
+
+    /// Snapshot-path telemetry for the report.
+    fn telemetry(&self) -> SnapshotTelemetry {
+        let store_errors = self.store_errors.load(Ordering::SeqCst);
+        match &self.backend {
+            SnapBackend::Memory(_) => {
+                SnapshotTelemetry { store_errors, ..SnapshotTelemetry::default() }
+            }
+            SnapBackend::Durable(store) => {
+                let c = store.lock().expect("ckpt store").counters();
+                SnapshotTelemetry {
+                    durable: true,
+                    versions_written: c.versions_written,
+                    payload_bytes: c.last_payload_bytes,
+                    bytes_written: c.bytes_written,
+                    store_s: c.store_nanos as f64 * 1e-9,
+                    restore_s: c.restore_nanos as f64 * 1e-9,
+                    shards_reconstructed: c.shards_reconstructed,
+                    version_fallbacks: c.version_fallbacks,
+                    store_errors,
+                }
+            }
+        }
+    }
+}
+
 /// Everything one attempt's rank bodies share, bundled so the per-rank
 /// training loop can be generic over the communicator stack (plain
 /// faulty, or integrity-over-faulty).
@@ -371,7 +568,7 @@ struct Attempt<'a> {
     attempt: usize,
     resume: &'a Option<TrainState>,
     start_step: u64,
-    store: &'a Mutex<Option<Vec<u8>>>,
+    keeper: &'a SnapKeeper,
     snap_step: &'a AtomicU64,
     snapshots: &'a AtomicU64,
     furthest: &'a AtomicU64,
@@ -407,9 +604,7 @@ fn store_snapshot(
         guard: guard.map(|g| g.state()).unwrap_or_default(),
         grid: Some(a.exec.strategy.grids[0]),
     };
-    let mut bytes = Vec::new();
-    save_train_state(&mut bytes, &state).expect("serialize snapshot");
-    *a.store.lock().expect("snapshot store") = Some(bytes);
+    a.keeper.save(&state);
     a.snap_step.store(step, Ordering::SeqCst);
     a.snapshots.fetch_add(1, Ordering::SeqCst);
 }
@@ -545,12 +740,7 @@ fn run_rank<C: Communicator>(a: &Attempt<'_>, comm: &C) -> RankResult {
             });
         }
         let t_rollback = Instant::now();
-        let snap: Option<TrainState> = a
-            .store
-            .lock()
-            .expect("snapshot store")
-            .as_ref()
-            .map(|bytes| load_train_state(&mut bytes.as_slice()).expect("snapshot readable"));
+        let snap: Option<TrainState> = a.keeper.load();
         let restore_step = snap.as_ref().map_or(0, |s| s.step);
         if comm.rank() == 0 {
             a.rollbacks.fetch_add(1, Ordering::SeqCst);
@@ -610,9 +800,10 @@ pub fn resilient_train(
 ) -> ResilientReport {
     assert!(cfg.ckpt_every > 0, "checkpoint interval must be positive");
     let mut world = exec.strategy.world_size();
-    // The snapshot store: rank 0's serialized TrainState. In-memory
-    // stand-in for a checkpoint file on a parallel file system.
-    let store: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    // The snapshot keeper: rank 0's serialized TrainState, held in the
+    // in-memory slot (the stand-in for a parallel file system) or the
+    // durable versioned store when one is configured.
+    let keeper = SnapKeeper::for_config(cfg);
     // Step of the snapshot currently in the store (0 = none yet).
     let snap_step = AtomicU64::new(0);
     let snapshots = AtomicU64::new(0);
@@ -661,11 +852,7 @@ pub fn resilient_train(
         // initial state when no snapshot exists yet). The grid-checked
         // load is the ladder's own guard against resuming a snapshot
         // that was never re-sharded for the current layout.
-        let resume: Option<TrainState> =
-            store.lock().expect("snapshot store").as_ref().map(|bytes| {
-                load_train_state_for(&mut bytes.as_slice(), cur_grid)
-                    .expect("snapshot readable under the current grid")
-            });
+        let resume: Option<TrainState> = keeper.load_for_grid(cur_grid);
         let start_step = resume.as_ref().map_or(0, |s| s.step);
         // Furthest step completed within this attempt (rank 0's view).
         let furthest = AtomicU64::new(start_step);
@@ -680,7 +867,7 @@ pub fn resilient_train(
             attempt,
             resume: &resume,
             start_step,
-            store: &store,
+            keeper: &keeper,
             snap_step: &snap_step,
             snapshots: &snapshots,
             furthest: &furthest,
@@ -745,6 +932,7 @@ pub fn resilient_train(
                         degrade_s: degrade_nanos as f64 * 1e-9,
                         rebalance_s: rebalance_nanos as f64 * 1e-9,
                     },
+                    snapshot: keeper.telemetry(),
                 };
             }
             Some(err) => {
@@ -863,23 +1051,12 @@ pub fn resilient_train(
                         failures.iter().map(|e| e.to_string()).collect::<Vec<_>>()
                     );
                 };
-                // Re-shard the snapshot onto the new grid so the next
-                // dispatch's grid-checked restore accepts it.
+                // Re-shard the snapshot onto the new grid (through the
+                // prepared regrid path; reconstruct-then-regrid on the
+                // durable store) so the next dispatch's grid-checked
+                // restore accepts it.
                 let reshard_t = Instant::now();
-                let mut reshard_stats = ReshardStats::default();
-                {
-                    let mut slot = store.lock().expect("snapshot store");
-                    if let Some(bytes) = slot.as_ref() {
-                        let state =
-                            load_train_state(&mut bytes.as_slice()).expect("snapshot readable");
-                        let (resharded, rs) = reshard_train_state(&state, shrink.strategy.grids[0]);
-                        reshard_stats = rs;
-                        let mut out = Vec::new();
-                        save_train_state(&mut out, &resharded)
-                            .expect("serialize re-sharded snapshot");
-                        *slot = Some(out);
-                    }
-                }
+                let reshard_stats = keeper.reshard_to(shrink.strategy.grids[0]);
                 active_plan = active_plan.persistent().restrict_to_survivors(&shrink.keep);
                 degradations.push(Degradation {
                     from_world: world,

@@ -1,0 +1,1500 @@
+//! Durable, replicated, versioned checkpoint store.
+//!
+//! Every rung of the recovery ladder bottoms out in "read the last
+//! snapshot" — which is only as trustworthy as the bytes on disk. This
+//! module makes that trust *earned*: a [`CkptStore`] holds N versions of
+//! a serialized [`TrainState`], each published atomically (write into a
+//! temp directory, fsync, rename — a crash at any point leaves either
+//! the whole version or none of it), each described by a CRC-protected
+//! manifest, and each split into per-rank byte shards with configurable
+//! redundancy so a *permanently lost* shard is reconstructable instead
+//! of fatal.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   v00000001/
+//!     manifest.bin          # FGMANI01: lengths + FNV-1a checksums of everything below
+//!     shard_000.bin         # byte-range shard of the FGCKPT03 payload
+//!     shard_000.r1.bin      # replica of shard 0 (Redundancy::Replicas)
+//!     parity_000.bin        # XOR parity over a shard group (Redundancy::Parity)
+//!   v00000002/ ...
+//!   .tmp.v00000003.17/      # a commit that crashed before rename: invisible, swept
+//! ```
+//!
+//! The payload is the ordinary [`save_train_state`] stream (FGCKPT03
+//! when grid-tagged), chunked into `world` contiguous byte shards —
+//! shard *i* is "rank *i*'s slab" of the checkpoint, the piece that
+//! dies with rank *i*'s local storage on a machine where each rank
+//! writes its own file. Redundancy is byte-level and therefore format
+//! oblivious:
+//!
+//! * [`Redundancy::Replicas`]`(k)` — shard *i* is also written as
+//!   `shard_i.r1..rk`, notionally placed on the k ring-neighbor peers
+//!   `(i+1)%W .. (i+k)%W` (one filesystem here, so placement is a
+//!   naming convention; the failure model — lose any one primary — is
+//!   the same).
+//! * [`Redundancy::Parity`]`{ group }` — shards are grouped in runs of
+//!   `group`; each group gets one XOR parity file, so any **one** lost
+//!   or corrupt shard per group is reconstructable at `1/group` space
+//!   overhead.
+//!
+//! ## Verification and fallback
+//!
+//! Loads verify everything they touch: manifest CRC, per-shard length
+//! (a short file is a *torn write*, [`CheckpointError::Torn`]) and
+//! checksum ([`CheckpointError::Corrupt`]), reassembled-payload
+//! checksum. A shard that fails is repaired from a replica or parity
+//! group (counted in [`RecoveryNotes`]); a version that cannot be
+//! repaired is rejected with the typed error, and [`CkptStore::load_latest`]
+//! falls back to the next older version, recording a [`VersionFallback`]
+//! per rejection — recovery always resumes from the **newest
+//! verifiable** version, never panics, and never resumes stale state
+//! *silently*. [`CkptStore::load_latest_strict`] turns a fallback into
+//! the typed [`CheckpointError::Stale`] for callers that must have the
+//! newest write. [`CkptStore::scrub`] runs the same verification over
+//! every version at rest and writes repaired bytes back atomically.
+//!
+//! ## Storage chaos
+//!
+//! [`StorageFaultPlan`] injects the failure modes this design exists
+//! for — torn writes at seeded random offsets, single-bit flips,
+//! deleted shard files, and crash-before-rename — deterministically
+//! (seeded, like `fg-comm`'s `FaultPlan`), at the byte layer *below*
+//! every checksum, so the chaos tests exercise exactly the recovery
+//! machinery a real storage failure would.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use fg_tensor::ProcGrid;
+
+use crate::params_io::{
+    load_train_state, load_train_state_regrid, save_train_state, CheckpointError, ReshardStats,
+    TrainState,
+};
+
+/// Magic of a version manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"FGMANI01";
+/// Manifest file name within a version directory.
+const MANIFEST_NAME: &str = "manifest.bin";
+
+/// How a version's shards are made redundant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redundancy {
+    /// No redundancy: any lost shard loses the version.
+    None,
+    /// Each shard is copied to its `k` ring-neighbor peers (space
+    /// overhead `k×`; survives any `k` lost primaries, and up to `k`
+    /// failures per shard).
+    Replicas(usize),
+    /// One XOR parity file per run of `group` shards (space overhead
+    /// `1/group`; survives one lost shard per group).
+    Parity {
+        /// Shards per parity group (≥ 2).
+        group: usize,
+    },
+}
+
+impl Redundancy {
+    fn tag(&self) -> (u8, u64) {
+        match self {
+            Redundancy::None => (0, 0),
+            Redundancy::Replicas(k) => (1, *k as u64),
+            Redundancy::Parity { group } => (2, *group as u64),
+        }
+    }
+
+    fn from_tag(tag: u8, param: u64) -> Option<Redundancy> {
+        match tag {
+            0 => Some(Redundancy::None),
+            1 => Some(Redundancy::Replicas(param as usize)),
+            2 => Some(Redundancy::Parity { group: (param as usize).max(2) }),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a [`CkptStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Root directory; created if absent.
+    pub dir: PathBuf,
+    /// Redundancy applied to every stored version.
+    pub redundancy: Redundancy,
+    /// Keep the newest `retention` versions (≥ 1); older ones are
+    /// pruned after each successful publish.
+    pub retention: usize,
+    /// Seeded storage-fault injection; `None` writes faithfully.
+    pub faults: Option<StorageFaultPlan>,
+}
+
+impl StoreConfig {
+    /// A store at `dir` with the defaults: one ring replica per shard,
+    /// four retained versions, no injected faults.
+    pub fn at(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            redundancy: Redundancy::Replicas(1),
+            retention: 4,
+            faults: None,
+        }
+    }
+
+    /// Set the redundancy mode.
+    pub fn redundancy(mut self, r: Redundancy) -> StoreConfig {
+        self.redundancy = r;
+        self
+    }
+
+    /// Set the retention depth (clamped to ≥ 1).
+    pub fn retention(mut self, n: usize) -> StoreConfig {
+        self.retention = n.max(1);
+        self
+    }
+
+    /// Attach a storage-fault plan.
+    pub fn faults(mut self, plan: StorageFaultPlan) -> StoreConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Read the environment knobs: `FG_CKPT_DIR` (root; required for
+    /// `Some`), `FG_CKPT_REPLICAS` (ring replicas per shard, default 1;
+    /// 0 disables redundancy), `FG_CKPT_KEEP` (retention, default 4).
+    pub fn from_env() -> Option<StoreConfig> {
+        let dir = std::env::var("FG_CKPT_DIR").ok().filter(|d| !d.is_empty())?;
+        let replicas = std::env::var("FG_CKPT_REPLICAS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        let keep =
+            std::env::var("FG_CKPT_KEEP").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+        let redundancy =
+            if replicas == 0 { Redundancy::None } else { Redundancy::Replicas(replicas) };
+        Some(StoreConfig::at(dir).redundancy(redundancy).retention(keep))
+    }
+}
+
+/// Seeded, deterministic storage-fault injection: which write gets
+/// torn, which file gets a bit flipped, which shard disappears, and
+/// which commit "crashes" before its publishing rename. Draws are keyed
+/// on `(seed, store-call index, file role)` so a schedule replays
+/// identically regardless of timing — the property every pinned-seed
+/// chaos test relies on.
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultPlan {
+    seed: u64,
+    /// Probability a written file is truncated at a random offset.
+    torn_rate: f64,
+    /// Probability a written file gets one random bit flipped.
+    flip_rate: f64,
+    /// Probability a published shard file is deleted after commit.
+    delete_rate: f64,
+    /// Probability a commit stops just before the publishing rename.
+    crash_rate: f64,
+    /// Targeted: tear the write of shard `.1` on store call `.0`.
+    torn_at: Vec<(u64, usize)>,
+    /// Targeted: flip a bit in shard `.1` on store call `.0`.
+    flip_at: Vec<(u64, usize)>,
+    /// Targeted: delete shard `.1` after the commit of store call `.0`.
+    delete_at: Vec<(u64, usize)>,
+    /// Targeted: crash store call `n` before its rename.
+    crash_at: Vec<u64>,
+}
+
+/// File roles a fault draw can target, mixed into the PRNG key so each
+/// file of a commit faults independently.
+#[derive(Debug, Clone, Copy)]
+enum FileRole {
+    Shard(usize),
+    Parity(usize),
+    Replica(usize, usize),
+    Manifest,
+}
+
+impl FileRole {
+    fn code(&self) -> u64 {
+        match self {
+            FileRole::Shard(i) => 1 + ((*i as u64) << 3),
+            FileRole::Parity(j) => 2 + ((*j as u64) << 3),
+            FileRole::Replica(i, m) => 3 + ((*i as u64) << 3) + ((*m as u64) << 34),
+            FileRole::Manifest => 4,
+        }
+    }
+}
+
+impl StorageFaultPlan {
+    /// A transparent plan with the given seed; add faults with the
+    /// builder methods.
+    pub fn new(seed: u64) -> StorageFaultPlan {
+        StorageFaultPlan { seed, ..Default::default() }
+    }
+
+    /// Tear (truncate at a seeded random offset) each written file with
+    /// probability `rate`.
+    pub fn torn_write_rate(mut self, rate: f64) -> StorageFaultPlan {
+        self.torn_rate = rate;
+        self
+    }
+
+    /// Flip one seeded random bit in each written file with probability
+    /// `rate`.
+    pub fn bit_flip_rate(mut self, rate: f64) -> StorageFaultPlan {
+        self.flip_rate = rate;
+        self
+    }
+
+    /// Delete each published shard file with probability `rate`.
+    pub fn delete_rate(mut self, rate: f64) -> StorageFaultPlan {
+        self.delete_rate = rate;
+        self
+    }
+
+    /// "Crash" each commit (skip the publishing rename, leaving only
+    /// the invisible temp directory) with probability `rate`.
+    pub fn crash_before_rename_rate(mut self, rate: f64) -> StorageFaultPlan {
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Tear the write of shard `shard` on the `nth` store call
+    /// (0-based).
+    pub fn torn_write_at(mut self, nth: u64, shard: usize) -> StorageFaultPlan {
+        self.torn_at.push((nth, shard));
+        self
+    }
+
+    /// Flip a bit in shard `shard` on the `nth` store call.
+    pub fn bit_flip_at(mut self, nth: u64, shard: usize) -> StorageFaultPlan {
+        self.flip_at.push((nth, shard));
+        self
+    }
+
+    /// Delete the primary file of shard `shard` right after the `nth`
+    /// store call publishes.
+    pub fn delete_shard_at(mut self, nth: u64, shard: usize) -> StorageFaultPlan {
+        self.delete_at.push((nth, shard));
+        self
+    }
+
+    /// Crash the `nth` store call before its publishing rename.
+    pub fn crash_before_rename_at(mut self, nth: u64) -> StorageFaultPlan {
+        self.crash_at.push(nth);
+        self
+    }
+
+    /// True when the plan can never fire.
+    pub fn is_transparent(&self) -> bool {
+        self.torn_rate == 0.0
+            && self.flip_rate == 0.0
+            && self.delete_rate == 0.0
+            && self.crash_rate == 0.0
+            && self.torn_at.is_empty()
+            && self.flip_at.is_empty()
+            && self.delete_at.is_empty()
+            && self.crash_at.is_empty()
+    }
+
+    fn draw(&self, call: u64, role_code: u64, salt: u64) -> u64 {
+        splitmix64(
+            self.seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ role_code.rotate_left(17) ^ salt,
+        )
+    }
+
+    fn unit(&self, call: u64, role_code: u64, salt: u64) -> f64 {
+        (self.draw(call, role_code, salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// What (if anything) happens to the bytes of `role` on store call
+    /// `call` before they hit disk.
+    fn write_fault(&self, call: u64, role: FileRole, len: usize) -> Option<WriteFault> {
+        if len == 0 {
+            return None;
+        }
+        let shard = match role {
+            FileRole::Shard(i) => Some(i),
+            _ => None,
+        };
+        let targeted_torn = shard.is_some_and(|s| self.torn_at.contains(&(call, s)));
+        let targeted_flip = shard.is_some_and(|s| self.flip_at.contains(&(call, s)));
+        let code = role.code();
+        if targeted_torn || self.unit(call, code, 1) < self.torn_rate {
+            // Tear strictly inside the file so the truncation is real.
+            return Some(WriteFault::Torn(self.draw(call, code, 2) as usize % len));
+        }
+        if targeted_flip || self.unit(call, code, 3) < self.flip_rate {
+            return Some(WriteFault::BitFlip(self.draw(call, code, 4) as usize % (len * 8)));
+        }
+        None
+    }
+
+    fn delete_fault(&self, call: u64, shard: usize) -> bool {
+        self.delete_at.contains(&(call, shard))
+            || self.unit(call, FileRole::Shard(shard).code(), 5) < self.delete_rate
+    }
+
+    fn crash_fault(&self, call: u64) -> bool {
+        self.crash_at.contains(&call) || self.unit(call, 0, 6) < self.crash_rate
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WriteFault {
+    /// Truncate the file at this byte offset.
+    Torn(usize),
+    /// Flip this bit index.
+    BitFlip(usize),
+}
+
+/// SplitMix64 — the same tiny deterministic generator the comm fault
+/// plan uses for its rate draws.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice — the store's integrity checksum (same
+/// family as the comm layer's envelope checksums).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A version's manifest: what must exist and what it must hash to.
+#[derive(Debug, Clone)]
+struct Manifest {
+    version: u64,
+    step: u64,
+    grid: Option<ProcGrid>,
+    redundancy: Redundancy,
+    payload_len: u64,
+    payload_checksum: u64,
+    /// Per-shard (length, checksum).
+    shards: Vec<(u64, u64)>,
+    /// Per-parity-file (length, checksum); empty unless parity mode.
+    parity: Vec<(u64, u64)>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MANIFEST_MAGIC);
+        // Placeholder for total_len, patched below.
+        body.extend_from_slice(&0u64.to_le_bytes());
+        for v in [self.version, self.step] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        let dims = self.grid.map(|g| g.dims()).unwrap_or([0, 0, 0, 0]);
+        for d in dims {
+            body.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        let (tag, param) = self.redundancy.tag();
+        body.push(tag);
+        body.extend_from_slice(&param.to_le_bytes());
+        body.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        body.extend_from_slice(&self.payload_len.to_le_bytes());
+        body.extend_from_slice(&self.payload_checksum.to_le_bytes());
+        for &(len, sum) in &self.shards {
+            body.extend_from_slice(&len.to_le_bytes());
+            body.extend_from_slice(&sum.to_le_bytes());
+        }
+        body.extend_from_slice(&(self.parity.len() as u64).to_le_bytes());
+        for &(len, sum) in &self.parity {
+            body.extend_from_slice(&len.to_le_bytes());
+            body.extend_from_slice(&sum.to_le_bytes());
+        }
+        let total = (body.len() + 8) as u64;
+        body[8..16].copy_from_slice(&total.to_le_bytes());
+        let crc = fnv1a64(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        body
+    }
+
+    /// Decode and verify a manifest file's bytes. `version` and `path`
+    /// feed the typed errors.
+    fn decode(bytes: &[u8], version: u64, path: &Path) -> Result<Manifest, CheckpointError> {
+        let torn = |expected: u64| CheckpointError::Torn {
+            path: path.to_path_buf(),
+            version,
+            shard: None,
+            expected,
+            actual: bytes.len() as u64,
+        };
+        let corrupt =
+            || CheckpointError::Corrupt { path: path.to_path_buf(), version, shard: None };
+        if bytes.len() < 16 {
+            return Err(torn(16));
+        }
+        if &bytes[..8] != MANIFEST_MAGIC {
+            return Err(corrupt());
+        }
+        let total = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        match (bytes.len() as u64).cmp(&total) {
+            std::cmp::Ordering::Less => return Err(torn(total)),
+            std::cmp::Ordering::Greater => return Err(corrupt()),
+            std::cmp::Ordering::Equal => {}
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 8);
+        let crc = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+        if fnv1a64(body) != crc {
+            return Err(corrupt());
+        }
+        // Past the CRC the structure is trustworthy; decode plainly.
+        let mut r = &body[16..];
+        let u = |r: &mut &[u8]| -> u64 {
+            let (head, tail) = r.split_at(8);
+            *r = tail;
+            u64::from_le_bytes(head.try_into().expect("8 bytes"))
+        };
+        let v = u(&mut r);
+        let step = u(&mut r);
+        let dims = [u(&mut r), u(&mut r), u(&mut r), u(&mut r)];
+        let grid = if dims.iter().all(|&d| d > 0) {
+            Some(ProcGrid::new(
+                dims[0] as usize,
+                dims[1] as usize,
+                dims[2] as usize,
+                dims[3] as usize,
+            ))
+        } else {
+            None
+        };
+        let (tag, rest) = r.split_first().expect("redundancy tag");
+        r = rest;
+        let param = u(&mut r);
+        let redundancy = Redundancy::from_tag(*tag, param).ok_or_else(corrupt)?;
+        let n_shards = u(&mut r) as usize;
+        let payload_len = u(&mut r);
+        let payload_checksum = u(&mut r);
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push((u(&mut r), u(&mut r)));
+        }
+        let n_parity = u(&mut r) as usize;
+        let mut parity = Vec::with_capacity(n_parity);
+        for _ in 0..n_parity {
+            parity.push((u(&mut r), u(&mut r)));
+        }
+        Ok(Manifest {
+            version: v,
+            step,
+            grid,
+            redundancy,
+            payload_len,
+            payload_checksum,
+            shards,
+            parity,
+        })
+    }
+}
+
+/// Where a repaired shard's good bytes came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSource {
+    /// Ring replica `m` (1-based).
+    Replica(usize),
+    /// XOR of the parity file with the group's surviving shards.
+    Parity,
+}
+
+/// One shard that had to be reconstructed during a load.
+#[derive(Debug, Clone)]
+pub struct ReconstructedShard {
+    /// Shard index.
+    pub shard: usize,
+    /// Which redundancy mechanism supplied the bytes.
+    pub source: RepairSource,
+}
+
+/// Why a newer version was passed over during [`CkptStore::load_latest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackKind {
+    /// Torn write (file shorter than the manifest records).
+    Torn,
+    /// Checksum mismatch.
+    Corrupt,
+    /// Required file absent and unreconstructable.
+    Missing,
+    /// Payload verified but records a poisoned (non-finite) state.
+    Poisoned,
+    /// Any other structural failure.
+    Io,
+}
+
+impl FallbackKind {
+    fn of(e: &CheckpointError) -> FallbackKind {
+        match e {
+            CheckpointError::Torn { .. } => FallbackKind::Torn,
+            CheckpointError::Corrupt { .. } => FallbackKind::Corrupt,
+            CheckpointError::Missing { .. } => FallbackKind::Missing,
+            CheckpointError::PoisonedLoss { .. } => FallbackKind::Poisoned,
+            _ => FallbackKind::Io,
+        }
+    }
+}
+
+/// One version rejected on the way to the newest verifiable one.
+#[derive(Debug, Clone)]
+pub struct VersionFallback {
+    /// The rejected version.
+    pub version: u64,
+    /// Failure class.
+    pub kind: FallbackKind,
+    /// The typed error's operator-facing message (path, shard, sizes).
+    pub detail: String,
+}
+
+/// What a load had to do beyond reading primary files.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryNotes {
+    /// Shards rebuilt from replicas or parity, in shard order.
+    pub reconstructed: Vec<ReconstructedShard>,
+    /// Newer versions rejected (newest first) before one verified.
+    pub fallbacks: Vec<VersionFallback>,
+}
+
+/// A successfully loaded checkpoint.
+#[derive(Debug, Clone)]
+pub struct LoadedCkpt {
+    /// The verified, reassembled training state.
+    pub state: TrainState,
+    /// The store version it came from.
+    pub version: u64,
+    /// Repairs and fallbacks performed to get it.
+    pub notes: RecoveryNotes,
+}
+
+/// What one [`CkptStore::store`] call wrote.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreReceipt {
+    /// Version number assigned (monotonic; never reused, even by a
+    /// crashed commit).
+    pub version: u64,
+    /// Serialized checkpoint payload bytes.
+    pub payload_bytes: u64,
+    /// Total bytes written including shards, redundancy, and manifest.
+    pub bytes_written: u64,
+    /// Number of primary shards.
+    pub shards: usize,
+    /// Wall time of the store call.
+    pub wall_s: f64,
+}
+
+/// Result of a [`CkptStore::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Versions examined.
+    pub versions: usize,
+    /// Versions whose every file verified (after any repairs).
+    pub verified: usize,
+    /// Files found damaged or missing (primaries, replicas, parity).
+    pub corrupt_files: usize,
+    /// Files rewritten with good bytes recovered via redundancy.
+    pub repaired_files: usize,
+    /// Versions left unverifiable (redundancy could not cover the
+    /// damage); `load_latest` will skip them.
+    pub unrecoverable: Vec<u64>,
+}
+
+/// Cumulative telemetry of a store's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreCounters {
+    /// Successful (published) store calls.
+    pub versions_written: u64,
+    /// Commits that "crashed" before their rename (fault injection).
+    pub crashed_commits: u64,
+    /// Total bytes written (payload + redundancy + manifests).
+    pub bytes_written: u64,
+    /// Payload bytes of the most recent store call.
+    pub last_payload_bytes: u64,
+    /// Wall time spent in store calls.
+    pub store_nanos: u64,
+    /// Wall time spent in load calls.
+    pub restore_nanos: u64,
+    /// Shards served from a replica or rebuilt from parity.
+    pub shards_reconstructed: u64,
+    /// Versions skipped by fallback during loads.
+    pub version_fallbacks: u64,
+    /// Versions pruned by retention.
+    pub pruned_versions: u64,
+    /// Files repaired in place by scrubs.
+    pub scrub_repaired: u64,
+    /// Damaged files found by scrubs.
+    pub scrub_corrupt: u64,
+}
+
+/// The durable checkpoint store. Single-writer (the driver), many
+/// readers; all methods take `&mut self` because counters and the fault
+/// clock advance on every call.
+#[derive(Debug)]
+pub struct CkptStore {
+    cfg: StoreConfig,
+    next_version: u64,
+    /// Store-call clock for fault draws (counts every call, crashed or
+    /// not, so targeted faults address calls deterministically).
+    calls: u64,
+    counters: StoreCounters,
+}
+
+impl CkptStore {
+    /// Create (or re-open) the store rooted at `cfg.dir`, sweeping any
+    /// temp directories a crashed commit left behind.
+    pub fn create(cfg: StoreConfig) -> Result<CkptStore, CheckpointError> {
+        let cfg = StoreConfig { retention: cfg.retention.max(1), ..cfg };
+        fs::create_dir_all(&cfg.dir).map_err(|e| CheckpointError::io_at(&cfg.dir, e))?;
+        let mut store = CkptStore { cfg, next_version: 1, calls: 0, counters: Default::default() };
+        store.sweep_tmp();
+        store.next_version = store.versions().last().copied().unwrap_or(0) + 1;
+        Ok(store)
+    }
+
+    /// Re-open an existing store with default knobs (the durable state
+    /// is self-describing: each manifest records its own redundancy, so
+    /// reads never depend on the opener's config).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CkptStore, CheckpointError> {
+        CkptStore::create(StoreConfig::at(dir))
+    }
+
+    /// Root directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Lifetime telemetry.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// Published versions, ascending.
+    pub fn versions(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let Ok(rd) = fs::read_dir(&self.cfg.dir) else { return out };
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix('v') {
+                if let Ok(v) = num.parse::<u64>() {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn version_dir(&self, version: u64) -> PathBuf {
+        self.cfg.dir.join(format!("v{version:08}"))
+    }
+
+    fn sweep_tmp(&self) {
+        if let Ok(rd) = fs::read_dir(&self.cfg.dir) {
+            for entry in rd.flatten() {
+                if entry.file_name().to_string_lossy().starts_with(".tmp.") {
+                    let _ = fs::remove_dir_all(entry.path());
+                }
+            }
+        }
+    }
+
+    /// Serialize and durably publish `state` as a new version: shards +
+    /// redundancy + manifest written into a temp directory, fsynced,
+    /// then atomically renamed into place; retention pruning follows.
+    /// Injected storage faults corrupt the bytes *silently* (the damage
+    /// is discovered by verification at load/scrub time, as on a real
+    /// machine) — an `Err` here is a genuine I/O failure.
+    pub fn store(&mut self, state: &TrainState) -> Result<StoreReceipt, CheckpointError> {
+        let t0 = std::time::Instant::now();
+        let call = self.calls;
+        self.calls += 1;
+        let version = self.next_version;
+        self.next_version += 1;
+
+        let mut payload = Vec::new();
+        save_train_state(&mut payload, state).map_err(CheckpointError::from)?;
+        let world = state.grid.map(|g| g.size()).unwrap_or(1).max(1);
+        let chunk = payload.len().div_ceil(world).max(1);
+        let shards: Vec<&[u8]> = (0..world)
+            .map(|i| {
+                let lo = (i * chunk).min(payload.len());
+                let hi = ((i + 1) * chunk).min(payload.len());
+                &payload[lo..hi]
+            })
+            .collect();
+
+        let tmp = self.cfg.dir.join(format!(".tmp.v{version:08}.{call}"));
+        fs::create_dir_all(&tmp).map_err(|e| CheckpointError::io_at(&tmp, e))?;
+        let mut bytes_written = 0u64;
+        let mut write =
+            |name: String, bytes: &[u8], role: FileRole| -> Result<(), CheckpointError> {
+                let path = tmp.join(name);
+                let fault =
+                    self.cfg.faults.as_ref().and_then(|p| p.write_fault(call, role, bytes.len()));
+                bytes_written += write_faulty(&path, bytes, fault)?;
+                Ok(())
+            };
+
+        let mut manifest = Manifest {
+            version,
+            step: state.step,
+            grid: state.grid,
+            redundancy: self.cfg.redundancy,
+            payload_len: payload.len() as u64,
+            payload_checksum: fnv1a64(&payload),
+            shards: shards.iter().map(|s| (s.len() as u64, fnv1a64(s))).collect(),
+            parity: Vec::new(),
+        };
+        for (i, shard) in shards.iter().enumerate() {
+            write(shard_name(i, 0), shard, FileRole::Shard(i))?;
+        }
+        match self.cfg.redundancy {
+            Redundancy::None => {}
+            Redundancy::Replicas(k) => {
+                for (i, shard) in shards.iter().enumerate() {
+                    for m in 1..=k {
+                        write(shard_name(i, m), shard, FileRole::Replica(i, m))?;
+                    }
+                }
+            }
+            Redundancy::Parity { group } => {
+                let group = group.max(2);
+                for (j, run) in shards.chunks(group).enumerate() {
+                    let p = xor_parity(run);
+                    manifest.parity.push((p.len() as u64, fnv1a64(&p)));
+                    write(parity_name(j), &p, FileRole::Parity(j))?;
+                }
+            }
+        }
+        let mbytes = manifest.encode();
+        write(MANIFEST_NAME.to_string(), &mbytes, FileRole::Manifest)?;
+        sync_dir(&tmp)?;
+
+        if self.cfg.faults.as_ref().is_some_and(|p| p.crash_fault(call)) {
+            // Crash window: everything was written but the version was
+            // never published. The caller does not learn this — a real
+            // crash would have taken the process with it.
+            self.counters.crashed_commits += 1;
+            self.counters.store_nanos += t0.elapsed().as_nanos() as u64;
+            return Ok(StoreReceipt {
+                version,
+                payload_bytes: payload.len() as u64,
+                bytes_written,
+                shards: world,
+                wall_s: t0.elapsed().as_secs_f64(),
+            });
+        }
+
+        let final_dir = self.version_dir(version);
+        fs::rename(&tmp, &final_dir).map_err(|e| CheckpointError::io_at(&final_dir, e))?;
+        sync_dir(&self.cfg.dir)?;
+
+        // Post-publish deletions (a shard lost after a healthy write —
+        // the "rank's local disk died" model).
+        if let Some(plan) = self.cfg.faults.clone() {
+            for i in 0..world {
+                if plan.delete_fault(call, i) {
+                    let _ = fs::remove_file(final_dir.join(shard_name(i, 0)));
+                }
+            }
+        }
+
+        // Retention: drop the oldest beyond the configured depth.
+        let versions = self.versions();
+        if versions.len() > self.cfg.retention {
+            for &old in &versions[..versions.len() - self.cfg.retention] {
+                if fs::remove_dir_all(self.version_dir(old)).is_ok() {
+                    self.counters.pruned_versions += 1;
+                }
+            }
+        }
+
+        self.counters.versions_written += 1;
+        self.counters.bytes_written += bytes_written;
+        self.counters.last_payload_bytes = payload.len() as u64;
+        self.counters.store_nanos += t0.elapsed().as_nanos() as u64;
+        Ok(StoreReceipt {
+            version,
+            payload_bytes: payload.len() as u64,
+            bytes_written,
+            shards: world,
+            wall_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Load and fully verify one version, reconstructing damaged shards
+    /// from redundancy where possible.
+    pub fn load_version(&mut self, version: u64) -> Result<LoadedCkpt, CheckpointError> {
+        let t0 = std::time::Instant::now();
+        let result = self.load_version_inner(version);
+        self.counters.restore_nanos += t0.elapsed().as_nanos() as u64;
+        match result {
+            Ok((state, notes)) => {
+                self.counters.shards_reconstructed += notes.reconstructed.len() as u64;
+                Ok(LoadedCkpt { state, version, notes })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn load_version_inner(
+        &self,
+        version: u64,
+    ) -> Result<(TrainState, RecoveryNotes), CheckpointError> {
+        let (payload, _, notes) = self.load_version_bytes(version)?;
+        let state = load_train_state(&mut payload.as_slice())?;
+        Ok((state, notes))
+    }
+
+    /// The verified payload bytes of `version` (with repair notes) —
+    /// the shared substrate of every load flavor.
+    fn load_version_bytes(
+        &self,
+        version: u64,
+    ) -> Result<(Vec<u8>, Manifest, RecoveryNotes), CheckpointError> {
+        let dir = self.version_dir(version);
+        let mpath = dir.join(MANIFEST_NAME);
+        let mbytes = read_file(&mpath, version, None)?;
+        let manifest = Manifest::decode(&mbytes, version, &mpath)?;
+        let mut notes = RecoveryNotes::default();
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(manifest.shards.len());
+        let mut pending_parity: Vec<usize> = Vec::new();
+        for i in 0..manifest.shards.len() {
+            match self.read_shard(&dir, &manifest, i, &mut notes) {
+                Ok(bytes) => shards.push(bytes),
+                Err(e) => {
+                    if matches!(manifest.redundancy, Redundancy::Parity { .. }) {
+                        pending_parity.push(i);
+                        shards.push(Vec::new());
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        if !pending_parity.is_empty() {
+            self.parity_reconstruct(&dir, &manifest, &mut shards, &pending_parity, &mut notes)?;
+        }
+        let payload: Vec<u8> = shards.concat();
+        if payload.len() as u64 != manifest.payload_len
+            || fnv1a64(&payload) != manifest.payload_checksum
+        {
+            return Err(CheckpointError::Corrupt { path: mpath, version, shard: None });
+        }
+        Ok((payload, manifest, notes))
+    }
+
+    /// Shard `i` via primary, then replicas. The returned error is the
+    /// *primary's* failure (the most actionable one).
+    fn read_shard(
+        &self,
+        dir: &Path,
+        manifest: &Manifest,
+        i: usize,
+        notes: &mut RecoveryNotes,
+    ) -> Result<Vec<u8>, CheckpointError> {
+        let (want_len, want_sum) = manifest.shards[i];
+        let verify = |bytes: &[u8]| bytes.len() as u64 == want_len && fnv1a64(bytes) == want_sum;
+        let ppath = dir.join(shard_name(i, 0));
+        let primary_err = match read_file(&ppath, manifest.version, Some(i)) {
+            Ok(bytes) if verify(&bytes) => return Ok(bytes),
+            Ok(bytes) => {
+                if (bytes.len() as u64) < want_len {
+                    CheckpointError::Torn {
+                        path: ppath,
+                        version: manifest.version,
+                        shard: Some(i),
+                        expected: want_len,
+                        actual: bytes.len() as u64,
+                    }
+                } else {
+                    CheckpointError::Corrupt {
+                        path: ppath,
+                        version: manifest.version,
+                        shard: Some(i),
+                    }
+                }
+            }
+            Err(e) => e,
+        };
+        if let Redundancy::Replicas(k) = manifest.redundancy {
+            for m in 1..=k {
+                if let Ok(bytes) = read_file(&dir.join(shard_name(i, m)), manifest.version, Some(i))
+                {
+                    if verify(&bytes) {
+                        notes.reconstructed.push(ReconstructedShard {
+                            shard: i,
+                            source: RepairSource::Replica(m),
+                        });
+                        return Ok(bytes);
+                    }
+                }
+            }
+        }
+        Err(primary_err)
+    }
+
+    /// Rebuild the `pending` shards by XOR-ing each one's parity file
+    /// with its group's surviving shards.
+    fn parity_reconstruct(
+        &self,
+        dir: &Path,
+        manifest: &Manifest,
+        shards: &mut [Vec<u8>],
+        pending: &[usize],
+        notes: &mut RecoveryNotes,
+    ) -> Result<(), CheckpointError> {
+        let Redundancy::Parity { group } = manifest.redundancy else {
+            unreachable!("parity reconstruction outside parity mode");
+        };
+        let group = group.max(2);
+        for &i in pending {
+            let j = i / group;
+            let lo = j * group;
+            let hi = (lo + group).min(manifest.shards.len());
+            // One loss per group is the budget.
+            if pending.iter().filter(|&&p| p / group == j).count() > 1 {
+                return Err(CheckpointError::Missing {
+                    path: dir.join(shard_name(i, 0)),
+                    version: manifest.version,
+                    shard: Some(i),
+                });
+            }
+            let (plen, psum) = *manifest.parity.get(j).ok_or(CheckpointError::Corrupt {
+                path: dir.join(MANIFEST_NAME),
+                version: manifest.version,
+                shard: None,
+            })?;
+            let ppath = dir.join(parity_name(j));
+            let pbytes = read_file(&ppath, manifest.version, Some(i))?;
+            if pbytes.len() as u64 != plen || fnv1a64(&pbytes) != psum {
+                return Err(CheckpointError::Corrupt {
+                    path: ppath,
+                    version: manifest.version,
+                    shard: Some(i),
+                });
+            }
+            let mut acc = pbytes;
+            for (other, shard) in shards.iter().enumerate().take(hi).skip(lo) {
+                if other == i {
+                    continue;
+                }
+                for (a, b) in acc.iter_mut().zip(shard.iter()) {
+                    *a ^= b;
+                }
+            }
+            let (want_len, want_sum) = manifest.shards[i];
+            acc.truncate(want_len as usize);
+            if fnv1a64(&acc) != want_sum {
+                return Err(CheckpointError::Corrupt {
+                    path: dir.join(shard_name(i, 0)),
+                    version: manifest.version,
+                    shard: Some(i),
+                });
+            }
+            shards[i] = acc;
+            notes.reconstructed.push(ReconstructedShard { shard: i, source: RepairSource::Parity });
+        }
+        Ok(())
+    }
+
+    /// Load the **newest verifiable** version: walk versions newest →
+    /// oldest, recording a typed [`VersionFallback`] for every rejected
+    /// one. The store's whole reason to exist: this never panics and
+    /// never silently hands back damaged or unverified state.
+    pub fn load_latest(&mut self) -> Result<LoadedCkpt, CheckpointError> {
+        let versions = self.versions();
+        let mut fallbacks = Vec::new();
+        for &v in versions.iter().rev() {
+            match self.load_version(v) {
+                Ok(mut loaded) => {
+                    self.counters.version_fallbacks += fallbacks.len() as u64;
+                    loaded.notes.fallbacks = fallbacks;
+                    return Ok(loaded);
+                }
+                Err(e) => fallbacks.push(VersionFallback {
+                    version: v,
+                    kind: FallbackKind::of(&e),
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        self.counters.version_fallbacks += fallbacks.len() as u64;
+        Err(CheckpointError::NoVerifiableVersion {
+            dir: self.cfg.dir.clone(),
+            tried: fallbacks.len(),
+        })
+    }
+
+    /// Like [`CkptStore::load_latest`], but refuse to fall back: if the
+    /// newest written version fails verification, return the typed
+    /// [`CheckpointError::Stale`] naming the newest verifiable
+    /// alternative instead of quietly resuming older state.
+    pub fn load_latest_strict(&mut self) -> Result<LoadedCkpt, CheckpointError> {
+        let newest = self.versions().last().copied();
+        let loaded = self.load_latest()?;
+        match newest {
+            Some(n) if n != loaded.version => {
+                Err(CheckpointError::Stale { newest: n, verifiable: Some(loaded.version) })
+            }
+            _ => Ok(loaded),
+        }
+    }
+
+    /// Load the newest verifiable version *prepared for a different
+    /// grid*: the payload is re-laid onto `new_grid` through
+    /// [`load_train_state_regrid`] (gather-free overlap fragments), the
+    /// reconstruct-then-regrid flow of the elastic-degradation rung.
+    pub fn load_latest_regrid(
+        &mut self,
+        new_grid: ProcGrid,
+    ) -> Result<(LoadedCkpt, ReshardStats), CheckpointError> {
+        let t0 = std::time::Instant::now();
+        let versions = self.versions();
+        let mut fallbacks = Vec::new();
+        for &v in versions.iter().rev() {
+            match self.load_version_bytes(v) {
+                Ok((payload, _, mut notes)) => {
+                    let (state, stats) =
+                        load_train_state_regrid(&mut payload.as_slice(), new_grid)?;
+                    self.counters.shards_reconstructed += notes.reconstructed.len() as u64;
+                    self.counters.version_fallbacks += fallbacks.len() as u64;
+                    self.counters.restore_nanos += t0.elapsed().as_nanos() as u64;
+                    notes.fallbacks = fallbacks;
+                    return Ok((LoadedCkpt { state, version: v, notes }, stats));
+                }
+                Err(e) => fallbacks.push(VersionFallback {
+                    version: v,
+                    kind: FallbackKind::of(&e),
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        self.counters.version_fallbacks += fallbacks.len() as u64;
+        self.counters.restore_nanos += t0.elapsed().as_nanos() as u64;
+        Err(CheckpointError::NoVerifiableVersion {
+            dir: self.cfg.dir.clone(),
+            tried: fallbacks.len(),
+        })
+    }
+
+    /// Verify every file of every version at rest; rewrite damaged or
+    /// missing files whose good bytes redundancy can recover (atomic:
+    /// temp + rename). Versions redundancy cannot cover are reported in
+    /// [`ScrubReport::unrecoverable`] and left for `load_latest` to
+    /// skip.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for v in self.versions() {
+            report.versions += 1;
+            match self.scrub_version(v, &mut report) {
+                Ok(()) => report.verified += 1,
+                Err(_) => report.unrecoverable.push(v),
+            }
+        }
+        self.counters.scrub_corrupt += report.corrupt_files as u64;
+        self.counters.scrub_repaired += report.repaired_files as u64;
+        report
+    }
+
+    fn scrub_version(&self, version: u64, report: &mut ScrubReport) -> Result<(), CheckpointError> {
+        let dir = self.version_dir(version);
+        let mpath = dir.join(MANIFEST_NAME);
+        let mbytes = read_file(&mpath, version, None)?;
+        let manifest = Manifest::decode(&mbytes, version, &mpath)?;
+        // Pass 1: obtain verified bytes for every shard (counts damage).
+        let mut good: Vec<Vec<u8>> = Vec::with_capacity(manifest.shards.len());
+        let mut notes = RecoveryNotes::default();
+        let mut pending: Vec<usize> = Vec::new();
+        for i in 0..manifest.shards.len() {
+            match self.read_shard(&dir, &manifest, i, &mut notes) {
+                Ok(bytes) => good.push(bytes),
+                Err(e) => {
+                    report.corrupt_files += 1;
+                    if matches!(manifest.redundancy, Redundancy::Parity { .. }) {
+                        pending.push(i);
+                        good.push(Vec::new());
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Replica-served shards mean the primary was damaged.
+        report.corrupt_files += notes.reconstructed.len();
+        if !pending.is_empty() {
+            self.parity_reconstruct(&dir, &manifest, &mut good, &pending, &mut notes)?;
+        }
+        // Pass 2: rewrite every file that does not match its checksum.
+        let mut repair = |path: PathBuf, bytes: &[u8]| -> Result<(), CheckpointError> {
+            let healthy = fs::read(&path)
+                .map(|cur| cur.len() == bytes.len() && fnv1a64(&cur) == fnv1a64(bytes))
+                .unwrap_or(false);
+            if healthy {
+                return Ok(());
+            }
+            write_faulty(&path, bytes, None)?;
+            report.repaired_files += 1;
+            Ok(())
+        };
+        for (i, bytes) in good.iter().enumerate() {
+            repair(dir.join(shard_name(i, 0)), bytes)?;
+            if let Redundancy::Replicas(k) = manifest.redundancy {
+                for m in 1..=k {
+                    repair(dir.join(shard_name(i, m)), bytes)?;
+                }
+            }
+        }
+        if let Redundancy::Parity { group } = manifest.redundancy {
+            for (j, run) in good.chunks(group.max(2)).enumerate() {
+                repair(dir.join(parity_name(j)), &xor_parity(run))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn shard_name(i: usize, replica: usize) -> String {
+    if replica == 0 {
+        format!("shard_{i:03}.bin")
+    } else {
+        format!("shard_{i:03}.r{replica}.bin")
+    }
+}
+
+fn parity_name(j: usize) -> String {
+    format!("parity_{j:03}.bin")
+}
+
+/// XOR of `run`'s shards, zero-padded to the longest.
+fn xor_parity(run: &[impl AsRef<[u8]>]) -> Vec<u8> {
+    let len = run.iter().map(|s| s.as_ref().len()).max().unwrap_or(0);
+    let mut out = vec![0u8; len];
+    for s in run {
+        for (o, b) in out.iter_mut().zip(s.as_ref()) {
+            *o ^= b;
+        }
+    }
+    out
+}
+
+/// Write `bytes` to `path` (applying an injected fault to the bytes
+/// that actually land) with a durability fsync. Returns bytes written.
+fn write_faulty(
+    path: &Path,
+    bytes: &[u8],
+    fault: Option<WriteFault>,
+) -> Result<u64, CheckpointError> {
+    let mut landed = bytes.to_vec();
+    match fault {
+        Some(WriteFault::Torn(offset)) => landed.truncate(offset),
+        Some(WriteFault::BitFlip(bit)) => landed[bit / 8] ^= 1 << (bit % 8),
+        None => {}
+    }
+    // Atomic within the version directory: a crash mid-write leaves
+    // `.partial`, never a half-old half-new final file. (Commit-level
+    // atomicity — all files or none — comes from the version-directory
+    // rename above this.)
+    let partial = path.with_extension("partial");
+    let mut f = File::create(&partial).map_err(|e| CheckpointError::io_at(&partial, e))?;
+    f.write_all(&landed).map_err(|e| CheckpointError::io_at(&partial, e))?;
+    f.sync_all().map_err(|e| CheckpointError::io_at(&partial, e))?;
+    fs::rename(&partial, path).map_err(|e| CheckpointError::io_at(path, e))?;
+    Ok(landed.len() as u64)
+}
+
+/// fsync a directory so renames/creates within it are durable.
+fn sync_dir(dir: &Path) -> Result<(), CheckpointError> {
+    let f = File::open(dir).map_err(|e| CheckpointError::io_at(dir, e))?;
+    f.sync_all().map_err(|e| CheckpointError::io_at(dir, e))
+}
+
+/// Read a whole file, mapping absence to the typed
+/// [`CheckpointError::Missing`].
+fn read_file(path: &Path, version: u64, shard: Option<usize>) -> Result<Vec<u8>, CheckpointError> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            Err(CheckpointError::Missing { path: path.to_path_buf(), version, shard })
+        }
+        Err(e) => Err(CheckpointError::io_at(path, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkSpec;
+    use crate::layer::LayerParams;
+    use crate::network::Network;
+    use crate::params_io::GuardState;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fg-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_state(step: u64, grid: Option<ProcGrid>) -> TrainState {
+        let mut spec = NetworkSpec::new();
+        let i = spec.input("x", 3, 8, 8);
+        let c = spec.conv("c", i, 4, 3, 1, 1);
+        let b = spec.batchnorm("b", c);
+        let r = spec.relu("r", b);
+        let g = spec.global_avg_pool("g", r);
+        let f = spec.fc("f", g, 5);
+        spec.loss("l", f);
+        let net = Network::init(spec, 40 + step);
+        let velocity: Vec<LayerParams> = net.params.iter().map(|p| p.zeros_like()).collect();
+        TrainState {
+            step,
+            params: net.params,
+            velocity,
+            losses: (0..step).map(|s| 2.5 - s as f64 * 0.1).collect(),
+            guard: GuardState { ema: 2.0, steps: step },
+            grid,
+        }
+    }
+
+    fn grid4() -> ProcGrid {
+        ProcGrid::spatial(2, 2)
+    }
+
+    #[test]
+    fn store_and_load_round_trips_bitwise_across_reopen() {
+        let dir = scratch("roundtrip");
+        let state = demo_state(6, Some(grid4()));
+        {
+            let mut store = CkptStore::create(StoreConfig::at(&dir)).unwrap();
+            let receipt = store.store(&state).unwrap();
+            assert_eq!(receipt.version, 1);
+            assert_eq!(receipt.shards, 4);
+            assert!(receipt.bytes_written > receipt.payload_bytes, "replicas add overhead");
+        }
+        // A "driver restart": reopen from disk alone.
+        let mut store = CkptStore::open(&dir).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.version, 1);
+        assert!(loaded.notes.reconstructed.is_empty() && loaded.notes.fallbacks.is_empty());
+        assert_eq!(loaded.state.params, state.params);
+        assert_eq!(loaded.state.velocity, state.velocity);
+        assert_eq!(loaded.state.step, state.step);
+        assert_eq!(loaded.state.grid, state.grid);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_the_newest_n_versions() {
+        let dir = scratch("retention");
+        let mut store = CkptStore::create(StoreConfig::at(&dir).retention(2)).unwrap();
+        for step in 1..=5 {
+            store.store(&demo_state(step, Some(grid4()))).unwrap();
+        }
+        assert_eq!(store.versions(), vec![4, 5]);
+        assert_eq!(store.counters().pruned_versions, 3);
+        assert_eq!(store.load_latest().unwrap().state.step, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_shard_is_served_from_its_ring_replica() {
+        let dir = scratch("replica");
+        let mut store = CkptStore::create(
+            StoreConfig::at(&dir)
+                .redundancy(Redundancy::Replicas(1))
+                .faults(StorageFaultPlan::new(7).delete_shard_at(0, 2)),
+        )
+        .unwrap();
+        let state = demo_state(3, Some(grid4()));
+        store.store(&state).unwrap();
+        assert!(!store.version_dir(1).join(shard_name(2, 0)).exists(), "fault deleted shard 2");
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.state.params, state.params);
+        assert_eq!(loaded.notes.reconstructed.len(), 1);
+        assert_eq!(loaded.notes.reconstructed[0].shard, 2);
+        assert_eq!(loaded.notes.reconstructed[0].source, RepairSource::Replica(1));
+        assert_eq!(store.counters().shards_reconstructed, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_shard_is_rebuilt_from_parity() {
+        let dir = scratch("parity");
+        let mut store = CkptStore::create(
+            StoreConfig::at(&dir)
+                .redundancy(Redundancy::Parity { group: 4 })
+                .faults(StorageFaultPlan::new(7).delete_shard_at(0, 1)),
+        )
+        .unwrap();
+        let state = demo_state(3, Some(grid4()));
+        store.store(&state).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.state.params, state.params);
+        assert_eq!(loaded.notes.reconstructed[0].source, RepairSource::Parity);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_previous_version_with_typed_report() {
+        let dir = scratch("torn");
+        // No redundancy, so a torn shard write makes version 2
+        // unverifiable; version 1 must serve, with a typed fallback.
+        let mut store = CkptStore::create(
+            StoreConfig::at(&dir)
+                .redundancy(Redundancy::None)
+                .faults(StorageFaultPlan::new(3).torn_write_at(1, 0)),
+        )
+        .unwrap();
+        store.store(&demo_state(2, Some(grid4()))).unwrap();
+        store.store(&demo_state(4, Some(grid4()))).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.version, 1);
+        assert_eq!(loaded.state.step, 2);
+        assert_eq!(loaded.notes.fallbacks.len(), 1);
+        let fb = &loaded.notes.fallbacks[0];
+        assert_eq!(fb.version, 2);
+        assert_eq!(fb.kind, FallbackKind::Torn);
+        assert!(fb.detail.contains("shard 0") && fb.detail.contains("torn"), "{}", fb.detail);
+        // The strict load refuses the stale resume, typed.
+        match store.load_latest_strict().unwrap_err() {
+            CheckpointError::Stale { newest: 2, verifiable: Some(1) } => {}
+            other => panic!("expected Stale, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_caught_and_version_falls_back() {
+        let dir = scratch("flip");
+        let mut store = CkptStore::create(
+            StoreConfig::at(&dir)
+                .redundancy(Redundancy::None)
+                .faults(StorageFaultPlan::new(11).bit_flip_at(1, 3)),
+        )
+        .unwrap();
+        store.store(&demo_state(2, Some(grid4()))).unwrap();
+        store.store(&demo_state(4, Some(grid4()))).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.version, 1);
+        assert_eq!(loaded.notes.fallbacks[0].kind, FallbackKind::Corrupt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_rename_never_publishes_a_partial_version() {
+        let dir = scratch("crash");
+        let mut store = CkptStore::create(
+            StoreConfig::at(&dir).faults(StorageFaultPlan::new(5).crash_before_rename_at(1)),
+        )
+        .unwrap();
+        store.store(&demo_state(2, Some(grid4()))).unwrap();
+        store.store(&demo_state(4, Some(grid4()))).unwrap(); // crashes silently
+        assert_eq!(store.versions(), vec![1], "the crashed commit must be invisible");
+        assert_eq!(store.counters().crashed_commits, 1);
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.state.step, 2);
+        assert!(loaded.notes.fallbacks.is_empty(), "an unpublished version is not a fallback");
+        // Reopening sweeps the temp wreckage and never reuses version 2.
+        let store2 = CkptStore::open(&dir).unwrap();
+        assert_eq!(store2.versions(), vec![1]);
+        assert!(
+            !fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().starts_with(".tmp.")),
+            "stale temp dirs must be swept on open"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_repairs_damage_redundancy_can_cover() {
+        let dir = scratch("scrub");
+        let mut store =
+            CkptStore::create(StoreConfig::at(&dir).redundancy(Redundancy::Replicas(1))).unwrap();
+        let state = demo_state(3, Some(grid4()));
+        store.store(&state).unwrap();
+        // Corrupt one primary at rest (bit rot).
+        let victim = store.version_dir(1).join(shard_name(1, 0));
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[0] ^= 0x40;
+        fs::write(&victim, &bytes).unwrap();
+        let report = store.scrub();
+        assert_eq!(report.versions, 1);
+        assert_eq!(report.verified, 1);
+        assert!(report.corrupt_files >= 1);
+        assert!(report.repaired_files >= 1);
+        assert!(report.unrecoverable.is_empty());
+        // After the scrub the primary is healthy again: a plain load
+        // reconstructs nothing.
+        let loaded = store.load_latest().unwrap();
+        assert!(loaded.notes.reconstructed.is_empty());
+        assert_eq!(loaded.state.params, state.params);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrecoverable_version_yields_no_verifiable_version_error() {
+        let dir = scratch("unrecoverable");
+        let mut store =
+            CkptStore::create(StoreConfig::at(&dir).redundancy(Redundancy::None)).unwrap();
+        store.store(&demo_state(2, Some(grid4()))).unwrap();
+        fs::remove_file(store.version_dir(1).join(shard_name(0, 0))).unwrap();
+        match store.load_latest().unwrap_err() {
+            CheckpointError::NoVerifiableVersion { tried, .. } => assert_eq!(tried, 1),
+            other => panic!("expected NoVerifiableVersion, got {other}"),
+        }
+        let report = store.scrub();
+        assert_eq!(report.unrecoverable, vec![1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_regrid_reshards_onto_the_new_grid() {
+        let dir = scratch("regrid");
+        let mut store = CkptStore::create(StoreConfig::at(&dir)).unwrap();
+        let state = demo_state(3, Some(grid4()));
+        store.store(&state).unwrap();
+        let new_grid = ProcGrid::spatial(1, 3);
+        let (loaded, stats) = store.load_latest_regrid(new_grid).unwrap();
+        assert_eq!(loaded.state.grid, Some(new_grid));
+        assert_eq!(loaded.state.params, state.params);
+        assert_eq!(loaded.state.velocity, state.velocity);
+        assert!(stats.total_bytes > 0 && stats.moved_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_for_a_seed() {
+        let plan = StorageFaultPlan::new(42).torn_write_rate(0.3).bit_flip_rate(0.3);
+        for call in 0..8u64 {
+            for shard in 0..6usize {
+                let a = plan.write_fault(call, FileRole::Shard(shard), 1000);
+                let b = plan.write_fault(call, FileRole::Shard(shard), 1000);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+        assert!(StorageFaultPlan::new(1).is_transparent());
+        assert!(!plan.is_transparent());
+    }
+
+    #[test]
+    fn untagged_state_stores_as_a_single_shard() {
+        let dir = scratch("untagged");
+        let mut store = CkptStore::create(StoreConfig::at(&dir)).unwrap();
+        let state = demo_state(2, None);
+        let receipt = store.store(&state).unwrap();
+        assert_eq!(receipt.shards, 1);
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.state.params, state.params);
+        assert_eq!(loaded.state.grid, None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

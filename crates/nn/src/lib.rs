@@ -10,6 +10,7 @@
 //! whole networks.
 
 pub mod checkpoint;
+pub mod ckpt_store;
 pub mod graph;
 pub mod inference;
 pub mod init;
@@ -21,6 +22,11 @@ pub mod params_io;
 pub mod schedule;
 
 pub use checkpoint::{checkpointed_loss_and_grads, CheckpointStats};
+pub use ckpt_store::{
+    CkptStore, FallbackKind, LoadedCkpt, ReconstructedShard, RecoveryNotes, Redundancy,
+    RepairSource, ScrubReport, StorageFaultPlan, StoreConfig, StoreCounters, StoreReceipt,
+    VersionFallback,
+};
 pub use graph::{LayerId, NetworkSpec};
 pub use inference::RunningStats;
 pub use init::init_params;

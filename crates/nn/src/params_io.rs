@@ -46,11 +46,73 @@ const SHARD_MAGIC: &[u8; 8] = b"FGSHRD01";
 /// poisoning ([`CheckpointError::PoisonedLoss`]) lets a resilient driver
 /// distinguish "this file is damaged" from "this file faithfully records
 /// a training run that had already diverged" — resuming from the latter
-/// would replay the divergence forever.
+/// would replay the divergence forever. The storage-level variants
+/// ([`CheckpointError::Torn`], [`CheckpointError::Corrupt`],
+/// [`CheckpointError::Missing`], [`CheckpointError::Stale`],
+/// [`CheckpointError::NoVerifiableVersion`]) come from the durable
+/// [`crate::ckpt_store`] and always carry the offending path, version,
+/// and shard so an operator knows exactly which file to inspect.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// The stream was unreadable, truncated, or not a checkpoint.
-    Io(io::Error),
+    /// `path` is set when the failing stream came from a known file.
+    Io {
+        /// File the failed read/write touched, when known.
+        path: Option<std::path::PathBuf>,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A file is shorter than its manifest records: the write was torn
+    /// (power loss or crash mid-`write`) before `fsync` completed.
+    Torn {
+        /// The truncated file.
+        path: std::path::PathBuf,
+        /// Store version the file belongs to.
+        version: u64,
+        /// Shard index within the version (`None` for the manifest).
+        shard: Option<usize>,
+        /// Bytes the manifest says the file must hold.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A file's content does not match its recorded checksum: bit rot,
+    /// a misdirected write, or a torn write that kept the length.
+    Corrupt {
+        /// The damaged file.
+        path: std::path::PathBuf,
+        /// Store version the file belongs to.
+        version: u64,
+        /// Shard index within the version (`None` for the manifest).
+        shard: Option<usize>,
+    },
+    /// A file the manifest requires is gone and no replica or parity
+    /// group could reconstruct it.
+    Missing {
+        /// The absent file.
+        path: std::path::PathBuf,
+        /// Store version the file belongs to.
+        version: u64,
+        /// Shard index within the version (`None` for the manifest).
+        shard: Option<usize>,
+    },
+    /// A strict load demanded the newest written version but only an
+    /// older one verified — resuming would be a *stale* resume, which
+    /// the caller asked to be told about rather than get silently.
+    Stale {
+        /// Newest version present in the store.
+        newest: u64,
+        /// Newest version that actually verifies (`None`: none do).
+        verifiable: Option<u64>,
+    },
+    /// Every version in the store failed verification; there is nothing
+    /// safe to resume from.
+    NoVerifiableVersion {
+        /// The store root that was searched.
+        dir: std::path::PathBuf,
+        /// How many versions were tried (and rejected).
+        tried: usize,
+    },
     /// The checkpoint records a non-finite loss at `step`: the state was
     /// poisoned *before* it was saved, and resuming from it cannot
     /// converge. (`f64::NAN` round-trips bitwise through the format, so
@@ -77,7 +139,59 @@ pub enum CheckpointError {
 impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint unreadable: {e}"),
+            CheckpointError::Io { path: Some(p), source } => {
+                write!(f, "checkpoint unreadable at {}: {source}", p.display())
+            }
+            CheckpointError::Io { path: None, source } => {
+                write!(f, "checkpoint unreadable: {source}")
+            }
+            CheckpointError::Torn { path, version, shard, expected, actual } => {
+                write!(
+                    f,
+                    "torn write in version {version}{}: {} holds {actual} of {expected} \
+                     expected bytes",
+                    shard_label(*shard),
+                    path.display()
+                )
+            }
+            CheckpointError::Corrupt { path, version, shard } => {
+                write!(
+                    f,
+                    "checksum mismatch in version {version}{}: {} fails verification",
+                    shard_label(*shard),
+                    path.display()
+                )
+            }
+            CheckpointError::Missing { path, version, shard } => {
+                write!(
+                    f,
+                    "version {version}{} is missing {} and no replica or parity group \
+                     can reconstruct it",
+                    shard_label(*shard),
+                    path.display()
+                )
+            }
+            CheckpointError::Stale { newest, verifiable: Some(v) } => {
+                write!(
+                    f,
+                    "newest version {newest} fails verification; newest verifiable \
+                     version is {v} (stale relative to the last write)"
+                )
+            }
+            CheckpointError::Stale { newest, verifiable: None } => {
+                write!(
+                    f,
+                    "newest version {newest} fails verification and no older version verifies"
+                )
+            }
+            CheckpointError::NoVerifiableVersion { dir, tried } => {
+                write!(
+                    f,
+                    "no verifiable checkpoint version in {} ({tried} version(s) tried, \
+                     all rejected)",
+                    dir.display()
+                )
+            }
             CheckpointError::PoisonedLoss { step, value } => {
                 write!(f, "checkpoint records non-finite loss {value} at step {step}; refusing to resume from a poisoned state")
             }
@@ -94,18 +208,31 @@ impl fmt::Display for CheckpointError {
     }
 }
 
+/// Render a shard index for error messages (`", shard 3"` / `""`).
+fn shard_label(shard: Option<usize>) -> String {
+    shard.map(|s| format!(", shard {s}")).unwrap_or_default()
+}
+
 impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CheckpointError::Io(e) => Some(e),
-            CheckpointError::PoisonedLoss { .. } | CheckpointError::GridMismatch { .. } => None,
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
         }
     }
 }
 
 impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> CheckpointError {
-        CheckpointError::Io(e)
+        CheckpointError::Io { path: None, source: e }
+    }
+}
+
+impl CheckpointError {
+    /// An I/O failure pinned to the file it happened on, so the
+    /// operator-facing message names a path instead of just an errno.
+    pub fn io_at(path: impl Into<std::path::PathBuf>, source: io::Error) -> CheckpointError {
+        CheckpointError::Io { path: Some(path.into()), source }
     }
 }
 
@@ -820,12 +947,39 @@ mod tests {
     }
 
     #[test]
+    fn regrid_load_equals_reshard_then_load_bitwise() {
+        // The prepared path must be exactly load-then-reshard: same
+        // params, velocity, stats, and tag, bit for bit — so callers can
+        // use whichever composition fits without a numerical contract
+        // change.
+        let old = ProcGrid::spatial(2, 2);
+        let new = ProcGrid::hybrid(3, 1, 1);
+        let mut state = demo_state();
+        state.velocity = state.params.to_vec();
+        state.grid = Some(old);
+        let mut buf = Vec::new();
+        save_train_state(&mut buf, &state).unwrap();
+        let (via_regrid, regrid_stats) = load_train_state_regrid(&mut buf.as_slice(), new).unwrap();
+        let loaded = load_train_state(&mut buf.as_slice()).unwrap();
+        let (via_reshard, reshard_stats) = reshard_train_state(&loaded, new);
+        assert_eq!(via_regrid.params, via_reshard.params);
+        assert_eq!(via_regrid.velocity, via_reshard.velocity);
+        assert_eq!(via_regrid.grid, via_reshard.grid);
+        assert_eq!(via_regrid.step, via_reshard.step);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&via_regrid.losses), bits(&via_reshard.losses));
+        assert_eq!(regrid_stats, reshard_stats);
+    }
+
+    #[test]
     fn train_state_rejects_params_file() {
         // A parameter file is not a checkpoint: the magics differ.
         let mut buf = Vec::new();
         save_params(&mut buf, &demo_net().params).unwrap();
         match load_train_state(&mut buf.as_slice()).unwrap_err() {
-            CheckpointError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+            CheckpointError::Io { source, .. } => {
+                assert_eq!(source.kind(), io::ErrorKind::InvalidData)
+            }
             other => panic!("expected Io error, got {other}"),
         }
     }
@@ -873,6 +1027,35 @@ mod tests {
         );
         let io_e = CheckpointError::from(io::Error::new(io::ErrorKind::InvalidData, "bad"));
         assert!(io_e.to_string().contains("checkpoint unreadable"));
+    }
+
+    #[test]
+    fn storage_errors_name_the_path_version_and_shard() {
+        // Every storage-level variant must give an operator something to
+        // act on: the file, the version, and (where applicable) the
+        // shard index.
+        let p = std::path::PathBuf::from("/store/v00000007/shard_003.bin");
+        let e =
+            CheckpointError::io_at(&p, io::Error::new(io::ErrorKind::PermissionDenied, "eperm"));
+        assert!(e.to_string().contains("/store/v00000007/shard_003.bin"), "{e}");
+        let e = CheckpointError::Torn {
+            path: p.clone(),
+            version: 7,
+            shard: Some(3),
+            expected: 4096,
+            actual: 1000,
+        };
+        for needle in ["version 7", "shard 3", "1000", "4096", "shard_003.bin"] {
+            assert!(e.to_string().contains(needle), "missing {needle:?} in {e}");
+        }
+        let e = CheckpointError::Corrupt { path: p.clone(), version: 7, shard: Some(3) };
+        assert!(e.to_string().contains("version 7") && e.to_string().contains("shard 3"), "{e}");
+        let e = CheckpointError::Missing { path: p.clone(), version: 7, shard: None };
+        assert!(e.to_string().contains("version 7") && !e.to_string().contains("shard 3"), "{e}");
+        let e = CheckpointError::Stale { newest: 9, verifiable: Some(8) };
+        assert!(e.to_string().contains('9') && e.to_string().contains('8'), "{e}");
+        let e = CheckpointError::NoVerifiableVersion { dir: "/store".into(), tried: 2 };
+        assert!(e.to_string().contains("/store") && e.to_string().contains('2'), "{e}");
     }
 
     #[test]

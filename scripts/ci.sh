@@ -102,6 +102,19 @@ FG_VERIFY=1 cargo test -q --offline --test resilience -- \
 step "serving tier smoke (chaos traffic with a mid-stream rank kill, FG_VERIFY on)"
 FG_VERIFY=1 cargo test -q --offline -p fg-serve --test chaos
 
+# Durable checkpoint store under storage chaos, pinned seeds: a rank
+# dies permanently while its primary shard is deleted on every publish
+# (reconstruction from ring replicas must carry the degradation rung),
+# and a torn newest version must fall back to the previous verifiable
+# one with a typed record — never a panic, never a silent stale resume.
+# Watchdog + integrity are already exported above; FG_VERIFY re-checks
+# the shrunken worlds' schedules. The scratch stores live under the OS
+# temp dir, so no repo paths are dirtied.
+step "storage chaos (deleted-shard reconstruction + torn-write fallback, FG_VERIFY on)"
+FG_VERIFY=1 cargo test -q --offline --test resilience -- \
+    deleted_shard torn_newest durable_store
+FG_VERIFY=1 cargo test -q --offline -p fg-nn --test ckpt_chaos
+
 # The event-driven virtual-time engine's correctness anchor: DES clocks
 # must equal the thread-per-rank runtime's clocks exactly, and must be
 # independent of the worker-pool size. Run explicitly (the suites are
