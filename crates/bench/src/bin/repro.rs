@@ -17,6 +17,7 @@
 //!   faults    fault-injection overhead + recovery cost vs ckpt interval
 //!   verify    static schedule verification sweep (models × strategies × grids)
 //!   simscale  executed discrete-event runs at paper scale (writes BENCH_simscale.json)
+//!   memscale  static per-rank peak-memory bounds vs world size (writes BENCH_memory.json)
 //!   stragglers gray-failure mitigation at paper scale (writes BENCH_stragglers.json)
 //!   serve     serving tier: latency/goodput under load and chaos (writes BENCH_serving.json)
 //!   ckptstore durable checkpoint store: redundancy cost + storage-chaos recovery (writes BENCH_ckpt.json)
@@ -29,8 +30,8 @@
 //! communicator. See EXPERIMENTS.md for paper-vs-reproduction notes.
 
 use fg_bench::experiments::{
-    ckptstore, extensions, faults, microbench, modelval, plancache, resnet, scaling, serve,
-    simscale, stragglers, strategy, verify,
+    ckptstore, extensions, faults, memscale, microbench, modelval, plancache, resnet, scaling,
+    serve, simscale, stragglers, strategy, verify,
 };
 use fg_bench::table::Table;
 use fg_models::MeshSize;
@@ -56,6 +57,7 @@ fn main() {
             "faults",
             "verify",
             "simscale",
+            "memscale",
             "stragglers",
             "serve",
             "ckptstore",
@@ -84,6 +86,7 @@ fn main() {
             "faults" => tables.extend(faults::faults()),
             "verify" => tables.push(verify::verify_report(&platform)),
             "simscale" => tables.push(simscale::simscale_report(&platform)),
+            "memscale" => tables.push(memscale::memscale_report()),
             "stragglers" => tables.extend(stragglers::stragglers_report(&platform)),
             "serve" => tables.push(serve::serve_report()),
             "ckptstore" => tables.extend(ckptstore::ckptstore_report()),

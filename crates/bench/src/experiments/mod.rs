@@ -12,6 +12,7 @@
 //! | [`faults`] | fault-model overhead and checkpointed-recovery cost |
 //! | [`verify`] | static schedule verification sweep (fg-verify) |
 //! | [`simscale`] | Tables I–III / Fig. 4 as executed discrete-event runs |
+//! | [`memscale`] | static per-rank peak-memory bounds vs world size (fg-core::mem) |
 //! | [`stragglers`] | gray-failure straggler mitigation at paper scale |
 //! | [`serve`] | inference serving tier: latency/goodput under load and chaos |
 //! | [`ckptstore`] | durable checkpoint store: redundancy cost + recovery under storage chaos |
@@ -19,6 +20,7 @@
 pub mod ckptstore;
 pub mod extensions;
 pub mod faults;
+pub mod memscale;
 pub mod microbench;
 pub mod modelval;
 pub mod plancache;

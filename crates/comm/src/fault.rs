@@ -550,6 +550,10 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
         self.inner.note_repair_time(nanos);
     }
 
+    fn note_replay_held(&self, bytes: u64) {
+        self.inner.note_replay_held(bytes);
+    }
+
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
         self.inner.stats_snapshot()
     }

@@ -101,7 +101,26 @@ pub fn checksum_payload<T: CommScalar>(tag: Tag, seq: u64, data: &[T]) -> u64 {
 /// A staged pristine copy awaiting acknowledgement.
 struct Entry {
     seq: u64,
+    /// Payload wire size, so the window can be byte-bounded.
+    bytes: usize,
     payload: Box<dyn Any + Send>,
+}
+
+/// Default per-stream byte bound of the replay window (16 MiB). Also
+/// the comm-staging term the static memory analyzer charges per rank
+/// when the integrity layer is on.
+pub const DEFAULT_REPLAY_BYTES: usize = 16 << 20;
+
+/// The replay windows plus their byte accounting, under one lock so the
+/// gauge can never drift from the staged entries.
+#[derive(Default)]
+struct ReplayWindows {
+    /// `streams[(src, dst, tag)]` → staged entries in seq order.
+    streams: HashMap<(usize, usize, Tag), VecDeque<Entry>>,
+    /// Bytes currently staged across all streams.
+    held_bytes: usize,
+    /// High-water mark of `held_bytes`.
+    peak_held: usize,
 }
 
 /// The world-shared sender-side state: per-stream replay windows plus
@@ -111,8 +130,11 @@ struct Entry {
 /// buffer being reachable by its peer's NACKs.
 pub struct IntegrityState {
     size: usize,
-    /// `windows[(src, dst, tag)]` → staged entries in seq order.
-    windows: Mutex<HashMap<(usize, usize, Tag), VecDeque<Entry>>>,
+    windows: Mutex<ReplayWindows>,
+    /// Per-stream byte bound: staging a message evicts the oldest
+    /// entries of its stream until the backlog fits, so a slow ACK
+    /// stream cannot grow the window without limit.
+    stream_bound: usize,
     /// Retransmissions served per link (`src * size + dst`), the ordinal
     /// stream for [`FaultPlan::retransmit_corrupt_mask`].
     retx_served: Vec<AtomicU64>,
@@ -121,11 +143,18 @@ pub struct IntegrityState {
 }
 
 impl IntegrityState {
-    /// Fresh state for a world of `size` ranks, with no fault plan.
+    /// Fresh state for a world of `size` ranks, with no fault plan. The
+    /// per-stream byte bound comes from `FG_COMM_REPLAY_BYTES` when set,
+    /// else [`DEFAULT_REPLAY_BYTES`].
     pub fn new(size: usize) -> IntegrityState {
+        let bound = std::env::var("FG_COMM_REPLAY_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_REPLAY_BYTES);
         IntegrityState {
             size,
-            windows: Mutex::new(HashMap::new()),
+            windows: Mutex::new(ReplayWindows::default()),
+            stream_bound: bound,
             retx_served: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
             plan: None,
         }
@@ -138,15 +167,45 @@ impl IntegrityState {
         self
     }
 
+    /// Override the per-stream byte bound (tests and tuning).
+    pub fn with_stream_bound(mut self, bytes: usize) -> IntegrityState {
+        self.stream_bound = bytes;
+        self
+    }
+
     /// Stage a pristine copy of message `seq` on stream
     /// `(src, dst, tag)`. Called by the sender before the send itself,
-    /// so a concurrent NACK can never miss the entry.
-    fn stage<T: CommScalar>(&self, src: usize, dst: usize, tag: Tag, seq: u64, payload: Vec<T>) {
-        let mut windows = self.windows.lock().expect("integrity window poisoned");
-        windows
-            .entry((src, dst, tag))
-            .or_default()
-            .push_back(Entry { seq, payload: Box::new(payload) });
+    /// so a concurrent NACK can never miss the entry. Enforces the
+    /// per-stream byte bound by evicting the stream's oldest entries —
+    /// a later NACK for an evicted seq surfaces as the typed
+    /// window-miss [`CommError::Corrupt`] in [`protocol_recv`]. The
+    /// just-staged entry itself is never evicted (one oversized message
+    /// must stay repairable). Returns the bytes held across all streams
+    /// after staging, the value behind
+    /// [`Communicator::note_replay_held`].
+    fn stage<T: CommScalar>(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        payload: Vec<T>,
+    ) -> usize {
+        let bytes = payload.len() * std::mem::size_of::<T>();
+        let mut w = self.windows.lock().expect("integrity window poisoned");
+        let bound = self.stream_bound;
+        let stream = w.streams.entry((src, dst, tag)).or_default();
+        stream.push_back(Entry { seq, bytes, payload: Box::new(payload) });
+        let mut total: usize = stream.iter().map(|e| e.bytes).sum();
+        let mut evicted = 0usize;
+        while total > bound && stream.len() > 1 {
+            let e = stream.pop_front().expect("stream holds more than one entry");
+            total -= e.bytes;
+            evicted += e.bytes;
+        }
+        w.held_bytes = w.held_bytes + bytes - evicted;
+        w.peak_held = w.peak_held.max(w.held_bytes);
+        w.held_bytes
     }
 
     /// Serve a NACK: clone the staged copy of `seq` on
@@ -161,7 +220,7 @@ impl IntegrityState {
     ) -> Option<Vec<T>> {
         let mut copy: Vec<T> = {
             let windows = self.windows.lock().expect("integrity window poisoned");
-            let stream = windows.get(&(src, dst, tag))?;
+            let stream = windows.streams.get(&(src, dst, tag))?;
             let entry = stream.iter().find(|e| e.seq == seq)?;
             entry.payload.downcast_ref::<Vec<T>>()?.clone()
         };
@@ -183,18 +242,41 @@ impl IntegrityState {
     /// every earlier message of the stream was delivered too (per-pair
     /// FIFO); prune them all.
     fn ack(&self, src: usize, dst: usize, tag: Tag, seq: u64) {
-        let mut windows = self.windows.lock().expect("integrity window poisoned");
-        if let Some(stream) = windows.get_mut(&(src, dst, tag)) {
-            stream.retain(|e| e.seq > seq);
-            if stream.is_empty() {
-                windows.remove(&(src, dst, tag));
-            }
+        let mut w = self.windows.lock().expect("integrity window poisoned");
+        let mut freed = 0usize;
+        let mut empty = false;
+        if let Some(stream) = w.streams.get_mut(&(src, dst, tag)) {
+            stream.retain(|e| {
+                if e.seq > seq {
+                    true
+                } else {
+                    freed += e.bytes;
+                    false
+                }
+            });
+            empty = stream.is_empty();
         }
+        if empty {
+            w.streams.remove(&(src, dst, tag));
+        }
+        w.held_bytes -= freed;
     }
 
     /// Total messages currently staged across all streams (test/debug).
     pub fn staged(&self) -> usize {
-        self.windows.lock().expect("integrity window poisoned").values().map(|s| s.len()).sum()
+        let w = self.windows.lock().expect("integrity window poisoned");
+        w.streams.values().map(|s| s.len()).sum()
+    }
+
+    /// Bytes currently staged across all streams.
+    pub fn held_bytes(&self) -> usize {
+        self.windows.lock().expect("integrity window poisoned").held_bytes
+    }
+
+    /// High-water mark of [`IntegrityState::held_bytes`] since
+    /// construction.
+    pub fn peak_held_bytes(&self) -> usize {
+        self.windows.lock().expect("integrity window poisoned").peak_held
     }
 }
 
@@ -246,7 +328,8 @@ pub fn protocol_send<C: Communicator, T: CommScalar>(
 ) {
     let seq = cursor.next_send_seq(dst, tag);
     let checksum = checksum_payload(tag, seq, &data);
-    state.stage(comm.rank(), dst, tag, seq, data.clone());
+    let held = state.stage(comm.rank(), dst, tag, seq, data.clone());
+    comm.note_replay_held(held as u64);
     comm.send_enveloped(dst, tag, data, WireHeader { seq, checksum });
 }
 
@@ -386,6 +469,10 @@ impl<C: Communicator> Communicator for IntegrityComm<'_, C> {
         self.inner.note_repair_time(nanos);
     }
 
+    fn note_replay_held(&self, bytes: u64) {
+        self.inner.note_replay_held(bytes);
+    }
+
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
         self.inner.stats_snapshot()
     }
@@ -449,6 +536,45 @@ mod tests {
         assert_eq!(state.staged(), 1);
         assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), None);
         assert_eq!(state.retransmit::<f32>(0, 1, 9, 0), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn byte_bound_evicts_only_the_offending_streams_oldest() {
+        // 12-byte bound; each 3-element f32 payload is exactly 12 bytes.
+        let state = IntegrityState::new(2).with_stream_bound(12);
+        assert_eq!(state.stage(0, 1, 5, 0, vec![1.0f32, 1.0, 1.0]), 12);
+        // Staging seq 1 would hold 24 bytes on the stream: seq 0 is
+        // evicted, and a later NACK for it finds nothing (the typed
+        // window-miss path in protocol_recv).
+        assert_eq!(state.stage(0, 1, 5, 1, vec![2.0f32, 2.0, 2.0]), 12);
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 0), None);
+        assert_eq!(state.retransmit::<f32>(0, 1, 5, 1), Some(vec![2.0, 2.0, 2.0]));
+        // Other streams are untouched by the eviction.
+        assert_eq!(state.stage(0, 1, 9, 0, vec![3.0f32]), 16);
+        assert_eq!(state.retransmit::<f32>(0, 1, 9, 0), Some(vec![3.0]));
+
+        // A single message larger than the bound stays repairable: only
+        // the backlog is evicted, never the just-staged entry.
+        let tight = IntegrityState::new(2).with_stream_bound(4);
+        assert_eq!(tight.stage(0, 1, 5, 0, vec![0.5f32; 8]), 32);
+        assert_eq!(tight.retransmit::<f32>(0, 1, 5, 0), Some(vec![0.5; 8]));
+    }
+
+    #[test]
+    fn held_bytes_gauge_tracks_stage_and_ack() {
+        let state = IntegrityState::new(2).with_stream_bound(1024);
+        assert_eq!(state.held_bytes(), 0);
+        state.stage(0, 1, 5, 0, vec![1.0f32; 4]); // 16 B
+        state.stage(0, 1, 5, 1, vec![1.0f32; 2]); // 8 B
+        assert_eq!(state.held_bytes(), 24);
+        assert_eq!(state.peak_held_bytes(), 24);
+        state.ack(0, 1, 5, 0);
+        assert_eq!(state.held_bytes(), 8);
+        // The peak is a high-water mark; it does not fall with the ACK.
+        assert_eq!(state.peak_held_bytes(), 24);
+        state.ack(0, 1, 5, 1);
+        assert_eq!(state.held_bytes(), 0);
+        assert_eq!(state.staged(), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use collectives::{AllreduceAlgorithm, Collectives, ReduceOp};
 pub use dynamic::{DynComm, ErasedComm, ScalarType};
 pub use error::{attribute_dead_ranks, CommError};
 pub use fault::{FaultPlan, FaultyComm, LINK_RETRY_BUDGET};
-pub use integrity::{IntegrityComm, IntegrityConfig, IntegrityState};
+pub use integrity::{IntegrityComm, IntegrityConfig, IntegrityState, DEFAULT_REPLAY_BYTES};
 pub use p2p::{
     sub_collective_tag, world_collective_tag, CommScalar, Communicator, Tag, WireHeader,
 };

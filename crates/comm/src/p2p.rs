@@ -228,6 +228,16 @@ pub trait Communicator {
         let _ = nanos;
     }
 
+    /// Report that the sender-side integrity replay window holds `bytes`
+    /// of staged payloads after this rank's latest send — a gauge, not a
+    /// counter. Default no-op; [`crate::WorldComm`] keeps the high-water
+    /// mark in [`crate::TrafficStats`] (the observable counterpart of
+    /// the static memory analyzer's comm-staging term), wrappers
+    /// delegate.
+    fn note_replay_held(&self, bytes: u64) {
+        let _ = bytes;
+    }
+
     /// A snapshot of this rank's traffic counters, if the communicator
     /// keeps them. Default `None`; [`crate::WorldComm`] returns its
     /// stats and wrappers delegate, so generic drivers (e.g. the

@@ -260,6 +260,10 @@ impl Communicator for WorldComm {
         self.stats.borrow_mut().record_repair_time(nanos);
     }
 
+    fn note_replay_held(&self, bytes: u64) {
+        self.stats.borrow_mut().record_replay_held(bytes);
+    }
+
     fn note_straggler_flag(&self) {
         self.stats.borrow_mut().record_straggler_flag();
     }

@@ -79,6 +79,12 @@ pub struct TrafficStats {
     /// verdict, not yet a mitigation — rebalances and evictions are
     /// counted by the resilient driver's report.
     straggler_flags: u64,
+    /// High-water mark (bytes) of the sender-side integrity replay
+    /// window as observed from this rank's sends — a gauge, not a
+    /// counter. This is the runtime counterpart of the static memory
+    /// analyzer's comm-staging term; the byte-bounded window keeps it
+    /// below the configured cap even when a stream's ACKs lag.
+    replay_held_peak: u64,
 }
 
 impl TrafficStats {
@@ -131,6 +137,18 @@ impl TrafficStats {
         self.repair_nanos
     }
 
+    /// Update the replay-window gauge: `bytes` are currently staged on
+    /// the sender side. Keeps the maximum ever observed.
+    pub fn record_replay_held(&mut self, bytes: u64) {
+        self.replay_held_peak = self.replay_held_peak.max(bytes);
+    }
+
+    /// High-water mark (bytes) of the sender-side integrity replay
+    /// window observed from this rank.
+    pub fn replay_held_peak(&self) -> u64 {
+        self.replay_held_peak
+    }
+
     /// Record one straggler verdict against this rank.
     pub fn record_straggler_flag(&mut self) {
         self.straggler_flags += 1;
@@ -172,6 +190,9 @@ impl TrafficStats {
         self.retransmits += other.retransmits;
         self.repair_nanos += other.repair_nanos;
         self.straggler_flags += other.straggler_flags;
+        // A gauge, not a counter: the world-wide peak is the max of the
+        // per-rank peaks (each rank observes the same shared window).
+        self.replay_held_peak = self.replay_held_peak.max(other.replay_held_peak);
     }
 }
 
@@ -251,6 +272,22 @@ mod tests {
         assert_eq!(a.straggler_flags(), 3);
         // Verdicts are not delivered traffic.
         assert_eq!(a.total_messages(), 0);
+    }
+
+    #[test]
+    fn replay_held_gauge_keeps_peak_and_merges_by_max() {
+        let mut a = TrafficStats::default();
+        assert_eq!(a.replay_held_peak(), 0);
+        a.record_replay_held(100);
+        a.record_replay_held(40); // gauge falls; peak stays
+        assert_eq!(a.replay_held_peak(), 100);
+        let mut b = TrafficStats::default();
+        b.record_replay_held(250);
+        a.merge(&b);
+        assert_eq!(a.replay_held_peak(), 250);
+        // Gauges are not delivered traffic.
+        assert_eq!(a.total_messages(), 0);
+        assert_eq!(a.total_bytes(), 0);
     }
 
     #[test]

@@ -196,6 +196,10 @@ impl<C: Communicator> Communicator for SubComm<'_, C> {
         self.parent.note_corrupt_repaired();
     }
 
+    fn note_replay_held(&self, bytes: u64) {
+        self.parent.note_replay_held(bytes);
+    }
+
     fn stats_snapshot(&self) -> Option<crate::stats::TrafficStats> {
         self.parent.stats_snapshot()
     }

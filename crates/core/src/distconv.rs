@@ -138,8 +138,21 @@ impl DistConv2d {
         x: &DistTensor,
         plan: &HaloPlan,
     ) -> DistTensor {
+        self.build_x_window_with_plan_in(comm, x, plan, None)
+    }
+
+    /// [`DistConv2d::build_x_window_with_plan`] drawing the window's
+    /// storage from `store` when provided (the arena path); results are
+    /// bitwise-identical either way.
+    pub fn build_x_window_with_plan_in<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        plan: &HaloPlan,
+        store: Option<Vec<f32>>,
+    ) -> DistTensor {
         debug_assert_eq!(*x.dist(), self.in_dist, "input shard has wrong distribution");
-        let mut win = x.to_window(self.x_margins.0, self.x_margins.1);
+        let mut win = x.to_window_in(self.x_margins.0, self.x_margins.1, store);
         exchange_halo_with_plan(comm, &mut win, plan);
         win
     }
@@ -167,7 +180,21 @@ impl DistConv2d {
         bias: Option<&[f32]>,
         plan: &HaloPlan,
     ) -> (DistTensor, DistTensor) {
-        let win = self.build_x_window_with_plan(comm, x, plan);
+        self.forward_with_plan_in(comm, x, w, bias, plan, None)
+    }
+
+    /// [`DistConv2d::forward_with_plan`] with the window's storage drawn
+    /// from `store` when provided (the arena path).
+    pub fn forward_with_plan_in<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        w: &Tensor,
+        bias: Option<&[f32]>,
+        plan: &HaloPlan,
+        store: Option<Vec<f32>>,
+    ) -> (DistTensor, DistTensor) {
+        let win = self.build_x_window_with_plan_in(comm, x, plan, store);
         let y = self.forward_from_window(comm.rank(), &win, w, bias);
         (y, win)
     }
@@ -215,8 +242,24 @@ impl DistConv2d {
         w: &Tensor,
         plan: &HaloPlan,
     ) -> DistTensor {
+        self.backward_data_with_plan_in(comm, dy, w, plan, None).0
+    }
+
+    /// [`DistConv2d::backward_data_with_plan`] with the transient dy
+    /// window's storage drawn from `store` when provided. The spent
+    /// storage comes back as the second element (only when `store` was
+    /// `Some`) so the caller can return it to its arena slot.
+    pub fn backward_data_with_plan_in<C: Communicator>(
+        &self,
+        comm: &C,
+        dy: &DistTensor,
+        w: &Tensor,
+        plan: &HaloPlan,
+        store: Option<Vec<f32>>,
+    ) -> (DistTensor, Option<Vec<f32>>) {
         debug_assert_eq!(*dy.dist(), self.out_dist, "error signal has wrong distribution");
-        let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
+        let had_store = store.is_some();
+        let mut dyw = dy.to_window_in(self.dy_margins.0, self.dy_margins.1, store);
         exchange_halo_with_plan(comm, &mut dyw, plan);
 
         let mut dx = DistTensor::new_unpadded(self.in_dist.clone(), comm.rank());
@@ -231,7 +274,8 @@ impl DistConv2d {
             (ib.lo[3], ib.hi[3]),
         );
         dx.set_owned(&local);
-        dx
+        let spent = had_store.then(|| dyw.into_storage());
+        (dx, spent)
     }
 
     /// Local weight-gradient contribution (Eq. 2), **without** the final

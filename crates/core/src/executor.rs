@@ -32,13 +32,16 @@
 
 use std::borrow::Cow;
 
+use std::cell::RefCell;
+
 use fg_comm::{Communicator, ErasedComm};
 use fg_kernels::batchnorm::BnStats;
 use fg_kernels::loss::Labels;
 use fg_nn::{LayerKind, LayerParams, NetworkSpec, Sgd};
-use fg_tensor::{DistTensor, Shape4, Tensor, TensorDist};
+use fg_tensor::{BufClass, DistTensor, MemPlan, Shape4, StepArena, Tensor, TensorDist};
 
-use crate::layers::{build_layers, BwdCx, DistLayer, FwdCx, FwdInput, LayerPlan};
+use crate::layers::{build_layers, ArenaSlot, BwdCx, DistLayer, FwdCx, FwdInput, LayerPlan};
+use crate::mem::{MemReport, RankArena};
 use crate::strategy::{Strategy, StrategyError};
 
 /// A distributed activation: either a shard of a global tensor, or a
@@ -178,6 +181,7 @@ impl DistExecutor {
         // Move analysis: a parent activation may be moved (not cloned)
         // into a consumer when that consumer is the sole reader, no
         // shuffle intervenes, and backward never touches the edge.
+        // arena-exempt: construction-time move analysis, not the step path.
         let mut consumers = vec![0usize; layers.len()];
         for l in &layers {
             for &p in &l.base().parents {
@@ -219,8 +223,84 @@ impl DistExecutor {
                     detail: v.to_string(),
                 });
             }
+            // The memory plans ride the same gate: an unsound slot
+            // assignment or understated bound must never execute.
+            let mem = exec.analyze_memory();
+            if let Some(v) = mem.violations.first() {
+                return Err(StrategyError::ScheduleUnsound {
+                    layer: v.layer,
+                    detail: format!("memory: {v}"),
+                });
+            }
+        }
+        // FG_MEM_BUDGET (bytes/rank): reject strategies whose static
+        // peak exceeds the budget before anything executes.
+        if let Some(budget) = crate::mem::mem_budget_from_env() {
+            let needed = exec.analyze_memory().max_peak();
+            if needed > budget {
+                return Err(StrategyError::MemBudgetExceeded { needed, budget });
+            }
         }
         Ok(exec)
+    }
+
+    /// Statically analyze this executor's memory schedule: record every
+    /// rank's tensor-liveness intervals, color the arena-managed ones
+    /// into memory plans, compute exact per-rank peak bounds, and run
+    /// the soundness checks (slot overlap/undersizing, staging
+    /// understatement, cross-rank byte conservation). Pure plan
+    /// geometry — no tensors, no threads.
+    pub fn analyze_memory(&self) -> MemReport {
+        self.analyze_memory_with(|_, _| {}, |_, _| {})
+    }
+
+    /// [`DistExecutor::analyze_memory`] with corruption hooks for
+    /// mutation tests: `mutate_intervals` edits a rank's recorded
+    /// intervals before coloring (understated staging sizes),
+    /// `mutate_plan` edits the colored plan before checking (overlapping
+    /// slot assignments, undersized arenas). Production callers use
+    /// [`DistExecutor::analyze_memory`].
+    pub fn analyze_memory_with(
+        &self,
+        mutate_intervals: impl Fn(usize, &mut Vec<fg_tensor::LiveInterval>),
+        mutate_plan: impl Fn(usize, &mut MemPlan),
+    ) -> MemReport {
+        let world = self.strategy.world_size();
+        let ranks: Vec<usize> = (0..world).collect();
+        let rank_plans =
+            |rank: usize| self.plans.iter().map(|per| per[rank].clone()).collect::<Vec<_>>();
+        crate::mem::analyze_ranks(
+            &self.spec,
+            &self.layers,
+            &rank_plans,
+            Some(&self.plans),
+            self.batch,
+            &ranks,
+            &mutate_intervals,
+            &mutate_plan,
+        )
+    }
+
+    /// Build rank `rank`'s executable memory state: its liveness
+    /// intervals colored into a [`MemPlan`], a [`StepArena`]
+    /// preallocated to execute it, and the rank's static peak bound.
+    /// Hand the result to the `*_arena` entry points; after every step
+    /// they assert `measured_peak() <= static_bound`.
+    pub fn rank_arena(&self, rank: usize) -> RankArena {
+        let param_elems: Vec<usize> =
+            fg_nn::init_params(&self.spec, 0).iter().map(|p| p.len()).collect();
+        let plans: Vec<LayerPlan> = self.plans.iter().map(|per| per[rank].clone()).collect();
+        let ivs = crate::mem::rank_intervals(
+            &self.spec,
+            &self.layers,
+            &plans,
+            &param_elems,
+            self.batch,
+            rank,
+        );
+        let plan = MemPlan::color(&ivs);
+        let pool = RefCell::new(StepArena::new(&plan));
+        RankArena { rank, plan, pool, static_bound: fg_tensor::peak_bytes(&ivs) }
     }
 
     /// Statically verify this executor's compiled communication
@@ -292,7 +372,7 @@ impl DistExecutor {
         let dist = self.input_dist();
         assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
         let shard = DistTensor::from_global(dist, comm.rank(), x, [0; 4], [0; 4]);
-        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), labels, None)
+        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), labels, None, None)
     }
 
     /// Forward pass from a pre-sharded input (distributed data loading):
@@ -312,7 +392,7 @@ impl DistExecutor {
             "shard does not match the input distribution"
         );
         assert_eq!(x_shard.rank(), comm.rank(), "shard belongs to a different rank");
-        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(x_shard), labels, None)
+        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(x_shard), labels, None, None)
     }
 
     /// Sharded-input counterpart of [`DistExecutor::loss_and_grads`].
@@ -345,7 +425,14 @@ impl DistExecutor {
         let dist = self.input_dist();
         assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
         let shard = DistTensor::from_global(dist, comm.rank(), x, [0; 4], [0; 4]);
-        self.run_forward(&ErasedComm::new(comm), params, Act::Shard(shard), None, Some(bn_stats))
+        self.run_forward(
+            &ErasedComm::new(comm),
+            params,
+            Act::Shard(shard),
+            None,
+            Some(bn_stats),
+            None,
+        )
     }
 
     /// Batched inference entry for serving: run
@@ -398,15 +485,16 @@ impl DistExecutor {
         input: Act,
         labels: Option<&Labels>,
         bn_override: Option<&[Option<BnStats>]>,
+        arena: Option<&RankArena>,
     ) -> DistPass {
         assert_eq!(comm.size(), self.strategy.world_size(), "communicator does not match strategy");
         let n_layers = self.layers.len();
         let rank = comm.rank();
         let mut pass = DistPass {
-            acts: Vec::with_capacity(n_layers),
-            inputs: vec![Vec::new(); n_layers],
-            windows: vec![None; n_layers],
-            bn_stats: vec![None; n_layers],
+            acts: Vec::with_capacity(n_layers), // arena-exempt: slot table
+            inputs: vec![Vec::new(); n_layers], // arena-exempt: slot table
+            windows: vec![None; n_layers],      // arena-exempt: slot table
+            bn_stats: vec![None; n_layers],     // arena-exempt: slot table
             loss: None,
             loss_grad: None,
         };
@@ -419,6 +507,7 @@ impl DistExecutor {
 
             // Phase 1: owned inputs — §III-C shuffles, and moves out of
             // sole-consumer parents (no clone, the parent slot is spent).
+            // arena-exempt: per-parent Option slots; activations are moved in.
             let mut owned: Vec<Option<Act>> = Vec::with_capacity(base.parents.len());
             for (i, &p) in base.parents.iter().enumerate() {
                 let o = if let Some(shuffle) = plan.in_shuffles[i].as_ref() {
@@ -453,6 +542,11 @@ impl DistExecutor {
                 rank,
                 inputs,
                 external: if base.parents.is_empty() { external.take() } else { None },
+                window_slot: arena.and_then(|a| {
+                    a.plan
+                        .slot_for(id, BufClass::Window)
+                        .map(|slot| ArenaSlot { pool: &a.pool, slot })
+                }),
                 window: None,
                 bn_stats: None,
                 loss: None,
@@ -472,6 +566,7 @@ impl DistExecutor {
                     })
                     .collect()
             } else {
+                // arena-exempt: per-parent Option slots.
                 vec![None; base.parents.len()]
             };
             pass.windows[id] = window;
@@ -495,7 +590,7 @@ impl DistExecutor {
         params: &[LayerParams],
         pass: &DistPass,
     ) -> Vec<LayerParams> {
-        self.run_backward(&ErasedComm::new(comm), params, pass)
+        self.run_backward(&ErasedComm::new(comm), params, pass, None)
     }
 
     /// The plan-driven backward scheduler: loss layers seed their parent
@@ -507,10 +602,12 @@ impl DistExecutor {
         comm: &ErasedComm<'_>,
         params: &[LayerParams],
         pass: &DistPass,
+        arena: Option<&RankArena>,
     ) -> Vec<LayerParams> {
         let n_layers = self.layers.len();
         let rank = comm.rank();
         let mut grads: Vec<LayerParams> = params.iter().map(|p| p.zeros_like()).collect();
+        // arena-exempt: per-layer Option slots; error signals are moved in.
         let mut dout: Vec<Option<Act>> = vec![None; n_layers];
 
         for id in (0..n_layers).rev() {
@@ -533,6 +630,11 @@ impl DistExecutor {
                 bn_mode: self.strategy.bn_mode,
                 overlap: self.strategy.overlap_halo,
                 rank,
+                dyw_slot: arena.and_then(|a| {
+                    a.plan
+                        .slot_for(id, BufClass::DyWindow)
+                        .map(|slot| ArenaSlot { pool: &a.pool, slot })
+                }),
             };
             let out = layer.backward(comm, &cx, dy);
             if let Some(g) = out.grads {
@@ -563,6 +665,66 @@ impl DistExecutor {
         let loss = pass.loss.expect("network must end in a loss layer");
         let grads = self.backward(comm, params, &pass);
         (loss, grads)
+    }
+
+    /// [`DistExecutor::loss_and_grads`] executed against rank-local
+    /// arena storage: conv/pool windows draw their buffers from
+    /// `arena`'s recycled slots instead of allocating per step, and the
+    /// step ends with the runtime soundness assertion
+    /// `measured_peak() <= static_bound`. Losses and gradients are
+    /// bitwise identical to the allocation-per-step path — the arena
+    /// changes where bytes live, never what they hold.
+    pub fn loss_and_grads_arena<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &[LayerParams],
+        x: &Tensor,
+        labels: &Labels,
+        arena: &RankArena,
+    ) -> (f64, Vec<LayerParams>) {
+        assert_eq!(arena.rank, comm.rank(), "arena belongs to a different rank");
+        let dist = self.input_dist();
+        assert_eq!(x.shape(), dist.shape, "input does not match network/batch");
+        let shard = DistTensor::from_global(dist, comm.rank(), x, [0; 4], [0; 4]);
+        let ec = ErasedComm::new(comm);
+        let mut pass =
+            self.run_forward(&ec, params, Act::Shard(shard), Some(labels), None, Some(arena));
+        let loss = pass.loss.expect("network must end in a loss layer");
+        let grads = self.run_backward(&ec, params, &pass, Some(arena));
+        // End-of-step sweep: every kept forward window returns its
+        // storage to its slot (dy windows were released inside their
+        // layer's backward), then the high-water mark is checked against
+        // the static bound.
+        for (id, w) in pass.windows.iter_mut().enumerate() {
+            let Some(slot) = arena.plan.slot_for(id, BufClass::Window) else { continue };
+            if let Some(win) = w.take() {
+                arena.pool.borrow_mut().release(slot, win.into_storage());
+            }
+        }
+        assert!(
+            arena.measured_peak() <= arena.static_bound,
+            "rank {}: measured arena peak {} B exceeds the static bound {} B",
+            arena.rank,
+            arena.measured_peak(),
+            arena.static_bound
+        );
+        (loss, grads)
+    }
+
+    /// Arena-executed counterpart of [`DistExecutor::train_step`]; see
+    /// [`DistExecutor::loss_and_grads_arena`].
+    pub fn train_step_arena<C: Communicator>(
+        &self,
+        comm: &C,
+        params: &mut [LayerParams],
+        opt: &mut Sgd,
+        x: &Tensor,
+        labels: &Labels,
+        arena: &RankArena,
+    ) -> f64 {
+        let (loss, grads) = self.loss_and_grads_arena(comm, params, x, labels, arena);
+        opt.step(params, &grads);
+        loss
     }
 
     /// One training step: forward, backward, replicated SGD update.
@@ -824,6 +986,74 @@ mod tests {
             for (x, y) in ga.iter().zip(gb) {
                 assert_eq!(x.to_flat(), y.to_flat(), "overlap changed gradients");
             }
+        }
+    }
+
+    #[test]
+    fn arena_execution_is_bitwise_identical() {
+        // The arena changes where window bytes live, never what they
+        // hold: losses and gradients must match the allocation-per-step
+        // path bit for bit, and every rank's measured high-water mark
+        // must stay under its static bound.
+        for (spec, grid, batch) in [
+            (mini_mesh_net(), ProcGrid::spatial(2, 2), 2),
+            (mini_mesh_net(), ProcGrid::hybrid(2, 2, 1), 4),
+            (mini_resnet(), ProcGrid::hybrid(2, 1, 2), 4),
+        ] {
+            let (x, labels) =
+                if spec.find("fc").is_some() { cls_batch(batch) } else { seg_batch(batch, 16, 16) };
+            let net = Network::init(spec.clone(), 21);
+            let exec =
+                DistExecutor::new(spec.clone(), Strategy::uniform(&spec, grid), batch).unwrap();
+            let report = exec.analyze_memory();
+            assert!(report.is_clean(), "memory plan must verify clean: {report}");
+
+            let plain = run_ranks(4, |comm| exec.loss_and_grads(comm, &net.params, &x, &labels));
+            let arena = run_ranks(4, |comm| {
+                let arena = exec.rank_arena(comm.rank());
+                // Two steps through the same arena: slots must recycle.
+                let first = exec.loss_and_grads_arena(comm, &net.params, &x, &labels, &arena);
+                let second = exec.loss_and_grads_arena(comm, &net.params, &x, &labels, &arena);
+                assert_eq!(first.0.to_bits(), second.0.to_bits(), "arena reuse changed the loss");
+                assert!(
+                    arena.measured_peak() <= arena.static_bound,
+                    "measured {} B over static bound {} B",
+                    arena.measured_peak(),
+                    arena.static_bound
+                );
+                assert_eq!(
+                    arena.pool.borrow().outstanding_bytes(),
+                    0,
+                    "end-of-step sweep must return every buffer"
+                );
+                first
+            });
+            for ((la, ga), (lb, gb)) in plain.iter().zip(&arena) {
+                assert_eq!(la.to_bits(), lb.to_bits(), "arena changed the loss");
+                for (g1, g2) in ga.iter().zip(gb) {
+                    assert_eq!(g1.to_flat(), g2.to_flat(), "arena changed gradients");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_bounds_cover_all_ranks_and_strategies() {
+        // analyze_memory agrees with rank_arena's per-rank bound, and
+        // bounds are positive wherever a rank holds data.
+        let spec = mini_mesh_net();
+        let exec =
+            DistExecutor::new(spec.clone(), Strategy::uniform(&spec, ProcGrid::spatial(2, 2)), 2)
+                .unwrap();
+        let report = exec.analyze_memory();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.bounds.len(), 4);
+        for b in &report.bounds {
+            assert!(b.peak_bytes > 0);
+            assert!(b.peak_bytes >= b.persistent_bytes, "peak covers the whole-step term");
+            let arena = exec.rank_arena(b.rank);
+            assert_eq!(arena.static_bound, b.peak_bytes, "rank_arena bound matches the report");
+            assert_eq!(arena.pool.borrow().arena_bytes(), b.arena_bytes);
         }
     }
 

@@ -7,8 +7,12 @@ use fg_tensor::Tensor;
 
 use crate::distconv::DistConv2d;
 use crate::executor::Act;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
-use crate::overlap::{backward_overlapped_with_plans, forward_overlapped_with_plans, InteriorPlan};
+use crate::layers::plan::{
+    window_elems, BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerBufs, LayerPlan, TraceCx,
+};
+use crate::overlap::{
+    backward_overlapped_with_plans_in, forward_overlapped_with_plans_in, InteriorPlan,
+};
 use fg_comm::{ScalarType, TraceRecorder};
 use fg_tensor::halo::record_halo_exchange;
 
@@ -54,13 +58,15 @@ impl DistLayer for ConvLayer {
         let x = cx.input(0).shard_of(self.base.id, &self.base.kind);
         let (w, b) = conv_params(cx.params);
         let x_halo = cx.plan.x_halo.as_ref().expect("conv plan has an x halo");
+        let store =
+            cx.window_slot.as_ref().map(|s| s.alloc(self.memory_model(cx.rank).window_elems));
         // §IV-A: overlap halo exchange with interior compute
         // (bitwise-identical results either way).
         let (y, win) = if cx.overlap {
             let iplan = cx.plan.interior.as_ref().expect("conv plan has an interior plan");
-            forward_overlapped_with_plans(&self.conv, comm, x, w, b, x_halo, iplan)
+            forward_overlapped_with_plans_in(&self.conv, comm, x, w, b, x_halo, iplan, store)
         } else {
-            self.conv.forward_with_plan(comm, x, w, b, x_halo)
+            self.conv.forward_with_plan_in(comm, x, w, b, x_halo, store)
         };
         cx.window = Some(win);
         Act::Shard(y)
@@ -71,18 +77,42 @@ impl DistLayer for ConvLayer {
         let (w, b) = conv_params(cx.params);
         let win = cx.window(&self.base);
         let dy_halo = cx.plan.dy_halo.as_ref().expect("conv plan has a dy halo");
+        let store =
+            cx.dyw_slot.as_ref().map(|s| s.alloc(self.memory_model(cx.rank).dy_window_elems));
         // §IV-A: the dy halo exchange hides inside the (halo-free)
         // filter convolution when overlapping.
-        let (dx, dw, db) = if cx.overlap {
-            backward_overlapped_with_plans(&self.conv, comm, win, &dy, w, b.is_some(), dy_halo)
+        let (dx, dw, db, spent) = if cx.overlap {
+            backward_overlapped_with_plans_in(
+                &self.conv,
+                comm,
+                win,
+                &dy,
+                w,
+                b.is_some(),
+                dy_halo,
+                store,
+            )
         } else {
-            let dx = self.conv.backward_data_with_plan(comm, &dy, w, dy_halo);
+            let (dx, spent) = self.conv.backward_data_with_plan_in(comm, &dy, w, dy_halo, store);
             let (dw, db) = self.conv.backward_filter(comm, win, &dy, b.is_some());
-            (dx, dw, db)
+            (dx, dw, db, spent)
         };
+        if let (Some(slot), Some(buf)) = (cx.dyw_slot.as_ref(), spent) {
+            slot.release(buf);
+        }
         BwdOut {
+            // arena-exempt: one-element edge list; `dx` is moved, not allocated here.
             dparents: vec![(0, Act::Shard(dx))],
             grads: Some(LayerParams::Conv { w: dw, b: db }),
+        }
+    }
+
+    fn memory_model(&self, rank: usize) -> LayerBufs {
+        let (xlo, xhi) = self.conv.x_margins;
+        let (dlo, dhi) = self.conv.dy_margins;
+        LayerBufs {
+            window_elems: window_elems(&self.conv.in_dist, rank, xlo, xhi),
+            dy_window_elems: window_elems(&self.conv.out_dist, rank, dlo, dhi),
         }
     }
 

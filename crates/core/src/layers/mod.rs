@@ -41,7 +41,10 @@ pub use loss::{
     dist_softmax_xent_per_sample, dist_softmax_xent_per_sample_with_group, dist_softmax_xent_shard,
     SoftmaxLossLayer,
 };
-pub use plan::{BwdCx, BwdOut, DistLayer, FwdCx, FwdInput, LayerBase, LayerPlan, TraceCx};
+pub use plan::{
+    window_elems, ArenaSlot, BwdCx, BwdOut, DistLayer, FwdCx, FwdInput, LayerBase, LayerBufs,
+    LayerPlan, TraceCx,
+};
 pub use pointwise::{dist_add, dist_relu_backward, dist_relu_forward, AddLayer, ReluLayer};
 pub use pool::{DistPool2d, PoolLayer};
 

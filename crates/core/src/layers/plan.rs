@@ -13,6 +13,7 @@
 //! every step against an [`FwdCx`]/[`BwdCx`] holding the plan, the
 //! layer's parameters, and its (possibly redistributed) inputs.
 
+use std::cell::RefCell;
 use std::ops::Range;
 
 use fg_comm::{ErasedComm, SubCommLayout, TraceRecorder};
@@ -21,7 +22,7 @@ use fg_kernels::loss::Labels;
 use fg_nn::{LayerKind, LayerParams};
 use fg_tensor::halo::HaloPlan;
 use fg_tensor::shuffle::ShufflePlan;
-use fg_tensor::{DistTensor, ProcGrid, TensorDist};
+use fg_tensor::{DistTensor, ProcGrid, StepArena, TensorDist, NDIMS};
 
 use crate::executor::{Act, DistPass};
 use crate::layers::BnMode;
@@ -102,6 +103,59 @@ impl LayerBase {
     }
 }
 
+/// Element count of a rank's haloed window over `dist`: the owned box
+/// expanded by the margins — exactly the local buffer
+/// [`DistTensor::to_window`] builds. This is the single sizing formula
+/// shared by the memory analyzer (interval bytes) and the layer drivers
+/// (arena checkout sizes), so the static plan and the runtime requests
+/// can never disagree.
+pub fn window_elems(
+    dist: &TensorDist,
+    rank: usize,
+    margin_lo: [usize; NDIMS],
+    margin_hi: [usize; NDIMS],
+) -> usize {
+    let b = dist.local_box(rank);
+    (0..NDIMS).map(|d| (b.hi[d] - b.lo[d]) + margin_lo[d] + margin_hi[d]).product()
+}
+
+/// Step-transient buffer sizes one layer needs on one rank, reported by
+/// [`DistLayer::memory_model`]. Element counts, not bytes; zero means
+/// the layer does not keep that buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerBufs {
+    /// The haloed input window built in forward and kept until backward.
+    pub window_elems: usize,
+    /// The transient error-signal window built (and dropped) inside
+    /// backward.
+    pub dy_window_elems: usize,
+}
+
+/// A checkout handle on one slot of a rank's step arena, handed to a
+/// layer through its context. The layer draws its planned buffer from
+/// the slot with [`ArenaSlot::alloc`]; storage returns to the slot via
+/// [`ArenaSlot::release`] (dy windows, inside backward) or via the
+/// executor's end-of-step sweep (kept forward windows).
+#[derive(Debug)]
+pub struct ArenaSlot<'a> {
+    pub(crate) pool: &'a RefCell<StepArena>,
+    pub(crate) slot: usize,
+}
+
+impl ArenaSlot<'_> {
+    /// Check the slot out as a buffer of `elems` elements. Panics (slot
+    /// named) on double checkout or over-capacity requests — plan
+    /// violations the static checker proves absent.
+    pub fn alloc(&self, elems: usize) -> Vec<f32> {
+        self.pool.borrow_mut().alloc(self.slot, elems)
+    }
+
+    /// Return the buffer to the slot.
+    pub fn release(&self, buf: Vec<f32>) {
+        self.pool.borrow_mut().release(self.slot, buf)
+    }
+}
+
 /// A uniformly schedulable distributed layer. Object-safe: the executor
 /// holds `Vec<Box<dyn DistLayer>>` and drives plans through
 /// [`ErasedComm`], never matching on layer kinds itself.
@@ -151,6 +205,18 @@ pub trait DistLayer: std::fmt::Debug + Send + Sync {
     /// Record the wire ops [`DistLayer::backward`] would issue.
     fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut TraceRecorder) {
         let _ = (cx, rec);
+    }
+
+    /// Step-transient buffers this layer keeps on `rank` — the sizing
+    /// contract between the static memory analyzer (which turns these
+    /// into [`LiveInterval`]s and arena slots) and the runtime (which
+    /// checks out exactly these counts). The default reports none
+    /// (layers that keep no windows).
+    ///
+    /// [`LiveInterval`]: fg_tensor::LiveInterval
+    fn memory_model(&self, rank: usize) -> LayerBufs {
+        let _ = rank;
+        LayerBufs::default()
     }
 }
 
@@ -222,6 +288,9 @@ pub struct FwdCx<'a> {
     pub inputs: Vec<Option<FwdInput<'a>>>,
     /// The externally supplied activation (input layer only).
     pub external: Option<Act>,
+    /// Arena slot for the kept input window, when the executor runs a
+    /// memory plan (`None` = conventional allocation).
+    pub window_slot: Option<ArenaSlot<'a>>,
     /// Out: haloed input window kept for backward (conv/pool).
     pub window: Option<DistTensor>,
     /// Out: batch-norm statistics.
@@ -264,6 +333,9 @@ pub struct BwdCx<'a> {
     pub overlap: bool,
     /// This rank.
     pub rank: usize,
+    /// Arena slot for the transient dy window, when the executor runs a
+    /// memory plan (`None` = conventional allocation).
+    pub dyw_slot: Option<ArenaSlot<'a>>,
 }
 
 impl BwdCx<'_> {

@@ -8,7 +8,9 @@ use fg_tensor::halo::{exchange_halo_with_plan, HaloPlan};
 use fg_tensor::{DistTensor, ProcGrid, Shape4, TensorDist, NDIMS};
 
 use crate::executor::Act;
-use crate::layers::plan::{BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerPlan, TraceCx};
+use crate::layers::plan::{
+    window_elems, BwdCx, BwdOut, DistLayer, FwdCx, LayerBase, LayerBufs, LayerPlan, TraceCx,
+};
 
 /// A distributed 2-D pooling layer.
 #[derive(Debug, Clone)]
@@ -76,6 +78,16 @@ impl DistPool2d {
         DistPool2d { kind, geom, in_dist, out_dist, x_margins, dy_margins }
     }
 
+    /// Margins of the forward input window.
+    pub fn x_margins(&self) -> ([usize; NDIMS], [usize; NDIMS]) {
+        self.x_margins
+    }
+
+    /// Margins of the backward error-signal window.
+    pub fn dy_margins(&self) -> ([usize; NDIMS], [usize; NDIMS]) {
+        self.dy_margins
+    }
+
     /// The forward halo plan for this rank's input window.
     pub fn x_halo_plan(&self, rank: usize) -> HaloPlan {
         HaloPlan::for_layout(&self.in_dist, rank, self.x_margins.0, self.x_margins.1)
@@ -98,8 +110,20 @@ impl DistPool2d {
         x: &DistTensor,
         plan: &HaloPlan,
     ) -> (DistTensor, DistTensor) {
+        self.forward_with_plan_in(comm, x, plan, None)
+    }
+
+    /// [`DistPool2d::forward_with_plan`] with the window's storage drawn
+    /// from `store` when provided (the arena path); bitwise-identical.
+    pub fn forward_with_plan_in<C: Communicator>(
+        &self,
+        comm: &C,
+        x: &DistTensor,
+        plan: &HaloPlan,
+        store: Option<Vec<f32>>,
+    ) -> (DistTensor, DistTensor) {
         debug_assert_eq!(*x.dist(), self.in_dist);
-        let mut win = x.to_window(self.x_margins.0, self.x_margins.1);
+        let mut win = x.to_window_in(self.x_margins.0, self.x_margins.1, store);
         exchange_halo_with_plan(comm, &mut win, plan);
         let mut y = DistTensor::new_unpadded(self.out_dist.clone(), comm.rank());
         let ob = y.own_box();
@@ -133,8 +157,24 @@ impl DistPool2d {
         dy: &DistTensor,
         plan: &HaloPlan,
     ) -> DistTensor {
+        self.backward_with_plan_in(comm, x_window, dy, plan, None).0
+    }
+
+    /// [`DistPool2d::backward_with_plan`] with the transient dy window's
+    /// storage drawn from `store` when provided; the spent storage comes
+    /// back as the second element (only when `store` was `Some`) so the
+    /// caller can return it to its arena slot.
+    pub fn backward_with_plan_in<C: Communicator>(
+        &self,
+        comm: &C,
+        x_window: &DistTensor,
+        dy: &DistTensor,
+        plan: &HaloPlan,
+        store: Option<Vec<f32>>,
+    ) -> (DistTensor, Option<Vec<f32>>) {
         debug_assert_eq!(*dy.dist(), self.out_dist);
-        let mut dyw = dy.to_window(self.dy_margins.0, self.dy_margins.1);
+        let had_store = store.is_some();
+        let mut dyw = dy.to_window_in(self.dy_margins.0, self.dy_margins.1, store);
         exchange_halo_with_plan(comm, &mut dyw, plan);
         let mut dx = DistTensor::new_unpadded(self.in_dist.clone(), comm.rank());
         let ib = dx.own_box();
@@ -149,7 +189,8 @@ impl DistPool2d {
             (ib.lo[3], ib.hi[3]),
         );
         dx.set_owned(&local);
-        dx
+        let spent = had_store.then(|| dyw.into_storage());
+        (dx, spent)
     }
 }
 
@@ -222,7 +263,9 @@ impl DistLayer for PoolLayer {
     fn forward(&self, comm: &ErasedComm<'_>, cx: &mut FwdCx<'_>) -> Act {
         let x = cx.input(0).shard_of(self.base.id, &self.base.kind);
         let x_halo = cx.plan.x_halo.as_ref().expect("pool plan has an x halo");
-        let (y, win) = self.pool.forward_with_plan(comm, x, x_halo);
+        let store =
+            cx.window_slot.as_ref().map(|s| s.alloc(self.memory_model(cx.rank).window_elems));
+        let (y, win) = self.pool.forward_with_plan_in(comm, x, x_halo, store);
         cx.window = Some(win);
         Act::Shard(y)
     }
@@ -231,7 +274,13 @@ impl DistLayer for PoolLayer {
         let dy = dy.into_shard_of(self.base.id, &self.base.kind);
         let win = cx.window(&self.base);
         let dy_halo = cx.plan.dy_halo.as_ref().expect("pool plan has a dy halo");
-        let dx = self.pool.backward_with_plan(comm, win, &dy, dy_halo);
+        let store =
+            cx.dyw_slot.as_ref().map(|s| s.alloc(self.memory_model(cx.rank).dy_window_elems));
+        let (dx, spent) = self.pool.backward_with_plan_in(comm, win, &dy, dy_halo, store);
+        if let (Some(slot), Some(buf)) = (cx.dyw_slot.as_ref(), spent) {
+            slot.release(buf);
+        }
+        // arena-exempt: one-element edge list; `dx` is moved, not allocated here.
         BwdOut { dparents: vec![(0, Act::Shard(dx))], grads: None }
     }
 
@@ -243,6 +292,15 @@ impl DistLayer for PoolLayer {
     fn record_backward(&self, cx: &TraceCx<'_>, rec: &mut fg_comm::TraceRecorder) {
         let dy_halo = cx.plan.dy_halo.as_ref().expect("pool plan has a dy halo");
         fg_tensor::halo::record_halo_exchange(rec, dy_halo);
+    }
+
+    fn memory_model(&self, rank: usize) -> LayerBufs {
+        let (xlo, xhi) = self.pool.x_margins();
+        let (dlo, dhi) = self.pool.dy_margins();
+        LayerBufs {
+            window_elems: window_elems(&self.pool.in_dist, rank, xlo, xhi),
+            dy_window_elems: window_elems(&self.pool.out_dist, rank, dlo, dhi),
+        }
     }
 }
 

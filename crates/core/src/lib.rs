@@ -19,13 +19,19 @@
 //! * [`strategy`] — strategy containers and validation;
 //! * [`verify`] — static schedule verification: symbolically executes
 //!   every rank's compiled plans and proves the step deadlock-free and
-//!   shape-sound before it runs (`FG_VERIFY=1`, `repro -- verify`).
+//!   shape-sound before it runs (`FG_VERIFY=1`, `repro -- verify`);
+//! * [`mem`] — static tensor-liveness analysis over the same compiled
+//!   plans: exact per-rank peak-memory bounds (any world size, sampled
+//!   ranks), interval-colored memory plans the executor runs via
+//!   per-rank step arenas, and a budget gate (`FG_MEM_BUDGET`,
+//!   `repro -- memscale`).
 
 pub mod channel_filter;
 pub mod distconv;
 pub mod executor;
 pub mod guard;
 pub mod layers;
+pub mod mem;
 pub mod mp_fc;
 pub mod overlap;
 pub mod resilient;
@@ -40,6 +46,10 @@ pub use distconv::DistConv2d;
 pub use executor::{Act, DistExecutor, DistPass};
 pub use guard::{Anomaly, GuardConfig, StepGuard};
 pub use layers::{BnMode, DistPool2d};
+pub use mem::{
+    analyze_strategy, mem_budget_from_env, sample_ranks, MemCheckKind, MemReport, MemViolation,
+    RankArena, RankMemBound,
+};
 pub use mp_fc::ModelParallelFc;
 pub use resilient::{
     resilient_train, ComputeFault, Degradation, DegradeConfig, Rebalance, Replanner,

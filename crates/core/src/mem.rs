@@ -1,0 +1,572 @@
+//! Static tensor-liveness analysis: verified per-rank memory bounds and
+//! executable memory plans.
+//!
+//! `DistExecutor::new` compiles every rank's per-layer plans before a
+//! single step runs — so, exactly as the communication schedule is known
+//! statically (see [`crate::verify`]), the *memory* schedule is too.
+//! This module walks a rank's compiled forward/backward schedule in the
+//! scheduler's exact order and records every buffer the step touches as
+//! a [`LiveInterval`] on the step's tick line (layer `L` of an `n`-layer
+//! network runs forward at tick `L` and backward at tick `2n - 1 - L`):
+//!
+//! * **persistent state** — parameters, gradients, optimizer momentum
+//!   (3× the parameter bytes), live for the whole step;
+//! * **activations** — each layer's output from its forward tick until
+//!   its backward tick, plus privately-saved redistributed inputs;
+//! * **error signals** — a layer's dL/dy accumulator from the first
+//!   child that contributes until the layer's own backward tick;
+//! * **haloed windows** — the kept forward input window and the
+//!   transient backward dy window (the two arena-managed classes);
+//! * **staging** — halo pack/unpack payloads, §III-C shuffle payloads
+//!   (forward and adjoint), flattened gradient-allreduce staging, and
+//!   the integrity layer's replay-window budget when it is on.
+//!
+//! From the interval list come (a) an exact per-rank peak
+//! ([`fg_tensor::peak_bytes`]) — the static bound every executed step's
+//! arena high-water mark is asserted against; (b) a [`MemPlan`]
+//! (interval-graph coloring) that [`crate::DistExecutor`]'s arena entry
+//! points execute; and (c) the soundness checks: no two live-overlapping
+//! intervals share a slot, no slot or arena is undersized, no staging
+//! interval understates its plan's payload, and shuffle/halo plans
+//! conserve bytes across ranks. Mutation tests (`mem_mutations.rs`)
+//! prove each corruption class produces a named violation.
+//!
+//! Because the analysis is pure plan geometry — no tensors, no threads —
+//! it runs at discrete-event scale: [`analyze_strategy`] compiles plans
+//! only for sampled ranks, so per-rank bounds at 2048–32768 ranks cost
+//! seconds, giving the memory strong-scaling curves next to the paper's
+//! Tables I–III (`repro -- memscale`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use fg_comm::collectives::block_range;
+use fg_nn::{init_params, LayerKind, NetworkSpec};
+use fg_tensor::{
+    check_mem_plan, peak_bytes, BufClass, LiveInterval, MemPlan, MemPlanIssue, StepArena, ELT_BYTES,
+};
+
+use crate::layers::{build_layers, DistLayer, LayerPlan};
+use crate::strategy::{Strategy, StrategyError};
+
+/// The static memory bound for one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankMemBound {
+    /// The rank analyzed.
+    pub rank: usize,
+    /// Exact peak of all live bytes over the step's tick line — the
+    /// bound `measured_peak <= static_bound` is checked against.
+    pub peak_bytes: usize,
+    /// The whole-step persistent term (params + grads + momentum).
+    pub persistent_bytes: usize,
+    /// Size of the rank's step arena (managed windows only).
+    pub arena_bytes: usize,
+}
+
+/// Which memory-soundness check a violation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemCheckKind {
+    /// Two live-overlapping intervals share an arena slot.
+    SlotOverlap,
+    /// An interval exceeds its slot's declared capacity.
+    SlotUndersized,
+    /// The declared arena does not cover its slots.
+    ArenaUndersized,
+    /// A staging interval (halo or shuffle) understates the bytes its
+    /// plan actually moves.
+    StagingUnderstated,
+    /// A shuffle or halo plan does not conserve bytes across ranks
+    /// (sent total != received total).
+    ByteConservation,
+}
+
+impl MemCheckKind {
+    /// Short label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemCheckKind::SlotOverlap => "slot-overlap",
+            MemCheckKind::SlotUndersized => "slot-undersized",
+            MemCheckKind::ArenaUndersized => "arena-undersized",
+            MemCheckKind::StagingUnderstated => "staging-understated",
+            MemCheckKind::ByteConservation => "byte-conservation",
+        }
+    }
+}
+
+/// One memory-soundness violation, named by rank and layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemViolation {
+    /// Which check failed.
+    pub kind: MemCheckKind,
+    /// Rank whose plan is unsound.
+    pub rank: usize,
+    /// Offending layer.
+    pub layer: usize,
+    /// Offending layer's name.
+    pub layer_name: String,
+    /// Full diagnostic.
+    pub detail: String,
+}
+
+impl fmt::Display for MemViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] rank {} layer {} ({}): {}",
+            self.kind.label(),
+            self.rank,
+            self.layer,
+            self.layer_name,
+            self.detail
+        )
+    }
+}
+
+/// Outcome of one memory analysis over a set of ranks.
+#[derive(Debug, Clone)]
+pub struct MemReport {
+    /// Per-rank bounds, in the order the ranks were analyzed.
+    pub bounds: Vec<RankMemBound>,
+    /// Every violation found; empty for a sound set of memory plans.
+    pub violations: Vec<MemViolation>,
+    /// Wall time the analysis took.
+    pub wall: Duration,
+}
+
+impl MemReport {
+    /// No violations?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The worst per-rank peak — what a memory budget is compared to.
+    pub fn max_peak(&self) -> usize {
+        self.bounds.iter().map(|b| b.peak_bytes).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for MemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s), max peak {} B: ", self.bounds.len(), self.max_peak())?;
+        if self.is_clean() {
+            write!(f, "clean")
+        } else {
+            writeln!(f, "{} violation(s)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// One rank's executable memory state: the colored plan, the arena that
+/// executes it, and the static bound the arena's high-water mark must
+/// stay under. Built by `DistExecutor::rank_arena`; consumed by the
+/// `*_arena` execution entry points.
+#[derive(Debug)]
+pub struct RankArena {
+    /// The rank this arena serves.
+    pub rank: usize,
+    /// Slot assignments and sizing (the coloring's output).
+    pub plan: MemPlan,
+    /// The runtime arena executing the plan. `RefCell` because layer
+    /// drivers check buffers in and out through shared `ArenaSlot`
+    /// handles during a pass.
+    pub pool: RefCell<StepArena>,
+    /// The rank's static peak bound in bytes (all classes, not just the
+    /// arena-managed ones), so `measured_peak() <= static_bound` holds a
+    /// fortiori for the arena's subset.
+    pub static_bound: usize,
+}
+
+impl RankArena {
+    /// High-water mark of arena bytes checked out since construction.
+    pub fn measured_peak(&self) -> usize {
+        self.pool.borrow().measured_peak()
+    }
+}
+
+/// The per-rank memory budget from `FG_MEM_BUDGET` (bytes per rank), if
+/// set and parseable.
+pub fn mem_budget_from_env() -> Option<usize> {
+    std::env::var("FG_MEM_BUDGET").ok().and_then(|v| v.trim().parse::<usize>().ok())
+}
+
+/// The integrity replay-window budget the analyzer charges when
+/// `FG_COMM_INTEGRITY=1`: mirrors `IntegrityState::new`'s bound.
+fn replay_budget_bytes() -> usize {
+    if std::env::var("FG_COMM_INTEGRITY").map(|v| v == "1").unwrap_or(false) {
+        std::env::var("FG_COMM_REPLAY_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(fg_comm::DEFAULT_REPLAY_BYTES)
+    } else {
+        0
+    }
+}
+
+/// Bytes of layer `id`'s output activation on `rank`: the local box of
+/// its sharded distribution, or the `(n_loc, C, H, W)` per-sample
+/// replicated block after global average pooling.
+fn act_bytes(
+    layers: &[Box<dyn DistLayer>],
+    shapes: &[(usize, usize, usize)],
+    batch: usize,
+    rank: usize,
+    id: usize,
+) -> usize {
+    let base = layers[id].base();
+    match &base.out_dist {
+        Some(od) => od.local_box(rank).len() * ELT_BYTES,
+        None => {
+            let n_loc = block_range(batch, base.grid.n, base.grid.coords(rank)[0]).len();
+            let (c, h, w) = shapes[id];
+            n_loc * c * h * w * ELT_BYTES
+        }
+    }
+}
+
+/// Record one rank's complete tensor-liveness interval list by walking
+/// its compiled plans in the scheduler's exact order — the symbolic-walk
+/// mirror of `run_forward`/`run_backward`, as `verify::record_rank` is
+/// for the communication schedule. `plans` is this rank's plan per
+/// layer.
+pub(crate) fn rank_intervals(
+    spec: &NetworkSpec,
+    layers: &[Box<dyn DistLayer>],
+    plans: &[LayerPlan],
+    param_elems: &[usize],
+    batch: usize,
+    rank: usize,
+) -> Vec<LiveInterval> {
+    let n = layers.len();
+    let last_tick = 2 * n - 1;
+    let fwd = |id: usize| id;
+    let bwd = |id: usize| 2 * n - 1 - id;
+    let shapes = spec.shapes();
+    let mut ivs: Vec<LiveInterval> = Vec::new();
+    let mut push = |layer: usize, class: BufClass, bytes: usize, start: usize, end: usize| {
+        if bytes > 0 {
+            ivs.push(LiveInterval { layer, class, bytes, start, end });
+        }
+    };
+
+    // Whole-step state: parameters + gradients + momentum per parameter
+    // layer, and the integrity replay budget when that layer is on.
+    for (id, &elems) in param_elems.iter().enumerate() {
+        push(id, BufClass::Persistent, 3 * elems * ELT_BYTES, 0, last_tick);
+    }
+    push(0, BufClass::ReplayWindow, replay_budget_bytes(), 0, last_tick);
+
+    // Forward: per layer, input shuffles (staging transient at the
+    // forward tick; the redistributed copy saved for backward when the
+    // layer reads its input there), then the layer's own window, halo
+    // staging, BN statistics, and output activation.
+    for (id, layer) in layers.iter().enumerate() {
+        let base = layer.base();
+        let plan = &plans[id];
+        for shuffle in &plan.in_shuffles {
+            let Some(sp) = shuffle.as_ref() else { continue };
+            let stage = sp.send_elements() + sp.recvs().iter().map(|(_, b)| b.len()).sum::<usize>();
+            push(id, BufClass::ShuffleStage, stage * ELT_BYTES, fwd(id), fwd(id));
+            if layer.needs_input_for_backward() {
+                // The privately-saved redistributed input (one per
+                // shuffled edge; sized by the layer's input
+                // distribution).
+                let saved =
+                    base.in_dist.as_ref().map(|d| d.local_box(rank).len() * ELT_BYTES).unwrap_or(0);
+                push(id, BufClass::Act, saved, fwd(id), bwd(id));
+            }
+        }
+        let bufs = layer.memory_model(rank);
+        // Kept windows stay in the pass until the end-of-step sweep
+        // returns them to their slots (backward reads them at `bwd(id)`
+        // but the pass owns them to the last tick), so their slots must
+        // be exclusive for the whole step.
+        push(id, BufClass::Window, bufs.window_elems * ELT_BYTES, fwd(id), last_tick);
+        if let Some(h) = plan.x_halo.as_ref() {
+            let stage = h.send_elements() + h.recv_elements();
+            push(id, BufClass::HaloStage, stage * ELT_BYTES, fwd(id), fwd(id));
+        }
+        if matches!(base.kind, LayerKind::BatchNorm) {
+            let c = shapes[id].0;
+            push(id, BufClass::BnStats, 2 * c * ELT_BYTES, fwd(id), bwd(id));
+        }
+        if layer.seeds_backward() {
+            // The saved loss gradient stays in the pass for the whole
+            // backward, sized like the parent's activation it seeds.
+            let p = base.parents[0];
+            push(id, BufClass::Err, act_bytes(layers, &shapes, batch, rank, p), fwd(id), last_tick);
+        }
+        push(id, BufClass::Act, act_bytes(layers, &shapes, batch, rank, id), fwd(id), bwd(id));
+    }
+
+    // Backward: reverse order, mirroring `run_backward`'s signal flow.
+    // A layer's error accumulator becomes live at the backward tick of
+    // the first child that contributes to it and dies at the layer's own
+    // backward tick (where `dout[id].take()` consumes it).
+    let mut has_signal = vec![false; n];
+    let mut err_start = vec![0usize; n];
+    for (id, layer) in layers.iter().enumerate().rev() {
+        let base = layer.base();
+        if layer.seeds_backward() {
+            let p = base.parents[0];
+            if !has_signal[p] {
+                has_signal[p] = true;
+                err_start[p] = bwd(id);
+            }
+            continue;
+        }
+        if !has_signal[id] {
+            continue;
+        }
+        push(
+            id,
+            BufClass::Err,
+            act_bytes(layers, &shapes, batch, rank, id),
+            err_start[id],
+            bwd(id),
+        );
+        if base.parents.is_empty() {
+            continue;
+        }
+        let plan = &plans[id];
+        let bufs = layer.memory_model(rank);
+        push(id, BufClass::DyWindow, bufs.dy_window_elems * ELT_BYTES, bwd(id), bwd(id));
+        if let Some(h) = plan.dy_halo.as_ref() {
+            let stage = h.send_elements() + h.recv_elements();
+            push(id, BufClass::HaloStage, stage * ELT_BYTES, bwd(id), bwd(id));
+        }
+        // Gradient + flattened allreduce staging for parameter layers.
+        push(id, BufClass::GradStage, 2 * param_elems[id] * ELT_BYTES, bwd(id), bwd(id));
+        for (i, &p) in base.parents.iter().enumerate() {
+            if let Some(sp) = plan.back_shuffles[i].as_ref() {
+                let stage =
+                    sp.send_elements() + sp.recvs().iter().map(|(_, b)| b.len()).sum::<usize>();
+                push(id, BufClass::ShuffleStage, stage * ELT_BYTES, bwd(id), bwd(id));
+            }
+            if !has_signal[p] {
+                has_signal[p] = true;
+                err_start[p] = bwd(id);
+            }
+        }
+    }
+    ivs
+}
+
+/// Map one rank's [`MemPlanIssue`]s to named violations.
+fn plan_violations(
+    rank: usize,
+    layers: &[Box<dyn DistLayer>],
+    plan: &MemPlan,
+    out: &mut Vec<MemViolation>,
+) {
+    let name = |id: usize| {
+        layers.get(id).map(|l| l.base().name.clone()).unwrap_or_else(|| "<unknown>".into())
+    };
+    for issue in check_mem_plan(plan) {
+        let (kind, layer) = match &issue {
+            MemPlanIssue::SlotOverlap { a, .. } => (MemCheckKind::SlotOverlap, a.layer),
+            MemPlanIssue::SlotUndersized { interval, .. } => {
+                (MemCheckKind::SlotUndersized, interval.layer)
+            }
+            MemPlanIssue::ArenaUndersized { .. } => (
+                MemCheckKind::ArenaUndersized,
+                // Attribute to the largest managed interval — the most
+                // plausible victim of an undersized arena.
+                plan.assigns
+                    .iter()
+                    .max_by_key(|a| a.interval.bytes)
+                    .map(|a| a.interval.layer)
+                    .unwrap_or(0),
+            ),
+        };
+        out.push(MemViolation {
+            kind,
+            rank,
+            layer,
+            layer_name: name(layer),
+            detail: issue.to_string(),
+        });
+    }
+}
+
+/// Flag staging intervals whose recorded bytes understate what the
+/// rank's plans actually move: every halo/shuffle staging interval is
+/// compared against a freshly recorded walk of the same plans. (On an
+/// unmutated analysis the two lists are identical, so this never fires
+/// in production; mutation tests corrupt `ivs` to prove the check
+/// catches understatement.)
+fn staging_violations(
+    rank: usize,
+    layers: &[Box<dyn DistLayer>],
+    ivs: &[LiveInterval],
+    fresh: &[LiveInterval],
+    out: &mut Vec<MemViolation>,
+) {
+    use std::collections::BTreeMap;
+    let staged = |list: &[LiveInterval]| {
+        let mut m: BTreeMap<(usize, BufClass, usize, usize), usize> = BTreeMap::new();
+        for iv in list {
+            if matches!(iv.class, BufClass::HaloStage | BufClass::ShuffleStage) {
+                *m.entry((iv.layer, iv.class, iv.start, iv.end)).or_insert(0) += iv.bytes;
+            }
+        }
+        m
+    };
+    let got = staged(ivs);
+    for (key @ (layer, class, start, end), &want) in &staged(fresh) {
+        let have = got.get(key).copied().unwrap_or(0);
+        if have < want {
+            out.push(MemViolation {
+                kind: MemCheckKind::StagingUnderstated,
+                rank,
+                layer: *layer,
+                layer_name: layers[*layer].base().name.clone(),
+                detail: format!(
+                    "{} staging at ticks [{start}, {end}] records {have} B but the plan moves \
+                     {want} B",
+                    class.label()
+                ),
+            });
+        }
+    }
+}
+
+/// Check byte conservation of every shuffle and halo plan across the
+/// full world: what all ranks send for a layer's exchange must equal
+/// what all ranks expect to receive. Requires the complete plan set
+/// (`plans[layer][rank]` for every rank).
+pub(crate) fn check_conservation(
+    layers: &[Box<dyn DistLayer>],
+    plans: &[Vec<LayerPlan>],
+    out: &mut Vec<MemViolation>,
+) {
+    for (id, layer) in layers.iter().enumerate() {
+        let per_rank = &plans[id];
+        let name = &layer.base().name;
+        let mut flag = |what: &str, sent: usize, recv: usize| {
+            if sent != recv {
+                out.push(MemViolation {
+                    kind: MemCheckKind::ByteConservation,
+                    rank: 0,
+                    layer: id,
+                    layer_name: name.clone(),
+                    detail: format!(
+                        "{what}: world sends {} B but expects {} B",
+                        sent * ELT_BYTES,
+                        recv * ELT_BYTES
+                    ),
+                });
+            }
+        };
+        for kind in ["x_halo", "dy_halo"] {
+            let (mut sent, mut recv) = (0usize, 0usize);
+            for plan in per_rank {
+                let h = if kind == "x_halo" { &plan.x_halo } else { &plan.dy_halo };
+                if let Some(h) = h {
+                    sent += h.send_elements();
+                    recv += h.recv_elements();
+                }
+            }
+            flag(kind, sent, recv);
+        }
+        let n_edges = layer.base().parents.len();
+        for edge in 0..n_edges {
+            for dir in ["in_shuffle", "back_shuffle"] {
+                let (mut sent, mut recv) = (0usize, 0usize);
+                for plan in per_rank {
+                    let slot = if dir == "in_shuffle" {
+                        &plan.in_shuffles[edge]
+                    } else {
+                        &plan.back_shuffles[edge]
+                    };
+                    if let Some(sp) = slot.as_ref() {
+                        sent += sp.send_elements();
+                        recv += sp.recvs().iter().map(|(_, b)| b.len()).sum::<usize>();
+                    }
+                }
+                flag(&format!("{dir} edge {edge}"), sent, recv);
+            }
+        }
+    }
+}
+
+/// Analyze the given ranks of a compiled plan set: record each rank's
+/// intervals (through `mutate_intervals`), color them into a plan
+/// (through `mutate_plan`), and run every soundness check. The hooks
+/// exist for mutation tests; production passes `|_, _| {}` for both.
+/// Conservation runs only when `full_plans` carries every rank.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn analyze_ranks(
+    spec: &NetworkSpec,
+    layers: &[Box<dyn DistLayer>],
+    rank_plans: &dyn Fn(usize) -> Vec<LayerPlan>,
+    full_plans: Option<&[Vec<LayerPlan>]>,
+    batch: usize,
+    ranks: &[usize],
+    mutate_intervals: &dyn Fn(usize, &mut Vec<LiveInterval>),
+    mutate_plan: &dyn Fn(usize, &mut MemPlan),
+) -> MemReport {
+    let start = Instant::now();
+    let param_elems: Vec<usize> = init_params(spec, 0).iter().map(|p| p.len()).collect();
+    let mut bounds = Vec::with_capacity(ranks.len());
+    let mut violations = Vec::new();
+    for &rank in ranks {
+        let plans = rank_plans(rank);
+        let fresh = rank_intervals(spec, layers, &plans, &param_elems, batch, rank);
+        let mut ivs = fresh.clone();
+        mutate_intervals(rank, &mut ivs);
+        let mut plan = MemPlan::color(&ivs);
+        mutate_plan(rank, &mut plan);
+        plan_violations(rank, layers, &plan, &mut violations);
+        staging_violations(rank, layers, &ivs, &fresh, &mut violations);
+        let persistent = ivs
+            .iter()
+            .filter(|iv| iv.class == BufClass::Persistent)
+            .map(|iv| iv.bytes)
+            .sum::<usize>();
+        bounds.push(RankMemBound {
+            rank,
+            peak_bytes: peak_bytes(&ivs),
+            persistent_bytes: persistent,
+            arena_bytes: plan.arena_bytes,
+        });
+    }
+    if let Some(plans) = full_plans {
+        check_conservation(layers, plans, &mut violations);
+    }
+    MemReport { bounds, violations, wall: start.elapsed() }
+}
+
+/// Which ranks to analyze for a world of `world` ranks: all of them for
+/// small worlds, a corner/quartile sample at discrete-event scale
+/// (per-rank bounds vary only with grid position, so the sample brackets
+/// the extremes).
+pub fn sample_ranks(world: usize) -> Vec<usize> {
+    if world <= 64 {
+        (0..world).collect()
+    } else {
+        let mut r = vec![0, world / 4, world / 2, 3 * world / 4, world - 1];
+        r.dedup();
+        r
+    }
+}
+
+/// Static per-rank memory bounds for `strategy` on `spec` at batch
+/// `batch`, analyzing only `ranks` — plan compilation and the symbolic
+/// walk are per-rank, so bounds at 2048–32768 ranks (the paper's
+/// Tables I–III scales) cost seconds without compiling the full world.
+pub fn analyze_strategy(
+    spec: &NetworkSpec,
+    strategy: &Strategy,
+    batch: usize,
+    ranks: &[usize],
+) -> Result<MemReport, StrategyError> {
+    strategy.validate(spec, batch)?;
+    let layers = build_layers(spec, strategy, batch);
+    let rank_plans = |rank: usize| layers.iter().map(|l| l.compile_plan(rank)).collect::<Vec<_>>();
+    Ok(analyze_ranks(spec, &layers, &rank_plans, None, batch, ranks, &|_, _| {}, &|_, _| {}))
+}

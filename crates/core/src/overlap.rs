@@ -86,6 +86,7 @@ impl InteriorPlan {
                 (Some(((r0, r1), (c0, c1))), strips)
             }
             // No interior: the whole block is boundary.
+            // arena-exempt: coordinate-range metadata, not tensor data.
             _ => (None, vec![((oh0, oh1), (ow0, ow1))]),
         };
         InteriorPlan { interior, boundary }
@@ -137,9 +138,25 @@ pub fn forward_overlapped_with_plans<C: Communicator>(
     plan: &HaloPlan,
     iplan: &InteriorPlan,
 ) -> (DistTensor, DistTensor) {
+    forward_overlapped_with_plans_in(conv, comm, x, w, bias, plan, iplan, None)
+}
+
+/// [`forward_overlapped_with_plans`] with the window's storage drawn
+/// from `store` when provided (the arena path); bitwise-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_overlapped_with_plans_in<C: Communicator>(
+    conv: &DistConv2d,
+    comm: &C,
+    x: &DistTensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    plan: &HaloPlan,
+    iplan: &InteriorPlan,
+    store: Option<Vec<f32>>,
+) -> (DistTensor, DistTensor) {
     let rank = comm.rank();
     // Window with owned data; margins zero until the exchange completes.
-    let mut win = x.to_window(conv.x_margins.0, conv.x_margins.1);
+    let mut win = x.to_window_in(conv.x_margins.0, conv.x_margins.1, store);
 
     // (1) post sends; (2) interior compute; (3) receive; (4) boundary.
     let tag = start_halo_exchange(comm, &win, plan);
@@ -193,12 +210,33 @@ pub fn backward_overlapped_with_plans<C: Communicator>(
     with_bias: bool,
     plan: &HaloPlan,
 ) -> (DistTensor, Tensor, Option<Vec<f32>>) {
+    let (dx, dw, db, _) =
+        backward_overlapped_with_plans_in(conv, comm, x_window, dy, w, with_bias, plan, None);
+    (dx, dw, db)
+}
+
+/// [`backward_overlapped_with_plans`] with the transient dy window's
+/// storage drawn from `store` when provided; the spent storage comes
+/// back as the last element (only when `store` was `Some`) so the
+/// caller can return it to its arena slot.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_overlapped_with_plans_in<C: Communicator>(
+    conv: &DistConv2d,
+    comm: &C,
+    x_window: &DistTensor,
+    dy: &DistTensor,
+    w: &Tensor,
+    with_bias: bool,
+    plan: &HaloPlan,
+    store: Option<Vec<f32>>,
+) -> (DistTensor, Tensor, Option<Vec<f32>>, Option<Vec<f32>>) {
     use fg_comm::{Collectives, ReduceOp};
     use fg_kernels::conv::conv2d_backward_data_region;
 
     let rank = comm.rank();
     // (1) Post dy halo sends.
-    let mut dyw = dy.to_window(conv.dy_margins.0, conv.dy_margins.1);
+    let had_store = store.is_some();
+    let mut dyw = dy.to_window_in(conv.dy_margins.0, conv.dy_margins.1, store);
     let tag = start_halo_exchange(comm, &dyw, plan);
 
     // (2) Filter-gradient compute — needs no halo on dy.
@@ -227,7 +265,8 @@ pub fn backward_overlapped_with_plans<C: Communicator>(
     let dw_len = dw_local.len();
     let dw = Tensor::from_vec(dw_local.shape(), flat[..dw_len].to_vec());
     let db = db_local.map(|_| flat[dw_len..].to_vec());
-    (dx, dw, db)
+    let spent = had_store.then(|| dyw.into_storage());
+    (dx, dw, db, spent)
 }
 
 fn write_region(

@@ -1,0 +1,53 @@
+//! `FG_MEM_BUDGET` budget gate, in its own test binary so the env var
+//! cannot leak into other tests' executor constructions.
+
+use fg_core::{DistExecutor, Strategy, StrategyError};
+use fg_nn::NetworkSpec;
+use fg_tensor::ProcGrid;
+
+fn mesh_net() -> NetworkSpec {
+    let mut net = NetworkSpec::new();
+    let i = net.input("data", 3, 16, 16);
+    let c1 = net.conv("conv1_1", i, 4, 3, 1, 1);
+    let b1 = net.batchnorm("bn1_1", c1);
+    let r1 = net.relu("relu1_1", b1);
+    let pred = net.conv("pred", r1, 2, 1, 1, 0);
+    net.loss("loss", pred);
+    net
+}
+
+/// One test owns the whole binary: set/unset transitions stay ordered.
+#[test]
+fn budget_gate_rejects_over_budget_strategies_typed() {
+    let spec = mesh_net();
+    let strategy = Strategy::uniform(&spec, ProcGrid::spatial(2, 2));
+
+    // No budget set: constructs fine.
+    std::env::remove_var("FG_MEM_BUDGET");
+    let exec = DistExecutor::new(spec.clone(), strategy.clone(), 2).expect("no budget, no gate");
+    let needed = exec.analyze_memory().max_peak();
+    assert!(needed > 1024, "test net must need more than the tiny budget");
+
+    // A budget below the static bound rejects with the typed error
+    // before anything executes.
+    std::env::set_var("FG_MEM_BUDGET", "1024");
+    match DistExecutor::new(spec.clone(), strategy.clone(), 2) {
+        Err(StrategyError::MemBudgetExceeded { needed: n, budget }) => {
+            assert_eq!(budget, 1024);
+            assert_eq!(n, needed, "the reported need is the analyzer's exact bound");
+            let msg = StrategyError::MemBudgetExceeded { needed: n, budget }.to_string();
+            assert!(msg.contains("B/rank"), "diagnostic shows bytes per rank: {msg}");
+        }
+        other => panic!("expected MemBudgetExceeded, got {other:?}"),
+    }
+
+    // A budget at exactly the bound passes (the gate is `needed >
+    // budget`).
+    std::env::set_var("FG_MEM_BUDGET", needed.to_string());
+    assert!(DistExecutor::new(spec.clone(), strategy.clone(), 2).is_ok());
+
+    // Unparseable budgets are ignored rather than misread as zero.
+    std::env::set_var("FG_MEM_BUDGET", "lots");
+    assert!(DistExecutor::new(spec, strategy, 2).is_ok());
+    std::env::remove_var("FG_MEM_BUDGET");
+}

@@ -17,7 +17,7 @@
 //! 4. per-sample layers (global pool, FC, loss heads) inherit their
 //!    parent's distribution, matching the executor's contract.
 
-use fg_core::{BnMode, Strategy};
+use fg_core::{BnMode, Strategy, StrategyError};
 use fg_nn::{LayerId, LayerKind, NetworkSpec};
 use fg_tensor::{ProcGrid, Shape4};
 
@@ -101,30 +101,60 @@ impl<'a> StrategyOptimizer<'a> {
         // to its serial footprint and reject candidates that blow it.
         // A slack factor keeps the heuristic from over-pruning; the final
         // strategy is re-checked against the exact total.
+        let mut limit_feasible = true;
         if let Some(limit) = self.memory_limit {
             let shapes = self.spec.shapes();
             let param_total: usize = (0..n).map(|id| layer_param_bytes(self.spec, id)).sum();
-            let act_budget = limit.saturating_sub(param_total) as f64;
-            let serial: Vec<usize> = (0..n)
-                .map(|id| {
-                    layer_activation_bytes(self.batch, shapes[id], ProcGrid::sample(self.world), 0)
-                })
-                .collect();
-            let serial_total: f64 = serial.iter().sum::<usize>() as f64;
-            const SLACK: f64 = 1.5;
-            for id in 0..n {
-                if serial_total == 0.0 {
-                    break;
+            let halo_of = |id: usize| match &self.spec.layer(id).kind {
+                fg_nn::LayerKind::Conv { kernel, .. } | fg_nn::LayerKind::Pool { kernel, .. } => {
+                    kernel / 2
                 }
-                let share = act_budget * serial[id] as f64 / serial_total * SLACK;
-                let halo = match &self.spec.layer(id).kind {
-                    fg_nn::LayerKind::Conv { kernel, .. }
-                    | fg_nn::LayerKind::Pool { kernel, .. } => kernel / 2,
-                    _ => 0,
-                };
-                candidates[id].retain(|g| {
-                    (layer_activation_bytes(self.batch, shapes[id], *g, halo) as f64) <= share
-                });
+                _ => 0,
+            };
+            // Feasibility floor: the footprint of the most decomposed
+            // candidate at every layer. A limit below the floor cannot be
+            // met by any strategy in the search space — pruning against
+            // it would only empty the candidate sets — so the search runs
+            // unconstrained and the exact post-check in
+            // [`StrategyOptimizer::optimize_with_budget`] owns the
+            // rejection.
+            let floor: usize = param_total
+                + (0..n)
+                    .map(|id| {
+                        candidates[id]
+                            .iter()
+                            .map(|g| {
+                                layer_activation_bytes(self.batch, shapes[id], *g, halo_of(id))
+                            })
+                            .min()
+                            .unwrap_or(0)
+                    })
+                    .sum::<usize>();
+            limit_feasible = floor <= limit;
+            if limit_feasible {
+                let act_budget = limit.saturating_sub(param_total) as f64;
+                let serial: Vec<usize> = (0..n)
+                    .map(|id| {
+                        layer_activation_bytes(
+                            self.batch,
+                            shapes[id],
+                            ProcGrid::sample(self.world),
+                            0,
+                        )
+                    })
+                    .collect();
+                let serial_total: f64 = serial.iter().sum::<usize>() as f64;
+                const SLACK: f64 = 1.5;
+                for id in 0..n {
+                    if serial_total == 0.0 {
+                        break;
+                    }
+                    let share = act_budget * serial[id] as f64 / serial_total * SLACK;
+                    candidates[id].retain(|g| {
+                        (layer_activation_bytes(self.batch, shapes[id], *g, halo_of(id)) as f64)
+                            <= share
+                    });
+                }
             }
         }
         // Layer weight for longest-path extraction: cheapest-candidate
@@ -178,13 +208,40 @@ impl<'a> StrategyOptimizer<'a> {
             rank_weights: None,
         };
         if let Some(limit) = self.memory_limit {
+            // Only meaningful when the limit was achievable at all.
             debug_assert!(
-                strategy_memory_bytes(self.spec, self.batch, &strategy) <= limit * 2,
+                !limit_feasible
+                    || strategy_memory_bytes(self.spec, self.batch, &strategy) <= limit * 2,
                 "memory heuristic produced a grossly oversized strategy"
             );
         }
         let cost = network_cost(self.platform, self.spec, self.batch, &strategy, &self.opts);
         (strategy, cost)
+    }
+
+    /// [`StrategyOptimizer::optimize`] under a hard per-rank memory
+    /// budget in bytes (the `FG_MEM_BUDGET` contract): the search runs
+    /// with the budget as its memory limit (tightening any existing
+    /// [`StrategyOptimizer::with_memory_limit`]), and the winner is then
+    /// checked against the *exact* static bound from fg-core's
+    /// tensor-liveness analyzer — not the cost model's heuristic — over
+    /// sampled ranks. An over-budget winner is rejected with the typed
+    /// [`StrategyError::MemBudgetExceeded`] before any plan compiles for
+    /// execution.
+    pub fn optimize_with_budget(
+        &self,
+        budget: usize,
+    ) -> Result<(Strategy, CostBreakdown), StrategyError> {
+        let mut constrained = self.clone();
+        constrained.memory_limit = Some(self.memory_limit.map_or(budget, |m| m.min(budget)));
+        let (strategy, cost) = constrained.optimize();
+        let ranks = fg_core::sample_ranks(self.world);
+        let report = fg_core::analyze_strategy(self.spec, &strategy, self.batch, &ranks)?;
+        let needed = report.max_peak();
+        if needed > budget {
+            return Err(StrategyError::MemBudgetExceeded { needed, budget });
+        }
+        Ok((strategy, cost))
     }
 
     /// Shortest-path DP along one path of layers; pinned layers keep
@@ -467,6 +524,30 @@ mod tests {
         assert_eq!(strategy.validate(&spec, 2), Ok(()));
         // A legal seed, by contrast, survives the filter and is usable.
         assert!(fg_core::candidate_grid_legal(&spec, 2, 8, conv1, ProcGrid::hybrid(2, 2, 2)));
+    }
+
+    #[test]
+    fn budget_rejects_over_budget_candidates_typed() {
+        // A budget far below any feasible strategy's static bound must
+        // come back as the typed error carrying the analyzer's exact
+        // need, not a panic or a silently over-budget strategy.
+        let p = platform();
+        let spec = mesh_net();
+        let opt = StrategyOptimizer::new(&p, &spec, 4, 8);
+        match opt.optimize_with_budget(1 << 20) {
+            Err(StrategyError::MemBudgetExceeded { needed, budget }) => {
+                assert_eq!(budget, 1 << 20);
+                assert!(needed > budget, "reported need must exceed the budget");
+            }
+            other => panic!("expected MemBudgetExceeded, got {other:?}"),
+        }
+        // A generous budget passes, and the winner's exact bound fits it.
+        let (strategy, _) = opt.optimize_with_budget(64 << 30).expect("64 GiB fits");
+        assert_eq!(strategy.validate(&spec, 4), Ok(()));
+        let report =
+            fg_core::analyze_strategy(&spec, &strategy, 4, &fg_core::sample_ranks(8)).unwrap();
+        assert!(report.is_clean());
+        assert!(report.max_peak() <= 64 << 30);
     }
 
     #[test]

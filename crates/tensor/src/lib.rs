@@ -42,6 +42,7 @@
 //! });
 //! ```
 
+pub mod arena;
 pub mod dense;
 pub mod dist;
 pub mod disttensor;
@@ -53,6 +54,9 @@ pub mod shape;
 pub mod shuffle;
 pub mod weights;
 
+pub use arena::{
+    check_mem_plan, peak_bytes, BufClass, LiveInterval, MemPlan, MemPlanIssue, StepArena, ELT_BYTES,
+};
 pub use dense::Tensor;
 pub use dist::TensorDist;
 pub use disttensor::DistTensor;

@@ -57,6 +57,36 @@ if [ -n "$raw_p2p" ]; then
     exit 1
 fi
 
+# Custom lint: direct tensor allocation on the step path. The executor
+# runs training steps out of a per-rank bump arena sized by the static
+# memory analyzer (fg-core::mem); step-transient windows must come from
+# `ArenaSlot::alloc`, not ad-hoc `Vec`s the analyzer cannot see. Any
+# `Vec::with_capacity(` / `vec![` / `.to_window(` in the executor/layer
+# hot paths needs an `// arena-exempt: <why>` marker on the same or the
+# preceding line (bookkeeping slot tables, one-element edge lists, and
+# construction-time code are exempt; `.to_window_in(`, the arena-fed
+# variant, does not match). `crates/core/src/layers/mod.rs` is excluded
+# wholesale: it is the construction-time layer builder, never the step
+# path. `#[cfg(test)]` modules are ignored.
+step "lint: step-path tensor allocation goes through the arena API"
+alloc_files=$(ls crates/core/src/executor.rs crates/core/src/distconv.rs \
+    crates/core/src/overlap.rs crates/core/src/layers/*.rs |
+    grep -v 'layers/mod\.rs')
+step_alloc=$(for f in $alloc_files; do
+    awk -v fn="$f" '
+        /#\[cfg\(test\)\]/ { exit }
+        /arena-exempt/ { skip = 2 }
+        skip > 0 { skip--; next }
+        /\.to_window\(|Vec::with_capacity\(|vec!\[/ { print fn ":" FNR ": " $0 }
+    ' "$f"
+done)
+if [ -n "$step_alloc" ]; then
+    echo "step-path tensor allocation outside the arena API (mark intentional" >&2
+    echo "bookkeeping with '// arena-exempt: <why>'):" >&2
+    echo "$step_alloc" >&2
+    exit 1
+fi
+
 if [ "$quick" -eq 0 ]; then
     step "cargo build --release"
     cargo build --release --offline
@@ -91,6 +121,22 @@ cargo test -q --offline --test resilience degrade
 step "gray-failure resilience (straggler detect/rebalance/evict, FG_VERIFY on)"
 FG_VERIFY=1 cargo test -q --offline --test resilience -- \
     persistent_straggler irredeemably_slow healthy_world
+
+# Static memory verifier, same ladder rung as FG_VERIFY: with FG_VERIFY=1
+# every DistExecutor construction now also runs the tensor-liveness
+# analyzer (fg-core::mem) and rejects unsound memory plans, so the
+# schedule runs above already exercise it. This step pins the analyzer's
+# own contracts explicitly: clean plans bound every rank on every
+# model × strategy × grid, each corruption class (overlapping slots,
+# undersized arena, understated halo/shuffle staging) yields a named
+# violation, and a tiny FG_MEM_BUDGET rejects with the typed
+# MemBudgetExceeded error before any plan executes (the mem_budget
+# binary sets/unsets the env var itself).
+step "memory verifier (liveness bounds, mutation catches, FG_MEM_BUDGET gate)"
+FG_VERIFY=1 cargo test -q --offline -p fg-core --test mem_mutations
+cargo test -q --offline -p fg-core --test mem_budget
+cargo test -q --offline -p fg-perf --lib budget_rejects_over_budget_candidates_typed
+FG_VERIFY=1 cargo test -q --offline -p fg-core --lib -- arena_execution static_bounds
 
 # Serving tier: chaos traffic (lossy links + a mid-stream rank kill)
 # through the full admission → batch → dispatch → replica stack. The
